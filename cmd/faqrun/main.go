@@ -1,0 +1,99 @@
+// faqrun evaluates an FAQ query from a specification file (format in
+// internal/spec) with InsideOut, printing the plan, statistics and the
+// output (listing representation, truncated for large outputs).
+//
+// Usage:
+//
+//	faqrun -spec query.faq [-order "2,0,1"] [-max-rows 50] [-no-filters] [-no-indicators]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/faqdb/faq/internal/core"
+	"github.com/faqdb/faq/internal/hypergraph"
+	"github.com/faqdb/faq/internal/spec"
+)
+
+func main() {
+	specFile := flag.String("spec", "", "query specification file")
+	orderFlag := flag.String("order", "", "explicit variable ordering, comma-separated ids")
+	maxRows := flag.Int("max-rows", 50, "maximum output rows to print")
+	noFilters := flag.Bool("no-filters", false, "disable the 01-OR output filters")
+	noIndicators := flag.Bool("no-indicators", false, "disable indicator projections")
+	flag.Parse()
+	if *specFile == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	f, err := os.Open(*specFile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	q, err := spec.Parse(f)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	opts := core.DefaultOptions()
+	opts.FilterOutput = !*noFilters
+	opts.IndicatorProjections = !*noIndicators
+
+	shape := q.Shape()
+	var order []int
+	var method string
+	if *orderFlag != "" {
+		for _, tok := range strings.Split(*orderFlag, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(tok))
+			if err != nil {
+				log.Fatalf("bad ordering entry %q", tok)
+			}
+			order = append(order, v)
+		}
+		if ok, err := core.InEVO(shape, order); err != nil {
+			log.Fatal(err)
+		} else if !ok {
+			log.Fatalf("ordering %v is not φ-equivalent; refusing to compute a different function", order)
+		}
+		method = "user"
+	} else {
+		plan := core.ChoosePlan(shape, hypergraph.NewWidthCalc(shape.H))
+		order = plan.Order
+		method = fmt.Sprintf("%s (width %.3f)", plan.Method, plan.Width)
+	}
+
+	res, err := core.InsideOut(q, order, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ordering: %s via %s\n", core.OrderString(order, q.VarName), method)
+	fmt.Printf("stats: %d eliminations, %d intermediate rows (max %d), %d join probes\n",
+		res.Stats.Eliminations, res.Stats.IntermediateRows, res.Stats.MaxIntermediate, res.Stats.Join.Probes)
+
+	if q.NumFree == 0 {
+		fmt.Printf("value: %v\n", res.Scalar())
+		return
+	}
+	fmt.Printf("output: %d tuples over (", res.Output.Size())
+	for i, v := range res.Output.Vars {
+		if i > 0 {
+			fmt.Print(", ")
+		}
+		fmt.Print(q.VarName(v))
+	}
+	fmt.Println(")")
+	for i, tup := range res.Output.Tuples {
+		if i >= *maxRows {
+			fmt.Printf("  ... %d more rows\n", res.Output.Size()-*maxRows)
+			break
+		}
+		fmt.Printf("  %v = %v\n", tup, res.Output.Values[i])
+	}
+}

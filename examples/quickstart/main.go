@@ -1,0 +1,103 @@
+// Quickstart: count triangles in a graph with a single FAQ query
+// (Example A.8 of the paper).
+//
+// The triangle count is the SumProd instance
+//
+//	φ = Σ_{x0} Σ_{x1} Σ_{x2}  ψ(x0,x1) · ψ(x1,x2) · ψ(x0,x2)
+//
+// over the sum-product semiring, whose hypergraph is the triangle with
+// fractional cover number 3/2 — so InsideOut runs in Õ(N^1.5) where any
+// pairwise join plan needs Θ(N²) on skewed inputs.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	faq "github.com/faqdb/faq"
+)
+
+func main() {
+	const nodes = 400
+	const edges = 2400
+	rng := rand.New(rand.NewSource(42))
+
+	// A random directed edge set; ψ(u,v) = 1 when (u,v) is an edge.
+	seen := map[[2]int]bool{}
+	var tuples [][]int
+	var values []float64
+	for len(tuples) < edges {
+		e := [2]int{rng.Intn(nodes), rng.Intn(nodes)}
+		if seen[e] || e[0] == e[1] {
+			continue
+		}
+		seen[e] = true
+		tuples = append(tuples, []int{e[0], e[1]})
+		values = append(values, 1)
+	}
+
+	d := faq.Float()
+	mk := func(vars []int) *faq.Factor[float64] {
+		f, err := faq.NewFactor(d, vars, tuples, values, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return f
+	}
+	q := &faq.Query[float64]{
+		D:        d,
+		NVars:    3,
+		DomSizes: []int{nodes, nodes, nodes},
+		NumFree:  0,
+		Aggs: []faq.Aggregate[float64]{
+			faq.SemiringAgg(faq.OpFloatSum()),
+			faq.SemiringAgg(faq.OpFloatSum()),
+			faq.SemiringAgg(faq.OpFloatSum()),
+		},
+		Factors: []*faq.Factor[float64]{mk([]int{0, 1}), mk([]int{1, 2}), mk([]int{0, 2})},
+	}
+
+	res, plan, err := faq.Solve(q, faq.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("directed triangles: %.0f\n", res.Scalar())
+	fmt.Printf("planned ordering:   %v (method %s)\n", plan.Order, plan.Method)
+	fmt.Printf("faqw of plan:       %.2f (= ρ* of the triangle query)\n", plan.Width)
+	fmt.Printf("max intermediate:   %d rows\n", res.Stats.MaxIntermediate)
+
+	// Cross-check on a small sample with the brute-force oracle.
+	small := &faq.Query[float64]{
+		D: d, NVars: 3, DomSizes: []int{8, 8, 8}, NumFree: 0,
+		Aggs:    q.Aggs,
+		Factors: nil,
+	}
+	var smallTuples [][]int
+	var smallValues []float64
+	for _, t := range tuples {
+		if t[0] < 8 && t[1] < 8 {
+			smallTuples = append(smallTuples, t)
+			smallValues = append(smallValues, 1)
+		}
+	}
+	if len(smallTuples) > 0 {
+		f, err := faq.NewFactor(d, []int{0, 1}, smallTuples, smallValues, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		g, _ := faq.NewFactor(d, []int{1, 2}, smallTuples, smallValues, nil)
+		h, _ := faq.NewFactor(d, []int{0, 2}, smallTuples, smallValues, nil)
+		small.Factors = []*faq.Factor[float64]{f, g, h}
+		want, err := faq.BruteForceScalar(small)
+		if err != nil {
+			log.Fatal(err)
+		}
+		got, _, err := faq.Solve(small, faq.DefaultOptions())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("oracle check (8-node subgraph): InsideOut %.0f == brute force %.0f\n",
+			got.Scalar(), want)
+	}
+}

@@ -1,0 +1,183 @@
+// Package faq is a Go implementation of the Functional Aggregate Query
+// (FAQ) framework of Abo Khamis, Ngo and Rudra, "FAQ: Questions Asked
+// Frequently" (PODS 2016).
+//
+// An FAQ query (Eq. (1) of the paper) is
+//
+//	φ(x_1..x_f) = ⊕^(f+1)_{x_{f+1}} ... ⊕^(n)_{x_n}  ⊗_{S∈E} ψ_S(x_S)
+//
+// over one domain D with product ⊗: the first f variables are free, each
+// bound variable carries an aggregate that either forms a commutative
+// semiring with ⊗ or is ⊗ itself.  Joins, CSPs, marginal/MAP inference in
+// graphical models, quantified and counting conjunctive queries, matrix
+// chain multiplication, the DFT, SAT and #SAT are all instances.
+//
+// The engine solves FAQ with InsideOut — variable elimination whose
+// intermediate sub-problems run on a worst-case-optimal backtracking join
+// (OutsideIn) with indicator projections — in time Õ(N^{faqw(σ)} + ‖φ‖).
+// Orderings σ are planned through the paper's machinery: expression trees,
+// precedence posets, the exact dynamic program over LinEx(P) and the
+// Section 7 approximation algorithm.
+//
+// Minimal use:
+//
+//	d := faq.Float()
+//	q := &faq.Query[float64]{
+//	    D: d, NVars: 3, DomSizes: []int{64, 64, 64}, NumFree: 0,
+//	    Aggs: []faq.Aggregate[float64]{
+//	        faq.SemiringAgg(faq.OpFloatSum()),
+//	        faq.SemiringAgg(faq.OpFloatSum()),
+//	        faq.SemiringAgg(faq.OpFloatSum()),
+//	    },
+//	    Factors: []*faq.Factor[float64]{r, s, t}, // ψ_{01}, ψ_{12}, ψ_{02}
+//	}
+//	res, plan, err := faq.Solve(q, faq.DefaultOptions())
+//	// res.Scalar() is the triangle count; plan.Width is faqw ≈ 1.5.
+//
+// Domain-specific front ends live in the internal packages and are
+// exercised by the examples/ programs and cmd/ tools: logic queries
+// (BCQ/CQ/#CQ/QCQ/#QCQ), natural joins, graphical models, matrix chain
+// multiplication, the DFT, and β-acyclic SAT/#SAT.
+package faq
+
+import (
+	"github.com/faqdb/faq/internal/core"
+	"github.com/faqdb/faq/internal/factor"
+	"github.com/faqdb/faq/internal/hypergraph"
+	"github.com/faqdb/faq/internal/semiring"
+)
+
+// Core model types.
+type (
+	// Query is an FAQ instance in the normal form of Eq. (1).
+	Query[V any] = core.Query[V]
+	// Aggregate is a per-variable aggregate ⊕(i).
+	Aggregate[V any] = core.Aggregate[V]
+	// Factor is a function in listing representation (Definition 4.1).
+	Factor[V any] = factor.Factor[V]
+	// Domain is the shared multiplicative structure (⊗, 0, 1) of a query.
+	Domain[V any] = semiring.Domain[V]
+	// Op is a named semiring aggregate operator.
+	Op[V any] = semiring.Op[V]
+	// Result is an InsideOut outcome.
+	Result[V any] = core.Result[V]
+	// Factorized is the Section 8.4 factorized output representation.
+	Factorized[V any] = core.Factorized[V]
+	// Options tunes an InsideOut run.
+	Options = core.Options
+	// Plan is a chosen variable ordering with its FAQ-width.
+	Plan = core.Plan
+	// Shape is the untyped skeleton used by the ordering theory.
+	Shape = core.Shape
+	// ExprNode is an expression-tree node (Definition 6.18).
+	ExprNode = core.ExprNode
+	// Poset is the precedence poset over variables (Definition 6.22).
+	Poset = core.Poset
+	// Hypergraph is a query hypergraph.
+	Hypergraph = hypergraph.Hypergraph
+	// WidthCalc computes ρ, ρ*, AGM, tw and fhtw against a hypergraph.
+	WidthCalc = hypergraph.WidthCalc
+	// Stats reports work counters from an InsideOut run.
+	Stats = core.Stats
+)
+
+// Free marks an output variable.
+func Free[V any]() Aggregate[V] { return core.Free[V]() }
+
+// SemiringAgg wraps a semiring aggregate operator.
+func SemiringAgg[V any](op *Op[V]) Aggregate[V] { return core.SemiringAgg(op) }
+
+// ProductAgg marks a variable aggregated by ⊗ itself.
+func ProductAgg[V any]() Aggregate[V] { return core.ProductAgg[V]() }
+
+// Standard domains and operators (see internal/semiring).
+var (
+	Bool          = semiring.Bool
+	Float         = semiring.Float
+	Int           = semiring.Int
+	Complex       = semiring.Complex
+	Rat           = semiring.Rat
+	Set           = semiring.Set
+	Tropical      = semiring.Tropical
+	OpOr          = semiring.OpOr
+	OpFloatSum    = semiring.OpFloatSum
+	OpFloatMax    = semiring.OpFloatMax
+	OpFloatMin    = semiring.OpFloatMin
+	OpIntSum      = semiring.OpIntSum
+	OpIntMax      = semiring.OpIntMax
+	OpComplexSum  = semiring.OpComplexSum
+	OpRatSum      = semiring.OpRatSum
+	OpUnion       = semiring.OpUnion
+	OpTropicalMin = semiring.OpTropicalMin
+)
+
+// NewFactor builds a listing-representation factor over sorted variable ids.
+// Duplicate tuples are combined with combine (nil means duplicates are an
+// error); zero values are dropped.
+func NewFactor[V any](d *Domain[V], vars []int, tuples [][]int, values []V,
+	combine func(a, b V) V) (*Factor[V], error) {
+	return factor.New(d, vars, tuples, values, combine)
+}
+
+// FromFunc materializes a factor from a dense function, keeping non-zeros.
+func FromFunc[V any](d *Domain[V], vars []int, domSizes []int, f func(tuple []int) V) *Factor[V] {
+	return factor.FromFunc(d, vars, domSizes, f)
+}
+
+// DefaultOptions returns the Algorithm-1 configuration: indicator
+// projections on, Yannakakis-style output filters on, listed output.
+func DefaultOptions() Options { return core.DefaultOptions() }
+
+// InsideOut evaluates the query along a φ-equivalent variable ordering
+// (Algorithm 1 of the paper).
+func InsideOut[V any](q *Query[V], order []int, opts Options) (*Result[V], error) {
+	return core.InsideOut(q, order, opts)
+}
+
+// Solve plans an ordering (exact DP over LinEx(P) for small queries, the
+// Section 7 approximation otherwise) and runs InsideOut.
+func Solve[V any](q *Query[V], opts Options) (*Result[V], *Plan, error) {
+	return core.Solve(q, opts)
+}
+
+// BruteForce evaluates the query by enumeration — the testing oracle and
+// the "no non-trivial algorithm" baseline.
+func BruteForce[V any](q *Query[V]) (*Factor[V], error) { return core.BruteForce(q) }
+
+// BruteForceScalar is BruteForce for queries without free variables.
+func BruteForceScalar[V any](q *Query[V]) (V, error) { return core.BruteForceScalar(q) }
+
+// Planning and width analysis.
+var (
+	// BuildExprTree constructs the (flat-rewriting-sound) expression tree.
+	BuildExprTree = core.BuildExprTree
+	// BuildExprTreeScoped is Definition 6.18 verbatim (Figures 2–6).
+	BuildExprTreeScoped = core.BuildExprTreeScoped
+	// NewPoset derives the precedence poset of an expression tree.
+	NewPoset = core.NewPoset
+	// InEVO tests membership in EVO(φ) via CW-equivalence.
+	InEVO = core.InEVO
+	// EnumerateEVO lists EVO(φ) exhaustively (tests/tools).
+	EnumerateEVO = core.EnumerateEVO
+	// CWEquivalent tests component-wise equivalence of two orderings.
+	CWEquivalent = core.CWEquivalent
+	// FAQWidth computes faqw(σ) (Definition 5.10).
+	FAQWidth = core.FAQWidth
+	// PlanExpression, PlanExact, PlanGreedy, PlanApprox and ChoosePlan are
+	// the ordering planners of Sections 6–7.
+	PlanExpression = core.PlanExpression
+	PlanExact      = core.PlanExact
+	PlanGreedy     = core.PlanGreedy
+	PlanApprox     = core.PlanApprox
+	ChoosePlan     = core.ChoosePlan
+	// ExactDecomp and GreedyDecomp are fhtw black boxes for PlanApprox.
+	ExactDecomp  = core.ExactDecomp
+	GreedyDecomp = core.GreedyDecomp
+	// NewWidthCalc builds a width calculator over a hypergraph.
+	NewWidthCalc = hypergraph.NewWidthCalc
+)
+
+// NewHypergraph builds a hypergraph on n vertices from vertex-list edges.
+func NewHypergraph(n int, edges ...[]int) *Hypergraph {
+	return hypergraph.NewWithEdges(n, edges...)
+}

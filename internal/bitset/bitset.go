@@ -1,0 +1,249 @@
+// Package bitset provides a compact set of small non-negative integers.
+//
+// The FAQ engine manipulates many vertex sets of query hypergraphs
+// (hyperedges, elimination sets U_k, tree-decomposition bags).  Queries are
+// small (tens of variables) but set operations are in inner loops of the
+// width-computation dynamic programs, so sets are stored as bit vectors.
+//
+// The zero value of Set is the empty set and is ready to use.
+package bitset
+
+import (
+	"math/bits"
+	"strconv"
+	"strings"
+)
+
+const wordBits = 64
+
+// Set is a set of small non-negative integers backed by a bit vector.
+// Methods never mutate their receiver unless documented otherwise; the
+// mutating methods (Add, Remove, UnionWith, ...) have pointer receivers.
+type Set struct {
+	words []uint64
+}
+
+// New returns a set containing the given elements.
+func New(elems ...int) Set {
+	var s Set
+	for _, e := range elems {
+		s.Add(e)
+	}
+	return s
+}
+
+// FromSlice returns a set containing every element of elems.
+func FromSlice(elems []int) Set { return New(elems...) }
+
+// Range returns the set {0, 1, ..., n-1}.
+func Range(n int) Set {
+	var s Set
+	for i := 0; i < n; i++ {
+		s.Add(i)
+	}
+	return s
+}
+
+func (s *Set) grow(word int) {
+	for len(s.words) <= word {
+		s.words = append(s.words, 0)
+	}
+}
+
+// Add inserts e into the set.
+func (s *Set) Add(e int) {
+	if e < 0 {
+		panic("bitset: negative element " + strconv.Itoa(e))
+	}
+	w := e / wordBits
+	s.grow(w)
+	s.words[w] |= 1 << uint(e%wordBits)
+}
+
+// Remove deletes e from the set; removing an absent element is a no-op.
+func (s *Set) Remove(e int) {
+	if e < 0 {
+		return
+	}
+	w := e / wordBits
+	if w < len(s.words) {
+		s.words[w] &^= 1 << uint(e%wordBits)
+	}
+}
+
+// Contains reports whether e is in the set.
+func (s Set) Contains(e int) bool {
+	if e < 0 {
+		return false
+	}
+	w := e / wordBits
+	return w < len(s.words) && s.words[w]&(1<<uint(e%wordBits)) != 0
+}
+
+// Len returns the number of elements in the set.
+func (s Set) Len() int {
+	n := 0
+	for _, w := range s.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// IsEmpty reports whether the set has no elements.
+func (s Set) IsEmpty() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns an independent copy of the set.
+func (s Set) Clone() Set {
+	c := Set{words: make([]uint64, len(s.words))}
+	copy(c.words, s.words)
+	return c
+}
+
+// Union returns s ∪ t without modifying either.
+func (s Set) Union(t Set) Set {
+	c := s.Clone()
+	c.UnionWith(t)
+	return c
+}
+
+// UnionWith adds every element of t to s.
+func (s *Set) UnionWith(t Set) {
+	s.grow(len(t.words) - 1)
+	for i, w := range t.words {
+		s.words[i] |= w
+	}
+}
+
+// Intersect returns s ∩ t.
+func (s Set) Intersect(t Set) Set {
+	n := len(s.words)
+	if len(t.words) < n {
+		n = len(t.words)
+	}
+	c := Set{words: make([]uint64, n)}
+	for i := 0; i < n; i++ {
+		c.words[i] = s.words[i] & t.words[i]
+	}
+	return c
+}
+
+// Intersects reports whether s ∩ t is non-empty.
+func (s Set) Intersects(t Set) bool {
+	n := len(s.words)
+	if len(t.words) < n {
+		n = len(t.words)
+	}
+	for i := 0; i < n; i++ {
+		if s.words[i]&t.words[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Minus returns s \ t.
+func (s Set) Minus(t Set) Set {
+	c := s.Clone()
+	n := len(c.words)
+	if len(t.words) < n {
+		n = len(t.words)
+	}
+	for i := 0; i < n; i++ {
+		c.words[i] &^= t.words[i]
+	}
+	return c
+}
+
+// SubsetOf reports whether every element of s is in t.
+func (s Set) SubsetOf(t Set) bool {
+	for i, w := range s.words {
+		var tw uint64
+		if i < len(t.words) {
+			tw = t.words[i]
+		}
+		if w&^tw != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether s and t contain exactly the same elements.
+func (s Set) Equal(t Set) bool {
+	return s.SubsetOf(t) && t.SubsetOf(s)
+}
+
+// Elems returns the elements in increasing order.
+func (s Set) Elems() []int {
+	out := make([]int, 0, s.Len())
+	for i, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			out = append(out, i*wordBits+b)
+			w &= w - 1
+		}
+	}
+	return out
+}
+
+// Min returns the smallest element, or -1 if the set is empty.
+func (s Set) Min() int {
+	for i, w := range s.words {
+		if w != 0 {
+			return i*wordBits + bits.TrailingZeros64(w)
+		}
+	}
+	return -1
+}
+
+// ForEach calls f on each element in increasing order.
+func (s Set) ForEach(f func(e int)) {
+	for i, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			f(i*wordBits + b)
+			w &= w - 1
+		}
+	}
+}
+
+// Key returns a string usable as a map key identifying the set contents.
+// Trailing zero words are ignored so equal sets always produce equal keys.
+func (s Set) Key() string {
+	n := len(s.words)
+	for n > 0 && s.words[n-1] == 0 {
+		n--
+	}
+	var b strings.Builder
+	b.Grow(n * 8)
+	for i := 0; i < n; i++ {
+		w := s.words[i]
+		for j := 0; j < 8; j++ {
+			b.WriteByte(byte(w >> uint(8*j)))
+		}
+	}
+	return b.String()
+}
+
+// String renders the set like "{1, 4, 7}".
+func (s Set) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	s.ForEach(func(e int) {
+		if !first {
+			b.WriteString(", ")
+		}
+		first = false
+		b.WriteString(strconv.Itoa(e))
+	})
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,209 @@
+package bitset
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmpty(t *testing.T) {
+	var s Set
+	if !s.IsEmpty() {
+		t.Fatal("zero value should be empty")
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", s.Len())
+	}
+	if s.Contains(0) || s.Contains(100) {
+		t.Fatal("empty set should contain nothing")
+	}
+	if s.Min() != -1 {
+		t.Fatalf("Min of empty = %d, want -1", s.Min())
+	}
+	if got := s.String(); got != "{}" {
+		t.Fatalf("String = %q, want {}", got)
+	}
+}
+
+func TestAddRemoveContains(t *testing.T) {
+	var s Set
+	s.Add(3)
+	s.Add(70) // crosses a word boundary
+	s.Add(3)  // duplicate
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", s.Len())
+	}
+	if !s.Contains(3) || !s.Contains(70) || s.Contains(4) {
+		t.Fatal("membership wrong")
+	}
+	s.Remove(3)
+	if s.Contains(3) || s.Len() != 1 {
+		t.Fatal("remove failed")
+	}
+	s.Remove(999) // absent, different word: no-op
+	s.Remove(-1)  // negative: no-op
+	if s.Len() != 1 {
+		t.Fatal("no-op removes changed the set")
+	}
+}
+
+func TestNegativeAddPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add(-1) should panic")
+		}
+	}()
+	var s Set
+	s.Add(-1)
+}
+
+func TestSetAlgebra(t *testing.T) {
+	a := New(1, 2, 3, 64, 65)
+	b := New(3, 4, 65, 200)
+	if got := a.Union(b).Elems(); !reflect.DeepEqual(got, []int{1, 2, 3, 4, 64, 65, 200}) {
+		t.Fatalf("Union = %v", got)
+	}
+	if got := a.Intersect(b).Elems(); !reflect.DeepEqual(got, []int{3, 65}) {
+		t.Fatalf("Intersect = %v", got)
+	}
+	if got := a.Minus(b).Elems(); !reflect.DeepEqual(got, []int{1, 2, 64}) {
+		t.Fatalf("Minus = %v", got)
+	}
+	if !a.Intersects(b) {
+		t.Fatal("a and b should intersect")
+	}
+	if a.Intersects(New(7, 300)) {
+		t.Fatal("disjoint sets reported as intersecting")
+	}
+	if !New(1, 2).SubsetOf(a) || a.SubsetOf(b) {
+		t.Fatal("SubsetOf wrong")
+	}
+	if !a.Equal(New(65, 64, 3, 2, 1)) {
+		t.Fatal("Equal should ignore insertion order")
+	}
+}
+
+func TestRangeAndMin(t *testing.T) {
+	r := Range(130)
+	if r.Len() != 130 {
+		t.Fatalf("Range(130).Len = %d", r.Len())
+	}
+	if r.Min() != 0 {
+		t.Fatalf("Min = %d", r.Min())
+	}
+	r.Remove(0)
+	r.Remove(1)
+	if r.Min() != 2 {
+		t.Fatalf("Min after removal = %d", r.Min())
+	}
+}
+
+func TestKeyEqualSetsEqualKeys(t *testing.T) {
+	a := New(5, 9)
+	b := New(9)
+	b.Add(5)
+	// Force b to carry trailing zero words, then check the key still matches.
+	b.Add(300)
+	b.Remove(300)
+	if a.Key() != b.Key() {
+		t.Fatal("equal sets should have equal keys regardless of capacity")
+	}
+	if a.Key() == New(5, 10).Key() {
+		t.Fatal("different sets should have different keys")
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	a := New(1, 2)
+	c := a.Clone()
+	c.Add(3)
+	if a.Contains(3) {
+		t.Fatal("Clone aliases the original")
+	}
+}
+
+func TestForEachOrder(t *testing.T) {
+	s := New(99, 0, 64, 5)
+	var got []int
+	s.ForEach(func(e int) { got = append(got, e) })
+	if !sort.IntsAreSorted(got) {
+		t.Fatalf("ForEach order not sorted: %v", got)
+	}
+	if !reflect.DeepEqual(got, s.Elems()) {
+		t.Fatal("ForEach and Elems disagree")
+	}
+}
+
+// property: Union/Intersect/Minus agree with a map-based reference model.
+func TestQuickAgainstModel(t *testing.T) {
+	f := func(xs, ys []uint8) bool {
+		var a, b Set
+		ma, mb := map[int]bool{}, map[int]bool{}
+		for _, x := range xs {
+			a.Add(int(x))
+			ma[int(x)] = true
+		}
+		for _, y := range ys {
+			b.Add(int(y))
+			mb[int(y)] = true
+		}
+		u := a.Union(b)
+		i := a.Intersect(b)
+		d := a.Minus(b)
+		for e := 0; e < 256; e++ {
+			if u.Contains(e) != (ma[e] || mb[e]) {
+				return false
+			}
+			if i.Contains(e) != (ma[e] && mb[e]) {
+				return false
+			}
+			if d.Contains(e) != (ma[e] && !mb[e]) {
+				return false
+			}
+		}
+		return u.Len() == len(unionMap(ma, mb))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func unionMap(a, b map[int]bool) map[int]bool {
+	u := map[int]bool{}
+	for k := range a {
+		u[k] = true
+	}
+	for k := range b {
+		u[k] = true
+	}
+	return u
+}
+
+// property: Key is injective on distinct sets (over a random sample).
+func TestQuickKeyInjective(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	seen := map[string]string{}
+	for i := 0; i < 2000; i++ {
+		var s Set
+		for j := 0; j < rng.Intn(10); j++ {
+			s.Add(rng.Intn(200))
+		}
+		k := s.Key()
+		if prev, ok := seen[k]; ok && prev != s.String() {
+			t.Fatalf("key collision: %s vs %s", prev, s.String())
+		}
+		seen[k] = s.String()
+	}
+}
+
+func BenchmarkUnionWith(b *testing.B) {
+	x := Range(512)
+	y := New(1, 100, 300, 511)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c := y.Clone()
+		c.UnionWith(x)
+	}
+}

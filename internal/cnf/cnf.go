@@ -1,0 +1,196 @@
+// Package cnf implements the Section 8 "compact input representation" side
+// of the paper: CNF formulas as FAQ instances over box factors (Definition
+// 8.2), the Davis–Putnam directional-resolution SAT solver that runs in
+// polynomial time on β-acyclic formulas (Theorem 8.3), and the weighted
+// model-counting elimination (#WSAT) that proves Theorem 8.4.  Counting is
+// exact over big.Rat: eliminating a variable turns integer clause weights
+// into fractions.
+package cnf
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+	"strings"
+
+	"github.com/faqdb/faq/internal/hypergraph"
+)
+
+// Lit is a literal: variable v (0-based) occurs positively as v+1 and
+// negatively as -(v+1).
+type Lit int
+
+// Var returns the 0-based variable of the literal.
+func (l Lit) Var() int {
+	if l < 0 {
+		return int(-l) - 1
+	}
+	return int(l) - 1
+}
+
+// Pos reports whether the literal is positive.
+func (l Lit) Pos() bool { return l > 0 }
+
+// Neg returns the complementary literal.
+func (l Lit) Neg() Lit { return -l }
+
+// MkLit builds a literal from a variable and polarity.
+func MkLit(v int, pos bool) Lit {
+	if pos {
+		return Lit(v + 1)
+	}
+	return Lit(-(v + 1))
+}
+
+// Clause is a disjunction of literals over distinct variables, kept sorted
+// by variable.
+type Clause struct {
+	Lits []Lit
+}
+
+// NewClause normalizes literals: sorts by variable, rejects duplicate
+// variables with conflicting polarity by reporting a tautology.
+func NewClause(lits ...Lit) (Clause, bool) {
+	sorted := append([]Lit(nil), lits...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Var() < sorted[j].Var() })
+	var out []Lit
+	for _, l := range sorted {
+		if len(out) > 0 && out[len(out)-1].Var() == l.Var() {
+			if out[len(out)-1] != l {
+				return Clause{}, true // v ∨ ¬v: tautology
+			}
+			continue
+		}
+		out = append(out, l)
+	}
+	return Clause{Lits: out}, false
+}
+
+// Vars returns the clause's variables (sorted).
+func (c Clause) Vars() []int {
+	vs := make([]int, len(c.Lits))
+	for i, l := range c.Lits {
+		vs[i] = l.Var()
+	}
+	return vs
+}
+
+// Contains reports whether the clause mentions variable v, and with which
+// polarity if so.
+func (c Clause) Contains(v int) (pos, ok bool) {
+	for _, l := range c.Lits {
+		if l.Var() == v {
+			return l.Pos(), true
+		}
+	}
+	return false, false
+}
+
+// Without returns the clause with variable v's literal dropped.
+func (c Clause) Without(v int) Clause {
+	out := make([]Lit, 0, len(c.Lits))
+	for _, l := range c.Lits {
+		if l.Var() != v {
+			out = append(out, l)
+		}
+	}
+	return Clause{Lits: out}
+}
+
+// SubsetOf reports whether every literal of c appears in d.
+func (c Clause) SubsetOf(d Clause) bool {
+	i := 0
+	for _, l := range d.Lits {
+		if i < len(c.Lits) && c.Lits[i] == l {
+			i++
+		}
+	}
+	return i == len(c.Lits)
+}
+
+// Satisfied reports whether the clause is satisfied under the (total)
+// assignment (assignment[v] == true means v is true).
+func (c Clause) Satisfied(assignment []bool) bool {
+	for _, l := range c.Lits {
+		if assignment[l.Var()] == l.Pos() {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the clause like "(x0 ∨ ¬x2)".
+func (c Clause) String() string {
+	if len(c.Lits) == 0 {
+		return "⊥"
+	}
+	parts := make([]string, len(c.Lits))
+	for i, l := range c.Lits {
+		if l.Pos() {
+			parts[i] = fmt.Sprintf("x%d", l.Var())
+		} else {
+			parts[i] = fmt.Sprintf("¬x%d", l.Var())
+		}
+	}
+	return "(" + strings.Join(parts, " ∨ ") + ")"
+}
+
+// Formula is a CNF formula.
+type Formula struct {
+	NumVars int
+	Clauses []Clause
+}
+
+// Hypergraph returns the formula's hypergraph: one edge per clause support.
+func (f *Formula) Hypergraph() *hypergraph.Hypergraph {
+	h := hypergraph.New(f.NumVars)
+	for _, c := range f.Clauses {
+		h.AddEdge(c.Vars()...)
+	}
+	return h
+}
+
+// IsBetaAcyclic reports whether the clause hypergraph is β-acyclic.
+func (f *Formula) IsBetaAcyclic() bool {
+	return f.Hypergraph().IsBetaAcyclic()
+}
+
+// NestedEliminationOrder returns a NEO of the clause hypergraph (Proposition
+// 4.10) and whether one exists.
+func (f *Formula) NestedEliminationOrder() ([]int, bool) {
+	return f.Hypergraph().NestedEliminationOrder()
+}
+
+// CountAssignmentsBrute counts satisfying assignments by enumeration
+// (testing oracle; exponential).
+func (f *Formula) CountAssignmentsBrute() *big.Int {
+	if f.NumVars > 30 {
+		panic("cnf: brute-force counting limited to 30 variables")
+	}
+	count := big.NewInt(0)
+	one := big.NewInt(1)
+	assignment := make([]bool, f.NumVars)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == f.NumVars {
+			for _, c := range f.Clauses {
+				if !c.Satisfied(assignment) {
+					return
+				}
+			}
+			count.Add(count, one)
+			return
+		}
+		assignment[i] = false
+		rec(i + 1)
+		assignment[i] = true
+		rec(i + 1)
+	}
+	rec(0)
+	return count
+}
+
+// SatisfiableBrute reports satisfiability by enumeration (testing oracle).
+func (f *Formula) SatisfiableBrute() bool {
+	return f.CountAssignmentsBrute().Sign() > 0
+}

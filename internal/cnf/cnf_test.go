@@ -1,0 +1,282 @@
+package cnf
+
+import (
+	"bytes"
+	"math/big"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func clause(t testing.TB, lits ...Lit) Clause {
+	t.Helper()
+	c, taut := NewClause(lits...)
+	if taut {
+		t.Fatalf("unexpected tautology from %v", lits)
+	}
+	return c
+}
+
+func TestLiterals(t *testing.T) {
+	l := MkLit(3, true)
+	if l.Var() != 3 || !l.Pos() {
+		t.Fatal("positive literal malformed")
+	}
+	n := l.Neg()
+	if n.Var() != 3 || n.Pos() {
+		t.Fatal("negation malformed")
+	}
+}
+
+func TestNewClauseNormalization(t *testing.T) {
+	c, taut := NewClause(MkLit(2, false), MkLit(0, true), MkLit(2, false))
+	if taut {
+		t.Fatal("not a tautology")
+	}
+	if len(c.Lits) != 2 || c.Lits[0].Var() != 0 || c.Lits[1].Var() != 2 {
+		t.Fatalf("clause = %v", c)
+	}
+	if _, taut := NewClause(MkLit(1, true), MkLit(1, false)); !taut {
+		t.Fatal("x ∨ ¬x should be a tautology")
+	}
+}
+
+func TestClauseOps(t *testing.T) {
+	c := clause(t, MkLit(0, true), MkLit(1, false), MkLit(2, true))
+	if pos, ok := c.Contains(1); !ok || pos {
+		t.Fatal("Contains(1) wrong")
+	}
+	if _, ok := c.Contains(5); ok {
+		t.Fatal("Contains(5) wrong")
+	}
+	w := c.Without(1)
+	if len(w.Lits) != 2 {
+		t.Fatalf("Without = %v", w)
+	}
+	small := clause(t, MkLit(0, true))
+	if !small.SubsetOf(c) || c.SubsetOf(small) {
+		t.Fatal("SubsetOf wrong")
+	}
+	if !c.Satisfied([]bool{true, true, false}) {
+		t.Fatal("x0 satisfies the clause")
+	}
+	if c.Satisfied([]bool{false, true, false}) {
+		t.Fatal("assignment violates every literal")
+	}
+}
+
+func TestSolveDirectionalSmall(t *testing.T) {
+	// (x0 ∨ x1) ∧ (¬x0) ∧ (¬x1): unsatisfiable.
+	f := &Formula{NumVars: 2, Clauses: []Clause{
+		clause(t, MkLit(0, true), MkLit(1, true)),
+		clause(t, MkLit(0, false)),
+		clause(t, MkLit(1, false)),
+	}}
+	if sat, _ := f.SolveDirectional([]int{0, 1}); sat {
+		t.Fatal("should be UNSAT")
+	}
+	// Drop one unit: satisfiable.
+	f2 := &Formula{NumVars: 2, Clauses: f.Clauses[:2]}
+	if sat, _ := f2.SolveDirectional([]int{0, 1}); !sat {
+		t.Fatal("should be SAT")
+	}
+}
+
+func TestDPLLMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 120; trial++ {
+		f := RandomGeneral(rng, 3+rng.Intn(5), 2+rng.Intn(10), 1+rng.Intn(3))
+		want := f.SatisfiableBrute()
+		if got := f.SolveDPLL(); got != want {
+			t.Fatalf("trial %d: DPLL %v, brute force %v (%v)", trial, got, want, f.Clauses)
+		}
+	}
+}
+
+func TestDirectionalMatchesBruteForceAnyOrder(t *testing.T) {
+	// Directional resolution is complete for arbitrary orderings, not just
+	// NEOs (only the running time degrades).
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 120; trial++ {
+		n := 3 + rng.Intn(4)
+		f := RandomGeneral(rng, n, 2+rng.Intn(8), 1+rng.Intn(3))
+		order := rng.Perm(n)
+		want := f.SatisfiableBrute()
+		if got, _ := f.SolveDirectional(order); got != want {
+			t.Fatalf("trial %d: directional %v, brute force %v", trial, got, want)
+		}
+	}
+}
+
+func TestIntervalFormulasAreBetaAcyclic(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		f := RandomInterval(rng, 4+rng.Intn(8), 3+rng.Intn(10), 4)
+		if !f.IsBetaAcyclic() {
+			t.Fatalf("trial %d: interval formula not β-acyclic: %v", trial, f.Clauses)
+		}
+		if _, ok := f.NestedEliminationOrder(); !ok {
+			t.Fatalf("trial %d: no NEO found", trial)
+		}
+	}
+}
+
+func TestSatisfiableFastPathAgrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 80; trial++ {
+		f := RandomInterval(rng, 3+rng.Intn(6), 2+rng.Intn(8), 3)
+		want := f.SatisfiableBrute()
+		if got := f.Satisfiable(); got != want {
+			t.Fatalf("trial %d: Satisfiable %v, brute %v (%v)", trial, got, want, f.Clauses)
+		}
+	}
+}
+
+// Theorem 8.3's certificate: along a NEO the live clause count never exceeds
+// the input clause count (after subsumption), so directional resolution is
+// polynomial on β-acyclic inputs.
+func TestDirectionalNEOClauseBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 40; trial++ {
+		f := RandomInterval(rng, 6+rng.Intn(10), 5+rng.Intn(15), 5)
+		order, ok := f.NestedEliminationOrder()
+		if !ok {
+			t.Fatal("interval formula must have a NEO")
+		}
+		_, peak := f.SolveDirectional(order)
+		if peak > len(f.Clauses)+1 {
+			t.Fatalf("trial %d: peak clauses %d exceeds input %d along NEO",
+				trial, peak, len(f.Clauses))
+		}
+	}
+}
+
+func TestCountBetaAcyclicSmall(t *testing.T) {
+	// #SAT of (x0 ∨ x1) = 3.
+	f := &Formula{NumVars: 2, Clauses: []Clause{clause(t, MkLit(0, true), MkLit(1, true))}}
+	got, err := f.CountBetaAcyclic()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cmp(big.NewInt(3)) != 0 {
+		t.Fatalf("#SAT = %s, want 3", got)
+	}
+	// Unsatisfiable pair of units.
+	f2 := &Formula{NumVars: 1, Clauses: []Clause{
+		clause(t, MkLit(0, true)), clause(t, MkLit(0, false)),
+	}}
+	got2, err := f2.CountBetaAcyclic()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2.Sign() != 0 {
+		t.Fatalf("#SAT = %s, want 0", got2)
+	}
+}
+
+func TestCountBetaAcyclicUnconstrainedVars(t *testing.T) {
+	// A variable in no clause doubles the count.
+	f := &Formula{NumVars: 3, Clauses: []Clause{clause(t, MkLit(0, true))}}
+	got, err := f.CountBetaAcyclic()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cmp(big.NewInt(4)) != 0 {
+		t.Fatalf("#SAT = %s, want 4", got)
+	}
+}
+
+// Property: the #WSAT elimination matches brute-force counting on random
+// β-acyclic (interval) formulas.
+func TestQuickCountMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 120; trial++ {
+		f := RandomInterval(rng, 2+rng.Intn(7), 1+rng.Intn(9), 4)
+		want := f.CountAssignmentsBrute()
+		got, err := f.CountBetaAcyclic()
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if got.Cmp(want) != 0 {
+			t.Fatalf("trial %d: count = %s, brute force %s\nclauses: %v",
+				trial, got, want, f.Clauses)
+		}
+	}
+}
+
+// Property: weighted counting with random rational weights matches brute
+// force (the full #WSAT semantics, not just weight-0 #SAT).
+func TestQuickWeightedCountMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 80; trial++ {
+		f := RandomInterval(rng, 2+rng.Intn(6), 1+rng.Intn(6), 3)
+		wcs := make([]WeightedClause, len(f.Clauses))
+		for i, c := range f.Clauses {
+			wcs[i] = WeightedClause{Clause: c, Weight: big.NewRat(int64(rng.Intn(4)), 1)}
+		}
+		order, ok := f.NestedEliminationOrder()
+		if !ok {
+			t.Fatal("no NEO")
+		}
+		got := CountWSAT(f.NumVars, wcs, order)
+		want := CountWSATBrute(f.NumVars, wcs)
+		if got.Cmp(want) != 0 {
+			t.Fatalf("trial %d: WSAT = %s, brute force %s", trial, got.RatString(), want.RatString())
+		}
+	}
+}
+
+func TestDIMACSRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	f := RandomGeneral(rng, 6, 10, 3)
+	var buf bytes.Buffer
+	if err := f.WriteDIMACS(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g, err := ParseDIMACS(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVars != f.NumVars || len(g.Clauses) != len(f.Clauses) {
+		t.Fatalf("round trip lost structure: %d/%d vars, %d/%d clauses",
+			g.NumVars, f.NumVars, len(g.Clauses), len(f.Clauses))
+	}
+	for i := range f.Clauses {
+		if f.Clauses[i].String() != g.Clauses[i].String() {
+			t.Fatalf("clause %d: %v vs %v", i, f.Clauses[i], g.Clauses[i])
+		}
+	}
+}
+
+func TestParseDIMACSErrors(t *testing.T) {
+	if _, err := ParseDIMACS(strings.NewReader("p cnf x 3\n")); err == nil {
+		t.Fatal("bad header should fail")
+	}
+	if _, err := ParseDIMACS(strings.NewReader("p cnf 2 1\n1 z 0\n")); err == nil {
+		t.Fatal("bad literal should fail")
+	}
+	f, err := ParseDIMACS(strings.NewReader("c comment\np cnf 2 2\n1 2 0\n-1 0\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumVars != 2 || len(f.Clauses) != 2 {
+		t.Fatalf("parsed %d vars %d clauses", f.NumVars, len(f.Clauses))
+	}
+}
+
+func BenchmarkBetaAcyclicCount(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	f := RandomInterval(rng, 60, 80, 6)
+	order, ok := f.NestedEliminationOrder()
+	if !ok {
+		b.Fatal("no NEO")
+	}
+	wcs := make([]WeightedClause, len(f.Clauses))
+	for i, c := range f.Clauses {
+		wcs[i] = WeightedClause{Clause: c, Weight: new(big.Rat)}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		CountWSAT(f.NumVars, wcs, order)
+	}
+}

@@ -1,0 +1,146 @@
+package cnf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math/rand"
+	"strconv"
+	"strings"
+)
+
+// ParseDIMACS reads a CNF formula in DIMACS format.  Tautological clauses
+// are dropped (they are identically true factors).
+func ParseDIMACS(r io.Reader) (*Formula, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	f := &Formula{}
+	declared := -1
+	var lits []Lit
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "c") {
+			continue
+		}
+		if strings.HasPrefix(line, "p") {
+			fields := strings.Fields(line)
+			if len(fields) < 4 || fields[1] != "cnf" {
+				return nil, fmt.Errorf("cnf: bad problem line %q", line)
+			}
+			n, err := strconv.Atoi(fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("cnf: bad variable count in %q", line)
+			}
+			m, err := strconv.Atoi(fields[3])
+			if err != nil {
+				return nil, fmt.Errorf("cnf: bad clause count in %q", line)
+			}
+			declared = m
+			f.NumVars = n
+			continue
+		}
+		for _, tok := range strings.Fields(line) {
+			x, err := strconv.Atoi(tok)
+			if err != nil {
+				return nil, fmt.Errorf("cnf: bad literal %q", tok)
+			}
+			if x == 0 {
+				c, taut := NewClause(lits...)
+				if !taut {
+					f.Clauses = append(f.Clauses, c)
+				}
+				lits = lits[:0]
+				continue
+			}
+			v := x
+			if v < 0 {
+				v = -v
+			}
+			if v > f.NumVars {
+				f.NumVars = v
+			}
+			lits = append(lits, Lit(x))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(lits) > 0 {
+		c, taut := NewClause(lits...)
+		if !taut {
+			f.Clauses = append(f.Clauses, c)
+		}
+	}
+	if declared >= 0 && declared != len(f.Clauses) {
+		// Tautology dropping makes a smaller count legitimate.
+		if len(f.Clauses) > declared {
+			return nil, fmt.Errorf("cnf: %d clauses parsed, %d declared", len(f.Clauses), declared)
+		}
+	}
+	return f, nil
+}
+
+// WriteDIMACS renders the formula in DIMACS format.
+func (f *Formula) WriteDIMACS(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "p cnf %d %d\n", f.NumVars, len(f.Clauses)); err != nil {
+		return err
+	}
+	for _, c := range f.Clauses {
+		var b strings.Builder
+		for _, l := range c.Lits {
+			fmt.Fprintf(&b, "%d ", int(l))
+		}
+		b.WriteString("0\n")
+		if _, err := io.WriteString(w, b.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RandomInterval generates a β-acyclic formula: every clause's variable set
+// is a contiguous interval of [0, n), so all incident-edge sets are nested
+// at the leftmost live variable — interval hypergraphs are β-acyclic.
+// maxLen bounds clause length.
+func RandomInterval(rng *rand.Rand, numVars, numClauses, maxLen int) *Formula {
+	f := &Formula{NumVars: numVars}
+	for len(f.Clauses) < numClauses {
+		ln := 1 + rng.Intn(maxLen)
+		if ln > numVars {
+			ln = numVars
+		}
+		start := rng.Intn(numVars - ln + 1)
+		lits := make([]Lit, ln)
+		for i := 0; i < ln; i++ {
+			lits[i] = MkLit(start+i, rng.Intn(2) == 0)
+		}
+		c, taut := NewClause(lits...)
+		if !taut {
+			f.Clauses = append(f.Clauses, c)
+		}
+	}
+	return f
+}
+
+// RandomGeneral generates an arbitrary random k-CNF (no acyclicity
+// guarantee) for baseline comparisons.
+func RandomGeneral(rng *rand.Rand, numVars, numClauses, k int) *Formula {
+	f := &Formula{NumVars: numVars}
+	for len(f.Clauses) < numClauses {
+		seen := map[int]bool{}
+		var lits []Lit
+		for len(lits) < k {
+			v := rng.Intn(numVars)
+			if seen[v] {
+				continue
+			}
+			seen[v] = true
+			lits = append(lits, MkLit(v, rng.Intn(2) == 0))
+		}
+		c, taut := NewClause(lits...)
+		if !taut {
+			f.Clauses = append(f.Clauses, c)
+		}
+	}
+	return f
+}

@@ -1,0 +1,207 @@
+package cnf
+
+import (
+	"sort"
+)
+
+// SolveDirectional decides satisfiability by directional resolution (the
+// Davis–Putnam procedure, Section 8.3.1): variables are eliminated along
+// the given vertex ordering from the back; eliminating v replaces the
+// clauses mentioning v with all non-tautological resolvents of a positive
+// and a negative occurrence, with subsumption removal.  The procedure is
+// complete for any ordering; along a nested elimination order of a
+// β-acyclic formula every resolution is a subsumption resolution, the
+// clause set never grows, and the run is polynomial (Theorem 8.3).
+// It returns the satisfiability verdict and the peak number of live clauses
+// (the certificate that β-acyclic runs stay polynomial).
+func (f *Formula) SolveDirectional(order []int) (sat bool, peakClauses int) {
+	clauses := dedupe(f.Clauses)
+	peakClauses = len(clauses)
+	for k := len(order) - 1; k >= 0; k-- {
+		v := order[k]
+		var pos, neg, rest []Clause
+		for _, c := range clauses {
+			p, ok := c.Contains(v)
+			switch {
+			case !ok:
+				rest = append(rest, c)
+			case p:
+				pos = append(pos, c)
+			default:
+				neg = append(neg, c)
+			}
+		}
+		for _, cp := range pos {
+			for _, cn := range neg {
+				res, taut := resolve(cp, cn, v)
+				if taut {
+					continue
+				}
+				if len(res.Lits) == 0 {
+					return false, peakClauses
+				}
+				rest = append(rest, res)
+			}
+		}
+		clauses = subsume(dedupe(rest))
+		if len(clauses) > peakClauses {
+			peakClauses = len(clauses)
+		}
+	}
+	// All variables eliminated without deriving ⊥.
+	for _, c := range clauses {
+		if len(c.Lits) == 0 {
+			return false, peakClauses
+		}
+	}
+	return true, peakClauses
+}
+
+// Satisfiable picks the best available strategy: a nested elimination order
+// when the formula is β-acyclic (polynomial), otherwise DPLL.
+func (f *Formula) Satisfiable() bool {
+	if order, ok := f.NestedEliminationOrder(); ok {
+		sat, _ := f.SolveDirectional(order)
+		return sat
+	}
+	return f.SolveDPLL()
+}
+
+// resolve returns the resolvent of cp (containing v) and cn (containing ¬v)
+// on v, reporting tautology.
+func resolve(cp, cn Clause, v int) (Clause, bool) {
+	lits := make([]Lit, 0, len(cp.Lits)+len(cn.Lits)-2)
+	for _, l := range cp.Lits {
+		if l.Var() != v {
+			lits = append(lits, l)
+		}
+	}
+	for _, l := range cn.Lits {
+		if l.Var() != v {
+			lits = append(lits, l)
+		}
+	}
+	return NewClause(lits...)
+}
+
+func dedupe(clauses []Clause) []Clause {
+	seen := map[string]bool{}
+	var out []Clause
+	for _, c := range clauses {
+		k := c.String()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// subsume removes clauses that are supersets of another clause.
+func subsume(clauses []Clause) []Clause {
+	sort.Slice(clauses, func(i, j int) bool { return len(clauses[i].Lits) < len(clauses[j].Lits) })
+	var out []Clause
+	for _, c := range clauses {
+		keep := true
+		for _, d := range out {
+			if d.SubsetOf(c) {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// SolveDPLL is the classical branching baseline with unit propagation.
+// Exponential in the worst case; it is the comparison point for the
+// β-acyclic fast path in benchmarks.
+func (f *Formula) SolveDPLL() bool {
+	clauses := dedupe(f.Clauses)
+	assignment := make([]int8, f.NumVars) // 0 unknown, 1 true, -1 false
+	return dpll(clauses, assignment)
+}
+
+func dpll(clauses []Clause, assignment []int8) bool {
+	// Unit propagation loop.
+	for {
+		unit := Lit(0)
+		for _, c := range clauses {
+			unassigned := 0
+			var last Lit
+			satisfied := false
+			for _, l := range c.Lits {
+				switch {
+				case assignment[l.Var()] == 0:
+					unassigned++
+					last = l
+				case (assignment[l.Var()] == 1) == l.Pos():
+					satisfied = true
+				}
+				if satisfied {
+					break
+				}
+			}
+			if satisfied {
+				continue
+			}
+			if unassigned == 0 {
+				return false // conflict
+			}
+			if unassigned == 1 {
+				unit = last
+				break
+			}
+		}
+		if unit == 0 {
+			break
+		}
+		if unit.Pos() {
+			assignment[unit.Var()] = 1
+		} else {
+			assignment[unit.Var()] = -1
+		}
+	}
+	// Pick an unassigned variable occurring in an unsatisfied clause.
+	branch := -1
+	allSat := true
+	for _, c := range clauses {
+		satisfied := false
+		for _, l := range c.Lits {
+			if assignment[l.Var()] != 0 && (assignment[l.Var()] == 1) == l.Pos() {
+				satisfied = true
+				break
+			}
+		}
+		if satisfied {
+			continue
+		}
+		allSat = false
+		for _, l := range c.Lits {
+			if assignment[l.Var()] == 0 {
+				branch = l.Var()
+				break
+			}
+		}
+		if branch >= 0 {
+			break
+		}
+	}
+	if allSat {
+		return true
+	}
+	if branch < 0 {
+		return false
+	}
+	for _, val := range []int8{1, -1} {
+		next := append([]int8(nil), assignment...)
+		next[branch] = val
+		if dpll(clauses, next) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,86 @@
+// Package compose implements Section 8.5 of the paper: composing FAQ
+// instances at the hypergraph level — each edge of an outer hypergraph H⁰
+// is refined into an inner hypergraph H¹_e on the same vertices — and the
+// width bounds that govern the composition:
+//
+//   - Proposition 8.5: fhtw(H⁰ ∘ H¹) ≤ fhtw(H⁰) · max_e ρ*(H¹_e),
+//   - Lemma 8.7: the bound cannot be improved to fhtw(H⁰)·max_e fhtw(H¹_e)
+//     (the star-of-stars family has an Ω(n) gap).
+package compose
+
+import (
+	"fmt"
+
+	"github.com/faqdb/faq/internal/hypergraph"
+)
+
+// Compose builds H⁰ ∘ H¹: for every edge e of h0, inner[e] supplies a
+// hypergraph whose edges must be subsets of e; the composition keeps h0's
+// vertex set with edge set ∪_e E(inner[e]).
+func Compose(h0 *hypergraph.Hypergraph, inner []*hypergraph.Hypergraph) (*hypergraph.Hypergraph, error) {
+	if len(inner) != len(h0.Edges) {
+		return nil, fmt.Errorf("compose: %d inner hypergraphs for %d edges", len(inner), len(h0.Edges))
+	}
+	out := hypergraph.New(h0.N)
+	for i, sub := range inner {
+		for _, e := range sub.Edges {
+			if !e.SubsetOf(h0.Edges[i]) {
+				return nil, fmt.Errorf("compose: inner edge %s of block %d escapes outer edge %s",
+					e, i, h0.Edges[i])
+			}
+			out.AddEdgeSet(e)
+		}
+	}
+	return out, nil
+}
+
+// Proposition85Bound returns the right-hand side of Proposition 8.5:
+// fhtw(H⁰) · max_e ρ*(vertices of e within H¹_e).  Exact and exponential in
+// the sizes of the hypergraphs.
+func Proposition85Bound(h0 *hypergraph.Hypergraph, inner []*hypergraph.Hypergraph) (float64, error) {
+	if len(inner) != len(h0.Edges) {
+		return 0, fmt.Errorf("compose: %d inner hypergraphs for %d edges", len(inner), len(h0.Edges))
+	}
+	w0 := hypergraph.NewWidthCalc(h0)
+	fhtw0, _ := w0.FHTW()
+	maxRho := 0.0
+	for i, sub := range inner {
+		wc := hypergraph.NewWidthCalc(sub)
+		if r := wc.RhoStar(h0.Edges[i]); r > maxRho {
+			maxRho = r
+		}
+	}
+	return fhtw0 * maxRho, nil
+}
+
+// StarOfStars builds the Lemma 8.7 gap family on 2n vertices
+// {a_1..a_n, b_1..b_n}: H⁰ has edges e_i = {a_1..a_n, b_i} (a star of big
+// edges, fhtw(H⁰) = 1) and each H¹_{e_i} is the star centered at a_i with
+// leaves {a_j}_{j≠i} ∪ {b_i} (fhtw = 1 each).  The composition contains the
+// clique on {a_1..a_n}, so fhtw(H⁰ ∘ H¹) ≥ n/2 while the naive product of
+// component widths is 1.
+func StarOfStars(n int) (h0 *hypergraph.Hypergraph, inner []*hypergraph.Hypergraph) {
+	nv := 2 * n
+	h0 = hypergraph.New(nv)
+	a := func(i int) int { return i }
+	b := func(i int) int { return n + i }
+	for i := 0; i < n; i++ {
+		edge := make([]int, 0, n+1)
+		for j := 0; j < n; j++ {
+			edge = append(edge, a(j))
+		}
+		edge = append(edge, b(i))
+		h0.AddEdge(edge...)
+	}
+	for i := 0; i < n; i++ {
+		sub := hypergraph.New(nv)
+		for j := 0; j < n; j++ {
+			if j != i {
+				sub.AddEdge(a(i), a(j))
+			}
+		}
+		sub.AddEdge(a(i), b(i))
+		inner = append(inner, sub)
+	}
+	return h0, inner
+}

@@ -1,0 +1,92 @@
+package compose
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/faqdb/faq/internal/hypergraph"
+)
+
+func TestComposeValidation(t *testing.T) {
+	h0 := hypergraph.NewWithEdges(3, []int{0, 1, 2})
+	if _, err := Compose(h0, nil); err == nil {
+		t.Fatal("length mismatch should fail")
+	}
+	sub := hypergraph.NewWithEdges(3, []int{0, 1})
+	if _, err := Compose(h0, []*hypergraph.Hypergraph{sub}); err != nil {
+		t.Fatalf("subset inner edge should pass: %v", err)
+	}
+	escape := hypergraph.NewWithEdges(3, []int{1, 2})
+	if _, err := Compose(hypergraph.NewWithEdges(3, []int{0, 1}), []*hypergraph.Hypergraph{escape}); err == nil {
+		t.Fatal("escaping inner edge should fail")
+	}
+}
+
+// Proposition 8.5: fhtw of the composition never exceeds
+// fhtw(H⁰)·max ρ*(H¹_e), on random compositions.
+func TestProposition85(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 20; trial++ {
+		n := 4 + rng.Intn(3)
+		h0 := hypergraph.Random(rng, n, 2+rng.Intn(3), 4)
+		var inner []*hypergraph.Hypergraph
+		for _, e := range h0.Edges {
+			verts := e.Elems()
+			sub := hypergraph.New(n)
+			// Random partition of the outer edge into inner edges, plus
+			// singletons so every vertex stays covered.
+			for _, v := range verts {
+				sub.AddEdge(v)
+			}
+			if len(verts) >= 2 {
+				for k := 0; k < 2; k++ {
+					i, j := rng.Intn(len(verts)), rng.Intn(len(verts))
+					sub.AddEdge(verts[i], verts[j])
+				}
+			}
+			inner = append(inner, sub)
+		}
+		comp, err := Compose(h0, inner)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound, err := Proposition85Bound(h0, inner)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wc := hypergraph.NewWidthCalc(comp)
+		got, _ := wc.FHTW()
+		if got > bound+1e-6 {
+			t.Fatalf("trial %d: fhtw(composition) = %v exceeds Proposition 8.5 bound %v", trial, got, bound)
+		}
+	}
+}
+
+// Lemma 8.7: the star-of-stars family has component widths 1 but composed
+// width ≥ n/2 (it contains K_n), an unbounded gap.
+func TestCompositionGap(t *testing.T) {
+	for _, n := range []int{3, 4} {
+		h0, inner := StarOfStars(n)
+		w0 := hypergraph.NewWidthCalc(h0)
+		if f, _ := w0.FHTW(); f != 1 {
+			t.Fatalf("n=%d: fhtw(H⁰) = %v, want 1", n, f)
+		}
+		for i, sub := range inner {
+			ws := hypergraph.NewWidthCalc(sub)
+			// Restrict to the sub-hypergraph's touched vertices: stars have
+			// fhtw 1.
+			if f, _ := ws.FHTW(); f != 1 {
+				t.Fatalf("n=%d: fhtw(H¹_%d) = %v, want 1", n, i, f)
+			}
+		}
+		comp, err := Compose(h0, inner)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wc := hypergraph.NewWidthCalc(comp)
+		got, _ := wc.FHTW()
+		if got < float64(n)/2-1e-6 {
+			t.Fatalf("n=%d: composed fhtw = %v, want ≥ %v (K_n inside)", n, got, float64(n)/2)
+		}
+	}
+}

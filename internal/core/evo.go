@@ -1,0 +1,318 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/faqdb/faq/internal/bitset"
+)
+
+// Poset is the precedence poset of Definition 6.3/6.22: u ≺ v whenever u
+// lies in a strict ancestor (in the expression tree) of some node containing
+// v.  The relation is stored transitively closed.
+type Poset struct {
+	N    int
+	less [][]bool // less[u][v]: u ≺ v
+}
+
+// NewPoset builds the precedence poset from an expression tree.  It returns
+// an error if the relation is not antisymmetric, which Corollary 6.21 rules
+// out for trees produced by BuildExprTree.
+func NewPoset(root *ExprNode, n int) (*Poset, error) {
+	p := &Poset{N: n, less: make([][]bool, n)}
+	for i := range p.less {
+		p.less[i] = make([]bool, n)
+	}
+	var walk func(node *ExprNode, ancestors []int)
+	walk = func(node *ExprNode, ancestors []int) {
+		for _, u := range ancestors {
+			for _, v := range node.Vars {
+				if u != v {
+					p.less[u][v] = true
+				}
+			}
+		}
+		next := append(append([]int(nil), ancestors...), node.Vars...)
+		for _, c := range node.Children {
+			walk(c, next)
+		}
+	}
+	walk(root, nil)
+	// Transitive closure (copies of product variables can chain relations
+	// across branches).
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			if !p.less[i][k] {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if p.less[k][j] {
+					p.less[i][j] = true
+				}
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j && p.less[i][j] && p.less[j][i] {
+				return nil, fmt.Errorf("core: precedence relation has a cycle through %d and %d", i, j)
+			}
+		}
+	}
+	return p, nil
+}
+
+// Less reports u ≺ v.
+func (p *Poset) Less(u, v int) bool { return p.less[u][v] }
+
+// MaximalIn reports whether v is maximal within the set remaining, i.e. no
+// w ∈ remaining has v ≺ w.  Maximal elements are the ones an elimination
+// order may remove first.
+func (p *Poset) MaximalIn(remaining bitset.Set, v int) bool {
+	ok := true
+	remaining.ForEach(func(w int) {
+		if ok && p.less[v][w] {
+			ok = false
+		}
+	})
+	return ok
+}
+
+// IsLinearExtension reports whether order respects the poset.
+func (p *Poset) IsLinearExtension(order []int) bool {
+	pos := make([]int, p.N)
+	for i, v := range order {
+		pos[v] = i
+	}
+	for u := 0; u < p.N; u++ {
+		for v := 0; v < p.N; v++ {
+			if p.less[u][v] && pos[u] > pos[v] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// EnumerateLinearExtensions yields every linear extension of the poset until
+// yield returns false.  Exponential; intended for query-complexity-sized
+// instances.
+func (p *Poset) EnumerateLinearExtensions(yield func(order []int) bool) {
+	order := make([]int, 0, p.N)
+	used := make([]bool, p.N)
+	placedBefore := func(v int) bool {
+		for u := 0; u < p.N; u++ {
+			if p.less[u][v] && !used[u] {
+				return false
+			}
+		}
+		return true
+	}
+	stop := false
+	var rec func()
+	rec = func() {
+		if stop {
+			return
+		}
+		if len(order) == p.N {
+			if !yield(order) {
+				stop = true
+			}
+			return
+		}
+		for v := 0; v < p.N; v++ {
+			if used[v] || !placedBefore(v) {
+				continue
+			}
+			used[v] = true
+			order = append(order, v)
+			rec()
+			order = order[:len(order)-1]
+			used[v] = false
+		}
+	}
+	rec()
+}
+
+// CountLinearExtensions counts linear extensions up to the given cap.
+func (p *Poset) CountLinearExtensions(cap int) int {
+	n := 0
+	p.EnumerateLinearExtensions(func([]int) bool {
+		n++
+		return n < cap
+	})
+	return n
+}
+
+// ---------------------------------------------------------------------------
+// EVO membership via component-wise equivalence (Definitions 6.10/6.25,
+// Theorems 6.12/6.27: EVO(φ) = CWE(LinEx(P))).
+// ---------------------------------------------------------------------------
+
+// InEVO reports whether order is a φ-equivalent variable ordering, by
+// checking component-wise equivalence against the linear extensions of the
+// precedence poset.  Exponential in query size; used by tests, tools and
+// small instances.  Orderings produced by the planners are linear extensions
+// by construction and do not need this check.
+func InEVO(s *Shape, order []int) (bool, error) {
+	if err := s.checkOrder(order); err != nil {
+		return false, err
+	}
+	tree := BuildExprTree(s)
+	poset, err := NewPoset(tree, s.N)
+	if err != nil {
+		return false, err
+	}
+	found := false
+	poset.EnumerateLinearExtensions(func(pi []int) bool {
+		if cwEquivalent(s, s.H.Vertices(), soundEdges(s), order, pi) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found, nil
+}
+
+// CWEquivalent reports component-wise equivalence of two orderings of the
+// full variable set (Definition 6.25).
+func CWEquivalent(s *Shape, sigma, pi []int) bool {
+	return cwEquivalent(s, s.H.Vertices(), soundEdges(s), sigma, pi)
+}
+
+func cwEquivalent(s *Shape, vars bitset.Set, edges []bitset.Set, sigma, pi []int) bool {
+	if vars.Len() <= 1 {
+		return true
+	}
+	comps, _ := extendedComponents(s, vars, edges, bitset.Set{})
+	switch len(comps) {
+	case 0:
+		// Only dangling product variables remain: order is immaterial.
+		return true
+	case 1:
+		c := comps[0]
+		sig := filterOrder(sigma, c.verts)
+		p := filterOrder(pi, c.verts)
+		if len(sig) == 0 {
+			return true
+		}
+		if c.verts.Len() < vars.Len() {
+			// Shrink to the component (dangling vars are unconstrained).
+			if !c.verts.Equal(vars) {
+				return cwEquivalent(s, c.verts, c.edges, sig, p)
+			}
+		}
+		v0 := sig[0]
+		if !s.Product.Contains(v0) {
+			// Free or semiring head: both orderings must start with it.
+			if p[0] != v0 {
+				return false
+			}
+			rest := c.verts.Clone()
+			rest.Remove(v0)
+			return cwEquivalent(s, rest, removeVar(c.edges, v0), sig[1:], p[1:])
+		}
+		// Product head: some shared product prefix L of length ≥ 1 must
+		// match as a set; try every feasible split.
+		maxP := productPrefixLen(s, sig)
+		if q := productPrefixLen(s, p); q < maxP {
+			maxP = q
+		}
+		for plen := 1; plen <= maxP; plen++ {
+			a := bitset.FromSlice(sig[:plen])
+			b := bitset.FromSlice(p[:plen])
+			if !a.Equal(b) {
+				continue
+			}
+			rest := c.verts.Minus(a)
+			ed := c.edges
+			a.ForEach(func(v int) { ed = removeVar(ed, v) })
+			if cwEquivalent(s, rest, ed, sig[plen:], p[plen:]) {
+				return true
+			}
+		}
+		return false
+	default:
+		for _, c := range comps {
+			if !cwEquivalent(s, c.verts, c.edges, filterOrder(sigma, c.verts), filterOrder(pi, c.verts)) {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+func filterOrder(order []int, within bitset.Set) []int {
+	var out []int
+	for _, v := range order {
+		if within.Contains(v) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func removeVar(edges []bitset.Set, v int) []bitset.Set {
+	out := make([]bitset.Set, 0, len(edges))
+	for _, e := range edges {
+		c := e.Clone()
+		c.Remove(v)
+		if !c.IsEmpty() {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func productPrefixLen(s *Shape, order []int) int {
+	n := 0
+	for _, v := range order {
+		if !s.Product.Contains(v) {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+// EnumerateEVO lists every φ-equivalent ordering by exhaustive search over
+// permutations; exponential, for tests and the faqplan tool only.
+func EnumerateEVO(s *Shape) ([][]int, error) {
+	tree := BuildExprTree(s)
+	poset, err := NewPoset(tree, s.N)
+	if err != nil {
+		return nil, err
+	}
+	var linex [][]int
+	poset.EnumerateLinearExtensions(func(pi []int) bool {
+		linex = append(linex, append([]int(nil), pi...))
+		return true
+	})
+	var out [][]int
+	perm := make([]int, s.N)
+	for i := range perm {
+		perm[i] = i
+	}
+	edges := soundEdges(s)
+	var rec func(k int)
+	rec = func(k int) {
+		if k == s.N {
+			if err := s.checkOrder(perm); err != nil {
+				return
+			}
+			for _, pi := range linex {
+				if cwEquivalent(s, s.H.Vertices(), edges, perm, pi) {
+					out = append(out, append([]int(nil), perm...))
+					return
+				}
+			}
+			return
+		}
+		for i := k; i < s.N; i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			rec(k + 1)
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+	}
+	rec(0)
+	return out, nil
+}

@@ -1,0 +1,335 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/faqdb/faq/internal/bitset"
+)
+
+// ExprNode is a node of the expression tree (Definitions 6.1/6.18): a set of
+// variables sharing one tag, with children for the (extended) connected
+// components that arise after conditioning on the node.  Product variables
+// may occur in several nodes (copies); semiring and free variables occur in
+// exactly one.
+type ExprNode struct {
+	Vars     []int // sorted ascending
+	Tag      string
+	Children []*ExprNode
+}
+
+// effectiveEdges returns the hyperedges the ordering theory operates on.
+//
+// When the product ⊗ is not promised idempotent on the inputs, every edge
+// is extended with all product variables (Definition 6.30) so that product
+// variables impose order on the rest even across components.
+//
+// Under the idempotent-inputs promise a further anchoring is required for
+// soundness under flat rewriting (Definition 5.7 semantics, which is what
+// running InsideOut along σ implements): a semiring aggregate not closed
+// under D_I (Σ over N in #QCQ, say) produces intermediate values outside
+// D_I, so it may not move inside a product scope even when its component
+// is disjoint from the product variable — the product would raise its
+// value to the |Dom| power.  (The paper's Figure 6 tree is sound under the
+// scoped-factorization reading used in Example 6.19's derivation; see
+// BuildExprTreeScoped.)  We therefore extend every edge touching a
+// non-closed variable with all product variables, which pins those
+// variables outside all product scopes exactly as in the input form (21).
+func effectiveEdges(s *Shape, scoped bool) []bitset.Set {
+	edges := make([]bitset.Set, len(s.H.Edges))
+	extendAll := !s.IdempotentInputs && !s.Product.IsEmpty()
+	anchor := !scoped && !s.Product.IsEmpty() && !s.NonClosed.IsEmpty()
+	for i, e := range s.H.Edges {
+		c := e.Clone()
+		if extendAll || (anchor && e.Intersects(s.NonClosed)) {
+			c.UnionWith(s.Product)
+		}
+		edges[i] = c
+	}
+	return edges
+}
+
+// soundEdges is effectiveEdges in the flat-rewriting (sound) mode used by
+// the planner and the EVO machinery.
+func soundEdges(s *Shape) []bitset.Set { return effectiveEdges(s, false) }
+
+// BuildExprTree constructs the compressed expression tree of the query
+// (compartmentalization then compression).  The root always carries the
+// free variables with tag "free"; it is empty when the query has none
+// (the paper's dummy variable X₀ device).
+func BuildExprTree(s *Shape) *ExprNode {
+	return buildTree(s, soundEdges(s))
+}
+
+// BuildExprTreeScoped builds the expression tree exactly as in Definition
+// 6.18, without the non-closed-aggregate anchoring of BuildExprTree.  The
+// resulting tree matches the paper's Figures 2–6 and is sound under the
+// scoped factorization of Example 6.19, but its linear extensions are not
+// all value-preserving under flat rewriting; use it for display and for
+// reproducing the paper's figures only.
+func BuildExprTreeScoped(s *Shape) *ExprNode {
+	return buildTree(s, effectiveEdges(s, true))
+}
+
+func buildTree(s *Shape, edges []bitset.Set) *ExprNode {
+	seq := make([]int, s.N)
+	for i := range seq {
+		seq[i] = i
+	}
+	root := compartmentalize(s, seq, edges, true)
+	compress(root)
+	sortTree(root)
+	return root
+}
+
+// extComponent is one extended component: its vertex set V′ (component
+// vertices plus adjacent product variables) and edge set E′.
+type extComponent struct {
+	verts bitset.Set
+	edges []bitset.Set
+}
+
+// extendedComponents splits (vars, edges) around the removed block L:
+// W is the set of product variables of vars outside L; base components of
+// vars − L − W are extended with their adjacent W variables (Definition
+// 6.18).  The second result is the dangling product set D.
+func extendedComponents(s *Shape, vars bitset.Set, edges []bitset.Set, l bitset.Set) ([]extComponent, bitset.Set) {
+	w := vars.Intersect(s.Product).Minus(l)
+	base := vars.Minus(l).Minus(w)
+
+	// Union-find over base vertices through edge intersections.
+	parent := map[int]int{}
+	var find func(int) int
+	find = func(x int) int {
+		if parent[x] != x {
+			parent[x] = find(parent[x])
+		}
+		return parent[x]
+	}
+	base.ForEach(func(v int) { parent[v] = v })
+	for _, e := range edges {
+		in := e.Intersect(base).Elems()
+		for i := 1; i < len(in); i++ {
+			ra, rb := find(in[0]), find(in[i])
+			if ra != rb {
+				parent[ra] = rb
+			}
+		}
+	}
+	groups := map[int]*bitset.Set{}
+	var roots []int
+	base.ForEach(func(v int) {
+		r := find(v)
+		g, ok := groups[r]
+		if !ok {
+			sset := bitset.New()
+			groups[r] = &sset
+			g = &sset
+			roots = append(roots, r)
+		}
+		g.Add(v)
+	})
+	sort.Ints(roots)
+
+	var comps []extComponent
+	for _, r := range roots {
+		c := *groups[r]
+		vprime := c.Clone()
+		var eprime []bitset.Set
+		for _, e := range edges {
+			if !e.Intersects(c) {
+				continue
+			}
+			vprime.UnionWith(e.Intersect(w))
+		}
+		for _, e := range edges {
+			if !e.Intersects(c) {
+				continue
+			}
+			ee := e.Intersect(vprime)
+			if !ee.IsEmpty() {
+				eprime = append(eprime, ee)
+			}
+		}
+		comps = append(comps, extComponent{verts: vprime, edges: eprime})
+	}
+
+	// Dangling product set: D = ∪ { S∩W : S ∈ E, (S \ L) ⊆ W }.
+	dangling := bitset.New()
+	for _, e := range edges {
+		rest := e.Intersect(vars).Minus(l)
+		if rest.SubsetOf(w) {
+			dangling.UnionWith(rest)
+		}
+	}
+	return comps, dangling
+}
+
+// compartmentalize builds the uncompressed expression tree for the tagged
+// variable sequence seq with hyperedges edges.  At the top level the root is
+// forced to be the (possibly empty) free block.
+func compartmentalize(s *Shape, seq []int, edges []bitset.Set, top bool) *ExprNode {
+	if len(seq) == 0 && !top {
+		return nil
+	}
+	var l []int
+	if top {
+		for _, v := range seq {
+			if s.Tags[v] != tagFree {
+				break
+			}
+			l = append(l, v)
+		}
+	} else {
+		tag := s.Tags[seq[0]]
+		for _, v := range seq {
+			if s.Tags[v] != tag {
+				break
+			}
+			l = append(l, v)
+		}
+	}
+	tag := tagFree
+	if !top {
+		tag = s.Tags[seq[0]]
+	}
+	node := &ExprNode{Vars: append([]int(nil), l...), Tag: tag}
+	sort.Ints(node.Vars)
+	if len(l) == len(seq) {
+		return node
+	}
+
+	varSet := bitset.FromSlice(seq)
+	lset := bitset.FromSlice(l)
+	comps, dangling := extendedComponents(s, varSet, edges, lset)
+	for _, c := range comps {
+		var sub []int
+		for _, v := range seq {
+			if c.verts.Contains(v) {
+				sub = append(sub, v)
+			}
+		}
+		if child := compartmentalize(s, sub, c.edges, false); child != nil {
+			node.Children = append(node.Children, child)
+		}
+	}
+	if !dangling.IsEmpty() {
+		node.Children = append(node.Children, &ExprNode{Vars: dangling.Elems(), Tag: tagProduct})
+	}
+	return node
+}
+
+// compress repeatedly merges children sharing the parent's tag
+// (Definition 6.1, compression step).
+func compress(n *ExprNode) {
+	for {
+		merged := false
+		var kids []*ExprNode
+		for _, c := range n.Children {
+			if c.Tag == n.Tag {
+				n.Vars = unionSorted(n.Vars, c.Vars)
+				kids = append(kids, c.Children...)
+				merged = true
+			} else {
+				kids = append(kids, c)
+			}
+		}
+		n.Children = kids
+		if !merged {
+			break
+		}
+	}
+	for _, c := range n.Children {
+		compress(c)
+	}
+}
+
+func unionSorted(a, b []int) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, x := range a {
+		if !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	for _, x := range b {
+		if !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// sortTree orders children canonically (by their rendered form) so golden
+// tests and printouts are deterministic.
+func sortTree(n *ExprNode) {
+	for _, c := range n.Children {
+		sortTree(c)
+	}
+	sort.Slice(n.Children, func(i, j int) bool {
+		return n.Children[i].Render() < n.Children[j].Render()
+	})
+}
+
+// Render serializes the tree one-line: "{1,2}op:sum[{3}op:max[...] ...]".
+func (n *ExprNode) Render() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, v := range n.Vars {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", v)
+	}
+	b.WriteByte('}')
+	b.WriteString(n.Tag)
+	if len(n.Children) > 0 {
+		b.WriteByte('[')
+		for i, c := range n.Children {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			b.WriteString(c.Render())
+		}
+		b.WriteByte(']')
+	}
+	return b.String()
+}
+
+// Pretty renders the tree as an indented multi-line listing with variable
+// names supplied by name(v).
+func (n *ExprNode) Pretty(name func(int) string) string {
+	var b strings.Builder
+	var walk func(node *ExprNode, depth int)
+	walk = func(node *ExprNode, depth int) {
+		b.WriteString(strings.Repeat("  ", depth))
+		var names []string
+		for _, v := range node.Vars {
+			names = append(names, name(v))
+		}
+		fmt.Fprintf(&b, "[%s] %s\n", strings.Join(names, ","), node.Tag)
+		for _, c := range node.Children {
+			walk(c, depth+1)
+		}
+	}
+	walk(n, 0)
+	return b.String()
+}
+
+// Nodes returns the tree in preorder.
+func (n *ExprNode) Nodes() []*ExprNode {
+	var out []*ExprNode
+	var walk func(node *ExprNode)
+	walk = func(node *ExprNode) {
+		out = append(out, node)
+		for _, c := range node.Children {
+			walk(c)
+		}
+	}
+	walk(n)
+	return out
+}

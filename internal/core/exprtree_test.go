@@ -1,0 +1,274 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/faqdb/faq/internal/bitset"
+	"github.com/faqdb/faq/internal/hypergraph"
+)
+
+// shapeOf builds a Shape directly (tests don't need factors).
+func shapeOf(n, numFree int, tags []string, edges [][]int, idem bool) *Shape {
+	s := &Shape{
+		H:                hypergraph.NewWithEdges(n, edges...),
+		N:                n,
+		NumFree:          numFree,
+		Tags:             tags,
+		IdempotentInputs: idem,
+	}
+	for i, t := range tags {
+		if t == tagProduct {
+			s.Product.Add(i)
+		}
+		// Mirror Query.Shape's convention: sum is the one non-idempotent
+		// (hence non-D_I-closed) aggregate used in these tests.
+		if t == "op:sum" {
+			s.NonClosed.Add(i)
+		}
+	}
+	return s
+}
+
+// example62 is the query of Example 6.2 (Figures 2–3), 0-indexed:
+// φ = Σx0 Σx1 max x2 Σx3 Σx4 max x5 max x6  ψ01 ψ024 ψ03 ψ135 ψ16 ψ26.
+func example62() *Shape {
+	tags := []string{"op:sum", "op:sum", "op:max", "op:sum", "op:sum", "op:max", "op:max"}
+	edges := [][]int{{0, 1}, {0, 2, 4}, {0, 3}, {1, 3, 5}, {1, 6}, {2, 6}}
+	return shapeOf(7, 0, tags, edges, false)
+}
+
+func TestExprTreeExample62(t *testing.T) {
+	// Figure 3b: final tree is {1,2,4}Σ → [{3,7}max → {5}Σ, {6}max]
+	// which in 0-indexed variables is {0,1,3}Σ → [{2,6}max → {4}Σ, {5}max].
+	tree := BuildExprTree(example62())
+	want := "{}free[{0,1,3}op:sum[{2,6}op:max[{4}op:sum] {5}op:max]]"
+	if got := tree.Render(); got != want {
+		t.Fatalf("expression tree mismatch:\n got  %s\n want %s", got, want)
+	}
+}
+
+func TestExprTreeExample62Poset(t *testing.T) {
+	s := example62()
+	tree := BuildExprTree(s)
+	p, err := NewPoset(tree, s.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Root block {0,1,3} precedes everything else.
+	for _, u := range []int{0, 1, 3} {
+		for _, v := range []int{2, 4, 5, 6} {
+			if !p.Less(u, v) {
+				t.Errorf("want %d ≺ %d", u, v)
+			}
+		}
+	}
+	// {2,6} precedes {4} but not {5}.
+	if !p.Less(2, 4) || !p.Less(6, 4) {
+		t.Error("want 2,6 ≺ 4")
+	}
+	if p.Less(2, 5) || p.Less(5, 2) {
+		t.Error("2 and 5 must be incomparable")
+	}
+	if p.Less(0, 0) {
+		t.Error("relation must be irreflexive")
+	}
+}
+
+// example619 is Example 6.19 (Figures 4–6), 0-indexed:
+// φ = max x0 max x1 Σx2 Σx3 Πx4 max x5 Πx6 max x7
+//
+//	ψ02 ψ13 ψ23 ψ04 ψ05 ψ15 ψ146 ψ056 ψ167, all factors {0,1}-valued.
+func example619() *Shape {
+	tags := []string{"op:max", "op:max", "op:sum", "op:sum", tagProduct, "op:max", tagProduct, "op:max"}
+	edges := [][]int{{0, 2}, {1, 3}, {2, 3}, {0, 4}, {0, 5}, {1, 5}, {1, 4, 6}, {0, 5, 6}, {1, 6, 7}}
+	return shapeOf(8, 0, tags, edges, true)
+}
+
+func TestExprTreeExample619Scoped(t *testing.T) {
+	// Figure 6 (right): {1,2,6}max → [{5,7}Π, {3,4}Σ, {7}Π, {7}Π → {8}max]
+	// 0-indexed: {0,1,5}max → [{4,6}⊗, {2,3}Σ, {6}⊗, {6}⊗ → {7}max].
+	// This is Definition 6.18 verbatim, reproduced by the scoped builder.
+	tree := BuildExprTreeScoped(example619())
+	want := "{}free[{0,1,5}op:max[{2,3}op:sum {4,6}⊗ {6}⊗ {6}⊗[{7}op:max]]]"
+	if got := tree.Render(); got != want {
+		t.Fatalf("expression tree mismatch:\n got  %s\n want %s", got, want)
+	}
+}
+
+func TestExprTreeExample619Sound(t *testing.T) {
+	// Under flat rewriting semantics the Σ block {2,3} must stay outside the
+	// product scopes (Σ over N is not closed under D_I = {0,1}), so the
+	// sound tree anchors it above a {4,6}⊗ child.  See
+	// TestFlatRewritingAnchorsNonClosedSums for the semantic counterexample.
+	tree := BuildExprTree(example619())
+	want := "{}free[{0,1,5}op:max[{2,3}op:sum[{4,6}⊗] {4,6}⊗ {6}⊗ {6}⊗[{7}op:max]]]"
+	if got := tree.Render(); got != want {
+		t.Fatalf("expression tree mismatch:\n got  %s\n want %s", got, want)
+	}
+}
+
+func TestExprTreeExample619Poset(t *testing.T) {
+	s := example619()
+	p, err := NewPoset(BuildExprTreeScoped(s), s.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Product variable 6 has copies in several nodes; none is an ancestor of
+	// another (Lemma 6.20), and 6 ≺ 7 through the {6}⊗ → {7}max branch.
+	if !p.Less(6, 7) {
+		t.Error("want 6 ≺ 7")
+	}
+	if !p.Less(0, 2) || !p.Less(5, 2) {
+		t.Error("root block must precede Σ block")
+	}
+	if p.Less(2, 4) || p.Less(4, 2) {
+		t.Error("{2,3} and dangling {4,6} are incomparable in the scoped tree")
+	}
+	// The sound tree additionally pins the Σ block before the products.
+	ps, err := NewPoset(BuildExprTree(s), s.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ps.Less(2, 4) || !ps.Less(3, 4) || !ps.Less(2, 6) {
+		t.Error("sound tree must order the Σ block before product variables")
+	}
+}
+
+func TestExprTreeFAQSSIsFlat(t *testing.T) {
+	// For FAQ-SS (single semiring aggregate everywhere) the tree has depth
+	// ≤ 1: root of free variables, one child per connected component.
+	tags := []string{tagFree, "op:sum", "op:sum", "op:sum"}
+	edges := [][]int{{0, 1}, {1, 2}, {3}}
+	s := shapeOf(4, 1, tags, edges, false)
+	tree := BuildExprTree(s)
+	want := "{0}free[{1,2}op:sum {3}op:sum]"
+	if got := tree.Render(); got != want {
+		t.Fatalf("tree = %s, want %s", got, want)
+	}
+}
+
+func TestExprTreeSingleBlock(t *testing.T) {
+	tags := []string{"op:sum", "op:sum"}
+	s := shapeOf(2, 0, tags, [][]int{{0, 1}}, false)
+	tree := BuildExprTree(s)
+	if got := tree.Render(); got != "{}free[{0,1}op:sum]" {
+		t.Fatalf("tree = %s", got)
+	}
+}
+
+func TestExprTreeNonIdempotentProductExtension(t *testing.T) {
+	// Example 6.29: φ = Σx0 Πx1 Σx2 ψ02(x0,x2) ψ1(x1).  With non-idempotent
+	// ⊗, x1 imposes an order: edges are extended with the product variable,
+	// so x0 must precede x2 and x2 may not be pulled into x0's block.
+	tags := []string{"op:sum", tagProduct, "op:sum"}
+	edges := [][]int{{0, 2}, {1}}
+	s := shapeOf(3, 0, tags, edges, false)
+	tree := BuildExprTree(s)
+	p, err := NewPoset(tree, s.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Less(0, 2) {
+		t.Fatalf("with non-idempotent ⊗, 0 must precede 2; tree = %s", tree.Render())
+	}
+	// Σ is not closed under D_I, so even under the idempotent-inputs promise
+	// the sound tree keeps 0 ≺ 2 (anchoring); the scoped Definition 6.18
+	// tree would not.
+	s2 := shapeOf(3, 0, tags, edges, true)
+	p2, err := NewPoset(BuildExprTree(s2), s2.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p2.Less(0, 2) {
+		t.Fatalf("non-closed Σ must stay anchored; tree = %s", BuildExprTree(s2).Render())
+	}
+	p2s, err := NewPoset(BuildExprTreeScoped(s2), s2.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2s.Less(0, 2) || p2s.Less(2, 0) {
+		t.Fatalf("scoped tree leaves 0 and 2 unrelated; tree = %s", BuildExprTreeScoped(s2).Render())
+	}
+	// With a D_I-closed aggregate (max) the variables really are unrelated
+	// even in the sound tree.
+	s3 := shapeOf(3, 0, []string{"op:max", tagProduct, "op:max"}, edges, true)
+	p3, err := NewPoset(BuildExprTree(s3), s3.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p3.Less(0, 2) || p3.Less(2, 0) {
+		t.Fatalf("closed max aggregates may commute past the product; tree = %s", BuildExprTree(s3).Render())
+	}
+}
+
+// TestFlatRewritingAnchorsNonClosedSums is the semantic counterexample
+// behind the anchoring deviation: for φ = Σx0 Σx1 Πx2 ψ0 ψ02 ψ1 with
+// {0,1}-valued inputs, hoisting Πx2 above Σx1 changes the value (the count
+// Σx1 ψ1 ∉ {0,1} gets powered), so (0,2,1) must not be φ-equivalent.
+func TestFlatRewritingAnchorsNonClosedSums(t *testing.T) {
+	tags := []string{"op:sum", "op:sum", tagProduct}
+	edges := [][]int{{0}, {0, 2}, {1}}
+	s := shapeOf(3, 0, tags, edges, true)
+	if ok, err := InEVO(s, []int{0, 2, 1}); err != nil || ok {
+		t.Fatalf("InEVO((0,2,1)) = %v, %v; flat rewriting makes it inequivalent", ok, err)
+	}
+	if ok, err := InEVO(s, []int{0, 1, 2}); err != nil || !ok {
+		t.Fatalf("InEVO(expression order) = %v, %v; want true", ok, err)
+	}
+	if ok, err := InEVO(s, []int{1, 0, 2}); err != nil || !ok {
+		t.Fatalf("InEVO((1,0,2)) = %v, %v; the two Σ blocks may swap", ok, err)
+	}
+}
+
+func TestPosetLinearExtensions(t *testing.T) {
+	s := example62()
+	p, err := NewPoset(BuildExprTree(s), s.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	p.EnumerateLinearExtensions(func(order []int) bool {
+		count++
+		if !p.IsLinearExtension(order) {
+			t.Fatalf("enumerated order %v is not a linear extension", order)
+		}
+		return count < 10000
+	})
+	if count == 0 {
+		t.Fatal("no linear extensions found")
+	}
+	// The expression order is NOT a linear extension here: compression
+	// merged variable 3 into the root block, which now precedes variable 2
+	// that is written earlier in the expression.  (It is still in EVO —
+	// Theorem 6.12 says EVO = CWE(LinEx(P)), a strict superset.)
+	if p.IsLinearExtension(s.ExpressionOrder()) {
+		t.Fatal("compression should have reordered 3 before 2")
+	}
+	// An order violating the root block is not.
+	if p.IsLinearExtension([]int{4, 0, 1, 2, 3, 5, 6}) {
+		t.Fatal("4 before the root block must violate the poset")
+	}
+}
+
+func TestExtendedComponentsDangling(t *testing.T) {
+	// From Example 6.19's first level: removing L = {0,1} with product set
+	// {4,6} leaves components {2,3}, {5,6}, {6,7} and dangling D = {4,6}.
+	s := example619()
+	comps, dangling := extendedComponents(s, s.H.Vertices(), effectiveEdges(s, true), bitset.New(0, 1))
+	if len(comps) != 3 {
+		t.Fatalf("got %d extended components, want 3", len(comps))
+	}
+	wantVerts := []bitset.Set{bitset.New(2, 3), bitset.New(4, 5, 6), bitset.New(6, 7)}
+	// Note: component of {5} extends with product vars of its edges; edge
+	// {0,5,6} brings 6, and... check against construction: {5}'s edges are
+	// {0,5},{1,5},{0,5,6} so V' = {5,6}.
+	wantVerts[1] = bitset.New(5, 6)
+	for i, c := range comps {
+		if !c.verts.Equal(wantVerts[i]) {
+			t.Errorf("component %d = %v, want %v", i, c.verts, wantVerts[i])
+		}
+	}
+	if !dangling.Equal(bitset.New(4, 6)) {
+		t.Errorf("dangling = %v, want {4, 6}", dangling)
+	}
+}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"github.com/faqdb/faq/internal/factor"
+)
+
+// BruteForce evaluates the query by direct recursion over Eq. (1): for every
+// assignment of the free variables it folds the bound aggregates from the
+// outermost in, enumerating the full domain box.  Exponential in n; it is
+// the ground-truth oracle for the test suite and the "no non-trivial
+// algorithm" baseline of Table 1.
+func BruteForce[V any](q *Query[V]) (*factor.Factor[V], error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	assignment := make([]int, q.NVars)
+	var evalBound func(i int) V
+	evalBound = func(i int) V {
+		if i == q.NVars {
+			val := q.D.One
+			for _, f := range q.Factors {
+				val = q.D.Mul(val, f.At(q.D, assignment))
+				if q.D.IsZero(val) {
+					return q.D.Zero
+				}
+			}
+			return val
+		}
+		var acc V
+		first := true
+		for x := 0; x < q.DomSizes[i]; x++ {
+			assignment[i] = x
+			v := evalBound(i + 1)
+			if first {
+				acc = v
+				first = false
+				continue
+			}
+			if q.Aggs[i].Kind == KindProduct {
+				acc = q.D.Mul(acc, v)
+			} else {
+				acc = q.Aggs[i].Op.Combine(acc, v)
+			}
+		}
+		return acc
+	}
+
+	var tuples [][]int
+	var values []V
+	var freeRec func(i int)
+	freeRec = func(i int) {
+		if i == q.NumFree {
+			v := evalBound(q.NumFree)
+			if !q.D.IsZero(v) {
+				t := make([]int, q.NumFree)
+				copy(t, assignment[:q.NumFree])
+				tuples = append(tuples, t)
+				values = append(values, v)
+			}
+			return
+		}
+		for x := 0; x < q.DomSizes[i]; x++ {
+			assignment[i] = x
+			freeRec(i + 1)
+		}
+	}
+	freeRec(0)
+	freeVars := make([]int, q.NumFree)
+	for i := range freeVars {
+		freeVars[i] = i
+	}
+	return factor.New(q.D, freeVars, tuples, values, nil)
+}
+
+// BruteForceScalar is BruteForce for queries without free variables.
+func BruteForceScalar[V any](q *Query[V]) (V, error) {
+	out, err := BruteForce(q)
+	if err != nil {
+		var zero V
+		return zero, err
+	}
+	if out.Size() == 0 {
+		return q.D.Zero, nil
+	}
+	return out.Values[0], nil
+}

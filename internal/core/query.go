@@ -1,0 +1,249 @@
+// Package core implements the FAQ problem and the InsideOut algorithm of
+// the paper, together with its planning machinery: expression trees and
+// precedence posets (Section 6), equivalent variable orderings EVO(φ),
+// the FAQ-width faqw (Definitions 5.10/5.11), an exact width optimizer over
+// LinEx(P) (Corollaries 6.14/6.28) and the approximation algorithm of
+// Section 7.
+package core
+
+import (
+	"fmt"
+
+	"github.com/faqdb/faq/internal/bitset"
+	"github.com/faqdb/faq/internal/factor"
+	"github.com/faqdb/faq/internal/hypergraph"
+	"github.com/faqdb/faq/internal/semiring"
+)
+
+// Kind classifies a variable of an FAQ query.
+type Kind int
+
+const (
+	// KindFree marks a free (output) variable.
+	KindFree Kind = iota
+	// KindSemiring marks a bound variable whose aggregate ⊕ forms a
+	// semiring (D, ⊕, ⊗).
+	KindSemiring
+	// KindProduct marks a bound variable aggregated by ⊗ itself.
+	KindProduct
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindFree:
+		return "free"
+	case KindSemiring:
+		return "semiring"
+	case KindProduct:
+		return "product"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Aggregate is the per-variable aggregate ⊕(i) of Eq. (1).
+type Aggregate[V any] struct {
+	Kind Kind
+	Op   *semiring.Op[V] // non-nil exactly when Kind == KindSemiring
+}
+
+// Free, SemiringAgg and ProductAgg are aggregate constructors.
+func Free[V any]() Aggregate[V] { return Aggregate[V]{Kind: KindFree} }
+
+// SemiringAgg wraps a semiring aggregate operator.
+func SemiringAgg[V any](op *semiring.Op[V]) Aggregate[V] {
+	return Aggregate[V]{Kind: KindSemiring, Op: op}
+}
+
+// ProductAgg marks the variable as aggregated by the product ⊗.
+func ProductAgg[V any]() Aggregate[V] { return Aggregate[V]{Kind: KindProduct} }
+
+// Query is an FAQ instance in the normal form of Eq. (1): variables are
+// numbered 0..NVars-1 in expression order, the first NumFree of them are
+// free, and every bound variable i carries its aggregate Aggs[i].
+type Query[V any] struct {
+	D        *semiring.Domain[V]
+	NVars    int
+	DomSizes []int
+	Names    []string // optional; defaults to x0, x1, ...
+	NumFree  int
+	Aggs     []Aggregate[V]
+	Factors  []*factor.Factor[V]
+
+	// IdempotentInputs promises that every input factor takes only
+	// ⊗-idempotent values (e.g. {0, 1} in logic reductions).  It widens
+	// EVO(φ, F(D_I)) per Section 6.2 and lets product aggregates commute
+	// with factoring-out (Definition 5.2).
+	IdempotentInputs bool
+}
+
+// Validate checks structural invariants.  It is called by the solver
+// entry points; queries must pass before evaluation.
+func (q *Query[V]) Validate() error {
+	if q.D == nil {
+		return fmt.Errorf("core: query has no domain")
+	}
+	if q.NVars < 0 || q.NumFree < 0 || q.NumFree > q.NVars {
+		return fmt.Errorf("core: bad variable counts (n=%d, f=%d)", q.NVars, q.NumFree)
+	}
+	if len(q.DomSizes) != q.NVars {
+		return fmt.Errorf("core: %d domain sizes for %d variables", len(q.DomSizes), q.NVars)
+	}
+	if len(q.Aggs) != q.NVars {
+		return fmt.Errorf("core: %d aggregates for %d variables", len(q.Aggs), q.NVars)
+	}
+	for i, a := range q.Aggs {
+		switch {
+		case i < q.NumFree && a.Kind != KindFree:
+			return fmt.Errorf("core: variable %d is in the free prefix but tagged %v", i, a.Kind)
+		case i >= q.NumFree && a.Kind == KindFree:
+			return fmt.Errorf("core: variable %d is bound but tagged free", i)
+		case a.Kind == KindSemiring && a.Op == nil:
+			return fmt.Errorf("core: semiring variable %d has no operator", i)
+		}
+	}
+	for i, d := range q.DomSizes {
+		if d < 1 {
+			return fmt.Errorf("core: variable %d has domain size %d", i, d)
+		}
+	}
+	covered := make([]bool, q.NVars)
+	for fi, f := range q.Factors {
+		for _, v := range f.Vars {
+			if v < 0 || v >= q.NVars {
+				return fmt.Errorf("core: factor %d mentions unknown variable %d", fi, v)
+			}
+			covered[v] = true
+		}
+		for _, t := range f.Tuples {
+			for j, x := range t {
+				if x < 0 || x >= q.DomSizes[f.Vars[j]] {
+					return fmt.Errorf("core: factor %d tuple %v exceeds domain of variable %d", fi, t, f.Vars[j])
+				}
+			}
+		}
+	}
+	for v, ok := range covered {
+		if !ok {
+			return fmt.Errorf("core: variable %d occurs in no factor (add a unit factor if it is unconstrained)", v)
+		}
+	}
+	return nil
+}
+
+// VarName returns the display name of variable v.
+func (q *Query[V]) VarName(v int) string {
+	if v < len(q.Names) && q.Names[v] != "" {
+		return q.Names[v]
+	}
+	return fmt.Sprintf("x%d", v)
+}
+
+// Hypergraph returns the query hypergraph: one edge per factor support.
+func (q *Query[V]) Hypergraph() *hypergraph.Hypergraph {
+	h := hypergraph.New(q.NVars)
+	for _, f := range q.Factors {
+		h.AddEdge(f.Vars...)
+	}
+	return h
+}
+
+// tagFree and tagProduct are the non-semiring tag strings of Shape.Tags.
+const (
+	tagFree    = "free"
+	tagProduct = "⊗"
+)
+
+// Shape is the untyped skeleton of a query: everything the ordering theory
+// of Sections 6–7 needs, independent of the value type V.  Semiring tags are
+// "op:<name>"; two aggregates compare equal iff their names do
+// (Proposition 6.6: non-identical aggregates never commute).
+type Shape struct {
+	H                *hypergraph.Hypergraph
+	N                int
+	NumFree          int
+	Tags             []string
+	Product          bitset.Set
+	IdempotentInputs bool
+	// NonClosed marks semiring variables whose aggregate is not closed
+	// under the ⊗-idempotent elements D_I (e.g. Σ over N in #QCQ, where
+	// 1+1 ∉ {0,1}).  Such aggregates may never move inside a product
+	// aggregate's scope under flat rewriting — see BuildExprTree.
+	NonClosed bitset.Set
+}
+
+// Shape extracts the query's shape.  An aggregate is taken to be closed
+// under D_I exactly when it is idempotent (a semilattice join of two
+// idempotent elements stays idempotent for all domains shipped here).
+func (q *Query[V]) Shape() *Shape {
+	s := &Shape{
+		H:                q.Hypergraph(),
+		N:                q.NVars,
+		NumFree:          q.NumFree,
+		Tags:             make([]string, q.NVars),
+		IdempotentInputs: q.IdempotentInputs,
+	}
+	for i, a := range q.Aggs {
+		switch a.Kind {
+		case KindFree:
+			s.Tags[i] = tagFree
+		case KindProduct:
+			s.Tags[i] = tagProduct
+			s.Product.Add(i)
+		default:
+			s.Tags[i] = "op:" + a.Op.Name
+			if !a.Op.Idempotent {
+				s.NonClosed.Add(i)
+			}
+		}
+	}
+	return s
+}
+
+// IsProduct reports whether variable v is a product variable.
+func (s *Shape) IsProduct(v int) bool { return s.Product.Contains(v) }
+
+// Counts returns (free, semiring, product) variable counts.
+func (s *Shape) Counts() (free, semi, prod int) {
+	for i, t := range s.Tags {
+		switch {
+		case t == tagFree:
+			free++
+		case s.Product.Contains(i):
+			prod++
+		default:
+			semi++
+		}
+	}
+	return
+}
+
+// ExpressionOrder returns the identity ordering 0..n-1, i.e. the variable
+// ordering as written in the input expression.  It is always in EVO(φ).
+func (s *Shape) ExpressionOrder() []int {
+	order := make([]int, s.N)
+	for i := range order {
+		order[i] = i
+	}
+	return order
+}
+
+// checkOrder validates that order is a permutation of 0..n-1 whose first
+// NumFree entries are exactly the free variables.
+func (s *Shape) checkOrder(order []int) error {
+	if len(order) != s.N {
+		return fmt.Errorf("core: ordering has %d entries, want %d", len(order), s.N)
+	}
+	seen := make([]bool, s.N)
+	for _, v := range order {
+		if v < 0 || v >= s.N || seen[v] {
+			return fmt.Errorf("core: ordering %v is not a permutation", order)
+		}
+		seen[v] = true
+	}
+	for i := 0; i < s.NumFree; i++ {
+		if order[i] >= s.NumFree {
+			return fmt.Errorf("core: ordering %v does not list the %d free variables first", order, s.NumFree)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,205 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/faqdb/faq/internal/hypergraph"
+)
+
+// randomShape draws a small random query shape (used by the pure
+// ordering-theory properties, which need no factor data).
+func randomShape(rng *rand.Rand) *Shape {
+	n := 2 + rng.Intn(4)
+	nf := rng.Intn(n)
+	tags := make([]string, n)
+	for i := 0; i < n; i++ {
+		switch {
+		case i < nf:
+			tags[i] = tagFree
+		default:
+			switch rng.Intn(3) {
+			case 0:
+				tags[i] = "op:sum"
+			case 1:
+				tags[i] = "op:max"
+			default:
+				tags[i] = tagProduct
+			}
+		}
+	}
+	h := hypergraph.Random(rng, n, 1+rng.Intn(4), 3)
+	return shapeOf(n, nf, tags, edgesOf(h), rng.Intn(2) == 0)
+}
+
+func edgesOf(h *hypergraph.Hypergraph) [][]int {
+	var out [][]int
+	for _, e := range h.Edges {
+		out = append(out, e.Elems())
+	}
+	return out
+}
+
+// Property: every linear extension of the precedence poset passes the EVO
+// membership test (soundness: LinEx(P) ⊆ EVO) and realizes a width equal to
+// faqw of itself (trivially) — and the expression order is always in EVO.
+func TestQuickLinExSubsetOfEVO(t *testing.T) {
+	rng := rand.New(rand.NewSource(404))
+	for trial := 0; trial < 60; trial++ {
+		s := randomShape(rng)
+		tree := BuildExprTree(s)
+		poset, err := NewPoset(tree, s.N)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checked := 0
+		poset.EnumerateLinearExtensions(func(pi []int) bool {
+			order := append([]int(nil), pi...)
+			if err := s.checkOrder(order); err != nil {
+				// Linear extensions always list free variables first
+				// because the root is the free block.
+				t.Fatalf("trial %d: linear extension %v breaks the free prefix: %v", trial, order, err)
+			}
+			ok, err := InEVO(s, order)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				t.Fatalf("trial %d: linear extension %v rejected by InEVO (tags %v, edges %v)",
+					trial, order, s.Tags, s.H)
+			}
+			checked++
+			return checked < 12
+		})
+		if ok, err := InEVO(s, s.ExpressionOrder()); err != nil || !ok {
+			t.Fatalf("trial %d: expression order not in EVO: %v (tags %v)", trial, err, s.Tags)
+		}
+	}
+}
+
+// Property (Proposition 6.11): every ordering in EVO has the same FAQ-width
+// as some linear extension of the precedence poset.
+func TestQuickEVOWidthsCoveredByLinEx(t *testing.T) {
+	rng := rand.New(rand.NewSource(505))
+	for trial := 0; trial < 40; trial++ {
+		s := randomShape(rng)
+		if s.N > 5 {
+			continue
+		}
+		wc := hypergraph.NewWidthCalc(s.H)
+		tree := BuildExprTree(s)
+		poset, err := NewPoset(tree, s.N)
+		if err != nil {
+			t.Fatal(err)
+		}
+		linexWidths := map[float64]bool{}
+		poset.EnumerateLinearExtensions(func(pi []int) bool {
+			w, _, err := FAQWidth(s, wc, pi)
+			if err != nil {
+				t.Fatal(err)
+			}
+			linexWidths[round6(w)] = true
+			return true
+		})
+		evo, err := EnumerateEVO(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, order := range evo {
+			w, _, err := FAQWidth(s, wc, order)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !linexWidths[round6(w)] {
+				t.Fatalf("trial %d: EVO order %v has width %v not realized by any linear extension (%v)",
+					trial, order, w, linexWidths)
+			}
+		}
+	}
+}
+
+func round6(x float64) float64 {
+	if math.IsInf(x, 1) {
+		return x
+	}
+	return math.Round(x*1e6) / 1e6
+}
+
+// Property: CW-equivalence is reflexive and symmetric on random orderings.
+func TestQuickCWEquivalenceSymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(606))
+	for trial := 0; trial < 80; trial++ {
+		s := randomShape(rng)
+		sigma := s.ExpressionOrder()
+		if !CWEquivalent(s, sigma, sigma) {
+			t.Fatalf("trial %d: CW-equivalence not reflexive", trial)
+		}
+		// Random permutation of the bound suffix.
+		pi := append([]int(nil), sigma...)
+		bound := pi[s.NumFree:]
+		rng.Shuffle(len(bound), func(i, j int) { bound[i], bound[j] = bound[j], bound[i] })
+		if CWEquivalent(s, sigma, pi) != CWEquivalent(s, pi, sigma) {
+			t.Fatalf("trial %d: CW-equivalence not symmetric for %v vs %v", trial, sigma, pi)
+		}
+	}
+}
+
+// Property (via testing/quick): the elimination-sequence U sets of the
+// expression order cover every original edge incident to the eliminated
+// vertex, and each U is a subset of the not-yet-eliminated variables.
+func TestQuickEliminationSequenceInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(707))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := randomShape(r)
+		steps := s.H.EliminationSequence(s.ExpressionOrder(), s.Product)
+		for k, st := range steps {
+			for later := k + 1; later < len(steps); later++ {
+				if st.U.Contains(steps[later].Vertex) && steps[later].Vertex != st.Vertex {
+					return false // U contains an already-eliminated variable
+				}
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 60, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property (via testing/quick): FAQWidth of the expression order is finite
+// for covered hypergraphs and never below 1 when the query has at least one
+// semiring/free variable touching an edge.
+func TestQuickFAQWidthBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(808))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := randomShape(r)
+		wc := hypergraph.NewWidthCalc(s.H)
+		w, _, err := FAQWidth(s, wc, s.ExpressionOrder())
+		if err != nil {
+			return false
+		}
+		if math.IsInf(w, 1) || w < 0 {
+			return false
+		}
+		// The exact plan never exceeds the expression order's width.
+		if s.N <= 6 {
+			p, err := PlanExact(s, wc)
+			if err != nil {
+				return false
+			}
+			if p.Width > w+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 50, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

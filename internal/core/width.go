@@ -1,0 +1,52 @@
+package core
+
+import (
+	"github.com/faqdb/faq/internal/bitset"
+	"github.com/faqdb/faq/internal/hypergraph"
+)
+
+// K returns the variable set K of Eq. (13): free variables plus semiring
+// variables.  Only their elimination sets U_k contribute to faqw.
+func (s *Shape) K() bitset.Set {
+	k := bitset.New()
+	for v := 0; v < s.N; v++ {
+		if !s.Product.Contains(v) {
+			k.Add(v)
+		}
+	}
+	return k
+}
+
+// FAQWidth computes the fractional FAQ-width faqw(σ) of a variable ordering
+// (Definition 5.10): run the elimination hypergraph sequence of Definition
+// 5.4 (product variables strip, semiring/free variables merge) and take the
+// maximum ρ*_H(U_k) over k ∈ K, with ρ* measured against the original
+// hyperedges.  The returned argmax names the responsible variable.
+func FAQWidth(s *Shape, wc *hypergraph.WidthCalc, order []int) (width float64, argmax int, err error) {
+	if err := s.checkOrder(order); err != nil {
+		return 0, -1, err
+	}
+	steps := s.H.EliminationSequence(order, s.Product)
+	argmax = -1
+	for _, st := range steps {
+		if s.Product.Contains(st.Vertex) {
+			continue
+		}
+		if w := wc.RhoStar(st.U); w > width {
+			width = w
+			argmax = st.Vertex
+		}
+	}
+	return width, argmax, nil
+}
+
+// InducedSets returns the elimination sets U_k (aligned with order) for
+// diagnostic output.
+func (s *Shape) InducedSets(order []int) []bitset.Set {
+	steps := s.H.EliminationSequence(order, s.Product)
+	out := make([]bitset.Set, len(steps))
+	for i, st := range steps {
+		out[i] = st.U
+	}
+	return out
+}

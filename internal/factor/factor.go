@@ -1,0 +1,501 @@
+// Package factor implements the listing representation of FAQ factors
+// (Definition 4.1 of the paper): a factor ψ_S is stored as the table of
+// tuples 〈x_S, ψ_S(x_S)〉 with ψ_S(x_S) ≠ 0; absent tuples are 0.  The
+// package provides the primitive operations InsideOut needs — conditional
+// lookup, indicator projection (Definition 4.2), product marginalization
+// (the "factor oracle" assumptions of Section 8.1), pointwise powering for
+// product aggregates (Section 5.2.2) — plus aggregation helpers used by
+// baseline algorithms.
+package factor
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/faqdb/faq/internal/semiring"
+)
+
+// Factor is a function ψ over Vars in listing representation.  Vars are
+// global variable ids in strictly increasing order; each tuple assigns a
+// domain value (small int) to the corresponding variable.  Tuples are unique
+// and values are non-zero.  The zero Factor value is an empty (identically
+// zero) factor over no variables.
+type Factor[V any] struct {
+	Vars   []int
+	Tuples [][]int
+	Values []V
+
+	index map[string]int
+}
+
+// New builds a factor from parallel tuple/value slices, dropping zero
+// values, combining duplicate tuples with ⊕ (combine may be nil, in which
+// case duplicates are an error) and sorting rows lexicographically.
+func New[V any](d *semiring.Domain[V], vars []int, tuples [][]int, values []V,
+	combine func(a, b V) V) (*Factor[V], error) {
+
+	if !sort.IntsAreSorted(vars) {
+		return nil, fmt.Errorf("factor: variables %v not sorted", vars)
+	}
+	for i := 1; i < len(vars); i++ {
+		if vars[i] == vars[i-1] {
+			return nil, fmt.Errorf("factor: duplicate variable %d", vars[i])
+		}
+	}
+	if len(tuples) != len(values) {
+		return nil, fmt.Errorf("factor: %d tuples but %d values", len(tuples), len(values))
+	}
+	f := &Factor[V]{Vars: vars}
+	idx := map[string]int{}
+	for i, t := range tuples {
+		if len(t) != len(vars) {
+			return nil, fmt.Errorf("factor: tuple %v has arity %d, want %d", t, len(t), len(vars))
+		}
+		if d.IsZero(values[i]) {
+			continue
+		}
+		k := encode(t)
+		if at, ok := idx[k]; ok {
+			if combine == nil {
+				return nil, fmt.Errorf("factor: duplicate tuple %v", t)
+			}
+			f.Values[at] = combine(f.Values[at], values[i])
+			continue
+		}
+		idx[k] = len(f.Tuples)
+		tt := make([]int, len(t))
+		copy(tt, t)
+		f.Tuples = append(f.Tuples, tt)
+		f.Values = append(f.Values, values[i])
+	}
+	// Combining may have produced zeros (e.g. +1 and -1); drop them.
+	f.compact(d)
+	f.sortRows()
+	return f, nil
+}
+
+// MustNew is New that panics on error; for tests and literals.
+func MustNew[V any](d *semiring.Domain[V], vars []int, tuples [][]int, values []V) *Factor[V] {
+	f, err := New(d, vars, tuples, values, nil)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// FromFunc materializes ψ over the full box Π dom(vars[i]) keeping non-zero
+// entries: the bridge from "truth table" representations (dense matrices,
+// CPTs) into the listing representation (Section 8.2).
+func FromFunc[V any](d *semiring.Domain[V], vars []int, domSizes []int, f func(tuple []int) V) *Factor[V] {
+	if !sort.IntsAreSorted(vars) {
+		panic(fmt.Sprintf("factor: FromFunc variables %v not sorted", vars))
+	}
+	out := &Factor[V]{Vars: append([]int(nil), vars...)}
+	tuple := make([]int, len(vars))
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(vars) {
+			v := f(tuple)
+			if !d.IsZero(v) {
+				t := make([]int, len(tuple))
+				copy(t, tuple)
+				out.Tuples = append(out.Tuples, t)
+				out.Values = append(out.Values, v)
+			}
+			return
+		}
+		for x := 0; x < domSizes[vars[i]]; x++ {
+			tuple[i] = x
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	return out
+}
+
+// Scalar returns a nullary factor with the given value (or an empty factor
+// if the value is zero).
+func Scalar[V any](d *semiring.Domain[V], v V) *Factor[V] {
+	f := &Factor[V]{Vars: []int{}}
+	if !d.IsZero(v) {
+		f.Tuples = [][]int{{}}
+		f.Values = []V{v}
+	}
+	return f
+}
+
+func (f *Factor[V]) compact(d *semiring.Domain[V]) {
+	keptT := f.Tuples[:0]
+	keptV := f.Values[:0]
+	for i, v := range f.Values {
+		if !d.IsZero(v) {
+			keptT = append(keptT, f.Tuples[i])
+			keptV = append(keptV, v)
+		}
+	}
+	f.Tuples = keptT
+	f.Values = keptV
+	f.index = nil
+}
+
+func (f *Factor[V]) sortRows() {
+	order := make([]int, len(f.Tuples))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return lessTuple(f.Tuples[order[a]], f.Tuples[order[b]])
+	})
+	tuples := make([][]int, len(order))
+	values := make([]V, len(order))
+	for i, o := range order {
+		tuples[i] = f.Tuples[o]
+		values[i] = f.Values[o]
+	}
+	f.Tuples = tuples
+	f.Values = values
+	f.index = nil
+}
+
+func lessTuple(a, b []int) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+// encode renders a tuple as a map key.
+func encode(t []int) string {
+	b := make([]byte, 0, len(t)*4)
+	for _, x := range t {
+		b = append(b, byte(x), byte(x>>8), byte(x>>16), byte(x>>24))
+	}
+	return string(b)
+}
+
+// Size returns ‖ψ‖, the number of non-zero tuples.
+func (f *Factor[V]) Size() int { return len(f.Tuples) }
+
+// Arity returns the number of variables.
+func (f *Factor[V]) Arity() int { return len(f.Vars) }
+
+func (f *Factor[V]) buildIndex() {
+	if f.index != nil {
+		return
+	}
+	f.index = make(map[string]int, len(f.Tuples))
+	for i, t := range f.Tuples {
+		f.index[encode(t)] = i
+	}
+}
+
+// Value looks up ψ(tuple) where tuple is aligned with Vars.  The second
+// result reports whether the tuple is present (absent means 0).
+func (f *Factor[V]) Value(tuple []int) (V, bool) {
+	f.buildIndex()
+	i, ok := f.index[encode(tuple)]
+	if !ok {
+		var zero V
+		return zero, false
+	}
+	return f.Values[i], true
+}
+
+// ValueOrZero returns ψ(tuple), using the domain's zero for absent tuples.
+func (f *Factor[V]) ValueOrZero(d *semiring.Domain[V], tuple []int) V {
+	if v, ok := f.Value(tuple); ok {
+		return v
+	}
+	return d.Zero
+}
+
+// At evaluates ψ under a full assignment to all query variables
+// (assignment[v] = value of variable v).
+func (f *Factor[V]) At(d *semiring.Domain[V], assignment []int) V {
+	tuple := make([]int, len(f.Vars))
+	for i, v := range f.Vars {
+		tuple[i] = assignment[v]
+	}
+	return f.ValueOrZero(d, tuple)
+}
+
+// VarPos returns the position of variable v in Vars, or -1.
+func (f *Factor[V]) VarPos(v int) int {
+	for i, u := range f.Vars {
+		if u == v {
+			return i
+		}
+	}
+	return -1
+}
+
+// Clone returns a deep copy (values copied shallowly; value types are
+// treated as immutable throughout the engine).
+func (f *Factor[V]) Clone() *Factor[V] {
+	c := &Factor[V]{Vars: append([]int(nil), f.Vars...)}
+	c.Tuples = make([][]int, len(f.Tuples))
+	for i, t := range f.Tuples {
+		c.Tuples[i] = append([]int(nil), t...)
+	}
+	c.Values = append([]V(nil), f.Values...)
+	return c
+}
+
+// IndicatorProjection returns ψ_{S/T} of Definition 4.2: the {0,1}-valued
+// function on S ∩ T that is One wherever some extension of the tuple has
+// ψ ≠ 0.  The intersection must be non-empty.
+func (f *Factor[V]) IndicatorProjection(d *semiring.Domain[V], onto []int) *Factor[V] {
+	var keep []int // positions in f.Vars to keep
+	ontoSet := map[int]bool{}
+	for _, v := range onto {
+		ontoSet[v] = true
+	}
+	var vars []int
+	for i, v := range f.Vars {
+		if ontoSet[v] {
+			keep = append(keep, i)
+			vars = append(vars, v)
+		}
+	}
+	out := &Factor[V]{Vars: vars}
+	seen := map[string]bool{}
+	for _, t := range f.Tuples {
+		proj := make([]int, len(keep))
+		for j, i := range keep {
+			proj[j] = t[i]
+		}
+		k := encode(proj)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out.Tuples = append(out.Tuples, proj)
+		out.Values = append(out.Values, d.One)
+	}
+	out.sortRows()
+	return out
+}
+
+// ProductMarginalize computes ψ'_{S−{v}}(x_{S−v}) = ⊗_{x_v ∈ Dom(X_v)} ψ(x_S)
+// (Section 5.2.2, "product marginalization").  Groups that do not cover the
+// full domain of v contain a zero entry, so their product is zero and they
+// are dropped — this realizes the product-marginalization oracle assumption
+// (Assumption 2) on listing factors.
+func (f *Factor[V]) ProductMarginalize(d *semiring.Domain[V], v, domSize int) *Factor[V] {
+	pos := f.VarPos(v)
+	if pos < 0 {
+		panic(fmt.Sprintf("factor: variable %d not in factor over %v", v, f.Vars))
+	}
+	vars := make([]int, 0, len(f.Vars)-1)
+	for _, u := range f.Vars {
+		if u != v {
+			vars = append(vars, u)
+		}
+	}
+	type group struct {
+		product V
+		count   int
+	}
+	groups := map[string]*group{}
+	var keys []string
+	tuples := map[string][]int{}
+	for i, t := range f.Tuples {
+		rest := make([]int, 0, len(t)-1)
+		for j, x := range t {
+			if j != pos {
+				rest = append(rest, x)
+			}
+		}
+		k := encode(rest)
+		g, ok := groups[k]
+		if !ok {
+			g = &group{product: d.One}
+			groups[k] = g
+			keys = append(keys, k)
+			tuples[k] = rest
+		}
+		g.product = d.Mul(g.product, f.Values[i])
+		g.count++
+	}
+	out := &Factor[V]{Vars: vars}
+	for _, k := range keys {
+		g := groups[k]
+		if g.count < domSize {
+			continue // an unlisted x_v is a zero entry: the product is zero
+		}
+		if d.IsZero(g.product) {
+			continue
+		}
+		out.Tuples = append(out.Tuples, tuples[k])
+		out.Values = append(out.Values, g.product)
+	}
+	out.sortRows()
+	return out
+}
+
+// Marginalize aggregates variable v out with ⊕: ψ'(x_{S−v}) = ⊕_{x_v} ψ(x_S).
+// Unlisted entries are zeros and contribute the identity of ⊕.
+func (f *Factor[V]) Marginalize(d *semiring.Domain[V], op *semiring.Op[V], v int) *Factor[V] {
+	pos := f.VarPos(v)
+	if pos < 0 {
+		panic(fmt.Sprintf("factor: variable %d not in factor over %v", v, f.Vars))
+	}
+	vars := make([]int, 0, len(f.Vars)-1)
+	for _, u := range f.Vars {
+		if u != v {
+			vars = append(vars, u)
+		}
+	}
+	acc := map[string]V{}
+	var keys []string
+	tuples := map[string][]int{}
+	for i, t := range f.Tuples {
+		rest := make([]int, 0, len(t)-1)
+		for j, x := range t {
+			if j != pos {
+				rest = append(rest, x)
+			}
+		}
+		k := encode(rest)
+		if cur, ok := acc[k]; ok {
+			acc[k] = op.Combine(cur, f.Values[i])
+		} else {
+			acc[k] = f.Values[i]
+			keys = append(keys, k)
+			tuples[k] = rest
+		}
+	}
+	out := &Factor[V]{Vars: vars}
+	for _, k := range keys {
+		if d.IsZero(acc[k]) {
+			continue
+		}
+		out.Tuples = append(out.Tuples, tuples[k])
+		out.Values = append(out.Values, acc[k])
+	}
+	out.sortRows()
+	return out
+}
+
+// PowValues raises every non-⊗-idempotent value to the k-th power in place
+// (Algorithm 1, lines 16–17).  It returns the receiver.
+func (f *Factor[V]) PowValues(d *semiring.Domain[V], k int) *Factor[V] {
+	for i, v := range f.Values {
+		if d.MulIdempotent(v) {
+			continue
+		}
+		f.Values[i] = d.Pow(v, k)
+	}
+	f.compact(d)
+	return f
+}
+
+// RangeIdempotent reports whether every value of ψ is ⊗-idempotent
+// (Definition 5.2); such factors pass unchanged through product aggregates.
+func (f *Factor[V]) RangeIdempotent(d *semiring.Domain[V]) bool {
+	for _, v := range f.Values {
+		if !d.MulIdempotent(v) {
+			return false
+		}
+	}
+	return true
+}
+
+// Condition returns ψ(· | y_W): rows matching the partial assignment keep
+// their value, all others are dropped (Section 4.1).  W is given as a
+// map from variable id to value; variables absent from the factor are
+// ignored per the conditional-factor definition.
+func (f *Factor[V]) Condition(assign map[int]int) *Factor[V] {
+	var positions []int
+	var want []int
+	for i, v := range f.Vars {
+		if val, ok := assign[v]; ok {
+			positions = append(positions, i)
+			want = append(want, val)
+		}
+	}
+	out := &Factor[V]{Vars: append([]int(nil), f.Vars...)}
+	for i, t := range f.Tuples {
+		ok := true
+		for j, p := range positions {
+			if t[p] != want[j] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out.Tuples = append(out.Tuples, t)
+			out.Values = append(out.Values, f.Values[i])
+		}
+	}
+	return out
+}
+
+// Rename returns a copy of the factor with every variable v replaced by
+// mapping[v], re-sorting columns to keep Vars ascending.  The mapping must
+// be injective on the factor's variables.
+func (f *Factor[V]) Rename(mapping []int) *Factor[V] {
+	vars := make([]int, len(f.Vars))
+	for i, v := range f.Vars {
+		vars[i] = mapping[v]
+	}
+	perm := make([]int, len(vars)) // positions ordered by new variable id
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.Slice(perm, func(a, b int) bool { return vars[perm[a]] < vars[perm[b]] })
+	out := &Factor[V]{Vars: make([]int, len(vars))}
+	for i, p := range perm {
+		out.Vars[i] = vars[p]
+	}
+	for i := 1; i < len(out.Vars); i++ {
+		if out.Vars[i] == out.Vars[i-1] {
+			panic(fmt.Sprintf("factor: Rename mapping collides on variable %d", out.Vars[i]))
+		}
+	}
+	out.Tuples = make([][]int, len(f.Tuples))
+	for r, t := range f.Tuples {
+		nt := make([]int, len(t))
+		for i, p := range perm {
+			nt[i] = t[p]
+		}
+		out.Tuples[r] = nt
+	}
+	out.Values = append([]V(nil), f.Values...)
+	out.sortRows()
+	return out
+}
+
+// Equal reports whether two factors define the same function (same variable
+// set, same non-zero tuples, equal values).
+func (f *Factor[V]) Equal(d *semiring.Domain[V], g *Factor[V]) bool {
+	if len(f.Vars) != len(g.Vars) || len(f.Tuples) != len(g.Tuples) {
+		return false
+	}
+	for i := range f.Vars {
+		if f.Vars[i] != g.Vars[i] {
+			return false
+		}
+	}
+	g.buildIndex()
+	for i, t := range f.Tuples {
+		j, ok := g.index[encode(t)]
+		if !ok || !d.Equal(f.Values[i], g.Values[j]) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders a small factor for debugging.
+func (f *Factor[V]) String() string {
+	s := fmt.Sprintf("ψ%v[%d rows]", f.Vars, len(f.Tuples))
+	if len(f.Tuples) <= 8 {
+		for i, t := range f.Tuples {
+			s += fmt.Sprintf(" %v=%v", t, f.Values[i])
+		}
+	}
+	return s
+}

@@ -1,0 +1,318 @@
+package factor
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"github.com/faqdb/faq/internal/semiring"
+)
+
+var fd = semiring.Float()
+
+func mk(t *testing.T, vars []int, rows map[string]float64) *Factor[float64] {
+	t.Helper()
+	var tuples [][]int
+	var values []float64
+	for k, v := range rows {
+		var tup []int
+		for _, c := range k {
+			tup = append(tup, int(c-'0'))
+		}
+		if len(k) == 0 {
+			tup = []int{}
+		}
+		tuples = append(tuples, tup)
+		values = append(values, v)
+	}
+	f, err := New(fd, vars, tuples, values, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(fd, []int{2, 1}, nil, nil, nil); err == nil {
+		t.Fatal("unsorted vars should fail")
+	}
+	if _, err := New(fd, []int{1, 1}, nil, nil, nil); err == nil {
+		t.Fatal("duplicate vars should fail")
+	}
+	if _, err := New(fd, []int{0}, [][]int{{1}}, []float64{1, 2}, nil); err == nil {
+		t.Fatal("length mismatch should fail")
+	}
+	if _, err := New(fd, []int{0}, [][]int{{1, 2}}, []float64{1}, nil); err == nil {
+		t.Fatal("arity mismatch should fail")
+	}
+	if _, err := New(fd, []int{0}, [][]int{{1}, {1}}, []float64{1, 2}, nil); err == nil {
+		t.Fatal("duplicate tuple without combiner should fail")
+	}
+}
+
+func TestNewDropsZerosAndCombines(t *testing.T) {
+	f, err := New(fd, []int{0}, [][]int{{0}, {1}, {1}, {2}}, []float64{0, 2, 3, -1},
+		func(a, b float64) float64 { return a + b })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Size() != 2 {
+		t.Fatalf("size = %d, want 2 (zero dropped, duplicates combined)", f.Size())
+	}
+	if v, ok := f.Value([]int{1}); !ok || v != 5 {
+		t.Fatalf("f(1) = %v, %v", v, ok)
+	}
+	if _, ok := f.Value([]int{0}); ok {
+		t.Fatal("explicit zero should have been dropped")
+	}
+}
+
+func TestCombineToZeroDropsRow(t *testing.T) {
+	f, err := New(fd, []int{0}, [][]int{{1}, {1}}, []float64{2, -2},
+		func(a, b float64) float64 { return a + b })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Size() != 0 {
+		t.Fatalf("size = %d, want 0 (values cancelled)", f.Size())
+	}
+}
+
+func TestFromFunc(t *testing.T) {
+	domSizes := []int{2, 3}
+	// ψ(x0, x1) = x0 * x1 over 2×3.
+	f := FromFunc(fd, []int{0, 1}, domSizes, func(t []int) float64 {
+		return float64(t[0] * t[1])
+	})
+	if f.Size() != 2 { // (1,1)->1 and (1,2)->2
+		t.Fatalf("size = %d, want 2", f.Size())
+	}
+	if v, _ := f.Value([]int{1, 2}); v != 2 {
+		t.Fatalf("f(1,2) = %v", v)
+	}
+}
+
+func TestAtAndValueOrZero(t *testing.T) {
+	f := mk(t, []int{1, 3}, map[string]float64{"01": 5, "10": 7})
+	assignment := []int{9, 0, 9, 1} // x1=0, x3=1
+	if got := f.At(fd, assignment); got != 5 {
+		t.Fatalf("At = %v, want 5", got)
+	}
+	if got := f.ValueOrZero(fd, []int{1, 1}); got != 0 {
+		t.Fatalf("missing tuple should be 0, got %v", got)
+	}
+}
+
+func TestScalar(t *testing.T) {
+	s := Scalar(fd, 4.0)
+	if s.Size() != 1 || s.Arity() != 0 {
+		t.Fatal("scalar malformed")
+	}
+	z := Scalar(fd, 0.0)
+	if z.Size() != 0 {
+		t.Fatal("zero scalar should be an empty factor")
+	}
+}
+
+func TestIndicatorProjection(t *testing.T) {
+	// ψ over {0,1}: rows (0,0)→2, (0,1)→3, (1,0)→4.
+	f := mk(t, []int{0, 1}, map[string]float64{"00": 2, "01": 3, "10": 4})
+	p := f.IndicatorProjection(fd, []int{0, 7})
+	if !reflect.DeepEqual(p.Vars, []int{0}) {
+		t.Fatalf("projection vars = %v", p.Vars)
+	}
+	if p.Size() != 2 {
+		t.Fatalf("projection size = %d, want 2", p.Size())
+	}
+	for _, v := range p.Values {
+		if v != 1 {
+			t.Fatalf("indicator value %v, want 1", v)
+		}
+	}
+}
+
+func TestProductMarginalize(t *testing.T) {
+	// Dom(x1) = 2.  Group x0=0 covers both x1 values (2*3=6);
+	// group x0=1 misses x1=1 so it contains a zero: dropped.
+	f := mk(t, []int{0, 1}, map[string]float64{"00": 2, "01": 3, "10": 4})
+	m := f.ProductMarginalize(fd, 1, 2)
+	if !reflect.DeepEqual(m.Vars, []int{0}) {
+		t.Fatalf("vars = %v", m.Vars)
+	}
+	if m.Size() != 1 {
+		t.Fatalf("size = %d, want 1", m.Size())
+	}
+	if v, _ := m.Value([]int{0}); v != 6 {
+		t.Fatalf("m(0) = %v, want 6", v)
+	}
+}
+
+func TestProductMarginalizeToScalar(t *testing.T) {
+	f := mk(t, []int{2}, map[string]float64{"0": 2, "1": 5})
+	m := f.ProductMarginalize(fd, 2, 2)
+	if m.Arity() != 0 || m.Size() != 1 {
+		t.Fatalf("expected scalar, got %v", m)
+	}
+	if v, _ := m.Value([]int{}); v != 10 {
+		t.Fatalf("value = %v, want 10", v)
+	}
+}
+
+func TestMarginalizeSum(t *testing.T) {
+	f := mk(t, []int{0, 1}, map[string]float64{"00": 1, "01": 2, "11": 4})
+	m := f.Marginalize(fd, semiring.OpFloatSum(), 1)
+	if v, _ := m.Value([]int{0}); v != 3 {
+		t.Fatalf("m(0) = %v, want 3", v)
+	}
+	if v, _ := m.Value([]int{1}); v != 4 {
+		t.Fatalf("m(1) = %v, want 4", v)
+	}
+}
+
+func TestMarginalizeMax(t *testing.T) {
+	f := mk(t, []int{0, 1}, map[string]float64{"00": 1, "01": 2, "11": 4})
+	m := f.Marginalize(fd, semiring.OpFloatMax(), 0)
+	if v, _ := m.Value([]int{0}); v != 1 {
+		t.Fatalf("m(x1=0) = %v, want 1", v)
+	}
+	if v, _ := m.Value([]int{1}); v != 4 {
+		t.Fatalf("m(x1=1) = %v, want 4", v)
+	}
+}
+
+func TestPowValuesSkipsIdempotent(t *testing.T) {
+	f := mk(t, []int{0}, map[string]float64{"0": 1, "1": 2})
+	f.PowValues(fd, 3)
+	if v, _ := f.Value([]int{0}); v != 1 {
+		t.Fatalf("idempotent 1 should stay 1, got %v", v)
+	}
+	if v, _ := f.Value([]int{1}); v != 8 {
+		t.Fatalf("2^3 = %v, want 8", v)
+	}
+}
+
+func TestRangeIdempotent(t *testing.T) {
+	if !mk(t, []int{0}, map[string]float64{"0": 1}).RangeIdempotent(fd) {
+		t.Fatal("all-ones factor is idempotent-ranged")
+	}
+	if mk(t, []int{0}, map[string]float64{"0": 2}).RangeIdempotent(fd) {
+		t.Fatal("2 is not idempotent")
+	}
+}
+
+func TestCondition(t *testing.T) {
+	f := mk(t, []int{0, 1}, map[string]float64{"00": 1, "01": 2, "10": 3})
+	c := f.Condition(map[int]int{0: 0, 5: 3})
+	if c.Size() != 2 {
+		t.Fatalf("size = %d, want 2", c.Size())
+	}
+	if _, ok := c.Value([]int{1, 0}); ok {
+		t.Fatal("row with x0=1 should be gone")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := mk(t, []int{0, 1}, map[string]float64{"00": 1, "01": 2})
+	b := mk(t, []int{0, 1}, map[string]float64{"01": 2, "00": 1})
+	if !a.Equal(fd, b) {
+		t.Fatal("same function should be Equal")
+	}
+	c := mk(t, []int{0, 1}, map[string]float64{"00": 1, "01": 3})
+	if a.Equal(fd, c) {
+		t.Fatal("different values should differ")
+	}
+	d := mk(t, []int{0, 2}, map[string]float64{"00": 1, "01": 2})
+	if a.Equal(fd, d) {
+		t.Fatal("different vars should differ")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := mk(t, []int{0}, map[string]float64{"0": 1})
+	c := a.Clone()
+	c.Values[0] = 9
+	c.Tuples[0][0] = 1
+	if v, _ := a.Value([]int{0}); v != 1 {
+		t.Fatal("clone aliases original")
+	}
+}
+
+// Property: Marginalize with sum agrees with brute-force summation over the
+// full box, for random sparse factors.
+func TestQuickMarginalizeMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 100; trial++ {
+		d0, d1 := 1+rng.Intn(4), 1+rng.Intn(4)
+		var tuples [][]int
+		var values []float64
+		for x0 := 0; x0 < d0; x0++ {
+			for x1 := 0; x1 < d1; x1++ {
+				if rng.Intn(2) == 0 {
+					tuples = append(tuples, []int{x0, x1})
+					values = append(values, float64(1+rng.Intn(5)))
+				}
+			}
+		}
+		f, err := New(fd, []int{0, 1}, tuples, values, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := f.Marginalize(fd, semiring.OpFloatSum(), 1)
+		for x0 := 0; x0 < d0; x0++ {
+			want := 0.0
+			for x1 := 0; x1 < d1; x1++ {
+				want += f.ValueOrZero(fd, []int{x0, x1})
+			}
+			if got := m.ValueOrZero(fd, []int{x0}); got != want {
+				t.Fatalf("trial %d: marginal(%d) = %v, want %v", trial, x0, got, want)
+			}
+		}
+		// Product marginalization against brute force over the full domain.
+		p := f.ProductMarginalize(fd, 1, d1)
+		for x0 := 0; x0 < d0; x0++ {
+			want := 1.0
+			for x1 := 0; x1 < d1; x1++ {
+				want *= f.ValueOrZero(fd, []int{x0, x1})
+			}
+			if got := p.ValueOrZero(fd, []int{x0}); got != want {
+				t.Fatalf("trial %d: product-marginal(%d) = %v, want %v", trial, x0, got, want)
+			}
+		}
+	}
+}
+
+func TestRowsSortedAfterNew(t *testing.T) {
+	f := mk(t, []int{0, 1}, map[string]float64{"10": 1, "00": 2, "01": 3})
+	for i := 1; i < len(f.Tuples); i++ {
+		if !lessTuple(f.Tuples[i-1], f.Tuples[i]) {
+			t.Fatalf("rows not sorted: %v then %v", f.Tuples[i-1], f.Tuples[i])
+		}
+	}
+}
+
+func TestRename(t *testing.T) {
+	f := mk(t, []int{0, 2}, map[string]float64{"01": 5, "10": 7})
+	// Map 0→3, 2→1: columns must swap so Vars stays sorted.
+	mapping := []int{3, 9, 1}
+	g := f.Rename(mapping)
+	if !reflect.DeepEqual(g.Vars, []int{1, 3}) {
+		t.Fatalf("renamed vars = %v", g.Vars)
+	}
+	// f(x0=0, x2=1) = 5 becomes g(x1=1, x3=0) = 5.
+	if v, _ := g.Value([]int{1, 0}); v != 5 {
+		t.Fatalf("g(1,0) = %v, want 5", v)
+	}
+	if v, _ := g.Value([]int{0, 1}); v != 7 {
+		t.Fatalf("g(0,1) = %v, want 7", v)
+	}
+}
+
+func TestRenameCollisionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("colliding rename should panic")
+		}
+	}()
+	f := mk(t, []int{0, 1}, map[string]float64{"00": 1})
+	f.Rename([]int{2, 2})
+}

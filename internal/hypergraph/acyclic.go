@@ -1,0 +1,170 @@
+package hypergraph
+
+import (
+	"github.com/faqdb/faq/internal/bitset"
+)
+
+// GYO runs the Graham–Yu–Özsoyoğlu reduction: repeatedly remove vertices
+// occurring in exactly one edge and edges contained in other edges.  It
+// returns whether the hypergraph is α-acyclic (Definition 4.4) together with
+// a join forest: parent[i] is the index of the edge that absorbed edge i, or
+// -1 for roots.  The forest is a valid join tree when the hypergraph is
+// α-acyclic and connected.
+func (h *Hypergraph) GYO() (acyclic bool, parent []int) {
+	edges := make([]bitset.Set, len(h.Edges))
+	for i, e := range h.Edges {
+		edges[i] = e.Clone()
+	}
+	alive := make([]bool, len(edges))
+	for i := range alive {
+		alive[i] = true
+	}
+	parent = make([]int, len(edges))
+	for i := range parent {
+		parent[i] = -1
+	}
+
+	for changed := true; changed; {
+		changed = false
+		// Remove vertices occurring in exactly one live edge.
+		count := make([]int, h.N)
+		last := make([]int, h.N)
+		for i, e := range edges {
+			if !alive[i] {
+				continue
+			}
+			e.ForEach(func(v int) {
+				count[v]++
+				last[v] = i
+			})
+		}
+		for v := 0; v < h.N; v++ {
+			if count[v] == 1 {
+				edges[last[v]].Remove(v)
+				changed = true
+			}
+		}
+		// Remove edges contained in another live edge (keeping the container).
+		for i := range edges {
+			if !alive[i] {
+				continue
+			}
+			for j := range edges {
+				if i == j || !alive[j] {
+					continue
+				}
+				if edges[i].SubsetOf(edges[j]) {
+					// Tie-break equal edges by index so only one dies.
+					if edges[i].Equal(edges[j]) && i < j {
+						continue
+					}
+					alive[i] = false
+					parent[i] = j
+					changed = true
+					break
+				}
+			}
+		}
+	}
+
+	liveCount := 0
+	for i, e := range edges {
+		if alive[i] && !e.IsEmpty() {
+			liveCount++
+		}
+	}
+	return liveCount == 0, parent
+}
+
+// IsAlphaAcyclic reports whether h is α-acyclic.
+func (h *Hypergraph) IsAlphaAcyclic() bool {
+	ok, _ := h.GYO()
+	return ok
+}
+
+// IsBetaAcyclic reports whether h is β-acyclic (Definition 4.5): every
+// sub-hypergraph formed by a subset of its edges is α-acyclic.  It is
+// decided in polynomial time through nest-point elimination (Proposition
+// 4.10): a nest point is a vertex whose incident edges form a chain under
+// inclusion; h is β-acyclic iff repeatedly deleting nest points (removing
+// the vertex from every edge) empties the vertex set.
+func (h *Hypergraph) IsBetaAcyclic() bool {
+	_, ok := h.NestedEliminationOrder()
+	return ok
+}
+
+// NestedEliminationOrder returns a vertex ordering σ = (v_1, ..., v_n) as in
+// Proposition 4.10 — eliminating from v_n down to v_1, the incident edges of
+// the eliminated vertex always form an inclusion chain — and whether such an
+// order (equivalently, β-acyclicity) exists.  When ok is false the returned
+// prefix still lists the vertices in a valid order with the stuck vertices
+// in arbitrary order at the front.
+func (h *Hypergraph) NestedEliminationOrder() (order []int, ok bool) {
+	edges := make([]bitset.Set, len(h.Edges))
+	for i, e := range h.Edges {
+		edges[i] = e.Clone()
+	}
+	remaining := h.Vertices()
+	order = make([]int, h.N)
+	pos := h.N - 1
+
+	for !remaining.IsEmpty() {
+		v := findNestPoint(edges, remaining)
+		if v < 0 {
+			// Not β-acyclic: emit the leftovers in index order.
+			remaining.ForEach(func(u int) {
+				order[pos] = u
+				pos--
+			})
+			return order, false
+		}
+		order[pos] = v
+		pos--
+		remaining.Remove(v)
+		for i := range edges {
+			edges[i].Remove(v)
+		}
+	}
+	return order, true
+}
+
+// findNestPoint returns a vertex of remaining whose incident edges form an
+// inclusion chain, or -1 if none exists.
+func findNestPoint(edges []bitset.Set, remaining bitset.Set) int {
+	result := -1
+	remaining.ForEach(func(v int) {
+		if result >= 0 {
+			return
+		}
+		var incident []bitset.Set
+		for _, e := range edges {
+			if e.Contains(v) {
+				incident = append(incident, e)
+			}
+		}
+		if isChain(incident) {
+			result = v
+		}
+	})
+	return result
+}
+
+// isChain reports whether the sets are totally ordered by inclusion.
+// It sorts by size with a selection pass and verifies consecutive inclusion.
+func isChain(sets []bitset.Set) bool {
+	for i := range sets {
+		min := i
+		for j := i + 1; j < len(sets); j++ {
+			if sets[j].Len() < sets[min].Len() {
+				min = j
+			}
+		}
+		sets[i], sets[min] = sets[min], sets[i]
+	}
+	for i := 1; i < len(sets); i++ {
+		if !sets[i-1].SubsetOf(sets[i]) {
+			return false
+		}
+	}
+	return true
+}

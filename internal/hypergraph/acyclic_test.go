@@ -1,0 +1,188 @@
+package hypergraph
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/faqdb/faq/internal/bitset"
+)
+
+func TestAlphaAcyclicKnownCases(t *testing.T) {
+	cases := []struct {
+		name string
+		h    *Hypergraph
+		want bool
+	}{
+		{"path", Path(5), true},
+		{"star", Star(5), true},
+		{"triangle", Cycle(3), false},
+		{"C4", Cycle(4), false},
+		// Adding the full edge makes any hypergraph α-acyclic (the paper's
+		// motivation for β-acyclicity after Definition 4.4).
+		{"triangle+full", NewWithEdges(3, []int{0, 1}, []int{0, 2}, []int{1, 2}, []int{0, 1, 2}), true},
+		{"two-overlapping-triples", NewWithEdges(5, []int{0, 1, 2}, []int{2, 3, 4}), true},
+		{"empty", New(0), true},
+	}
+	for _, c := range cases {
+		if got := c.h.IsAlphaAcyclic(); got != c.want {
+			t.Errorf("%s: α-acyclic = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestGYOJoinTree(t *testing.T) {
+	// Acyclic 3-edge query: the join forest must link every absorbed edge.
+	h := NewWithEdges(5, []int{0, 1}, []int{1, 2, 3}, []int{3, 4})
+	ok, parent := h.GYO()
+	if !ok {
+		t.Fatal("should be α-acyclic")
+	}
+	roots := 0
+	for _, p := range parent {
+		if p == -1 {
+			roots++
+		}
+	}
+	if roots != 1 {
+		t.Fatalf("join tree has %d roots, want 1 (parents: %v)", roots, parent)
+	}
+}
+
+func TestBetaAcyclicKnownCases(t *testing.T) {
+	cases := []struct {
+		name string
+		h    *Hypergraph
+		want bool
+	}{
+		{"path", Path(5), true},
+		{"nested-chain", NewWithEdges(3, []int{0}, []int{0, 1}, []int{0, 1, 2}), true},
+		{"triangle", Cycle(3), false},
+		// α-acyclic but not β-acyclic: triangle plus covering edge.
+		{"triangle+full", NewWithEdges(3, []int{0, 1}, []int{0, 2}, []int{1, 2}, []int{0, 1, 2}), false},
+		{"star", Star(5), true},
+	}
+	for _, c := range cases {
+		if got := c.h.IsBetaAcyclic(); got != c.want {
+			t.Errorf("%s: β-acyclic = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestNestedEliminationOrderChainProperty(t *testing.T) {
+	// For a β-acyclic hypergraph the NEO must satisfy Proposition 4.10:
+	// at every elimination step the incident edges form an inclusion chain
+	// (under strip semantics).
+	h := NewWithEdges(4, []int{0}, []int{0, 1}, []int{0, 1, 2}, []int{0, 1, 2, 3})
+	order, ok := h.NestedEliminationOrder()
+	if !ok {
+		t.Fatal("nested chain should be β-acyclic")
+	}
+	edges := make([]bitset.Set, len(h.Edges))
+	for i, e := range h.Edges {
+		edges[i] = e.Clone()
+	}
+	for k := len(order) - 1; k >= 0; k-- {
+		v := order[k]
+		var inc []bitset.Set
+		for _, e := range edges {
+			if e.Contains(v) {
+				inc = append(inc, e.Clone())
+			}
+		}
+		if !isChain(inc) {
+			t.Fatalf("incident edges of %d not a chain", v)
+		}
+		for i := range edges {
+			edges[i].Remove(v)
+		}
+	}
+}
+
+// betaAcyclicByDefinition checks Definition 4.5 directly: every subset of
+// edges induces an α-acyclic hypergraph.
+func betaAcyclicByDefinition(h *Hypergraph) bool {
+	m := len(h.Edges)
+	for mask := 0; mask < 1<<m; mask++ {
+		sub := New(h.N)
+		for j := 0; j < m; j++ {
+			if mask&(1<<j) != 0 {
+				sub.AddEdgeSet(h.Edges[j])
+			}
+		}
+		if !sub.IsAlphaAcyclic() {
+			return false
+		}
+	}
+	return true
+}
+
+// Property: the nest-point elimination characterization agrees with the
+// exhaustive Definition 4.5 on random small hypergraphs.
+func TestQuickBetaAcyclicMatchesDefinition(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 200; trial++ {
+		h := Random(rng, 2+rng.Intn(4), 1+rng.Intn(4), 3)
+		if got, want := h.IsBetaAcyclic(), betaAcyclicByDefinition(h); got != want {
+			t.Fatalf("trial %d on %v: nest-point says %v, definition says %v", trial, h, got, want)
+		}
+	}
+}
+
+// Property: β-acyclic implies α-acyclic (Definition 4.5 includes the full
+// edge set as one of its subsets).
+func TestQuickBetaImpliesAlpha(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 200; trial++ {
+		h := Random(rng, 2+rng.Intn(5), 1+rng.Intn(5), 4)
+		if h.IsBetaAcyclic() && !h.IsAlphaAcyclic() {
+			t.Fatalf("trial %d: β-acyclic but not α-acyclic: %v", trial, h)
+		}
+	}
+}
+
+func TestDecompositionFromOrderingValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(6)
+		h := Random(rng, n, 1+rng.Intn(6), 3)
+		order := rng.Perm(n)
+		d := DecompositionFromOrdering(h, order)
+		if err := d.Validate(h); err != nil {
+			t.Fatalf("trial %d (order %v, h %v): %v", trial, order, h, err)
+		}
+	}
+}
+
+func TestDecompositionEliminationOrderRoundTrip(t *testing.T) {
+	// Extracting an ordering from a decomposition must not increase the
+	// ρ*-width beyond the decomposition's width.
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 50; trial++ {
+		n := 3 + rng.Intn(5)
+		h := Random(rng, n, 2+rng.Intn(4), 3)
+		w := NewWidthCalc(h)
+		_, opt := w.FHTW()
+		d := DecompositionFromOrdering(h, opt)
+		bagWidth := d.Width(func(b bitset.Set) float64 { return w.RhoStar(b) })
+		back := d.EliminationOrder(h.Vertices())
+		if len(back) != n {
+			t.Fatalf("trial %d: round-trip ordering has %d vertices, want %d", trial, len(back), n)
+		}
+		iw := h.InducedWidth(back, func(u bitset.Set) float64 { return w.RhoStar(u) })
+		if iw > bagWidth+1e-6 {
+			t.Fatalf("trial %d: induced width %v exceeds bag width %v", trial, iw, bagWidth)
+		}
+	}
+}
+
+func TestDecompositionWidth(t *testing.T) {
+	h := Cycle(4)
+	d := DecompositionFromOrdering(h, []int{0, 1, 2, 3})
+	got := d.Width(func(b bitset.Set) float64 { return float64(b.Len()) })
+	if got < 3 {
+		t.Fatalf("C4 elimination bags should reach size 3, got %v", got)
+	}
+	if err := d.Validate(h); err != nil {
+		t.Fatal(err)
+	}
+}

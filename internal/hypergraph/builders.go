@@ -1,0 +1,111 @@
+package hypergraph
+
+import "math/rand"
+
+// Builders for the query families used throughout the paper's examples and
+// the benchmark harness.
+
+// Path returns the path query P_n: edges {i, i+1} for 0 ≤ i < n-1.
+// This is the hypergraph of Matrix Chain Multiplication (Example 1.1).
+func Path(n int) *Hypergraph {
+	h := New(n)
+	for i := 0; i+1 < n; i++ {
+		h.AddEdge(i, i+1)
+	}
+	return h
+}
+
+// Cycle returns the cycle query C_n; for n = 3 this is the triangle query
+// with ρ* = 3/2 (the canonical AGM example).
+func Cycle(n int) *Hypergraph {
+	h := New(n)
+	for i := 0; i < n; i++ {
+		h.AddEdge(i, (i+1)%n)
+	}
+	return h
+}
+
+// Clique returns the binary clique K_n: one edge per vertex pair.
+func Clique(n int) *Hypergraph {
+	h := New(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			h.AddEdge(i, j)
+		}
+	}
+	return h
+}
+
+// Star returns the star query: edges {0, i} for 1 ≤ i < n, centered at 0.
+func Star(n int) *Hypergraph {
+	h := New(n)
+	for i := 1; i < n; i++ {
+		h.AddEdge(0, i)
+	}
+	return h
+}
+
+// Grid returns the rows×cols grid graph (vertex r*cols+c), the standard
+// bounded-treewidth PGM benchmark (tw = min(rows, cols)).
+func Grid(rows, cols int) *Hypergraph {
+	h := New(rows * cols)
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				h.AddEdge(id(r, c), id(r, c+1))
+			}
+			if r+1 < rows {
+				h.AddEdge(id(r, c), id(r+1, c))
+			}
+		}
+	}
+	return h
+}
+
+// LoomisWhitney returns LW(n): all (n-1)-subsets of [n] as edges; its
+// fractional cover number is n/(n-1).
+func LoomisWhitney(n int) *Hypergraph {
+	h := New(n)
+	for skip := 0; skip < n; skip++ {
+		var e []int
+		for v := 0; v < n; v++ {
+			if v != skip {
+				e = append(e, v)
+			}
+		}
+		h.AddEdge(e...)
+	}
+	return h
+}
+
+// Random returns a hypergraph with n vertices and m random edges of sizes in
+// [1, maxArity], drawn from rng.  Every vertex is touched by at least one
+// edge (extra singleton edges are appended if needed) so cover LPs are
+// feasible.
+func Random(rng *rand.Rand, n, m, maxArity int) *Hypergraph {
+	h := New(n)
+	touched := make([]bool, n)
+	for i := 0; i < m; i++ {
+		arity := 1 + rng.Intn(maxArity)
+		if arity > n {
+			arity = n
+		}
+		seen := map[int]bool{}
+		for len(seen) < arity {
+			seen[rng.Intn(n)] = true
+		}
+		var e []int
+		for v := range seen {
+			e = append(e, v)
+			touched[v] = true
+		}
+		h.AddEdge(e...)
+	}
+	for v, ok := range touched {
+		if !ok {
+			h.AddEdge(v)
+		}
+	}
+	return h
+}

@@ -1,0 +1,182 @@
+package hypergraph
+
+import (
+	"fmt"
+
+	"github.com/faqdb/faq/internal/bitset"
+)
+
+// Decomposition is a tree decomposition (Definition 4.3): a tree whose nodes
+// carry vertex bags covering every edge, with the running-intersection
+// property.  Parent[i] = -1 marks a root; the structure may be a forest for
+// disconnected hypergraphs.
+type Decomposition struct {
+	Bags   []bitset.Set
+	Parent []int
+}
+
+// DecompositionFromOrdering builds the tree decomposition induced by a
+// vertex ordering (the standard elimination construction behind Lemma 4.12):
+// bag k is U_k from the elimination sequence, and bag k's parent is the bag
+// of the latest-positioned vertex of U_k − {v_k}.
+func DecompositionFromOrdering(h *Hypergraph, order []int) *Decomposition {
+	steps := h.EliminationSequence(order, bitset.Set{})
+	pos := make([]int, h.N) // vertex -> position in order
+	for i, v := range order {
+		pos[v] = i
+	}
+	bagOf := make([]int, h.N) // vertex -> index of its bag (same as position)
+	for i := range bagOf {
+		bagOf[i] = i
+	}
+	d := &Decomposition{
+		Bags:   make([]bitset.Set, h.N),
+		Parent: make([]int, h.N),
+	}
+	for k, s := range steps {
+		bag := s.U.Clone()
+		bag.Add(s.Vertex) // ensure non-empty bags even for isolated vertices
+		d.Bags[k] = bag
+		d.Parent[k] = -1
+		// Parent: bag of the vertex in U_k − {v_k} eliminated soonest after
+		// v_k, i.e. with the largest position < k.
+		best := -1
+		s.U.ForEach(func(u int) {
+			if u == s.Vertex {
+				return
+			}
+			if pos[u] > best && pos[u] < k {
+				best = pos[u]
+			}
+		})
+		if best >= 0 {
+			d.Parent[k] = best
+		}
+	}
+	return d
+}
+
+// Validate checks the two tree-decomposition properties against h:
+// (a) every edge is contained in some bag, and (b) for every vertex the bags
+// containing it form a connected subtree.
+func (d *Decomposition) Validate(h *Hypergraph) error {
+	for i, e := range h.Edges {
+		ok := false
+		for _, b := range d.Bags {
+			if e.SubsetOf(b) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return fmt.Errorf("hypergraph: edge %d = %s not covered by any bag", i, e)
+		}
+	}
+	// Running intersection: the nodes containing v must form one connected
+	// component in the tree.
+	for v := 0; v < h.N; v++ {
+		var nodes []int
+		for i, b := range d.Bags {
+			if b.Contains(v) {
+				nodes = append(nodes, i)
+			}
+		}
+		if len(nodes) == 0 {
+			continue
+		}
+		in := map[int]bool{}
+		for _, n := range nodes {
+			in[n] = true
+		}
+		// Union-find over tree edges restricted to nodes containing v.
+		parent := map[int]int{}
+		var find func(x int) int
+		find = func(x int) int {
+			if parent[x] != x {
+				parent[x] = find(parent[x])
+			}
+			return parent[x]
+		}
+		for _, n := range nodes {
+			parent[n] = n
+		}
+		for _, n := range nodes {
+			p := d.Parent[n]
+			if p >= 0 && in[p] {
+				parent[find(n)] = find(p)
+			}
+		}
+		root := find(nodes[0])
+		for _, n := range nodes[1:] {
+			if find(n) != root {
+				return fmt.Errorf("hypergraph: bags containing vertex %d are disconnected", v)
+			}
+		}
+	}
+	return nil
+}
+
+// Width returns max over bags of g(bag).
+func (d *Decomposition) Width(g func(bitset.Set) float64) float64 {
+	w := 0.0
+	for _, b := range d.Bags {
+		if v := g(b); v > w {
+			w = v
+		}
+	}
+	return w
+}
+
+// EliminationOrder extracts a vertex ordering from the decomposition by GYO
+// elimination: bags are processed leaves-first, and each bag emits (into the
+// elimination sequence) the vertices that do not occur in its parent.  The
+// returned σ is a listing order (eliminate from the back) whose induced
+// g-width is at most the decomposition's g-width; this is the "standard way"
+// used by Theorem 7.2 to turn per-node tree decompositions into orderings.
+// Only vertices of `universe` are emitted.
+func (d *Decomposition) EliminationOrder(universe bitset.Set) []int {
+	n := len(d.Bags)
+	children := make([][]int, n)
+	roots := []int{}
+	for i, p := range d.Parent {
+		if p < 0 {
+			roots = append(roots, i)
+		} else {
+			children[p] = append(children[p], i)
+		}
+	}
+	seen := bitset.New()
+	var elim []int // elimination sequence: first entry eliminated first
+	var walk func(node int)
+	walk = func(node int) {
+		for _, c := range children[node] {
+			walk(c)
+		}
+		var pbag bitset.Set
+		if p := d.Parent[node]; p >= 0 {
+			pbag = d.Bags[p]
+		}
+		d.Bags[node].ForEach(func(v int) {
+			if !universe.Contains(v) || seen.Contains(v) || pbag.Contains(v) {
+				return
+			}
+			seen.Add(v)
+			elim = append(elim, v)
+		})
+	}
+	for _, r := range roots {
+		walk(r)
+	}
+	// Any universe vertices absent from all bags go last in elimination.
+	universe.ForEach(func(v int) {
+		if !seen.Contains(v) {
+			elim = append(elim, v)
+		}
+	})
+	// σ is the reverse of the elimination sequence.
+	order := make([]int, len(elim))
+	for i, v := range elim {
+		order[len(elim)-1-i] = v
+	}
+	return order
+}

@@ -1,0 +1,262 @@
+// Package hypergraph implements the combinatorial substrate of the FAQ
+// engine: multi-hypergraphs of query variables, vertex orderings and their
+// elimination hypergraph sequences (Section 4.4 of the paper), α- and
+// β-acyclicity (Definitions 4.4/4.5), tree decompositions (Definition 4.3),
+// and the width parameters tw, ρ, ρ* and fhtw (Definition 4.6) together with
+// the AGM bound (Section 4.2).
+package hypergraph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/faqdb/faq/internal/bitset"
+)
+
+// Hypergraph is a multi-hypergraph on vertices 0..N-1.  Edges may repeat and
+// may be empty (empty edges arise naturally during variable elimination).
+type Hypergraph struct {
+	N     int
+	Edges []bitset.Set
+}
+
+// New returns a hypergraph with n vertices and no edges.
+func New(n int) *Hypergraph {
+	return &Hypergraph{N: n}
+}
+
+// NewWithEdges builds a hypergraph on n vertices from vertex-list edges.
+func NewWithEdges(n int, edges ...[]int) *Hypergraph {
+	h := New(n)
+	for _, e := range edges {
+		h.AddEdge(e...)
+	}
+	return h
+}
+
+// AddEdge appends an edge containing the given vertices and returns its index.
+func (h *Hypergraph) AddEdge(verts ...int) int {
+	for _, v := range verts {
+		if v < 0 || v >= h.N {
+			panic(fmt.Sprintf("hypergraph: vertex %d out of range [0, %d)", v, h.N))
+		}
+	}
+	h.Edges = append(h.Edges, bitset.New(verts...))
+	return len(h.Edges) - 1
+}
+
+// AddEdgeSet appends a copy of the given vertex set as an edge.
+func (h *Hypergraph) AddEdgeSet(s bitset.Set) int {
+	h.Edges = append(h.Edges, s.Clone())
+	return len(h.Edges) - 1
+}
+
+// Clone returns a deep copy.
+func (h *Hypergraph) Clone() *Hypergraph {
+	c := New(h.N)
+	c.Edges = make([]bitset.Set, len(h.Edges))
+	for i, e := range h.Edges {
+		c.Edges[i] = e.Clone()
+	}
+	return c
+}
+
+// Vertices returns the set {0, ..., N-1}.
+func (h *Hypergraph) Vertices() bitset.Set { return bitset.Range(h.N) }
+
+// Incident returns the indices of edges containing v.
+func (h *Hypergraph) Incident(v int) []int {
+	var out []int
+	for i, e := range h.Edges {
+		if e.Contains(v) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Neighborhood returns the union of all edges containing v (v included if it
+// appears in any edge).  This is the set U in the elimination sequence.
+func (h *Hypergraph) Neighborhood(v int) bitset.Set {
+	var u bitset.Set
+	for _, e := range h.Edges {
+		if e.Contains(v) {
+			u.UnionWith(e)
+		}
+	}
+	return u
+}
+
+// EdgeLists returns the edges as sorted vertex slices, for LP consumption.
+func (h *Hypergraph) EdgeLists() [][]int {
+	out := make([][]int, len(h.Edges))
+	for i, e := range h.Edges {
+		out[i] = e.Elems()
+	}
+	return out
+}
+
+// GaifmanAdj returns the adjacency sets of the Gaifman (primal) graph:
+// adj[v] is the set of vertices co-occurring with v in some edge, v excluded.
+func (h *Hypergraph) GaifmanAdj() []bitset.Set {
+	adj := make([]bitset.Set, h.N)
+	for _, e := range h.Edges {
+		elems := e.Elems()
+		for _, v := range elems {
+			adj[v].UnionWith(e)
+		}
+	}
+	for v := range adj {
+		adj[v].Remove(v)
+	}
+	return adj
+}
+
+// ConnectedComponents returns the connected components of the sub-hypergraph
+// induced by within (only vertices of within, only edge intersections with
+// within).  Isolated vertices of within (touching no edge inside within) are
+// returned as singleton components.  Components are sorted by their minimum
+// vertex, and vertices keep their global ids.
+func (h *Hypergraph) ConnectedComponents(within bitset.Set) []bitset.Set {
+	parent := map[int]int{}
+	var find func(x int) int
+	find = func(x int) int {
+		if parent[x] != x {
+			parent[x] = find(parent[x])
+		}
+		return parent[x]
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	within.ForEach(func(v int) { parent[v] = v })
+	for _, e := range h.Edges {
+		in := e.Intersect(within).Elems()
+		for i := 1; i < len(in); i++ {
+			union(in[0], in[i])
+		}
+	}
+	groups := map[int]*bitset.Set{}
+	var roots []int
+	within.ForEach(func(v int) {
+		r := find(v)
+		g, ok := groups[r]
+		if !ok {
+			s := bitset.New()
+			groups[r] = &s
+			g = &s
+			roots = append(roots, r)
+		}
+		g.Add(v)
+	})
+	comps := make([]bitset.Set, 0, len(roots))
+	for _, r := range roots {
+		comps = append(comps, *groups[r])
+	}
+	sort.Slice(comps, func(i, j int) bool { return comps[i].Min() < comps[j].Min() })
+	return comps
+}
+
+// Restrict returns a new hypergraph on the same vertex universe whose edges
+// are the non-empty intersections S ∩ within for S ∈ Edges.
+func (h *Hypergraph) Restrict(within bitset.Set) *Hypergraph {
+	r := New(h.N)
+	for _, e := range h.Edges {
+		in := e.Intersect(within)
+		if !in.IsEmpty() {
+			r.Edges = append(r.Edges, in)
+		}
+	}
+	return r
+}
+
+// String renders the hypergraph as "n=5 E={0,1},{1,2}".
+func (h *Hypergraph) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "n=%d E=", h.N)
+	for i, e := range h.Edges {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(e.String())
+	}
+	return b.String()
+}
+
+// EliminationStep describes one step of the elimination hypergraph sequence
+// of Definition 5.4 for a vertex ordering σ = (v_1, ..., v_n): vertices are
+// eliminated from v_n down to v_1.
+type EliminationStep struct {
+	Vertex   int
+	U        bitset.Set // union of edges incident to Vertex at elimination time
+	Boundary []int      // indices into the current edge list of ∂(Vertex)
+	Product  bool       // eliminated as a product variable (strip, no merge)
+}
+
+// EliminationSequence runs the elimination hypergraph sequence for the
+// ordering order.  Vertices in product are eliminated product-style: they
+// are removed from every incident edge without forming the union edge
+// (Definition 5.4, the ⊕(k+1) = ⊗ case).  The returned slice is aligned with
+// order: steps[k] describes the elimination of order[k] (which happens at
+// time n-k).  Pass an empty product set for the classical (semiring-only)
+// sequence of Section 4.4.
+func (h *Hypergraph) EliminationSequence(order []int, product bitset.Set) []EliminationStep {
+	if len(order) != h.N {
+		panic(fmt.Sprintf("hypergraph: ordering has %d vertices, want %d", len(order), h.N))
+	}
+	edges := make([]bitset.Set, len(h.Edges))
+	for i, e := range h.Edges {
+		edges[i] = e.Clone()
+	}
+	steps := make([]EliminationStep, h.N)
+	for k := h.N - 1; k >= 0; k-- {
+		v := order[k]
+		var u bitset.Set
+		var boundary []int
+		for i, e := range edges {
+			if e.Contains(v) {
+				boundary = append(boundary, i)
+				u.UnionWith(e)
+			}
+		}
+		isProduct := product.Contains(v)
+		steps[k] = EliminationStep{Vertex: v, U: u, Boundary: boundary, Product: isProduct}
+		if isProduct {
+			for _, i := range boundary {
+				edges[i].Remove(v)
+			}
+			continue
+		}
+		// Replace ∂(v) with the single residual edge U − {v}.
+		keep := edges[:0]
+		bi := 0
+		for i, e := range edges {
+			if bi < len(boundary) && boundary[bi] == i {
+				bi++
+				continue
+			}
+			keep = append(keep, e)
+		}
+		res := u.Clone()
+		res.Remove(v)
+		edges = append(keep, res)
+	}
+	return steps
+}
+
+// InducedWidth returns max_k g(U_k) over the semiring-only elimination
+// sequence of order (Definition 4.11).
+func (h *Hypergraph) InducedWidth(order []int, g func(bitset.Set) float64) float64 {
+	steps := h.EliminationSequence(order, bitset.Set{})
+	w := 0.0
+	for _, s := range steps {
+		if v := g(s.U); v > w {
+			w = v
+		}
+	}
+	return w
+}

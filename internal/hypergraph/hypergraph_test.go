@@ -1,0 +1,145 @@
+package hypergraph
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"github.com/faqdb/faq/internal/bitset"
+)
+
+func TestAddEdgeOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range vertex")
+		}
+	}()
+	New(2).AddEdge(0, 2)
+}
+
+func TestIncidentAndNeighborhood(t *testing.T) {
+	h := NewWithEdges(4, []int{0, 1}, []int{1, 2}, []int{3})
+	if got := h.Incident(1); !reflect.DeepEqual(got, []int{0, 1}) {
+		t.Fatalf("Incident(1) = %v", got)
+	}
+	if got := h.Neighborhood(1).Elems(); !reflect.DeepEqual(got, []int{0, 1, 2}) {
+		t.Fatalf("Neighborhood(1) = %v", got)
+	}
+	if got := h.Neighborhood(3).Elems(); !reflect.DeepEqual(got, []int{3}) {
+		t.Fatalf("Neighborhood(3) = %v", got)
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	// Two components {0,1,2} and {3,4}; vertex 5 isolated.
+	h := NewWithEdges(6, []int{0, 1}, []int{1, 2}, []int{3, 4})
+	comps := h.ConnectedComponents(h.Vertices())
+	if len(comps) != 3 {
+		t.Fatalf("got %d components, want 3", len(comps))
+	}
+	if !comps[0].Equal(bitset.New(0, 1, 2)) || !comps[1].Equal(bitset.New(3, 4)) || !comps[2].Equal(bitset.New(5)) {
+		t.Fatalf("components = %v %v %v", comps[0], comps[1], comps[2])
+	}
+	// Restricting to {0, 2, 3, 4} splits {0} and {2} apart.
+	comps = h.ConnectedComponents(bitset.New(0, 2, 3, 4))
+	if len(comps) != 3 {
+		t.Fatalf("restricted: got %d components, want 3", len(comps))
+	}
+}
+
+func TestGaifmanAdj(t *testing.T) {
+	h := NewWithEdges(4, []int{0, 1, 2}, []int{2, 3})
+	adj := h.GaifmanAdj()
+	if !adj[2].Equal(bitset.New(0, 1, 3)) {
+		t.Fatalf("adj[2] = %v", adj[2])
+	}
+	if !adj[3].Equal(bitset.New(2)) {
+		t.Fatalf("adj[3] = %v", adj[3])
+	}
+}
+
+// Example 5.6's hypergraph: ψ{1,5} ψ{2,5} ψ{1,3,4} ψ{2,3,6} (0-indexed:
+// {0,4},{1,4},{0,2,3},{1,2,5}).  Eliminating with σ = (0,1,2,3,4,5) the
+// paper's trace gives U_6 = {2,3,6} → here U for vertex 5 is {1,2,5}, etc.
+func example56Hypergraph() *Hypergraph {
+	return NewWithEdges(6, []int{0, 4}, []int{1, 4}, []int{0, 2, 3}, []int{1, 2, 5})
+}
+
+func TestEliminationSequenceExample56(t *testing.T) {
+	h := example56Hypergraph()
+	order := []int{0, 1, 2, 3, 4, 5}
+	steps := h.EliminationSequence(order, bitset.Set{})
+	// Eliminate 5 (x6): ∂ = {1,2,5}; U = {1,2,5}.
+	if !steps[5].U.Equal(bitset.New(1, 2, 5)) {
+		t.Fatalf("U for x6 = %v", steps[5].U)
+	}
+	// Eliminate 4 (x5): edges now {0,4},{1,4},{0,2,3},{1,2}; U = {0,1,4}.
+	if !steps[4].U.Equal(bitset.New(0, 1, 4)) {
+		t.Fatalf("U for x5 = %v", steps[4].U)
+	}
+	// Eliminate 3 (x4): U = {0,2,3}.
+	if !steps[3].U.Equal(bitset.New(0, 2, 3)) {
+		t.Fatalf("U for x4 = %v", steps[3].U)
+	}
+	// Eliminate 2 (x3): edges {1,2},{0,1},{0,2}; U = {0,1,2}.
+	if !steps[2].U.Equal(bitset.New(0, 1, 2)) {
+		t.Fatalf("U for x3 = %v", steps[2].U)
+	}
+}
+
+func TestEliminationSequenceProductStrips(t *testing.T) {
+	// With vertex 2 marked product in a path 0-1-2-3, eliminating it must
+	// not join {1,2} and {2,3} into {1,3}.
+	h := Path(4)
+	prod := bitset.New(2)
+	steps := h.EliminationSequence([]int{0, 1, 3, 2}, prod)
+	if !steps[3].Product {
+		t.Fatal("vertex 2 should be eliminated product-style")
+	}
+	// After stripping 2, eliminating 3 sees only the shrunken edge {3}.
+	if !steps[2].U.Equal(bitset.New(3)) {
+		t.Fatalf("U for 3 = %v, want {3}", steps[2].U)
+	}
+}
+
+func TestInducedWidthPathAndClique(t *testing.T) {
+	size := func(u bitset.Set) float64 { return float64(u.Len() - 1) }
+	p := Path(5)
+	if w := p.InducedWidth([]int{0, 1, 2, 3, 4}, size); w != 1 {
+		t.Fatalf("path induced width = %v, want 1", w)
+	}
+	k := Clique(4)
+	if w := k.InducedWidth([]int{0, 1, 2, 3}, size); w != 3 {
+		t.Fatalf("K4 induced width = %v, want 3", w)
+	}
+}
+
+func TestRestrict(t *testing.T) {
+	h := NewWithEdges(4, []int{0, 1, 2}, []int{2, 3})
+	r := h.Restrict(bitset.New(0, 1))
+	if len(r.Edges) != 1 || !r.Edges[0].Equal(bitset.New(0, 1)) {
+		t.Fatalf("Restrict = %v", r)
+	}
+}
+
+func TestBuilders(t *testing.T) {
+	if g := Grid(3, 4); len(g.Edges) != 3*3+2*4 {
+		t.Fatalf("grid edges = %d", len(g.Edges))
+	}
+	if lw := LoomisWhitney(4); len(lw.Edges) != 4 || lw.Edges[0].Len() != 3 {
+		t.Fatal("LW(4) malformed")
+	}
+	if s := Star(5); len(s.Edges) != 4 {
+		t.Fatal("star malformed")
+	}
+	rng := rand.New(rand.NewSource(3))
+	h := Random(rng, 8, 5, 3)
+	// Every vertex must be covered so LPs are feasible.
+	cov := bitset.New()
+	for _, e := range h.Edges {
+		cov.UnionWith(e)
+	}
+	if !h.Vertices().SubsetOf(cov) {
+		t.Fatal("Random left uncovered vertices")
+	}
+}

@@ -1,0 +1,166 @@
+package hypergraph
+
+import (
+	"math"
+
+	"github.com/faqdb/faq/internal/bitset"
+	"github.com/faqdb/faq/internal/linprog"
+)
+
+// WidthCalc computes (and caches) cover numbers against a fixed hypergraph.
+// The fractional edge cover ρ*(B) is the LP of Section 4.2; the integral
+// cover ρ(B) is its 0/1 restriction.  Caching matters: the width dynamic
+// programs evaluate ρ* on many repeated vertex sets.
+type WidthCalc struct {
+	H        *Hypergraph
+	edges    [][]int
+	rhoStar  map[string]float64
+	rhoInt   map[string]int
+	lambdaOf map[string][]float64
+}
+
+// NewWidthCalc returns a calculator for h.  The hypergraph must not be
+// mutated afterwards.
+func NewWidthCalc(h *Hypergraph) *WidthCalc {
+	return &WidthCalc{
+		H:        h,
+		edges:    h.EdgeLists(),
+		rhoStar:  map[string]float64{},
+		rhoInt:   map[string]int{},
+		lambdaOf: map[string][]float64{},
+	}
+}
+
+// RhoStar returns the fractional edge cover number ρ*(B) of B using the
+// edges of H, or +Inf if some vertex of B lies in no edge.
+func (w *WidthCalc) RhoStar(b bitset.Set) float64 {
+	if b.IsEmpty() {
+		return 0
+	}
+	key := b.Key()
+	if v, ok := w.rhoStar[key]; ok {
+		return v
+	}
+	val, lam, err := linprog.UniformCover(w.edges, b.Elems())
+	if err != nil {
+		val = math.Inf(1)
+		lam = nil
+	}
+	w.rhoStar[key] = val
+	w.lambdaOf[key] = lam
+	return val
+}
+
+// Lambda returns an optimal fractional cover λ for B (one weight per edge),
+// or nil if B is not coverable.  RhoStar(B) must have been called or is
+// called implicitly.
+func (w *WidthCalc) Lambda(b bitset.Set) []float64 {
+	w.RhoStar(b)
+	return w.lambdaOf[b.Key()]
+}
+
+// Rho returns the integral edge cover number ρ(B), or a number > len(edges)
+// if B is not coverable.
+func (w *WidthCalc) Rho(b bitset.Set) int {
+	if b.IsEmpty() {
+		return 0
+	}
+	key := b.Key()
+	if v, ok := w.rhoInt[key]; ok {
+		return v
+	}
+	v := w.coverSearch(b, len(w.H.Edges)+1)
+	w.rhoInt[key] = v
+	return v
+}
+
+// coverSearch is a branch-and-bound exact set cover: pick the lowest
+// uncovered vertex and branch on the edges containing it.
+func (w *WidthCalc) coverSearch(b bitset.Set, budget int) int {
+	if b.IsEmpty() {
+		return 0
+	}
+	if budget <= 0 {
+		return len(w.H.Edges) + 1
+	}
+	v := b.Min()
+	best := len(w.H.Edges) + 1
+	for _, e := range w.H.Edges {
+		if !e.Contains(v) {
+			continue
+		}
+		rest := b.Minus(e)
+		sub := w.coverSearch(rest, minInt(budget, best)-1)
+		if sub+1 < best {
+			best = sub + 1
+		}
+	}
+	return best
+}
+
+// AGM returns the AGM bound Π_S |ψ_S|^{λ*_S} for covering B, where sizes[i]
+// is the listing size of the factor on edge i (Section 4.2, Eq. (3)).
+// Edges with size 0 would make the whole query empty; sizes must be ≥ 1.
+// The second result is the optimizing λ.  AGM returns +Inf when B is not
+// coverable by the edges.
+func (w *WidthCalc) AGM(b bitset.Set, sizes []float64) (float64, []float64) {
+	if b.IsEmpty() {
+		return 1, make([]float64, len(w.edges))
+	}
+	cost := make([]float64, len(w.edges))
+	for i, s := range sizes {
+		if s < 1 {
+			s = 1
+		}
+		cost[i] = math.Log2(s)
+	}
+	val, lam, err := linprog.FractionalCover(w.edges, cost, b.Elems())
+	if err != nil {
+		return math.Inf(1), nil
+	}
+	return math.Exp2(val), lam
+}
+
+// --- width parameters as minimax elimination problems (Corollary 4.13) ---
+
+// Treewidth returns tw(H) and an optimal vertex ordering, computed exactly
+// by dynamic programming over vertex subsets.  Exponential in N; intended
+// for query-complexity-sized hypergraphs (N ≤ ~20).
+func (w *WidthCalc) Treewidth() (float64, []int) {
+	dp := &ElimDP{
+		H:    w.H,
+		Cost: func(v int, u bitset.Set) float64 { return float64(u.Len() - 1) },
+	}
+	val, order, _ := dp.Solve()
+	return val, order
+}
+
+// FHTW returns the fractional hypertree width fhtw(H) and an optimal vertex
+// ordering (Corollary 4.13: fhtw ≤ w iff some ordering has ρ*(U_k) ≤ w for
+// all k).  Exact and exponential in N.
+func (w *WidthCalc) FHTW() (float64, []int) {
+	dp := &ElimDP{
+		H:    w.H,
+		Cost: func(v int, u bitset.Set) float64 { return w.RhoStar(u) },
+	}
+	val, order, _ := dp.Solve()
+	return val, order
+}
+
+// HTW returns the (generalized) hypertree width computed through integral
+// edge covers of the elimination sets, with an optimal ordering.
+func (w *WidthCalc) HTW() (float64, []int) {
+	dp := &ElimDP{
+		H:    w.H,
+		Cost: func(v int, u bitset.Set) float64 { return float64(w.Rho(u)) },
+	}
+	val, order, _ := dp.Solve()
+	return val, order
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,365 @@
+// Package join implements OutsideIn (Section 5.1.1 of the paper): a
+// backtracking-search evaluation of a multiway join of listing-representation
+// factors, in the style of worst-case-optimal join algorithms (generic
+// join / LeapFrog TrieJoin).  Variables are bound outermost-first; at each
+// level the candidate values are the intersection of the children of every
+// factor trie constraining the variable, enumerated from the smallest such
+// set.  On AGM-tight instances the number of explored partial assignments is
+// within the fractional-edge-cover bound of Theorem 5.1.
+package join
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/faqdb/faq/internal/factor"
+	"github.com/faqdb/faq/internal/semiring"
+)
+
+// Stats accumulates instrumentation counters for benchmark harnesses.
+type Stats struct {
+	Probes     int64 // candidate membership probes
+	Emitted    int64 // tuples emitted (before aggregation)
+	Multiplies int64
+}
+
+type node[V any] struct {
+	children map[int]*node[V]
+	keys     []int // sorted child keys
+	value    V     // meaningful at leaves only
+}
+
+func (n *node[V]) child(key int) *node[V] {
+	if n.children == nil {
+		return nil
+	}
+	return n.children[key]
+}
+
+// trie is a factor re-keyed along the global variable order.
+type trie[V any] struct {
+	vars []int // factor vars sorted by global position
+	root *node[V]
+}
+
+func buildTrie[V any](d *semiring.Domain[V], f *factor.Factor[V], pos map[int]int) (*trie[V], error) {
+	order := make([]int, len(f.Vars)) // positions within f.Vars, sorted by global order
+	for i := range order {
+		order[i] = i
+	}
+	for _, v := range f.Vars {
+		if _, ok := pos[v]; !ok {
+			return nil, fmt.Errorf("join: factor over %v mentions variable %d outside the join order", f.Vars, v)
+		}
+	}
+	sort.Slice(order, func(a, b int) bool { return pos[f.Vars[order[a]]] < pos[f.Vars[order[b]]] })
+	t := &trie[V]{root: &node[V]{}}
+	for _, i := range order {
+		t.vars = append(t.vars, f.Vars[i])
+	}
+	for r, tup := range f.Tuples {
+		cur := t.root
+		for _, i := range order {
+			key := tup[i]
+			if cur.children == nil {
+				cur.children = map[int]*node[V]{}
+			}
+			next := cur.children[key]
+			if next == nil {
+				next = &node[V]{}
+				cur.children[key] = next
+				cur.keys = append(cur.keys, key)
+			}
+			cur = next
+		}
+		cur.value = f.Values[r]
+	}
+	sortKeys(t.root)
+	return t, nil
+}
+
+func sortKeys[V any](n *node[V]) {
+	sort.Ints(n.keys)
+	for _, c := range n.children {
+		sortKeys(c)
+	}
+}
+
+// Runner evaluates a join of factors over an explicit variable order.
+type Runner[V any] struct {
+	D     *semiring.Domain[V]
+	Vars  []int
+	Stats *Stats
+
+	tries     []*trie[V]
+	consumers [][]int // per depth: indices of tries consuming this variable
+	finishers [][]int // per depth: tries whose last variable is this depth
+	cursors   [][]*node[V]
+	tuple     []int
+	constProd V    // product of nullary factor values
+	empty     bool // some factor is identically zero
+}
+
+// NewRunner prepares a join of the given factors over vars (outermost
+// first).  Every variable of every factor must occur in vars, and every
+// variable of vars must occur in at least one factor (otherwise its
+// candidate set would be unconstrained).
+func NewRunner[V any](d *semiring.Domain[V], factors []*factor.Factor[V], vars []int) (*Runner[V], error) {
+	pos := make(map[int]int, len(vars))
+	for i, v := range vars {
+		if _, dup := pos[v]; dup {
+			return nil, fmt.Errorf("join: duplicate variable %d in order", v)
+		}
+		pos[v] = i
+	}
+	r := &Runner[V]{D: d, Vars: vars, constProd: d.One}
+	for _, f := range factors {
+		if f.Arity() == 0 {
+			// Nullary factors contribute a constant multiplier; an empty one
+			// is the constant 0 and annihilates the whole join.
+			if f.Size() == 0 {
+				r.empty = true
+			} else {
+				r.constProd = d.Mul(r.constProd, f.Values[0])
+			}
+			continue
+		}
+		t, err := buildTrie(d, f, pos)
+		if err != nil {
+			return nil, err
+		}
+		r.tries = append(r.tries, t)
+	}
+	r.consumers = make([][]int, len(vars))
+	r.finishers = make([][]int, len(vars))
+	for ti, t := range r.tries {
+		for j, v := range t.vars {
+			depth := pos[v]
+			r.consumers[depth] = append(r.consumers[depth], ti)
+			if j == len(t.vars)-1 {
+				r.finishers[depth] = append(r.finishers[depth], ti)
+			}
+		}
+	}
+	for depth, c := range r.consumers {
+		if len(c) == 0 {
+			return nil, fmt.Errorf("join: variable %d is constrained by no factor", vars[depth])
+		}
+	}
+	r.cursors = make([][]*node[V], len(r.tries))
+	for i, t := range r.tries {
+		r.cursors[i] = make([]*node[V], len(t.vars)+1)
+		r.cursors[i][0] = t.root
+	}
+	r.tuple = make([]int, len(vars))
+	return r, nil
+}
+
+// Run enumerates every assignment to Vars supported by all factors, calling
+// emit with the assignment (aligned with Vars; the slice is reused between
+// calls) and the ⊗-product of the factor values.  Assignments are emitted
+// in lexicographic order of the tuple.
+func (r *Runner[V]) Run(emit func(tuple []int, val V)) {
+	if r.empty || r.D.IsZero(r.constProd) {
+		return
+	}
+	r.search(0, r.constProd, emit)
+}
+
+func (r *Runner[V]) search(depth int, prod V, emit func([]int, V)) {
+	if depth == len(r.Vars) {
+		if r.Stats != nil {
+			r.Stats.Emitted++
+		}
+		emit(r.tuple, prod)
+		return
+	}
+	cons := r.consumers[depth]
+	// Pick the consumer with the fewest candidates and probe the others.
+	lead := cons[0]
+	leadNode := r.cursorOf(lead)
+	for _, ti := range cons[1:] {
+		if n := r.cursorOf(ti); len(n.keys) < len(leadNode.keys) {
+			lead, leadNode = ti, n
+		}
+	}
+	for _, key := range leadNode.keys {
+		ok := true
+		for _, ti := range cons {
+			if ti == lead {
+				continue
+			}
+			if r.Stats != nil {
+				r.Stats.Probes++
+			}
+			if r.cursorOf(ti).child(key) == nil {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		// Descend all consumers.
+		for _, ti := range cons {
+			cur := r.cursorOf(ti)
+			r.setCursor(ti, cur.child(key))
+		}
+		p := prod
+		zero := false
+		for _, ti := range r.finishers[depth] {
+			leaf := r.cursorOf(ti)
+			p = r.D.Mul(p, leaf.value)
+			if r.Stats != nil {
+				r.Stats.Multiplies++
+			}
+			if r.D.IsZero(p) {
+				zero = true
+				break
+			}
+		}
+		if !zero {
+			r.tuple[depth] = key
+			r.search(depth+1, p, emit)
+		}
+		// Ascend.
+		for _, ti := range cons {
+			r.popCursor(ti)
+		}
+	}
+}
+
+// cursor bookkeeping: cursors[i] is a stack whose top is the deepest
+// non-nil node; descending fills the first nil slot, ascending clears the
+// last non-nil one.
+func (r *Runner[V]) cursorOf(ti int) *node[V] {
+	stack := r.cursors[ti]
+	for d := len(stack) - 1; d >= 0; d-- {
+		if stack[d] != nil {
+			return stack[d]
+		}
+	}
+	return nil
+}
+
+func (r *Runner[V]) setCursor(ti int, n *node[V]) {
+	stack := r.cursors[ti]
+	for d := 1; d < len(stack); d++ {
+		if stack[d] == nil {
+			stack[d] = n
+			return
+		}
+	}
+}
+
+func (r *Runner[V]) popCursor(ti int) {
+	stack := r.cursors[ti]
+	for d := len(stack) - 1; d >= 1; d-- {
+		if stack[d] != nil {
+			stack[d] = nil
+			return
+		}
+	}
+}
+
+// JoinAll materializes the join of factors over vars as a factor whose value
+// at each tuple is the ⊗-product of the inputs (the output phase of
+// InsideOut, Eq. (12)).
+func JoinAll[V any](d *semiring.Domain[V], factors []*factor.Factor[V], vars []int, stats *Stats) (*factor.Factor[V], error) {
+	r, err := NewRunner(d, factors, vars)
+	if err != nil {
+		return nil, err
+	}
+	r.Stats = stats
+	sortedVars := append([]int(nil), vars...)
+	sort.Ints(sortedVars)
+	perm := permutationTo(vars, sortedVars)
+	var tuples [][]int
+	var values []V
+	r.Run(func(tuple []int, val V) {
+		t := make([]int, len(tuple))
+		for i, p := range perm {
+			t[i] = tuple[p]
+		}
+		tuples = append(tuples, t)
+		values = append(values, val)
+	})
+	return factor.New(d, sortedVars, tuples, values, nil)
+}
+
+// EliminateInnermost evaluates the FAQ-SS sub-instance of Eq. (7): it joins
+// the factors over vars, aggregates the innermost (last) variable with ⊕ and
+// returns the factor over vars[:len(vars)-1].  This is one variable-
+// elimination step of InsideOut executed by OutsideIn.
+func EliminateInnermost[V any](d *semiring.Domain[V], op *semiring.Op[V],
+	factors []*factor.Factor[V], vars []int, stats *Stats) (*factor.Factor[V], error) {
+
+	if len(vars) == 0 {
+		return nil, fmt.Errorf("join: EliminateInnermost needs at least the eliminated variable")
+	}
+	r, err := NewRunner(d, factors, vars)
+	if err != nil {
+		return nil, err
+	}
+	r.Stats = stats
+	outVars := vars[:len(vars)-1]
+	sortedVars := append([]int(nil), outVars...)
+	sort.Ints(sortedVars)
+	perm := permutationTo(outVars, sortedVars)
+
+	var tuples [][]int
+	var values []V
+	var prefix []int
+	var acc V
+	havePrefix := false
+
+	flush := func() {
+		if !havePrefix || d.IsZero(acc) {
+			return
+		}
+		t := make([]int, len(prefix))
+		for i, p := range perm {
+			t[i] = prefix[p]
+		}
+		tuples = append(tuples, t)
+		values = append(values, acc)
+	}
+	r.Run(func(tuple []int, val V) {
+		cur := tuple[:len(tuple)-1]
+		if havePrefix && samePrefix(prefix, cur) {
+			acc = op.Combine(acc, val)
+			return
+		}
+		flush()
+		prefix = append(prefix[:0], cur...)
+		acc = val
+		havePrefix = true
+	})
+	flush()
+	return factor.New(d, sortedVars, tuples, values, nil)
+}
+
+func samePrefix(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// permutationTo returns perm with to[i] = from[perm[i]].
+func permutationTo(from, to []int) []int {
+	at := map[int]int{}
+	for i, v := range from {
+		at[v] = i
+	}
+	perm := make([]int, len(to))
+	for i, v := range to {
+		perm[i] = at[v]
+	}
+	return perm
+}

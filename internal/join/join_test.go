@@ -1,0 +1,309 @@
+package join
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/faqdb/faq/internal/factor"
+	"github.com/faqdb/faq/internal/semiring"
+)
+
+var fd = semiring.Float()
+
+func mkF(t testing.TB, vars []int, tuples [][]int, values []float64) *factor.Factor[float64] {
+	t.Helper()
+	f, err := factor.New(fd, vars, tuples, values, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestTwoWayJoinMatchesBruteForce(t *testing.T) {
+	r := mkF(t, []int{0, 1}, [][]int{{0, 0}, {0, 1}, {1, 1}}, []float64{2, 3, 5})
+	s := mkF(t, []int{1, 2}, [][]int{{0, 0}, {1, 0}, {1, 1}}, []float64{7, 11, 13})
+	out, err := JoinAll(fd, []*factor.Factor[float64]{r, s}, []int{0, 1, 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expected: (0,0,0)→14, (0,1,0)→33, (0,1,1)→39, (1,1,0)→55, (1,1,1)→65.
+	want := map[[3]int]float64{
+		{0, 0, 0}: 14, {0, 1, 0}: 33, {0, 1, 1}: 39, {1, 1, 0}: 55, {1, 1, 1}: 65,
+	}
+	if out.Size() != len(want) {
+		t.Fatalf("join size = %d, want %d", out.Size(), len(want))
+	}
+	for k, v := range want {
+		if got, _ := out.Value(k[:]); got != v {
+			t.Fatalf("join(%v) = %v, want %v", k, got, v)
+		}
+	}
+}
+
+func TestJoinOrderIndependence(t *testing.T) {
+	r := mkF(t, []int{0, 1}, [][]int{{0, 0}, {1, 0}, {1, 1}}, []float64{1, 2, 3})
+	s := mkF(t, []int{1, 2}, [][]int{{0, 1}, {1, 1}}, []float64{5, 7})
+	a, err := JoinAll(fd, []*factor.Factor[float64]{r, s}, []int{0, 1, 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := JoinAll(fd, []*factor.Factor[float64]{r, s}, []int{2, 1, 0}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(fd, b) {
+		t.Fatalf("different orders disagree:\n%v\n%v", a, b)
+	}
+}
+
+func TestTriangleJoin(t *testing.T) {
+	// Complete bipartite-ish edge set on 3 values: count triangles.
+	edges := [][]int{{0, 1}, {1, 2}, {0, 2}, {1, 0}, {2, 2}}
+	vals := []float64{1, 1, 1, 1, 1}
+	r := mkF(t, []int{0, 1}, edges, vals)
+	s := mkF(t, []int{1, 2}, edges, vals)
+	u := mkF(t, []int{0, 2}, edges, vals)
+	out, err := JoinAll(fd, []*factor.Factor[float64]{r, s, u}, []int{0, 1, 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Brute force.
+	count := 0
+	for a := 0; a < 3; a++ {
+		for b := 0; b < 3; b++ {
+			for c := 0; c < 3; c++ {
+				if r.ValueOrZero(fd, []int{a, b}) != 0 &&
+					s.ValueOrZero(fd, []int{b, c}) != 0 &&
+					u.ValueOrZero(fd, []int{a, c}) != 0 {
+					count++
+				}
+			}
+		}
+	}
+	if out.Size() != count {
+		t.Fatalf("triangle join size = %d, brute force %d", out.Size(), count)
+	}
+}
+
+func TestEmptyFactorEmptiesJoin(t *testing.T) {
+	r := mkF(t, []int{0}, [][]int{{0}}, []float64{1})
+	empty := mkF(t, []int{0}, nil, nil)
+	out, err := JoinAll(fd, []*factor.Factor[float64]{r, empty}, []int{0}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Size() != 0 {
+		t.Fatalf("join with empty factor has %d rows", out.Size())
+	}
+}
+
+func TestNullaryScalarMultiplies(t *testing.T) {
+	r := mkF(t, []int{0}, [][]int{{0}, {1}}, []float64{2, 3})
+	k := factor.Scalar(fd, 10.0)
+	out, err := JoinAll(fd, []*factor.Factor[float64]{r, k}, []int{0}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := out.Value([]int{1}); v != 30 {
+		t.Fatalf("scaled value = %v, want 30", v)
+	}
+}
+
+func TestNullaryZeroScalarEmptiesJoin(t *testing.T) {
+	r := mkF(t, []int{0}, [][]int{{0}}, []float64{2})
+	z := factor.Scalar(fd, 0.0)
+	out, err := JoinAll(fd, []*factor.Factor[float64]{r, z}, []int{0}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Size() != 0 {
+		t.Fatal("zero scalar should annihilate the join")
+	}
+}
+
+func TestRunnerValidation(t *testing.T) {
+	r := mkF(t, []int{0, 1}, [][]int{{0, 0}}, []float64{1})
+	if _, err := NewRunner(fd, []*factor.Factor[float64]{r}, []int{0}); err == nil {
+		t.Fatal("factor variable outside order should fail")
+	}
+	if _, err := NewRunner(fd, []*factor.Factor[float64]{r}, []int{0, 1, 2}); err == nil {
+		t.Fatal("unconstrained order variable should fail")
+	}
+	if _, err := NewRunner(fd, []*factor.Factor[float64]{r}, []int{0, 0}); err == nil {
+		t.Fatal("duplicate order variable should fail")
+	}
+}
+
+func TestEliminateInnermostMatchesMarginalize(t *testing.T) {
+	r := mkF(t, []int{0, 1}, [][]int{{0, 0}, {0, 1}, {1, 0}}, []float64{2, 3, 5})
+	s := mkF(t, []int{1}, [][]int{{0}, {1}}, []float64{10, 100})
+	// Σ_{x1} r(x0,x1)·s(x1) — eliminate variable 1.
+	got, err := EliminateInnermost(fd, semiring.OpFloatSum(),
+		[]*factor.Factor[float64]{r, s}, []int{0, 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := got.Value([]int{0}); v != 2*10+3*100 {
+		t.Fatalf("got(0) = %v, want 320", v)
+	}
+	if v, _ := got.Value([]int{1}); v != 50 {
+		t.Fatalf("got(1) = %v, want 50", v)
+	}
+}
+
+func TestEliminateInnermostToScalar(t *testing.T) {
+	r := mkF(t, []int{3}, [][]int{{0}, {1}, {2}}, []float64{1, 2, 3})
+	got, err := EliminateInnermost(fd, semiring.OpFloatSum(),
+		[]*factor.Factor[float64]{r}, []int{3}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Arity() != 0 || got.Size() != 1 {
+		t.Fatalf("want scalar, got %v", got)
+	}
+	if v, _ := got.Value([]int{}); v != 6 {
+		t.Fatalf("sum = %v, want 6", v)
+	}
+}
+
+func TestEliminateInnermostMax(t *testing.T) {
+	r := mkF(t, []int{0, 1}, [][]int{{0, 0}, {0, 1}, {1, 1}}, []float64{2, 7, 5})
+	got, err := EliminateInnermost(fd, semiring.OpFloatMax(),
+		[]*factor.Factor[float64]{r}, []int{0, 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := got.Value([]int{0}); v != 7 {
+		t.Fatalf("max over x1 at x0=0: %v, want 7", v)
+	}
+}
+
+func TestStatsPopulated(t *testing.T) {
+	r := mkF(t, []int{0, 1}, [][]int{{0, 0}, {1, 1}}, []float64{1, 1})
+	s := mkF(t, []int{1, 2}, [][]int{{0, 0}, {1, 0}}, []float64{1, 1})
+	var st Stats
+	if _, err := JoinAll(fd, []*factor.Factor[float64]{r, s}, []int{0, 1, 2}, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Emitted != 2 {
+		t.Fatalf("emitted = %d, want 2", st.Emitted)
+	}
+	if st.Multiplies == 0 {
+		t.Fatal("expected some multiplications")
+	}
+}
+
+// Property: joins over random factors agree with brute-force evaluation of
+// the product over the whole assignment box, under random variable orders.
+func TestQuickJoinMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 150; trial++ {
+		n := 2 + rng.Intn(3) // variables
+		dom := 1 + rng.Intn(3)
+		nf := 1 + rng.Intn(3)
+		var fs []*factor.Factor[float64]
+		// Ensure coverage of all variables.
+		covered := make([]bool, n)
+		for len(fs) < nf || !allTrue(covered) {
+			arity := 1 + rng.Intn(n)
+			vars := rng.Perm(n)[:arity]
+			sortInts(vars)
+			var tuples [][]int
+			var values []float64
+			total := 1
+			for range vars {
+				total *= dom
+			}
+			for enc := 0; enc < total; enc++ {
+				if rng.Intn(3) == 0 {
+					continue
+				}
+				tup := make([]int, len(vars))
+				e := enc
+				for i := range tup {
+					tup[i] = e % dom
+					e /= dom
+				}
+				tuples = append(tuples, tup)
+				values = append(values, float64(1+rng.Intn(4)))
+			}
+			f, err := factor.New(fd, vars, tuples, values, func(a, b float64) float64 { return a })
+			if err != nil {
+				t.Fatal(err)
+			}
+			fs = append(fs, f)
+			for _, v := range vars {
+				covered[v] = true
+			}
+		}
+		order := rng.Perm(n)
+		out, err := JoinAll(fd, fs, order, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Brute force over the box.
+		assignment := make([]int, n)
+		var rec func(i int)
+		rec = func(i int) {
+			if i == n {
+				prod := 1.0
+				for _, f := range fs {
+					prod *= f.At(fd, assignment)
+				}
+				sorted := make([]int, n)
+				for v := 0; v < n; v++ {
+					sorted[v] = assignment[v]
+				}
+				got := out.ValueOrZero(fd, sorted)
+				if got != prod {
+					t.Fatalf("trial %d: join(%v) = %v, brute force %v", trial, assignment, got, prod)
+				}
+				return
+			}
+			for x := 0; x < dom; x++ {
+				assignment[i] = x
+				rec(i + 1)
+			}
+		}
+		rec(0)
+	}
+}
+
+func allTrue(bs []bool) bool {
+	for _, b := range bs {
+		if !b {
+			return false
+		}
+	}
+	return true
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+func BenchmarkTriangleJoinN256(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	n := 256
+	var tuples [][]int
+	var values []float64
+	for i := 0; i < n; i++ {
+		tuples = append(tuples, []int{rng.Intn(64), rng.Intn(64)})
+		values = append(values, 1)
+	}
+	combine := func(a, b float64) float64 { return a }
+	r, _ := factor.New(fd, []int{0, 1}, tuples, values, combine)
+	s, _ := factor.New(fd, []int{1, 2}, tuples, values, combine)
+	u, _ := factor.New(fd, []int{0, 2}, tuples, values, combine)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := JoinAll(fd, []*factor.Factor[float64]{r, s, u}, []int{0, 1, 2}, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

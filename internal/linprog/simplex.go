@@ -1,0 +1,211 @@
+// Package linprog implements a small dense simplex solver.
+//
+// The FAQ engine needs linear programs of a single shape: fractional edge
+// covers (Section 4.2 of the paper) and their size-weighted variant, the
+// AGM bound.  Both are covering LPs
+//
+//	min  Σ_S c_S λ_S   s.t.  Σ_{S ∋ v} λ_S ≥ 1 for all v ∈ B,  λ ≥ 0
+//
+// with c ≥ 0.  We solve them through the dual packing LP
+//
+//	max  Σ_v y_v       s.t.  Σ_{v ∈ S∩B} y_v ≤ c_S for all S,  y ≥ 0
+//
+// which is feasible at y = 0, so a single-phase primal simplex with a slack
+// basis suffices.  Query hypergraphs have tens of vertices and edges, so a
+// dense tableau is appropriate.
+package linprog
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrUnbounded is returned when the packing LP is unbounded, which for a
+// covering instance means some vertex is covered by no edge.
+var ErrUnbounded = errors.New("linprog: unbounded (covering instance infeasible)")
+
+const eps = 1e-9
+
+// Result holds the outcome of a simplex solve.
+type Result struct {
+	Value float64   // optimal objective value
+	X     []float64 // optimal primal solution of the solved (packing) LP
+	Dual  []float64 // dual values, one per constraint row
+}
+
+// MaximizePacking solves max c·x subject to Ax ≤ b, x ≥ 0, where b ≥ 0.
+// A is given in row-major order: a[i] is the coefficient row of constraint i.
+// It returns ErrUnbounded if the LP is unbounded.
+func MaximizePacking(a [][]float64, b, c []float64) (Result, error) {
+	m := len(a)
+	n := len(c)
+	for i, row := range a {
+		if len(row) != n {
+			return Result{}, fmt.Errorf("linprog: row %d has %d coefficients, want %d", i, len(row), n)
+		}
+		if b[i] < -eps {
+			return Result{}, fmt.Errorf("linprog: negative rhs %g in row %d", b[i], i)
+		}
+	}
+
+	// Tableau: m rows of n structural + m slack columns + RHS,
+	// plus an objective row of reduced costs (z-row negated).
+	width := n + m + 1
+	t := make([][]float64, m+1)
+	for i := 0; i < m; i++ {
+		t[i] = make([]float64, width)
+		copy(t[i], a[i])
+		t[i][n+i] = 1
+		rhs := b[i]
+		if rhs < 0 {
+			rhs = 0
+		}
+		t[i][width-1] = rhs
+	}
+	obj := make([]float64, width)
+	copy(obj, c)
+	t[m] = obj
+
+	basis := make([]int, m)
+	for i := range basis {
+		basis[i] = n + i
+	}
+
+	// Bland's rule prevents cycling on the degenerate instances that arise
+	// from hypergraphs with nested edges.
+	maxIter := 200 * (m + n + 8)
+	for iter := 0; ; iter++ {
+		if iter > maxIter {
+			return Result{}, errors.New("linprog: iteration limit exceeded")
+		}
+		// Entering variable: smallest index with positive reduced cost.
+		col := -1
+		for j := 0; j < n+m; j++ {
+			if obj[j] > eps {
+				col = j
+				break
+			}
+		}
+		if col < 0 {
+			break // optimal
+		}
+		// Leaving variable: minimum ratio, ties by smallest basis index.
+		row := -1
+		best := math.Inf(1)
+		for i := 0; i < m; i++ {
+			if t[i][col] > eps {
+				r := t[i][width-1] / t[i][col]
+				if r < best-eps || (r < best+eps && (row < 0 || basis[i] < basis[row])) {
+					best = r
+					row = i
+				}
+			}
+		}
+		if row < 0 {
+			return Result{}, ErrUnbounded
+		}
+		pivot(t, basis, row, col)
+	}
+
+	res := Result{
+		Value: -obj[width-1],
+		X:     make([]float64, n),
+		Dual:  make([]float64, m),
+	}
+	for i, bv := range basis {
+		if bv < n {
+			res.X[bv] = t[i][width-1]
+		}
+	}
+	// At optimality the reduced cost of slack i is -y_i.
+	for i := 0; i < m; i++ {
+		res.Dual[i] = -obj[n+i]
+		if res.Dual[i] < 0 && res.Dual[i] > -eps {
+			res.Dual[i] = 0
+		}
+	}
+	return res, nil
+}
+
+func pivot(t [][]float64, basis []int, row, col int) {
+	width := len(t[row])
+	p := t[row][col]
+	for j := 0; j < width; j++ {
+		t[row][j] /= p
+	}
+	for i := range t {
+		if i == row {
+			continue
+		}
+		f := t[i][col]
+		if f == 0 {
+			continue
+		}
+		for j := 0; j < width; j++ {
+			t[i][j] -= f * t[row][j]
+		}
+	}
+	if row < len(basis) {
+		basis[row] = col
+	}
+}
+
+// FractionalCover solves the covering LP
+//
+//	min Σ_j cost_j λ_j  s.t.  Σ_{j : member(j, v)} λ_j ≥ 1 for every v ∈ verts, λ ≥ 0,
+//
+// where sets[j] lists the vertices edge j contains.  It returns the optimal
+// value and an optimal λ.  Costs must be non-negative.  If some vertex of
+// verts lies in no set the instance is infeasible and ErrUnbounded is
+// returned.
+func FractionalCover(sets [][]int, cost []float64, verts []int) (float64, []float64, error) {
+	if len(sets) != len(cost) {
+		return 0, nil, fmt.Errorf("linprog: %d sets but %d costs", len(sets), len(cost))
+	}
+	if len(verts) == 0 {
+		return 0, make([]float64, len(sets)), nil
+	}
+	idx := make(map[int]int, len(verts))
+	for i, v := range verts {
+		idx[v] = i
+	}
+	// Dual packing LP: variables y_v for v ∈ verts, one constraint per set.
+	m := len(sets)
+	n := len(verts)
+	a := make([][]float64, m)
+	b := make([]float64, m)
+	for j, s := range sets {
+		if cost[j] < -eps {
+			return 0, nil, fmt.Errorf("linprog: negative cost %g for set %d", cost[j], j)
+		}
+		row := make([]float64, n)
+		for _, v := range s {
+			if i, ok := idx[v]; ok {
+				row[i] = 1
+			}
+		}
+		a[j] = row
+		b[j] = cost[j]
+	}
+	c := make([]float64, n)
+	for i := range c {
+		c[i] = 1
+	}
+	res, err := MaximizePacking(a, b, c)
+	if err != nil {
+		return 0, nil, err
+	}
+	// λ is the dual of the packing LP, i.e. the primal of the cover.
+	return res.Value, res.Dual, nil
+}
+
+// UniformCover solves FractionalCover with all costs 1; the optimal value is
+// the fractional edge cover number ρ*(verts) of the hypergraph given by sets.
+func UniformCover(sets [][]int, verts []int) (float64, []float64, error) {
+	cost := make([]float64, len(sets))
+	for i := range cost {
+		cost[i] = 1
+	}
+	return FractionalCover(sets, cost, verts)
+}

@@ -1,0 +1,242 @@
+package linprog
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-6 }
+
+func TestMaximizePackingTextbook(t *testing.T) {
+	// max 3x + 5y s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18; optimum 36 at (2, 6).
+	a := [][]float64{{1, 0}, {0, 2}, {3, 2}}
+	b := []float64{4, 12, 18}
+	c := []float64{3, 5}
+	res, err := MaximizePacking(a, b, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(res.Value, 36) {
+		t.Fatalf("value = %g, want 36", res.Value)
+	}
+	if !almost(res.X[0], 2) || !almost(res.X[1], 6) {
+		t.Fatalf("x = %v, want (2, 6)", res.X)
+	}
+}
+
+func TestMaximizePackingUnbounded(t *testing.T) {
+	// y has no binding constraint.
+	a := [][]float64{{1, 0}}
+	b := []float64{1}
+	c := []float64{1, 1}
+	if _, err := MaximizePacking(a, b, c); err != ErrUnbounded {
+		t.Fatalf("err = %v, want ErrUnbounded", err)
+	}
+}
+
+func TestMaximizePackingDegenerate(t *testing.T) {
+	// Redundant constraints force degenerate pivots; Bland's rule must not cycle.
+	a := [][]float64{{1, 1}, {1, 1}, {2, 2}, {1, 0}}
+	b := []float64{1, 1, 2, 1}
+	c := []float64{1, 1}
+	res, err := MaximizePacking(a, b, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(res.Value, 1) {
+		t.Fatalf("value = %g, want 1", res.Value)
+	}
+}
+
+func TestFractionalCoverTriangle(t *testing.T) {
+	// Triangle: edges {0,1},{0,2},{1,2}; ρ*({0,1,2}) = 3/2 with λ = 1/2 each.
+	sets := [][]int{{0, 1}, {0, 2}, {1, 2}}
+	v, lam, err := UniformCover(sets, []int{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(v, 1.5) {
+		t.Fatalf("ρ* = %g, want 1.5", v)
+	}
+	// λ must be a feasible cover with total weight equal to the optimum.
+	checkCoverFeasible(t, sets, lam, []int{0, 1, 2}, v)
+}
+
+func TestFractionalCoverLoomisWhitney(t *testing.T) {
+	// LW(4): edges are all 3-subsets of {0..3}; ρ* = 4/3.
+	sets := [][]int{{0, 1, 2}, {0, 1, 3}, {0, 2, 3}, {1, 2, 3}}
+	v, lam, err := UniformCover(sets, []int{0, 1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(v, 4.0/3.0) {
+		t.Fatalf("ρ* = %g, want 4/3", v)
+	}
+	checkCoverFeasible(t, sets, lam, []int{0, 1, 2, 3}, v)
+}
+
+func TestFractionalCoverSubsetOfVertices(t *testing.T) {
+	// Covering only B = {1} of a path needs a single edge.
+	sets := [][]int{{0, 1}, {1, 2}}
+	v, _, err := UniformCover(sets, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(v, 1) {
+		t.Fatalf("ρ*({1}) = %g, want 1", v)
+	}
+}
+
+func TestFractionalCoverInfeasible(t *testing.T) {
+	sets := [][]int{{0, 1}}
+	if _, _, err := UniformCover(sets, []int{0, 2}); err != ErrUnbounded {
+		t.Fatalf("err = %v, want ErrUnbounded", err)
+	}
+}
+
+func TestFractionalCoverEmptyVerts(t *testing.T) {
+	v, lam, err := UniformCover([][]int{{0}}, nil)
+	if err != nil || v != 0 {
+		t.Fatalf("v = %g err = %v, want 0, nil", v, err)
+	}
+	if len(lam) != 1 {
+		t.Fatalf("λ length %d, want 1", len(lam))
+	}
+}
+
+func TestWeightedCoverPrefersCheapEdge(t *testing.T) {
+	// Edge 0 covers everything at cost 10; edges 1 and 2 cover it at cost 1+1.
+	sets := [][]int{{0, 1}, {0}, {1}}
+	cost := []float64{10, 1, 1}
+	v, lam, err := FractionalCover(sets, cost, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(v, 2) {
+		t.Fatalf("value = %g, want 2", v)
+	}
+	checkCoverFeasibleWeighted(t, sets, cost, lam, []int{0, 1}, v)
+}
+
+// checkCoverFeasible verifies that λ is feasible and achieves value v.
+func checkCoverFeasible(t *testing.T, sets [][]int, lam []float64, verts []int, v float64) {
+	t.Helper()
+	cost := make([]float64, len(sets))
+	for i := range cost {
+		cost[i] = 1
+	}
+	checkCoverFeasibleWeighted(t, sets, cost, lam, verts, v)
+}
+
+func checkCoverFeasibleWeighted(t *testing.T, sets [][]int, cost, lam []float64, verts []int, v float64) {
+	t.Helper()
+	total := 0.0
+	for j, l := range lam {
+		if l < -1e-7 {
+			t.Fatalf("negative λ[%d] = %g", j, l)
+		}
+		total += l * cost[j]
+	}
+	if !almost(total, v) {
+		t.Fatalf("Σ cost·λ = %g but reported value %g", total, v)
+	}
+	for _, vert := range verts {
+		cov := 0.0
+		for j, s := range sets {
+			for _, u := range s {
+				if u == vert {
+					cov += lam[j]
+					break
+				}
+			}
+		}
+		if cov < 1-1e-6 {
+			t.Fatalf("vertex %d covered only %g", vert, cov)
+		}
+	}
+}
+
+// Property: on random hypergraphs where every vertex is covered, the LP value
+// lies between the best integral cover divided by the max edge size and the
+// best integral cover, and the returned λ is feasible.
+func TestQuickRandomCovers(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 300; trial++ {
+		nv := 1 + rng.Intn(6)
+		ne := 1 + rng.Intn(6)
+		sets := make([][]int, ne)
+		covered := make([]bool, nv)
+		for j := range sets {
+			sz := 1 + rng.Intn(nv)
+			seen := map[int]bool{}
+			for len(seen) < sz {
+				seen[rng.Intn(nv)] = true
+			}
+			for v := range seen {
+				sets[j] = append(sets[j], v)
+				covered[v] = true
+			}
+		}
+		verts := []int{}
+		for v, ok := range covered {
+			if ok {
+				verts = append(verts, v)
+			}
+		}
+		if len(verts) == 0 {
+			continue
+		}
+		val, lam, err := UniformCover(sets, verts)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		checkCoverFeasible(t, sets, lam, verts, val)
+		best := bestIntegralCover(sets, verts)
+		if val > float64(best)+1e-6 {
+			t.Fatalf("trial %d: LP %g exceeds integral optimum %d", trial, val, best)
+		}
+		if best > len(sets) {
+			t.Fatalf("trial %d: integral cover bogus", trial)
+		}
+	}
+}
+
+// bestIntegralCover brute-forces the minimum number of edges covering verts.
+func bestIntegralCover(sets [][]int, verts []int) int {
+	best := len(sets) + 1
+	for mask := 0; mask < 1<<len(sets); mask++ {
+		n := 0
+		cov := map[int]bool{}
+		for j := range sets {
+			if mask&(1<<j) != 0 {
+				n++
+				for _, v := range sets[j] {
+					cov[v] = true
+				}
+			}
+		}
+		ok := true
+		for _, v := range verts {
+			if !cov[v] {
+				ok = false
+				break
+			}
+		}
+		if ok && n < best {
+			best = n
+		}
+	}
+	return best
+}
+
+func BenchmarkTriangleCoverLP(b *testing.B) {
+	sets := [][]int{{0, 1}, {0, 2}, {1, 2}}
+	verts := []int{0, 1, 2}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := UniformCover(sets, verts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package pgm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func approxEq(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return math.Abs(a-b) <= 1e-9*scale
+}
+
+func TestValidate(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := Chain(rng, 4, 2)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := &Model{NumVars: 2, DomSizes: []int{2, 2}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("uncovered variables should fail validation")
+	}
+}
+
+func TestMarginalMatchesBruteForceOnModels(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	models := map[string]*Model{
+		"chain":  Chain(rng, 5, 3),
+		"grid":   Grid(rng, 2, 3, 2),
+		"cycle":  Cycle(rng, 5, 2),
+		"tree":   RandomTree(rng, 6, 2),
+		"single": Chain(rng, 1, 4),
+	}
+	for name, m := range models {
+		for _, queryVars := range [][]int{nil, {0}, {0, m.NumVars - 1}} {
+			if len(queryVars) > m.NumVars {
+				continue
+			}
+			got, err := m.Marginal(queryVars)
+			if err != nil {
+				t.Fatalf("%s %v: %v", name, queryVars, err)
+			}
+			want, err := m.MarginalBrute(queryVars)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Size() != want.Size() {
+				t.Fatalf("%s %v: %d rows vs %d", name, queryVars, got.Size(), want.Size())
+			}
+			for i, tup := range want.Tuples {
+				gv, ok := got.Value(tup)
+				if !ok || !approxEq(gv, want.Values[i]) {
+					t.Fatalf("%s %v: marginal(%v) = %v, want %v", name, queryVars, tup, gv, want.Values[i])
+				}
+			}
+		}
+	}
+}
+
+func TestPartitionAndMAP(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 10; trial++ {
+		m := Cycle(rng, 4+trial%3, 2)
+		z, err := m.Partition()
+		if err != nil {
+			t.Fatal(err)
+		}
+		zb, err := m.MarginalBrute(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !approxEq(z, zb.Values[0]) {
+			t.Fatalf("trial %d: Z = %v, brute %v", trial, z, zb.Values[0])
+		}
+		mapv, err := m.MAPValue()
+		if err != nil {
+			t.Fatal(err)
+		}
+		mapb, err := m.MAPBrute()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !approxEq(mapv, mapb) {
+			t.Fatalf("trial %d: MAP = %v, brute %v", trial, mapv, mapb)
+		}
+		if mapv > z+1e-9 {
+			t.Fatalf("trial %d: MAP value exceeds partition function", trial)
+		}
+	}
+}
+
+func TestMAPAssignmentRealizesValue(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 8; trial++ {
+		m := Grid(rng, 2, 3, 2)
+		assignment, val, err := m.MAPAssignment()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Evaluate the product of potentials at the decoded assignment.
+		prod := 1.0
+		for _, p := range m.Potentials {
+			tuple := make([]int, len(p.Vars))
+			for i, v := range p.Vars {
+				tuple[i] = assignment[v]
+			}
+			pv, ok := p.Value(tuple)
+			if !ok {
+				t.Fatalf("trial %d: MAP assignment hits a zero potential", trial)
+			}
+			prod *= pv
+		}
+		if !approxEq(prod, val) {
+			t.Fatalf("trial %d: decoded assignment has value %v, MAP value %v", trial, prod, val)
+		}
+	}
+}
+
+func TestMarginalQueryVarValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	m := Chain(rng, 3, 2)
+	if _, err := m.Marginal([]int{7}); err == nil {
+		t.Fatal("unknown query variable should fail")
+	}
+	if _, err := m.Marginal([]int{1, 1}); err == nil {
+		t.Fatal("duplicate query variable should fail")
+	}
+}
+
+func TestMarginalConsistency(t *testing.T) {
+	// Σ over a marginal equals the partition function.
+	rng := rand.New(rand.NewSource(19))
+	m := Grid(rng, 2, 2, 3)
+	z, err := m.Partition()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu, err := m.Marginal([]int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, v := range mu.Values {
+		sum += v
+	}
+	if !approxEq(sum, z) {
+		t.Fatalf("Σ marginal = %v, Z = %v", sum, z)
+	}
+}
+
+func BenchmarkMarginalGrid3x4(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	m := Grid(rng, 3, 4, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Marginal([]int{0}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,250 @@
+// Package semiring models the algebraic structure underlying FAQ queries.
+//
+// An FAQ query (Section 1.2 of the paper) fixes one domain D with a
+// commutative product ⊗, an additive identity 0 shared by all aggregates, and
+// a multiplicative identity 1.  Every bound variable carries an aggregate
+// ⊕(i) which either forms a commutative semiring (D, ⊕(i), ⊗) or is ⊗
+// itself.  Go's generics cannot express "type with operators", so the
+// structure is reified: Domain[V] carries ⊗/0/1 as funcs and Op[V] carries a
+// named aggregate.  All engine code is generic over the value type V.
+package semiring
+
+import (
+	"math"
+	"math/big"
+)
+
+// Domain describes the shared multiplicative monoid of an FAQ instance:
+// the product ⊗ with identity One and the annihilating additive identity
+// Zero.  Mul must be commutative and associative; Zero must annihilate
+// (Mul(x, Zero) = Zero for all x).
+type Domain[V any] struct {
+	Name   string
+	Zero   V
+	One    V
+	Mul    func(a, b V) V
+	IsZero func(v V) bool
+	Equal  func(a, b V) bool
+}
+
+// MulIdempotent reports whether v is an idempotent element of ⊗
+// (v ⊗ v = v).  Definition 5.2 of the paper uses this to decide whether a
+// factor may be "factored out" past a product aggregate without powering.
+func (d *Domain[V]) MulIdempotent(v V) bool {
+	return d.Equal(d.Mul(v, v), v)
+}
+
+// Pow raises v to the k-th power under ⊗ by repeated squaring, performing
+// O(log k) multiplications as in Section 5.2.2.  Pow(v, 0) is One.
+func (d *Domain[V]) Pow(v V, k int) V {
+	if k < 0 {
+		panic("semiring: negative exponent")
+	}
+	acc := d.One
+	base := v
+	for k > 0 {
+		if k&1 == 1 {
+			acc = d.Mul(acc, base)
+		}
+		base = d.Mul(base, base)
+		k >>= 1
+	}
+	return acc
+}
+
+// Op is a named commutative, associative aggregate over V.  An Op used as a
+// variable aggregate must form a commutative semiring with the domain's ⊗
+// and share the domain's Zero as its identity.
+type Op[V any] struct {
+	Name       string
+	Combine    func(a, b V) V
+	Idempotent bool // a ⊕ a = a for all a (max, min, or, union, ...)
+}
+
+// SameOp reports whether two aggregates are the same named operator.
+// Per Definition 6.4/Proposition 6.6, non-identical aggregates never
+// commute, so names are the unit of comparison when building expression
+// trees.
+func SameOp[V any](a, b *Op[V]) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	return a.Name == b.Name
+}
+
+// ---------------------------------------------------------------------------
+// Standard instantiations.
+// ---------------------------------------------------------------------------
+
+// Bool returns the Boolean domain ({false,true}, ∨, ∧): the semiring of
+// joins, CSP satisfiability and QCQ (Appendix A.1).
+func Bool() *Domain[bool] {
+	return &Domain[bool]{
+		Name:   "bool",
+		Zero:   false,
+		One:    true,
+		Mul:    func(a, b bool) bool { return a && b },
+		IsZero: func(v bool) bool { return !v },
+		Equal:  func(a, b bool) bool { return a == b },
+	}
+}
+
+// OpOr is logical disjunction, the additive aggregate of the Boolean semiring.
+func OpOr() *Op[bool] {
+	return &Op[bool]{Name: "or", Combine: func(a, b bool) bool { return a || b }, Idempotent: true}
+}
+
+// Float returns the real domain (R, ·) shared by the sum-product,
+// max-product and min-product semirings of PGM inference.
+func Float() *Domain[float64] {
+	return &Domain[float64]{
+		Name:   "float64",
+		Zero:   0,
+		One:    1,
+		Mul:    func(a, b float64) float64 { return a * b },
+		IsZero: func(v float64) bool { return v == 0 },
+		Equal:  func(a, b float64) bool { return a == b },
+	}
+}
+
+// OpFloatSum is + over float64 (sum-product semiring: marginals, #CSP).
+func OpFloatSum() *Op[float64] {
+	return &Op[float64]{Name: "sum", Combine: func(a, b float64) float64 { return a + b }}
+}
+
+// OpFloatMax is max over non-negative float64 (max-product semiring: MAP).
+func OpFloatMax() *Op[float64] {
+	return &Op[float64]{Name: "max", Combine: math.Max, Idempotent: true}
+}
+
+// OpFloatMin is min over non-negative float64; (R+, min, ·) is a semiring
+// because multiplication by a non-negative scalar preserves order.
+func OpFloatMin() *Op[float64] {
+	return &Op[float64]{Name: "min", Combine: math.Min, Idempotent: true}
+}
+
+// Int returns the counting domain (Z, ·) used by #CQ and #QCQ where
+// D = N (Table 1).
+func Int() *Domain[int64] {
+	return &Domain[int64]{
+		Name:   "int64",
+		Zero:   0,
+		One:    1,
+		Mul:    func(a, b int64) int64 { return a * b },
+		IsZero: func(v int64) bool { return v == 0 },
+		Equal:  func(a, b int64) bool { return a == b },
+	}
+}
+
+// OpIntSum is + over int64.
+func OpIntSum() *Op[int64] {
+	return &Op[int64]{Name: "sum", Combine: func(a, b int64) int64 { return a + b }}
+}
+
+// OpIntMax is max over non-negative int64.
+func OpIntMax() *Op[int64] {
+	return &Op[int64]{Name: "max", Combine: func(a, b int64) int64 {
+		if a > b {
+			return a
+		}
+		return b
+	}, Idempotent: true}
+}
+
+// Complex returns (C, ·), the domain of the DFT reduction (Table 1, blue).
+func Complex() *Domain[complex128] {
+	return &Domain[complex128]{
+		Name:   "complex128",
+		Zero:   0,
+		One:    1,
+		Mul:    func(a, b complex128) complex128 { return a * b },
+		IsZero: func(v complex128) bool { return v == 0 },
+		Equal:  func(a, b complex128) bool { return a == b },
+	}
+}
+
+// OpComplexSum is + over complex128.
+func OpComplexSum() *Op[complex128] {
+	return &Op[complex128]{Name: "sum", Combine: func(a, b complex128) complex128 { return a + b }}
+}
+
+// Rat returns the exact rational domain (Q, ·) used by the weighted #SAT
+// elimination of Section 8.3.2, where clause weights become fractions.
+// All operations allocate fresh values; shared Zero/One are never mutated.
+func Rat() *Domain[*big.Rat] {
+	return &Domain[*big.Rat]{
+		Name: "rat",
+		Zero: new(big.Rat),
+		One:  big.NewRat(1, 1),
+		Mul: func(a, b *big.Rat) *big.Rat {
+			return new(big.Rat).Mul(a, b)
+		},
+		IsZero: func(v *big.Rat) bool { return v.Sign() == 0 },
+		Equal:  func(a, b *big.Rat) bool { return a.Cmp(b) == 0 },
+	}
+}
+
+// OpRatSum is + over *big.Rat.
+func OpRatSum() *Op[*big.Rat] {
+	return &Op[*big.Rat]{Name: "sum", Combine: func(a, b *big.Rat) *big.Rat {
+		return new(big.Rat).Add(a, b)
+	}}
+}
+
+// SetUniverse is the number of elements in the small-set semiring universe.
+const SetUniverse = 64
+
+// Set returns the set semiring (2^U, ∪, ∩) over a 64-element universe
+// encoded as a bitmask: Zero = ∅, One = U.  Yannakakis' algorithm is
+// variable elimination over this semiring (Section 3.1).
+func Set() *Domain[uint64] {
+	return &Domain[uint64]{
+		Name:   "set64",
+		Zero:   0,
+		One:    ^uint64(0),
+		Mul:    func(a, b uint64) uint64 { return a & b },
+		IsZero: func(v uint64) bool { return v == 0 },
+		Equal:  func(a, b uint64) bool { return a == b },
+	}
+}
+
+// OpUnion is set union over the 64-element universe.
+func OpUnion() *Op[uint64] {
+	return &Op[uint64]{Name: "union", Combine: func(a, b uint64) uint64 { return a | b }, Idempotent: true}
+}
+
+// Tropical returns the min-plus semiring (R ∪ {+∞}, min, +) with
+// Zero = +∞ and One = 0, used for shortest-path style dynamic programs.
+// Note the product here is addition: this is a different ⊗ from Float's.
+func Tropical() *Domain[float64] {
+	return &Domain[float64]{
+		Name:   "tropical",
+		Zero:   math.Inf(1),
+		One:    0,
+		Mul:    func(a, b float64) float64 { return a + b },
+		IsZero: func(v float64) bool { return math.IsInf(v, 1) },
+		Equal:  func(a, b float64) bool { return a == b || (math.IsInf(a, 1) && math.IsInf(b, 1)) },
+	}
+}
+
+// OpTropicalMin is min, the additive aggregate of the tropical semiring.
+func OpTropicalMin() *Op[float64] {
+	return &Op[float64]{Name: "min", Combine: math.Min, Idempotent: true}
+}
+
+// OpZeroOneOr builds the 01-OR aggregate of Definition 5.3 for an arbitrary
+// domain: a ⊕ b is Zero when both arguments are Zero and One otherwise.
+// (01, ⊗) is a semiring on {0, 1}; InsideOut uses it to eliminate free
+// variables and recover the output, Yannakakis-style.
+func OpZeroOneOr[V any](d *Domain[V]) *Op[V] {
+	return &Op[V]{
+		Name: "01or",
+		Combine: func(a, b V) V {
+			if d.IsZero(a) && d.IsZero(b) {
+				return d.Zero
+			}
+			return d.One
+		},
+		Idempotent: true,
+	}
+}

@@ -1,0 +1,226 @@
+package semiring
+
+import (
+	"math"
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+// axiomChecker verifies the commutative-semiring axioms of footnote 1 in the
+// paper over a supplied sample of values:
+//
+//  1. (D, ⊕) commutative monoid with identity 0,
+//  2. (D, ⊗) commutative monoid with identity 1,
+//  3. ⊗ distributes over ⊕,
+//  4. 0 annihilates under ⊗.
+func axiomChecker[V any](t *testing.T, d *Domain[V], op *Op[V], sample []V) {
+	t.Helper()
+	eq := d.Equal
+	for _, a := range sample {
+		if !eq(op.Combine(a, d.Zero), a) {
+			t.Fatalf("%s/%s: a ⊕ 0 ≠ a for %v", d.Name, op.Name, a)
+		}
+		if !eq(d.Mul(a, d.One), a) {
+			t.Fatalf("%s: a ⊗ 1 ≠ a for %v", d.Name, a)
+		}
+		if !eq(d.Mul(a, d.Zero), d.Zero) {
+			t.Fatalf("%s: a ⊗ 0 ≠ 0 for %v", d.Name, a)
+		}
+		if op.Idempotent && !eq(op.Combine(a, a), a) {
+			t.Fatalf("%s/%s: flagged idempotent but a ⊕ a ≠ a for %v", d.Name, op.Name, a)
+		}
+		for _, b := range sample {
+			if !eq(op.Combine(a, b), op.Combine(b, a)) {
+				t.Fatalf("%s/%s: ⊕ not commutative on (%v, %v)", d.Name, op.Name, a, b)
+			}
+			if !eq(d.Mul(a, b), d.Mul(b, a)) {
+				t.Fatalf("%s: ⊗ not commutative on (%v, %v)", d.Name, a, b)
+			}
+			for _, c := range sample {
+				if !eq(op.Combine(op.Combine(a, b), c), op.Combine(a, op.Combine(b, c))) {
+					t.Fatalf("%s/%s: ⊕ not associative on (%v, %v, %v)", d.Name, op.Name, a, b, c)
+				}
+				if !eq(d.Mul(d.Mul(a, b), c), d.Mul(a, d.Mul(b, c))) {
+					t.Fatalf("%s: ⊗ not associative on (%v, %v, %v)", d.Name, a, b, c)
+				}
+				if !eq(d.Mul(a, op.Combine(b, c)), op.Combine(d.Mul(a, b), d.Mul(a, c))) {
+					t.Fatalf("%s/%s: distributivity fails on (%v, %v, %v)", d.Name, op.Name, a, b, c)
+				}
+			}
+		}
+	}
+}
+
+func TestBoolSemiring(t *testing.T) {
+	axiomChecker(t, Bool(), OpOr(), []bool{false, true})
+}
+
+func TestFloatSumProd(t *testing.T) {
+	// Small integers so float arithmetic is exact and axioms hold exactly.
+	sample := []float64{0, 1, 2, 3, 5}
+	axiomChecker(t, Float(), OpFloatSum(), sample)
+}
+
+func TestFloatMaxProd(t *testing.T) {
+	sample := []float64{0, 0.5, 1, 2, 4}
+	axiomChecker(t, Float(), OpFloatMax(), sample)
+}
+
+func TestFloatMinProdOverNonNegatives(t *testing.T) {
+	sample := []float64{0, 0.5, 1, 2, 4}
+	d := Float()
+	op := OpFloatMin()
+	// min-product is a semiring over R+ except that min's identity is +∞,
+	// not 0; check only distributivity and annihilation here.
+	for _, a := range sample {
+		for _, b := range sample {
+			for _, c := range sample {
+				if d.Mul(a, op.Combine(b, c)) != op.Combine(d.Mul(a, b), d.Mul(a, c)) {
+					t.Fatalf("min-product distributivity fails on (%v, %v, %v)", a, b, c)
+				}
+			}
+		}
+	}
+}
+
+func TestIntSemirings(t *testing.T) {
+	sample := []int64{0, 1, 2, 3, 7}
+	axiomChecker(t, Int(), OpIntSum(), sample)
+	axiomChecker(t, Int(), OpIntMax(), sample)
+}
+
+func TestComplexSemiring(t *testing.T) {
+	sample := []complex128{0, 1, 1i, 2 + 3i}
+	axiomChecker(t, Complex(), OpComplexSum(), sample)
+}
+
+func TestRatSemiring(t *testing.T) {
+	sample := []*big.Rat{new(big.Rat), big.NewRat(1, 1), big.NewRat(1, 2), big.NewRat(-3, 7)}
+	axiomChecker(t, Rat(), OpRatSum(), sample)
+}
+
+func TestRatOpsDoNotMutate(t *testing.T) {
+	d := Rat()
+	a := big.NewRat(2, 3)
+	b := big.NewRat(3, 2)
+	d.Mul(a, b)
+	OpRatSum().Combine(a, b)
+	if a.RatString() != "2/3" || b.RatString() != "3/2" {
+		t.Fatal("rational operations mutated their arguments")
+	}
+	d.Mul(d.Zero, big.NewRat(5, 1))
+	if d.Zero.Sign() != 0 {
+		t.Fatal("shared Zero was mutated")
+	}
+}
+
+func TestSetSemiring(t *testing.T) {
+	sample := []uint64{0, 1, 0b1010, ^uint64(0), 1 << 63}
+	axiomChecker(t, Set(), OpUnion(), sample)
+}
+
+func TestTropicalSemiring(t *testing.T) {
+	inf := math.Inf(1)
+	sample := []float64{inf, 0, 1, 2.5, 10}
+	axiomChecker(t, Tropical(), OpTropicalMin(), sample)
+}
+
+func TestZeroOneOr(t *testing.T) {
+	d := Float()
+	op := OpZeroOneOr(d)
+	cases := []struct{ a, b, want float64 }{
+		{0, 0, 0}, {0, 3, 1}, {2, 0, 1}, {5, 7, 1},
+	}
+	for _, c := range cases {
+		if got := op.Combine(c.a, c.b); got != c.want {
+			t.Fatalf("01or(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+	// (01, ⊗) must itself satisfy the semiring axioms on {0, 1}.
+	axiomChecker(t, d, op, []float64{0, 1})
+}
+
+func TestPow(t *testing.T) {
+	d := Float()
+	if got := d.Pow(2, 10); got != 1024 {
+		t.Fatalf("2^10 = %v", got)
+	}
+	if got := d.Pow(7, 0); got != 1 {
+		t.Fatalf("7^0 = %v", got)
+	}
+	if got := d.Pow(0, 5); got != 0 {
+		t.Fatalf("0^5 = %v", got)
+	}
+	b := Bool()
+	if got := b.Pow(true, 17); got != true {
+		t.Fatalf("true^17 = %v", got)
+	}
+}
+
+func TestPowNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Pow with negative exponent should panic")
+		}
+	}()
+	Float().Pow(2, -1)
+}
+
+// Property: Pow agrees with the naive iterated product.
+func TestQuickPowMatchesNaive(t *testing.T) {
+	d := Int()
+	f := func(base int8, exp uint8) bool {
+		b := int64(base) % 3 // keep products within int64
+		k := int(exp) % 20
+		want := int64(1)
+		for i := 0; i < k; i++ {
+			want *= b
+		}
+		return d.Pow(b, k) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulIdempotent(t *testing.T) {
+	d := Float()
+	if !d.MulIdempotent(0) || !d.MulIdempotent(1) {
+		t.Fatal("0 and 1 are ⊗-idempotent in (R, ·)")
+	}
+	if d.MulIdempotent(2) {
+		t.Fatal("2 is not ⊗-idempotent in (R, ·)")
+	}
+	s := Set()
+	if !s.MulIdempotent(0b1011) {
+		t.Fatal("every set is ∩-idempotent")
+	}
+}
+
+func TestSameOp(t *testing.T) {
+	if !SameOp(OpFloatSum(), OpFloatSum()) {
+		t.Fatal("two sum ops should compare equal by name")
+	}
+	if SameOp(OpFloatSum(), OpFloatMax()) {
+		t.Fatal("sum and max are different aggregates")
+	}
+	if !SameOp[float64](nil, nil) {
+		t.Fatal("nil (product) aggregates are the same")
+	}
+	if SameOp(nil, OpFloatSum()) {
+		t.Fatal("nil vs sum should differ")
+	}
+}
+
+// Proposition 6.7: for non-commuting aggregates there exists a 2×2 witness
+// on which the order of aggregation matters.  Verify sum/max exhibit one.
+func TestSumMaxDoNotCommute(t *testing.T) {
+	// φ(x, y) over {0,1}²: Σ_x max_y vs max_y Σ_x.
+	phi := [2][2]float64{{1, 0}, {0, 1}}
+	sumThenMax := math.Max(phi[0][0]+phi[1][0], phi[0][1]+phi[1][1])
+	maxThenSum := math.Max(phi[0][0], phi[0][1]) + math.Max(phi[1][0], phi[1][1])
+	if sumThenMax == maxThenSum {
+		t.Fatal("expected witness for non-commutativity of sum and max")
+	}
+}

@@ -1,0 +1,181 @@
+// Package spec parses a small text format describing FAQ queries over the
+// real sum/max/min-product semirings, used by cmd/faqrun and cmd/faqplan.
+//
+// Format (line oriented, '#' starts a comment):
+//
+//	var <name> <domSize> <agg>     # agg ∈ free | sum | max | min | prod
+//	factor <name> <name> ...       # starts a factor block over those vars
+//	<v1> <v2> ... = <value>        # one listed tuple per line
+//	end                            # closes the factor block
+//
+// Variables must be declared with all free variables first (the FAQ normal
+// form of Eq. (1)); factors may list variables in any order.
+package spec
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"github.com/faqdb/faq/internal/core"
+	"github.com/faqdb/faq/internal/factor"
+	"github.com/faqdb/faq/internal/semiring"
+)
+
+// Parse reads a query specification.
+func Parse(r io.Reader) (*core.Query[float64], error) {
+	d := semiring.Float()
+	q := &core.Query[float64]{D: d}
+	names := map[string]int{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+
+	lineNo := 0
+	var factorVars []int // nil when outside a factor block
+	var tuples [][]int
+	var values []float64
+	var perm []int // column permutation to sorted vars
+	var sortedVars []int
+
+	closeFactor := func() error {
+		f, err := factor.New(d, sortedVars, tuples, values, nil)
+		if err != nil {
+			return err
+		}
+		q.Factors = append(q.Factors, f)
+		factorVars, tuples, values, perm, sortedVars = nil, nil, nil, nil, nil
+		return nil
+	}
+
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "var":
+			if factorVars != nil {
+				return nil, fmt.Errorf("spec:%d: var inside factor block", lineNo)
+			}
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("spec:%d: want 'var <name> <dom> <agg>'", lineNo)
+			}
+			name := fields[1]
+			if _, dup := names[name]; dup {
+				return nil, fmt.Errorf("spec:%d: duplicate variable %q", lineNo, name)
+			}
+			dom, err := strconv.Atoi(fields[2])
+			if err != nil || dom < 1 {
+				return nil, fmt.Errorf("spec:%d: bad domain size %q", lineNo, fields[2])
+			}
+			agg, err := parseAgg(fields[3])
+			if err != nil {
+				return nil, fmt.Errorf("spec:%d: %v", lineNo, err)
+			}
+			if agg.Kind == core.KindFree {
+				if q.NumFree != q.NVars {
+					return nil, fmt.Errorf("spec:%d: free variable %q after a bound variable", lineNo, name)
+				}
+				q.NumFree++
+			}
+			names[name] = q.NVars
+			q.Names = append(q.Names, name)
+			q.DomSizes = append(q.DomSizes, dom)
+			q.Aggs = append(q.Aggs, agg)
+			q.NVars++
+		case "factor":
+			if factorVars != nil {
+				return nil, fmt.Errorf("spec:%d: nested factor block", lineNo)
+			}
+			if len(fields) < 2 {
+				return nil, fmt.Errorf("spec:%d: factor needs at least one variable", lineNo)
+			}
+			for _, name := range fields[1:] {
+				v, ok := names[name]
+				if !ok {
+					return nil, fmt.Errorf("spec:%d: unknown variable %q", lineNo, name)
+				}
+				factorVars = append(factorVars, v)
+			}
+			perm = make([]int, len(factorVars))
+			for i := range perm {
+				perm[i] = i
+			}
+			fv := factorVars
+			sort.Slice(perm, func(a, b int) bool { return fv[perm[a]] < fv[perm[b]] })
+			sortedVars = make([]int, len(factorVars))
+			for i, p := range perm {
+				sortedVars[i] = factorVars[p]
+			}
+		case "end":
+			if factorVars == nil {
+				return nil, fmt.Errorf("spec:%d: end outside factor block", lineNo)
+			}
+			if err := closeFactor(); err != nil {
+				return nil, fmt.Errorf("spec:%d: %v", lineNo, err)
+			}
+		default:
+			if factorVars == nil {
+				return nil, fmt.Errorf("spec:%d: unexpected %q outside a factor block", lineNo, fields[0])
+			}
+			eq := -1
+			for i, f := range fields {
+				if f == "=" {
+					eq = i
+					break
+				}
+			}
+			if eq != len(factorVars) || len(fields) != eq+2 {
+				return nil, fmt.Errorf("spec:%d: want '%d values = weight'", lineNo, len(factorVars))
+			}
+			tup := make([]int, len(factorVars))
+			for i, p := range perm {
+				x, err := strconv.Atoi(fields[p])
+				if err != nil {
+					return nil, fmt.Errorf("spec:%d: bad value %q", lineNo, fields[p])
+				}
+				tup[i] = x
+			}
+			val, err := strconv.ParseFloat(fields[eq+1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("spec:%d: bad weight %q", lineNo, fields[eq+1])
+			}
+			tuples = append(tuples, tup)
+			values = append(values, val)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if factorVars != nil {
+		return nil, fmt.Errorf("spec: unterminated factor block")
+	}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+func parseAgg(s string) (core.Aggregate[float64], error) {
+	switch s {
+	case "free":
+		return core.Free[float64](), nil
+	case "sum":
+		return core.SemiringAgg(semiring.OpFloatSum()), nil
+	case "max":
+		return core.SemiringAgg(semiring.OpFloatMax()), nil
+	case "min":
+		return core.SemiringAgg(semiring.OpFloatMin()), nil
+	case "prod":
+		return core.ProductAgg[float64](), nil
+	}
+	return core.Aggregate[float64]{}, fmt.Errorf("unknown aggregate %q (want free|sum|max|min|prod)", s)
+}
