@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: ci vet build test race bench fuzz
+
+# Full local CI pass: what .github/workflows/ci.yml runs.
+ci: vet build test race bench
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The equivalence harness lowers the block-scan threshold, so -race here
+# exercises the parallel executor on real multi-block scans.
+race:
+	$(GO) test -race ./...
+
+# One-iteration smoke pass over every benchmark, including the parallel
+# executor families; see bench_parallel_test.go for the scaling runs.
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# Short fuzz session for the DIMACS parser.
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzParseDIMACS -fuzztime 30s ./internal/cnf/

@@ -1,0 +1,195 @@
+// Benchmarks for the block-parallel executor.  Every family runs the same
+// workload on the sequential executor (Workers=1) and the worker pool sized
+// to GOMAXPROCS (Workers=0), so
+//
+//	go test -bench 'Triangle|FourCycle|PGM|SharpSAT' -cpu 1,4
+//
+// shows the scaling directly: at -cpu 1 the pool collapses to the sequential
+// path; at -cpu N the pool series should beat seq on the join-heavy
+// workloads.  Both series are asserted to produce identical results.
+package faq
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/faqdb/faq/internal/cnf"
+)
+
+// randomPairs builds a sparse 0/1 binary factor with n distinct tuples.
+func randomPairs(rng *rand.Rand, d *Domain[float64], vars []int, dom, n int) *Factor[float64] {
+	seen := map[[2]int]bool{}
+	var tuples [][]int
+	var values []float64
+	for len(tuples) < n {
+		e := [2]int{rng.Intn(dom), rng.Intn(dom)}
+		if seen[e] || e[0] == e[1] {
+			continue
+		}
+		seen[e] = true
+		tuples = append(tuples, []int{e[0], e[1]})
+		values = append(values, 1)
+	}
+	f, err := NewFactor(d, vars, tuples, values, nil)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// benchExecutors runs the query under Workers=1 and Workers=0 (GOMAXPROCS)
+// and asserts that the two executors agree bit-for-bit.
+func benchExecutors[V any](b *testing.B, q *Query[V], order []int) {
+	seq := DefaultOptions()
+	seq.Workers = 1
+	pool := DefaultOptions()
+	pool.Workers = 0 // GOMAXPROCS: tracks -cpu
+	rs, err := InsideOut(q, order, seq)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rp, err := InsideOut(q, order, pool)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if !rs.Output.Equal(q.D, rp.Output) {
+		b.Fatalf("sequential and pool executors disagree: %v vs %v", rs.Output, rp.Output)
+	}
+	for _, bc := range []struct {
+		name string
+		opts Options
+	}{{"seq", seq}, {"pool", pool}} {
+		b.Run(bc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := InsideOut(q, order, bc.opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParallelTriangle counts triangles (Example A.8) on a random graph:
+// three pairwise factors, AGM bound N^1.5.
+func BenchmarkParallelTriangle(b *testing.B) {
+	rng := rand.New(rand.NewSource(20))
+	const nodes, edges = 3000, 48000
+	d := Float()
+	q := &Query[float64]{
+		D: d, NVars: 3, DomSizes: []int{nodes, nodes, nodes}, NumFree: 0,
+		Aggs: []Aggregate[float64]{
+			SemiringAgg(OpFloatSum()), SemiringAgg(OpFloatSum()), SemiringAgg(OpFloatSum()),
+		},
+		Factors: []*Factor[float64]{
+			randomPairs(rng, d, []int{0, 1}, nodes, edges),
+			randomPairs(rng, d, []int{1, 2}, nodes, edges),
+			randomPairs(rng, d, []int{0, 2}, nodes, edges),
+		},
+	}
+	benchExecutors(b, q, []int{0, 1, 2})
+}
+
+// BenchmarkParallelFourCycle counts 4-cycles: ψ(0,1)ψ(1,2)ψ(2,3)ψ(0,3).
+func BenchmarkParallelFourCycle(b *testing.B) {
+	rng := rand.New(rand.NewSource(21))
+	const nodes, edges = 2000, 32000
+	d := Float()
+	q := &Query[float64]{
+		D: d, NVars: 4, DomSizes: []int{nodes, nodes, nodes, nodes}, NumFree: 0,
+		Aggs: []Aggregate[float64]{
+			SemiringAgg(OpFloatSum()), SemiringAgg(OpFloatSum()),
+			SemiringAgg(OpFloatSum()), SemiringAgg(OpFloatSum()),
+		},
+		Factors: []*Factor[float64]{
+			randomPairs(rng, d, []int{0, 1}, nodes, edges),
+			randomPairs(rng, d, []int{1, 2}, nodes, edges),
+			randomPairs(rng, d, []int{2, 3}, nodes, edges),
+			randomPairs(rng, d, []int{0, 3}, nodes, edges),
+		},
+	}
+	benchExecutors(b, q, []int{0, 1, 2, 3})
+}
+
+// BenchmarkParallelPGMMarginal computes the unnormalized marginal of x0 on a
+// dense 6-cycle MRF with a large domain: sum-product elimination whose
+// intermediates are dom² tables.
+func BenchmarkParallelPGMMarginal(b *testing.B) {
+	rng := rand.New(rand.NewSource(22))
+	const vars, dom = 6, 96
+	d := Float()
+	var factors []*Factor[float64]
+	for i := 0; i < vars; i++ {
+		u, v := i, (i+1)%vars
+		if u > v {
+			u, v = v, u
+		}
+		factors = append(factors, FromFunc(d, []int{u, v},
+			func() []int {
+				ds := make([]int, vars)
+				for j := range ds {
+					ds[j] = dom
+				}
+				return ds
+			}(),
+			func(t []int) float64 { return float64(1 + (t[0]*31+t[1]*17+rng.Intn(7))%13) }))
+	}
+	aggs := make([]Aggregate[float64], vars)
+	aggs[0] = Free[float64]()
+	for i := 1; i < vars; i++ {
+		aggs[i] = SemiringAgg(OpFloatSum())
+	}
+	ds := make([]int, vars)
+	for i := range ds {
+		ds[i] = dom
+	}
+	q := &Query[float64]{D: d, NVars: vars, DomSizes: ds, NumFree: 1, Aggs: aggs, Factors: factors}
+	_, plan, err := Solve(q, DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchExecutors(b, q, plan.Order)
+}
+
+// BenchmarkParallelSharpSAT counts models of a random interval CNF as an FAQ
+// query over the counting semiring (Z, +, ·): each clause is a listing
+// factor with 2^k − 1 satisfying rows.
+func BenchmarkParallelSharpSAT(b *testing.B) {
+	f := cnf.RandomInterval(rand.New(rand.NewSource(23)), 20, 36, 12)
+	d := Int()
+	ds := make([]int, f.NumVars)
+	aggs := make([]Aggregate[int64], f.NumVars)
+	for i := range ds {
+		ds[i] = 2
+		aggs[i] = SemiringAgg(OpIntSum())
+	}
+	var factors []*Factor[int64]
+	for _, c := range f.Clauses {
+		c := c
+		factors = append(factors, FromFunc(d, c.Vars(), ds, func(t []int) int64 {
+			for i, l := range c.Lits {
+				if (t[i] == 1) == l.Pos() {
+					return 1
+				}
+			}
+			return 0
+		}))
+	}
+	// Unit factors keep unconstrained variables counted.
+	covered := make([]bool, f.NumVars)
+	for _, fc := range factors {
+		for _, v := range fc.Vars {
+			covered[v] = true
+		}
+	}
+	for v, ok := range covered {
+		if !ok {
+			factors = append(factors, FromFunc(d, []int{v}, ds, func([]int) int64 { return 1 }))
+		}
+	}
+	q := &Query[int64]{D: d, NVars: f.NumVars, DomSizes: ds, NumFree: 0, Aggs: aggs, Factors: factors}
+	_, plan, err := Solve(q, DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchExecutors(b, q, plan.Order)
+}

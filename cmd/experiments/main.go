@@ -7,13 +7,14 @@
 //
 // Usage:
 //
-//	experiments [-only substring] [-seed n]
+//	experiments [-only substring] [-seed n] [-workers n]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"strings"
 	"time"
 
@@ -29,8 +30,9 @@ import (
 )
 
 var (
-	only = flag.String("only", "", "run only experiments whose id contains this substring")
-	seed = flag.Int64("seed", 1, "workload seed")
+	only    = flag.String("only", "", "run only experiments whose id contains this substring")
+	seed    = flag.Int64("seed", 1, "workload seed")
+	workers = flag.Int("workers", 0, "worker-pool size for PAR-executor (0 = GOMAXPROCS, 1 = sequential)")
 )
 
 func main() {
@@ -64,6 +66,7 @@ var experiments = []experiment{
 	{"S8.3-sharpsat", "β-acyclic #SAT: Theorem 8.4 elimination vs 2^n enumeration", runSharpSAT},
 	{"S8.5-gap", "Composition: Lemma 8.7 star-of-stars width gap", runGap},
 	{"FIG-trees", "Figures 2–6: expression trees", runTrees},
+	{"PAR-executor", "Parallel executor: sequential vs block-parallel worker pool", runParallel},
 }
 
 func timeIt(f func()) time.Duration {
@@ -442,4 +445,67 @@ func approx(a, b float64) bool {
 func absC(c complex128) float64 {
 	re, im := real(c), imag(c)
 	return re*re + im*im
+}
+
+// --- Parallel executor ------------------------------------------------------
+
+// runParallel times the same triangle-count query on the sequential executor
+// (Workers=1) and the block-parallel worker pool (the -workers flag; 0 means
+// GOMAXPROCS), checking that both return the identical count.
+func runParallel() {
+	pool := runtime.GOMAXPROCS(0)
+	if *workers > 0 {
+		pool = *workers
+	}
+	fmt.Printf("  pool size %d (GOMAXPROCS %d)\n", pool, runtime.GOMAXPROCS(0))
+	row("nodes", "sequential", "pool", "speedup", "triangles")
+	for _, nodes := range []int{1000, 2000, 4000} {
+		rng := rand.New(rand.NewSource(*seed))
+		edges := nodes * 16
+		d := faq.Float()
+		seen := map[[2]int]bool{}
+		var tuples [][]int
+		var values []float64
+		for len(tuples) < edges {
+			e := [2]int{rng.Intn(nodes), rng.Intn(nodes)}
+			if seen[e] || e[0] == e[1] {
+				continue
+			}
+			seen[e] = true
+			tuples = append(tuples, []int{e[0], e[1]})
+			values = append(values, 1)
+		}
+		mk := func(vars []int) *faq.Factor[float64] {
+			f, err := faq.NewFactor(d, vars, tuples, values, nil)
+			check(err == nil, "triangle factor")
+			return f
+		}
+		q := &faq.Query[float64]{
+			D: d, NVars: 3, DomSizes: []int{nodes, nodes, nodes}, NumFree: 0,
+			Aggs: []faq.Aggregate[float64]{
+				faq.SemiringAgg(faq.OpFloatSum()),
+				faq.SemiringAgg(faq.OpFloatSum()),
+				faq.SemiringAgg(faq.OpFloatSum()),
+			},
+			Factors: []*faq.Factor[float64]{mk([]int{0, 1}), mk([]int{1, 2}), mk([]int{0, 2})},
+		}
+		order := []int{0, 1, 2}
+		seqOpts := faq.DefaultOptions()
+		seqOpts.Workers = 1
+		poolOpts := faq.DefaultOptions()
+		poolOpts.Workers = pool
+		var seqRes, poolRes *faq.Result[float64]
+		tSeq := timeIt(func() {
+			r, err := faq.InsideOut(q, order, seqOpts)
+			check(err == nil, "sequential insideout")
+			seqRes = r
+		})
+		tPool := timeIt(func() {
+			r, err := faq.InsideOut(q, order, poolOpts)
+			check(err == nil, "pool insideout")
+			poolRes = r
+		})
+		check(seqRes.Scalar() == poolRes.Scalar(), "executor results diverged")
+		row(nodes, tSeq, tPool, float64(tSeq)/float64(tPool), seqRes.Scalar())
+	}
 }

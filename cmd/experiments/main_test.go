@@ -1,0 +1,21 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"github.com/faqdb/faq/internal/testutil"
+)
+
+// TestExperimentsSmoke runs the cheapest experiment (the Figures 2–6
+// expression trees, pure printing) in-process via the -only filter.
+func TestExperimentsSmoke(t *testing.T) {
+	oldArgs := os.Args
+	defer func() { os.Args = oldArgs }()
+	os.Args = []string{"experiments", "-only", "FIG"}
+	out := testutil.CaptureStdout(t, main)
+	if !strings.Contains(out, "## FIG-trees") || !strings.Contains(out, "expression tree") {
+		t.Fatalf("experiments FIG-trees output unexpected:\n%s", out)
+	}
+}

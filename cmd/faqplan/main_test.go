@@ -1,0 +1,24 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"github.com/faqdb/faq/internal/testutil"
+)
+
+// TestFaqplanSmoke drives the planner CLI in-process on a built-in example.
+// main registers its flags on the global FlagSet, so it may run only once
+// per test process.
+func TestFaqplanSmoke(t *testing.T) {
+	oldArgs := os.Args
+	defer func() { os.Args = oldArgs }()
+	os.Args = []string{"faqplan", "-example", "6.2"}
+	out := testutil.CaptureStdout(t, main)
+	for _, want := range []string{"hypergraph:", "expression tree", "precedence poset"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("faqplan output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	faqrun -spec query.faq [-order "2,0,1"] [-max-rows 50] [-no-filters] [-no-indicators]
+//	faqrun -spec query.faq [-order "2,0,1"] [-max-rows 50] [-no-filters] [-no-indicators] [-workers n]
 package main
 
 import (
@@ -26,6 +26,7 @@ func main() {
 	maxRows := flag.Int("max-rows", 50, "maximum output rows to print")
 	noFilters := flag.Bool("no-filters", false, "disable the 01-OR output filters")
 	noIndicators := flag.Bool("no-indicators", false, "disable indicator projections")
+	workers := flag.Int("workers", 0, "executor worker pool size (0 = GOMAXPROCS, 1 = sequential)")
 	flag.Parse()
 	if *specFile == "" {
 		flag.Usage()
@@ -45,6 +46,7 @@ func main() {
 	opts := core.DefaultOptions()
 	opts.FilterOutput = !*noFilters
 	opts.IndicatorProjections = !*noIndicators
+	opts.Workers = *workers
 
 	shape := q.Shape()
 	var order []int

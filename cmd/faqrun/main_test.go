@@ -1,0 +1,47 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"github.com/faqdb/faq/internal/testutil"
+)
+
+// querySpec is a tiny two-factor sum-product query with one free variable:
+// φ(x) = Σ_y Σ_z R(x,y)·S(y,z).
+const querySpec = `# smoke-test query
+var x 2 free
+var y 3 sum
+var z 2 sum
+factor x y
+0 0 = 1
+0 1 = 2
+1 2 = 3
+end
+factor y z
+0 0 = 1
+1 1 = 1
+2 0 = 4
+end
+`
+
+// TestFaqrunSmoke drives the evaluator CLI in-process on an embedded spec.
+// main registers its flags on the global FlagSet, so it may run only once
+// per test process.
+func TestFaqrunSmoke(t *testing.T) {
+	spec := testutil.WriteFile(t, t.TempDir(), "query.faq", querySpec)
+	oldArgs := os.Args
+	defer func() { os.Args = oldArgs }()
+	os.Args = []string{"faqrun", "-spec", spec, "-workers", "2"}
+	out := testutil.CaptureStdout(t, main)
+	for _, want := range []string{"ordering:", "stats:", "output: 2 tuples"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("faqrun output missing %q:\n%s", want, out)
+		}
+	}
+	// φ(0) = 1·1 + 2·1 = 3 and φ(1) = 3·4 = 12.
+	if !strings.Contains(out, "[0] = 3") || !strings.Contains(out, "[1] = 12") {
+		t.Fatalf("faqrun computed wrong values:\n%s", out)
+	}
+}

@@ -1,0 +1,25 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"github.com/faqdb/faq/internal/testutil"
+)
+
+// TestSatcliSmoke counts the models of a tiny embedded DIMACS formula:
+// (x1 ∨ ¬x2) ∧ (x2 ∨ x3) has 4 satisfying assignments.
+// main registers its flags on the global FlagSet, so it may run only once
+// per test process.
+func TestSatcliSmoke(t *testing.T) {
+	cnfFile := testutil.WriteFile(t, t.TempDir(), "tiny.cnf",
+		"c smoke test\np cnf 3 2\n1 -2 0\n2 3 0\n")
+	oldArgs := os.Args
+	defer func() { os.Args = oldArgs }()
+	os.Args = []string{"satcli", "-count", cnfFile}
+	out := testutil.CaptureStdout(t, main)
+	if !strings.Contains(out, "s mc 4") {
+		t.Fatalf("satcli model count wrong, want 's mc 4':\n%s", out)
+	}
+}

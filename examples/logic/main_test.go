@@ -1,0 +1,19 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/faqdb/faq/internal/testutil"
+)
+
+// TestLogicExampleSmoke runs the QCQ/#CQ example in-process; it panics via
+// log.Fatal if InsideOut and the naive baseline ever disagree.
+func TestLogicExampleSmoke(t *testing.T) {
+	out := testutil.CaptureStdout(t, main)
+	for _, want := range []string{"#QCQ", "#CQ", "Chen–Dalmau"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("logic example output missing %q:\n%s", want, out)
+		}
+	}
+}

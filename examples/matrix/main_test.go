@@ -1,0 +1,18 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/faqdb/faq/internal/testutil"
+)
+
+// TestMatrixExampleSmoke runs the MCM + DFT example in-process.
+func TestMatrixExampleSmoke(t *testing.T) {
+	out := testutil.CaptureStdout(t, main)
+	for _, want := range []string{"MCM dims", "DP parenthesization", "FFT"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("matrix example output missing %q:\n%s", want, out)
+		}
+	}
+}

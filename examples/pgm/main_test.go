@@ -1,0 +1,19 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/faqdb/faq/internal/testutil"
+)
+
+// TestPGMExampleSmoke runs the grid-MRF inference example in-process,
+// including its MAP ≤ Z consistency check.
+func TestPGMExampleSmoke(t *testing.T) {
+	out := testutil.CaptureStdout(t, main)
+	for _, want := range []string{"partition function", "MAP value", "check: MAP ≤ Z"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("pgm example output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,19 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/faqdb/faq/internal/testutil"
+)
+
+// TestQuickstartSmoke runs the example in-process and checks it reaches the
+// triangle count and the oracle cross-check.
+func TestQuickstartSmoke(t *testing.T) {
+	out := testutil.CaptureStdout(t, main)
+	for _, want := range []string{"directed triangles:", "planned ordering:", "oracle check"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("quickstart output missing %q:\n%s", want, out)
+		}
+	}
+}

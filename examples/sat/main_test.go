@@ -1,0 +1,19 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/faqdb/faq/internal/testutil"
+)
+
+// TestSATExampleSmoke runs the β-acyclic SAT/#SAT example in-process,
+// including its built-in elimination-vs-enumeration oracle check.
+func TestSATExampleSmoke(t *testing.T) {
+	out := testutil.CaptureStdout(t, main)
+	for _, want := range []string{"β-acyclic: true", "SAT (NEO directional resolution)", "oracle check"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("sat example output missing %q:\n%s", want, out)
+		}
+	}
+}

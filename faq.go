@@ -19,6 +19,24 @@
 // precedence posets, the exact dynamic program over LinEx(P) and the
 // Section 7 approximation algorithm.
 //
+// Each elimination step runs on a pluggable executor.  The default is a
+// worker pool (Options.Workers: 0 = GOMAXPROCS, 1 = sequential) that
+// partitions every elimination scan and output join into contiguous
+// key-range blocks of the outermost join variable, builds factor tries and
+// indicator projections concurrently, sorts large intermediates with a
+// parallel merge sort (sized to GOMAXPROCS, at most one in flight
+// process-wide so pools never oversubscribe), and merges block outputs in
+// block order — so every
+// worker count returns bit-identical results (scalar-output scans stay
+// sequential; ⊕-folds are never re-associated).  Parallel scaling is
+// benchmarked by
+//
+//	go test -bench 'ParallelTriangle|ParallelFourCycle|ParallelPGM|ParallelSharpSAT' -cpu 1,4
+//
+// where each family compares Workers=1 against the pool, and the randomized
+// cross-semiring harness in faq_equivalence_test.go asserts Solve ≡ InsideOut
+// ≡ BruteForce with identical outputs across worker counts.
+//
 // Minimal use:
 //
 //	d := faq.Float()
@@ -143,6 +161,13 @@ func Solve[V any](q *Query[V], opts Options) (*Result[V], *Plan, error) {
 // BruteForce evaluates the query by enumeration — the testing oracle and
 // the "no non-trivial algorithm" baseline.
 func BruteForce[V any](q *Query[V]) (*Factor[V], error) { return core.BruteForce(q) }
+
+// BruteForcePar is BruteForce with the outermost variable's domain fanned
+// out over a worker pool (0 = GOMAXPROCS); partials fold back in domain
+// order, so every worker count returns the bit-identical factor.
+func BruteForcePar[V any](q *Query[V], workers int) (*Factor[V], error) {
+	return core.BruteForcePar(q, workers)
+}
 
 // BruteForceScalar is BruteForce for queries without free variables.
 func BruteForceScalar[V any](q *Query[V]) (V, error) { return core.BruteForceScalar(q) }

@@ -1,0 +1,3 @@
+module github.com/faqdb/faq
+
+go 1.24

@@ -9,6 +9,11 @@ import (
 	"strings"
 )
 
+// maxDIMACSVar bounds accepted variable ids: headers and literals beyond it
+// are rejected rather than letting a hostile file size NumVars (and every
+// per-variable allocation downstream) arbitrarily.
+const maxDIMACSVar = 1 << 24
+
 // ParseDIMACS reads a CNF formula in DIMACS format.  Tautological clauses
 // are dropped (they are identically true factors).
 func ParseDIMACS(r io.Reader) (*Formula, error) {
@@ -28,11 +33,11 @@ func ParseDIMACS(r io.Reader) (*Formula, error) {
 				return nil, fmt.Errorf("cnf: bad problem line %q", line)
 			}
 			n, err := strconv.Atoi(fields[2])
-			if err != nil {
+			if err != nil || n < 0 || n > maxDIMACSVar {
 				return nil, fmt.Errorf("cnf: bad variable count in %q", line)
 			}
 			m, err := strconv.Atoi(fields[3])
-			if err != nil {
+			if err != nil || m < 0 {
 				return nil, fmt.Errorf("cnf: bad clause count in %q", line)
 			}
 			declared = m
@@ -55,6 +60,9 @@ func ParseDIMACS(r io.Reader) (*Formula, error) {
 			v := x
 			if v < 0 {
 				v = -v
+			}
+			if v < 0 || v > maxDIMACSVar { // v < 0: x was minInt, -x overflowed
+				return nil, fmt.Errorf("cnf: literal %d out of range", x)
 			}
 			if v > f.NumVars {
 				f.NumVars = v

@@ -1,0 +1,73 @@
+package cnf
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParseDIMACS hardens the DIMACS reader against malformed clause lines,
+// header mismatches and pathological literals.  Accepted inputs must
+// round-trip: re-parsing WriteDIMACS output yields the same variable count
+// and the identical clause list.
+func FuzzParseDIMACS(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"c a comment only\n",
+		"p cnf 3 2\n1 -2 0\n2 3 0\n",
+		"p cnf 2 1\n1 -1 0\n",        // tautology, dropped
+		"p cnf 0 0\n",                // empty formula
+		"p cnf 2 2\n1 2 0\n",         // fewer clauses than declared
+		"p cnf 2 1\n1 2 0\n-1 -2 0\n", // more clauses than declared
+		"p cnf -1 0\n",               // negative header count
+		"p cnf 99999999999999999999 1\n1 0\n",
+		"1 2 0\n-3 0\n",              // clauses with no header
+		"p cnf 3 1\n1 2",             // clause without terminating 0
+		"p cnf 3 1\n1 x 0\n",         // junk literal
+		"-9223372036854775808 0\n",   // minInt literal, negation overflows
+		"p cnf 2 1\n2000000000 0\n",  // literal past maxDIMACSVar
+	} {
+		f.Add([]byte(seed))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		f1, err := ParseDIMACS(bytes.NewReader(data))
+		if err != nil {
+			return // malformed input rejected cleanly — nothing to check
+		}
+		if f1.NumVars < 0 || f1.NumVars > maxDIMACSVar {
+			t.Fatalf("accepted formula with NumVars=%d", f1.NumVars)
+		}
+		for _, c := range f1.Clauses {
+			for _, l := range c.Lits {
+				if v := l.Var(); v < 0 || v >= f1.NumVars {
+					t.Fatalf("clause %v has variable %d outside [0, %d)", c.Lits, v, f1.NumVars)
+				}
+			}
+		}
+		var buf strings.Builder
+		if err := f1.WriteDIMACS(&buf); err != nil {
+			t.Fatalf("WriteDIMACS: %v", err)
+		}
+		f2, err := ParseDIMACS(strings.NewReader(buf.String()))
+		if err != nil {
+			t.Fatalf("round-trip re-parse failed: %v\noutput:\n%s", err, buf.String())
+		}
+		if f2.NumVars != f1.NumVars {
+			t.Fatalf("round-trip NumVars %d != %d", f2.NumVars, f1.NumVars)
+		}
+		if len(f2.Clauses) != len(f1.Clauses) {
+			t.Fatalf("round-trip clause count %d != %d", len(f2.Clauses), len(f1.Clauses))
+		}
+		for i := range f1.Clauses {
+			a, b := f1.Clauses[i].Lits, f2.Clauses[i].Lits
+			if len(a) != len(b) {
+				t.Fatalf("round-trip clause %d arity %d != %d", i, len(b), len(a))
+			}
+			for j := range a {
+				if a[j] != b[j] {
+					t.Fatalf("round-trip clause %d literal %d: %d != %d", i, j, b[j], a[j])
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"github.com/faqdb/faq/internal/factor"
+	"github.com/faqdb/faq/internal/join"
+	"github.com/faqdb/faq/internal/semiring"
+)
+
+// executor runs the data-parallel inner loops of one InsideOut pass: the
+// ⊕-elimination scan of one variable-elimination step (Eq. (7)) and the
+// output-phase joins (Eq. (12)).  Implementations must produce bit-identical
+// factors — the pool executor achieves this by partitioning each scan into
+// contiguous key-range blocks of the outermost join variable and merging
+// block outputs in block order, so every ⊕-group is combined in the same
+// sequence the sequential scan would use.
+type executor[V any] interface {
+	// eliminate joins inputs over vars and ⊕-aggregates the last variable.
+	eliminate(d *semiring.Domain[V], op *semiring.Op[V], inputs []*factor.Factor[V],
+		vars []int, st *join.Stats) (*factor.Factor[V], error)
+	// joinAll materializes the join of inputs over vars.
+	joinAll(d *semiring.Domain[V], inputs []*factor.Factor[V],
+		vars []int, st *join.Stats) (*factor.Factor[V], error)
+	// project computes the indicator projections (Definition 4.2) of fs
+	// onto the variable set `onto`, preserving order.  Projections of
+	// distinct factors are independent, so the pool executor computes them
+	// concurrently.
+	project(d *semiring.Domain[V], fs []*factor.Factor[V], onto []int) []*factor.Factor[V]
+}
+
+// newExecutor resolves Options.Workers: 0 means GOMAXPROCS, 1 forces the
+// sequential executor, anything larger sizes the worker pool.
+func newExecutor[V any](workers int) executor[V] {
+	if w := join.Workers(workers); w > 1 {
+		return poolExecutor[V]{workers: w}
+	}
+	return seqExecutor[V]{}
+}
+
+// seqExecutor is the single-goroutine reference implementation.
+type seqExecutor[V any] struct{}
+
+func (seqExecutor[V]) eliminate(d *semiring.Domain[V], op *semiring.Op[V],
+	inputs []*factor.Factor[V], vars []int, st *join.Stats) (*factor.Factor[V], error) {
+	return join.EliminateInnermost(d, op, inputs, vars, st)
+}
+
+func (seqExecutor[V]) joinAll(d *semiring.Domain[V], inputs []*factor.Factor[V],
+	vars []int, st *join.Stats) (*factor.Factor[V], error) {
+	return join.JoinAll(d, inputs, vars, st)
+}
+
+func (seqExecutor[V]) project(d *semiring.Domain[V], fs []*factor.Factor[V], onto []int) []*factor.Factor[V] {
+	out := make([]*factor.Factor[V], len(fs))
+	for i, f := range fs {
+		out[i] = f.IndicatorProjection(d, onto)
+	}
+	return out
+}
+
+// poolExecutor fans each scan out over a pool of workers in contiguous
+// key-range blocks; sub-scale scans fall back to the sequential path inside
+// the join package.
+type poolExecutor[V any] struct{ workers int }
+
+func (e poolExecutor[V]) eliminate(d *semiring.Domain[V], op *semiring.Op[V],
+	inputs []*factor.Factor[V], vars []int, st *join.Stats) (*factor.Factor[V], error) {
+	return join.EliminateInnermostPar(d, op, inputs, vars, e.workers, st)
+}
+
+func (e poolExecutor[V]) joinAll(d *semiring.Domain[V], inputs []*factor.Factor[V],
+	vars []int, st *join.Stats) (*factor.Factor[V], error) {
+	return join.JoinAllPar(d, inputs, vars, e.workers, st)
+}
+
+func (e poolExecutor[V]) project(d *semiring.Domain[V], fs []*factor.Factor[V], onto []int) []*factor.Factor[V] {
+	out := make([]*factor.Factor[V], len(fs))
+	join.ParallelFor(len(fs), e.workers, func(i int) {
+		out[i] = fs[i].IndicatorProjection(d, onto)
+	})
+	return out
+}
+
+// addIntermediate atomically records an intermediate factor of the given
+// row count, so concurrent recorders keep Stats exact.
+func (st *Stats) addIntermediate(rows int) {
+	atomic.AddInt64(&st.IntermediateRows, int64(rows))
+	for {
+		cur := atomic.LoadInt64(&st.MaxIntermediate)
+		if int64(rows) <= cur || atomic.CompareAndSwapInt64(&st.MaxIntermediate, cur, int64(rows)) {
+			return
+		}
+	}
+}

@@ -26,18 +26,28 @@ type Options struct {
 	// Section 8.4 instead of listing it.  Result.Output stays nil; use
 	// Result.Factorized.
 	Factorized bool
+	// Workers sizes the block-parallel executor that runs each
+	// variable-elimination scan and output join: 0 (the default) means
+	// GOMAXPROCS, 1 forces the sequential executor, larger values cap the
+	// worker pool.  Every worker count produces bit-identical results;
+	// scalar-output scans always run sequentially so ⊕-folds never
+	// re-associate.
+	Workers int
 }
 
-// DefaultOptions returns the configuration matching Algorithm 1.
+// DefaultOptions returns the configuration matching Algorithm 1, with the
+// parallel executor sized to GOMAXPROCS.
 func DefaultOptions() Options {
 	return Options{IndicatorProjections: true, FilterOutput: true}
 }
 
-// Stats reports work done by one InsideOut run.
+// Stats reports work done by one InsideOut run.  Counters are updated with
+// atomic operations (via addIntermediate and join.Stats.Merge), so parallel
+// executor runs report the same true totals as sequential ones.
 type Stats struct {
 	Join             join.Stats
 	IntermediateRows int64 // total rows across intermediate factors
-	MaxIntermediate  int   // largest intermediate factor
+	MaxIntermediate  int64 // largest intermediate factor
 	Eliminations     int
 	PowerSteps       int
 }
@@ -92,6 +102,7 @@ func InsideOut[V any](q *Query[V], order []int, opts Options) (*Result[V], error
 	for _, f := range q.Factors {
 		entries = append(entries, entry[V]{vars: bitset.FromSlice(f.Vars), f: f})
 	}
+	exec := newExecutor[V](opts.Workers)
 
 	// Eliminate bound variables from the innermost out.
 	for k := q.NVars - 1; k >= q.NumFree; k-- {
@@ -99,7 +110,7 @@ func InsideOut[V any](q *Query[V], order []int, opts Options) (*Result[V], error
 		agg := q.Aggs[v]
 		var err error
 		if agg.Kind == KindSemiring {
-			entries, err = eliminateSemiring(q, &res.Stats, entries, v, agg.Op, pos, opts)
+			entries, err = eliminateSemiring(q, exec, &res.Stats, entries, v, agg.Op, pos, opts)
 		} else {
 			entries, err = eliminateProduct(q, &res.Stats, entries, v)
 		}
@@ -132,7 +143,7 @@ func InsideOut[V any](q *Query[V], order []int, opts Options) (*Result[V], error
 	var filters []*factor.Factor[V]
 	if opts.FilterOutput {
 		var err error
-		filters, err = buildOutputFilters(q, &res.Stats, entries, order, pos, opts)
+		filters, err = buildOutputFilters(q, exec, &res.Stats, entries, order, pos, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -142,6 +153,7 @@ func InsideOut[V any](q *Query[V], order []int, opts Options) (*Result[V], error
 		FreeOrder: freeOrder,
 		Base:      base,
 		Filters:   filters,
+		exec:      exec,
 	}
 	if opts.Factorized {
 		res.Factorized = fz
@@ -157,8 +169,8 @@ func InsideOut[V any](q *Query[V], order []int, opts Options) (*Result[V], error
 
 // eliminateSemiring performs one Case-1 step (Section 5.2.1): it joins
 // ∂(v) with the indicator projections of the other U-intersecting factors
-// and aggregates v out with ⊕ using OutsideIn.
-func eliminateSemiring[V any](q *Query[V], st *Stats, entries []entry[V], v int,
+// and aggregates v out with ⊕ using OutsideIn on the configured executor.
+func eliminateSemiring[V any](q *Query[V], exec executor[V], st *Stats, entries []entry[V], v int,
 	op *semiring.Op[V], pos []int, opts Options) ([]entry[V], error) {
 
 	var boundary []int
@@ -173,6 +185,7 @@ func eliminateSemiring[V any](q *Query[V], st *Stats, entries []entry[V], v int,
 		return nil, fmt.Errorf("core: variable %d has no incident factor at elimination time", v)
 	}
 	inputs := make([]*factor.Factor[V], 0, len(entries))
+	var toProject []*factor.Factor[V]
 	bi := 0
 	var rest []entry[V]
 	for i, e := range entries {
@@ -183,21 +196,19 @@ func eliminateSemiring[V any](q *Query[V], st *Stats, entries []entry[V], v int,
 		}
 		rest = append(rest, e)
 		if opts.IndicatorProjections && e.vars.Intersects(u) {
-			inputs = append(inputs, e.f.IndicatorProjection(q.D, u.Elems()))
+			toProject = append(toProject, e.f)
 		}
 	}
+	inputs = append(inputs, exec.project(q.D, toProject, u.Elems())...)
 	// Join over U ordered by σ-position; v has the maximal position among
 	// the not-yet-eliminated variables, so it comes last.
 	orderedU := u.Elems()
 	sort.Slice(orderedU, func(a, b int) bool { return pos[orderedU[a]] < pos[orderedU[b]] })
-	nf, err := join.EliminateInnermost(q.D, op, inputs, orderedU, &st.Join)
+	nf, err := exec.eliminate(q.D, op, inputs, orderedU, &st.Join)
 	if err != nil {
 		return nil, err
 	}
-	st.IntermediateRows += int64(nf.Size())
-	if nf.Size() > st.MaxIntermediate {
-		st.MaxIntermediate = nf.Size()
-	}
+	st.addIntermediate(nf.Size())
 	res := u.Clone()
 	res.Remove(v)
 	return append(rest, entry[V]{vars: res, f: nf}), nil
@@ -214,10 +225,7 @@ func eliminateProduct[V any](q *Query[V], st *Stats, entries []entry[V], v int) 
 		if e.vars.Contains(v) {
 			touched = true
 			nf := e.f.ProductMarginalize(q.D, v, dom)
-			st.IntermediateRows += int64(nf.Size())
-			if nf.Size() > st.MaxIntermediate {
-				st.MaxIntermediate = nf.Size()
-			}
+			st.addIntermediate(nf.Size())
 			nv := e.vars.Clone()
 			nv.Remove(v)
 			out = append(out, entry[V]{vars: nv, f: nf})
@@ -239,7 +247,7 @@ func eliminateProduct[V any](q *Query[V], st *Stats, entries []entry[V], v int) 
 // buildOutputFilters runs the 01-OR elimination of the free variables
 // (Algorithm 1, lines 8–10) and returns the recorded ψ_{U_k} factors that
 // Eq. (12) multiplies into the final OutsideIn pass.
-func buildOutputFilters[V any](q *Query[V], st *Stats, entries []entry[V],
+func buildOutputFilters[V any](q *Query[V], exec executor[V], st *Stats, entries []entry[V],
 	order []int, pos []int, opts Options) ([]*factor.Factor[V], error) {
 
 	working := append([]entry[V](nil), entries...)
@@ -257,7 +265,7 @@ func buildOutputFilters[V any](q *Query[V], st *Stats, entries []entry[V],
 		if len(boundary) == 0 {
 			return nil, fmt.Errorf("core: free variable %d has no incident factor at output time", v)
 		}
-		var inputs []*factor.Factor[V]
+		var toProject []*factor.Factor[V]
 		bi := 0
 		var rest []entry[V]
 		for i, e := range working {
@@ -270,19 +278,17 @@ func buildOutputFilters[V any](q *Query[V], st *Stats, entries []entry[V],
 				include = opts.IndicatorProjections && e.vars.Intersects(u)
 			}
 			if include {
-				inputs = append(inputs, e.f.IndicatorProjection(q.D, u.Elems()))
+				toProject = append(toProject, e.f)
 			}
 		}
+		inputs := exec.project(q.D, toProject, u.Elems())
 		orderedU := u.Elems()
 		sort.Slice(orderedU, func(a, b int) bool { return pos[orderedU[a]] < pos[orderedU[b]] })
-		psiU, err := join.JoinAll(q.D, inputs, orderedU, &st.Join)
+		psiU, err := exec.joinAll(q.D, inputs, orderedU, &st.Join)
 		if err != nil {
 			return nil, err
 		}
-		st.IntermediateRows += int64(psiU.Size())
-		if psiU.Size() > st.MaxIntermediate {
-			st.MaxIntermediate = psiU.Size()
-		}
+		st.addIntermediate(psiU.Size())
 		filters = append(filters, psiU)
 		res := u.Clone()
 		res.Remove(v)
@@ -301,6 +307,8 @@ type Factorized[V any] struct {
 	FreeOrder []int // free variables in σ order
 	Base      []*factor.Factor[V]
 	Filters   []*factor.Factor[V]
+
+	exec executor[V] // set by InsideOut; nil means sequential
 }
 
 func (fz *Factorized[V]) joinInputs() []*factor.Factor[V] {
@@ -311,9 +319,13 @@ func (fz *Factorized[V]) joinInputs() []*factor.Factor[V] {
 }
 
 // ToListing materializes the output in listing representation over the free
-// variables sorted ascending.
+// variables sorted ascending, on the executor the run was configured with.
 func (fz *Factorized[V]) ToListing(st *join.Stats) (*factor.Factor[V], error) {
-	return join.JoinAll(fz.D, fz.joinInputs(), fz.FreeOrder, st)
+	exec := fz.exec
+	if exec == nil {
+		exec = seqExecutor[V]{}
+	}
+	return exec.joinAll(fz.D, fz.joinInputs(), fz.FreeOrder, st)
 }
 
 // Enumerate streams output tuples (aligned with sorted free variables) in

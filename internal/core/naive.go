@@ -2,6 +2,7 @@ package core
 
 import (
 	"github.com/faqdb/faq/internal/factor"
+	"github.com/faqdb/faq/internal/join"
 )
 
 // BruteForce evaluates the query by direct recursion over Eq. (1): for every
@@ -14,60 +15,125 @@ func BruteForce[V any](q *Query[V]) (*factor.Factor[V], error) {
 		return nil, err
 	}
 	assignment := make([]int, q.NVars)
-	var evalBound func(i int) V
-	evalBound = func(i int) V {
-		if i == q.NVars {
-			val := q.D.One
-			for _, f := range q.Factors {
-				val = q.D.Mul(val, f.At(q.D, assignment))
-				if q.D.IsZero(val) {
-					return q.D.Zero
-				}
-			}
-			return val
-		}
-		var acc V
-		first := true
-		for x := 0; x < q.DomSizes[i]; x++ {
-			assignment[i] = x
-			v := evalBound(i + 1)
-			if first {
-				acc = v
-				first = false
-				continue
-			}
-			if q.Aggs[i].Kind == KindProduct {
-				acc = q.D.Mul(acc, v)
-			} else {
-				acc = q.Aggs[i].Op.Combine(acc, v)
-			}
-		}
-		return acc
-	}
-
 	var tuples [][]int
 	var values []V
-	var freeRec func(i int)
-	freeRec = func(i int) {
-		if i == q.NumFree {
-			v := evalBound(q.NumFree)
-			if !q.D.IsZero(v) {
-				t := make([]int, q.NumFree)
-				copy(t, assignment[:q.NumFree])
-				tuples = append(tuples, t)
-				values = append(values, v)
-			}
-			return
-		}
-		for x := 0; x < q.DomSizes[i]; x++ {
-			assignment[i] = x
-			freeRec(i + 1)
-		}
-	}
-	freeRec(0)
+	bruteFree(q, assignment, 0, func(t []int, v V) {
+		tuples = append(tuples, t)
+		values = append(values, v)
+	})
 	freeVars := make([]int, q.NumFree)
 	for i := range freeVars {
 		freeVars[i] = i
+	}
+	return factor.New(q.D, freeVars, tuples, values, nil)
+}
+
+// bruteFree enumerates assignments of the free variables from index i on,
+// emitting each tuple with a non-zero value of the bound fold.
+func bruteFree[V any](q *Query[V], assignment []int, i int, emit func(t []int, v V)) {
+	if i == q.NumFree {
+		v := bruteBound(q, assignment, q.NumFree)
+		if !q.D.IsZero(v) {
+			t := make([]int, q.NumFree)
+			copy(t, assignment[:q.NumFree])
+			emit(t, v)
+		}
+		return
+	}
+	for x := 0; x < q.DomSizes[i]; x++ {
+		assignment[i] = x
+		bruteFree(q, assignment, i+1, emit)
+	}
+}
+
+// bruteBound folds the bound aggregates from variable i inward under the
+// given partial assignment.
+func bruteBound[V any](q *Query[V], assignment []int, i int) V {
+	if i == q.NVars {
+		val := q.D.One
+		for _, f := range q.Factors {
+			val = q.D.Mul(val, f.At(q.D, assignment))
+			if q.D.IsZero(val) {
+				return q.D.Zero
+			}
+		}
+		return val
+	}
+	var acc V
+	for x := 0; x < q.DomSizes[i]; x++ {
+		assignment[i] = x
+		v := bruteBound(q, assignment, i+1)
+		if x == 0 {
+			acc = v
+			continue
+		}
+		acc = bruteCombine(q, i, acc, v)
+	}
+	return acc
+}
+
+func bruteCombine[V any](q *Query[V], i int, acc, v V) V {
+	if q.Aggs[i].Kind == KindProduct {
+		return q.D.Mul(acc, v)
+	}
+	return q.Aggs[i].Op.Combine(acc, v)
+}
+
+// BruteForcePar is BruteForce with the outermost variable's domain fanned
+// out over a worker pool (0 means GOMAXPROCS).  Per-value partial results
+// are folded back in domain order — the exact operation sequence of the
+// sequential oracle — so every worker count returns bit-identical factors.
+// It exists to keep randomized cross-checking harnesses fast.
+func BruteForcePar[V any](q *Query[V], workers int) (*factor.Factor[V], error) {
+	workers = join.Workers(workers)
+	if q.NVars == 0 || workers <= 1 {
+		return BruteForce(q)
+	}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	type part struct {
+		tuples [][]int
+		values []V
+		scalar V
+	}
+	dom0 := q.DomSizes[0]
+	parts := make([]part, dom0)
+	join.ParallelFor(dom0, workers, func(x int) {
+		assignment := make([]int, q.NVars)
+		assignment[0] = x
+		p := &parts[x]
+		if q.NumFree > 0 {
+			bruteFree(q, assignment, 1, func(t []int, v V) {
+				p.tuples = append(p.tuples, t)
+				p.values = append(p.values, v)
+			})
+		} else {
+			p.scalar = bruteBound(q, assignment, 1)
+		}
+	})
+
+	freeVars := make([]int, q.NumFree)
+	for i := range freeVars {
+		freeVars[i] = i
+	}
+	if q.NumFree == 0 {
+		acc := parts[0].scalar
+		for x := 1; x < dom0; x++ {
+			acc = bruteCombine(q, 0, acc, parts[x].scalar)
+		}
+		var tuples [][]int
+		var values []V
+		if !q.D.IsZero(acc) {
+			tuples, values = [][]int{{}}, []V{acc}
+		}
+		return factor.New(q.D, freeVars, tuples, values, nil)
+	}
+	var tuples [][]int
+	var values []V
+	for x := range parts {
+		tuples = append(tuples, parts[x].tuples...)
+		values = append(values, parts[x].values...)
 	}
 	return factor.New(q.D, freeVars, tuples, values, nil)
 }

@@ -143,8 +143,8 @@ func (f *Factor[V]) sortRows() {
 	for i := range order {
 		order[i] = i
 	}
-	sort.Slice(order, func(a, b int) bool {
-		return lessTuple(f.Tuples[order[a]], f.Tuples[order[b]])
+	parallelSort(order, func(a, b int) bool {
+		return lessTuple(f.Tuples[a], f.Tuples[b])
 	})
 	tuples := make([][]int, len(order))
 	values := make([]V, len(order))

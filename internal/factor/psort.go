@@ -1,0 +1,99 @@
+// Parallel row sorting.  Listing factors keep their rows in lexicographic
+// order, and re-sorting after every join, projection and marginalization is
+// the dominant cost of the OutsideIn inner loop on large intermediates — so
+// big row sets are sorted with a chunked parallel merge sort: chunks sort
+// concurrently, then pairs of sorted runs merge concurrently until one run
+// remains.  The comparator is a strict total order (tuples within a factor
+// are unique), so the result is deterministic for every worker count.
+package factor
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// parallelSortMin is the minimum number of rows before sorting is split
+// across goroutines; below it sort.Slice is faster.
+const parallelSortMin = 4096
+
+// sortActive admits at most one parallel sort at a time process-wide:
+// a sort attempted while another runs (e.g. inside a pool-executor worker,
+// where sibling workers already occupy the CPUs) degrades to sort.Slice
+// instead of stacking another GOMAXPROCS-wide fan-out on top of the pool.
+var sortActive atomic.Bool
+
+// parallelSort sorts order by less — with a chunked parallel merge sort
+// sized to GOMAXPROCS for large inputs, and sort.Slice otherwise.  Both
+// paths produce the identical permutation (less is a strict total order).
+func parallelSort(order []int, less func(a, b int) bool) {
+	n := len(order)
+	workers := runtime.GOMAXPROCS(0)
+	if n < parallelSortMin || workers <= 1 || !sortActive.CompareAndSwap(false, true) {
+		sort.Slice(order, func(a, b int) bool { return less(order[a], order[b]) })
+		return
+	}
+	defer sortActive.Store(false)
+	nc := workers
+	if nc > n {
+		nc = n
+	}
+	bounds := make([]int, nc+1)
+	for i := range bounds {
+		bounds[i] = i * n / nc
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < nc; i++ {
+		seg := order[bounds[i]:bounds[i+1]]
+		wg.Add(1)
+		go func(seg []int) {
+			defer wg.Done()
+			sort.Slice(seg, func(a, b int) bool { return less(seg[a], seg[b]) })
+		}(seg)
+	}
+	wg.Wait()
+
+	src, dst := order, make([]int, n)
+	for len(bounds) > 2 {
+		next := make([]int, 0, len(bounds)/2+2)
+		next = append(next, 0)
+		i := 0
+		for ; i+2 < len(bounds); i += 2 {
+			lo, mid, hi := bounds[i], bounds[i+1], bounds[i+2]
+			wg.Add(1)
+			go func(lo, mid, hi int) {
+				defer wg.Done()
+				mergeRuns(dst[lo:hi], src[lo:mid], src[mid:hi], less)
+			}(lo, mid, hi)
+			next = append(next, hi)
+		}
+		if i+1 < len(bounds) { // odd run out: carry it over unchanged
+			copy(dst[bounds[i]:bounds[i+1]], src[bounds[i]:bounds[i+1]])
+			next = append(next, bounds[i+1])
+		}
+		wg.Wait()
+		src, dst = dst, src
+		bounds = next
+	}
+	if &src[0] != &order[0] {
+		copy(order, src)
+	}
+}
+
+// mergeRuns merges two sorted runs into out (len(out) = len(a) + len(b)),
+// preferring a on ties.
+func mergeRuns(out, a, b []int, less func(x, y int) bool) {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if less(b[j], a[i]) {
+			out[i+j] = b[j]
+			j++
+		} else {
+			out[i+j] = a[i]
+			i++
+		}
+	}
+	copy(out[i+j:], a[i:])
+	copy(out[i+j:], b[j:])
+}

@@ -1,0 +1,56 @@
+package factor
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"github.com/faqdb/faq/internal/semiring"
+)
+
+// TestParallelSortMatchesSortSlice exercises the chunked merge sort well past
+// the parallel threshold and against odd chunk counts.
+func TestParallelSortMatchesSortSlice(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, n := range []int{0, 1, 2, parallelSortMin - 1, parallelSortMin, parallelSortMin + 1, 3*parallelSortMin + 17} {
+		keys := make([]int, n)
+		for i := range keys {
+			keys[i] = rng.Intn(1 << 30)
+		}
+		want := append([]int(nil), keys...)
+		sort.Ints(want)
+		order := make([]int, n)
+		for i := range order {
+			order[i] = i
+		}
+		parallelSort(order, func(a, b int) bool { return keys[a] < keys[b] })
+		for i, o := range order {
+			if keys[o] != want[i] {
+				t.Fatalf("n=%d: position %d has %d, want %d", n, i, keys[o], want[i])
+			}
+		}
+	}
+}
+
+// TestNewSortsLargeFactor checks that the factor constructor keeps rows in
+// lexicographic order above the parallel-sort threshold.
+func TestNewSortsLargeFactor(t *testing.T) {
+	d := semiring.Float()
+	rng := rand.New(rand.NewSource(7))
+	n := 2*parallelSortMin + 31
+	tuples := make([][]int, n)
+	values := make([]float64, n)
+	for i := range tuples {
+		tuples[i] = []int{rng.Intn(1 << 20), rng.Intn(1 << 20)}
+		values[i] = 1
+	}
+	f, err := New(d, []int{0, 1}, tuples, values, func(a, b float64) float64 { return a })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < f.Size(); i++ {
+		if !lessTuple(f.Tuples[i-1], f.Tuples[i]) {
+			t.Fatalf("rows %d and %d out of order: %v then %v", i-1, i, f.Tuples[i-1], f.Tuples[i])
+		}
+	}
+}

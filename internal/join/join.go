@@ -11,6 +11,7 @@ package join
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"github.com/faqdb/faq/internal/factor"
 	"github.com/faqdb/faq/internal/semiring"
@@ -21,6 +22,18 @@ type Stats struct {
 	Probes     int64 // candidate membership probes
 	Emitted    int64 // tuples emitted (before aggregation)
 	Multiplies int64
+}
+
+// Merge atomically folds t into s.  Block-parallel scans give every worker a
+// private Stats and merge once per block, so parallel runs report the same
+// true totals a sequential run would.  A nil receiver or argument is a no-op.
+func (s *Stats) Merge(t *Stats) {
+	if s == nil || t == nil {
+		return
+	}
+	atomic.AddInt64(&s.Probes, t.Probes)
+	atomic.AddInt64(&s.Emitted, t.Emitted)
+	atomic.AddInt64(&s.Multiplies, t.Multiplies)
 }
 
 type node[V any] struct {
@@ -98,6 +111,13 @@ type Runner[V any] struct {
 	tuple     []int
 	constProd V    // product of nullary factor values
 	empty     bool // some factor is identically zero
+
+	// Block restriction (see parallel.go): when topKeys is non-nil the
+	// outermost variable enumerates exactly these candidate keys from trie
+	// topLead instead of picking a lead dynamically.  Key blocks partition
+	// the scan into disjoint, independently runnable key ranges.
+	topLead int
+	topKeys []int
 }
 
 // NewRunner prepares a join of the given factors over vars (outermost
@@ -105,6 +125,13 @@ type Runner[V any] struct {
 // variable of vars must occur in at least one factor (otherwise its
 // candidate set would be unconstrained).
 func NewRunner[V any](d *semiring.Domain[V], factors []*factor.Factor[V], vars []int) (*Runner[V], error) {
+	return newRunner(d, factors, vars, 1)
+}
+
+// newRunner is NewRunner with trie construction fanned out over up to
+// `workers` goroutines — factor tries are independent, so building them
+// concurrently is deterministic.
+func newRunner[V any](d *semiring.Domain[V], factors []*factor.Factor[V], vars []int, workers int) (*Runner[V], error) {
 	pos := make(map[int]int, len(vars))
 	for i, v := range vars {
 		if _, dup := pos[v]; dup {
@@ -113,6 +140,7 @@ func NewRunner[V any](d *semiring.Domain[V], factors []*factor.Factor[V], vars [
 		pos[v] = i
 	}
 	r := &Runner[V]{D: d, Vars: vars, constProd: d.One}
+	var positive []*factor.Factor[V]
 	for _, f := range factors {
 		if f.Arity() == 0 {
 			// Nullary factors contribute a constant multiplier; an empty one
@@ -124,12 +152,19 @@ func NewRunner[V any](d *semiring.Domain[V], factors []*factor.Factor[V], vars [
 			}
 			continue
 		}
-		t, err := buildTrie(d, f, pos)
+		positive = append(positive, f)
+	}
+	tries := make([]*trie[V], len(positive))
+	errs := make([]error, len(positive))
+	ParallelFor(len(positive), workers, func(i int) {
+		tries[i], errs[i] = buildTrie(d, positive[i], pos)
+	})
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		r.tries = append(r.tries, t)
 	}
+	r.tries = tries
 	r.consumers = make([][]int, len(vars))
 	r.finishers = make([][]int, len(vars))
 	for ti, t := range r.tries {
@@ -183,7 +218,12 @@ func (r *Runner[V]) search(depth int, prod V, emit func([]int, V)) {
 			lead, leadNode = ti, n
 		}
 	}
-	for _, key := range leadNode.keys {
+	keys := leadNode.keys
+	if depth == 0 && r.topKeys != nil {
+		lead = r.topLead
+		keys = r.topKeys
+	}
+	for _, key := range keys {
 		ok := true
 		for _, ti := range cons {
 			if ti == lead {
@@ -274,6 +314,13 @@ func JoinAll[V any](d *semiring.Domain[V], factors []*factor.Factor[V], vars []i
 	sortedVars := append([]int(nil), vars...)
 	sort.Ints(sortedVars)
 	perm := permutationTo(vars, sortedVars)
+	tuples, values := scanListing(r, perm)
+	return factor.New(d, sortedVars, tuples, values, nil)
+}
+
+// scanListing runs the prepared runner and collects one row per emitted
+// assignment, columns permuted to sorted-variable order.
+func scanListing[V any](r *Runner[V], perm []int) ([][]int, []V) {
 	var tuples [][]int
 	var values []V
 	r.Run(func(tuple []int, val V) {
@@ -284,7 +331,7 @@ func JoinAll[V any](d *semiring.Domain[V], factors []*factor.Factor[V], vars []i
 		tuples = append(tuples, t)
 		values = append(values, val)
 	})
-	return factor.New(d, sortedVars, tuples, values, nil)
+	return tuples, values
 }
 
 // EliminateInnermost evaluates the FAQ-SS sub-instance of Eq. (7): it joins
@@ -306,7 +353,15 @@ func EliminateInnermost[V any](d *semiring.Domain[V], op *semiring.Op[V],
 	sortedVars := append([]int(nil), outVars...)
 	sort.Ints(sortedVars)
 	perm := permutationTo(outVars, sortedVars)
+	tuples, values := scanGrouped(d, op, r, perm)
+	return factor.New(d, sortedVars, tuples, values, nil)
+}
 
+// scanGrouped runs the prepared runner, ⊕-aggregating the innermost variable
+// over each group of assignments sharing a prefix.  The emitted prefixes
+// arrive in lexicographic order, so groups are contiguous; output rows are
+// permuted to sorted-variable order.
+func scanGrouped[V any](d *semiring.Domain[V], op *semiring.Op[V], r *Runner[V], perm []int) ([][]int, []V) {
 	var tuples [][]int
 	var values []V
 	var prefix []int
@@ -336,7 +391,7 @@ func EliminateInnermost[V any](d *semiring.Domain[V], op *semiring.Op[V],
 		havePrefix = true
 	})
 	flush()
-	return factor.New(d, sortedVars, tuples, values, nil)
+	return tuples, values
 }
 
 func samePrefix(a, b []int) bool {

@@ -1,0 +1,241 @@
+// Block-parallel OutsideIn: the backtracking scan of a multiway join is
+// embarrassingly parallel across disjoint ranges of the outermost variable's
+// candidate keys.  The tries are built once and shared read-only; each block
+// gets a Runner clone with fresh traversal state restricted to its key
+// range, and block outputs are concatenated in block order, which keeps
+// results bit-identical to the sequential scan:
+//
+//   - every output group of EliminateInnermost includes the outermost
+//     variable in its prefix, so no ⊕-group spans two blocks and each group
+//     is combined in exactly the sequential order;
+//   - JoinAll emits one independent row per assignment.
+//
+// Scans whose output is a scalar (single join variable) stay sequential:
+// their ⊕-fold crosses block boundaries, and re-associating it could change
+// floating-point results between worker counts.
+package join
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"github.com/faqdb/faq/internal/factor"
+	"github.com/faqdb/faq/internal/semiring"
+)
+
+// MinParallelRows is the minimum total input size (Σ‖ψ‖ over the joined
+// factors) before a scan is split into blocks; below it the goroutine and
+// clone overhead dominates.  Tests may lower it to force block scans on
+// tiny instances.
+var MinParallelRows = 2048
+
+// blocksPerWorker oversubscribes the pool so skewed key ranges (heavy-hitter
+// values, as in the AGM-tight skew instances) keep all workers busy.
+const blocksPerWorker = 4
+
+// Workers resolves a worker-count knob: values < 1 mean GOMAXPROCS.
+func Workers(n int) int {
+	if n < 1 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// ParallelFor runs fn(0), ..., fn(n-1) on a pool of up to `workers`
+// goroutines pulling indices from a shared channel; workers <= 1 runs
+// inline.  It is the one worker-pool shape shared by trie builds, block
+// scans, indicator projections and the parallel brute-force oracle.
+func ParallelFor(n, workers int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
+// clone shares the prepared read-only state (tries, consumer tables) and
+// allocates fresh traversal state, so block scans can run concurrently.
+func (r *Runner[V]) clone() *Runner[V] {
+	c := &Runner[V]{
+		D:         r.D,
+		Vars:      r.Vars,
+		tries:     r.tries,
+		consumers: r.consumers,
+		finishers: r.finishers,
+		constProd: r.constProd,
+		empty:     r.empty,
+	}
+	c.cursors = make([][]*node[V], len(r.tries))
+	for i, t := range r.tries {
+		c.cursors[i] = make([]*node[V], len(t.vars)+1)
+		c.cursors[i][0] = t.root
+	}
+	c.tuple = make([]int, len(r.Vars))
+	return c
+}
+
+// topPlan picks the depth-0 lead trie exactly as the sequential search would
+// (fewest root keys, first wins ties) and returns its candidate keys.
+func (r *Runner[V]) topPlan() (int, []int) {
+	cons := r.consumers[0]
+	lead := cons[0]
+	leadNode := r.tries[lead].root
+	for _, ti := range cons[1:] {
+		if n := r.tries[ti].root; len(n.keys) < len(leadNode.keys) {
+			lead, leadNode = ti, n
+		}
+	}
+	return lead, leadNode.keys
+}
+
+// splitKeys partitions sorted candidate keys into at most
+// workers×blocksPerWorker contiguous non-empty blocks.
+func splitKeys(keys []int, workers int) [][]int {
+	nb := workers * blocksPerWorker
+	if nb > len(keys) {
+		nb = len(keys)
+	}
+	out := make([][]int, 0, nb)
+	for b := 0; b < nb; b++ {
+		lo, hi := b*len(keys)/nb, (b+1)*len(keys)/nb
+		if lo < hi {
+			out = append(out, keys[lo:hi])
+		}
+	}
+	return out
+}
+
+func totalRows[V any](factors []*factor.Factor[V]) int {
+	n := 0
+	for _, f := range factors {
+		n += f.Size()
+	}
+	return n
+}
+
+// runBlocks scans the blocks on a pool of `workers` goroutines.  scan is
+// called with the block index and a Runner restricted to that block, wired
+// to a private Stats that is merged into stats when the pool drains.
+func runBlocks[V any](r *Runner[V], lead int, blocks [][]int, workers int,
+	stats *Stats, scan func(block int, rc *Runner[V])) {
+
+	local := make([]Stats, len(blocks))
+	ParallelFor(len(blocks), workers, func(b int) {
+		rc := r.clone()
+		rc.topLead = lead
+		rc.topKeys = blocks[b]
+		if stats != nil {
+			rc.Stats = &local[b]
+		}
+		scan(b, rc)
+	})
+	for i := range local {
+		stats.Merge(&local[i])
+	}
+}
+
+// EliminateInnermostPar is EliminateInnermost on a worker pool: the scan is
+// partitioned into contiguous key-range blocks of the outermost join
+// variable, blocks aggregate in parallel, and outputs merge in block order.
+// The result is bit-identical to the sequential scan for every worker count;
+// sub-scale instances and scalar-output steps fall back to it outright.
+func EliminateInnermostPar[V any](d *semiring.Domain[V], op *semiring.Op[V],
+	factors []*factor.Factor[V], vars []int, workers int, stats *Stats) (*factor.Factor[V], error) {
+
+	workers = Workers(workers)
+	if len(vars) < 2 || workers <= 1 || totalRows(factors) < MinParallelRows {
+		return EliminateInnermost(d, op, factors, vars, stats)
+	}
+	r, err := newRunner(d, factors, vars, workers)
+	if err != nil {
+		return nil, err
+	}
+	outVars := vars[:len(vars)-1]
+	sortedVars := append([]int(nil), outVars...)
+	sort.Ints(sortedVars)
+	perm := permutationTo(outVars, sortedVars)
+
+	lead, keys := r.topPlan()
+	blocks := splitKeys(keys, workers)
+	if len(blocks) < 2 {
+		r.Stats = stats
+		tuples, values := scanGrouped(d, op, r, perm)
+		return factor.New(d, sortedVars, tuples, values, nil)
+	}
+	type part struct {
+		tuples [][]int
+		values []V
+	}
+	parts := make([]part, len(blocks))
+	runBlocks(r, lead, blocks, workers, stats, func(b int, rc *Runner[V]) {
+		parts[b].tuples, parts[b].values = scanGrouped(d, op, rc, perm)
+	})
+	var tuples [][]int
+	var values []V
+	for _, p := range parts {
+		tuples = append(tuples, p.tuples...)
+		values = append(values, p.values...)
+	}
+	return factor.New(d, sortedVars, tuples, values, nil)
+}
+
+// JoinAllPar is JoinAll on the same block-parallel worker pool.
+func JoinAllPar[V any](d *semiring.Domain[V], factors []*factor.Factor[V],
+	vars []int, workers int, stats *Stats) (*factor.Factor[V], error) {
+
+	workers = Workers(workers)
+	if len(vars) == 0 || workers <= 1 || totalRows(factors) < MinParallelRows {
+		return JoinAll(d, factors, vars, stats)
+	}
+	r, err := newRunner(d, factors, vars, workers)
+	if err != nil {
+		return nil, err
+	}
+	sortedVars := append([]int(nil), vars...)
+	sort.Ints(sortedVars)
+	perm := permutationTo(vars, sortedVars)
+
+	lead, keys := r.topPlan()
+	blocks := splitKeys(keys, workers)
+	if len(blocks) < 2 {
+		r.Stats = stats
+		tuples, values := scanListing(r, perm)
+		return factor.New(d, sortedVars, tuples, values, nil)
+	}
+	type part struct {
+		tuples [][]int
+		values []V
+	}
+	parts := make([]part, len(blocks))
+	runBlocks(r, lead, blocks, workers, stats, func(b int, rc *Runner[V]) {
+		parts[b].tuples, parts[b].values = scanListing(rc, perm)
+	})
+	var tuples [][]int
+	var values []V
+	for _, p := range parts {
+		tuples = append(tuples, p.tuples...)
+		values = append(values, p.values...)
+	}
+	return factor.New(d, sortedVars, tuples, values, nil)
+}

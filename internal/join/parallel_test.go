@@ -1,0 +1,148 @@
+package join
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/faqdb/faq/internal/factor"
+	"github.com/faqdb/faq/internal/semiring"
+)
+
+// forceBlocks lowers the parallel threshold so block scans engage on tiny
+// instances, restoring it when the test ends.
+func forceBlocks(t *testing.T) {
+	old := MinParallelRows
+	MinParallelRows = 1
+	t.Cleanup(func() { MinParallelRows = old })
+}
+
+func randomFactor(rng *rand.Rand, d *semiring.Domain[float64], vars []int, dom, n int) *factor.Factor[float64] {
+	var tuples [][]int
+	var values []float64
+	for i := 0; i < n; i++ {
+		t := make([]int, len(vars))
+		for j := range t {
+			t[j] = rng.Intn(dom)
+		}
+		tuples = append(tuples, t)
+		values = append(values, float64(1+rng.Intn(5)))
+	}
+	f, err := factor.New(d, vars, tuples, values, func(a, b float64) float64 { return a })
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+func TestEliminateInnermostParMatchesSequential(t *testing.T) {
+	forceBlocks(t)
+	d := semiring.Float()
+	op := semiring.OpFloatSum()
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 40; trial++ {
+		dom := 2 + rng.Intn(12)
+		n := 1 + rng.Intn(60)
+		fs := []*factor.Factor[float64]{
+			randomFactor(rng, d, []int{0, 1}, dom, n),
+			randomFactor(rng, d, []int{1, 2}, dom, n),
+			randomFactor(rng, d, []int{0, 2}, dom, n),
+		}
+		vars := []int{0, 1, 2}
+		var seqStats Stats
+		want, err := EliminateInnermost(d, op, fs, vars, &seqStats)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 3, 8} {
+			var parStats Stats
+			got, err := EliminateInnermostPar(d, op, fs, vars, workers, &parStats)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !want.Equal(d, got) {
+				t.Fatalf("trial %d workers %d: parallel elimination diverged:\n%v\n%v",
+					trial, workers, want, got)
+			}
+			if parStats != seqStats {
+				t.Fatalf("trial %d workers %d: stats diverged: %+v vs %+v",
+					trial, workers, parStats, seqStats)
+			}
+		}
+	}
+}
+
+func TestJoinAllParMatchesSequential(t *testing.T) {
+	forceBlocks(t)
+	d := semiring.Float()
+	rng := rand.New(rand.NewSource(100))
+	for trial := 0; trial < 40; trial++ {
+		dom := 2 + rng.Intn(10)
+		n := 1 + rng.Intn(50)
+		fs := []*factor.Factor[float64]{
+			randomFactor(rng, d, []int{0, 1}, dom, n),
+			randomFactor(rng, d, []int{1, 2}, dom, n),
+		}
+		vars := []int{2, 0, 1} // deliberately non-sorted join order
+		want, err := JoinAll(d, fs, vars, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := JoinAllPar(d, fs, vars, 4, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !want.Equal(d, got) {
+			t.Fatalf("trial %d: parallel join diverged:\n%v\n%v", trial, want, got)
+		}
+	}
+}
+
+// TestEliminateInnermostParScalar checks the scalar-output fallback: a single
+// join variable must aggregate sequentially regardless of worker count.
+func TestEliminateInnermostParScalar(t *testing.T) {
+	forceBlocks(t)
+	d := semiring.Float()
+	op := semiring.OpFloatSum()
+	f := randomFactor(rand.New(rand.NewSource(7)), d, []int{0}, 64, 64)
+	want, err := EliminateInnermost(d, op, []*factor.Factor[float64]{f}, []int{0}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := EliminateInnermostPar(d, op, []*factor.Factor[float64]{f}, []int{0}, 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !want.Equal(d, got) {
+		t.Fatalf("scalar elimination diverged: %v vs %v", want, got)
+	}
+}
+
+func TestSplitKeys(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 7, 100} {
+		keys := make([]int, n)
+		for i := range keys {
+			keys[i] = i * 3
+		}
+		for _, w := range []int{1, 2, 4, 13} {
+			blocks := splitKeys(keys, w)
+			var flat []int
+			for _, b := range blocks {
+				if len(b) == 0 {
+					t.Fatalf("n=%d w=%d: empty block", n, w)
+				}
+				flat = append(flat, b...)
+			}
+			if len(flat) != n {
+				t.Fatalf("n=%d w=%d: blocks cover %d keys", n, w, len(flat))
+			}
+			for i := range flat {
+				if flat[i] != keys[i] {
+					t.Fatalf("n=%d w=%d: block order broken at %d", n, w, i)
+				}
+			}
+			if len(blocks) > w*blocksPerWorker {
+				t.Fatalf("n=%d w=%d: %d blocks exceeds cap", n, w, len(blocks))
+			}
+		}
+	}
+}
