@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci vet build test race bench fuzz
+.PHONY: ci vet build test race bench bench-baseline fuzz
 
 # Full local CI pass: what .github/workflows/ci.yml runs.
 ci: vet build test race bench
@@ -23,6 +23,12 @@ race:
 # executor families; see bench_parallel_test.go for the scaling runs.
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# Benchmark baseline: the parallel-executor and prepared-query families at
+# -benchtime 3x, recorded as test2json events in BENCH_PR2.json (CI runs
+# this as a non-blocking step; the JSON is the comparable artifact).
+bench-baseline:
+	$(GO) test -run '^$$' -bench 'BenchmarkParallel|BenchmarkPrepared' -benchtime 3x -json . | tee BENCH_PR2.json
 
 # Short fuzz session for the DIMACS parser.
 fuzz:

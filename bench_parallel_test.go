@@ -152,41 +152,10 @@ func BenchmarkParallelPGMMarginal(b *testing.B) {
 
 // BenchmarkParallelSharpSAT counts models of a random interval CNF as an FAQ
 // query over the counting semiring (Z, +, ·): each clause is a listing
-// factor with 2^k − 1 satisfying rows.
+// factor with 2^k − 1 satisfying rows (cnf.FAQQuery, Table 1 row #SAT).
 func BenchmarkParallelSharpSAT(b *testing.B) {
 	f := cnf.RandomInterval(rand.New(rand.NewSource(23)), 20, 36, 12)
-	d := Int()
-	ds := make([]int, f.NumVars)
-	aggs := make([]Aggregate[int64], f.NumVars)
-	for i := range ds {
-		ds[i] = 2
-		aggs[i] = SemiringAgg(OpIntSum())
-	}
-	var factors []*Factor[int64]
-	for _, c := range f.Clauses {
-		c := c
-		factors = append(factors, FromFunc(d, c.Vars(), ds, func(t []int) int64 {
-			for i, l := range c.Lits {
-				if (t[i] == 1) == l.Pos() {
-					return 1
-				}
-			}
-			return 0
-		}))
-	}
-	// Unit factors keep unconstrained variables counted.
-	covered := make([]bool, f.NumVars)
-	for _, fc := range factors {
-		for _, v := range fc.Vars {
-			covered[v] = true
-		}
-	}
-	for v, ok := range covered {
-		if !ok {
-			factors = append(factors, FromFunc(d, []int{v}, ds, func([]int) int64 { return 1 }))
-		}
-	}
-	q := &Query[int64]{D: d, NVars: f.NumVars, DomSizes: ds, NumFree: 0, Aggs: aggs, Factors: factors}
+	q := f.FAQQuery()
 	_, plan, err := Solve(q, DefaultOptions())
 	if err != nil {
 		b.Fatal(err)

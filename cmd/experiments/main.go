@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -67,6 +68,7 @@ var experiments = []experiment{
 	{"S8.5-gap", "Composition: Lemma 8.7 star-of-stars width gap", runGap},
 	{"FIG-trees", "Figures 2–6: expression trees", runTrees},
 	{"PAR-executor", "Parallel executor: sequential vs block-parallel worker pool", runParallel},
+	{"ENG-prepared", "Engine: prepare-once-run-many amortization vs per-call Solve", runPrepared},
 }
 
 func timeIt(f func()) time.Duration {
@@ -272,12 +274,19 @@ func runDFT() {
 // --- Example 5.6 -------------------------------------------------------------
 
 func runExample56() {
+	eng := faq.NewEngine[float64](faq.EngineOptions{})
+	defer eng.Close()
+	ctx := context.Background()
 	row("N", "σ-expression (width 2)", "σ-paper (width 1)")
 	for _, n := range []int{64, 128, 256} {
 		q := example56Skew(rand.New(rand.NewSource(*seed+6)), n)
+		pExpr, err := eng.PrepareOrder(q, []int{0, 1, 2, 3, 4, 5}, faq.DefaultOptions())
+		check(err == nil, "Example 5.6 prepare (expression)")
+		pPaper, err := eng.PrepareOrder(q, []int{4, 0, 1, 2, 3, 5}, faq.DefaultOptions())
+		check(err == nil, "Example 5.6 prepare (paper)")
 		var a, b *faq.Result[float64]
-		tExpr := timeIt(func() { a, _ = faq.InsideOut(q, []int{0, 1, 2, 3, 4, 5}, faq.DefaultOptions()) })
-		tPaper := timeIt(func() { b, _ = faq.InsideOut(q, []int{4, 0, 1, 2, 3, 5}, faq.DefaultOptions()) })
+		tExpr := timeIt(func() { a, _ = pExpr.Run(ctx) })
+		tPaper := timeIt(func() { b, _ = pPaper.Run(ctx) })
 		check(approx(a.Scalar(), b.Scalar()), "Example 5.6 mismatch")
 		row(n, tExpr, tPaper)
 	}
@@ -449,63 +458,115 @@ func absC(c complex128) float64 {
 
 // --- Parallel executor ------------------------------------------------------
 
-// runParallel times the same triangle-count query on the sequential executor
-// (Workers=1) and the block-parallel worker pool (the -workers flag; 0 means
-// GOMAXPROCS), checking that both return the identical count.
+// triangleWorkload builds the random triangle-count query used by the
+// executor and engine experiments.
+func triangleWorkload(rng *rand.Rand, nodes, edges int) *faq.Query[float64] {
+	d := faq.Float()
+	seen := map[[2]int]bool{}
+	var tuples [][]int
+	var values []float64
+	for len(tuples) < edges {
+		e := [2]int{rng.Intn(nodes), rng.Intn(nodes)}
+		if seen[e] || e[0] == e[1] {
+			continue
+		}
+		seen[e] = true
+		tuples = append(tuples, []int{e[0], e[1]})
+		values = append(values, 1)
+	}
+	mk := func(vars []int) *faq.Factor[float64] {
+		f, err := faq.NewFactor(d, vars, tuples, values, nil)
+		check(err == nil, "triangle factor")
+		return f
+	}
+	return &faq.Query[float64]{
+		D: d, NVars: 3, DomSizes: []int{nodes, nodes, nodes}, NumFree: 0,
+		Aggs: []faq.Aggregate[float64]{
+			faq.SemiringAgg(faq.OpFloatSum()),
+			faq.SemiringAgg(faq.OpFloatSum()),
+			faq.SemiringAgg(faq.OpFloatSum()),
+		},
+		Factors: []*faq.Factor[float64]{mk([]int{0, 1}), mk([]int{1, 2}), mk([]int{0, 2})},
+	}
+}
+
+// runParallel times the same triangle-count query on a sequential engine
+// (Workers=1) and a pooled engine (the -workers flag; 0 means GOMAXPROCS),
+// checking that both return the identical count.  Both queries are prepared
+// once with the expression order, so the comparison is pure executor time.
 func runParallel() {
 	pool := runtime.GOMAXPROCS(0)
 	if *workers > 0 {
 		pool = *workers
 	}
 	fmt.Printf("  pool size %d (GOMAXPROCS %d)\n", pool, runtime.GOMAXPROCS(0))
+	engSeq := faq.NewEngine[float64](faq.EngineOptions{Workers: 1})
+	defer engSeq.Close()
+	engPool := faq.NewEngine[float64](faq.EngineOptions{Workers: pool})
+	defer engPool.Close()
+	ctx := context.Background()
 	row("nodes", "sequential", "pool", "speedup", "triangles")
 	for _, nodes := range []int{1000, 2000, 4000} {
-		rng := rand.New(rand.NewSource(*seed))
-		edges := nodes * 16
-		d := faq.Float()
-		seen := map[[2]int]bool{}
-		var tuples [][]int
-		var values []float64
-		for len(tuples) < edges {
-			e := [2]int{rng.Intn(nodes), rng.Intn(nodes)}
-			if seen[e] || e[0] == e[1] {
-				continue
-			}
-			seen[e] = true
-			tuples = append(tuples, []int{e[0], e[1]})
-			values = append(values, 1)
-		}
-		mk := func(vars []int) *faq.Factor[float64] {
-			f, err := faq.NewFactor(d, vars, tuples, values, nil)
-			check(err == nil, "triangle factor")
-			return f
-		}
-		q := &faq.Query[float64]{
-			D: d, NVars: 3, DomSizes: []int{nodes, nodes, nodes}, NumFree: 0,
-			Aggs: []faq.Aggregate[float64]{
-				faq.SemiringAgg(faq.OpFloatSum()),
-				faq.SemiringAgg(faq.OpFloatSum()),
-				faq.SemiringAgg(faq.OpFloatSum()),
-			},
-			Factors: []*faq.Factor[float64]{mk([]int{0, 1}), mk([]int{1, 2}), mk([]int{0, 2})},
-		}
+		q := triangleWorkload(rand.New(rand.NewSource(*seed)), nodes, nodes*16)
 		order := []int{0, 1, 2}
-		seqOpts := faq.DefaultOptions()
-		seqOpts.Workers = 1
-		poolOpts := faq.DefaultOptions()
-		poolOpts.Workers = pool
+		pSeq, err := engSeq.PrepareOrder(q, order, faq.DefaultOptions())
+		check(err == nil, "sequential prepare")
+		pPool, err := engPool.PrepareOrder(q, order, faq.DefaultOptions())
+		check(err == nil, "pool prepare")
 		var seqRes, poolRes *faq.Result[float64]
 		tSeq := timeIt(func() {
-			r, err := faq.InsideOut(q, order, seqOpts)
+			r, err := pSeq.Run(ctx)
 			check(err == nil, "sequential insideout")
 			seqRes = r
 		})
 		tPool := timeIt(func() {
-			r, err := faq.InsideOut(q, order, poolOpts)
+			r, err := pPool.Run(ctx)
 			check(err == nil, "pool insideout")
 			poolRes = r
 		})
 		check(seqRes.Scalar() == poolRes.Scalar(), "executor results diverged")
 		row(nodes, tSeq, tPool, float64(tSeq)/float64(tPool), seqRes.Scalar())
 	}
+}
+
+// runPrepared is the serving-amortization experiment: the same triangle
+// shape is answered repeatedly over fresh edge sets, once with per-call
+// Solve (replanning every time) and once with Engine.Prepare +
+// RunWithFactors (planning once, swapping data).  The delta is the
+// Section 6–7 planning cost amortized away by the plan cache.
+func runPrepared() {
+	const runs = 8
+	eng := faq.NewEngine[float64](faq.EngineOptions{Workers: *workers})
+	defer eng.Close()
+	ctx := context.Background()
+	row("nodes", "solve×"+fmt.Sprint(runs), "prepared×"+fmt.Sprint(runs), "speedup", "checksum")
+	for _, nodes := range []int{500, 1000, 2000} {
+		datasets := make([]*faq.Query[float64], runs)
+		for i := range datasets {
+			datasets[i] = triangleWorkload(rand.New(rand.NewSource(*seed+int64(i))), nodes, nodes*16)
+		}
+		var solveSum float64
+		tSolve := timeIt(func() {
+			for _, q := range datasets {
+				res, _, err := faq.Solve(q, faq.DefaultOptions())
+				check(err == nil, "solve")
+				solveSum += res.Scalar()
+			}
+		})
+		var prepSum float64
+		tPrep := timeIt(func() {
+			prep, err := eng.Prepare(datasets[0])
+			check(err == nil, "prepare")
+			for _, q := range datasets {
+				res, err := prep.RunWithFactors(ctx, q.Factors)
+				check(err == nil, "prepared run")
+				prepSum += res.Scalar()
+			}
+		})
+		check(solveSum == prepSum, "prepared runs diverged from Solve")
+		row(nodes, tSolve, tPrep, float64(tSolve)/float64(tPrep), prepSum)
+	}
+	st := eng.Stats()
+	fmt.Printf("  engine: %d prepared, %d plan hits, %d misses, %d runs\n",
+		st.Prepared, st.PlanCacheHits, st.PlanCacheMisses, st.Runs)
 }

@@ -27,6 +27,7 @@ func main() {
 
 	var s *core.Shape
 	var name func(int) string
+	var specQuery *core.Query[float64]
 	switch {
 	case *specFile != "":
 		f, err := os.Open(*specFile)
@@ -38,6 +39,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		specQuery = q
 		s = q.Shape()
 		name = q.VarName
 	case *example != "":
@@ -93,6 +95,25 @@ func main() {
 	}
 	fhtw, _ := wc.FHTW()
 	fmt.Printf("\nfhtw(H) = %.3f (lower bound when all orderings are equivalent)\n", fhtw)
+
+	// For an executable spec, show what an Engine would serve: the plan a
+	// Prepare caches and the cache behavior of a repeated shape.
+	if specQuery != nil {
+		eng := core.NewEngine[float64](core.EngineOptions{Workers: 1})
+		defer eng.Close()
+		prep, err := eng.Prepare(specQuery)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := eng.Prepare(specQuery); err != nil { // same shape: cache hit
+			log.Fatal(err)
+		}
+		st := eng.Stats()
+		fmt.Printf("\nengine: Prepare caches %-12s width %.3f  σ = %s\n",
+			prep.Plan().Method, prep.Plan().Width, core.OrderString(prep.Plan().Order, name))
+		fmt.Printf("engine: repeated shape -> %d plan miss, %d plan hit\n",
+			st.PlanCacheMisses, st.PlanCacheHits)
+	}
 }
 
 func printPlan(p *core.Plan, name func(int) string) {

@@ -1,39 +1,97 @@
 // faqrun evaluates an FAQ query from a specification file (format in
-// internal/spec) with InsideOut, printing the plan, statistics and the
+// internal/spec) on the Engine API, printing the plan, statistics and the
 // output (listing representation, truncated for large outputs).
 //
 // Usage:
 //
-//	faqrun -spec query.faq [-order "2,0,1"] [-max-rows 50] [-no-filters] [-no-indicators] [-workers n]
+//	faqrun -spec query.faq [-order "2,0,1"] [-mode solve|prepared] [-repeat n]
+//	       [-max-rows 50] [-no-filters] [-no-indicators] [-workers n]
+//
+// -mode solve (the default) prepares and runs once.  -mode prepared is the
+// serving demo: the query is prepared once and run -repeat times, printing
+// per-run wall time and the engine's plan-cache/run counters, so the
+// amortization of the Section 6–7 planning phase is visible directly.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"github.com/faqdb/faq/internal/core"
-	"github.com/faqdb/faq/internal/hypergraph"
 	"github.com/faqdb/faq/internal/spec"
 )
 
+// config collects the flag values; validate rejects unusable combinations
+// before any work happens.
+type config struct {
+	specFile string
+	order    string
+	mode     string
+	repeat   int
+	maxRows  int
+	workers  int
+}
+
+func (c config) validate() error {
+	if c.specFile == "" {
+		return fmt.Errorf("missing required -spec")
+	}
+	if c.workers < 0 {
+		return fmt.Errorf("-workers must be >= 0 (0 = GOMAXPROCS, 1 = sequential), got %d", c.workers)
+	}
+	switch c.mode {
+	case "solve", "prepared":
+	default:
+		return fmt.Errorf("unknown -mode %q (want solve or prepared)", c.mode)
+	}
+	if c.repeat < 1 {
+		return fmt.Errorf("-repeat must be >= 1, got %d", c.repeat)
+	}
+	if c.repeat > 1 && c.mode != "prepared" {
+		return fmt.Errorf("-repeat %d needs -mode prepared", c.repeat)
+	}
+	if c.maxRows < 0 {
+		return fmt.Errorf("-max-rows must be >= 0, got %d", c.maxRows)
+	}
+	return nil
+}
+
+func parseOrder(s string) ([]int, error) {
+	var order []int
+	for _, tok := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(tok))
+		if err != nil {
+			return nil, fmt.Errorf("bad ordering entry %q", tok)
+		}
+		order = append(order, v)
+	}
+	return order, nil
+}
+
 func main() {
-	specFile := flag.String("spec", "", "query specification file")
-	orderFlag := flag.String("order", "", "explicit variable ordering, comma-separated ids")
-	maxRows := flag.Int("max-rows", 50, "maximum output rows to print")
+	var cfg config
+	flag.StringVar(&cfg.specFile, "spec", "", "query specification file")
+	flag.StringVar(&cfg.order, "order", "", "explicit variable ordering, comma-separated ids")
+	flag.StringVar(&cfg.mode, "mode", "solve", "solve (plan+run once) or prepared (prepare once, run -repeat times)")
+	flag.IntVar(&cfg.repeat, "repeat", 1, "prepared-mode run count")
+	flag.IntVar(&cfg.maxRows, "max-rows", 50, "maximum output rows to print")
 	noFilters := flag.Bool("no-filters", false, "disable the 01-OR output filters")
 	noIndicators := flag.Bool("no-indicators", false, "disable indicator projections")
-	workers := flag.Int("workers", 0, "executor worker pool size (0 = GOMAXPROCS, 1 = sequential)")
+	flag.IntVar(&cfg.workers, "workers", 0, "executor worker pool size (0 = GOMAXPROCS, 1 = sequential)")
 	flag.Parse()
-	if *specFile == "" {
+	if err := cfg.validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "faqrun: %v\n", err)
 		flag.Usage()
 		os.Exit(2)
 	}
 
-	f, err := os.Open(*specFile)
+	f, err := os.Open(cfg.specFile)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -46,36 +104,52 @@ func main() {
 	opts := core.DefaultOptions()
 	opts.FilterOutput = !*noFilters
 	opts.IndicatorProjections = !*noIndicators
-	opts.Workers = *workers
 
-	shape := q.Shape()
-	var order []int
-	var method string
-	if *orderFlag != "" {
-		for _, tok := range strings.Split(*orderFlag, ",") {
-			v, err := strconv.Atoi(strings.TrimSpace(tok))
-			if err != nil {
-				log.Fatalf("bad ordering entry %q", tok)
-			}
-			order = append(order, v)
+	eng := core.NewEngine[float64](core.EngineOptions{Workers: cfg.workers})
+	defer eng.Close()
+
+	var prep *core.PreparedQuery[float64]
+	if cfg.order != "" {
+		order, err := parseOrder(cfg.order)
+		if err != nil {
+			log.Fatal(err)
 		}
-		if ok, err := core.InEVO(shape, order); err != nil {
+		if ok, err := core.InEVO(q.Shape(), order); err != nil {
 			log.Fatal(err)
 		} else if !ok {
 			log.Fatalf("ordering %v is not φ-equivalent; refusing to compute a different function", order)
 		}
-		method = "user"
+		prep, err = eng.PrepareOrder(q, order, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
 	} else {
-		plan := core.ChoosePlan(shape, hypergraph.NewWidthCalc(shape.H))
-		order = plan.Order
-		method = fmt.Sprintf("%s (width %.3f)", plan.Method, plan.Width)
+		prep, err = eng.PrepareOpts(q, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
+	plan := prep.Plan()
+	fmt.Printf("ordering: %s via %s (width %.3f)\n",
+		core.OrderString(plan.Order, q.VarName), plan.Method, plan.Width)
 
-	res, err := core.InsideOut(q, order, opts)
-	if err != nil {
-		log.Fatal(err)
+	ctx := context.Background()
+	var res *core.Result[float64]
+	for run := 0; run < cfg.repeat; run++ {
+		start := time.Now()
+		res, err = prep.Run(ctx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if cfg.mode == "prepared" {
+			fmt.Printf("run %d: %s\n", run, time.Since(start).Round(time.Microsecond))
+		}
 	}
-	fmt.Printf("ordering: %s via %s\n", core.OrderString(order, q.VarName), method)
+	if cfg.mode == "prepared" {
+		st := eng.Stats()
+		fmt.Printf("engine: %d prepared, %d plan hits, %d plan misses, %d runs\n",
+			st.Prepared, st.PlanCacheHits, st.PlanCacheMisses, st.Runs)
+	}
 	fmt.Printf("stats: %d eliminations, %d intermediate rows (max %d), %d join probes\n",
 		res.Stats.Eliminations, res.Stats.IntermediateRows, res.Stats.MaxIntermediate, res.Stats.Join.Probes)
 
@@ -92,8 +166,8 @@ func main() {
 	}
 	fmt.Println(")")
 	for i, tup := range res.Output.Tuples {
-		if i >= *maxRows {
-			fmt.Printf("  ... %d more rows\n", res.Output.Size()-*maxRows)
+		if i >= cfg.maxRows {
+			fmt.Printf("  ... %d more rows\n", res.Output.Size()-cfg.maxRows)
 			break
 		}
 		fmt.Printf("  %v = %v\n", tup, res.Output.Values[i])

@@ -45,3 +45,53 @@ func TestFaqrunSmoke(t *testing.T) {
 		t.Fatalf("faqrun computed wrong values:\n%s", out)
 	}
 }
+
+// TestValidateFlagCombinations is the table test for the config validator:
+// bad combinations must produce an error (and main exits 2), instead of the
+// undefined behavior negative worker counts used to produce.
+func TestValidateFlagCombinations(t *testing.T) {
+	base := config{specFile: "q.faq", mode: "solve", repeat: 1, maxRows: 50, workers: 0}
+	cases := []struct {
+		name    string
+		mutate  func(c config) config
+		wantErr string
+	}{
+		{"default-ok", func(c config) config { return c }, ""},
+		{"prepared-ok", func(c config) config { c.mode = "prepared"; c.repeat = 10; return c }, ""},
+		{"sequential-ok", func(c config) config { c.workers = 1; return c }, ""},
+		{"missing-spec", func(c config) config { c.specFile = ""; return c }, "-spec"},
+		{"negative-workers", func(c config) config { c.workers = -1; return c }, "-workers"},
+		{"unknown-mode", func(c config) config { c.mode = "turbo"; return c }, "unknown -mode"},
+		{"zero-repeat", func(c config) config { c.repeat = 0; return c }, "-repeat"},
+		{"negative-repeat", func(c config) config { c.repeat = -3; return c }, "-repeat"},
+		{"repeat-without-prepared", func(c config) config { c.repeat = 5; return c }, "-mode prepared"},
+		{"negative-max-rows", func(c config) config { c.maxRows = -1; return c }, "-max-rows"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.mutate(base).validate()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %v does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestParseOrder(t *testing.T) {
+	got, err := parseOrder(" 2, 0 ,1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 2 || got[1] != 0 || got[2] != 1 {
+		t.Fatalf("parseOrder = %v", got)
+	}
+	if _, err := parseOrder("1,x"); err == nil {
+		t.Fatal("junk ordering should fail")
+	}
+}

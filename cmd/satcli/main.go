@@ -5,10 +5,17 @@
 //
 // Usage:
 //
-//	satcli [-count] [file.cnf]    (stdin when no file)
+//	satcli [-count] [-faq] [-workers n] [file.cnf]    (stdin when no file)
+//
+// -count -faq routes #SAT through the generic FAQ engine instead of the
+// β-acyclic fast path: the formula compiles to a counting-semiring query
+// (Table 1 row #SAT), the engine plans an elimination order, and InsideOut
+// counts the models on the engine's worker pool.  It works on arbitrary
+// clause hypergraphs within the planner's width limits.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -16,11 +23,22 @@ import (
 	"os"
 
 	"github.com/faqdb/faq/internal/cnf"
+	"github.com/faqdb/faq/internal/core"
 )
 
 func main() {
 	count := flag.Bool("count", false, "count satisfying assignments (#SAT)")
+	useFAQ := flag.Bool("faq", false, "with -count: count via the FAQ engine instead of the beta-acyclic fast path")
+	workers := flag.Int("workers", 0, "FAQ engine worker pool size (0 = GOMAXPROCS, 1 = sequential)")
 	flag.Parse()
+	if *workers < 0 {
+		fmt.Fprintf(os.Stderr, "satcli: -workers must be >= 0, got %d\n", *workers)
+		os.Exit(2)
+	}
+	if *useFAQ && !*count {
+		fmt.Fprintln(os.Stderr, "satcli: -faq requires -count")
+		os.Exit(2)
+	}
 
 	var r io.Reader = os.Stdin
 	if flag.NArg() > 0 {
@@ -41,6 +59,25 @@ func main() {
 		f.NumVars, len(f.Clauses), beta)
 
 	if *count {
+		if *useFAQ {
+			if f.NumVars > 62 {
+				log.Fatalf("satcli: -faq counts in int64 (max 2^62 models); formula has %d variables", f.NumVars)
+			}
+			eng := core.NewEngine[int64](core.EngineOptions{Workers: *workers})
+			defer eng.Close()
+			prep, err := eng.Prepare(f.FAQQuery())
+			if err != nil {
+				log.Fatal(err)
+			}
+			res, err := prep.Run(context.Background())
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "c faq plan: %s width %.3f\n",
+				prep.Plan().Method, prep.Plan().Width)
+			fmt.Printf("s mc %d\n", res.Scalar())
+			return
+		}
 		if beta {
 			n, err := f.CountBetaAcyclic()
 			if err != nil {

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -100,4 +101,60 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("      faqw(φ) = %.3f (prefix width would be %d)\n", plan.Width, n+1)
+
+	// Engine-served #QCQ: the same ∀∃∀ star shape over growing domains
+	// compiles to one query shape, so the engine plans it once and serves
+	// every subsequent domain size from the plan cache.
+	eng := faq.NewEngine[int64](faq.EngineOptions{})
+	defer eng.Close()
+	ctx := context.Background()
+	fmt.Println("engine-served #QCQ sweep (∀∃∀ star):")
+	for _, sweepDom := range []int{8, 12, 16} {
+		srel := func(name string) *logicq.Relation {
+			r := &logicq.Relation{Name: name, Arity: 2}
+			seen := map[[2]int]bool{}
+			for len(seen) < sweepDom*sweepDom*3/4 {
+				e := [2]int{rng.Intn(sweepDom), rng.Intn(sweepDom)}
+				if !seen[e] {
+					seen[e] = true
+					r.Add(e[0], e[1])
+				}
+			}
+			return r
+		}
+		sq := &logicq.Query{
+			NumVars:  4,
+			NumFree:  1,
+			DomSizes: []int{sweepDom, sweepDom, sweepDom, sweepDom},
+			Quants:   []logicq.Quantifier{logicq.ForAll, logicq.Exists, logicq.ForAll},
+			Atoms: []logicq.Atom{
+				{Rel: srel("S1"), Vars: []int{0, 1}},
+				{Rel: srel("S2"), Vars: []int{0, 2}},
+				{Rel: srel("S3"), Vars: []int{2, 3}},
+			},
+		}
+		scq, err := logicq.CompileSharpQCQ(sq)
+		if err != nil {
+			log.Fatal(err)
+		}
+		prep, err := eng.Prepare(scq)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := prep.Run(ctx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		want, err := logicq.NaiveCount(sq)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if res.Scalar() != want {
+			log.Fatalf("engine #QCQ = %d, naive = %d", res.Scalar(), want)
+		}
+		fmt.Printf("  dom %2d: count %4d (plan %s)\n", sweepDom, res.Scalar(), prep.Plan().Method)
+	}
+	st := eng.Stats()
+	fmt.Printf("  engine: %d prepares, %d planning pass(es), %d cache hits\n",
+		st.Prepared, st.PlanCacheMisses, st.PlanCacheHits)
 }

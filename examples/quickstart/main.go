@@ -1,5 +1,5 @@
 // Quickstart: count triangles in a graph with a single FAQ query
-// (Example A.8 of the paper).
+// (Example A.8 of the paper), served through the Engine API.
 //
 // The triangle count is the SumProd instance
 //
@@ -8,9 +8,14 @@
 // over the sum-product semiring, whose hypergraph is the triangle with
 // fractional cover number 3/2 — so InsideOut runs in Õ(N^1.5) where any
 // pairwise join plan needs Θ(N²) on skewed inputs.
+//
+// The query is prepared once (the Section 6–7 planners run a single time)
+// and then run against several edge sets via RunWithFactors — the
+// "questions asked frequently" serving loop: plan once, answer many.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -18,12 +23,13 @@ import (
 	faq "github.com/faqdb/faq"
 )
 
-func main() {
-	const nodes = 400
-	const edges = 2400
-	rng := rand.New(rand.NewSource(42))
+const nodes = 400
 
-	// A random directed edge set; ψ(u,v) = 1 when (u,v) is an edge.
+// edgeFactors draws a random directed edge set and returns the three
+// ψ factors of the triangle query (all three share the edge list).
+func edgeFactors(seed int64, d *faq.Domain[float64]) []*faq.Factor[float64] {
+	rng := rand.New(rand.NewSource(seed))
+	const edges = 2400
 	seen := map[[2]int]bool{}
 	var tuples [][]int
 	var values []float64
@@ -36,8 +42,6 @@ func main() {
 		tuples = append(tuples, []int{e[0], e[1]})
 		values = append(values, 1)
 	}
-
-	d := faq.Float()
 	mk := func(vars []int) *faq.Factor[float64] {
 		f, err := faq.NewFactor(d, vars, tuples, values, nil)
 		if err != nil {
@@ -45,6 +49,15 @@ func main() {
 		}
 		return f
 	}
+	return []*faq.Factor[float64]{mk([]int{0, 1}), mk([]int{1, 2}), mk([]int{0, 2})}
+}
+
+func main() {
+	ctx := context.Background()
+	eng := faq.NewEngine[float64](faq.EngineOptions{}) // Workers 0 = GOMAXPROCS
+	defer eng.Close()
+
+	d := faq.Float()
 	q := &faq.Query[float64]{
 		D:        d,
 		NVars:    3,
@@ -55,33 +68,52 @@ func main() {
 			faq.SemiringAgg(faq.OpFloatSum()),
 			faq.SemiringAgg(faq.OpFloatSum()),
 		},
-		Factors: []*faq.Factor[float64]{mk([]int{0, 1}), mk([]int{1, 2}), mk([]int{0, 2})},
+		Factors: edgeFactors(42, d),
 	}
 
-	res, plan, err := faq.Solve(q, faq.DefaultOptions())
+	// Prepare once: the planner (exact DP over LinEx(P) here) runs a single
+	// time and the plan is cached on the engine.
+	prep, err := eng.Prepare(q)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("directed triangles: %.0f\n", res.Scalar())
+	plan := prep.Plan()
 	fmt.Printf("planned ordering:   %v (method %s)\n", plan.Order, plan.Method)
 	fmt.Printf("faqw of plan:       %.2f (= ρ* of the triangle query)\n", plan.Width)
+
+	res, err := prep.Run(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("directed triangles: %.0f (graph seed 42)\n", res.Scalar())
 	fmt.Printf("max intermediate:   %d rows\n", res.Stats.MaxIntermediate)
 
-	// Cross-check on a small sample with the brute-force oracle.
-	small := &faq.Query[float64]{
-		D: d, NVars: 3, DomSizes: []int{8, 8, 8}, NumFree: 0,
-		Aggs:    q.Aggs,
-		Factors: nil,
+	// The serving loop: same shape, fresh data — no replanning.
+	for seed := int64(43); seed <= 45; seed++ {
+		res, err := prep.RunWithFactors(ctx, edgeFactors(seed, d))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("directed triangles: %.0f (graph seed %d, reused plan)\n", res.Scalar(), seed)
 	}
+	st := eng.Stats()
+	fmt.Printf("engine stats:       %d prepare, %d runs, %d plan misses\n",
+		st.Prepared, st.Runs, st.PlanCacheMisses)
+
+	// Cross-check on a small sample with the brute-force oracle.
+	smallFactors := edgeFactors(42, d)
 	var smallTuples [][]int
 	var smallValues []float64
-	for _, t := range tuples {
+	for i, t := range smallFactors[0].Tuples {
 		if t[0] < 8 && t[1] < 8 {
 			smallTuples = append(smallTuples, t)
-			smallValues = append(smallValues, 1)
+			smallValues = append(smallValues, smallFactors[0].Values[i])
 		}
 	}
 	if len(smallTuples) > 0 {
+		small := &faq.Query[float64]{
+			D: d, NVars: 3, DomSizes: []int{8, 8, 8}, NumFree: 0, Aggs: q.Aggs,
+		}
 		f, err := faq.NewFactor(d, []int{0, 1}, smallTuples, smallValues, nil)
 		if err != nil {
 			log.Fatal(err)
@@ -93,11 +125,15 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		got, _, err := faq.Solve(small, faq.DefaultOptions())
+		sp, err := eng.Prepare(small) // same shape: plan-cache hit
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("oracle check (8-node subgraph): InsideOut %.0f == brute force %.0f\n",
-			got.Scalar(), want)
+		got, err := sp.Run(ctx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("oracle check (8-node subgraph): engine %.0f == brute force %.0f (plan hits now %d)\n",
+			got.Scalar(), want, eng.Stats().PlanCacheHits)
 	}
 }

@@ -19,8 +19,45 @@
 // precedence posets, the exact dynamic program over LinEx(P) and the
 // Section 7 approximation algorithm.
 //
-// Each elimination step runs on a pluggable executor.  The default is a
-// worker pool (Options.Workers: 0 = GOMAXPROCS, 1 = sequential) that
+// The serving API follows the paper's phase split — and the workload its
+// title names: questions asked *frequently*.  An Engine is a long-lived
+// handle holding a plan cache (an LRU keyed by the query's untyped Shape,
+// so shape-identical queries across calls share one planning pass) and a
+// persistent executor worker pool reused across elimination steps, runs and
+// queries.  Prepare runs the Section 6–7 planners once; Run and
+// RunWithFactors execute InsideOut against the cached plan with fresh data:
+//
+//	eng := faq.NewEngine[float64](faq.EngineOptions{}) // Workers: 0 = GOMAXPROCS
+//	defer eng.Close()
+//
+//	d := faq.Float()
+//	q := &faq.Query[float64]{
+//	    D: d, NVars: 3, DomSizes: []int{64, 64, 64}, NumFree: 0,
+//	    Aggs: []faq.Aggregate[float64]{
+//	        faq.SemiringAgg(faq.OpFloatSum()),
+//	        faq.SemiringAgg(faq.OpFloatSum()),
+//	        faq.SemiringAgg(faq.OpFloatSum()),
+//	    },
+//	    Factors: []*faq.Factor[float64]{r, s, t}, // ψ_{01}, ψ_{12}, ψ_{02}
+//	}
+//	prep, err := eng.Prepare(q)                // Sections 6–7, once
+//	res, err := prep.Run(ctx)                  // InsideOut: res.Scalar() is the
+//	                                           // triangle count, Width ≈ 1.5
+//	res, err = prep.RunWithFactors(ctx, fresh) // same shape, new data: no replan
+//
+// Runs observe ctx between elimination steps and at the block boundaries of
+// every scan: a cancelled run returns ctx.Err() cleanly with no goroutine
+// leaked.  Engine.Stats reports plans cached, cache hits and runs served.
+//
+// Solve and InsideOut remain as one-shot compatibility wrappers over the
+// default engine: same semantics as before (Solve replans on every call),
+// now executing on the shared persistent pool.  New code — and any caller
+// issuing the same query shape repeatedly — should prefer Prepare/Run; the
+// wrappers may be deprecated once the cmd/ and examples/ surface has fully
+// moved to the Engine API.
+//
+// Each elimination step runs on a pluggable executor.  The default is the
+// engine's worker pool (Options.Workers: 0 = the pool width, 1 = sequential) that
 // partitions every elimination scan and output join into contiguous
 // key-range blocks of the outermost join variable, builds factor tries and
 // indicator projections concurrently, sorts large intermediates with a
@@ -33,24 +70,11 @@
 //
 //	go test -bench 'ParallelTriangle|ParallelFourCycle|ParallelPGM|ParallelSharpSAT' -cpu 1,4
 //
-// where each family compares Workers=1 against the pool, and the randomized
+// where each family compares Workers=1 against the pool, and plan
+// amortization by the BenchmarkPrepared* families.  The randomized
 // cross-semiring harness in faq_equivalence_test.go asserts Solve ≡ InsideOut
-// ≡ BruteForce with identical outputs across worker counts.
-//
-// Minimal use:
-//
-//	d := faq.Float()
-//	q := &faq.Query[float64]{
-//	    D: d, NVars: 3, DomSizes: []int{64, 64, 64}, NumFree: 0,
-//	    Aggs: []faq.Aggregate[float64]{
-//	        faq.SemiringAgg(faq.OpFloatSum()),
-//	        faq.SemiringAgg(faq.OpFloatSum()),
-//	        faq.SemiringAgg(faq.OpFloatSum()),
-//	    },
-//	    Factors: []*faq.Factor[float64]{r, s, t}, // ψ_{01}, ψ_{12}, ψ_{02}
-//	}
-//	res, plan, err := faq.Solve(q, faq.DefaultOptions())
-//	// res.Scalar() is the triangle count; plan.Width is faqw ≈ 1.5.
+// ≡ Engine.Prepare+Run ≡ BruteForce with identical outputs across worker
+// counts.
 //
 // Domain-specific front ends live in the internal packages and are
 // exercised by the examples/ programs and cmd/ tools: logic queries
@@ -59,6 +83,8 @@
 package faq
 
 import (
+	"context"
+
 	"github.com/faqdb/faq/internal/core"
 	"github.com/faqdb/faq/internal/factor"
 	"github.com/faqdb/faq/internal/hypergraph"
@@ -97,7 +123,26 @@ type (
 	WidthCalc = hypergraph.WidthCalc
 	// Stats reports work counters from an InsideOut run.
 	Stats = core.Stats
+	// Engine is a long-lived serving handle: a plan cache plus a
+	// persistent executor pool (see NewEngine).
+	Engine[V any] = core.Engine[V]
+	// PreparedQuery is a planned query bound to an Engine: Prepare once,
+	// Run / RunWithFactors many times.
+	PreparedQuery[V any] = core.PreparedQuery[V]
+	// EngineOptions configures an Engine (pool size, plan-cache size,
+	// planner strategy).
+	EngineOptions = core.EngineOptions
+	// EngineStats are an Engine's cumulative serving counters.
+	EngineStats = core.EngineStats
 )
+
+// NewEngine creates a long-lived engine with its own plan cache and
+// persistent worker pool.  Call Close when done.
+func NewEngine[V any](opts EngineOptions) *Engine[V] { return core.NewEngine[V](opts) }
+
+// DefaultEngine returns a handle on the shared process-wide engine backing
+// the Solve and InsideOut compatibility wrappers.
+func DefaultEngine[V any]() *Engine[V] { return core.DefaultEngine[V]() }
 
 // Free marks an output variable.
 func Free[V any]() Aggregate[V] { return core.Free[V]() }
@@ -147,15 +192,31 @@ func FromFunc[V any](d *Domain[V], vars []int, domSizes []int, f func(tuple []in
 func DefaultOptions() Options { return core.DefaultOptions() }
 
 // InsideOut evaluates the query along a φ-equivalent variable ordering
-// (Algorithm 1 of the paper).
+// (Algorithm 1 of the paper).  One-shot compatibility wrapper over the
+// default engine; prefer Engine.PrepareOrder for repeated runs.
 func InsideOut[V any](q *Query[V], order []int, opts Options) (*Result[V], error) {
 	return core.InsideOut(q, order, opts)
 }
 
+// InsideOutCtx is InsideOut under a context: cancellation is observed
+// between elimination steps and at block boundaries, with no goroutine
+// leaked.
+func InsideOutCtx[V any](ctx context.Context, q *Query[V], order []int, opts Options) (*Result[V], error) {
+	return core.InsideOutCtx(ctx, q, order, opts)
+}
+
 // Solve plans an ordering (exact DP over LinEx(P) for small queries, the
-// Section 7 approximation otherwise) and runs InsideOut.
+// Section 7 approximation otherwise) and runs InsideOut.  One-shot
+// compatibility wrapper over the default engine — it replans on every call;
+// prefer Engine.Prepare for repeated shapes.
 func Solve[V any](q *Query[V], opts Options) (*Result[V], *Plan, error) {
 	return core.Solve(q, opts)
+}
+
+// SolveCtx is Solve under a context, observed by the exact planner and at
+// the block boundaries of every scan.
+func SolveCtx[V any](ctx context.Context, q *Query[V], opts Options) (*Result[V], *Plan, error) {
+	return core.SolveCtx(ctx, q, opts)
 }
 
 // BruteForce evaluates the query by enumeration — the testing oracle and

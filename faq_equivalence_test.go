@@ -5,7 +5,10 @@
 //   - Solve (planned ordering) ≡ the BruteForce oracle,
 //   - Workers=1 ≡ Workers>1, asserted bit-identical: the block-parallel
 //     executor merges key-range blocks in block order and never re-associates
-//     a ⊕-fold, so parallelism must not change a single bit.
+//     a ⊕-fold, so parallelism must not change a single bit,
+//   - Engine.Prepare+Run ≡ Solve, bit-identical on both a sequential and a
+//     pooled engine, so the prepared serving path (plan cache + persistent
+//     pool) computes exactly what the one-shot path does.
 //
 // The parallel threshold is lowered so block scans engage even on these tiny
 // instances; `go test -race` (run in CI) makes the harness double as the
@@ -14,6 +17,7 @@
 package faq
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -122,6 +126,10 @@ func runEquivalence[V any](t *testing.T, seed int64, trials int, d *Domain[V],
 
 	t.Helper()
 	forceParallelBlocks(t)
+	engSeq := NewEngine[V](EngineOptions{Workers: 1})
+	t.Cleanup(engSeq.Close)
+	engPar := NewEngine[V](EngineOptions{Workers: 4})
+	t.Cleanup(engPar.Close)
 	rng := rand.New(rand.NewSource(seed))
 	for trial := 0; trial < trials; trial++ {
 		q := randomQuery(rng, d, ringOps, allOps, allowProduct, randVal)
@@ -179,6 +187,24 @@ func runEquivalence[V any](t *testing.T, seed int64, trials int, d *Domain[V],
 		}
 		if !matches(d, solvedSeq.Output, want, eq) {
 			t.Fatalf("trial %d: Solve ≠ BruteForce\ngot  %v\nwant %v", trial, solvedSeq.Output, want)
+		}
+
+		// Engine invariant: Prepare+Run must reproduce Solve bit-identically
+		// on both the sequential and the pooled engine (the plan cache hands
+		// shape-identical trials the same plan, so this also soaks the LRU).
+		for name, eng := range map[string]*Engine[V]{"seq": engSeq, "par": engPar} {
+			prep, err := eng.PrepareOpts(q, opts)
+			if err != nil {
+				t.Fatalf("trial %d: %s engine Prepare: %v", trial, name, err)
+			}
+			pres, err := prep.Run(context.Background())
+			if err != nil {
+				t.Fatalf("trial %d: %s engine Run: %v", trial, name, err)
+			}
+			if !pres.Output.Equal(d, solvedSeq.Output) {
+				t.Fatalf("trial %d: %s engine Prepare+Run diverged from Solve:\n%v\n%v",
+					trial, name, pres.Output, solvedSeq.Output)
+			}
 		}
 	}
 }

@@ -1,0 +1,53 @@
+// Compilation of CNF model counting into the FAQ framework (Table 1 row
+// #SAT / Section 8.3): each clause becomes a listing factor over the
+// counting semiring (Z, +, ·) with one row per satisfying local assignment,
+// and the model count is the all-Σ FAQ.  Unlike the β-acyclic fast path of
+// sharpsat.go, this route goes through the generic planner and the engine,
+// so it works (within width limits) on arbitrary clause hypergraphs and
+// benefits from plan caching when the same formula family is counted
+// repeatedly.
+package cnf
+
+import (
+	"github.com/faqdb/faq/internal/core"
+	"github.com/faqdb/faq/internal/factor"
+	"github.com/faqdb/faq/internal/semiring"
+)
+
+// FAQQuery compiles the formula into a #SAT FAQ instance: variables are
+// Boolean (domain size 2), every variable is Σ-aggregated, and each clause
+// contributes a 0/1 factor listing its 2^k − 1 satisfying rows.  Variables
+// in no clause get unit factors so they are counted as free choices.
+func (f *Formula) FAQQuery() *core.Query[int64] {
+	d := semiring.Int()
+	ds := make([]int, f.NumVars)
+	aggs := make([]core.Aggregate[int64], f.NumVars)
+	for i := range ds {
+		ds[i] = 2
+		aggs[i] = core.SemiringAgg(semiring.OpIntSum())
+	}
+	var factors []*factor.Factor[int64]
+	covered := make([]bool, f.NumVars)
+	for _, c := range f.Clauses {
+		c := c
+		for _, v := range c.Vars() {
+			covered[v] = true
+		}
+		factors = append(factors, factor.FromFunc(d, c.Vars(), ds, func(t []int) int64 {
+			for i, l := range c.Lits {
+				if (t[i] == 1) == l.Pos() {
+					return 1
+				}
+			}
+			return 0
+		}))
+	}
+	for v, ok := range covered {
+		if !ok {
+			factors = append(factors, factor.FromFunc(d, []int{v}, ds, func([]int) int64 { return 1 }))
+		}
+	}
+	return &core.Query[int64]{
+		D: d, NVars: f.NumVars, DomSizes: ds, NumFree: 0, Aggs: aggs, Factors: factors,
+	}
+}

@@ -1,0 +1,408 @@
+// The Engine / PreparedQuery API: prepare-once-run-many FAQ serving.
+//
+// The FAQ paper separates the *ordering* phase (Sections 6–7: expression
+// trees, precedence posets, the exact DP over LinEx(P), the Section 7
+// approximation) from the *evaluation* phase (InsideOut, Section 5).  The
+// one-shot Solve entry point re-runs both on every call; an Engine keeps the
+// two apart the way the paper does.  Engine.Prepare runs the planners once —
+// memoized in an LRU keyed by the query's untyped Shape, so shape-identical
+// queries across calls and across value types of the same engine hit the
+// cache — and PreparedQuery.Run / RunWithFactors execute InsideOut against
+// the cached plan with fresh data on the engine's persistent worker pool.
+// That is the "questions asked frequently" workload: the same query shape
+// over changing data or parameters, planned once and answered many times.
+package core
+
+import (
+	"container/list"
+	"context"
+	"fmt"
+	"runtime"
+	"slices"
+	"sync"
+	"sync/atomic"
+
+	"github.com/faqdb/faq/internal/factor"
+	"github.com/faqdb/faq/internal/hypergraph"
+	"github.com/faqdb/faq/internal/join"
+)
+
+// DefaultPlanCacheSize is the plan-LRU capacity when EngineOptions leaves
+// PlanCacheSize zero.  Plans are a few hundred bytes (an ordering plus a
+// width), so the default is generous.
+const DefaultPlanCacheSize = 256
+
+// EngineOptions configures a long-lived Engine.
+type EngineOptions struct {
+	// Workers sizes the engine's persistent executor pool, reused across
+	// elimination steps, runs and queries: 0 means GOMAXPROCS, 1 means the
+	// sequential executor.  Per-run Options.Workers may cap concurrency
+	// below the pool size but never above it.
+	Workers int
+	// PlanCacheSize bounds the plan LRU (entries).  0 means
+	// DefaultPlanCacheSize; negative disables caching.
+	PlanCacheSize int
+	// Planner selects the ordering strategy and is part of the plan-cache
+	// key: "auto" (default: exact DP for small queries, else the best of
+	// the Section 7 approximation, greedy and the expression order),
+	// "exact", "greedy", "approx" or "expression".
+	Planner string
+}
+
+// EngineStats are cumulative counters of one Engine (monotone except
+// PlansCached, which is the current cache population).
+type EngineStats struct {
+	Prepared        int64 // Prepare calls that returned a PreparedQuery
+	PlanCacheHits   int64 // Prepares answered from the plan LRU
+	PlanCacheMisses int64 // Prepares that ran the Section 6–7 planners
+	PlansCached     int64 // entries currently in the LRU
+	Runs            int64 // prepared runs completed successfully
+	RunsCancelled   int64 // prepared runs aborted by their context
+}
+
+// engineRT is the untyped runtime shared by every Engine[V] handle onto it:
+// the persistent pool, the plan cache and the counters.  Plans depend only
+// on the untyped Shape, so one runtime serves all value types.
+type engineRT struct {
+	opts     EngineOptions
+	pool     *join.Pool
+	cache    *planCache
+	growable bool // default runtime: pool grows to explicit Workers requests
+
+	prepared, hits, misses, runs, cancelled atomic.Int64
+}
+
+func newEngineRT(opts EngineOptions, growable bool) *engineRT {
+	cacheSize := opts.PlanCacheSize
+	if cacheSize == 0 {
+		cacheSize = DefaultPlanCacheSize
+	}
+	return &engineRT{
+		opts:     opts,
+		pool:     join.NewPool(opts.Workers),
+		cache:    newPlanCache(cacheSize),
+		growable: growable,
+	}
+}
+
+func (rt *engineRT) planner() string {
+	if rt.opts.Planner == "" {
+		return "auto"
+	}
+	return rt.opts.Planner
+}
+
+func (rt *engineRT) stats() EngineStats {
+	return EngineStats{
+		Prepared:        rt.prepared.Load(),
+		PlanCacheHits:   rt.hits.Load(),
+		PlanCacheMisses: rt.misses.Load(),
+		PlansCached:     int64(rt.cache.len()),
+		Runs:            rt.runs.Load(),
+		RunsCancelled:   rt.cancelled.Load(),
+	}
+}
+
+// planFor resolves the plan for a shape through the LRU.
+func (rt *engineRT) planFor(ctx context.Context, s *Shape) (*Plan, error) {
+	key := s.Key() + ";planner=" + rt.planner()
+	if p, ok := rt.cache.get(key); ok {
+		rt.hits.Add(1)
+		return p, nil
+	}
+	rt.misses.Add(1)
+	p, err := planWith(ctx, s, rt.planner())
+	if err != nil {
+		return nil, err
+	}
+	rt.cache.put(key, p)
+	return p, nil
+}
+
+// planWith runs the configured Section 6–7 planner.
+func planWith(ctx context.Context, s *Shape, planner string) (*Plan, error) {
+	wc := hypergraph.NewWidthCalc(s.H)
+	switch planner {
+	case "", "auto":
+		return ChoosePlanCtx(ctx, s, wc)
+	case "exact":
+		return PlanExactCtx(ctx, s, wc)
+	case "greedy":
+		return PlanGreedy(s, wc)
+	case "approx":
+		return PlanApprox(s, wc, GreedyDecomp)
+	case "expression":
+		return PlanExpression(s, wc)
+	}
+	return nil, fmt.Errorf("core: unknown planner %q (want auto, exact, greedy, approx or expression)", planner)
+}
+
+// rtExecutor resolves a per-run Workers knob against a runtime: 1 is the
+// sequential executor; 0 runs at the pool's full width; larger values cap a
+// run's in-flight blocks below the pool size (the default runtime instead
+// grows its pool, preserving the historical "Workers = that much
+// concurrency" contract of the one-shot entry points).
+func rtExecutor[V any](rt *engineRT, workers int) executor[V] {
+	if workers == 1 {
+		return seqExecutor[V]{}
+	}
+	if workers > 1 && rt.growable {
+		// Growth is capped: pool workers are persistent, so an oversized
+		// per-call Workers must not pin unbounded goroutines forever.
+		// Beyond the cap the scan splits at the clamped pool width, which
+		// is safe because block outputs always merge in block order —
+		// results are bit-identical at every split width.
+		rt.pool.Grow(min(workers, maxDefaultPoolSize()))
+	}
+	if rt.pool.Size() <= 1 && workers <= 1 {
+		return seqExecutor[V]{}
+	}
+	return poolExecutor[V]{pool: rt.pool, limit: workers}
+}
+
+// maxDefaultPoolSize bounds the shared default pool: generous enough that
+// tests and oversubscribed single-core runs get real concurrency, bounded
+// so a stray Workers value cannot leak goroutines for the process lifetime.
+func maxDefaultPoolSize() int {
+	if n := 4 * runtime.GOMAXPROCS(0); n > 16 {
+		return n
+	}
+	return 16
+}
+
+// defaultRT is the process-wide runtime behind the compatibility wrappers
+// (Solve, InsideOut) and DefaultEngine.  Its pool starts at GOMAXPROCS and
+// grows to meet explicit Workers requests.
+var (
+	defaultRTOnce sync.Once
+	defaultRTVal  *engineRT
+)
+
+func defaultRT() *engineRT {
+	defaultRTOnce.Do(func() {
+		defaultRTVal = newEngineRT(EngineOptions{}, true)
+	})
+	return defaultRTVal
+}
+
+// Engine is a long-lived FAQ serving handle for value type V: a plan cache
+// plus a persistent executor pool.  Engines are safe for concurrent use;
+// create one per process (or per tenant) and Prepare queries against it.
+type Engine[V any] struct {
+	rt *engineRT
+}
+
+// NewEngine creates an engine with its own pool and plan cache.  Call Close
+// when done to stop the pool's workers.
+func NewEngine[V any](opts EngineOptions) *Engine[V] {
+	return &Engine[V]{rt: newEngineRT(opts, false)}
+}
+
+// DefaultEngine returns a handle on the shared process-wide engine that
+// also backs the Solve and InsideOut compatibility wrappers.  All value
+// types share its plan cache, pool and stats; Close is a no-op on it.
+func DefaultEngine[V any]() *Engine[V] {
+	return &Engine[V]{rt: defaultRT()}
+}
+
+// Stats returns a snapshot of the engine's counters.
+func (e *Engine[V]) Stats() EngineStats { return e.rt.stats() }
+
+// Close stops the engine's persistent workers and waits for them to exit.
+// Prepared queries remain usable — runs after Close execute sequentially.
+// Closing the default engine is a no-op.  (The default runtime is the only
+// growable one, so the flag doubles as its identity — avoiding a racy read
+// of the lazily-written package variable.)
+func (e *Engine[V]) Close() {
+	if e.rt.growable {
+		return
+	}
+	e.rt.pool.Close()
+}
+
+// Prepare plans q (through the plan cache) with the Algorithm-1 execution
+// options at the engine's full pool width.
+func (e *Engine[V]) Prepare(q *Query[V]) (*PreparedQuery[V], error) {
+	return e.PrepareCtx(context.Background(), q, DefaultOptions())
+}
+
+// PrepareOpts is Prepare with explicit execution options (captured for
+// every subsequent Run).
+func (e *Engine[V]) PrepareOpts(q *Query[V], opts Options) (*PreparedQuery[V], error) {
+	return e.PrepareCtx(context.Background(), q, opts)
+}
+
+// PrepareCtx is PrepareOpts under a context: the exact-DP planner observes
+// cancellation, so preparing an adversarially wide query can be bounded.
+func (e *Engine[V]) PrepareCtx(ctx context.Context, q *Query[V], opts Options) (*PreparedQuery[V], error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	plan, err := e.rt.planFor(ctx, q.Shape())
+	if err != nil {
+		return nil, err
+	}
+	e.rt.prepared.Add(1)
+	return &PreparedQuery[V]{rt: e.rt, q: q, plan: plan, opts: opts}, nil
+}
+
+// PrepareOrder binds q to an explicit variable ordering with the given
+// execution options, bypassing the planners and the cache.  Like InsideOut,
+// it checks that order is a permutation listing the free variables first;
+// φ-equivalence (membership in EVO(φ)) is the caller's responsibility —
+// InEVO verifies it.
+func (e *Engine[V]) PrepareOrder(q *Query[V], order []int, opts Options) (*PreparedQuery[V], error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	s := q.Shape()
+	if err := s.checkOrder(order); err != nil {
+		return nil, err
+	}
+	w, _, err := FAQWidth(s, hypergraph.NewWidthCalc(s.H), order)
+	if err != nil {
+		return nil, err
+	}
+	plan := &Plan{Order: append([]int(nil), order...), Width: w, Method: "user"}
+	e.rt.prepared.Add(1)
+	return &PreparedQuery[V]{rt: e.rt, q: q, plan: plan, opts: opts}, nil
+}
+
+// PreparedQuery is a planned FAQ query bound to an engine: the Section 6–7
+// work is done, every Run is pure InsideOut.  A PreparedQuery is safe for
+// concurrent Runs; the prepared query and its factors must not be mutated
+// (swap data with RunWithFactors instead).
+type PreparedQuery[V any] struct {
+	rt   *engineRT
+	q    *Query[V]
+	plan *Plan
+	opts Options
+}
+
+// Plan returns the cached plan.  Treat it as read-only: it may be shared
+// with other prepared queries of the same shape.
+func (p *PreparedQuery[V]) Plan() *Plan { return p.plan }
+
+// Query returns the underlying query (read-only).
+func (p *PreparedQuery[V]) Query() *Query[V] { return p.q }
+
+// Run executes InsideOut against the cached plan on the engine's pool.
+// Cancellation is observed between elimination steps and at block
+// boundaries; a cancelled run returns ctx.Err() with no goroutine leaked.
+func (p *PreparedQuery[V]) Run(ctx context.Context) (*Result[V], error) {
+	return p.run(ctx, p.q)
+}
+
+// RunWithFactors is Run with the prepared factors replaced by fresh data of
+// the same shape: factors[i] must cover exactly the same variables as the
+// prepared query's i-th factor, so the cached plan (a property of the shape
+// alone) stays valid.  This is the data-refresh path of a serving loop.
+func (p *PreparedQuery[V]) RunWithFactors(ctx context.Context, factors []*factor.Factor[V]) (*Result[V], error) {
+	if len(factors) != len(p.q.Factors) {
+		return nil, fmt.Errorf("core: RunWithFactors got %d factors, prepared query has %d",
+			len(factors), len(p.q.Factors))
+	}
+	for i, f := range factors {
+		if f == nil || !slices.Equal(f.Vars, p.q.Factors[i].Vars) {
+			return nil, fmt.Errorf("core: RunWithFactors factor %d covers %v, prepared factor covers %v",
+				i, factorVars(factors[i]), p.q.Factors[i].Vars)
+		}
+	}
+	nq := *p.q
+	nq.Factors = factors
+	if err := nq.Validate(); err != nil { // fresh data: check domain bounds once
+		return nil, err
+	}
+	return p.run(ctx, &nq)
+}
+
+func factorVars[V any](f *factor.Factor[V]) []int {
+	if f == nil {
+		return nil
+	}
+	return f.Vars
+}
+
+// run executes an already-validated query against the cached plan (Prepare
+// and RunWithFactors validate; Run reuses the data validated at Prepare).
+func (p *PreparedQuery[V]) run(ctx context.Context, q *Query[V]) (*Result[V], error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	res, err := insideOutValidated(ctx, q, p.plan.Order, p.opts, rtExecutor[V](p.rt, p.opts.Workers))
+	if err != nil {
+		if ctx.Err() != nil {
+			p.rt.cancelled.Add(1)
+		}
+		return nil, err
+	}
+	p.rt.runs.Add(1)
+	return res, nil
+}
+
+// planCache is a mutex-guarded LRU from shape keys to plans.
+type planCache struct {
+	mu    sync.Mutex
+	cap   int
+	lru   *list.List // front = most recently used; values are *cacheSlot
+	byKey map[string]*list.Element
+}
+
+type cacheSlot struct {
+	key  string
+	plan *Plan
+}
+
+// newPlanCache returns nil (caching disabled) for capacity < 1; the nil
+// receiver is valid on every method.
+func newPlanCache(capacity int) *planCache {
+	if capacity < 1 {
+		return nil
+	}
+	return &planCache{cap: capacity, lru: list.New(), byKey: map[string]*list.Element{}}
+}
+
+func (c *planCache) get(key string) (*Plan, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		return nil, false
+	}
+	c.lru.MoveToFront(el)
+	return el.Value.(*cacheSlot).plan, true
+}
+
+func (c *planCache) put(key string, p *Plan) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok { // lost a plan race; keep the newest
+		c.lru.MoveToFront(el)
+		el.Value.(*cacheSlot).plan = p
+		return
+	}
+	c.byKey[key] = c.lru.PushFront(&cacheSlot{key: key, plan: p})
+	for c.lru.Len() > c.cap {
+		last := c.lru.Back()
+		c.lru.Remove(last)
+		delete(c.byKey, last.Value.(*cacheSlot).key)
+	}
+}
+
+func (c *planCache) len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}

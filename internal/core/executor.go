@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sync/atomic"
 
 	"github.com/faqdb/faq/internal/factor"
@@ -15,71 +16,99 @@ import (
 // contiguous key-range blocks of the outermost join variable and merging
 // block outputs in block order, so every ⊕-group is combined in the same
 // sequence the sequential scan would use.
+//
+// Every method takes the run's context and observes cancellation at block
+// boundaries: a cancelled scan drops its remaining blocks, waits for blocks
+// in flight and returns ctx.Err() — no goroutine outlives the call.
 type executor[V any] interface {
 	// eliminate joins inputs over vars and ⊕-aggregates the last variable.
-	eliminate(d *semiring.Domain[V], op *semiring.Op[V], inputs []*factor.Factor[V],
-		vars []int, st *join.Stats) (*factor.Factor[V], error)
+	eliminate(ctx context.Context, d *semiring.Domain[V], op *semiring.Op[V],
+		inputs []*factor.Factor[V], vars []int, st *join.Stats) (*factor.Factor[V], error)
 	// joinAll materializes the join of inputs over vars.
-	joinAll(d *semiring.Domain[V], inputs []*factor.Factor[V],
+	joinAll(ctx context.Context, d *semiring.Domain[V], inputs []*factor.Factor[V],
 		vars []int, st *join.Stats) (*factor.Factor[V], error)
 	// project computes the indicator projections (Definition 4.2) of fs
 	// onto the variable set `onto`, preserving order.  Projections of
 	// distinct factors are independent, so the pool executor computes them
 	// concurrently.
-	project(d *semiring.Domain[V], fs []*factor.Factor[V], onto []int) []*factor.Factor[V]
+	project(ctx context.Context, d *semiring.Domain[V], fs []*factor.Factor[V],
+		onto []int) ([]*factor.Factor[V], error)
 }
 
-// newExecutor resolves Options.Workers: 0 means GOMAXPROCS, 1 forces the
-// sequential executor, anything larger sizes the worker pool.
+// newExecutor resolves Options.Workers for the compatibility entry points:
+// 1 forces the sequential executor; 0 (= GOMAXPROCS) or more run on the
+// process-wide shared pool of the default engine, grown on demand so an
+// explicit Workers above the pool size still gets that much concurrency.
 func newExecutor[V any](workers int) executor[V] {
-	if w := join.Workers(workers); w > 1 {
-		return poolExecutor[V]{workers: w}
-	}
-	return seqExecutor[V]{}
+	return rtExecutor[V](defaultRT(), workers)
 }
 
-// seqExecutor is the single-goroutine reference implementation.
+// seqExecutor is the single-goroutine reference implementation.  Its block
+// boundary is the whole scan: cancellation is observed between scans (the
+// InsideOut loop additionally checks between elimination steps).
 type seqExecutor[V any] struct{}
 
-func (seqExecutor[V]) eliminate(d *semiring.Domain[V], op *semiring.Op[V],
+func (seqExecutor[V]) eliminate(ctx context.Context, d *semiring.Domain[V], op *semiring.Op[V],
 	inputs []*factor.Factor[V], vars []int, st *join.Stats) (*factor.Factor[V], error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	return join.EliminateInnermost(d, op, inputs, vars, st)
 }
 
-func (seqExecutor[V]) joinAll(d *semiring.Domain[V], inputs []*factor.Factor[V],
+func (seqExecutor[V]) joinAll(ctx context.Context, d *semiring.Domain[V], inputs []*factor.Factor[V],
 	vars []int, st *join.Stats) (*factor.Factor[V], error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	return join.JoinAll(d, inputs, vars, st)
 }
 
-func (seqExecutor[V]) project(d *semiring.Domain[V], fs []*factor.Factor[V], onto []int) []*factor.Factor[V] {
+func (seqExecutor[V]) project(ctx context.Context, d *semiring.Domain[V],
+	fs []*factor.Factor[V], onto []int) ([]*factor.Factor[V], error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	out := make([]*factor.Factor[V], len(fs))
 	for i, f := range fs {
 		out[i] = f.IndicatorProjection(d, onto)
 	}
-	return out
+	return out, nil
 }
 
-// poolExecutor fans each scan out over a pool of workers in contiguous
-// key-range blocks; sub-scale scans fall back to the sequential path inside
-// the join package.
-type poolExecutor[V any] struct{ workers int }
+// poolExecutor fans each scan out over a persistent worker pool in
+// contiguous key-range blocks, at most `limit` blocks in flight per scan;
+// sub-scale scans fall back to the sequential path inside the join package.
+type poolExecutor[V any] struct {
+	pool  *join.Pool
+	limit int
+}
 
-func (e poolExecutor[V]) eliminate(d *semiring.Domain[V], op *semiring.Op[V],
+func (e poolExecutor[V]) eliminate(ctx context.Context, d *semiring.Domain[V], op *semiring.Op[V],
 	inputs []*factor.Factor[V], vars []int, st *join.Stats) (*factor.Factor[V], error) {
-	return join.EliminateInnermostPar(d, op, inputs, vars, e.workers, st)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return join.EliminateInnermostOn(ctx, e.pool, e.limit, d, op, inputs, vars, st)
 }
 
-func (e poolExecutor[V]) joinAll(d *semiring.Domain[V], inputs []*factor.Factor[V],
+func (e poolExecutor[V]) joinAll(ctx context.Context, d *semiring.Domain[V], inputs []*factor.Factor[V],
 	vars []int, st *join.Stats) (*factor.Factor[V], error) {
-	return join.JoinAllPar(d, inputs, vars, e.workers, st)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return join.JoinAllOn(ctx, e.pool, e.limit, d, inputs, vars, st)
 }
 
-func (e poolExecutor[V]) project(d *semiring.Domain[V], fs []*factor.Factor[V], onto []int) []*factor.Factor[V] {
+func (e poolExecutor[V]) project(ctx context.Context, d *semiring.Domain[V],
+	fs []*factor.Factor[V], onto []int) ([]*factor.Factor[V], error) {
 	out := make([]*factor.Factor[V], len(fs))
-	join.ParallelFor(len(fs), e.workers, func(i int) {
+	if err := e.pool.Run(ctx, len(fs), e.limit, func(i int) {
 		out[i] = fs[i].IndicatorProjection(d, onto)
-	})
-	return out
+	}); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // addIntermediate atomically records an intermediate factor of the given

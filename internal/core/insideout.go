@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -81,9 +82,33 @@ type entry[V any] struct {
 // must be φ-equivalent (members of LinEx(P) always are; the expression order
 // 0..n-1 trivially is).  This is Algorithm 1 of the paper.
 func InsideOut[V any](q *Query[V], order []int, opts Options) (*Result[V], error) {
+	return InsideOutCtx(context.Background(), q, order, opts)
+}
+
+// InsideOutCtx is InsideOut under a context: cancellation is observed
+// between elimination steps and at the block boundaries of every scan, so a
+// cancelled run returns ctx.Err() promptly and leaks no goroutines.
+func InsideOutCtx[V any](ctx context.Context, q *Query[V], order []int, opts Options) (*Result[V], error) {
+	return insideOutOn(ctx, q, order, opts, newExecutor[V](opts.Workers))
+}
+
+// insideOutOn is the engine-internal entry point: the executor (and with it
+// the worker pool) is chosen by the caller, so a long-lived Engine reuses
+// one persistent pool across elimination steps, runs and queries.
+func insideOutOn[V any](ctx context.Context, q *Query[V], order []int, opts Options,
+	exec executor[V]) (*Result[V], error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
+	return insideOutValidated(ctx, q, order, opts, exec)
+}
+
+// insideOutValidated is insideOutOn for callers that have already validated
+// q (PreparedQuery runs validate at Prepare/RunWithFactors time, not per
+// run — Validate walks every input tuple, which would tax exactly the hot
+// path the prepared API amortizes).
+func insideOutValidated[V any](ctx context.Context, q *Query[V], order []int, opts Options,
+	exec executor[V]) (*Result[V], error) {
 	shape := q.Shape()
 	if err := shape.checkOrder(order); err != nil {
 		return nil, err
@@ -102,15 +127,17 @@ func InsideOut[V any](q *Query[V], order []int, opts Options) (*Result[V], error
 	for _, f := range q.Factors {
 		entries = append(entries, entry[V]{vars: bitset.FromSlice(f.Vars), f: f})
 	}
-	exec := newExecutor[V](opts.Workers)
 
 	// Eliminate bound variables from the innermost out.
 	for k := q.NVars - 1; k >= q.NumFree; k-- {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		v := order[k]
 		agg := q.Aggs[v]
 		var err error
 		if agg.Kind == KindSemiring {
-			entries, err = eliminateSemiring(q, exec, &res.Stats, entries, v, agg.Op, pos, opts)
+			entries, err = eliminateSemiring(ctx, q, exec, &res.Stats, entries, v, agg.Op, pos, opts)
 		} else {
 			entries, err = eliminateProduct(q, &res.Stats, entries, v)
 		}
@@ -143,7 +170,7 @@ func InsideOut[V any](q *Query[V], order []int, opts Options) (*Result[V], error
 	var filters []*factor.Factor[V]
 	if opts.FilterOutput {
 		var err error
-		filters, err = buildOutputFilters(q, exec, &res.Stats, entries, order, pos, opts)
+		filters, err = buildOutputFilters(ctx, q, exec, &res.Stats, entries, order, pos, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -159,7 +186,7 @@ func InsideOut[V any](q *Query[V], order []int, opts Options) (*Result[V], error
 		res.Factorized = fz
 		return res, nil
 	}
-	out, err := fz.ToListing(&res.Stats.Join)
+	out, err := fz.toListing(ctx, &res.Stats.Join)
 	if err != nil {
 		return nil, err
 	}
@@ -170,7 +197,7 @@ func InsideOut[V any](q *Query[V], order []int, opts Options) (*Result[V], error
 // eliminateSemiring performs one Case-1 step (Section 5.2.1): it joins
 // ∂(v) with the indicator projections of the other U-intersecting factors
 // and aggregates v out with ⊕ using OutsideIn on the configured executor.
-func eliminateSemiring[V any](q *Query[V], exec executor[V], st *Stats, entries []entry[V], v int,
+func eliminateSemiring[V any](ctx context.Context, q *Query[V], exec executor[V], st *Stats, entries []entry[V], v int,
 	op *semiring.Op[V], pos []int, opts Options) ([]entry[V], error) {
 
 	var boundary []int
@@ -199,12 +226,16 @@ func eliminateSemiring[V any](q *Query[V], exec executor[V], st *Stats, entries 
 			toProject = append(toProject, e.f)
 		}
 	}
-	inputs = append(inputs, exec.project(q.D, toProject, u.Elems())...)
+	projected, err := exec.project(ctx, q.D, toProject, u.Elems())
+	if err != nil {
+		return nil, err
+	}
+	inputs = append(inputs, projected...)
 	// Join over U ordered by σ-position; v has the maximal position among
 	// the not-yet-eliminated variables, so it comes last.
 	orderedU := u.Elems()
 	sort.Slice(orderedU, func(a, b int) bool { return pos[orderedU[a]] < pos[orderedU[b]] })
-	nf, err := exec.eliminate(q.D, op, inputs, orderedU, &st.Join)
+	nf, err := exec.eliminate(ctx, q.D, op, inputs, orderedU, &st.Join)
 	if err != nil {
 		return nil, err
 	}
@@ -247,12 +278,15 @@ func eliminateProduct[V any](q *Query[V], st *Stats, entries []entry[V], v int) 
 // buildOutputFilters runs the 01-OR elimination of the free variables
 // (Algorithm 1, lines 8–10) and returns the recorded ψ_{U_k} factors that
 // Eq. (12) multiplies into the final OutsideIn pass.
-func buildOutputFilters[V any](q *Query[V], exec executor[V], st *Stats, entries []entry[V],
+func buildOutputFilters[V any](ctx context.Context, q *Query[V], exec executor[V], st *Stats, entries []entry[V],
 	order []int, pos []int, opts Options) ([]*factor.Factor[V], error) {
 
 	working := append([]entry[V](nil), entries...)
 	var filters []*factor.Factor[V]
 	for k := q.NumFree - 1; k >= 0; k-- {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		v := order[k]
 		var boundary []int
 		var u bitset.Set
@@ -281,10 +315,13 @@ func buildOutputFilters[V any](q *Query[V], exec executor[V], st *Stats, entries
 				toProject = append(toProject, e.f)
 			}
 		}
-		inputs := exec.project(q.D, toProject, u.Elems())
+		inputs, err := exec.project(ctx, q.D, toProject, u.Elems())
+		if err != nil {
+			return nil, err
+		}
 		orderedU := u.Elems()
 		sort.Slice(orderedU, func(a, b int) bool { return pos[orderedU[a]] < pos[orderedU[b]] })
-		psiU, err := exec.joinAll(q.D, inputs, orderedU, &st.Join)
+		psiU, err := exec.joinAll(ctx, q.D, inputs, orderedU, &st.Join)
 		if err != nil {
 			return nil, err
 		}
@@ -321,11 +358,15 @@ func (fz *Factorized[V]) joinInputs() []*factor.Factor[V] {
 // ToListing materializes the output in listing representation over the free
 // variables sorted ascending, on the executor the run was configured with.
 func (fz *Factorized[V]) ToListing(st *join.Stats) (*factor.Factor[V], error) {
+	return fz.toListing(context.Background(), st)
+}
+
+func (fz *Factorized[V]) toListing(ctx context.Context, st *join.Stats) (*factor.Factor[V], error) {
 	exec := fz.exec
 	if exec == nil {
 		exec = seqExecutor[V]{}
 	}
-	return exec.joinAll(fz.D, fz.joinInputs(), fz.FreeOrder, st)
+	return exec.joinAll(ctx, fz.D, fz.joinInputs(), fz.FreeOrder, st)
 }
 
 // Enumerate streams output tuples (aligned with sorted free variables) in

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -31,6 +32,12 @@ func PlanExpression(s *Shape, wc *hypergraph.WidthCalc) (*Plan, error) {
 // (Corollaries 6.14/6.28: linear extensions of the precedence poset suffice)
 // via dynamic programming over vertex subsets.  Exponential in n.
 func PlanExact(s *Shape, wc *hypergraph.WidthCalc) (*Plan, error) {
+	return PlanExactCtx(context.Background(), s, wc)
+}
+
+// PlanExactCtx is PlanExact under a context: the subset DP polls ctx, so a
+// cancelled Prepare abandons an adversarially wide planning problem.
+func PlanExactCtx(ctx context.Context, s *Shape, wc *hypergraph.WidthCalc) (*Plan, error) {
 	poset, err := posetOf(s)
 	if err != nil {
 		return nil, err
@@ -47,6 +54,7 @@ func PlanExact(s *Shape, wc *hypergraph.WidthCalc) (*Plan, error) {
 		Allowed: func(remaining bitset.Set, v int) bool {
 			return poset.MaximalIn(remaining, v)
 		},
+		Ctx: ctx,
 	}
 	w, order, err := dp.Solve()
 	if err != nil {
@@ -281,18 +289,29 @@ func stableLinearize(seq []int, poset *Poset) []int {
 	return out
 }
 
-// Solve plans an ordering and runs InsideOut with it.  When exact is true
-// and the query is small enough the exact DP is used; otherwise the Section
-// 7 approximation with the greedy black box, falling back to the expression
-// order if anything degrades.
+// Solve plans an ordering and runs InsideOut with it: the one-shot
+// compatibility entry point, now a thin wrapper over the default engine's
+// persistent runtime.  Every call replans from scratch (unlike
+// Engine.Prepare it does not consult the plan cache, so its cost model is
+// unchanged from the pre-engine API), then executes on the default engine's
+// persistent worker pool.  Callers issuing the same query shape repeatedly
+// should Prepare once on an Engine instead.
 func Solve[V any](q *Query[V], opts Options) (*Result[V], *Plan, error) {
+	return SolveCtx(context.Background(), q, opts)
+}
+
+// SolveCtx is Solve under a context, observed by the exact planner and at
+// the block boundaries of every scan.
+func SolveCtx[V any](ctx context.Context, q *Query[V], opts Options) (*Result[V], *Plan, error) {
 	if err := q.Validate(); err != nil {
 		return nil, nil, err
 	}
 	s := q.Shape()
-	wc := hypergraph.NewWidthCalc(s.H)
-	plan := ChoosePlan(s, wc)
-	res, err := InsideOut(q, plan.Order, opts)
+	plan, err := planWith(ctx, s, "auto")
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := insideOutValidated(ctx, q, plan.Order, opts, newExecutor[V](opts.Workers))
 	if err != nil {
 		return nil, nil, err
 	}
@@ -303,24 +322,48 @@ func Solve[V any](q *Query[V], opts Options) (*Result[V], *Plan, error) {
 // exact DP for up to 18 variables, else the Section 7 approximation with the
 // greedy black box, keeping whichever beats the expression order.
 func ChoosePlan(s *Shape, wc *hypergraph.WidthCalc) *Plan {
+	p, _ := ChoosePlanCtx(context.Background(), s, wc)
+	return p
+}
+
+// ChoosePlanCtx is ChoosePlan under a context.  The only error it can
+// return is the context's: planner failures fall back to cheaper
+// strategies, ending at the always-valid expression order.
+func ChoosePlanCtx(ctx context.Context, s *Shape, wc *hypergraph.WidthCalc) (*Plan, error) {
 	best, err := PlanExpression(s, wc)
 	if err != nil {
 		// checkOrder cannot fail for the identity order of a valid query.
 		best = &Plan{Order: s.ExpressionOrder(), Width: 0, Method: "expression"}
 	}
 	if s.N <= 18 {
-		if p, err := PlanExact(s, wc); err == nil && p.Width <= best.Width {
-			return p
+		p, err := PlanExactCtx(ctx, s, wc)
+		if err == nil && p.Width <= best.Width {
+			return p, nil
 		}
-		return best
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		return best, nil
+	}
+	// PlanApprox and PlanGreedy are polynomial but not internally
+	// context-aware; honor cancellation between them so large-N Prepare
+	// keeps the PrepareCtx guarantee.
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	if p, err := PlanApprox(s, wc, GreedyDecomp); err == nil && p.Width < best.Width {
 		best = p
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if p, err := PlanGreedy(s, wc); err == nil && p.Width < best.Width {
 		best = p
 	}
-	return best
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return best, nil
 }
 
 // OrderString renders an ordering with variable names.

@@ -8,6 +8,8 @@ package core
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 
 	"github.com/faqdb/faq/internal/bitset"
 	"github.com/faqdb/faq/internal/factor"
@@ -99,6 +101,9 @@ func (q *Query[V]) Validate() error {
 			return fmt.Errorf("core: variable %d is bound but tagged free", i)
 		case a.Kind == KindSemiring && a.Op == nil:
 			return fmt.Errorf("core: semiring variable %d has no operator", i)
+		case a.Kind == KindSemiring && a.Op.NonSemiring != "":
+			return fmt.Errorf("core: variable %d aggregates with %q, which is not a lawful semiring aggregate: %s",
+				i, a.Op.Name, a.Op.NonSemiring)
 		}
 	}
 	for i, d := range q.DomSizes {
@@ -197,6 +202,26 @@ func (q *Query[V]) Shape() *Shape {
 		}
 	}
 	return s
+}
+
+// Key returns a canonical fingerprint of the shape, used by the engine's
+// plan cache: two queries with equal keys have identical ordering theory
+// (same variable count, free prefix, aggregate tags and hypergraph), so a
+// plan computed for one is valid — and equally wide — for the other.  Domain
+// sizes and factor contents are deliberately absent: the Section 6–7
+// planners never look at data, only at the untyped skeleton.  Edges are
+// sorted so factor-listing order does not split cache entries.
+func (s *Shape) Key() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "n=%d;f=%d;idem=%v;tags=%s;edges=", s.N, s.NumFree,
+		s.IdempotentInputs, strings.Join(s.Tags, ","))
+	edges := make([]string, len(s.H.Edges))
+	for i, e := range s.H.Edges {
+		edges[i] = e.Key()
+	}
+	sort.Strings(edges)
+	b.WriteString(strings.Join(edges, "|"))
+	return b.String()
 }
 
 // IsProduct reports whether variable v is a product variable.

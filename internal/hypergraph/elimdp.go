@@ -1,6 +1,7 @@
 package hypergraph
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -38,6 +39,10 @@ type ElimDP struct {
 	Allowed func(remaining bitset.Set, v int) bool
 	// MaxStates caps the memo size; 0 means a default of 1<<22.
 	MaxStates int
+	// Ctx, when non-nil, is polled during the subset recursion so an
+	// engine can abandon an adversarially wide planning problem; a
+	// cancelled Solve returns Ctx.Err().
+	Ctx context.Context
 }
 
 type dpEntry struct {
@@ -83,6 +88,11 @@ func (dp *ElimDP) solve(remaining bitset.Set, edges []bitset.Set, memo map[strin
 	}
 	if len(memo) >= limit {
 		return 0, ErrTooLarge
+	}
+	if dp.Ctx != nil {
+		if err := dp.Ctx.Err(); err != nil {
+			return 0, err
+		}
 	}
 	best := math.Inf(1)
 	bestV := -1

@@ -9,6 +9,7 @@
 package join
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync/atomic"
@@ -125,13 +126,14 @@ type Runner[V any] struct {
 // variable of vars must occur in at least one factor (otherwise its
 // candidate set would be unconstrained).
 func NewRunner[V any](d *semiring.Domain[V], factors []*factor.Factor[V], vars []int) (*Runner[V], error) {
-	return newRunner(d, factors, vars, 1)
+	return newRunner(nil, nil, 1, d, factors, vars)
 }
 
-// newRunner is NewRunner with trie construction fanned out over up to
-// `workers` goroutines — factor tries are independent, so building them
-// concurrently is deterministic.
-func newRunner[V any](d *semiring.Domain[V], factors []*factor.Factor[V], vars []int, workers int) (*Runner[V], error) {
+// newRunner is NewRunner with trie construction fanned out over the worker
+// pool — factor tries are independent, so building them concurrently is
+// deterministic.  A nil pool builds inline.
+func newRunner[V any](ctx context.Context, pool *Pool, limit int,
+	d *semiring.Domain[V], factors []*factor.Factor[V], vars []int) (*Runner[V], error) {
 	pos := make(map[int]int, len(vars))
 	for i, v := range vars {
 		if _, dup := pos[v]; dup {
@@ -156,9 +158,11 @@ func newRunner[V any](d *semiring.Domain[V], factors []*factor.Factor[V], vars [
 	}
 	tries := make([]*trie[V], len(positive))
 	errs := make([]error, len(positive))
-	ParallelFor(len(positive), workers, func(i int) {
+	if err := pool.Run(ctx, len(positive), limit, func(i int) {
 		tries[i], errs[i] = buildTrie(d, positive[i], pos)
-	})
+	}); err != nil {
+		return nil, err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err

@@ -13,9 +13,15 @@
 // Scans whose output is a scalar (single join variable) stay sequential:
 // their ⊕-fold crosses block boundaries, and re-associating it could change
 // floating-point results between worker counts.
+//
+// Block scans run on a persistent Pool (see pool.go): EliminateInnermostOn
+// and JoinAllOn take the pool plus a per-call concurrency limit and a
+// context checked at block boundaries.  The legacy ...Par entry points wrap
+// them with a transient pool for callers without an engine.
 package join
 
 import (
+	"context"
 	"runtime"
 	"sort"
 	"sync"
@@ -44,8 +50,9 @@ func Workers(n int) int {
 
 // ParallelFor runs fn(0), ..., fn(n-1) on a pool of up to `workers`
 // goroutines pulling indices from a shared channel; workers <= 1 runs
-// inline.  It is the one worker-pool shape shared by trie builds, block
-// scans, indicator projections and the parallel brute-force oracle.
+// inline.  It spawns transient goroutines per call — the one-shot shape
+// used by the parallel brute-force oracle and the parallel merge sort;
+// engine scans go through Pool.Run instead.
 func ParallelFor(n, workers int, fn func(i int)) {
 	if workers > n {
 		workers = n
@@ -134,14 +141,16 @@ func totalRows[V any](factors []*factor.Factor[V]) int {
 	return n
 }
 
-// runBlocks scans the blocks on a pool of `workers` goroutines.  scan is
-// called with the block index and a Runner restricted to that block, wired
-// to a private Stats that is merged into stats when the pool drains.
-func runBlocks[V any](r *Runner[V], lead int, blocks [][]int, workers int,
-	stats *Stats, scan func(block int, rc *Runner[V])) {
+// runBlocks scans the blocks on the pool with at most `limit` in flight.
+// scan is called with the block index and a Runner restricted to that block,
+// wired to a private Stats that is merged into stats when the pool drains.
+// On cancellation the remaining blocks are skipped and ctx.Err() returned;
+// in-flight blocks finish first, so no goroutine outlives the call.
+func runBlocks[V any](ctx context.Context, pool *Pool, limit int, r *Runner[V],
+	lead int, blocks [][]int, stats *Stats, scan func(block int, rc *Runner[V])) error {
 
 	local := make([]Stats, len(blocks))
-	ParallelFor(len(blocks), workers, func(b int) {
+	err := pool.Run(ctx, len(blocks), limit, func(b int) {
 		rc := r.clone()
 		rc.topLead = lead
 		rc.topKeys = blocks[b]
@@ -153,21 +162,24 @@ func runBlocks[V any](r *Runner[V], lead int, blocks [][]int, workers int,
 	for i := range local {
 		stats.Merge(&local[i])
 	}
+	return err
 }
 
-// EliminateInnermostPar is EliminateInnermost on a worker pool: the scan is
-// partitioned into contiguous key-range blocks of the outermost join
-// variable, blocks aggregate in parallel, and outputs merge in block order.
-// The result is bit-identical to the sequential scan for every worker count;
-// sub-scale instances and scalar-output steps fall back to it outright.
-func EliminateInnermostPar[V any](d *semiring.Domain[V], op *semiring.Op[V],
-	factors []*factor.Factor[V], vars []int, workers int, stats *Stats) (*factor.Factor[V], error) {
+// EliminateInnermostOn is EliminateInnermost on a persistent worker pool:
+// the scan is partitioned into contiguous key-range blocks of the outermost
+// join variable, blocks aggregate in parallel (at most `limit` in flight),
+// and outputs merge in block order.  The result is bit-identical to the
+// sequential scan for every pool size and limit; sub-scale instances and
+// scalar-output steps fall back to the sequential path.
+func EliminateInnermostOn[V any](ctx context.Context, pool *Pool, limit int,
+	d *semiring.Domain[V], op *semiring.Op[V], factors []*factor.Factor[V],
+	vars []int, stats *Stats) (*factor.Factor[V], error) {
 
-	workers = Workers(workers)
-	if len(vars) < 2 || workers <= 1 || totalRows(factors) < MinParallelRows {
+	width := poolWidth(pool, limit)
+	if len(vars) < 2 || width <= 1 || totalRows(factors) < MinParallelRows {
 		return EliminateInnermost(d, op, factors, vars, stats)
 	}
-	r, err := newRunner(d, factors, vars, workers)
+	r, err := newRunner(ctx, pool, limit, d, factors, vars)
 	if err != nil {
 		return nil, err
 	}
@@ -177,7 +189,7 @@ func EliminateInnermostPar[V any](d *semiring.Domain[V], op *semiring.Op[V],
 	perm := permutationTo(outVars, sortedVars)
 
 	lead, keys := r.topPlan()
-	blocks := splitKeys(keys, workers)
+	blocks := splitKeys(keys, width)
 	if len(blocks) < 2 {
 		r.Stats = stats
 		tuples, values := scanGrouped(d, op, r, perm)
@@ -188,9 +200,12 @@ func EliminateInnermostPar[V any](d *semiring.Domain[V], op *semiring.Op[V],
 		values []V
 	}
 	parts := make([]part, len(blocks))
-	runBlocks(r, lead, blocks, workers, stats, func(b int, rc *Runner[V]) {
+	err = runBlocks(ctx, pool, limit, r, lead, blocks, stats, func(b int, rc *Runner[V]) {
 		parts[b].tuples, parts[b].values = scanGrouped(d, op, rc, perm)
 	})
+	if err != nil {
+		return nil, err
+	}
 	var tuples [][]int
 	var values []V
 	for _, p := range parts {
@@ -200,15 +215,16 @@ func EliminateInnermostPar[V any](d *semiring.Domain[V], op *semiring.Op[V],
 	return factor.New(d, sortedVars, tuples, values, nil)
 }
 
-// JoinAllPar is JoinAll on the same block-parallel worker pool.
-func JoinAllPar[V any](d *semiring.Domain[V], factors []*factor.Factor[V],
-	vars []int, workers int, stats *Stats) (*factor.Factor[V], error) {
+// JoinAllOn is JoinAll on the same block-parallel persistent pool.
+func JoinAllOn[V any](ctx context.Context, pool *Pool, limit int,
+	d *semiring.Domain[V], factors []*factor.Factor[V],
+	vars []int, stats *Stats) (*factor.Factor[V], error) {
 
-	workers = Workers(workers)
-	if len(vars) == 0 || workers <= 1 || totalRows(factors) < MinParallelRows {
+	width := poolWidth(pool, limit)
+	if len(vars) == 0 || width <= 1 || totalRows(factors) < MinParallelRows {
 		return JoinAll(d, factors, vars, stats)
 	}
-	r, err := newRunner(d, factors, vars, workers)
+	r, err := newRunner(ctx, pool, limit, d, factors, vars)
 	if err != nil {
 		return nil, err
 	}
@@ -217,7 +233,7 @@ func JoinAllPar[V any](d *semiring.Domain[V], factors []*factor.Factor[V],
 	perm := permutationTo(vars, sortedVars)
 
 	lead, keys := r.topPlan()
-	blocks := splitKeys(keys, workers)
+	blocks := splitKeys(keys, width)
 	if len(blocks) < 2 {
 		r.Stats = stats
 		tuples, values := scanListing(r, perm)
@@ -228,9 +244,12 @@ func JoinAllPar[V any](d *semiring.Domain[V], factors []*factor.Factor[V],
 		values []V
 	}
 	parts := make([]part, len(blocks))
-	runBlocks(r, lead, blocks, workers, stats, func(b int, rc *Runner[V]) {
+	err = runBlocks(ctx, pool, limit, r, lead, blocks, stats, func(b int, rc *Runner[V]) {
 		parts[b].tuples, parts[b].values = scanListing(rc, perm)
 	})
+	if err != nil {
+		return nil, err
+	}
 	var tuples [][]int
 	var values []V
 	for _, p := range parts {
@@ -238,4 +257,34 @@ func JoinAllPar[V any](d *semiring.Domain[V], factors []*factor.Factor[V],
 		values = append(values, p.values...)
 	}
 	return factor.New(d, sortedVars, tuples, values, nil)
+}
+
+// poolWidth is the effective block-split width of a scan: the per-call limit
+// capped by the pool size (a nil pool is sequential).
+func poolWidth(pool *Pool, limit int) int {
+	width := pool.Size()
+	if limit > 0 && limit < width {
+		width = limit
+	}
+	return width
+}
+
+// EliminateInnermostPar is EliminateInnermostOn on a transient pool of
+// `workers` goroutines (< 1 means GOMAXPROCS), for callers without a
+// long-lived engine.
+func EliminateInnermostPar[V any](d *semiring.Domain[V], op *semiring.Op[V],
+	factors []*factor.Factor[V], vars []int, workers int, stats *Stats) (*factor.Factor[V], error) {
+
+	pool := NewPool(workers)
+	defer pool.Close()
+	return EliminateInnermostOn(context.Background(), pool, 0, d, op, factors, vars, stats)
+}
+
+// JoinAllPar is JoinAllOn on a transient pool.
+func JoinAllPar[V any](d *semiring.Domain[V], factors []*factor.Factor[V],
+	vars []int, workers int, stats *Stats) (*factor.Factor[V], error) {
+
+	pool := NewPool(workers)
+	defer pool.Close()
+	return JoinAllOn(context.Background(), pool, 0, d, factors, vars, stats)
 }

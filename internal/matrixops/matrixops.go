@@ -7,6 +7,7 @@
 package matrixops
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/cmplx"
@@ -203,13 +204,32 @@ func NaiveDFT(b []complex128) []complex128 {
 // y_0 along the expression order performs O(p·N·m) = O(N log N) work: this
 // is the Cooley–Tukey FFT recovered by InsideOut.
 func FFTViaFAQ(b []complex128, p, m int) ([]complex128, error) {
+	n := fftSize(p, m)
+	if len(b) != n {
+		return nil, fmt.Errorf("matrixops: input length %d, want p^m = %d", len(b), n)
+	}
+	q := fftQuery(b, p, m, n)
+	// The expression order eliminates y_{m-1} first — the FFT recursion.
+	res, err := core.InsideOut(q, q.Shape().ExpressionOrder(), core.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	return fftDecode(res, p, m, n), nil
+}
+
+func fftSize(p, m int) int {
 	n := 1
 	for i := 0; i < m; i++ {
 		n *= p
 	}
-	if len(b) != n {
-		return nil, fmt.Errorf("matrixops: input length %d, want p^m = %d", len(b), n)
-	}
+	return n
+}
+
+// fftQuery builds the DFT FAQ instance for a signal b of length n = p^m.
+// Factor 0 is the vector factor over the y-digits; the twiddle factors
+// after it depend only on (p, m), so a prepared transform swaps factor 0
+// and keeps the rest.
+func fftQuery(b []complex128, p, m, n int) *core.Query[complex128] {
 	d := semiring.Complex()
 	nv := 2 * m // x_0..x_{m-1} free, then y_0..y_{m-1}
 	q := &core.Query[complex128]{
@@ -227,18 +247,7 @@ func FFTViaFAQ(b []complex128, p, m int) ([]complex128, error) {
 			q.Aggs[i] = core.SemiringAgg(semiring.OpComplexSum())
 		}
 	}
-	// Vector factor over the y-digits (little-endian): y = Σ y_k p^k.
-	yVars := make([]int, m)
-	for k := 0; k < m; k++ {
-		yVars[k] = m + k
-	}
-	q.Factors = append(q.Factors, factor.FromFunc(d, yVars, q.DomSizes, func(t []int) complex128 {
-		idx := 0
-		for k := m - 1; k >= 0; k-- {
-			idx = idx*p + t[k]
-		}
-		return b[idx]
-	}))
+	q.Factors = append(q.Factors, fftVectorFactor(b, p, m, q.DomSizes))
 	// Twiddle factors ψ_{jk} for j+k < m.
 	for j := 0; j < m; j++ {
 		for k := 0; j+k < m; k++ {
@@ -253,11 +262,26 @@ func FFTViaFAQ(b []complex128, p, m int) ([]complex128, error) {
 			}))
 		}
 	}
-	// The expression order eliminates y_{m-1} first — the FFT recursion.
-	res, err := core.InsideOut(q, q.Shape().ExpressionOrder(), core.DefaultOptions())
-	if err != nil {
-		return nil, err
+	return q
+}
+
+// fftVectorFactor lists the signal over the y-digits (little-endian:
+// y = Σ y_k p^k).
+func fftVectorFactor(b []complex128, p, m int, domSizes []int) *factor.Factor[complex128] {
+	yVars := make([]int, m)
+	for k := 0; k < m; k++ {
+		yVars[k] = m + k
 	}
+	return factor.FromFunc(semiring.Complex(), yVars, domSizes, func(t []int) complex128 {
+		idx := 0
+		for k := m - 1; k >= 0; k-- {
+			idx = idx*p + t[k]
+		}
+		return b[idx]
+	})
+}
+
+func fftDecode(res *core.Result[complex128], p, m, n int) []complex128 {
 	out := make([]complex128, n)
 	for r, tup := range res.Output.Tuples {
 		idx := 0
@@ -266,5 +290,53 @@ func FFTViaFAQ(b []complex128, p, m int) ([]complex128, error) {
 		}
 		out[idx] = res.Output.Values[r]
 	}
-	return out, nil
+	return out
+}
+
+// FFT is a prepared DFT of fixed size p^m: the FAQ instance is planned and
+// bound to an engine once (with the expression order, whose elimination of
+// y_{m-1}, ..., y_0 is the Cooley–Tukey recursion), and each Transform
+// swaps in a fresh signal via RunWithFactors — the twiddle factors and the
+// plan are reused across calls.  This is the repeated-transform workload of
+// a streaming DSP loop expressed as a prepared FAQ.
+type FFT struct {
+	p, m, n int
+	prep    *core.PreparedQuery[complex128]
+	rest    []*factor.Factor[complex128] // twiddles, shared across transforms
+}
+
+// NewFFT prepares a size-p^m DFT on the engine (nil means the default
+// engine).
+func NewFFT(e *core.Engine[complex128], p, m int) (*FFT, error) {
+	if p < 2 || m < 1 {
+		return nil, fmt.Errorf("matrixops: bad DFT shape p=%d, m=%d", p, m)
+	}
+	if e == nil {
+		e = core.DefaultEngine[complex128]()
+	}
+	n := fftSize(p, m)
+	q := fftQuery(make([]complex128, n), p, m, n) // placeholder signal
+	prep, err := e.PrepareOrder(q, q.Shape().ExpressionOrder(), core.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	return &FFT{p: p, m: m, n: n, prep: prep, rest: q.Factors[1:]}, nil
+}
+
+// Size returns the transform length p^m.
+func (f *FFT) Size() int { return f.n }
+
+// Transform computes the DFT of b on the prepared plan.
+func (f *FFT) Transform(ctx context.Context, b []complex128) ([]complex128, error) {
+	if len(b) != f.n {
+		return nil, fmt.Errorf("matrixops: input length %d, want p^m = %d", len(b), f.n)
+	}
+	factors := make([]*factor.Factor[complex128], 0, len(f.rest)+1)
+	factors = append(factors, fftVectorFactor(b, f.p, f.m, f.prep.Query().DomSizes))
+	factors = append(factors, f.rest...)
+	res, err := f.prep.RunWithFactors(ctx, factors)
+	if err != nil {
+		return nil, err
+	}
+	return fftDecode(res, f.p, f.m, f.n), nil
 }

@@ -1,10 +1,13 @@
 package matrixops
 
 import (
+	"context"
 	"math"
 	"math/cmplx"
 	"math/rand"
 	"testing"
+
+	"github.com/faqdb/faq/internal/core"
 )
 
 func randomMatrix(rng *rand.Rand, rows, cols int) *Matrix {
@@ -174,6 +177,52 @@ func TestFFTViaFAQMatchesNaive(t *testing.T) {
 func TestFFTViaFAQLengthValidation(t *testing.T) {
 	if _, err := FFTViaFAQ(make([]complex128, 5), 2, 2); err == nil {
 		t.Fatal("wrong length should fail")
+	}
+}
+
+func TestPreparedFFTTransformsManySignals(t *testing.T) {
+	eng := core.NewEngine[complex128](core.EngineOptions{Workers: 2})
+	defer eng.Close()
+	fft, err := NewFFT(eng, 2, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fft.Size() != 64 {
+		t.Fatalf("size = %d, want 64", fft.Size())
+	}
+	rng := rand.New(rand.NewSource(9))
+	const signals = 4
+	for s := 0; s < signals; s++ {
+		b := make([]complex128, fft.Size())
+		for i := range b {
+			b[i] = complex(rng.Float64()*2-1, rng.Float64()*2-1)
+		}
+		got, err := fft.Transform(context.Background(), b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := NaiveDFT(b)
+		for i := range want {
+			if cmplx.Abs(got[i]-want[i]) > 1e-8*float64(fft.Size()) {
+				t.Fatalf("signal %d: F[%d] = %v, want %v", s, i, got[i], want[i])
+			}
+		}
+	}
+	// One prepare, many transforms: the amortization invariant.
+	if st := eng.Stats(); st.Prepared != 1 || st.Runs != signals {
+		t.Fatalf("stats after %d transforms: %+v", signals, st)
+	}
+	if _, err := fft.Transform(context.Background(), make([]complex128, 3)); err == nil {
+		t.Fatal("wrong length should fail")
+	}
+}
+
+func TestNewFFTRejectsBadShape(t *testing.T) {
+	if _, err := NewFFT(nil, 1, 3); err == nil {
+		t.Fatal("p=1 should fail")
+	}
+	if _, err := NewFFT(nil, 2, 0); err == nil {
+		t.Fatal("m=0 should fail")
 	}
 }
 

@@ -7,6 +7,7 @@
 package pgm
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -22,6 +23,37 @@ type Model struct {
 	NumVars    int
 	DomSizes   []int
 	Potentials []*factor.Factor[float64]
+
+	engine *core.Engine[float64]
+}
+
+// UseEngine routes every inference call of this model through the given
+// engine and returns the model.  Inference on a graphical model is the
+// archetypal prepare-once-run-many workload — a marginal sweep or the n·d
+// conditioned MAP evaluations of MAPAssignment reuse a handful of query
+// shapes — so all planning is served from the engine's plan cache and all
+// scans run on its persistent pool.  A nil receiver-engine (the default)
+// means the shared default engine.
+func (m *Model) UseEngine(e *core.Engine[float64]) *Model {
+	m.engine = e
+	return m
+}
+
+func (m *Model) solver() *core.Engine[float64] {
+	if m.engine != nil {
+		return m.engine
+	}
+	return core.DefaultEngine[float64]()
+}
+
+// solve prepares q on the model's engine (hitting the plan cache for
+// repeated shapes) and runs InsideOut on the engine's pool.
+func (m *Model) solve(q *core.Query[float64]) (*core.Result[float64], error) {
+	prep, err := m.solver().Prepare(q)
+	if err != nil {
+		return nil, err
+	}
+	return prep.Run(context.Background())
 }
 
 // Validate checks the model's structure.
@@ -103,7 +135,7 @@ func (m *Model) Marginal(queryVars []int) (*factor.Factor[float64], error) {
 	if err != nil {
 		return nil, err
 	}
-	res, _, err := core.Solve(q, core.DefaultOptions())
+	res, err := m.solve(q)
 	if err != nil {
 		return nil, err
 	}
@@ -121,7 +153,7 @@ func (m *Model) Partition() (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	res, _, err := core.Solve(q, core.DefaultOptions())
+	res, err := m.solve(q)
 	if err != nil {
 		return 0, err
 	}
@@ -134,7 +166,7 @@ func (m *Model) MAPValue() (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	res, _, err := core.Solve(q, core.DefaultOptions())
+	res, err := m.solve(q)
 	if err != nil {
 		return 0, err
 	}
@@ -149,7 +181,7 @@ func (m *Model) MAPAssignment() ([]int, float64, error) {
 	if err != nil {
 		return nil, 0, err
 	}
-	cond := &Model{NumVars: m.NumVars, DomSizes: m.DomSizes, Potentials: m.Potentials}
+	cond := &Model{NumVars: m.NumVars, DomSizes: m.DomSizes, Potentials: m.Potentials, engine: m.engine}
 	assignment := make([]int, m.NumVars)
 	for v := 0; v < m.NumVars; v++ {
 		found := false
@@ -173,8 +205,10 @@ func (m *Model) MAPAssignment() ([]int, float64, error) {
 }
 
 // conditionModel pins variable v to value x by restricting every potential.
+// Conditioning preserves every factor's variable set, so the conditioned
+// model has the same query shape and its plans come from the cache.
 func conditionModel(m *Model, v, x int) *Model {
-	out := &Model{NumVars: m.NumVars, DomSizes: m.DomSizes}
+	out := &Model{NumVars: m.NumVars, DomSizes: m.DomSizes, engine: m.engine}
 	for _, p := range m.Potentials {
 		if p.VarPos(v) >= 0 {
 			out.Potentials = append(out.Potentials, p.Condition(map[int]int{v: x}))

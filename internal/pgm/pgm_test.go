@@ -4,6 +4,8 @@ import (
 	"math"
 	"math/rand"
 	"testing"
+
+	"github.com/faqdb/faq/internal/core"
 )
 
 func approxEq(a, b float64) bool {
@@ -160,5 +162,44 @@ func BenchmarkMarginalGrid3x4(b *testing.B) {
 		if _, err := m.Marginal([]int{0}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+func TestModelUseEngineAmortizesPlans(t *testing.T) {
+	eng := core.NewEngine[float64](core.EngineOptions{Workers: 2})
+	defer eng.Close()
+	rng := rand.New(rand.NewSource(31))
+	m := Cycle(rng, 5, 3).UseEngine(eng)
+
+	// MAPAssignment issues 1 + up to n·d MAP evaluations on conditioned
+	// models; conditioning preserves every factor's variable set, so all of
+	// them share one query shape and the engine plans exactly once.
+	assignment, val, err := m.MAPAssignment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := m.MAPBrute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approxEq(val, want) {
+		t.Fatalf("engine-backed MAP = %v, brute force = %v", val, want)
+	}
+	if len(assignment) != m.NumVars {
+		t.Fatalf("assignment has %d entries, want %d", len(assignment), m.NumVars)
+	}
+	st := eng.Stats()
+	if st.PlanCacheMisses != 1 {
+		t.Fatalf("conditioned MAP sweep planned %d times, want 1: %+v", st.PlanCacheMisses, st)
+	}
+	if st.PlanCacheHits < int64(m.NumVars) {
+		t.Fatalf("conditioned MAP sweep hit the cache only %d times: %+v", st.PlanCacheHits, st)
+	}
+	// A marginal adds a second shape (one free variable), no more.
+	if _, err := m.Marginal([]int{0}); err != nil {
+		t.Fatal(err)
+	}
+	if st := eng.Stats(); st.PlanCacheMisses != 2 {
+		t.Fatalf("marginal should add exactly one plan: %+v", st)
 	}
 }

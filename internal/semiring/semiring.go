@@ -59,6 +59,13 @@ type Op[V any] struct {
 	Name       string
 	Combine    func(a, b V) V
 	Idempotent bool // a ⊕ a = a for all a (max, min, or, union, ...)
+	// NonSemiring, when non-empty, marks an aggregate that does NOT form a
+	// commutative semiring with its usual domain — the string says why and
+	// names the lawful alternative.  The engine refuses such aggregates at
+	// Validate time: a sparse evaluator reads absent tuples as the domain's
+	// Zero, so an aggregate whose identity is not Zero silently computes a
+	// different function than Eq. (1).
+	NonSemiring string
 }
 
 // SameOp reports whether two aggregates are the same named operator.
@@ -117,10 +124,19 @@ func OpFloatMax() *Op[float64] {
 	return &Op[float64]{Name: "max", Combine: math.Max, Idempotent: true}
 }
 
-// OpFloatMin is min over non-negative float64; (R+, min, ·) is a semiring
-// because multiplication by a non-negative scalar preserves order.
+// OpFloatMin is min over float64 — annotated as NOT a lawful FAQ aggregate
+// over the Float domain, and rejected by Query.Validate.  (R≥0, min, ·)
+// fails the semiring laws FAQ needs because the additive identity of every
+// aggregate must be the domain's shared Zero (Section 1.2), and
+// min(x, 0) = 0 ≠ x: the sparse engine (min over supported tuples) and the
+// dense semantics of Eq. (1) (min over the whole box, absent tuples reading
+// as 0) legitimately disagree — the quirk surfaced by the PR-1 equivalence
+// harness.  Lawful min-product is the Tropical domain, where Zero = +∞,
+// ⊗ is +, and min(x, +∞) = x; see Tropical and OpTropicalMin.
 func OpFloatMin() *Op[float64] {
-	return &Op[float64]{Name: "min", Combine: math.Min, Idempotent: true}
+	return &Op[float64]{Name: "min", Combine: math.Min, Idempotent: true,
+		NonSemiring: "min over (float64, ·) has no additive identity: the domain's " +
+			"Zero is 0 and min(x, 0) = 0 ≠ x; use the Tropical domain (min, +) instead"}
 }
 
 // Int returns the counting domain (Z, ·) used by #CQ and #QCQ where

@@ -84,6 +84,29 @@ func TestFloatMinProdOverNonNegatives(t *testing.T) {
 	}
 }
 
+func TestFloatMinAnnotatedNonSemiring(t *testing.T) {
+	// Regression for the lawfulness quirk surfaced by the PR-1 equivalence
+	// harness: min over (float64, ·, 0) violates the identity law —
+	// min(x, Zero) = 0 ≠ x — so the op must carry a NonSemiring annotation
+	// routing users to the Tropical domain, where min(x, Zero=+∞) = x.
+	d := Float()
+	op := OpFloatMin()
+	if op.NonSemiring == "" {
+		t.Fatal("OpFloatMin carries no NonSemiring annotation")
+	}
+	if x := 2.5; op.Combine(x, d.Zero) == x {
+		t.Fatal("min(x, 0) = x would make min lawful over Float; annotation is stale")
+	}
+	trop := Tropical()
+	tmin := OpTropicalMin()
+	if tmin.NonSemiring != "" {
+		t.Fatalf("OpTropicalMin wrongly annotated: %s", tmin.NonSemiring)
+	}
+	if x := 2.5; tmin.Combine(x, trop.Zero) != x {
+		t.Fatal("tropical min violates the identity law")
+	}
+}
+
 func TestIntSemirings(t *testing.T) {
 	sample := []int64{0, 1, 2, 3, 7}
 	axiomChecker(t, Int(), OpIntSum(), sample)

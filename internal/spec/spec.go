@@ -1,12 +1,17 @@
 // Package spec parses a small text format describing FAQ queries over the
-// real sum/max/min-product semirings, used by cmd/faqrun and cmd/faqplan.
+// real sum/max-product semirings, used by cmd/faqrun and cmd/faqplan.
 //
 // Format (line oriented, '#' starts a comment):
 //
-//	var <name> <domSize> <agg>     # agg ∈ free | sum | max | min | prod
+//	var <name> <domSize> <agg>     # agg ∈ free | sum | max | prod
 //	factor <name> <name> ...       # starts a factor block over those vars
 //	<v1> <v2> ... = <value>        # one listed tuple per line
 //	end                            # closes the factor block
+//
+// "min" is rejected with an explanatory error: min-product over the reals
+// is not a lawful FAQ semiring (the shared additive identity is 0 and
+// min(x, 0) ≠ x); lawful min-product lives in the tropical domain, which
+// this float-only format does not express.
 //
 // Variables must be declared with all free variables first (the FAQ normal
 // form of Eq. (1)); factors may list variables in any order.
@@ -173,9 +178,15 @@ func parseAgg(s string) (core.Aggregate[float64], error) {
 	case "max":
 		return core.SemiringAgg(semiring.OpFloatMax()), nil
 	case "min":
-		return core.SemiringAgg(semiring.OpFloatMin()), nil
+		// Rejected at parse time rather than at Validate time: min over
+		// (float64, ·, 0) is not a lawful FAQ aggregate (min(x, 0) = 0 ≠ x),
+		// and this float-only format cannot express the lawful alternative.
+		return core.Aggregate[float64]{}, fmt.Errorf(
+			"aggregate \"min\" is not a lawful semiring over the real product " +
+				"(min(x, 0) = 0 ≠ x); lawful min-product is the tropical semiring " +
+				"(min, +), not expressible in this float spec format")
 	case "prod":
 		return core.ProductAgg[float64](), nil
 	}
-	return core.Aggregate[float64]{}, fmt.Errorf("unknown aggregate %q (want free|sum|max|min|prod)", s)
+	return core.Aggregate[float64]{}, fmt.Errorf("unknown aggregate %q (want free|sum|max|prod)", s)
 }

@@ -109,3 +109,16 @@ end
 		t.Fatalf("value = %v, want 1", got)
 	}
 }
+
+// TestParseRejectsMinAggregate pins the lawfulness regression: "min" over
+// the float spec format must fail at parse time with an error routing users
+// to the tropical semiring, instead of compiling to the unlawful OpFloatMin.
+func TestParseRejectsMinAggregate(t *testing.T) {
+	_, err := Parse(strings.NewReader("var a 2 min\nfactor a\n0 = 1\nend\n"))
+	if err == nil {
+		t.Fatal("spec with a min aggregate should fail to parse")
+	}
+	if !strings.Contains(err.Error(), "tropical") {
+		t.Fatalf("min rejection does not route to the tropical semiring: %v", err)
+	}
+}
