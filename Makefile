@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: ci vet build test race bench bench-baseline fuzz
+.PHONY: ci vet build test race bench bench-baseline bench-serving serve-smoke fuzz
 
 # Full local CI pass: what .github/workflows/ci.yml runs.
-ci: vet build test race bench
+ci: vet build test race bench serve-smoke
 
 vet:
 	$(GO) vet ./...
@@ -29,6 +29,17 @@ bench:
 # this as a non-blocking step; the JSON is the comparable artifact).
 bench-baseline:
 	$(GO) test -run '^$$' -bench 'BenchmarkParallel|BenchmarkPrepared' -benchtime 3x -json . | tee BENCH_PR2.json
+
+# Serving smoke: boot faqd on a free port, hit /healthz and one /v1/query
+# (verified against a local Solve), shut down gracefully.
+serve-smoke:
+	./scripts/faqd_harness.sh smoke
+
+# Serving benchmark: faqload drives shapes × concurrency × duration against
+# a live faqd and records the throughput/latency table plus the final
+# /statsz snapshot in BENCH_PR3.json (CI runs this as a non-blocking step).
+bench-serving:
+	./scripts/faqd_harness.sh bench BENCH_PR3.json
 
 # Short fuzz session for the DIMACS parser.
 fuzz:

@@ -1,0 +1,138 @@
+// faqd is the FAQ serving daemon: an HTTP/JSON front end over one shared
+// engine, amortizing the Section 6–7 planning phase across every client
+// that asks the same query shape — the "questions asked frequently"
+// workload as a network service.
+//
+// Usage:
+//
+//	faqd [-addr :8080] [-workers n] [-plan-cache n] [-planner auto]
+//	     [-timeout 30s] [-max-timeout 0] [-addr-file path]
+//
+// Endpoints:
+//
+//	POST /v1/query   run a spec-format query (JSON body, see internal/server)
+//	GET  /v1/plan    plan report (?example=6.2 | POST {"spec": ...})
+//	GET  /healthz    liveness
+//	GET  /statsz     engine + server counters, latency percentiles
+//
+// -addr :0 picks a free port; the bound address is printed on stdout and,
+// with -addr-file, written to a file so scripts can find it.  SIGINT and
+// SIGTERM trigger a graceful shutdown that drains in-flight queries.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/faqdb/faq/internal/server"
+)
+
+// config collects the flag values.
+type config struct {
+	addr       string
+	addrFile   string
+	workers    int
+	planCache  int
+	planner    string
+	timeout    time.Duration
+	maxTimeout time.Duration
+	drainGrace time.Duration
+}
+
+// validate delegates to the one authoritative check in server.Config, so
+// the planner whitelist has a single home; here it just buys the
+// flag-error exit code (2) and a usage print.
+func (c config) validate() error {
+	return server.Config{Workers: c.workers, Planner: c.planner}.Validate()
+}
+
+func main() {
+	var cfg config
+	flag.StringVar(&cfg.addr, "addr", ":8080", "listen address (:0 picks a free port)")
+	flag.StringVar(&cfg.addrFile, "addr-file", "", "write the bound address to this file once listening")
+	flag.IntVar(&cfg.workers, "workers", 0, "engine pool size (0 = GOMAXPROCS, 1 = sequential)")
+	flag.IntVar(&cfg.planCache, "plan-cache", 0, "plan LRU capacity (0 = default, negative disables)")
+	flag.StringVar(&cfg.planner, "planner", "auto", "ordering strategy: auto, exact, greedy, approx or expression")
+	flag.DurationVar(&cfg.timeout, "timeout", 30*time.Second, "default per-query deadline")
+	flag.DurationVar(&cfg.maxTimeout, "max-timeout", 0, "clamp client-requested deadlines (0 = no clamp)")
+	flag.DurationVar(&cfg.drainGrace, "drain-grace", 30*time.Second, "shutdown drain budget for in-flight queries")
+	flag.Parse()
+	if err := cfg.validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "faqd: %v\n", err)
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	// Once shutdown begins, restore default signal disposition so a second
+	// SIGINT/SIGTERM force-kills instead of being swallowed mid-drain.
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
+	if err := run(ctx, cfg, os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run starts the daemon and blocks until ctx is cancelled (the signal
+// handler in main, or a test's cancel), then shuts down gracefully: the
+// listener closes, in-flight queries drain within drainGrace, and the
+// engine pool stops.
+func run(ctx context.Context, cfg config, out *os.File) error {
+	srv, err := server.New(server.Config{
+		Workers:        cfg.workers,
+		PlanCacheSize:  cfg.planCache,
+		Planner:        cfg.planner,
+		DefaultTimeout: cfg.timeout,
+		MaxTimeout:     cfg.maxTimeout,
+	})
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "faqd: listening on %s\n", ln.Addr())
+	if cfg.addrFile != "" {
+		if err := os.WriteFile(cfg.addrFile, []byte(ln.Addr().String()), 0o644); err != nil {
+			ln.Close()
+			return err
+		}
+	}
+
+	hs := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return err // listener failed before any shutdown request
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintf(out, "faqd: draining (up to %v)\n", cfg.drainGrace)
+	drainCtx, cancel := context.WithTimeout(context.Background(), cfg.drainGrace)
+	defer cancel()
+	if err := hs.Shutdown(drainCtx); err != nil {
+		return fmt.Errorf("faqd: drain: %w", err)
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	fmt.Fprintf(out, "faqd: bye\n")
+	return nil
+}

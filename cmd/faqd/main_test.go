@@ -1,0 +1,67 @@
+package main
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/faqdb/faq/internal/server"
+)
+
+// TestFaqdServeAndDrain boots the daemon on a free port, serves a query
+// through the real listener, then cancels the context and checks the
+// graceful-drain path returns cleanly.
+func TestFaqdServeAndDrain(t *testing.T) {
+	dir := t.TempDir()
+	addrFile := filepath.Join(dir, "addr")
+	cfg := config{
+		addr:       "127.0.0.1:0",
+		addrFile:   addrFile,
+		workers:    1,
+		planner:    "auto",
+		timeout:    10 * time.Second,
+		drainGrace: 10 * time.Second,
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- run(ctx, cfg, os.Stdout) }()
+
+	// The addr file appears once the listener is up.
+	var addr string
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if b, err := os.ReadFile(addrFile); err == nil {
+			addr = string(b)
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("addr file never appeared")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	c := server.NewClient("http://" + addr)
+	if err := c.WaitHealthy(ctx, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	spec := "var x 3 sum\nvar y 3 sum\nfactor x y\n0 1 = 2\n1 2 = 3\nend\n"
+	resp, err := c.Query(ctx, &server.QueryRequest{Spec: spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Value == nil || *resp.Value != 5 {
+		t.Fatalf("query through faqd: %+v", resp)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("faqd did not shut down")
+	}
+}

@@ -1,0 +1,396 @@
+// faqload is the load generator and serving benchmark for faqd: it drives
+// shapes × concurrency × duration against a running daemon and reports a
+// throughput/latency table plus the server's plan-cache counters, so the
+// amortization claim of the serving story — same-shape requests hit one
+// cached plan — is measurable from outside the process.
+//
+// Usage:
+//
+//	faqload -addr http://127.0.0.1:8080 [-shapes triangle,triangle-fresh,star,chain]
+//	        [-concurrency 8] [-duration 3s] [-dom 48] [-json BENCH_PR3.json]
+//	faqload -addr ... -smoke     # healthz + one verified query, then exit
+//
+// Every response is verified against a local single-threaded Solve of the
+// same spec, so a load run is also a correctness run.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/faqdb/faq/internal/core"
+	"github.com/faqdb/faq/internal/factor"
+	"github.com/faqdb/faq/internal/server"
+	"github.com/faqdb/faq/internal/spec"
+)
+
+type config struct {
+	addr        string
+	shapes      string
+	concurrency int
+	duration    time.Duration
+	dom         int
+	jsonOut     string
+	smoke       bool
+	wait        time.Duration
+}
+
+func (c config) validate() error {
+	if c.addr == "" {
+		return fmt.Errorf("missing required -addr")
+	}
+	if c.concurrency < 1 {
+		return fmt.Errorf("-concurrency must be >= 1, got %d", c.concurrency)
+	}
+	if c.duration <= 0 {
+		return fmt.Errorf("-duration must be > 0, got %v", c.duration)
+	}
+	if c.dom < 4 {
+		return fmt.Errorf("-dom must be >= 4, got %d", c.dom)
+	}
+	return nil
+}
+
+// workload is one named shape: a fixed spec (the plan-cache key under
+// load) and an optional per-request factor refresh.
+type workload struct {
+	name    string
+	spec    string
+	factors []server.FactorData // nil: run the spec's own data
+	want    uint64              // bit pattern of the expected scalar
+}
+
+// shapeResult is one row of the throughput/latency table; the JSON form
+// feeds BENCH_PR3.json.
+type shapeResult struct {
+	Shape       string  `json:"shape"`
+	Concurrency int     `json:"concurrency"`
+	DurationSec float64 `json:"duration_sec"`
+	Requests    int64   `json:"requests"`
+	Errors      int64   `json:"errors"`
+	RPS         float64 `json:"rps"`
+	P50MS       float64 `json:"p50_ms"`
+	P99MS       float64 `json:"p99_ms"`
+	MaxMS       float64 `json:"max_ms"`
+}
+
+// benchReport is the BENCH_PR3.json payload.
+type benchReport struct {
+	Tool        string                 `json:"tool"`
+	Addr        string                 `json:"addr"`
+	Dom         int                    `json:"dom"`
+	Results     []shapeResult          `json:"results"`
+	FinalStatsz *server.StatszResponse `json:"final_statsz,omitempty"`
+}
+
+func main() {
+	var cfg config
+	flag.StringVar(&cfg.addr, "addr", "", "faqd base URL (http://host:port or host:port)")
+	flag.StringVar(&cfg.shapes, "shapes", "triangle,triangle-fresh,star,chain", "comma-separated workload names")
+	flag.IntVar(&cfg.concurrency, "concurrency", 8, "concurrent clients per shape")
+	flag.DurationVar(&cfg.duration, "duration", 3*time.Second, "load duration per shape")
+	flag.IntVar(&cfg.dom, "dom", 48, "domain size of the generated workloads")
+	flag.StringVar(&cfg.jsonOut, "json", "", "write the benchmark report to this file")
+	flag.BoolVar(&cfg.smoke, "smoke", false, "smoke mode: healthz + one verified query, then exit")
+	flag.DurationVar(&cfg.wait, "wait", 10*time.Second, "how long to wait for the daemon to become healthy")
+	flag.Parse()
+	if err := cfg.validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "faqload: %v\n", err)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(cfg, os.Stdout); err != nil {
+		log.Fatalf("faqload: %v", err)
+	}
+}
+
+func run(cfg config, out *os.File) error {
+	if !strings.Contains(cfg.addr, "://") {
+		cfg.addr = "http://" + cfg.addr
+	}
+	ctx := context.Background()
+	client := server.NewClient(cfg.addr)
+	// http.DefaultTransport keeps only 2 idle connections per host: at
+	// higher concurrency most requests would pay a fresh TCP handshake and
+	// the table would measure connection churn, not serving throughput.
+	client.HTTPClient = &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        cfg.concurrency * 2,
+		MaxIdleConnsPerHost: cfg.concurrency * 2,
+	}}
+	if err := client.WaitHealthy(ctx, cfg.wait); err != nil {
+		return err
+	}
+
+	if cfg.smoke {
+		return smoke(ctx, client, cfg, out)
+	}
+
+	var report benchReport
+	report.Tool, report.Addr, report.Dom = "faqload", cfg.addr, cfg.dom
+	fmt.Fprintf(out, "%-16s %5s %8s %6s %9s %9s %9s %9s\n",
+		"shape", "conc", "reqs", "errs", "rps", "p50(ms)", "p99(ms)", "max(ms)")
+	for _, name := range strings.Split(cfg.shapes, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		w, err := buildWorkload(name, cfg.dom)
+		if err != nil {
+			return err
+		}
+		res, err := drive(ctx, client, w, cfg)
+		if err != nil {
+			return err
+		}
+		report.Results = append(report.Results, res)
+		fmt.Fprintf(out, "%-16s %5d %8d %6d %9.1f %9.2f %9.2f %9.2f\n",
+			res.Shape, res.Concurrency, res.Requests, res.Errors, res.RPS,
+			res.P50MS, res.P99MS, res.MaxMS)
+	}
+
+	st, err := client.Statsz(ctx)
+	if err != nil {
+		return err
+	}
+	report.FinalStatsz = st
+	fmt.Fprintf(out, "statsz: plan hits %d, misses %d, coalesced %d, runs %d, in-flight %d\n",
+		st.Engine.PlanCacheHits, st.Engine.PlanCacheMisses, st.Engine.PlanCoalesced,
+		st.Engine.Runs, st.Server.InFlight)
+	if st.Engine.PlanCacheHits+st.Engine.PlanCoalesced <= st.Engine.PlanCacheMisses {
+		fmt.Fprintf(out, "warning: plan cache hits do not dominate misses — is something else hitting this daemon?\n")
+	}
+
+	if cfg.jsonOut != "" {
+		buf, err := json.MarshalIndent(&report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(cfg.jsonOut, append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s\n", cfg.jsonOut)
+	}
+	return nil
+}
+
+// smoke is the CI handshake: one verified query end to end.
+func smoke(ctx context.Context, client *server.Client, cfg config, out *os.File) error {
+	w, err := buildWorkload("triangle", cfg.dom)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Query(ctx, &server.QueryRequest{Spec: w.spec})
+	if err != nil {
+		return err
+	}
+	if resp.Value == nil || math.Float64bits(*resp.Value) != w.want {
+		return fmt.Errorf("smoke query: got %v, want bits %v", resp.Value, w.want)
+	}
+	st, err := client.Statsz(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "smoke ok: value=%g plan=%s width=%.3f runs=%d\n",
+		*resp.Value, resp.Plan.Method, resp.Plan.Width, st.Engine.Runs)
+	return nil
+}
+
+// drive runs one workload at the configured concurrency for the configured
+// duration and folds per-client latencies into one table row.
+func drive(ctx context.Context, client *server.Client, w workload, cfg config) (shapeResult, error) {
+	req := &server.QueryRequest{Spec: w.spec, Factors: w.factors}
+	stop := time.Now().Add(cfg.duration)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var lats []time.Duration
+	var requests, errCount int64
+	var firstErr error
+
+	start := time.Now()
+	for g := 0; g < cfg.concurrency; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var mine []time.Duration
+			var mineReqs, mineErrs int64
+			var myErr error
+			for time.Now().Before(stop) {
+				t0 := time.Now()
+				resp, err := client.Query(ctx, req)
+				mine = append(mine, time.Since(t0))
+				mineReqs++
+				if err != nil {
+					mineErrs++
+					if myErr == nil {
+						myErr = err
+					}
+					continue
+				}
+				if resp.Value == nil || math.Float64bits(*resp.Value) != w.want {
+					mineErrs++
+					if myErr == nil {
+						myErr = fmt.Errorf("shape %s: got %v, want bits %d", w.name, resp.Value, w.want)
+					}
+				}
+			}
+			mu.Lock()
+			lats = append(lats, mine...)
+			requests += mineReqs
+			errCount += mineErrs
+			if firstErr == nil {
+				firstErr = myErr
+			}
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	if firstErr != nil {
+		return shapeResult{}, fmt.Errorf("shape %s: %d/%d requests failed, first: %v",
+			w.name, errCount, requests, firstErr)
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	q := func(p float64) float64 {
+		if len(lats) == 0 {
+			return 0
+		}
+		return float64(lats[int(p*float64(len(lats)-1))]) / float64(time.Millisecond)
+	}
+	return shapeResult{
+		Shape:       w.name,
+		Concurrency: cfg.concurrency,
+		DurationSec: elapsed.Seconds(),
+		Requests:    requests,
+		Errors:      errCount,
+		RPS:         float64(requests) / elapsed.Seconds(),
+		P50MS:       q(0.50),
+		P99MS:       q(0.99),
+		MaxMS:       q(1),
+	}, nil
+}
+
+// buildWorkload generates a named workload over domain size dom and
+// computes its expected answer with a local single-threaded Solve.
+func buildWorkload(name string, dom int) (workload, error) {
+	w := workload{name: name}
+	switch name {
+	case "triangle":
+		w.spec = triangleSpec(dom)
+	case "triangle-fresh":
+		// Same spec (and so the same plan-cache key) as "triangle", but
+		// every request ships fresh factor data: the RunWithFactors path.
+		w.spec = triangleSpec(dom)
+		fd := server.FactorData{}
+		for a := 0; a < dom; a++ {
+			for b := 0; b < dom; b++ {
+				if a < b {
+					fd.Tuples = append(fd.Tuples, []int{a, b})
+					fd.Values = append(fd.Values, 1)
+				}
+			}
+		}
+		w.factors = []server.FactorData{fd, fd, fd}
+	case "star":
+		w.spec = starSpec(dom)
+	case "chain":
+		w.spec = chainSpec(dom)
+	default:
+		return w, fmt.Errorf("unknown shape %q (want triangle, triangle-fresh, star or chain)", name)
+	}
+
+	q, err := spec.Parse(strings.NewReader(w.spec))
+	if err != nil {
+		return w, fmt.Errorf("shape %s: %v", name, err)
+	}
+	if w.factors != nil {
+		// The oracle must see the fresh data, not the spec placeholder.
+		for i, fd := range w.factors {
+			f, err := factor.New(q.D, q.Factors[i].Vars, fd.Tuples, fd.Values, nil)
+			if err != nil {
+				return w, err
+			}
+			q.Factors[i] = f
+		}
+	}
+	opts := core.DefaultOptions()
+	opts.Workers = 1
+	res, _, err := core.Solve(q, opts)
+	if err != nil {
+		return w, fmt.Errorf("shape %s oracle: %v", name, err)
+	}
+	w.want = math.Float64bits(res.Scalar())
+	return w, nil
+}
+
+// triangleSpec is Σ ψ(x,y)·ψ(y,z)·ψ(x,z) over a deterministic edge set.
+func triangleSpec(dom int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "var x %d sum\nvar y %d sum\nvar z %d sum\n", dom, dom, dom)
+	edge := func(u, v string) {
+		fmt.Fprintf(&b, "factor %s %s\n", u, v)
+		for a := 0; a < dom; a++ {
+			for c := 0; c < dom; c++ {
+				if (a*7+c*3)%5 == 0 && a != c {
+					fmt.Fprintf(&b, "%d %d = 1\n", a, c)
+				}
+			}
+		}
+		b.WriteString("end\n")
+	}
+	edge("x", "y")
+	edge("y", "z")
+	edge("x", "z")
+	return b.String()
+}
+
+// starSpec is Σ_c Σ_l1..l3 ψ(c,l1)·ψ(c,l2)·ψ(c,l3): a 3-leaf star join.
+func starSpec(dom int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "var c %d sum\n", dom)
+	for i := 1; i <= 3; i++ {
+		fmt.Fprintf(&b, "var l%d %d sum\n", i, dom)
+	}
+	for i := 1; i <= 3; i++ {
+		fmt.Fprintf(&b, "factor c l%d\n", i)
+		for a := 0; a < dom; a++ {
+			for c := 0; c < dom; c++ {
+				if (a*11+c*(2+i))%7 == 0 {
+					fmt.Fprintf(&b, "%d %d = 1\n", a, c)
+				}
+			}
+		}
+		b.WriteString("end\n")
+	}
+	return b.String()
+}
+
+// chainSpec is a 4-variable path query Σ ψ(a,b)·ψ(b,c)·ψ(c,d).
+func chainSpec(dom int) string {
+	var b strings.Builder
+	for _, n := range []string{"a", "b", "c", "d"} {
+		fmt.Fprintf(&b, "var %s %d sum\n", n, dom)
+	}
+	for _, e := range [][2]string{{"a", "b"}, {"b", "c"}, {"c", "d"}} {
+		fmt.Fprintf(&b, "factor %s %s\n", e[0], e[1])
+		for a := 0; a < dom; a++ {
+			for c := 0; c < dom; c++ {
+				if (a*5+c*3)%6 == 0 {
+					fmt.Fprintf(&b, "%d %d = 1\n", a, c)
+				}
+			}
+		}
+		b.WriteString("end\n")
+	}
+	return b.String()
+}

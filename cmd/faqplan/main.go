@@ -5,25 +5,34 @@
 //
 // Usage:
 //
-//	faqplan -example 6.2|6.19|5.6|chen-dalmau
-//	faqplan -spec query.faq
+//	faqplan -example 6.2|6.19|5.6|chen-dalmau [-json]
+//	faqplan -spec query.faq [-json]
+//
+// -json emits the report as JSON — the same PlanReport structure the faqd
+// daemon serves on /v1/plan — instead of the human-readable pipeline.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"strings"
 
 	"github.com/faqdb/faq/internal/core"
-	"github.com/faqdb/faq/internal/hypergraph"
+	"github.com/faqdb/faq/internal/server"
 	"github.com/faqdb/faq/internal/spec"
 )
 
 func main() {
-	example := flag.String("example", "", "built-in example: 6.2, 6.19, 5.6 or chen-dalmau")
-	specFile := flag.String("spec", "", "query specification file (see internal/spec)")
-	flag.Parse()
+	// A fresh FlagSet per call keeps main re-runnable from tests.
+	fs := flag.NewFlagSet("faqplan", flag.ExitOnError)
+	example := fs.String("example", "", "built-in example: 6.2, 6.19, 5.6 or chen-dalmau")
+	specFile := fs.String("spec", "", "query specification file (see internal/spec)")
+	jsonOut := fs.Bool("json", false, "emit the plan report as JSON (the /v1/plan structure)")
+	fs.Parse(os.Args[1:])
 
 	var s *core.Shape
 	var name func(int) string
@@ -43,58 +52,52 @@ func main() {
 		s = q.Shape()
 		name = q.VarName
 	case *example != "":
-		s = builtinExample(*example)
-		name = func(v int) string { return fmt.Sprintf("x%d", v+1) } // paper is 1-indexed
+		var err error
+		s, name, err = server.BuiltinExample(*example)
+		if err != nil {
+			log.Fatal(err)
+		}
 	default:
-		flag.Usage()
+		fs.Usage()
 		os.Exit(2)
 	}
 
-	fmt.Printf("hypergraph: %s\n", s.H)
-	fmt.Printf("tags:       %v\n", s.Tags)
-
-	scoped := core.BuildExprTreeScoped(s)
-	fmt.Println("\nexpression tree (Definition 6.18, as in Figures 2–6):")
-	fmt.Print(scoped.Pretty(name))
-	sound := core.BuildExprTree(s)
-	if sound.Render() != scoped.Render() {
-		fmt.Println("expression tree (flat-rewriting sound form; non-closed Σ anchored):")
-		fmt.Print(sound.Pretty(name))
-	}
-
-	poset, err := core.NewPoset(sound, s.N)
+	// Both output modes render the same BuildPlanReport result — the
+	// structure /v1/plan serves — so the human and JSON pipelines cannot
+	// drift apart.
+	rep, err := server.BuildPlanReport(context.Background(), s, name)
 	if err != nil {
 		log.Fatal(err)
 	}
-	rels := 0
-	for u := 0; u < s.N; u++ {
-		for v := 0; v < s.N; v++ {
-			if poset.Less(u, v) {
-				rels++
-			}
-		}
-	}
-	fmt.Printf("\nprecedence poset: %d ordered pairs, ", rels)
-	fmt.Printf("%d linear extensions (capped at 10000)\n", poset.CountLinearExtensions(10000))
 
-	wc := hypergraph.NewWidthCalc(s.H)
-	fmt.Println("\nplans:")
-	if p, err := core.PlanExpression(s, wc); err == nil {
-		printPlan(p, name)
-	}
-	if s.N <= 18 {
-		if p, err := core.PlanExact(s, wc); err == nil {
-			printPlan(p, name)
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetEscapeHTML(false)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			log.Fatal(err)
 		}
+		return
 	}
-	if p, err := core.PlanGreedy(s, wc); err == nil {
-		printPlan(p, name)
+
+	fmt.Printf("hypergraph: %s\n", rep.Hypergraph)
+	fmt.Printf("tags:       %v\n", rep.Tags)
+
+	fmt.Println("\nexpression tree (Definition 6.18, as in Figures 2–6):")
+	fmt.Print(rep.ExpressionTree)
+	if rep.SoundExpressionTree != "" {
+		fmt.Println("expression tree (flat-rewriting sound form; non-closed Σ anchored):")
+		fmt.Print(rep.SoundExpressionTree)
 	}
-	if p, err := core.PlanApprox(s, wc, core.GreedyDecomp); err == nil {
-		printPlan(p, name)
+
+	fmt.Printf("\nprecedence poset: %d ordered pairs, %d linear extensions (capped at 10000)\n",
+		rep.PosetPairs, rep.LinearExtensions)
+
+	fmt.Println("\nplans:")
+	for _, p := range rep.Plans {
+		fmt.Printf("  %-12s width %.3f  σ = (%s)\n", p.Method, p.Width, strings.Join(p.Order, ", "))
 	}
-	fhtw, _ := wc.FHTW()
-	fmt.Printf("\nfhtw(H) = %.3f (lower bound when all orderings are equivalent)\n", fhtw)
+	fmt.Printf("\nfhtw(H) = %.3f (lower bound when all orderings are equivalent)\n", rep.FHTW)
 
 	// For an executable spec, show what an Engine would serve: the plan a
 	// Prepare caches and the cache behavior of a repeated shape.
@@ -114,55 +117,4 @@ func main() {
 		fmt.Printf("engine: repeated shape -> %d plan miss, %d plan hit\n",
 			st.PlanCacheMisses, st.PlanCacheHits)
 	}
-}
-
-func printPlan(p *core.Plan, name func(int) string) {
-	fmt.Printf("  %-12s width %.3f  σ = %s\n", p.Method, p.Width, core.OrderString(p.Order, name))
-}
-
-func builtinExample(which string) *core.Shape {
-	mk := func(n int, tags []string, edges [][]int, idem bool) *core.Shape {
-		s := &core.Shape{
-			H: hypergraph.NewWithEdges(n, edges...), N: n,
-			Tags: tags, IdempotentInputs: idem,
-		}
-		for i, t := range tags {
-			if t == "⊗" {
-				s.Product.Add(i)
-			}
-			if t == "op:sum" {
-				s.NonClosed.Add(i)
-			}
-		}
-		return s
-	}
-	switch which {
-	case "6.2":
-		return mk(7,
-			[]string{"op:sum", "op:sum", "op:max", "op:sum", "op:sum", "op:max", "op:max"},
-			[][]int{{0, 1}, {0, 2, 4}, {0, 3}, {1, 3, 5}, {1, 6}, {2, 6}}, false)
-	case "6.19":
-		return mk(8,
-			[]string{"op:max", "op:max", "op:sum", "op:sum", "⊗", "op:max", "⊗", "op:max"},
-			[][]int{{0, 2}, {1, 3}, {2, 3}, {0, 4}, {0, 5}, {1, 5}, {1, 4, 6}, {0, 5, 6}, {1, 6, 7}}, true)
-	case "5.6":
-		return mk(6,
-			[]string{"op:max", "op:max", "⊗", "op:sum", "op:max", "op:max"},
-			[][]int{{0, 4}, {1, 4}, {0, 2, 3}, {1, 2, 5}}, true)
-	case "chen-dalmau":
-		n := 4
-		tags := make([]string, n+1)
-		var edges [][]int
-		var sEdge []int
-		for i := 0; i < n; i++ {
-			tags[i] = "⊗"
-			sEdge = append(sEdge, i)
-			edges = append(edges, []int{i, n})
-		}
-		tags[n] = "op:max"
-		edges = append(edges, sEdge)
-		return mk(n+1, tags, edges, true)
-	}
-	log.Fatalf("unknown example %q (want 6.2, 6.19, 5.6 or chen-dalmau)", which)
-	return nil
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"strings"
 	"testing"
@@ -8,17 +9,67 @@ import (
 	"github.com/faqdb/faq/internal/testutil"
 )
 
-// TestFaqplanSmoke drives the planner CLI in-process on a built-in example.
-// main registers its flags on the global FlagSet, so it may run only once
-// per test process.
-func TestFaqplanSmoke(t *testing.T) {
+// runFaqplan drives the CLI in-process (main uses a fresh FlagSet per call,
+// so repeated invocations are fine) and returns its stdout.
+func runFaqplan(t *testing.T, args ...string) string {
+	t.Helper()
 	oldArgs := os.Args
 	defer func() { os.Args = oldArgs }()
-	os.Args = []string{"faqplan", "-example", "6.2"}
-	out := testutil.CaptureStdout(t, main)
+	os.Args = append([]string{"faqplan"}, args...)
+	return testutil.CaptureStdout(t, main)
+}
+
+func TestFaqplanSmoke(t *testing.T) {
+	out := runFaqplan(t, "-example", "6.2")
 	for _, want := range []string{"hypergraph:", "expression tree", "precedence poset"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("faqplan output missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// TestFaqplanJSONGolden pins the -json report for Example 6.2 to a golden
+// file: the JSON is the same PlanReport structure faqd serves on /v1/plan,
+// so a drift here is a wire-format change and should be deliberate.
+// Refresh with:
+//
+//	go run ./cmd/faqplan -example 6.2 -json > cmd/faqplan/testdata/plan_6.2.golden.json
+func TestFaqplanJSONGolden(t *testing.T) {
+	out := runFaqplan(t, "-example", "6.2", "-json")
+	golden, err := os.ReadFile("testdata/plan_6.2.golden.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != string(golden) {
+		t.Fatalf("faqplan -json drifted from golden file:\n--- got ---\n%s\n--- want ---\n%s", out, golden)
+	}
+	// The golden file itself must stay valid JSON with the key fields.
+	var rep map[string]any
+	if err := json.Unmarshal(golden, &rep); err != nil {
+		t.Fatalf("golden file is not JSON: %v", err)
+	}
+	for _, key := range []string{"hypergraph", "expression_tree", "plans", "fhtw"} {
+		if _, ok := rep[key]; !ok {
+			t.Fatalf("golden file missing %q", key)
+		}
+	}
+}
+
+// TestFaqplanJSONSpec checks -json on a spec file (named variables flow
+// into the report).
+func TestFaqplanJSONSpec(t *testing.T) {
+	dir := t.TempDir()
+	path := testutil.WriteFile(t, dir, "q.faq",
+		"var a 2 sum\nvar b 2 sum\nfactor a b\n0 1 = 1\n1 0 = 2\nend\n")
+	out := runFaqplan(t, "-spec", path, "-json")
+	var rep struct {
+		Vars  []string `json:"vars"`
+		Plans []any    `json:"plans"`
+	}
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, out)
+	}
+	if len(rep.Vars) != 2 || rep.Vars[0] != "a" || len(rep.Plans) == 0 {
+		t.Fatalf("spec report: %+v", rep)
 	}
 }

@@ -146,9 +146,13 @@ func main() {
 		}
 	}
 	if cfg.mode == "prepared" {
-		st := eng.Stats()
-		fmt.Printf("engine: %d prepared, %d plan hits, %d plan misses, %d runs\n",
-			st.Prepared, st.PlanCacheHits, st.PlanCacheMisses, st.Runs)
+		// The full plan-cache snapshot, so prepared-mode amortization is
+		// visible without a debugger: one miss (the Prepare), then pure runs.
+		st := eng.StatsSnapshot()
+		fmt.Printf("engine: %d prepared, %d plan hits, %d plan misses, %d coalesced, %d plans cached\n",
+			st.Prepared, st.PlanCacheHits, st.PlanCacheMisses, st.PlanCoalesced, st.PlansCached)
+		fmt.Printf("engine: %d runs, %d cancelled — planning amortized over %d run(s)\n",
+			st.Runs, st.RunsCancelled, st.Runs)
 	}
 	fmt.Printf("stats: %d eliminations, %d intermediate rows (max %d), %d join probes\n",
 		res.Stats.Eliminations, res.Stats.IntermediateRows, res.Stats.MaxIntermediate, res.Stats.Join.Probes)

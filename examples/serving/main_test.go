@@ -1,0 +1,17 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/faqdb/faq/internal/testutil"
+)
+
+func TestServingExample(t *testing.T) {
+	out := testutil.CaptureStdout(t, main)
+	for _, want := range []string{"serving on http://127.0.0.1:", "seed 2:", "1 plan misses, 2 hits"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("serving example output missing %q:\n%s", want, out)
+		}
+	}
+}

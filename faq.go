@@ -144,6 +144,12 @@ func NewEngine[V any](opts EngineOptions) *Engine[V] { return core.NewEngine[V](
 // the Solve and InsideOut compatibility wrappers.
 func DefaultEngine[V any]() *Engine[V] { return core.DefaultEngine[V]() }
 
+// Retype returns a handle of value type V2 onto the same engine runtime:
+// both handles share the plan cache, the persistent pool and the stats.
+// Plans depend only on the untyped query shape, so a multi-domain server
+// can serve every value type from one cache.
+func Retype[V2, V1 any](e *Engine[V1]) *Engine[V2] { return core.Retype[V2](e) }
+
 // Free marks an output variable.
 func Free[V any]() Aggregate[V] { return core.Free[V]() }
 

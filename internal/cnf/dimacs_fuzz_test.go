@@ -15,17 +15,17 @@ func FuzzParseDIMACS(f *testing.F) {
 		"",
 		"c a comment only\n",
 		"p cnf 3 2\n1 -2 0\n2 3 0\n",
-		"p cnf 2 1\n1 -1 0\n",        // tautology, dropped
-		"p cnf 0 0\n",                // empty formula
-		"p cnf 2 2\n1 2 0\n",         // fewer clauses than declared
+		"p cnf 2 1\n1 -1 0\n",         // tautology, dropped
+		"p cnf 0 0\n",                 // empty formula
+		"p cnf 2 2\n1 2 0\n",          // fewer clauses than declared
 		"p cnf 2 1\n1 2 0\n-1 -2 0\n", // more clauses than declared
-		"p cnf -1 0\n",               // negative header count
+		"p cnf -1 0\n",                // negative header count
 		"p cnf 99999999999999999999 1\n1 0\n",
-		"1 2 0\n-3 0\n",              // clauses with no header
-		"p cnf 3 1\n1 2",             // clause without terminating 0
-		"p cnf 3 1\n1 x 0\n",         // junk literal
-		"-9223372036854775808 0\n",   // minInt literal, negation overflows
-		"p cnf 2 1\n2000000000 0\n",  // literal past maxDIMACSVar
+		"1 2 0\n-3 0\n",             // clauses with no header
+		"p cnf 3 1\n1 2",            // clause without terminating 0
+		"p cnf 3 1\n1 x 0\n",        // junk literal
+		"-9223372036854775808 0\n",  // minInt literal, negation overflows
+		"p cnf 2 1\n2000000000 0\n", // literal past maxDIMACSVar
 	} {
 		f.Add([]byte(seed))
 	}

@@ -16,6 +16,7 @@ package core
 import (
 	"container/list"
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"slices"
@@ -55,6 +56,7 @@ type EngineStats struct {
 	Prepared        int64 // Prepare calls that returned a PreparedQuery
 	PlanCacheHits   int64 // Prepares answered from the plan LRU
 	PlanCacheMisses int64 // Prepares that ran the Section 6–7 planners
+	PlanCoalesced   int64 // Prepares that adopted another goroutine's in-flight planning pass
 	PlansCached     int64 // entries currently in the LRU
 	Runs            int64 // prepared runs completed successfully
 	RunsCancelled   int64 // prepared runs aborted by their context
@@ -69,7 +71,13 @@ type engineRT struct {
 	cache    *planCache
 	growable bool // default runtime: pool grows to explicit Workers requests
 
-	prepared, hits, misses, runs, cancelled atomic.Int64
+	// flight is the in-flight single-prepare guard: one entry per shape key
+	// currently being planned, so a thundering herd of cold same-shape
+	// Prepares runs the Section 6–7 planners exactly once.
+	flightMu sync.Mutex
+	flight   map[string]*planFlight
+
+	prepared, hits, misses, coalesced, runs, cancelled atomic.Int64
 }
 
 func newEngineRT(opts EngineOptions, growable bool) *engineRT {
@@ -97,26 +105,95 @@ func (rt *engineRT) stats() EngineStats {
 		Prepared:        rt.prepared.Load(),
 		PlanCacheHits:   rt.hits.Load(),
 		PlanCacheMisses: rt.misses.Load(),
+		PlanCoalesced:   rt.coalesced.Load(),
 		PlansCached:     int64(rt.cache.len()),
 		Runs:            rt.runs.Load(),
 		RunsCancelled:   rt.cancelled.Load(),
 	}
 }
 
-// planFor resolves the plan for a shape through the LRU.
+// ErrPlannerPanic marks the error handed to singleflight waiters when the
+// planning leader died in a panic: the failure is a server-side bug, not a
+// property of the waiters' queries, and callers (the faqd error mapper)
+// should classify it as internal.
+var ErrPlannerPanic = errors.New("planner panicked")
+
+// planFlight is one in-flight planning pass: the leader closes done after
+// writing plan/err, so waiters that receive on done read both race-free.
+type planFlight struct {
+	done chan struct{}
+	plan *Plan
+	err  error
+}
+
+// planFor resolves the plan for a shape through the LRU with an in-flight
+// single-prepare guard: when concurrent Prepares race on a cold shape, one
+// of them (the leader) runs the Section 6–7 planners and the rest adopt its
+// result, counted as PlanCoalesced.  If the leader fails because its own
+// context was cancelled, waiters retry — the next one through becomes the
+// new leader — so one impatient client cannot poison a shape for the herd.
 func (rt *engineRT) planFor(ctx context.Context, s *Shape) (*Plan, error) {
 	key := s.Key() + ";planner=" + rt.planner()
-	if p, ok := rt.cache.get(key); ok {
-		rt.hits.Add(1)
-		return p, nil
+	for {
+		if p, ok := rt.cache.get(key); ok {
+			rt.hits.Add(1)
+			return p, nil
+		}
+		rt.flightMu.Lock()
+		if f, ok := rt.flight[key]; ok {
+			rt.flightMu.Unlock()
+			select {
+			case <-f.done:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			if f.err != nil && (errors.Is(f.err, context.Canceled) || errors.Is(f.err, context.DeadlineExceeded)) {
+				continue // leader's own deadline, not ours: retry
+			}
+			rt.coalesced.Add(1)
+			return f.plan, f.err
+		}
+		// Re-check under the lock: the previous leader may have finished
+		// between our cache miss and taking flightMu.
+		if p, ok := rt.cache.get(key); ok {
+			rt.flightMu.Unlock()
+			rt.hits.Add(1)
+			return p, nil
+		}
+		f := &planFlight{done: make(chan struct{})}
+		if rt.flight == nil {
+			rt.flight = map[string]*planFlight{}
+		}
+		rt.flight[key] = f
+		rt.flightMu.Unlock()
+
+		rt.misses.Add(1)
+		var p *Plan
+		var err error
+		func() {
+			// The flight entry must be cleared and done closed even if a
+			// planner panics — otherwise the stale entry blocks every later
+			// Prepare of this shape until its deadline (net/http recovers
+			// handler panics, so a serving process would live on, poisoned).
+			// The panic itself still propagates to the leader; waiters get
+			// an error instead of a nil plan.
+			defer func() {
+				if p == nil && err == nil {
+					err = fmt.Errorf("core: %w while planning shape %q", ErrPlannerPanic, key)
+				}
+				f.plan, f.err = p, err
+				rt.flightMu.Lock()
+				delete(rt.flight, key)
+				rt.flightMu.Unlock()
+				close(f.done)
+			}()
+			p, err = planWith(ctx, s, rt.planner())
+			if err == nil {
+				rt.cache.put(key, p)
+			}
+		}()
+		return p, err
 	}
-	rt.misses.Add(1)
-	p, err := planWith(ctx, s, rt.planner())
-	if err != nil {
-		return nil, err
-	}
-	rt.cache.put(key, p)
-	return p, nil
 }
 
 // planWith runs the configured Section 6–7 planner.
@@ -205,8 +282,25 @@ func DefaultEngine[V any]() *Engine[V] {
 	return &Engine[V]{rt: defaultRT()}
 }
 
-// Stats returns a snapshot of the engine's counters.
-func (e *Engine[V]) Stats() EngineStats { return e.rt.stats() }
+// StatsSnapshot returns a race-safe snapshot of the engine's counters:
+// every field is an atomic load (PlansCached reads the LRU length under its
+// mutex), so a snapshot taken while prepares and runs are in flight — the
+// /statsz path of a serving daemon — never tears.  The snapshot is not a
+// consistent cut across counters: a prepare between two loads can make
+// Prepared and PlanCacheHits disagree by one, which is fine for monitoring.
+func (e *Engine[V]) StatsSnapshot() EngineStats { return e.rt.stats() }
+
+// Stats is the historical name of StatsSnapshot, kept for existing callers
+// and tests; both read the same atomics.  New code — in particular anything
+// polling a live engine — should call StatsSnapshot.
+func (e *Engine[V]) Stats() EngineStats { return e.StatsSnapshot() }
+
+// Retype returns a handle of value type V2 onto e's runtime: both handles
+// share the plan cache, the persistent pool and the stats.  Plans depend
+// only on the untyped shape, so a plan prepared through either handle
+// serves shape-identical queries of both value types.  Closing either
+// handle closes the shared runtime.
+func Retype[V2, V1 any](e *Engine[V1]) *Engine[V2] { return &Engine[V2]{rt: e.rt} }
 
 // Close stops the engine's persistent workers and waits for them to exit.
 // Prepared queries remain usable — runs after Close execute sequentially.

@@ -1,0 +1,135 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"time"
+)
+
+// Client is a Go client for the faqd API, used by faqload, the smoke
+// harness and the examples.  Zero-value fields get sane defaults from
+// NewClient.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// HTTPClient defaults to http.DefaultClient.  Per-call deadlines come
+	// from the caller's context (and the request's timeout_ms), not from
+	// the transport.
+	HTTPClient *http.Client
+}
+
+// NewClient returns a client for the given base URL.
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: baseURL, HTTPClient: http.DefaultClient}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// do issues one request and decodes the JSON response into out; non-2xx
+// responses are decoded as ErrorResponse and returned as errors.
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		var apiErr ErrorResponse
+		if json.NewDecoder(resp.Body).Decode(&apiErr) == nil && apiErr.Error != "" {
+			return fmt.Errorf("faqd: %s %s: %s (HTTP %d)", method, path, apiErr.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("faqd: %s %s: HTTP %d", method, path, resp.StatusCode)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Query runs one query.
+func (c *Client) Query(ctx context.Context, req *QueryRequest) (*QueryResponse, error) {
+	var resp QueryResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/query", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Plan fetches the plan report for a spec-format query.
+func (c *Client) Plan(ctx context.Context, specText string) (*PlanReport, error) {
+	var rep PlanReport
+	if err := c.do(ctx, http.MethodPost, "/v1/plan", &QueryRequest{Spec: specText}, &rep); err != nil {
+		return nil, err
+	}
+	return &rep, nil
+}
+
+// PlanExample fetches the plan report for a built-in paper example.
+func (c *Client) PlanExample(ctx context.Context, example string) (*PlanReport, error) {
+	var rep PlanReport
+	path := "/v1/plan?example=" + url.QueryEscape(example)
+	if err := c.do(ctx, http.MethodGet, path, nil, &rep); err != nil {
+		return nil, err
+	}
+	return &rep, nil
+}
+
+// Statsz fetches the serving counters.
+func (c *Client) Statsz(ctx context.Context) (*StatszResponse, error) {
+	var st StatszResponse
+	if err := c.do(ctx, http.MethodGet, "/statsz", nil, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Healthz checks liveness.
+func (c *Client) Healthz(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
+}
+
+// WaitHealthy polls /healthz until it answers, ctx expires or timeout
+// elapses — the startup handshake of the smoke and load tools.
+func (c *Client) WaitHealthy(ctx context.Context, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		attempt, cancel := context.WithTimeout(ctx, time.Second)
+		err := c.Healthz(attempt)
+		cancel()
+		if err == nil {
+			return nil
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("faqd at %s not healthy after %v: %w", c.BaseURL, timeout, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}

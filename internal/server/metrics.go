@@ -1,0 +1,83 @@
+package server
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// latencyRingSize is the window of recent query latencies kept for the
+// /statsz percentiles.  A power of two keeps the modulo cheap; 2048 samples
+// are plenty for a p99 with a few percent of noise.
+const latencyRingSize = 2048
+
+// latencyRing is a fixed-size ring of the most recent query latencies.  A
+// small mutex (observe is two stores, snapshot a copy) keeps it simpler and
+// safer than a lock-free ring at the request rates a planner-bound daemon
+// can sustain.
+type latencyRing struct {
+	mu  sync.Mutex
+	buf [latencyRingSize]time.Duration
+	n   int64 // total observations; buf holds the last min(n, size)
+}
+
+func (r *latencyRing) observe(d time.Duration) {
+	r.mu.Lock()
+	r.buf[r.n%latencyRingSize] = d
+	r.n++
+	r.mu.Unlock()
+}
+
+// quantiles returns the given quantiles (in [0, 1]) plus the window max,
+// all zero when nothing has been observed.
+func (r *latencyRing) quantiles(qs ...float64) (out []time.Duration, max time.Duration) {
+	r.mu.Lock()
+	n := r.n
+	if n > latencyRingSize {
+		n = latencyRingSize
+	}
+	window := make([]time.Duration, n)
+	copy(window, r.buf[:n])
+	r.mu.Unlock()
+
+	out = make([]time.Duration, len(qs))
+	if n == 0 {
+		return out, 0
+	}
+	sort.Slice(window, func(i, j int) bool { return window[i] < window[j] })
+	for i, q := range qs {
+		idx := int(q * float64(n-1))
+		out[i] = window[idx]
+	}
+	return out, window[n-1]
+}
+
+// metrics are the server-level counters behind /statsz.
+type metrics struct {
+	start    time.Time
+	requests atomic.Int64 // all requests, any endpoint
+	ok       atomic.Int64 // responses with status < 400
+	errs     atomic.Int64 // responses with status >= 400
+	inFlight atomic.Int64 // non-monitoring requests currently being handled
+	queries  atomic.Int64 // /v1/query requests
+	lat      latencyRing  // /v1/query latencies
+}
+
+func (m *metrics) snapshot() ServerStatz {
+	qs, max := m.lat.quantiles(0.50, 0.99)
+	return ServerStatz{
+		Requests:     m.requests.Load(),
+		RequestsOK:   m.ok.Load(),
+		RequestsErr:  m.errs.Load(),
+		InFlight:     m.inFlight.Load(),
+		Queries:      m.queries.Load(),
+		LatencyP50MS: durationMS(qs[0]),
+		LatencyP99MS: durationMS(qs[1]),
+		LatencyMaxMS: durationMS(max),
+		Goroutines:   runtime.NumGoroutine(),
+	}
+}
+
+func durationMS(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

@@ -1,0 +1,35 @@
+package server
+
+import (
+	"testing"
+	"time"
+)
+
+func TestLatencyRingQuantiles(t *testing.T) {
+	var r latencyRing
+	qs, max := r.quantiles(0.5, 0.99)
+	if qs[0] != 0 || qs[1] != 0 || max != 0 {
+		t.Fatalf("empty ring: %v %v", qs, max)
+	}
+	for i := 1; i <= 100; i++ {
+		r.observe(time.Duration(i) * time.Millisecond)
+	}
+	qs, max = r.quantiles(0.5, 0.99)
+	if qs[0] != 50*time.Millisecond || qs[1] != 99*time.Millisecond || max != 100*time.Millisecond {
+		t.Fatalf("p50=%v p99=%v max=%v", qs[0], qs[1], max)
+	}
+}
+
+// TestLatencyRingWraps overfills the ring and checks only the newest window
+// is reported.
+func TestLatencyRingWraps(t *testing.T) {
+	var r latencyRing
+	for i := 0; i < latencyRingSize+10; i++ {
+		r.observe(time.Duration(i))
+	}
+	qs, _ := r.quantiles(0)
+	// The minimum surviving sample is from the newest window, not sample 0.
+	if qs[0] < 10 {
+		t.Fatalf("stale sample %v survived the wrap", qs[0])
+	}
+}

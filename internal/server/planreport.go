@@ -1,0 +1,132 @@
+package server
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/faqdb/faq/internal/core"
+	"github.com/faqdb/faq/internal/hypergraph"
+)
+
+// BuildPlanReport runs the Figure-1 pipeline on a shape and collects the
+// result: the expression trees, the precedence poset, every planner's
+// ordering and width, and the fhtw lower bound.  name maps variable ids to
+// display names; nil falls back to x0, x1, ...  The exact DP — the only
+// exponential stage — observes ctx, so a serving handler can bound an
+// adversarially wide shape.  This is the single source of the plan report
+// served by /v1/plan and printed by faqplan -json.
+func BuildPlanReport(ctx context.Context, s *core.Shape, name func(int) string) (*PlanReport, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if name == nil {
+		name = func(v int) string { return fmt.Sprintf("x%d", v) }
+	}
+	rep := &PlanReport{
+		Hypergraph: s.H.String(),
+		NumFree:    s.NumFree,
+		Tags:       append([]string(nil), s.Tags...),
+	}
+	for v := 0; v < s.N; v++ {
+		rep.Vars = append(rep.Vars, name(v))
+	}
+
+	scoped := core.BuildExprTreeScoped(s)
+	rep.ExpressionTree = scoped.Pretty(name)
+	sound := core.BuildExprTree(s)
+	if sound.Render() != scoped.Render() {
+		rep.SoundExpressionTree = sound.Pretty(name)
+	}
+
+	poset, err := core.NewPoset(sound, s.N)
+	if err != nil {
+		return nil, err
+	}
+	for u := 0; u < s.N; u++ {
+		for v := 0; v < s.N; v++ {
+			if poset.Less(u, v) {
+				rep.PosetPairs++
+			}
+		}
+	}
+	rep.LinearExtensions = poset.CountLinearExtensions(10000)
+
+	wc := hypergraph.NewWidthCalc(s.H)
+	addPlan := func(p *core.Plan, err error) {
+		if err != nil {
+			return
+		}
+		rep.Plans = append(rep.Plans, planSummary(p, name))
+	}
+	addPlan(core.PlanExpression(s, wc))
+	if s.N <= 18 { // the exact DP is exponential in n
+		p, err := core.PlanExactCtx(ctx, s, wc)
+		if err != nil && ctx.Err() != nil {
+			return nil, err // cancelled mid-DP: report the cancellation
+		}
+		addPlan(p, err)
+	}
+	addPlan(core.PlanGreedy(s, wc))
+	addPlan(core.PlanApprox(s, wc, core.GreedyDecomp))
+	rep.FHTW, _ = wc.FHTW()
+	return rep, nil
+}
+
+// planSummary renders a plan's ordering through the variable-name map.
+func planSummary(p *core.Plan, name func(int) string) PlanSummary {
+	sum := PlanSummary{Method: p.Method, Width: p.Width}
+	for _, v := range p.Order {
+		sum.Order = append(sum.Order, name(v))
+	}
+	return sum
+}
+
+// BuiltinExample returns a named query shape from the paper, used by
+// faqplan -example and GET /v1/plan?example=.  The paper's variables are
+// 1-indexed, so display names are x1..xn.
+func BuiltinExample(which string) (*core.Shape, func(int) string, error) {
+	mk := func(n int, tags []string, edges [][]int, idem bool) *core.Shape {
+		s := &core.Shape{
+			H: hypergraph.NewWithEdges(n, edges...), N: n,
+			Tags: tags, IdempotentInputs: idem,
+		}
+		for i, t := range tags {
+			if t == "⊗" {
+				s.Product.Add(i)
+			}
+			if t == "op:sum" {
+				s.NonClosed.Add(i)
+			}
+		}
+		return s
+	}
+	name := func(v int) string { return fmt.Sprintf("x%d", v+1) }
+	switch which {
+	case "6.2":
+		return mk(7,
+			[]string{"op:sum", "op:sum", "op:max", "op:sum", "op:sum", "op:max", "op:max"},
+			[][]int{{0, 1}, {0, 2, 4}, {0, 3}, {1, 3, 5}, {1, 6}, {2, 6}}, false), name, nil
+	case "6.19":
+		return mk(8,
+			[]string{"op:max", "op:max", "op:sum", "op:sum", "⊗", "op:max", "⊗", "op:max"},
+			[][]int{{0, 2}, {1, 3}, {2, 3}, {0, 4}, {0, 5}, {1, 5}, {1, 4, 6}, {0, 5, 6}, {1, 6, 7}}, true), name, nil
+	case "5.6":
+		return mk(6,
+			[]string{"op:max", "op:max", "⊗", "op:sum", "op:max", "op:max"},
+			[][]int{{0, 4}, {1, 4}, {0, 2, 3}, {1, 2, 5}}, true), name, nil
+	case "chen-dalmau":
+		n := 4
+		tags := make([]string, n+1)
+		var edges [][]int
+		var sEdge []int
+		for i := 0; i < n; i++ {
+			tags[i] = "⊗"
+			sEdge = append(sEdge, i)
+			edges = append(edges, []int{i, n})
+		}
+		tags[n] = "op:max"
+		edges = append(edges, sEdge)
+		return mk(n+1, tags, edges, true), name, nil
+	}
+	return nil, nil, fmt.Errorf("unknown example %q (want 6.2, 6.19, 5.6 or chen-dalmau)", which)
+}

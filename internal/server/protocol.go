@@ -1,0 +1,130 @@
+// The faqd wire protocol: JSON request/response types shared by the server
+// handlers, the Go client and the cmd tools (faqload, faqplan -json).  The
+// protocol is deliberately plain HTTP/JSON — the serving win of the FAQ
+// engine is plan amortization, not wire encoding, and JSON keeps curl and
+// load tools first-class citizens.
+package server
+
+// QueryRequest is the body of POST /v1/query: a query in the internal/spec
+// text format, optionally with fresh factor data and per-request execution
+// knobs.
+type QueryRequest struct {
+	// Spec is the query in the internal/spec format: variable declarations
+	// (domain size + aggregate) followed by factor blocks with listing
+	// data.  The spec's untyped shape is the plan-cache key, so requests
+	// that differ only in data share one planning pass.
+	Spec string `json:"spec"`
+	// Factors optionally replaces the spec's factor data with fresh
+	// same-shape data — the RunWithFactors path of a serving loop.  One
+	// entry per spec factor, in spec order; tuple columns follow the
+	// factor block's variable *declaration* order, i.e. the same column
+	// layout as the spec's own data lines (the server permutes to sorted
+	// storage order, exactly as the spec parser does for inline data).
+	Factors []FactorData `json:"factors,omitempty"`
+	// TimeoutMS bounds planning + execution; 0 means the server default.
+	// The run is also cancelled when the client disconnects.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Workers caps the run's executor concurrency below the engine pool:
+	// 0 means the pool's full width, 1 forces the sequential executor.
+	Workers int `json:"workers,omitempty"`
+}
+
+// FactorData is fresh listing data for one factor: parallel tuple/value
+// slices, zero values dropped server-side.
+type FactorData struct {
+	Tuples [][]int   `json:"tuples"`
+	Values []float64 `json:"values"`
+}
+
+// QueryResponse is the body of a successful POST /v1/query.  Exactly one of
+// Value (no free variables) and Output (free variables) is set.
+type QueryResponse struct {
+	Value     *float64    `json:"value,omitempty"`
+	Output    *OutputData `json:"output,omitempty"`
+	Plan      PlanSummary `json:"plan"`
+	Stats     RunStats    `json:"stats"`
+	ElapsedMS float64     `json:"elapsed_ms"`
+}
+
+// OutputData is a free-variable result in listing representation.
+type OutputData struct {
+	Vars   []string  `json:"vars"`
+	Tuples [][]int   `json:"tuples"`
+	Values []float64 `json:"values"`
+}
+
+// PlanSummary is one planned ordering with its FAQ-width.
+type PlanSummary struct {
+	Method string   `json:"method"`
+	Width  float64  `json:"width"`
+	Order  []string `json:"order"`
+}
+
+// RunStats are the InsideOut work counters of one run.
+type RunStats struct {
+	Eliminations     int   `json:"eliminations"`
+	IntermediateRows int64 `json:"intermediate_rows"`
+	MaxIntermediate  int64 `json:"max_intermediate"`
+	JoinProbes       int64 `json:"join_probes"`
+}
+
+// PlanReport is the Figure-1 ordering-theory pipeline for one query shape:
+// hypergraph → expression tree → precedence poset → planned orderings and
+// widths.  It is served by /v1/plan and emitted by faqplan -json.
+type PlanReport struct {
+	Hypergraph string   `json:"hypergraph"`
+	Vars       []string `json:"vars"`
+	NumFree    int      `json:"num_free"`
+	Tags       []string `json:"tags"`
+	// ExpressionTree is the Definition 6.18 tree (Figures 2–6);
+	// SoundExpressionTree is set only when the flat-rewriting-sound form
+	// (non-closed Σ anchored) differs from it.
+	ExpressionTree      string `json:"expression_tree"`
+	SoundExpressionTree string `json:"sound_expression_tree,omitempty"`
+	PosetPairs          int    `json:"poset_pairs"`
+	// LinearExtensions counts |LinEx(P)|, capped at 10000.
+	LinearExtensions int           `json:"linear_extensions"`
+	Plans            []PlanSummary `json:"plans"`
+	FHTW             float64       `json:"fhtw"`
+}
+
+// StatszResponse is the body of GET /statsz: a race-safe snapshot of the
+// engine counters plus server-level serving metrics.
+type StatszResponse struct {
+	UptimeSeconds float64     `json:"uptime_seconds"`
+	Engine        EngineStatz `json:"engine"`
+	Server        ServerStatz `json:"server"`
+}
+
+// EngineStatz mirrors core.EngineStats (see Engine.StatsSnapshot).
+type EngineStatz struct {
+	Prepared        int64 `json:"prepared"`
+	PlanCacheHits   int64 `json:"plan_cache_hits"`
+	PlanCacheMisses int64 `json:"plan_cache_misses"`
+	PlanCoalesced   int64 `json:"plan_coalesced"`
+	PlansCached     int64 `json:"plans_cached"`
+	Runs            int64 `json:"runs"`
+	RunsCancelled   int64 `json:"runs_cancelled"`
+}
+
+// ServerStatz are the HTTP-level counters.  InFlight excludes the
+// monitoring endpoints (/healthz, /statsz) — an idle daemon reads 0 even
+// while being polled.  Latency percentiles are over a ring of the most
+// recent /v1/query requests (successful or not), so they track current
+// behavior, not lifetime history.
+type ServerStatz struct {
+	Requests     int64   `json:"requests"`
+	RequestsOK   int64   `json:"requests_ok"`
+	RequestsErr  int64   `json:"requests_err"`
+	InFlight     int64   `json:"in_flight"`
+	Queries      int64   `json:"queries"`
+	LatencyP50MS float64 `json:"latency_p50_ms"`
+	LatencyP99MS float64 `json:"latency_p99_ms"`
+	LatencyMaxMS float64 `json:"latency_max_ms"`
+	Goroutines   int     `json:"goroutines"`
+}
+
+// ErrorResponse is the body of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}

@@ -1,0 +1,421 @@
+// Server is the faqd HTTP front end over a shared Engine: the network half
+// of the paper's "questions asked frequently" workload.  Every /v1/query
+// request is parsed with internal/spec, resolved to a PreparedQuery through
+// the engine's shape-keyed plan LRU (same-shape concurrent requests share
+// one plan, and a cold shape is planned exactly once under a thundering
+// herd — see engineRT.planFor), and executed under the request's context:
+// the run observes the timeout_ms deadline and client disconnects at block
+// boundaries, so abandoned queries stop consuming the pool.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/faqdb/faq/internal/core"
+	"github.com/faqdb/faq/internal/factor"
+	"github.com/faqdb/faq/internal/spec"
+)
+
+// Config tunes a Server.  The zero value serves with GOMAXPROCS workers,
+// the default plan cache and planner, a 30s default query deadline and a
+// 16 MiB request-body cap.
+type Config struct {
+	// Workers, PlanCacheSize and Planner configure the shared engine (see
+	// core.EngineOptions).
+	Workers       int
+	PlanCacheSize int
+	Planner       string
+	// DefaultTimeout bounds queries that carry no timeout_ms; <= 0 means
+	// defaultQueryTimeout.  MaxTimeout clamps client-requested deadlines;
+	// <= 0 means no clamp.
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// MaxBodyBytes caps /v1/query request bodies; <= 0 means
+	// defaultMaxBodyBytes.
+	MaxBodyBytes int64
+}
+
+const (
+	defaultQueryTimeout = 30 * time.Second
+	defaultMaxBodyBytes = 16 << 20
+)
+
+// Server serves the faqd API over one engine.  Create with New, expose with
+// Handler, stop with Close after the HTTP server has drained (Close stops
+// the engine pool, so it must not race in-flight runs).
+type Server struct {
+	cfg Config
+	eng *core.Engine[float64]
+	mux *http.ServeMux
+	m   metrics
+}
+
+// Validate checks the engine-facing configuration.  New calls it; command
+// front ends (faqd) call it at flag-parse time for a usage-style exit.
+func (c Config) Validate() error {
+	switch c.Planner {
+	case "", "auto", "exact", "greedy", "approx", "expression":
+	default:
+		return fmt.Errorf("unknown planner %q (want auto, exact, greedy, approx or expression)", c.Planner)
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("workers must be >= 0 (0 = GOMAXPROCS, 1 = sequential), got %d", c.Workers)
+	}
+	return nil
+}
+
+// New builds a server and its engine.  Config mistakes surface here, not
+// as per-request 400s blamed on clients.
+func New(cfg Config) (*Server, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
+	if cfg.DefaultTimeout <= 0 {
+		cfg.DefaultTimeout = defaultQueryTimeout
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = defaultMaxBodyBytes
+	}
+	s := &Server{
+		cfg: cfg,
+		eng: core.NewEngine[float64](core.EngineOptions{
+			Workers:       cfg.Workers,
+			PlanCacheSize: cfg.PlanCacheSize,
+			Planner:       cfg.Planner,
+		}),
+		mux: http.NewServeMux(),
+	}
+	s.m.start = time.Now()
+	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
+	s.mux.HandleFunc("GET /v1/plan", s.handlePlan)
+	s.mux.HandleFunc("POST /v1/plan", s.handlePlan)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /statsz", s.handleStatsz)
+	return s, nil
+}
+
+// Engine exposes the underlying engine (the faqd process shares it between
+// the HTTP front end and any embedded instrumentation).
+func (s *Server) Engine() *core.Engine[float64] { return s.eng }
+
+// Close stops the engine's persistent workers.  Call after the HTTP server
+// has shut down gracefully: http.Server.Shutdown drains in-flight handlers,
+// and every run belongs to some handler.
+func (s *Server) Close() { s.eng.Close() }
+
+// Handler returns the root handler: the API mux wrapped in the metrics
+// middleware.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.m.requests.Add(1)
+		// The monitoring endpoints stay out of the in-flight gauge so an
+		// idle daemon reads 0 even while being polled ("wait for
+		// in_flight == 0, then stop" must terminate).
+		if r.URL.Path != "/healthz" && r.URL.Path != "/statsz" {
+			s.m.inFlight.Add(1)
+			defer s.m.inFlight.Add(-1)
+		}
+		cw := &countingWriter{ResponseWriter: w}
+		start := time.Now()
+		s.mux.ServeHTTP(cw, r)
+		if r.Method == http.MethodPost && r.URL.Path == "/v1/query" {
+			s.m.queries.Add(1)
+			s.m.lat.observe(time.Since(start))
+		}
+		if cw.status() < 400 {
+			s.m.ok.Add(1)
+		} else {
+			s.m.errs.Add(1)
+		}
+	})
+}
+
+// countingWriter records the response status for the ok/err counters.
+type countingWriter struct {
+	http.ResponseWriter
+	wrote int
+}
+
+func (w *countingWriter) WriteHeader(code int) {
+	if w.wrote == 0 {
+		w.wrote = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *countingWriter) Write(b []byte) (int, error) {
+	if w.wrote == 0 {
+		w.wrote = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *countingWriter) status() int {
+	if w.wrote == 0 {
+		return http.StatusOK
+	}
+	return w.wrote
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.Encode(v) // nothing to do about a broken connection here
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// writeDecodeError distinguishes an oversized body (413: actionable —
+// shrink the factors or raise MaxBodyBytes) from malformed JSON (400).
+func writeDecodeError(w http.ResponseWriter, err error) {
+	var tooBig *http.MaxBytesError
+	if errors.As(err, &tooBig) {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			"request body exceeds the %d-byte limit", tooBig.Limit)
+		return
+	}
+	writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+}
+
+// statusClientClosedRequest is the nginx convention for "the client went
+// away before we could answer"; no standard code fits.
+const statusClientClosedRequest = 499
+
+// maxTimeoutMS bounds client-supplied timeout_ms before the Duration
+// multiply: a larger value would overflow int64 nanoseconds to a negative
+// duration, expire instantly and dodge the MaxTimeout clamp.
+const maxTimeoutMS = int64(24 * time.Hour / time.Millisecond)
+
+// queryTimeout resolves a client's timeout_ms against the server default
+// and the operator's MaxTimeout clamp.
+func (s *Server) queryTimeout(timeoutMS int64) time.Duration {
+	timeout := s.cfg.DefaultTimeout
+	if timeoutMS > 0 {
+		timeout = time.Duration(min(timeoutMS, maxTimeoutMS)) * time.Millisecond
+	}
+	if s.cfg.MaxTimeout > 0 && timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+	return timeout
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Statsz())
+}
+
+// Statsz assembles the /statsz snapshot: engine counters (atomic, untorn)
+// plus the server-level metrics.
+func (s *Server) Statsz() StatszResponse {
+	es := s.eng.StatsSnapshot()
+	return StatszResponse{
+		UptimeSeconds: time.Since(s.m.start).Seconds(),
+		Engine: EngineStatz{
+			Prepared:        es.Prepared,
+			PlanCacheHits:   es.PlanCacheHits,
+			PlanCacheMisses: es.PlanCacheMisses,
+			PlanCoalesced:   es.PlanCoalesced,
+			PlansCached:     es.PlansCached,
+			Runs:            es.Runs,
+			RunsCancelled:   es.RunsCancelled,
+		},
+		Server: s.m.snapshot(),
+	}
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	var req QueryRequest
+	if err := dec.Decode(&req); err != nil {
+		writeDecodeError(w, err)
+		return
+	}
+	if strings.TrimSpace(req.Spec) == "" {
+		writeError(w, http.StatusBadRequest, "empty spec")
+		return
+	}
+	q, layout, err := spec.ParseLayout(strings.NewReader(req.Spec))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if req.Workers < 0 {
+		writeError(w, http.StatusBadRequest, "workers must be >= 0, got %d", req.Workers)
+		return
+	}
+
+	// The run's context: cancelled when the client disconnects, bounded by
+	// the request deadline (clamped to the server maximum).
+	ctx, cancel := context.WithTimeout(r.Context(), s.queryTimeout(req.TimeoutMS))
+	defer cancel()
+
+	opts := core.DefaultOptions()
+	opts.Workers = req.Workers
+
+	prep, err := s.eng.PrepareCtx(ctx, q, opts)
+	if err != nil {
+		s.writeRunError(w, ctx, err)
+		return
+	}
+
+	var res *core.Result[float64]
+	if req.Factors != nil {
+		factors, ferr := buildFactors(q, layout, req.Factors)
+		if ferr != nil {
+			writeError(w, http.StatusBadRequest, "%v", ferr)
+			return
+		}
+		res, err = prep.RunWithFactors(ctx, factors)
+	} else {
+		res, err = prep.Run(ctx)
+	}
+	if err != nil {
+		s.writeRunError(w, ctx, err)
+		return
+	}
+
+	resp := &QueryResponse{
+		Plan: planSummary(prep.Plan(), q.VarName),
+		Stats: RunStats{
+			Eliminations:     res.Stats.Eliminations,
+			IntermediateRows: res.Stats.IntermediateRows,
+			MaxIntermediate:  res.Stats.MaxIntermediate,
+			JoinProbes:       res.Stats.Join.Probes,
+		},
+		ElapsedMS: durationMS(time.Since(start)),
+	}
+	if q.NumFree == 0 {
+		v := res.Scalar()
+		resp.Value = &v
+	} else {
+		out := &OutputData{Tuples: res.Output.Tuples, Values: res.Output.Values}
+		if out.Tuples == nil {
+			out.Tuples = [][]int{} // an empty output is [], not null
+		}
+		if out.Values == nil {
+			out.Values = []float64{}
+		}
+		for _, v := range res.Output.Vars {
+			out.Vars = append(out.Vars, q.VarName(v))
+		}
+		resp.Output = out
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// writeRunError maps a prepare/run failure to a status: deadline → 504,
+// client disconnect → 499, a planner that died serving someone's in-flight
+// prepare → 500 (server bug, not this client's query), anything else is a
+// bad query → 400.
+func (s *Server) writeRunError(w http.ResponseWriter, ctx context.Context, err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusGatewayTimeout, "query deadline exceeded")
+	case errors.Is(err, context.Canceled) && ctx.Err() != nil:
+		writeError(w, statusClientClosedRequest, "client closed request")
+	case errors.Is(err, core.ErrPlannerPanic):
+		writeError(w, http.StatusInternalServerError, "%v", err)
+	default:
+		writeError(w, http.StatusBadRequest, "%v", err)
+	}
+}
+
+// buildFactors turns the request's fresh factor data into factors with the
+// spec query's variable scopes — the same-shape contract RunWithFactors
+// enforces.  Request tuple columns are in the spec factor block's
+// *declaration* order (the same column order as the spec's own data lines);
+// they are permuted here to the sorted order factors store, exactly as
+// spec.Parse permutes inline data, so a client can ship fresh data in the
+// layout of its own spec without silent transposition.
+func buildFactors(q *core.Query[float64], layout [][]int, data []FactorData) ([]*factor.Factor[float64], error) {
+	if len(data) != len(q.Factors) {
+		return nil, fmt.Errorf("request has %d factors, spec declares %d", len(data), len(q.Factors))
+	}
+	factors := make([]*factor.Factor[float64], len(data))
+	for i, fd := range data {
+		decl := layout[i]
+		perm := make([]int, len(decl))
+		for j := range perm {
+			perm[j] = j
+		}
+		sort.Slice(perm, func(a, b int) bool { return decl[perm[a]] < decl[perm[b]] })
+		tuples := make([][]int, len(fd.Tuples))
+		for t, tup := range fd.Tuples {
+			if len(tup) != len(decl) {
+				return nil, fmt.Errorf("factor %d: tuple %v has arity %d, want %d", i, tup, len(tup), len(decl))
+			}
+			row := make([]int, len(decl))
+			for j, p := range perm {
+				row[j] = tup[p]
+			}
+			tuples[t] = row
+		}
+		f, err := factor.New(q.D, q.Factors[i].Vars, tuples, fd.Values, nil)
+		if err != nil {
+			return nil, fmt.Errorf("factor %d: %v", i, err)
+		}
+		factors[i] = f
+	}
+	return factors, nil
+}
+
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	var shape *core.Shape
+	var name func(int) string
+	var timeoutMS int64
+	switch {
+	case r.Method == http.MethodGet && r.URL.Query().Get("example") != "":
+		var err error
+		shape, name, err = BuiltinExample(r.URL.Query().Get("example"))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	case r.Method == http.MethodPost:
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+		dec.DisallowUnknownFields()
+		var req QueryRequest
+		if err := dec.Decode(&req); err != nil {
+			writeDecodeError(w, err)
+			return
+		}
+		q, err := spec.Parse(strings.NewReader(req.Spec))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		shape, name, timeoutMS = q.Shape(), q.VarName, req.TimeoutMS
+	default:
+		writeError(w, http.StatusBadRequest,
+			"plan wants GET ?example=<name> or POST {\"spec\": ...}")
+		return
+	}
+	// Like /v1/query, the report honors the request's timeout_ms (and the
+	// operator's clamp) and is cancelled when the client disconnects: the
+	// exact DP inside is the one exponential stage a wide shape could wedge
+	// the daemon on.
+	ctx, cancel := context.WithTimeout(r.Context(), s.queryTimeout(timeoutMS))
+	defer cancel()
+	rep, err := BuildPlanReport(ctx, shape, name)
+	if err != nil {
+		s.writeRunError(w, ctx, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
+}

@@ -32,6 +32,16 @@ import (
 
 // Parse reads a query specification.
 func Parse(r io.Reader) (*core.Query[float64], error) {
+	q, _, err := ParseLayout(r)
+	return q, err
+}
+
+// ParseLayout is Parse, additionally returning each factor's variables in
+// *declaration order* (the column order of its data lines).  Factors in the
+// parsed query always carry sorted variables with permuted tuples; callers
+// accepting out-of-band data in spec column order (the faqd `factors`
+// request field) need the declared layout to apply the same permutation.
+func ParseLayout(r io.Reader) (*core.Query[float64], [][]int, error) {
 	d := semiring.Float()
 	q := &core.Query[float64]{D: d}
 	names := map[string]int{}
@@ -45,12 +55,15 @@ func Parse(r io.Reader) (*core.Query[float64], error) {
 	var perm []int // column permutation to sorted vars
 	var sortedVars []int
 
+	var layout [][]int // per factor: variables in declaration order
+
 	closeFactor := func() error {
 		f, err := factor.New(d, sortedVars, tuples, values, nil)
 		if err != nil {
 			return err
 		}
 		q.Factors = append(q.Factors, f)
+		layout = append(layout, factorVars)
 		factorVars, tuples, values, perm, sortedVars = nil, nil, nil, nil, nil
 		return nil
 	}
@@ -68,26 +81,26 @@ func Parse(r io.Reader) (*core.Query[float64], error) {
 		switch fields[0] {
 		case "var":
 			if factorVars != nil {
-				return nil, fmt.Errorf("spec:%d: var inside factor block", lineNo)
+				return nil, nil, fmt.Errorf("spec:%d: var inside factor block", lineNo)
 			}
 			if len(fields) != 4 {
-				return nil, fmt.Errorf("spec:%d: want 'var <name> <dom> <agg>'", lineNo)
+				return nil, nil, fmt.Errorf("spec:%d: want 'var <name> <dom> <agg>'", lineNo)
 			}
 			name := fields[1]
 			if _, dup := names[name]; dup {
-				return nil, fmt.Errorf("spec:%d: duplicate variable %q", lineNo, name)
+				return nil, nil, fmt.Errorf("spec:%d: duplicate variable %q", lineNo, name)
 			}
 			dom, err := strconv.Atoi(fields[2])
 			if err != nil || dom < 1 {
-				return nil, fmt.Errorf("spec:%d: bad domain size %q", lineNo, fields[2])
+				return nil, nil, fmt.Errorf("spec:%d: bad domain size %q", lineNo, fields[2])
 			}
 			agg, err := parseAgg(fields[3])
 			if err != nil {
-				return nil, fmt.Errorf("spec:%d: %v", lineNo, err)
+				return nil, nil, fmt.Errorf("spec:%d: %v", lineNo, err)
 			}
 			if agg.Kind == core.KindFree {
 				if q.NumFree != q.NVars {
-					return nil, fmt.Errorf("spec:%d: free variable %q after a bound variable", lineNo, name)
+					return nil, nil, fmt.Errorf("spec:%d: free variable %q after a bound variable", lineNo, name)
 				}
 				q.NumFree++
 			}
@@ -98,15 +111,15 @@ func Parse(r io.Reader) (*core.Query[float64], error) {
 			q.NVars++
 		case "factor":
 			if factorVars != nil {
-				return nil, fmt.Errorf("spec:%d: nested factor block", lineNo)
+				return nil, nil, fmt.Errorf("spec:%d: nested factor block", lineNo)
 			}
 			if len(fields) < 2 {
-				return nil, fmt.Errorf("spec:%d: factor needs at least one variable", lineNo)
+				return nil, nil, fmt.Errorf("spec:%d: factor needs at least one variable", lineNo)
 			}
 			for _, name := range fields[1:] {
 				v, ok := names[name]
 				if !ok {
-					return nil, fmt.Errorf("spec:%d: unknown variable %q", lineNo, name)
+					return nil, nil, fmt.Errorf("spec:%d: unknown variable %q", lineNo, name)
 				}
 				factorVars = append(factorVars, v)
 			}
@@ -122,14 +135,14 @@ func Parse(r io.Reader) (*core.Query[float64], error) {
 			}
 		case "end":
 			if factorVars == nil {
-				return nil, fmt.Errorf("spec:%d: end outside factor block", lineNo)
+				return nil, nil, fmt.Errorf("spec:%d: end outside factor block", lineNo)
 			}
 			if err := closeFactor(); err != nil {
-				return nil, fmt.Errorf("spec:%d: %v", lineNo, err)
+				return nil, nil, fmt.Errorf("spec:%d: %v", lineNo, err)
 			}
 		default:
 			if factorVars == nil {
-				return nil, fmt.Errorf("spec:%d: unexpected %q outside a factor block", lineNo, fields[0])
+				return nil, nil, fmt.Errorf("spec:%d: unexpected %q outside a factor block", lineNo, fields[0])
 			}
 			eq := -1
 			for i, f := range fields {
@@ -139,34 +152,34 @@ func Parse(r io.Reader) (*core.Query[float64], error) {
 				}
 			}
 			if eq != len(factorVars) || len(fields) != eq+2 {
-				return nil, fmt.Errorf("spec:%d: want '%d values = weight'", lineNo, len(factorVars))
+				return nil, nil, fmt.Errorf("spec:%d: want '%d values = weight'", lineNo, len(factorVars))
 			}
 			tup := make([]int, len(factorVars))
 			for i, p := range perm {
 				x, err := strconv.Atoi(fields[p])
 				if err != nil {
-					return nil, fmt.Errorf("spec:%d: bad value %q", lineNo, fields[p])
+					return nil, nil, fmt.Errorf("spec:%d: bad value %q", lineNo, fields[p])
 				}
 				tup[i] = x
 			}
 			val, err := strconv.ParseFloat(fields[eq+1], 64)
 			if err != nil {
-				return nil, fmt.Errorf("spec:%d: bad weight %q", lineNo, fields[eq+1])
+				return nil, nil, fmt.Errorf("spec:%d: bad weight %q", lineNo, fields[eq+1])
 			}
 			tuples = append(tuples, tup)
 			values = append(values, val)
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if factorVars != nil {
-		return nil, fmt.Errorf("spec: unterminated factor block")
+		return nil, nil, fmt.Errorf("spec: unterminated factor block")
 	}
 	if err := q.Validate(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return q, nil
+	return q, layout, nil
 }
 
 func parseAgg(s string) (core.Aggregate[float64], error) {

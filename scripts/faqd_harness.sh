@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Build faqd + faqload, boot a daemon on a free port, drive it, then shut it
+# down gracefully (SIGTERM) and propagate its exit status — so the harness
+# also verifies the drain path every time it runs.
+#
+#   scripts/faqd_harness.sh smoke              # make serve-smoke / CI gate
+#   scripts/faqd_harness.sh bench BENCH_PR3.json   # serving benchmark
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+mode="${1:-smoke}"
+json_out="${2:-BENCH_PR3.json}"
+
+bin="$(mktemp -d)"
+addr_file="$bin/addr"
+faqd_pid=""
+cleanup() {
+  [ -n "$faqd_pid" ] && kill "$faqd_pid" 2>/dev/null || true
+  [ -n "$faqd_pid" ] && wait "$faqd_pid" 2>/dev/null || true
+  rm -rf "$bin"
+}
+trap cleanup EXIT
+
+go build -o "$bin/faqd" ./cmd/faqd
+go build -o "$bin/faqload" ./cmd/faqload
+
+"$bin/faqd" -addr 127.0.0.1:0 -addr-file "$addr_file" &
+faqd_pid=$!
+
+for _ in $(seq 1 100); do
+  [ -s "$addr_file" ] && break
+  sleep 0.1
+done
+[ -s "$addr_file" ] || { echo "faqd never wrote $addr_file" >&2; exit 1; }
+addr="$(cat "$addr_file")"
+echo "harness: faqd at $addr"
+
+case "$mode" in
+  smoke)
+    "$bin/faqload" -addr "$addr" -smoke
+    ;;
+  bench)
+    "$bin/faqload" -addr "$addr" -concurrency 8 -duration 2s -json "$json_out"
+    ;;
+  *)
+    echo "usage: $0 smoke|bench [json-out]" >&2
+    exit 2
+    ;;
+esac
+
+# Graceful shutdown: SIGTERM, then faqd's own exit status.
+kill "$faqd_pid"
+status=0
+wait "$faqd_pid" || status=$?
+faqd_pid=""
+exit "$status"
