@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci vet build test race bench bench-baseline bench-serving serve-smoke fuzz
+.PHONY: ci vet build test race bench bench-baseline bench-layout bench-serving serve-smoke fuzz
 
 # Full local CI pass: what .github/workflows/ci.yml runs.
 ci: vet build test race bench serve-smoke
@@ -29,6 +29,15 @@ bench:
 # this as a non-blocking step; the JSON is the comparable artifact).
 bench-baseline:
 	$(GO) test -run '^$$' -bench 'BenchmarkParallel|BenchmarkPrepared' -benchtime 3x -json . | tee BENCH_PR2.json
+
+# Data-layout benchmarks: CSR trie build (identity + permuted) and galloping
+# probe, cold vs warm-cache elimination, columnar factor construction /
+# lookup / grouping, plus the parallel and prepared families — all with
+# -benchmem so allocation counts are part of the record.  CI runs this as a
+# non-blocking step; BENCH_PR4.json is the comparable artifact.
+bench-layout:
+	$(GO) test -run '^$$' -bench 'BenchmarkLayout' -benchtime 3x -benchmem -json ./internal/join ./internal/factor | tee BENCH_PR4.json
+	$(GO) test -run '^$$' -bench 'BenchmarkParallel|BenchmarkPrepared' -benchtime 3x -benchmem -json . | tee -a BENCH_PR4.json
 
 # Serving smoke: boot faqd on a free port, hit /healthz and one /v1/query
 # (verified against a local Solve), shut down gracefully.

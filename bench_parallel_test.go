@@ -60,6 +60,7 @@ func benchExecutors[V any](b *testing.B, q *Query[V], order []int) {
 		opts Options
 	}{{"seq", seq}, {"pool", pool}} {
 		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := InsideOut(q, order, bc.opts); err != nil {
 					b.Fatal(err)

@@ -93,6 +93,7 @@ func benchPrepared(b *testing.B, q *Query[float64]) {
 	}
 
 	b.Run("solve", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, _, err := Solve(q, DefaultOptions()); err != nil {
 				b.Fatal(err)
@@ -100,6 +101,7 @@ func benchPrepared(b *testing.B, q *Query[float64]) {
 		}
 	})
 	b.Run("prepared", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := prep.Run(ctx); err != nil {
 				b.Fatal(err)
@@ -107,6 +109,7 @@ func benchPrepared(b *testing.B, q *Query[float64]) {
 		}
 	})
 	b.Run("insideout", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := InsideOut(q, order, DefaultOptions()); err != nil {
 				b.Fatal(err)
@@ -135,6 +138,7 @@ func BenchmarkPreparedSwapFactors(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := prep.RunWithFactors(ctx, datasets[i%len(datasets)].Factors); err != nil {

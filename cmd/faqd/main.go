@@ -6,7 +6,7 @@
 // Usage:
 //
 //	faqd [-addr :8080] [-workers n] [-plan-cache n] [-planner auto]
-//	     [-timeout 30s] [-max-timeout 0] [-addr-file path]
+//	     [-timeout 30s] [-max-timeout 0] [-max-inflight n] [-addr-file path]
 //
 // Endpoints:
 //
@@ -38,21 +38,22 @@ import (
 
 // config collects the flag values.
 type config struct {
-	addr       string
-	addrFile   string
-	workers    int
-	planCache  int
-	planner    string
-	timeout    time.Duration
-	maxTimeout time.Duration
-	drainGrace time.Duration
+	addr        string
+	addrFile    string
+	workers     int
+	planCache   int
+	planner     string
+	timeout     time.Duration
+	maxTimeout  time.Duration
+	drainGrace  time.Duration
+	maxInflight int
 }
 
 // validate delegates to the one authoritative check in server.Config, so
 // the planner whitelist has a single home; here it just buys the
 // flag-error exit code (2) and a usage print.
 func (c config) validate() error {
-	return server.Config{Workers: c.workers, Planner: c.planner}.Validate()
+	return server.Config{Workers: c.workers, Planner: c.planner, MaxInflight: c.maxInflight}.Validate()
 }
 
 func main() {
@@ -65,6 +66,7 @@ func main() {
 	flag.DurationVar(&cfg.timeout, "timeout", 30*time.Second, "default per-query deadline")
 	flag.DurationVar(&cfg.maxTimeout, "max-timeout", 0, "clamp client-requested deadlines (0 = no clamp)")
 	flag.DurationVar(&cfg.drainGrace, "drain-grace", 30*time.Second, "shutdown drain budget for in-flight queries")
+	flag.IntVar(&cfg.maxInflight, "max-inflight", 0, "bound concurrent query runs; beyond it respond 429 (0 = unbounded)")
 	flag.Parse()
 	if err := cfg.validate(); err != nil {
 		fmt.Fprintf(os.Stderr, "faqd: %v\n", err)
@@ -96,6 +98,7 @@ func run(ctx context.Context, cfg config, out *os.File) error {
 		Planner:        cfg.planner,
 		DefaultTimeout: cfg.timeout,
 		MaxTimeout:     cfg.maxTimeout,
+		MaxInflight:    cfg.maxInflight,
 	})
 	if err != nil {
 		return err

@@ -169,11 +169,13 @@ func main() {
 		fmt.Print(q.VarName(v))
 	}
 	fmt.Println(")")
-	for i, tup := range res.Output.Tuples {
+	var tup []int
+	for i := 0; i < res.Output.Size(); i++ {
 		if i >= cfg.maxRows {
 			fmt.Printf("  ... %d more rows\n", res.Output.Size()-cfg.maxRows)
 			break
 		}
+		tup = res.Output.Tuple(i, tup)
 		fmt.Printf("  %v = %v\n", tup, res.Output.Values[i])
 	}
 }

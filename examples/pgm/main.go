@@ -39,8 +39,8 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Println("normalized marginal of x0:")
-	for i, tup := range mu.Tuples {
-		fmt.Printf("  P(x0=%d) = %.4f\n", tup[0], mu.Values[i]/z)
+	for i := 0; i < mu.Size(); i++ {
+		fmt.Printf("  P(x0=%d) = %.4f\n", mu.Row(i)[0], mu.Values[i]/z)
 	}
 
 	// A full single-site marginal sweep; symmetric site positions compile

@@ -104,7 +104,8 @@ func main() {
 	smallFactors := edgeFactors(42, d)
 	var smallTuples [][]int
 	var smallValues []float64
-	for i, t := range smallFactors[0].Tuples {
+	for i := 0; i < smallFactors[0].Size(); i++ {
+		t := smallFactors[0].Tuple(i, nil)
 		if t[0] < 8 && t[1] < 8 {
 			smallTuples = append(smallTuples, t)
 			smallValues = append(smallValues, smallFactors[0].Values[i])

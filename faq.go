@@ -199,7 +199,11 @@ func DefaultOptions() Options { return core.DefaultOptions() }
 
 // InsideOut evaluates the query along a φ-equivalent variable ordering
 // (Algorithm 1 of the paper).  One-shot compatibility wrapper over the
-// default engine; prefer Engine.PrepareOrder for repeated runs.
+// default engine.
+//
+// Deprecated: use Engine.PrepareOrder and PreparedQuery.Run — a prepared
+// query validates once, reuses the engine's persistent pool, and caches its
+// factor tries across runs; InsideOut re-does all of that every call.
 func InsideOut[V any](q *Query[V], order []int, opts Options) (*Result[V], error) {
 	return core.InsideOut(q, order, opts)
 }
@@ -207,20 +211,30 @@ func InsideOut[V any](q *Query[V], order []int, opts Options) (*Result[V], error
 // InsideOutCtx is InsideOut under a context: cancellation is observed
 // between elimination steps and at block boundaries, with no goroutine
 // leaked.
+//
+// Deprecated: use Engine.PrepareOrder and PreparedQuery.Run with the
+// context, for the same reasons as InsideOut.
 func InsideOutCtx[V any](ctx context.Context, q *Query[V], order []int, opts Options) (*Result[V], error) {
 	return core.InsideOutCtx(ctx, q, order, opts)
 }
 
 // Solve plans an ordering (exact DP over LinEx(P) for small queries, the
 // Section 7 approximation otherwise) and runs InsideOut.  One-shot
-// compatibility wrapper over the default engine — it replans on every call;
-// prefer Engine.Prepare for repeated shapes.
+// compatibility wrapper over the default engine.
+//
+// Deprecated: use Engine.Prepare and PreparedQuery.Run — Solve re-runs the
+// Section 6–7 planners on every call and rebuilds every trie; the prepared
+// path plans once per shape (LRU-cached across value types) and serves
+// repeat runs from cached tries.
 func Solve[V any](q *Query[V], opts Options) (*Result[V], *Plan, error) {
 	return core.Solve(q, opts)
 }
 
 // SolveCtx is Solve under a context, observed by the exact planner and at
 // the block boundaries of every scan.
+//
+// Deprecated: use Engine.PrepareCtx and PreparedQuery.Run with the context,
+// for the same reasons as Solve.
 func SolveCtx[V any](ctx context.Context, q *Query[V], opts Options) (*Result[V], *Plan, error) {
 	return core.SolveCtx(ctx, q, opts)
 }

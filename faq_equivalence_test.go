@@ -107,12 +107,15 @@ func matches[V any](d *Domain[V], got, want *Factor[V], eq func(a, b V) bool) bo
 	if got == nil || want == nil {
 		return got == want
 	}
-	for i, t := range got.Tuples {
+	var t []int
+	for i := 0; i < got.Size(); i++ {
+		t = got.Tuple(i, t)
 		if !eq(got.Values[i], want.ValueOrZero(d, t)) {
 			return false
 		}
 	}
-	for i, t := range want.Tuples {
+	for i := 0; i < want.Size(); i++ {
+		t = want.Tuple(i, t)
 		if !eq(got.ValueOrZero(d, t), want.Values[i]) {
 			return false
 		}

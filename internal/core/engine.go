@@ -219,9 +219,9 @@ func planWith(ctx context.Context, s *Shape, planner string) (*Plan, error) {
 // run's in-flight blocks below the pool size (the default runtime instead
 // grows its pool, preserving the historical "Workers = that much
 // concurrency" contract of the one-shot entry points).
-func rtExecutor[V any](rt *engineRT, workers int) executor[V] {
+func rtExecutor[V any](rt *engineRT, workers int, cache *join.TrieCache[V]) executor[V] {
 	if workers == 1 {
-		return seqExecutor[V]{}
+		return seqExecutor[V]{cache: cache}
 	}
 	if workers > 1 && rt.growable {
 		// Growth is capped: pool workers are persistent, so an oversized
@@ -232,9 +232,9 @@ func rtExecutor[V any](rt *engineRT, workers int) executor[V] {
 		rt.pool.Grow(min(workers, maxDefaultPoolSize()))
 	}
 	if rt.pool.Size() <= 1 && workers <= 1 {
-		return seqExecutor[V]{}
+		return seqExecutor[V]{cache: cache}
 	}
-	return poolExecutor[V]{pool: rt.pool, limit: workers}
+	return poolExecutor[V]{pool: rt.pool, limit: workers, cache: cache}
 }
 
 // maxDefaultPoolSize bounds the shared default pool: generous enough that
@@ -340,7 +340,8 @@ func (e *Engine[V]) PrepareCtx(ctx context.Context, q *Query[V], opts Options) (
 		return nil, err
 	}
 	e.rt.prepared.Add(1)
-	return &PreparedQuery[V]{rt: e.rt, q: q, plan: plan, opts: opts}, nil
+	return &PreparedQuery[V]{rt: e.rt, q: q, plan: plan, opts: opts,
+		tries: join.NewTrieCache(q.Factors)}, nil
 }
 
 // PrepareOrder binds q to an explicit variable ordering with the given
@@ -362,7 +363,8 @@ func (e *Engine[V]) PrepareOrder(q *Query[V], order []int, opts Options) (*Prepa
 	}
 	plan := &Plan{Order: append([]int(nil), order...), Width: w, Method: "user"}
 	e.rt.prepared.Add(1)
-	return &PreparedQuery[V]{rt: e.rt, q: q, plan: plan, opts: opts}, nil
+	return &PreparedQuery[V]{rt: e.rt, q: q, plan: plan, opts: opts,
+		tries: join.NewTrieCache(q.Factors)}, nil
 }
 
 // PreparedQuery is a planned FAQ query bound to an engine: the Section 6–7
@@ -374,6 +376,12 @@ type PreparedQuery[V any] struct {
 	q    *Query[V]
 	plan *Plan
 	opts Options
+	// tries memoizes the CSR tries and indicator projections of the
+	// prepared input factors across runs, keyed by factor identity: a warm
+	// repeat Run skips the trie-build phase entirely.  RunWithFactors runs
+	// without it — fresh data is a fresh identity, so nothing stale can be
+	// served and transient factors never pin cache memory.
+	tries *join.TrieCache[V]
 }
 
 // Plan returns the cached plan.  Treat it as read-only: it may be shared
@@ -387,7 +395,7 @@ func (p *PreparedQuery[V]) Query() *Query[V] { return p.q }
 // Cancellation is observed between elimination steps and at block
 // boundaries; a cancelled run returns ctx.Err() with no goroutine leaked.
 func (p *PreparedQuery[V]) Run(ctx context.Context) (*Result[V], error) {
-	return p.run(ctx, p.q)
+	return p.run(ctx, p.q, p.tries)
 }
 
 // RunWithFactors is Run with the prepared factors replaced by fresh data of
@@ -410,7 +418,7 @@ func (p *PreparedQuery[V]) RunWithFactors(ctx context.Context, factors []*factor
 	if err := nq.Validate(); err != nil { // fresh data: check domain bounds once
 		return nil, err
 	}
-	return p.run(ctx, &nq)
+	return p.run(ctx, &nq, nil) // fresh factors: the prepared trie cache does not apply
 }
 
 func factorVars[V any](f *factor.Factor[V]) []int {
@@ -422,11 +430,11 @@ func factorVars[V any](f *factor.Factor[V]) []int {
 
 // run executes an already-validated query against the cached plan (Prepare
 // and RunWithFactors validate; Run reuses the data validated at Prepare).
-func (p *PreparedQuery[V]) run(ctx context.Context, q *Query[V]) (*Result[V], error) {
+func (p *PreparedQuery[V]) run(ctx context.Context, q *Query[V], cache *join.TrieCache[V]) (*Result[V], error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	res, err := insideOutValidated(ctx, q, p.plan.Order, p.opts, rtExecutor[V](p.rt, p.opts.Workers))
+	res, err := insideOutValidated(ctx, q, p.plan.Order, p.opts, rtExecutor(p.rt, p.opts.Workers, cache))
 	if err != nil {
 		if ctx.Err() != nil {
 			p.rt.cancelled.Add(1)

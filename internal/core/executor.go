@@ -20,6 +20,11 @@ import (
 // Every method takes the run's context and observes cancellation at block
 // boundaries: a cancelled scan drops its remaining blocks, waits for blocks
 // in flight and returns ctx.Err() — no goroutine outlives the call.
+//
+// Both executors carry the run's trie cache (nil outside the prepared-query
+// path): CSR tries and indicator projections of the prepared input factors
+// are built once and reused by every subsequent run of the same
+// PreparedQuery.
 type executor[V any] interface {
 	// eliminate joins inputs over vars and ⊕-aggregates the last variable.
 	eliminate(ctx context.Context, d *semiring.Domain[V], op *semiring.Op[V],
@@ -39,39 +44,42 @@ type executor[V any] interface {
 // 1 forces the sequential executor; 0 (= GOMAXPROCS) or more run on the
 // process-wide shared pool of the default engine, grown on demand so an
 // explicit Workers above the pool size still gets that much concurrency.
+// One-shot runs have no prepared factors, hence no trie cache.
 func newExecutor[V any](workers int) executor[V] {
-	return rtExecutor[V](defaultRT(), workers)
+	return rtExecutor[V](defaultRT(), workers, nil)
 }
 
 // seqExecutor is the single-goroutine reference implementation.  Its block
 // boundary is the whole scan: cancellation is observed between scans (the
 // InsideOut loop additionally checks between elimination steps).
-type seqExecutor[V any] struct{}
+type seqExecutor[V any] struct {
+	cache *join.TrieCache[V]
+}
 
-func (seqExecutor[V]) eliminate(ctx context.Context, d *semiring.Domain[V], op *semiring.Op[V],
+func (e seqExecutor[V]) eliminate(ctx context.Context, d *semiring.Domain[V], op *semiring.Op[V],
 	inputs []*factor.Factor[V], vars []int, st *join.Stats) (*factor.Factor[V], error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	return join.EliminateInnermost(d, op, inputs, vars, st)
+	return join.EliminateInnermostOn(ctx, nil, 1, e.cache, d, op, inputs, vars, st)
 }
 
-func (seqExecutor[V]) joinAll(ctx context.Context, d *semiring.Domain[V], inputs []*factor.Factor[V],
+func (e seqExecutor[V]) joinAll(ctx context.Context, d *semiring.Domain[V], inputs []*factor.Factor[V],
 	vars []int, st *join.Stats) (*factor.Factor[V], error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	return join.JoinAll(d, inputs, vars, st)
+	return join.JoinAllOn(ctx, nil, 1, e.cache, d, inputs, vars, st)
 }
 
-func (seqExecutor[V]) project(ctx context.Context, d *semiring.Domain[V],
+func (e seqExecutor[V]) project(ctx context.Context, d *semiring.Domain[V],
 	fs []*factor.Factor[V], onto []int) ([]*factor.Factor[V], error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	out := make([]*factor.Factor[V], len(fs))
 	for i, f := range fs {
-		out[i] = f.IndicatorProjection(d, onto)
+		out[i] = e.cache.Projection(d, f, onto)
 	}
 	return out, nil
 }
@@ -82,6 +90,7 @@ func (seqExecutor[V]) project(ctx context.Context, d *semiring.Domain[V],
 type poolExecutor[V any] struct {
 	pool  *join.Pool
 	limit int
+	cache *join.TrieCache[V]
 }
 
 func (e poolExecutor[V]) eliminate(ctx context.Context, d *semiring.Domain[V], op *semiring.Op[V],
@@ -89,7 +98,7 @@ func (e poolExecutor[V]) eliminate(ctx context.Context, d *semiring.Domain[V], o
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	return join.EliminateInnermostOn(ctx, e.pool, e.limit, d, op, inputs, vars, st)
+	return join.EliminateInnermostOn(ctx, e.pool, e.limit, e.cache, d, op, inputs, vars, st)
 }
 
 func (e poolExecutor[V]) joinAll(ctx context.Context, d *semiring.Domain[V], inputs []*factor.Factor[V],
@@ -97,14 +106,14 @@ func (e poolExecutor[V]) joinAll(ctx context.Context, d *semiring.Domain[V], inp
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	return join.JoinAllOn(ctx, e.pool, e.limit, d, inputs, vars, st)
+	return join.JoinAllOn(ctx, e.pool, e.limit, e.cache, d, inputs, vars, st)
 }
 
 func (e poolExecutor[V]) project(ctx context.Context, d *semiring.Domain[V],
 	fs []*factor.Factor[V], onto []int) ([]*factor.Factor[V], error) {
 	out := make([]*factor.Factor[V], len(fs))
 	if err := e.pool.Run(ctx, len(fs), e.limit, func(i int) {
-		out[i] = fs[i].IndicatorProjection(d, onto)
+		out[i] = e.cache.Projection(d, fs[i], onto)
 	}); err != nil {
 		return nil, err
 	}

@@ -119,10 +119,12 @@ func (q *Query[V]) Validate() error {
 			}
 			covered[v] = true
 		}
-		for _, t := range f.Tuples {
-			for j, x := range t {
-				if x < 0 || x >= q.DomSizes[f.Vars[j]] {
-					return fmt.Errorf("core: factor %d tuple %v exceeds domain of variable %d", fi, t, f.Vars[j])
+		rows, k := f.Rows(), f.Arity()
+		for i := 0; i < f.Size(); i++ {
+			for j, x := range rows[i*k : i*k+k] {
+				if x < 0 || int(x) >= q.DomSizes[f.Vars[j]] {
+					return fmt.Errorf("core: factor %d tuple %v exceeds domain of variable %d",
+						fi, f.Tuple(i, nil), f.Vars[j])
 				}
 			}
 		}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"github.com/faqdb/faq/internal/factor"
+	"github.com/faqdb/faq/internal/semiring"
+)
+
+// cacheTriangle builds a triangle-count query over random edge sets.
+func cacheTriangle(seed int64, dom, edges int) *Query[float64] {
+	d := semiring.Float()
+	rng := rand.New(rand.NewSource(seed))
+	mk := func(vars []int) *factor.Factor[float64] {
+		var tuples [][]int
+		var values []float64
+		for i := 0; i < edges; i++ {
+			tuples = append(tuples, []int{rng.Intn(dom), rng.Intn(dom)})
+			values = append(values, 1)
+		}
+		f, err := factor.New(d, vars, tuples, values, func(a, b float64) float64 { return a })
+		if err != nil {
+			panic(err)
+		}
+		return f
+	}
+	return &Query[float64]{
+		D: d, NVars: 3, DomSizes: []int{dom, dom, dom}, NumFree: 0,
+		Aggs: []Aggregate[float64]{
+			SemiringAgg(semiring.OpFloatSum()),
+			SemiringAgg(semiring.OpFloatSum()),
+			SemiringAgg(semiring.OpFloatSum()),
+		},
+		Factors: []*factor.Factor[float64]{mk([]int{0, 1}), mk([]int{1, 2}), mk([]int{0, 2})},
+	}
+}
+
+// TestPreparedRunsWarmTrieCache: repeat Runs of a PreparedQuery must hit the
+// per-query trie cache and keep returning the bit-identical scalar, and a
+// RunWithFactors interleaved between them must neither read from nor write
+// to it.
+func TestPreparedRunsWarmTrieCache(t *testing.T) {
+	eng := NewEngine[float64](EngineOptions{Workers: 2})
+	defer eng.Close()
+	q := cacheTriangle(31, 24, 160)
+	prep, err := eng.Prepare(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	first, err := prep.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, coldMisses := prep.tries.Counters()
+	if coldMisses == 0 {
+		t.Fatal("cold run recorded no cache misses: the cache is not wired in")
+	}
+	for i := 0; i < 3; i++ {
+		res, err := prep.Run(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Scalar() != first.Scalar() {
+			t.Fatalf("warm run %d: %v != %v", i, res.Scalar(), first.Scalar())
+		}
+	}
+	hits, misses := prep.tries.Counters()
+	if hits == 0 {
+		t.Fatal("warm runs never hit the trie cache")
+	}
+	if misses != coldMisses {
+		t.Fatalf("warm runs missed the cache (%d -> %d misses): per-run garbage is being keyed",
+			coldMisses, misses)
+	}
+
+	// Fresh data through RunWithFactors: correct result, cache untouched.
+	fresh := cacheTriangle(32, 24, 160)
+	wantFresh, err := eng.Prepare(fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wf, err := wantFresh.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := prep.RunWithFactors(ctx, fresh.Factors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Scalar() != wf.Scalar() {
+		t.Fatalf("RunWithFactors = %v, want %v", got.Scalar(), wf.Scalar())
+	}
+	h2, m2 := prep.tries.Counters()
+	if h2 != hits || m2 != misses {
+		t.Fatalf("RunWithFactors touched the prepared trie cache (%d/%d -> %d/%d)", hits, misses, h2, m2)
+	}
+
+	// And the prepared data still runs correctly off the warm cache.
+	res, err := prep.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scalar() != first.Scalar() {
+		t.Fatalf("post-refresh run diverged: %v != %v", res.Scalar(), first.Scalar())
+	}
+}

@@ -1,0 +1,77 @@
+// Layout micro-benchmarks for the columnar factor block: construction
+// (sort + dedup into the flat block), binary-search lookup, and the
+// sort-based grouping of Marginalize.  Run by `make bench-layout`.
+package factor
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/faqdb/faq/internal/semiring"
+)
+
+func layoutInput(seed int64, arity, dom, n int) ([][]int, []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	tuples := make([][]int, n)
+	values := make([]float64, n)
+	for i := range tuples {
+		t := make([]int, arity)
+		for j := range t {
+			t[j] = rng.Intn(dom)
+		}
+		tuples[i] = t
+		values[i] = float64(1 + rng.Intn(7))
+	}
+	return tuples, values
+}
+
+func BenchmarkLayoutFactorNew(b *testing.B) {
+	d := semiring.Float()
+	tuples, values := layoutInput(21, 2, 3000, 48000)
+	combine := func(a, x float64) float64 { return a + x }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := New(d, []int{0, 1}, tuples, append([]float64(nil), values...), combine); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLayoutFactorLookup(b *testing.B) {
+	d := semiring.Float()
+	tuples, values := layoutInput(22, 2, 3000, 48000)
+	f, err := New(d, []int{0, 1}, tuples, values, func(a, x float64) float64 { return a })
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if v := f.ValueOrZero(d, tuples[i%len(tuples)]); v == 0 {
+			b.Fatal("present tuple read as zero")
+		}
+	}
+}
+
+func BenchmarkLayoutMarginalize(b *testing.B) {
+	d := semiring.Float()
+	op := semiring.OpFloatSum()
+	tuples, values := layoutInput(23, 3, 64, 100000)
+	f, err := New(d, []int{0, 1, 2}, tuples, values, func(a, x float64) float64 { return a + x })
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("last-column", func(b *testing.B) { // order-preserving fast path
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			f.Marginalize(d, op, 2)
+		}
+	})
+	b.Run("middle-column", func(b *testing.B) { // sort-based grouping
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			f.Marginalize(d, op, 1)
+		}
+	})
+}

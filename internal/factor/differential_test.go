@@ -1,0 +1,227 @@
+// Differential tests for the sort-based grouping operations: reference
+// implementations using the string-keyed maps this package used to contain
+// (Marginalize / ProductMarginalize / IndicatorProjection accumulating into
+// map[string]V) are kept here in test code, and the columnar versions must
+// reproduce their outputs bit-identically — the map accumulated in row
+// order per group, exactly what stable-sorted run folding does.
+package factor
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"github.com/faqdb/faq/internal/semiring"
+)
+
+func encRef(t []int) string {
+	b := make([]byte, 0, len(t)*4)
+	for _, x := range t {
+		b = append(b, byte(x), byte(x>>8), byte(x>>16), byte(x>>24))
+	}
+	return string(b)
+}
+
+// refGroup projects every row of f to the columns not holding v and returns
+// the groups in first-occurrence order, each with its member row indices in
+// row order — the retired map-based grouping.
+func refGroup[V any](f *Factor[V], v int) (rests [][]int, members [][]int) {
+	pos := f.VarPos(v)
+	index := map[string]int{}
+	var buf []int
+	for i := 0; i < f.Size(); i++ {
+		buf = f.Tuple(i, buf)
+		rest := make([]int, 0, len(buf)-1)
+		for j, x := range buf {
+			if j != pos {
+				rest = append(rest, x)
+			}
+		}
+		k := encRef(rest)
+		g, ok := index[k]
+		if !ok {
+			g = len(rests)
+			index[k] = g
+			rests = append(rests, rest)
+			members = append(members, nil)
+		}
+		members[g] = append(members[g], i)
+	}
+	return rests, members
+}
+
+func refMarginalize[V any](d *semiring.Domain[V], op *semiring.Op[V], f *Factor[V], v int) *Factor[V] {
+	vars := make([]int, 0, len(f.Vars)-1)
+	for _, u := range f.Vars {
+		if u != v {
+			vars = append(vars, u)
+		}
+	}
+	rests, members := refGroup(f, v)
+	var tuples [][]int
+	var values []V
+	for g, rest := range rests {
+		acc := f.Values[members[g][0]]
+		for _, i := range members[g][1:] {
+			acc = op.Combine(acc, f.Values[i])
+		}
+		if d.IsZero(acc) {
+			continue
+		}
+		tuples = append(tuples, rest)
+		values = append(values, acc)
+	}
+	out, err := New(d, vars, tuples, values, nil)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+func refProductMarginalize[V any](d *semiring.Domain[V], f *Factor[V], v, domSize int) *Factor[V] {
+	vars := make([]int, 0, len(f.Vars)-1)
+	for _, u := range f.Vars {
+		if u != v {
+			vars = append(vars, u)
+		}
+	}
+	rests, members := refGroup(f, v)
+	var tuples [][]int
+	var values []V
+	for g, rest := range rests {
+		if len(members[g]) < domSize {
+			continue
+		}
+		p := d.One
+		for _, i := range members[g] {
+			p = d.Mul(p, f.Values[i])
+		}
+		if d.IsZero(p) {
+			continue
+		}
+		tuples = append(tuples, rest)
+		values = append(values, p)
+	}
+	out, err := New(d, vars, tuples, values, nil)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+func refIndicatorProjection[V any](d *semiring.Domain[V], f *Factor[V], onto []int) *Factor[V] {
+	ontoSet := map[int]bool{}
+	for _, u := range onto {
+		ontoSet[u] = true
+	}
+	var keep []int
+	var vars []int
+	for i, u := range f.Vars {
+		if ontoSet[u] {
+			keep = append(keep, i)
+			vars = append(vars, u)
+		}
+	}
+	seen := map[string]bool{}
+	var tuples [][]int
+	var values []V
+	var buf []int
+	for i := 0; i < f.Size(); i++ {
+		buf = f.Tuple(i, buf)
+		proj := make([]int, len(keep))
+		for j, p := range keep {
+			proj[j] = buf[p]
+		}
+		k := encRef(proj)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		tuples = append(tuples, proj)
+		values = append(values, d.One)
+	}
+	out, err := New(d, vars, tuples, values, nil)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+func diffFactorDomain[V any](t *testing.T, seed int64, d *semiring.Domain[V], op *semiring.Op[V],
+	randVal func(*rand.Rand) V, bits func(V) uint64) {
+
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	identical := func(what string, got, want *Factor[V]) {
+		t.Helper()
+		if got.Size() != want.Size() || !sort.IntsAreSorted(got.Vars) {
+			t.Fatalf("%s: size %d vs %d (vars %v)", what, got.Size(), want.Size(), got.Vars)
+		}
+		for i := 0; i < got.Size(); i++ {
+			if compareRows(got.Row(i), want.Row(i)) != 0 {
+				t.Fatalf("%s: row %d = %v, reference %v", what, i, got.Row(i), want.Row(i))
+			}
+			if bits(got.Values[i]) != bits(want.Values[i]) {
+				t.Fatalf("%s: value %d = %v, reference %v (not bit-identical)",
+					what, i, got.Values[i], want.Values[i])
+			}
+		}
+	}
+	for trial := 0; trial < 60; trial++ {
+		arity := 1 + rng.Intn(3)
+		vars := make([]int, arity)
+		for i := range vars {
+			vars[i] = i * 3 // sorted, sparse ids
+		}
+		dom := 1 + rng.Intn(5)
+		var tuples [][]int
+		var values []V
+		for i := 0; i < 1+rng.Intn(40); i++ {
+			tup := make([]int, arity)
+			for j := range tup {
+				tup[j] = rng.Intn(dom)
+			}
+			tuples = append(tuples, tup)
+			values = append(values, randVal(rng))
+		}
+		f, err := New(d, vars, tuples, values, func(a, b V) V { return a })
+		if err != nil {
+			t.Fatal(err)
+		}
+		v := vars[rng.Intn(arity)] // any column, not just the last: exercises the re-sort path
+		identical("marginalize", f.Marginalize(d, op, v), refMarginalize(d, op, f, v))
+		identical("product-marginalize", f.ProductMarginalize(d, v, dom), refProductMarginalize(d, f, v, dom))
+		onto := []int{v, 100} // intersection {v}
+		identical("indicator-projection", f.IndicatorProjection(d, onto), refIndicatorProjection(d, f, onto))
+	}
+}
+
+func TestDifferentialGroupingFloat(t *testing.T) {
+	diffFactorDomain(t, 601, semiring.Float(), semiring.OpFloatSum(),
+		func(rng *rand.Rand) float64 { return float64(1+rng.Intn(9)) / 8 },
+		math.Float64bits)
+}
+
+func TestDifferentialGroupingInt(t *testing.T) {
+	diffFactorDomain(t, 602, semiring.Int(), semiring.OpIntSum(),
+		func(rng *rand.Rand) int64 { return int64(1 + rng.Intn(5)) },
+		func(v int64) uint64 { return uint64(v) })
+}
+
+func TestDifferentialGroupingBool(t *testing.T) {
+	diffFactorDomain(t, 603, semiring.Bool(), semiring.OpOr(),
+		func(*rand.Rand) bool { return true },
+		func(v bool) uint64 {
+			if v {
+				return 1
+			}
+			return 0
+		})
+}
+
+func TestDifferentialGroupingTropical(t *testing.T) {
+	diffFactorDomain(t, 604, semiring.Tropical(), semiring.OpTropicalMin(),
+		func(rng *rand.Rand) float64 { return float64(rng.Intn(9)) },
+		math.Float64bits)
+}

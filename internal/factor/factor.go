@@ -6,26 +6,35 @@
 // (the "factor oracle" assumptions of Section 8.1), pointwise powering for
 // product aggregates (Section 5.2.2) — plus aggregation helpers used by
 // baseline algorithms.
+//
+// Data layout: rows live in one contiguous row-major []int32 block (Arity
+// columns per row, rows in strict lexicographic order, parallel to Values).
+// Point lookups are binary searches over the sorted block — there is no
+// hash index — and the grouping operations (Marginalize,
+// ProductMarginalize, IndicatorProjection) work by sorting projected rows
+// and folding contiguous runs instead of accumulating into string-keyed
+// maps.  The flat block is what the join package's CSR tries are built
+// from in a single O(n) pass.
 package factor
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"github.com/faqdb/faq/internal/semiring"
 )
 
 // Factor is a function ψ over Vars in listing representation.  Vars are
-// global variable ids in strictly increasing order; each tuple assigns a
-// domain value (small int) to the corresponding variable.  Tuples are unique
-// and values are non-zero.  The zero Factor value is an empty (identically
-// zero) factor over no variables.
+// global variable ids in strictly increasing order; each row assigns a
+// domain value (small int) to the corresponding variable.  Rows are unique,
+// lexicographically sorted, and values are non-zero.  The zero Factor value
+// is an empty (identically zero) factor over no variables.
 type Factor[V any] struct {
 	Vars   []int
-	Tuples [][]int
 	Values []V
 
-	index map[string]int
+	rows []int32 // row-major block: len(Values) rows × len(Vars) columns
 }
 
 // New builds a factor from parallel tuple/value slices, dropping zero
@@ -34,43 +43,97 @@ type Factor[V any] struct {
 func New[V any](d *semiring.Domain[V], vars []int, tuples [][]int, values []V,
 	combine func(a, b V) V) (*Factor[V], error) {
 
-	if !sort.IntsAreSorted(vars) {
-		return nil, fmt.Errorf("factor: variables %v not sorted", vars)
-	}
-	for i := 1; i < len(vars); i++ {
-		if vars[i] == vars[i-1] {
-			return nil, fmt.Errorf("factor: duplicate variable %d", vars[i])
-		}
+	if err := checkVars(vars); err != nil {
+		return nil, err
 	}
 	if len(tuples) != len(values) {
 		return nil, fmt.Errorf("factor: %d tuples but %d values", len(tuples), len(values))
 	}
-	f := &Factor[V]{Vars: vars}
-	idx := map[string]int{}
+	k := len(vars)
+	rows := make([]int32, 0, len(tuples)*k)
+	vals := make([]V, 0, len(values))
 	for i, t := range tuples {
-		if len(t) != len(vars) {
-			return nil, fmt.Errorf("factor: tuple %v has arity %d, want %d", t, len(t), len(vars))
+		if len(t) != k {
+			return nil, fmt.Errorf("factor: tuple %v has arity %d, want %d", t, len(t), k)
 		}
 		if d.IsZero(values[i]) {
 			continue
 		}
-		k := encode(t)
-		if at, ok := idx[k]; ok {
-			if combine == nil {
-				return nil, fmt.Errorf("factor: duplicate tuple %v", t)
+		for _, x := range t {
+			if x < math.MinInt32 || x > math.MaxInt32 {
+				return nil, fmt.Errorf("factor: tuple %v exceeds the int32 domain-value range", t)
 			}
-			f.Values[at] = combine(f.Values[at], values[i])
+			rows = append(rows, int32(x))
+		}
+		vals = append(vals, values[i])
+	}
+	return build(d, vars, rows, vals, combine)
+}
+
+// NewRows is New over an already-flat row block: len(rows) must be
+// len(values)×len(vars) and rows is consumed (the factor takes ownership).
+// It is the allocation-free construction path for scan outputs and network
+// decoders that produce columnar data directly.
+func NewRows[V any](d *semiring.Domain[V], vars []int, rows []int32, values []V,
+	combine func(a, b V) V) (*Factor[V], error) {
+
+	if err := checkVars(vars); err != nil {
+		return nil, err
+	}
+	if len(rows) != len(values)*len(vars) {
+		return nil, fmt.Errorf("factor: row block has %d cells for %d values of arity %d",
+			len(rows), len(values), len(vars))
+	}
+	f := &Factor[V]{Vars: vars, Values: values, rows: rows}
+	f.compact(d)
+	return build(d, vars, f.rows, f.Values, combine)
+}
+
+func checkVars(vars []int) error {
+	if !sort.IntsAreSorted(vars) {
+		return fmt.Errorf("factor: variables %v not sorted", vars)
+	}
+	for i := 1; i < len(vars); i++ {
+		if vars[i] == vars[i-1] {
+			return fmt.Errorf("factor: duplicate variable %d", vars[i])
+		}
+	}
+	return nil
+}
+
+// build finishes construction from a zero-free row block: rows are sorted
+// (stably, so duplicates keep input order and combine left to right exactly
+// as the map-based accumulation did), adjacent duplicates are folded with
+// combine, and zeros produced by combining are dropped.  Already strictly
+// sorted blocks — scan outputs emitted in lexicographic order — skip both
+// passes.
+func build[V any](d *semiring.Domain[V], vars []int, rows []int32, values []V,
+	combine func(a, b V) V) (*Factor[V], error) {
+
+	f := &Factor[V]{Vars: vars, Values: values, rows: rows}
+	k := len(vars)
+	if f.strictlySorted() {
+		return f, nil
+	}
+	n := len(values)
+	order := argsortRows(rows, k, n, true) // stable: duplicates fold in input order
+	sorted := make([]int32, 0, len(rows))
+	outVals := make([]V, 0, n)
+	for _, o := range order {
+		row := rows[o*k : o*k+k]
+		if m := len(outVals); m > 0 && compareRows(sorted[(m-1)*k:m*k], row) == 0 {
+			if combine == nil {
+				return nil, fmt.Errorf("factor: duplicate tuple %v", f.tupleOf(row))
+			}
+			outVals[m-1] = combine(outVals[m-1], values[o])
 			continue
 		}
-		idx[k] = len(f.Tuples)
-		tt := make([]int, len(t))
-		copy(tt, t)
-		f.Tuples = append(f.Tuples, tt)
-		f.Values = append(f.Values, values[i])
+		sorted = append(sorted, row...)
+		outVals = append(outVals, values[o])
 	}
-	// Combining may have produced zeros (e.g. +1 and -1); drop them.
-	f.compact(d)
-	f.sortRows()
+	f.rows = sorted
+	f.Values = outVals
+	f.compact(d) // combining may have produced zeros (e.g. +1 and -1)
 	return f, nil
 }
 
@@ -85,10 +148,11 @@ func MustNew[V any](d *semiring.Domain[V], vars []int, tuples [][]int, values []
 
 // FromFunc materializes ψ over the full box Π dom(vars[i]) keeping non-zero
 // entries: the bridge from "truth table" representations (dense matrices,
-// CPTs) into the listing representation (Section 8.2).
+// CPTs) into the listing representation (Section 8.2).  Enumeration is
+// lexicographic, so the block is born sorted.
 func FromFunc[V any](d *semiring.Domain[V], vars []int, domSizes []int, f func(tuple []int) V) *Factor[V] {
-	if !sort.IntsAreSorted(vars) {
-		panic(fmt.Sprintf("factor: FromFunc variables %v not sorted", vars))
+	if err := checkVars(vars); err != nil {
+		panic(fmt.Sprintf("factor: FromFunc %v", err))
 	}
 	out := &Factor[V]{Vars: append([]int(nil), vars...)}
 	tuple := make([]int, len(vars))
@@ -97,9 +161,9 @@ func FromFunc[V any](d *semiring.Domain[V], vars []int, domSizes []int, f func(t
 		if i == len(vars) {
 			v := f(tuple)
 			if !d.IsZero(v) {
-				t := make([]int, len(tuple))
-				copy(t, tuple)
-				out.Tuples = append(out.Tuples, t)
+				for _, x := range tuple {
+					out.rows = append(out.rows, int32(x))
+				}
 				out.Values = append(out.Values, v)
 			}
 			return
@@ -118,89 +182,139 @@ func FromFunc[V any](d *semiring.Domain[V], vars []int, domSizes []int, f func(t
 func Scalar[V any](d *semiring.Domain[V], v V) *Factor[V] {
 	f := &Factor[V]{Vars: []int{}}
 	if !d.IsZero(v) {
-		f.Tuples = [][]int{{}}
 		f.Values = []V{v}
 	}
 	return f
 }
 
+// compact drops zero-valued rows in place.
 func (f *Factor[V]) compact(d *semiring.Domain[V]) {
-	keptT := f.Tuples[:0]
-	keptV := f.Values[:0]
+	k := len(f.Vars)
+	keptRows := f.rows[:0]
+	keptVals := f.Values[:0]
 	for i, v := range f.Values {
 		if !d.IsZero(v) {
-			keptT = append(keptT, f.Tuples[i])
-			keptV = append(keptV, v)
+			keptRows = append(keptRows, f.rows[i*k:i*k+k]...)
+			keptVals = append(keptVals, v)
 		}
 	}
-	f.Tuples = keptT
-	f.Values = keptV
-	f.index = nil
+	f.rows = keptRows
+	f.Values = keptVals
 }
 
-func (f *Factor[V]) sortRows() {
-	order := make([]int, len(f.Tuples))
-	for i := range order {
-		order[i] = i
+// strictlySorted reports whether the block is already in strict ascending
+// row order (sorted and duplicate-free).
+func (f *Factor[V]) strictlySorted() bool {
+	k := len(f.Vars)
+	if k == 0 {
+		return len(f.Values) <= 1
 	}
-	parallelSort(order, func(a, b int) bool {
-		return lessTuple(f.Tuples[a], f.Tuples[b])
-	})
-	tuples := make([][]int, len(order))
-	values := make([]V, len(order))
-	for i, o := range order {
-		tuples[i] = f.Tuples[o]
-		values[i] = f.Values[o]
+	for i := 1; i < len(f.Values); i++ {
+		if compareRows(f.rows[(i-1)*k:i*k], f.rows[i*k:i*k+k]) >= 0 {
+			return false
+		}
 	}
-	f.Tuples = tuples
-	f.Values = values
-	f.index = nil
+	return true
 }
 
-func lessTuple(a, b []int) bool {
+// compareRows lexicographically compares two equal-length rows.
+func compareRows(a, b []int32) int {
 	for i := range a {
 		if a[i] != b[i] {
-			return a[i] < b[i]
+			if a[i] < b[i] {
+				return -1
+			}
+			return 1
 		}
 	}
-	return false
+	return 0
 }
 
-// encode renders a tuple as a map key.
-func encode(t []int) string {
-	b := make([]byte, 0, len(t)*4)
-	for _, x := range t {
-		b = append(b, byte(x), byte(x>>8), byte(x>>16), byte(x>>24))
+// compareRowTuple compares a stored row against an []int probe tuple.
+func compareRowTuple(row []int32, t []int) int {
+	for i := range row {
+		if int(row[i]) != t[i] {
+			if int(row[i]) < t[i] {
+				return -1
+			}
+			return 1
+		}
 	}
-	return string(b)
+	return 0
 }
 
 // Size returns ‖ψ‖, the number of non-zero tuples.
-func (f *Factor[V]) Size() int { return len(f.Tuples) }
+func (f *Factor[V]) Size() int { return len(f.Values) }
 
 // Arity returns the number of variables.
 func (f *Factor[V]) Arity() int { return len(f.Vars) }
 
-func (f *Factor[V]) buildIndex() {
-	if f.index != nil {
-		return
+// Rows exposes the contiguous row-major block (Size()×Arity() cells).
+// Callers must treat it as read-only; the join package builds its CSR tries
+// straight from this block.
+func (f *Factor[V]) Rows() []int32 { return f.rows }
+
+// Row returns row i as a view into the block; it must not be mutated.
+func (f *Factor[V]) Row(i int) []int32 {
+	k := len(f.Vars)
+	return f.rows[i*k : i*k+k]
+}
+
+// Tuple copies row i into buf (grown as needed) and returns it as []int.
+func (f *Factor[V]) Tuple(i int, buf []int) []int {
+	buf = buf[:0]
+	for _, x := range f.Row(i) {
+		buf = append(buf, int(x))
 	}
-	f.index = make(map[string]int, len(f.Tuples))
-	for i, t := range f.Tuples {
-		f.index[encode(t)] = i
+	return buf
+}
+
+// Tuples materializes every row as a fresh [][]int — the compatibility and
+// serialization view of the block.  Hot paths should iterate Row/Rows
+// instead.
+func (f *Factor[V]) Tuples() [][]int {
+	out := make([][]int, f.Size())
+	for i := range out {
+		out[i] = f.Tuple(i, make([]int, 0, len(f.Vars)))
 	}
+	return out
+}
+
+func (f *Factor[V]) tupleOf(row []int32) []int {
+	t := make([]int, len(row))
+	for i, x := range row {
+		t[i] = int(x)
+	}
+	return t
+}
+
+// find binary-searches the sorted block for a tuple aligned with Vars.  A
+// probe of the wrong arity is simply absent, as it was for the map index.
+func (f *Factor[V]) find(tuple []int) (int, bool) {
+	k := len(f.Vars)
+	if len(tuple) != k {
+		return 0, false
+	}
+	if k == 0 {
+		return 0, len(f.Values) > 0
+	}
+	i := sort.Search(len(f.Values), func(i int) bool {
+		return compareRowTuple(f.rows[i*k:i*k+k], tuple) >= 0
+	})
+	if i < len(f.Values) && compareRowTuple(f.rows[i*k:i*k+k], tuple) == 0 {
+		return i, true
+	}
+	return i, false
 }
 
 // Value looks up ψ(tuple) where tuple is aligned with Vars.  The second
 // result reports whether the tuple is present (absent means 0).
 func (f *Factor[V]) Value(tuple []int) (V, bool) {
-	f.buildIndex()
-	i, ok := f.index[encode(tuple)]
-	if !ok {
-		var zero V
-		return zero, false
+	if i, ok := f.find(tuple); ok {
+		return f.Values[i], true
 	}
-	return f.Values[i], true
+	var zero V
+	return zero, false
 }
 
 // ValueOrZero returns ψ(tuple), using the domain's zero for absent tuples.
@@ -234,47 +348,127 @@ func (f *Factor[V]) VarPos(v int) int {
 // Clone returns a deep copy (values copied shallowly; value types are
 // treated as immutable throughout the engine).
 func (f *Factor[V]) Clone() *Factor[V] {
-	c := &Factor[V]{Vars: append([]int(nil), f.Vars...)}
-	c.Tuples = make([][]int, len(f.Tuples))
-	for i, t := range f.Tuples {
-		c.Tuples[i] = append([]int(nil), t...)
+	return &Factor[V]{
+		Vars:   append([]int(nil), f.Vars...),
+		Values: append([]V(nil), f.Values...),
+		rows:   append([]int32(nil), f.rows...),
 	}
-	c.Values = append([]V(nil), f.Values...)
-	return c
 }
 
-// IndicatorProjection returns ψ_{S/T} of Definition 4.2: the {0,1}-valued
-// function on S ∩ T that is One wherever some extension of the tuple has
-// ψ ≠ 0.  The intersection must be non-empty.
-func (f *Factor[V]) IndicatorProjection(d *semiring.Domain[V], onto []int) *Factor[V] {
-	var keep []int // positions in f.Vars to keep
+// keepPositions returns the positions of f.Vars retained by a projection
+// onto the given variable set, plus the projected variable list.
+func (f *Factor[V]) keepPositions(onto []int) (keep []int, vars []int) {
 	ontoSet := map[int]bool{}
 	for _, v := range onto {
 		ontoSet[v] = true
 	}
-	var vars []int
 	for i, v := range f.Vars {
 		if ontoSet[v] {
 			keep = append(keep, i)
 			vars = append(vars, v)
 		}
 	}
-	out := &Factor[V]{Vars: vars}
-	seen := map[string]bool{}
-	for _, t := range f.Tuples {
-		proj := make([]int, len(keep))
-		for j, i := range keep {
-			proj[j] = t[i]
+	return keep, vars
+}
+
+// isPrefix reports whether keep is exactly positions 0..len(keep)-1: such
+// projections preserve lexicographic row order, so grouping needs no
+// re-sort.
+func isPrefix(keep []int) bool {
+	for i, p := range keep {
+		if p != i {
+			return false
 		}
-		k := encode(proj)
-		if seen[k] {
+	}
+	return true
+}
+
+// projectRows builds the flat projected block (len(keep) columns).
+func (f *Factor[V]) projectRows(keep []int) []int32 {
+	k := len(f.Vars)
+	out := make([]int32, 0, len(f.Values)*len(keep))
+	for i := 0; i < len(f.Values); i++ {
+		row := f.rows[i*k : i*k+k]
+		for _, p := range keep {
+			out = append(out, row[p])
+		}
+	}
+	return out
+}
+
+// groupOrder returns row indices ordered by projected-row content, stable by
+// row index, so each group is contiguous and folds in original row order —
+// the same accumulation sequence the map-based grouping used.  A nil return
+// means rows are already grouped in place (order-preserving projection).
+func groupOrder(proj []int32, m, n int, prefix bool) []int {
+	if prefix {
+		return nil
+	}
+	return argsortRows(proj, m, n, true)
+}
+
+// argsortRows returns the row indices of an n×k block in lexicographic row
+// order; stable adds an index tie-break so equal rows keep their input
+// order (required wherever duplicates fold in input order).
+func argsortRows(rows []int32, k, n int, stable bool) []int {
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	parallelSort(order, func(a, b int) bool {
+		if c := compareRows(rows[a*k:a*k+k], rows[b*k:b*k+k]); c != 0 {
+			return c < 0
+		}
+		return stable && a < b
+	})
+	return order
+}
+
+// foldGroups iterates the projected rows group by group (a group is a
+// maximal run of equal projected rows, visited in original row order) and
+// calls emit once per group with the group's row and member indices.
+func foldGroups(proj []int32, m, n int, order []int, emit func(row []int32, members []int)) {
+	if n == 0 {
+		return
+	}
+	at := func(i int) int {
+		if order == nil {
+			return i
+		}
+		return order[i]
+	}
+	var members []int
+	start := at(0)
+	cur := proj[start*m : start*m+m]
+	members = append(members, start)
+	for i := 1; i < n; i++ {
+		o := at(i)
+		row := proj[o*m : o*m+m]
+		if compareRows(cur, row) == 0 {
+			members = append(members, o)
 			continue
 		}
-		seen[k] = true
-		out.Tuples = append(out.Tuples, proj)
-		out.Values = append(out.Values, d.One)
+		emit(cur, members)
+		cur = row
+		members = append(members[:0], o)
 	}
-	out.sortRows()
+	emit(cur, members)
+}
+
+// IndicatorProjection returns ψ_{S/T} of Definition 4.2: the {0,1}-valued
+// function on S ∩ T that is One wherever some extension of the tuple has
+// ψ ≠ 0.  The intersection must be non-empty.
+func (f *Factor[V]) IndicatorProjection(d *semiring.Domain[V], onto []int) *Factor[V] {
+	keep, vars := f.keepPositions(onto)
+	out := &Factor[V]{Vars: vars}
+	m := len(keep)
+	n := f.Size()
+	proj := f.projectRows(keep)
+	order := groupOrder(proj, m, n, isPrefix(keep))
+	foldGroups(proj, m, n, order, func(row []int32, _ []int) {
+		out.rows = append(out.rows, row...)
+		out.Values = append(out.Values, d.One)
+	})
 	return out
 }
 
@@ -284,99 +478,67 @@ func (f *Factor[V]) IndicatorProjection(d *semiring.Domain[V], onto []int) *Fact
 // are dropped — this realizes the product-marginalization oracle assumption
 // (Assumption 2) on listing factors.
 func (f *Factor[V]) ProductMarginalize(d *semiring.Domain[V], v, domSize int) *Factor[V] {
-	pos := f.VarPos(v)
-	if pos < 0 {
-		panic(fmt.Sprintf("factor: variable %d not in factor over %v", v, f.Vars))
-	}
-	vars := make([]int, 0, len(f.Vars)-1)
-	for _, u := range f.Vars {
-		if u != v {
-			vars = append(vars, u)
-		}
-	}
-	type group struct {
-		product V
-		count   int
-	}
-	groups := map[string]*group{}
-	var keys []string
-	tuples := map[string][]int{}
-	for i, t := range f.Tuples {
-		rest := make([]int, 0, len(t)-1)
-		for j, x := range t {
-			if j != pos {
-				rest = append(rest, x)
-			}
-		}
-		k := encode(rest)
-		g, ok := groups[k]
-		if !ok {
-			g = &group{product: d.One}
-			groups[k] = g
-			keys = append(keys, k)
-			tuples[k] = rest
-		}
-		g.product = d.Mul(g.product, f.Values[i])
-		g.count++
-	}
+	keep, vars, _ := f.dropPosition(v)
 	out := &Factor[V]{Vars: vars}
-	for _, k := range keys {
-		g := groups[k]
-		if g.count < domSize {
-			continue // an unlisted x_v is a zero entry: the product is zero
+	m := len(keep)
+	n := f.Size()
+	proj := f.projectRows(keep)
+	order := groupOrder(proj, m, n, isPrefix(keep))
+	foldGroups(proj, m, n, order, func(row []int32, members []int) {
+		if len(members) < domSize {
+			return // an unlisted x_v is a zero entry: the product is zero
 		}
-		if d.IsZero(g.product) {
-			continue
+		p := d.One
+		for _, i := range members {
+			p = d.Mul(p, f.Values[i])
 		}
-		out.Tuples = append(out.Tuples, tuples[k])
-		out.Values = append(out.Values, g.product)
-	}
-	out.sortRows()
+		if d.IsZero(p) {
+			return
+		}
+		out.rows = append(out.rows, row...)
+		out.Values = append(out.Values, p)
+	})
 	return out
 }
 
 // Marginalize aggregates variable v out with ⊕: ψ'(x_{S−v}) = ⊕_{x_v} ψ(x_S).
 // Unlisted entries are zeros and contribute the identity of ⊕.
 func (f *Factor[V]) Marginalize(d *semiring.Domain[V], op *semiring.Op[V], v int) *Factor[V] {
-	pos := f.VarPos(v)
+	keep, vars, _ := f.dropPosition(v)
+	out := &Factor[V]{Vars: vars}
+	m := len(keep)
+	n := f.Size()
+	proj := f.projectRows(keep)
+	order := groupOrder(proj, m, n, isPrefix(keep))
+	foldGroups(proj, m, n, order, func(row []int32, members []int) {
+		acc := f.Values[members[0]]
+		for _, i := range members[1:] {
+			acc = op.Combine(acc, f.Values[i])
+		}
+		if d.IsZero(acc) {
+			return
+		}
+		out.rows = append(out.rows, row...)
+		out.Values = append(out.Values, acc)
+	})
+	return out
+}
+
+// dropPosition returns the kept positions and variable list with v removed.
+func (f *Factor[V]) dropPosition(v int) (keep []int, vars []int, pos int) {
+	pos = f.VarPos(v)
 	if pos < 0 {
 		panic(fmt.Sprintf("factor: variable %d not in factor over %v", v, f.Vars))
 	}
-	vars := make([]int, 0, len(f.Vars)-1)
-	for _, u := range f.Vars {
-		if u != v {
+	keep = make([]int, 0, len(f.Vars)-1)
+	vars = make([]int, 0, len(f.Vars)-1)
+	for i, u := range f.Vars {
+		if i != pos {
+			keep = append(keep, i)
 			vars = append(vars, u)
 		}
 	}
-	acc := map[string]V{}
-	var keys []string
-	tuples := map[string][]int{}
-	for i, t := range f.Tuples {
-		rest := make([]int, 0, len(t)-1)
-		for j, x := range t {
-			if j != pos {
-				rest = append(rest, x)
-			}
-		}
-		k := encode(rest)
-		if cur, ok := acc[k]; ok {
-			acc[k] = op.Combine(cur, f.Values[i])
-		} else {
-			acc[k] = f.Values[i]
-			keys = append(keys, k)
-			tuples[k] = rest
-		}
-	}
-	out := &Factor[V]{Vars: vars}
-	for _, k := range keys {
-		if d.IsZero(acc[k]) {
-			continue
-		}
-		out.Tuples = append(out.Tuples, tuples[k])
-		out.Values = append(out.Values, acc[k])
-	}
-	out.sortRows()
-	return out
+	return keep, vars, pos
 }
 
 // PowValues raises every non-⊗-idempotent value to the k-th power in place
@@ -406,27 +568,35 @@ func (f *Factor[V]) RangeIdempotent(d *semiring.Domain[V]) bool {
 // Condition returns ψ(· | y_W): rows matching the partial assignment keep
 // their value, all others are dropped (Section 4.1).  W is given as a
 // map from variable id to value; variables absent from the factor are
-// ignored per the conditional-factor definition.
+// ignored per the conditional-factor definition.  Filtering preserves the
+// sorted row order.
 func (f *Factor[V]) Condition(assign map[int]int) *Factor[V] {
 	var positions []int
-	var want []int
+	var want []int32
 	for i, v := range f.Vars {
 		if val, ok := assign[v]; ok {
+			if val < math.MinInt32 || val > math.MaxInt32 {
+				// Stored values always fit int32, so an out-of-range probe
+				// matches nothing — don't let the conversion wrap.
+				return &Factor[V]{Vars: append([]int(nil), f.Vars...)}
+			}
 			positions = append(positions, i)
-			want = append(want, val)
+			want = append(want, int32(val))
 		}
 	}
 	out := &Factor[V]{Vars: append([]int(nil), f.Vars...)}
-	for i, t := range f.Tuples {
+	k := len(f.Vars)
+	for i := 0; i < len(f.Values); i++ {
+		row := f.rows[i*k : i*k+k]
 		ok := true
 		for j, p := range positions {
-			if t[p] != want[j] {
+			if row[p] != want[j] {
 				ok = false
 				break
 			}
 		}
 		if ok {
-			out.Tuples = append(out.Tuples, t)
+			out.rows = append(out.rows, row...)
 			out.Values = append(out.Values, f.Values[i])
 		}
 	}
@@ -446,32 +616,53 @@ func (f *Factor[V]) Rename(mapping []int) *Factor[V] {
 		perm[i] = i
 	}
 	sort.Slice(perm, func(a, b int) bool { return vars[perm[a]] < vars[perm[b]] })
-	out := &Factor[V]{Vars: make([]int, len(vars))}
+	newVars := make([]int, len(vars))
 	for i, p := range perm {
-		out.Vars[i] = vars[p]
+		newVars[i] = vars[p]
 	}
-	for i := 1; i < len(out.Vars); i++ {
-		if out.Vars[i] == out.Vars[i-1] {
-			panic(fmt.Sprintf("factor: Rename mapping collides on variable %d", out.Vars[i]))
+	for i := 1; i < len(newVars); i++ {
+		if newVars[i] == newVars[i-1] {
+			panic(fmt.Sprintf("factor: Rename mapping collides on variable %d", newVars[i]))
 		}
 	}
-	out.Tuples = make([][]int, len(f.Tuples))
-	for r, t := range f.Tuples {
-		nt := make([]int, len(t))
-		for i, p := range perm {
-			nt[i] = t[p]
+	k := len(f.Vars)
+	rows := make([]int32, 0, len(f.rows))
+	for r := 0; r < len(f.Values); r++ {
+		row := f.rows[r*k : r*k+k]
+		for _, p := range perm {
+			rows = append(rows, row[p])
 		}
-		out.Tuples[r] = nt
 	}
-	out.Values = append([]V(nil), f.Values...)
-	out.sortRows()
+	out := &Factor[V]{Vars: newVars, Values: append([]V(nil), f.Values...), rows: rows}
+	out.sortUnique()
 	return out
 }
 
+// sortUnique re-sorts the block lexicographically.  Rows must be unique
+// (they are whenever columns were permuted injectively), so the comparator
+// is a strict total order and the permutation is deterministic.
+func (f *Factor[V]) sortUnique() {
+	if f.strictlySorted() {
+		return
+	}
+	k := len(f.Vars)
+	n := len(f.Values)
+	order := argsortRows(f.rows, k, n, false) // rows unique: no tie-break needed
+	rows := make([]int32, 0, len(f.rows))
+	values := make([]V, n)
+	for i, o := range order {
+		rows = append(rows, f.rows[o*k:o*k+k]...)
+		values[i] = f.Values[o]
+	}
+	f.rows = rows
+	f.Values = values
+}
+
 // Equal reports whether two factors define the same function (same variable
-// set, same non-zero tuples, equal values).
+// set, same non-zero tuples, equal values).  Both blocks are sorted and
+// duplicate-free, so equality is one linear pass.
 func (f *Factor[V]) Equal(d *semiring.Domain[V], g *Factor[V]) bool {
-	if len(f.Vars) != len(g.Vars) || len(f.Tuples) != len(g.Tuples) {
+	if len(f.Vars) != len(g.Vars) || len(f.Values) != len(g.Values) {
 		return false
 	}
 	for i := range f.Vars {
@@ -479,10 +670,13 @@ func (f *Factor[V]) Equal(d *semiring.Domain[V], g *Factor[V]) bool {
 			return false
 		}
 	}
-	g.buildIndex()
-	for i, t := range f.Tuples {
-		j, ok := g.index[encode(t)]
-		if !ok || !d.Equal(f.Values[i], g.Values[j]) {
+	for i := range f.rows {
+		if f.rows[i] != g.rows[i] {
+			return false
+		}
+	}
+	for i := range f.Values {
+		if !d.Equal(f.Values[i], g.Values[i]) {
 			return false
 		}
 	}
@@ -491,10 +685,10 @@ func (f *Factor[V]) Equal(d *semiring.Domain[V], g *Factor[V]) bool {
 
 // String renders a small factor for debugging.
 func (f *Factor[V]) String() string {
-	s := fmt.Sprintf("ψ%v[%d rows]", f.Vars, len(f.Tuples))
-	if len(f.Tuples) <= 8 {
-		for i, t := range f.Tuples {
-			s += fmt.Sprintf(" %v=%v", t, f.Values[i])
+	s := fmt.Sprintf("ψ%v[%d rows]", f.Vars, f.Size())
+	if f.Size() <= 8 {
+		for i := 0; i < f.Size(); i++ {
+			s += fmt.Sprintf(" %v=%v", f.Tuple(i, nil), f.Values[i])
 		}
 	}
 	return s

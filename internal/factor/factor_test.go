@@ -231,7 +231,7 @@ func TestCloneIndependence(t *testing.T) {
 	a := mk(t, []int{0}, map[string]float64{"0": 1})
 	c := a.Clone()
 	c.Values[0] = 9
-	c.Tuples[0][0] = 1
+	c.rows[0] = 1
 	if v, _ := a.Value([]int{0}); v != 1 {
 		t.Fatal("clone aliases original")
 	}
@@ -283,9 +283,9 @@ func TestQuickMarginalizeMatchesBruteForce(t *testing.T) {
 
 func TestRowsSortedAfterNew(t *testing.T) {
 	f := mk(t, []int{0, 1}, map[string]float64{"10": 1, "00": 2, "01": 3})
-	for i := 1; i < len(f.Tuples); i++ {
-		if !lessTuple(f.Tuples[i-1], f.Tuples[i]) {
-			t.Fatalf("rows not sorted: %v then %v", f.Tuples[i-1], f.Tuples[i])
+	for i := 1; i < f.Size(); i++ {
+		if compareRows(f.Row(i-1), f.Row(i)) >= 0 {
+			t.Fatalf("rows not sorted: %v then %v", f.Row(i-1), f.Row(i))
 		}
 	}
 }

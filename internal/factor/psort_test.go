@@ -49,8 +49,8 @@ func TestNewSortsLargeFactor(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 1; i < f.Size(); i++ {
-		if !lessTuple(f.Tuples[i-1], f.Tuples[i]) {
-			t.Fatalf("rows %d and %d out of order: %v then %v", i-1, i, f.Tuples[i-1], f.Tuples[i])
+		if compareRows(f.Row(i-1), f.Row(i)) >= 0 {
+			t.Fatalf("rows %d and %d out of order: %v then %v", i-1, i, f.Row(i-1), f.Row(i))
 		}
 	}
 }

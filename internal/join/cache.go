@@ -1,0 +1,165 @@
+// TrieCache: memoized CSR tries and indicator projections for the
+// prepare-once-run-many serving path.  A PreparedQuery's input factors are
+// immutable by contract, so a trie built from a factor for one join order —
+// and an indicator projection of a factor onto one variable set — is valid
+// for every subsequent run.  The cache is keyed by factor identity (the
+// pointer) plus the order/projection fingerprint, and only admits factors
+// registered at construction time: intermediate factors are fresh pointers
+// every run and must not pin memory, so they always miss and are never
+// stored.  Fresh data swapped in through RunWithFactors arrives as new
+// pointers too, which is the invalidation story — a cache entry can never
+// serve stale rows because its key IS the data it was built from.
+package join
+
+import (
+	"sync"
+
+	"github.com/faqdb/faq/internal/factor"
+	"github.com/faqdb/faq/internal/semiring"
+)
+
+// TrieCache memoizes per-factor derived structures across runs of one
+// prepared query.  All methods are safe for concurrent use and on a nil
+// receiver (nil means "build fresh, cache nothing").
+type TrieCache[V any] struct {
+	mu      sync.Mutex
+	allowed map[*factor.Factor[V]]bool
+	tries   map[trieKey[V]]any // *trie[V]; any avoids instantiating twice
+	projs   map[projKey[V]]*factor.Factor[V]
+	hits    int64
+	misses  int64
+}
+
+type trieKey[V any] struct {
+	f     *factor.Factor[V]
+	order string
+}
+
+type projKey[V any] struct {
+	f    *factor.Factor[V]
+	onto string
+}
+
+// NewTrieCache returns a cache that will memoize tries and projections for
+// exactly the given factors (a prepared query's inputs) plus the projections
+// derived from them.
+func NewTrieCache[V any](factors []*factor.Factor[V]) *TrieCache[V] {
+	c := &TrieCache[V]{
+		allowed: make(map[*factor.Factor[V]]bool, len(factors)),
+		tries:   map[trieKey[V]]any{},
+		projs:   map[projKey[V]]*factor.Factor[V]{},
+	}
+	for _, f := range factors {
+		c.allowed[f] = true
+	}
+	return c
+}
+
+// varsKey fingerprints a variable sequence.
+func varsKey(vars []int) string {
+	b := make([]byte, 0, len(vars)*4)
+	for _, v := range vars {
+		b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	return string(b)
+}
+
+// trieOrderKey fingerprints the column permutation a trie would use for f
+// under the global position map — the positions within f.Vars sorted by
+// global position, exactly the `order` slice buildTrie derives.  The trie's
+// contents depend only on this relative permutation, so two join orders
+// that visit the factor's columns the same way share one cached trie.
+func trieOrderKey[V any](f *factor.Factor[V], pos map[int]int) string {
+	order := make([]int, 0, len(f.Vars))
+	for i := range f.Vars {
+		if _, ok := pos[f.Vars[i]]; !ok {
+			return "" // unknown variable: let buildTrie report the error
+		}
+		order = append(order, i)
+	}
+	// Insertion sort by global position: factor arities are tiny.
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && pos[f.Vars[order[j]]] < pos[f.Vars[order[j-1]]]; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	return varsKey(order)
+}
+
+// trieFor returns the CSR trie of f along pos, from the cache when f is a
+// registered factor (or a cached projection of one) and the trie was built
+// before.  Concurrent first builds may both construct; both results are
+// identical and either may win the store.
+func (c *TrieCache[V]) trieFor(f *factor.Factor[V], pos map[int]int) (*trie[V], error) {
+	if c == nil {
+		return buildTrie(f, pos)
+	}
+	c.mu.Lock()
+	if !c.allowed[f] {
+		// Intermediate factors are fresh every run — expected builds, not
+		// cache misses, so they stay out of the counters.
+		c.mu.Unlock()
+		return buildTrie(f, pos)
+	}
+	key := trieKey[V]{f: f, order: trieOrderKey(f, pos)}
+	if t, ok := c.tries[key]; ok {
+		c.hits++
+		c.mu.Unlock()
+		return t.(*trie[V]), nil
+	}
+	c.misses++
+	c.mu.Unlock()
+
+	t, err := buildTrie(f, pos) // build outside the lock
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.tries[key] = t
+	c.mu.Unlock()
+	return t, nil
+}
+
+// Projection returns the indicator projection of f onto the given variable
+// set, memoized when f is a registered factor.  Cached projections are
+// themselves registered, so their tries are cacheable in turn — on a warm
+// cache a repeat Run performs no trie or projection builds at all.
+func (c *TrieCache[V]) Projection(d *semiring.Domain[V], f *factor.Factor[V], onto []int) *factor.Factor[V] {
+	if c == nil {
+		return f.IndicatorProjection(d, onto)
+	}
+	c.mu.Lock()
+	if !c.allowed[f] {
+		c.mu.Unlock()
+		return f.IndicatorProjection(d, onto)
+	}
+	key := projKey[V]{f: f, onto: varsKey(onto)}
+	if p, ok := c.projs[key]; ok {
+		c.hits++
+		c.mu.Unlock()
+		return p
+	}
+	c.misses++
+	c.mu.Unlock()
+
+	p := f.IndicatorProjection(d, onto)
+	c.mu.Lock()
+	if prev, ok := c.projs[key]; ok {
+		p = prev // lost a race: keep the stored copy so trie keys stay stable
+	} else {
+		c.projs[key] = p
+		c.allowed[p] = true
+	}
+	c.mu.Unlock()
+	return p
+}
+
+// Counters returns (hits, misses) for tests and /statsz-style monitoring.
+func (c *TrieCache[V]) Counters() (hits, misses int64) {
+	if c == nil {
+		return 0, 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

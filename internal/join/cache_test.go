@@ -1,0 +1,121 @@
+package join
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/faqdb/faq/internal/factor"
+	"github.com/faqdb/faq/internal/semiring"
+)
+
+func TestTrieCacheMemoizesRegisteredFactors(t *testing.T) {
+	d := semiring.Float()
+	rng := rand.New(rand.NewSource(11))
+	f := randomFactor(rng, d, []int{0, 1}, 8, 30)
+	g := randomFactor(rng, d, []int{0, 1}, 8, 30) // not registered
+	c := NewTrieCache([]*factor.Factor[float64]{f})
+	pos := map[int]int{0: 0, 1: 1}
+
+	t1, err := c.trieFor(f, pos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := c.trieFor(f, pos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t1 != t2 {
+		t.Fatal("registered factor rebuilt its trie on the second call")
+	}
+	// A different column order is a distinct entry, also memoized.
+	rev := map[int]int{0: 1, 1: 0}
+	r1, _ := c.trieFor(f, rev)
+	r2, _ := c.trieFor(f, rev)
+	if r1 == t1 || r1 != r2 {
+		t.Fatal("per-order memoization broken")
+	}
+	// Unregistered factors always build fresh and are never stored.
+	u1, _ := c.trieFor(g, pos)
+	u2, _ := c.trieFor(g, pos)
+	if u1 == u2 {
+		t.Fatal("unregistered factor was cached")
+	}
+	hits, misses := c.Counters()
+	if hits != 2 || misses < 2 {
+		t.Fatalf("counters hits=%d misses=%d, want 2 hits", hits, misses)
+	}
+}
+
+func TestTrieCacheProjectionIdentityIsStable(t *testing.T) {
+	d := semiring.Float()
+	f := randomFactor(rand.New(rand.NewSource(12)), d, []int{0, 1, 2}, 6, 40)
+	c := NewTrieCache([]*factor.Factor[float64]{f})
+
+	p1 := c.Projection(d, f, []int{0, 1})
+	p2 := c.Projection(d, f, []int{0, 1})
+	if p1 != p2 {
+		t.Fatal("projection identity changed between calls: its trie could never cache")
+	}
+	if !p1.Equal(d, f.IndicatorProjection(d, []int{0, 1})) {
+		t.Fatal("cached projection differs from a fresh one")
+	}
+	// The cached projection is itself registered: its trie memoizes too.
+	pos := map[int]int{0: 0, 1: 1}
+	t1, _ := c.trieFor(p1, pos)
+	t2, _ := c.trieFor(p1, pos)
+	if t1 != t2 {
+		t.Fatal("projection trie not memoized")
+	}
+	// Projections of unregistered factors are computed but not stored.
+	g := randomFactor(rand.New(rand.NewSource(13)), d, []int{0, 1, 2}, 6, 40)
+	if c.Projection(d, g, []int{0, 1}) == c.Projection(d, g, []int{0, 1}) {
+		t.Fatal("unregistered projection was cached")
+	}
+}
+
+func TestNilTrieCacheBuildsFresh(t *testing.T) {
+	d := semiring.Float()
+	f := randomFactor(rand.New(rand.NewSource(14)), d, []int{0, 1}, 8, 20)
+	var c *TrieCache[float64]
+	if _, err := c.trieFor(f, map[int]int{0: 0, 1: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Projection(d, f, []int{0}); got == nil {
+		t.Fatal("nil cache projection")
+	}
+	if h, m := c.Counters(); h != 0 || m != 0 {
+		t.Fatal("nil cache counted something")
+	}
+}
+
+// TestCachedScanMatchesUncached asserts the end-to-end invariant the engine
+// relies on: the same elimination run answered through a warm cache is
+// bit-identical to a cold build.
+func TestCachedScanMatchesUncached(t *testing.T) {
+	d := semiring.Float()
+	op := semiring.OpFloatSum()
+	rng := rand.New(rand.NewSource(15))
+	fs := []*factor.Factor[float64]{
+		randomFactor(rng, d, []int{0, 1}, 10, 50),
+		randomFactor(rng, d, []int{1, 2}, 10, 50),
+		randomFactor(rng, d, []int{0, 2}, 10, 50),
+	}
+	vars := []int{2, 0, 1}
+	want, err := EliminateInnermost(d, op, fs, vars, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewTrieCache(fs)
+	for round := 0; round < 3; round++ {
+		got, err := EliminateInnermostOn(nil, nil, 1, c, d, op, fs, vars, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !want.Equal(d, got) {
+			t.Fatalf("round %d: cached scan diverged", round)
+		}
+	}
+	if hits, _ := c.Counters(); hits == 0 {
+		t.Fatal("warm rounds never hit the cache")
+	}
+}

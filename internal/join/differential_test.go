@@ -1,0 +1,382 @@
+// Differential test for the CSR trie layout: a reference implementation of
+// the scan using the map-based pointer tries this package used to build
+// (node{children map[int]*node, keys []int}) is kept here in test code, and
+// the flat-trie Runner must reproduce its output factors bit-identically —
+// same rows, same value bits, same Stats counters — across the Float, Int,
+// Bool and Tropical domains and across worker counts.
+package join
+
+import (
+	"math"
+	"math/rand"
+	"slices"
+	"sort"
+	"testing"
+
+	"github.com/faqdb/faq/internal/factor"
+	"github.com/faqdb/faq/internal/semiring"
+)
+
+// refNode / refTrie are the retired pointer-trie layout.
+type refNode[V any] struct {
+	children map[int]*refNode[V]
+	keys     []int
+	value    V
+}
+
+type refTrie[V any] struct {
+	vars []int
+	root *refNode[V]
+}
+
+func refBuildTrie[V any](f *factor.Factor[V], pos map[int]int) *refTrie[V] {
+	order := make([]int, f.Arity())
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return pos[f.Vars[order[a]]] < pos[f.Vars[order[b]]] })
+	t := &refTrie[V]{root: &refNode[V]{}}
+	for _, i := range order {
+		t.vars = append(t.vars, f.Vars[i])
+	}
+	var buf []int
+	for r := 0; r < f.Size(); r++ {
+		buf = f.Tuple(r, buf)
+		cur := t.root
+		for _, i := range order {
+			key := buf[i]
+			if cur.children == nil {
+				cur.children = map[int]*refNode[V]{}
+			}
+			next := cur.children[key]
+			if next == nil {
+				next = &refNode[V]{}
+				cur.children[key] = next
+				cur.keys = append(cur.keys, key)
+			}
+			cur = next
+		}
+		cur.value = f.Values[r]
+	}
+	var sortKeys func(n *refNode[V])
+	sortKeys = func(n *refNode[V]) {
+		sort.Ints(n.keys)
+		for _, c := range n.children {
+			sortKeys(c)
+		}
+	}
+	sortKeys(t.root)
+	return t
+}
+
+// refScan is the retired backtracking scan: lead = fewest children, probe
+// the rest through the hash maps, emit in lexicographic order.
+type refScan[V any] struct {
+	d         *semiring.Domain[V]
+	vars      []int
+	tries     []*refTrie[V]
+	consumers [][]int
+	finishers [][]int
+	cursors   [][]*refNode[V]
+	tuple     []int
+	constProd V
+	empty     bool
+	stats     Stats
+}
+
+func newRefScan[V any](d *semiring.Domain[V], factors []*factor.Factor[V], vars []int) *refScan[V] {
+	pos := make(map[int]int, len(vars))
+	for i, v := range vars {
+		pos[v] = i
+	}
+	r := &refScan[V]{d: d, vars: vars, constProd: d.One}
+	for _, f := range factors {
+		if f.Arity() == 0 {
+			if f.Size() == 0 {
+				r.empty = true
+			} else {
+				r.constProd = d.Mul(r.constProd, f.Values[0])
+			}
+			continue
+		}
+		r.tries = append(r.tries, refBuildTrie(f, pos))
+	}
+	r.consumers = make([][]int, len(vars))
+	r.finishers = make([][]int, len(vars))
+	for ti, t := range r.tries {
+		for j, v := range t.vars {
+			depth := pos[v]
+			r.consumers[depth] = append(r.consumers[depth], ti)
+			if j == len(t.vars)-1 {
+				r.finishers[depth] = append(r.finishers[depth], ti)
+			}
+		}
+	}
+	r.cursors = make([][]*refNode[V], len(r.tries))
+	for i, t := range r.tries {
+		r.cursors[i] = make([]*refNode[V], len(t.vars)+1)
+		r.cursors[i][0] = t.root
+	}
+	r.tuple = make([]int, len(vars))
+	return r
+}
+
+func (r *refScan[V]) cursorOf(ti int) *refNode[V] {
+	stack := r.cursors[ti]
+	for d := len(stack) - 1; d >= 0; d-- {
+		if stack[d] != nil {
+			return stack[d]
+		}
+	}
+	return nil
+}
+
+func (r *refScan[V]) run(emit func([]int, V)) {
+	if r.empty || r.d.IsZero(r.constProd) {
+		return
+	}
+	r.search(0, r.constProd, emit)
+}
+
+func (r *refScan[V]) search(depth int, prod V, emit func([]int, V)) {
+	if depth == len(r.vars) {
+		r.stats.Emitted++
+		emit(r.tuple, prod)
+		return
+	}
+	cons := r.consumers[depth]
+	lead := cons[0]
+	leadNode := r.cursorOf(lead)
+	for _, ti := range cons[1:] {
+		if n := r.cursorOf(ti); len(n.keys) < len(leadNode.keys) {
+			lead, leadNode = ti, n
+		}
+	}
+	for _, key := range leadNode.keys {
+		ok := true
+		for _, ti := range cons {
+			if ti == lead {
+				continue
+			}
+			r.stats.Probes++
+			if r.cursorOf(ti).children[key] == nil {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		for _, ti := range cons {
+			cur := r.cursorOf(ti)
+			stack := r.cursors[ti]
+			for d := 1; d < len(stack); d++ {
+				if stack[d] == nil {
+					stack[d] = cur.children[key]
+					break
+				}
+			}
+		}
+		p := prod
+		zero := false
+		for _, ti := range r.finishers[depth] {
+			p = r.d.Mul(p, r.cursorOf(ti).value)
+			r.stats.Multiplies++
+			if r.d.IsZero(p) {
+				zero = true
+				break
+			}
+		}
+		if !zero {
+			r.tuple[depth] = key
+			r.search(depth+1, p, emit)
+		}
+		for _, ti := range cons {
+			stack := r.cursors[ti]
+			for d := len(stack) - 1; d >= 1; d-- {
+				if stack[d] != nil {
+					stack[d] = nil
+					break
+				}
+			}
+		}
+	}
+}
+
+// refEliminate reproduces the old EliminateInnermost on the reference scan.
+func refEliminate[V any](d *semiring.Domain[V], op *semiring.Op[V],
+	factors []*factor.Factor[V], vars []int, stats *Stats) (*factor.Factor[V], error) {
+
+	r := newRefScan[V](d, factors, vars)
+	outVars := vars[:len(vars)-1]
+	sortedVars := append([]int(nil), outVars...)
+	sort.Ints(sortedVars)
+	perm := permutationTo(outVars, sortedVars)
+
+	var tuples [][]int
+	var values []V
+	var prefix []int
+	var acc V
+	havePrefix := false
+	flush := func() {
+		if !havePrefix || d.IsZero(acc) {
+			return
+		}
+		t := make([]int, len(prefix))
+		for i, p := range perm {
+			t[i] = prefix[p]
+		}
+		tuples = append(tuples, t)
+		values = append(values, acc)
+	}
+	r.run(func(tuple []int, val V) {
+		cur := tuple[:len(tuple)-1]
+		if havePrefix && samePrefix(prefix, cur) {
+			acc = op.Combine(acc, val)
+			return
+		}
+		flush()
+		prefix = append(prefix[:0], cur...)
+		acc = val
+		havePrefix = true
+	})
+	flush()
+	*stats = r.stats
+	return factor.New(d, sortedVars, tuples, values, nil)
+}
+
+// refJoinAll reproduces the old JoinAll on the reference scan.
+func refJoinAll[V any](d *semiring.Domain[V], factors []*factor.Factor[V],
+	vars []int, stats *Stats) (*factor.Factor[V], error) {
+
+	r := newRefScan[V](d, factors, vars)
+	sortedVars := append([]int(nil), vars...)
+	sort.Ints(sortedVars)
+	perm := permutationTo(vars, sortedVars)
+	var tuples [][]int
+	var values []V
+	r.run(func(tuple []int, val V) {
+		t := make([]int, len(tuple))
+		for i, p := range perm {
+			t[i] = tuple[p]
+		}
+		tuples = append(tuples, t)
+		values = append(values, val)
+	})
+	*stats = r.stats
+	return factor.New(d, sortedVars, tuples, values, nil)
+}
+
+// diffDomain runs the differential comparison for one domain.
+func diffDomain[V any](t *testing.T, seed int64, d *semiring.Domain[V], op *semiring.Op[V],
+	randVal func(*rand.Rand) V, bits func(V) uint64) {
+
+	t.Helper()
+	forceBlocks(t)
+	rng := rand.New(rand.NewSource(seed))
+	identical := func(trial string, got, want *factor.Factor[V]) {
+		t.Helper()
+		if got.Size() != want.Size() || got.Arity() != want.Arity() {
+			t.Fatalf("%s: shape %dx%d vs reference %dx%d",
+				trial, got.Size(), got.Arity(), want.Size(), want.Arity())
+		}
+		for i := 0; i < got.Size(); i++ {
+			if !slices.Equal(got.Row(i), want.Row(i)) {
+				t.Fatalf("%s: row %d = %v, reference %v", trial, i, got.Row(i), want.Row(i))
+			}
+			if bits(got.Values[i]) != bits(want.Values[i]) {
+				t.Fatalf("%s: value %d = %v, reference %v (not bit-identical)",
+					trial, i, got.Values[i], want.Values[i])
+			}
+		}
+	}
+	for trial := 0; trial < 30; trial++ {
+		dom := 2 + rng.Intn(10)
+		n := 1 + rng.Intn(60)
+		mkf := func(vars []int) *factor.Factor[V] {
+			var tuples [][]int
+			var values []V
+			for i := 0; i < n; i++ {
+				tup := make([]int, len(vars))
+				for j := range tup {
+					tup[j] = rng.Intn(dom)
+				}
+				tuples = append(tuples, tup)
+				values = append(values, randVal(rng))
+			}
+			f, err := factor.New(d, vars, tuples, values, func(a, b V) V { return a })
+			if err != nil {
+				panic(err)
+			}
+			return f
+		}
+		fs := []*factor.Factor[V]{mkf([]int{0, 1}), mkf([]int{1, 2}), mkf([]int{0, 2})}
+		vars := []int{0, 1, 2}
+		if trial%2 == 1 {
+			vars = []int{1, 2, 0} // permuted join order: tries re-sort columns
+		}
+
+		var wantStats Stats
+		want, err := refEliminate(d, op, fs, vars, &wantStats)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 2, 4} {
+			var gotStats Stats
+			got, err := EliminateInnermostPar(d, op, fs, vars, workers, &gotStats)
+			if err != nil {
+				t.Fatal(err)
+			}
+			identical("eliminate", got, want)
+			if gotStats != wantStats {
+				t.Fatalf("eliminate workers=%d: stats %+v, reference %+v", workers, gotStats, wantStats)
+			}
+		}
+
+		var wantJoin Stats
+		wantJ, err := refJoinAll(d, fs, vars, &wantJoin)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 3} {
+			var gotJoin Stats
+			gotJ, err := JoinAllPar(d, fs, vars, workers, &gotJoin)
+			if err != nil {
+				t.Fatal(err)
+			}
+			identical("joinAll", gotJ, wantJ)
+			if gotJoin != wantJoin {
+				t.Fatalf("joinAll workers=%d: stats %+v, reference %+v", workers, gotJoin, wantJoin)
+			}
+		}
+	}
+}
+
+func TestDifferentialFlatTrieFloat(t *testing.T) {
+	diffDomain(t, 501, semiring.Float(), semiring.OpFloatSum(),
+		func(rng *rand.Rand) float64 { return float64(1+rng.Intn(9)) / 4 },
+		math.Float64bits)
+}
+
+func TestDifferentialFlatTrieInt(t *testing.T) {
+	diffDomain(t, 502, semiring.Int(), semiring.OpIntSum(),
+		func(rng *rand.Rand) int64 { return int64(1 + rng.Intn(7)) },
+		func(v int64) uint64 { return uint64(v) })
+}
+
+func TestDifferentialFlatTrieBool(t *testing.T) {
+	diffDomain(t, 503, semiring.Bool(), semiring.OpOr(),
+		func(*rand.Rand) bool { return true },
+		func(v bool) uint64 {
+			if v {
+				return 1
+			}
+			return 0
+		})
+}
+
+func TestDifferentialFlatTrieTropical(t *testing.T) {
+	diffDomain(t, 504, semiring.Tropical(), semiring.OpTropicalMin(),
+		func(rng *rand.Rand) float64 { return float64(rng.Intn(12)) },
+		math.Float64bits)
+}

@@ -6,11 +6,20 @@
 // factor trie constraining the variable, enumerated from the smallest such
 // set.  On AGM-tight instances the number of explored partial assignments is
 // within the fractional-edge-cover bound of Theorem 5.1.
+//
+// Tries are flat CSR structures, not pointer trees: each level is a pair of
+// parallel arrays — sorted child keys plus child-offset ranges into the next
+// level — built in one O(n) pass from the factor's already-sorted row block
+// (plus one re-sort when the join order permutes the factor's columns).
+// Candidate intersection walks the lead trie's key range and locates each
+// key in the other tries by galloping binary search, with a moving lower
+// bound per trie so a whole range scan stays O(k log gap).
 package join
 
 import (
 	"context"
 	"fmt"
+	"slices"
 	"sort"
 	"sync/atomic"
 
@@ -37,27 +46,31 @@ func (s *Stats) Merge(t *Stats) {
 	atomic.AddInt64(&s.Multiplies, t.Multiplies)
 }
 
-type node[V any] struct {
-	children map[int]*node[V]
-	keys     []int // sorted child keys
-	value    V     // meaningful at leaves only
+// trieLevel is one depth of a CSR trie: keys holds every node's key at this
+// level grouped by parent (each group sorted ascending), and start[i] is the
+// offset of node i's first child in the NEXT level's keys — a node's
+// children are next.keys[start[i]:start[i+1]].  The deepest level carries no
+// start array; its node indices index the trie's values directly.
+type trieLevel struct {
+	keys  []int32
+	start []int32 // len(keys)+1 on non-leaf levels, nil on the leaf level
 }
 
-func (n *node[V]) child(key int) *node[V] {
-	if n.children == nil {
-		return nil
-	}
-	return n.children[key]
-}
-
-// trie is a factor re-keyed along the global variable order.
+// trie is a factor re-keyed along the global variable order, in CSR layout.
 type trie[V any] struct {
-	vars []int // factor vars sorted by global position
-	root *node[V]
+	vars   []int // factor vars sorted by global position
+	levels []trieLevel
+	values []V // leaf values, one per row, in trie row order
 }
 
-func buildTrie[V any](d *semiring.Domain[V], f *factor.Factor[V], pos map[int]int) (*trie[V], error) {
-	order := make([]int, len(f.Vars)) // positions within f.Vars, sorted by global order
+// buildTrie flattens f into CSR form along the global order.  When the join
+// order visits the factor's columns in their stored order the build is a
+// single pass over the sorted row block; otherwise the rows are permuted and
+// re-sorted first (rows stay unique under a column permutation, so the sort
+// is a strict total order and the result deterministic).
+func buildTrie[V any](f *factor.Factor[V], pos map[int]int) (*trie[V], error) {
+	k := f.Arity()
+	order := make([]int, k) // positions within f.Vars, sorted by global order
 	for i := range order {
 		order[i] = i
 	}
@@ -67,36 +80,138 @@ func buildTrie[V any](d *semiring.Domain[V], f *factor.Factor[V], pos map[int]in
 		}
 	}
 	sort.Slice(order, func(a, b int) bool { return pos[f.Vars[order[a]]] < pos[f.Vars[order[b]]] })
-	t := &trie[V]{root: &node[V]{}}
-	for _, i := range order {
-		t.vars = append(t.vars, f.Vars[i])
-	}
-	for r, tup := range f.Tuples {
-		cur := t.root
-		for _, i := range order {
-			key := tup[i]
-			if cur.children == nil {
-				cur.children = map[int]*node[V]{}
-			}
-			next := cur.children[key]
-			if next == nil {
-				next = &node[V]{}
-				cur.children[key] = next
-				cur.keys = append(cur.keys, key)
-			}
-			cur = next
+	t := &trie[V]{vars: make([]int, k), levels: make([]trieLevel, k)}
+	identity := true
+	for i, o := range order {
+		t.vars[i] = f.Vars[o]
+		if o != i {
+			identity = false
 		}
-		cur.value = f.Values[r]
 	}
-	sortKeys(t.root)
+	n := f.Size()
+	rows := f.Rows()
+	if identity {
+		t.values = f.Values // shared read-only with the factor
+		t.buildLevels(rows, k, n)
+		return t, nil
+	}
+	// Permute columns into trie order, then re-sort the permuted block.
+	perm := make([]int32, n*k)
+	for r := 0; r < n; r++ {
+		row := rows[r*k : r*k+k]
+		for i, o := range order {
+			perm[r*k+i] = row[o]
+		}
+	}
+	rowOrder := sortRowOrder(perm, k, n)
+	sorted := make([]int32, 0, n*k)
+	t.values = make([]V, n)
+	for i, o := range rowOrder {
+		sorted = append(sorted, perm[o*k:o*k+k]...)
+		t.values[i] = f.Values[o]
+	}
+	t.buildLevels(sorted, k, n)
 	return t, nil
 }
 
-func sortKeys[V any](n *node[V]) {
-	sort.Ints(n.keys)
-	for _, c := range n.children {
-		sortKeys(c)
+// sortRowOrder argsorts n rows of width k lexicographically.  Rows of arity
+// <= 2 — binary relations, the bulk of join inputs — pack into one ordered
+// uint64 key per row, so the sort runs on machine-word compares instead of
+// per-compare column loops.
+func sortRowOrder(rows []int32, k, n int) []int {
+	rowOrder := make([]int, n)
+	for i := range rowOrder {
+		rowOrder[i] = i
 	}
+	if k <= 2 {
+		type kv struct {
+			key uint64
+			idx int32
+		}
+		pairs := make([]kv, n)
+		for r := 0; r < n; r++ {
+			// XOR of the sign bit maps int32 order onto uint32 order.
+			hi := uint64(uint32(rows[r*k]) ^ 0x80000000)
+			var lo uint64
+			if k == 2 {
+				lo = uint64(uint32(rows[r*k+1]) ^ 0x80000000)
+			}
+			pairs[r] = kv{key: hi<<32 | lo, idx: int32(r)}
+		}
+		slices.SortFunc(pairs, func(a, b kv) int {
+			if a.key < b.key {
+				return -1
+			}
+			return 1 // rows are unique: keys never tie
+		})
+		for i, p := range pairs {
+			rowOrder[i] = int(p.idx)
+		}
+		return rowOrder
+	}
+	sort.Slice(rowOrder, func(a, b int) bool {
+		ra, rb := rows[rowOrder[a]*k:rowOrder[a]*k+k], rows[rowOrder[b]*k:rowOrder[b]*k+k]
+		for i := range ra {
+			if ra[i] != rb[i] {
+				return ra[i] < rb[i]
+			}
+		}
+		return false
+	})
+	return rowOrder
+}
+
+// buildLevels fills the CSR levels from a sorted unique row block in one
+// pass: for each row, levels above the longest common prefix with the
+// previous row get a new node, and each new node records where its children
+// begin in the level below.
+func (t *trie[V]) buildLevels(rows []int32, k, n int) {
+	for r := 0; r < n; r++ {
+		row := rows[r*k : r*k+k]
+		c := 0
+		if r > 0 {
+			prev := rows[(r-1)*k : r*k]
+			for c < k && row[c] == prev[c] {
+				c++
+			}
+		}
+		for d := c; d < k; d++ {
+			if d+1 < k {
+				t.levels[d].start = append(t.levels[d].start, int32(len(t.levels[d+1].keys)))
+			}
+			t.levels[d].keys = append(t.levels[d].keys, row[d])
+		}
+	}
+	for d := 0; d+1 < k; d++ {
+		t.levels[d].start = append(t.levels[d].start, int32(len(t.levels[d+1].keys)))
+	}
+}
+
+// gallop returns the first index in keys[lo:hi) holding a value >= key
+// (hi if none) and whether it is an exact match, by exponential probing from
+// lo followed by binary search — O(log distance), so a monotone sequence of
+// lookups over one range costs O(k log gap) instead of O(k log n).
+func gallop(keys []int32, lo, hi int, key int32) (int, bool) {
+	if lo >= hi || keys[hi-1] < key {
+		return hi, false
+	}
+	bound := 1
+	for lo+bound < hi && keys[lo+bound] < key {
+		bound <<= 1
+	}
+	l, h := lo+bound>>1, lo+bound
+	if h > hi {
+		h = hi
+	}
+	for l < h {
+		m := int(uint(l+h) >> 1)
+		if keys[m] < key {
+			l = m + 1
+		} else {
+			h = m
+		}
+	}
+	return l, keys[l] == key
 }
 
 // Runner evaluates a join of factors over an explicit variable order.
@@ -108,17 +223,33 @@ type Runner[V any] struct {
 	tries     []*trie[V]
 	consumers [][]int // per depth: indices of tries consuming this variable
 	finishers [][]int // per depth: tries whose last variable is this depth
-	cursors   [][]*node[V]
-	tuple     []int
+
+	// Traversal state (per clone): depth[ti] is trie ti's local depth, and
+	// node[ti][d] the node index bound at its local level d.
+	depth []int
+	node  [][]int32
+	tuple []int
+	// Per-global-depth scratch for the intersection loop, sized to the
+	// consumer count so the recursive scan allocates nothing.
+	scratch   []depthScratch
 	constProd V    // product of nullary factor values
 	empty     bool // some factor is identically zero
 
-	// Block restriction (see parallel.go): when topKeys is non-nil the
-	// outermost variable enumerates exactly these candidate keys from trie
-	// topLead instead of picking a lead dynamically.  Key blocks partition
-	// the scan into disjoint, independently runnable key ranges.
-	topLead int
-	topKeys []int
+	// Block restriction (see parallel.go): when hasTop is set the outermost
+	// variable enumerates exactly lead-trie candidates [topLo, topHi)
+	// instead of picking a lead dynamically.  Index blocks partition the
+	// scan into disjoint, independently runnable key ranges.
+	topLead      int
+	topLo, topHi int
+	hasTop       bool
+}
+
+// depthScratch holds the per-consumer cursors of one depth's intersection.
+type depthScratch struct {
+	keys  [][]int32 // consumer's candidate key array
+	lo    []int     // consumer's moving lower bound (galloping resume point)
+	hi    []int     // consumer's candidate range end
+	found []int     // matched node index per consumer
 }
 
 // NewRunner prepares a join of the given factors over vars (outermost
@@ -126,13 +257,14 @@ type Runner[V any] struct {
 // variable of vars must occur in at least one factor (otherwise its
 // candidate set would be unconstrained).
 func NewRunner[V any](d *semiring.Domain[V], factors []*factor.Factor[V], vars []int) (*Runner[V], error) {
-	return newRunner(nil, nil, 1, d, factors, vars)
+	return newRunner(nil, nil, 1, nil, d, factors, vars)
 }
 
 // newRunner is NewRunner with trie construction fanned out over the worker
 // pool — factor tries are independent, so building them concurrently is
-// deterministic.  A nil pool builds inline.
-func newRunner[V any](ctx context.Context, pool *Pool, limit int,
+// deterministic — and answered from the trie cache where possible.  A nil
+// pool builds inline; a nil cache always builds.
+func newRunner[V any](ctx context.Context, pool *Pool, limit int, cache *TrieCache[V],
 	d *semiring.Domain[V], factors []*factor.Factor[V], vars []int) (*Runner[V], error) {
 	pos := make(map[int]int, len(vars))
 	for i, v := range vars {
@@ -159,7 +291,7 @@ func newRunner[V any](ctx context.Context, pool *Pool, limit int,
 	tries := make([]*trie[V], len(positive))
 	errs := make([]error, len(positive))
 	if err := pool.Run(ctx, len(positive), limit, func(i int) {
-		tries[i], errs[i] = buildTrie(d, positive[i], pos)
+		tries[i], errs[i] = cache.trieFor(positive[i], pos)
 	}); err != nil {
 		return nil, err
 	}
@@ -185,13 +317,43 @@ func newRunner[V any](ctx context.Context, pool *Pool, limit int,
 			return nil, fmt.Errorf("join: variable %d is constrained by no factor", vars[depth])
 		}
 	}
-	r.cursors = make([][]*node[V], len(r.tries))
-	for i, t := range r.tries {
-		r.cursors[i] = make([]*node[V], len(t.vars)+1)
-		r.cursors[i][0] = t.root
-	}
-	r.tuple = make([]int, len(vars))
+	r.initTraversal()
 	return r, nil
+}
+
+// initTraversal allocates the per-clone traversal state.
+func (r *Runner[V]) initTraversal() {
+	r.depth = make([]int, len(r.tries))
+	r.node = make([][]int32, len(r.tries))
+	for i, t := range r.tries {
+		r.node[i] = make([]int32, len(t.vars))
+	}
+	r.tuple = make([]int, len(r.Vars))
+	r.scratch = make([]depthScratch, len(r.Vars))
+	for d, cons := range r.consumers {
+		n := len(cons)
+		r.scratch[d] = depthScratch{
+			keys:  make([][]int32, n),
+			lo:    make([]int, n),
+			hi:    make([]int, n),
+			found: make([]int, n),
+		}
+	}
+}
+
+// childRange returns trie ti's candidate node range at its current local
+// depth: the whole first level at the root, else the CSR child range of the
+// node bound one level up.
+func (r *Runner[V]) childRange(ti int) (keys []int32, lo, hi int) {
+	t := r.tries[ti]
+	d := r.depth[ti]
+	keys = t.levels[d].keys
+	if d == 0 {
+		return keys, 0, len(keys)
+	}
+	up := t.levels[d-1]
+	p := r.node[ti][d-1]
+	return keys, int(up.start[p]), int(up.start[p+1])
 }
 
 // Run enumerates every assignment to Vars supported by all factors, calling
@@ -214,94 +376,73 @@ func (r *Runner[V]) search(depth int, prod V, emit func([]int, V)) {
 		return
 	}
 	cons := r.consumers[depth]
+	sc := &r.scratch[depth]
 	// Pick the consumer with the fewest candidates and probe the others.
-	lead := cons[0]
-	leadNode := r.cursorOf(lead)
-	for _, ti := range cons[1:] {
-		if n := r.cursorOf(ti); len(n.keys) < len(leadNode.keys) {
-			lead, leadNode = ti, n
+	lead := 0
+	for ci, ti := range cons {
+		keys, lo, hi := r.childRange(ti)
+		sc.keys[ci], sc.lo[ci], sc.hi[ci] = keys, lo, hi
+		if hi-lo < sc.hi[lead]-sc.lo[lead] {
+			lead = ci
 		}
 	}
-	keys := leadNode.keys
-	if depth == 0 && r.topKeys != nil {
-		lead = r.topLead
-		keys = r.topKeys
+	if depth == 0 && r.hasTop {
+		for ci, ti := range cons {
+			if ti == r.topLead {
+				lead = ci
+				sc.lo[ci], sc.hi[ci] = r.topLo, r.topHi
+			}
+		}
 	}
-	for _, key := range keys {
+	leadKeys := sc.keys[lead]
+	for p := sc.lo[lead]; p < sc.hi[lead]; p++ {
+		key := leadKeys[p]
 		ok := true
-		for _, ti := range cons {
-			if ti == lead {
+		for ci := range cons {
+			if ci == lead {
+				sc.found[ci] = p
 				continue
 			}
 			if r.Stats != nil {
 				r.Stats.Probes++
 			}
-			if r.cursorOf(ti).child(key) == nil {
+			at, exact := gallop(sc.keys[ci], sc.lo[ci], sc.hi[ci], key)
+			sc.lo[ci] = at // lead keys ascend, so the next probe resumes here
+			if !exact {
 				ok = false
 				break
 			}
+			sc.found[ci] = at
 		}
 		if !ok {
 			continue
 		}
 		// Descend all consumers.
-		for _, ti := range cons {
-			cur := r.cursorOf(ti)
-			r.setCursor(ti, cur.child(key))
+		for ci, ti := range cons {
+			r.node[ti][r.depth[ti]] = int32(sc.found[ci])
+			r.depth[ti]++
 		}
-		p := prod
+		pr := prod
 		zero := false
 		for _, ti := range r.finishers[depth] {
-			leaf := r.cursorOf(ti)
-			p = r.D.Mul(p, leaf.value)
+			t := r.tries[ti]
+			leaf := r.node[ti][len(t.vars)-1]
+			pr = r.D.Mul(pr, t.values[leaf])
 			if r.Stats != nil {
 				r.Stats.Multiplies++
 			}
-			if r.D.IsZero(p) {
+			if r.D.IsZero(pr) {
 				zero = true
 				break
 			}
 		}
 		if !zero {
-			r.tuple[depth] = key
-			r.search(depth+1, p, emit)
+			r.tuple[depth] = int(key)
+			r.search(depth+1, pr, emit)
 		}
 		// Ascend.
 		for _, ti := range cons {
-			r.popCursor(ti)
-		}
-	}
-}
-
-// cursor bookkeeping: cursors[i] is a stack whose top is the deepest
-// non-nil node; descending fills the first nil slot, ascending clears the
-// last non-nil one.
-func (r *Runner[V]) cursorOf(ti int) *node[V] {
-	stack := r.cursors[ti]
-	for d := len(stack) - 1; d >= 0; d-- {
-		if stack[d] != nil {
-			return stack[d]
-		}
-	}
-	return nil
-}
-
-func (r *Runner[V]) setCursor(ti int, n *node[V]) {
-	stack := r.cursors[ti]
-	for d := 1; d < len(stack); d++ {
-		if stack[d] == nil {
-			stack[d] = n
-			return
-		}
-	}
-}
-
-func (r *Runner[V]) popCursor(ti int) {
-	stack := r.cursors[ti]
-	for d := len(stack) - 1; d >= 1; d-- {
-		if stack[d] != nil {
-			stack[d] = nil
-			return
+			r.depth[ti]--
 		}
 	}
 }
@@ -310,32 +451,21 @@ func (r *Runner[V]) popCursor(ti int) {
 // at each tuple is the ⊗-product of the inputs (the output phase of
 // InsideOut, Eq. (12)).
 func JoinAll[V any](d *semiring.Domain[V], factors []*factor.Factor[V], vars []int, stats *Stats) (*factor.Factor[V], error) {
-	r, err := NewRunner(d, factors, vars)
-	if err != nil {
-		return nil, err
-	}
-	r.Stats = stats
-	sortedVars := append([]int(nil), vars...)
-	sort.Ints(sortedVars)
-	perm := permutationTo(vars, sortedVars)
-	tuples, values := scanListing(r, perm)
-	return factor.New(d, sortedVars, tuples, values, nil)
+	return JoinAllOn(context.Background(), nil, 1, nil, d, factors, vars, stats)
 }
 
-// scanListing runs the prepared runner and collects one row per emitted
+// scanListing runs the prepared runner and collects one flat row per emitted
 // assignment, columns permuted to sorted-variable order.
-func scanListing[V any](r *Runner[V], perm []int) ([][]int, []V) {
-	var tuples [][]int
+func scanListing[V any](r *Runner[V], perm []int) ([]int32, []V) {
+	var rows []int32
 	var values []V
 	r.Run(func(tuple []int, val V) {
-		t := make([]int, len(tuple))
-		for i, p := range perm {
-			t[i] = tuple[p]
+		for _, p := range perm {
+			rows = append(rows, int32(tuple[p]))
 		}
-		tuples = append(tuples, t)
 		values = append(values, val)
 	})
-	return tuples, values
+	return rows, values
 }
 
 // EliminateInnermost evaluates the FAQ-SS sub-instance of Eq. (7): it joins
@@ -345,28 +475,15 @@ func scanListing[V any](r *Runner[V], perm []int) ([][]int, []V) {
 func EliminateInnermost[V any](d *semiring.Domain[V], op *semiring.Op[V],
 	factors []*factor.Factor[V], vars []int, stats *Stats) (*factor.Factor[V], error) {
 
-	if len(vars) == 0 {
-		return nil, fmt.Errorf("join: EliminateInnermost needs at least the eliminated variable")
-	}
-	r, err := NewRunner(d, factors, vars)
-	if err != nil {
-		return nil, err
-	}
-	r.Stats = stats
-	outVars := vars[:len(vars)-1]
-	sortedVars := append([]int(nil), outVars...)
-	sort.Ints(sortedVars)
-	perm := permutationTo(outVars, sortedVars)
-	tuples, values := scanGrouped(d, op, r, perm)
-	return factor.New(d, sortedVars, tuples, values, nil)
+	return EliminateInnermostOn(context.Background(), nil, 1, nil, d, op, factors, vars, stats)
 }
 
 // scanGrouped runs the prepared runner, ⊕-aggregating the innermost variable
 // over each group of assignments sharing a prefix.  The emitted prefixes
 // arrive in lexicographic order, so groups are contiguous; output rows are
 // permuted to sorted-variable order.
-func scanGrouped[V any](d *semiring.Domain[V], op *semiring.Op[V], r *Runner[V], perm []int) ([][]int, []V) {
-	var tuples [][]int
+func scanGrouped[V any](d *semiring.Domain[V], op *semiring.Op[V], r *Runner[V], perm []int) ([]int32, []V) {
+	var rows []int32
 	var values []V
 	var prefix []int
 	var acc V
@@ -376,11 +493,9 @@ func scanGrouped[V any](d *semiring.Domain[V], op *semiring.Op[V], r *Runner[V],
 		if !havePrefix || d.IsZero(acc) {
 			return
 		}
-		t := make([]int, len(prefix))
-		for i, p := range perm {
-			t[i] = prefix[p]
+		for _, p := range perm {
+			rows = append(rows, int32(prefix[p]))
 		}
-		tuples = append(tuples, t)
 		values = append(values, acc)
 	}
 	r.Run(func(tuple []int, val V) {
@@ -395,7 +510,7 @@ func scanGrouped[V any](d *semiring.Domain[V], op *semiring.Op[V], r *Runner[V],
 		havePrefix = true
 	})
 	flush()
-	return tuples, values
+	return rows, values
 }
 
 func samePrefix(a, b []int) bool {

@@ -1,9 +1,10 @@
 // Block-parallel OutsideIn: the backtracking scan of a multiway join is
 // embarrassingly parallel across disjoint ranges of the outermost variable's
-// candidate keys.  The tries are built once and shared read-only; each block
-// gets a Runner clone with fresh traversal state restricted to its key
-// range, and block outputs are concatenated in block order, which keeps
-// results bit-identical to the sequential scan:
+// candidate keys.  The CSR tries are built once and shared read-only; each
+// block gets a Runner clone with fresh traversal state restricted to its
+// index range of the lead trie's root level, and block outputs are
+// concatenated in block order, which keeps results bit-identical to the
+// sequential scan:
 //
 //   - every output group of EliminateInnermost includes the outermost
 //     variable in its prefix, so no ⊕-group spans two blocks and each group
@@ -15,13 +16,15 @@
 // floating-point results between worker counts.
 //
 // Block scans run on a persistent Pool (see pool.go): EliminateInnermostOn
-// and JoinAllOn take the pool plus a per-call concurrency limit and a
-// context checked at block boundaries.  The legacy ...Par entry points wrap
-// them with a transient pool for callers without an engine.
+// and JoinAllOn take the pool plus a per-call concurrency limit, a context
+// checked at block boundaries, and the prepared query's trie cache (nil
+// when there is none).  The legacy ...Par entry points wrap them with a
+// transient pool for callers without an engine.
 package join
 
 import (
 	"context"
+	"fmt"
 	"runtime"
 	"sort"
 	"sync"
@@ -93,41 +96,40 @@ func (r *Runner[V]) clone() *Runner[V] {
 		constProd: r.constProd,
 		empty:     r.empty,
 	}
-	c.cursors = make([][]*node[V], len(r.tries))
-	for i, t := range r.tries {
-		c.cursors[i] = make([]*node[V], len(t.vars)+1)
-		c.cursors[i][0] = t.root
-	}
-	c.tuple = make([]int, len(r.Vars))
+	c.initTraversal()
 	return c
 }
 
 // topPlan picks the depth-0 lead trie exactly as the sequential search would
-// (fewest root keys, first wins ties) and returns its candidate keys.
-func (r *Runner[V]) topPlan() (int, []int) {
+// (fewest root keys, first wins ties) and returns its candidate key count.
+func (r *Runner[V]) topPlan() (lead, n int) {
 	cons := r.consumers[0]
-	lead := cons[0]
-	leadNode := r.tries[lead].root
+	lead = cons[0]
+	n = len(r.tries[lead].levels[0].keys)
 	for _, ti := range cons[1:] {
-		if n := r.tries[ti].root; len(n.keys) < len(leadNode.keys) {
-			lead, leadNode = ti, n
+		if k := len(r.tries[ti].levels[0].keys); k < n {
+			lead, n = ti, k
 		}
 	}
-	return lead, leadNode.keys
+	return lead, n
 }
 
-// splitKeys partitions sorted candidate keys into at most
+// blockRange is a contiguous index range [Lo, Hi) of the lead trie's root
+// keys.
+type blockRange struct{ Lo, Hi int }
+
+// splitRange partitions n candidate indices into at most
 // workers×blocksPerWorker contiguous non-empty blocks.
-func splitKeys(keys []int, workers int) [][]int {
+func splitRange(n, workers int) []blockRange {
 	nb := workers * blocksPerWorker
-	if nb > len(keys) {
-		nb = len(keys)
+	if nb > n {
+		nb = n
 	}
-	out := make([][]int, 0, nb)
+	out := make([]blockRange, 0, nb)
 	for b := 0; b < nb; b++ {
-		lo, hi := b*len(keys)/nb, (b+1)*len(keys)/nb
+		lo, hi := b*n/nb, (b+1)*n/nb
 		if lo < hi {
-			out = append(out, keys[lo:hi])
+			out = append(out, blockRange{Lo: lo, Hi: hi})
 		}
 	}
 	return out
@@ -147,13 +149,14 @@ func totalRows[V any](factors []*factor.Factor[V]) int {
 // On cancellation the remaining blocks are skipped and ctx.Err() returned;
 // in-flight blocks finish first, so no goroutine outlives the call.
 func runBlocks[V any](ctx context.Context, pool *Pool, limit int, r *Runner[V],
-	lead int, blocks [][]int, stats *Stats, scan func(block int, rc *Runner[V])) error {
+	lead int, blocks []blockRange, stats *Stats, scan func(block int, rc *Runner[V])) error {
 
 	local := make([]Stats, len(blocks))
 	err := pool.Run(ctx, len(blocks), limit, func(b int) {
 		rc := r.clone()
 		rc.topLead = lead
-		rc.topKeys = blocks[b]
+		rc.topLo, rc.topHi = blocks[b].Lo, blocks[b].Hi
+		rc.hasTop = true
 		if stats != nil {
 			rc.Stats = &local[b]
 		}
@@ -166,20 +169,21 @@ func runBlocks[V any](ctx context.Context, pool *Pool, limit int, r *Runner[V],
 }
 
 // EliminateInnermostOn is EliminateInnermost on a persistent worker pool:
-// the scan is partitioned into contiguous key-range blocks of the outermost
-// join variable, blocks aggregate in parallel (at most `limit` in flight),
-// and outputs merge in block order.  The result is bit-identical to the
-// sequential scan for every pool size and limit; sub-scale instances and
-// scalar-output steps fall back to the sequential path.
+// the scan is partitioned into contiguous index blocks of the outermost join
+// variable's candidates, blocks aggregate in parallel (at most `limit` in
+// flight), and outputs merge in block order.  The result is bit-identical
+// to the sequential scan for every pool size and limit; sub-scale instances
+// and scalar-output steps fall back to the sequential path.  Trie builds and
+// indicator projections hit `cache` when the caller has one.
 func EliminateInnermostOn[V any](ctx context.Context, pool *Pool, limit int,
-	d *semiring.Domain[V], op *semiring.Op[V], factors []*factor.Factor[V],
-	vars []int, stats *Stats) (*factor.Factor[V], error) {
+	cache *TrieCache[V], d *semiring.Domain[V], op *semiring.Op[V],
+	factors []*factor.Factor[V], vars []int, stats *Stats) (*factor.Factor[V], error) {
 
-	width := poolWidth(pool, limit)
-	if len(vars) < 2 || width <= 1 || totalRows(factors) < MinParallelRows {
-		return EliminateInnermost(d, op, factors, vars, stats)
+	if len(vars) == 0 {
+		return nil, fmt.Errorf("join: EliminateInnermost needs at least the eliminated variable")
 	}
-	r, err := newRunner(ctx, pool, limit, d, factors, vars)
+	width := poolWidth(pool, limit)
+	r, err := newRunner(ctx, pool, limit, cache, d, factors, vars)
 	if err != nil {
 		return nil, err
 	}
@@ -188,43 +192,41 @@ func EliminateInnermostOn[V any](ctx context.Context, pool *Pool, limit int,
 	sort.Ints(sortedVars)
 	perm := permutationTo(outVars, sortedVars)
 
-	lead, keys := r.topPlan()
-	blocks := splitKeys(keys, width)
-	if len(blocks) < 2 {
-		r.Stats = stats
-		tuples, values := scanGrouped(d, op, r, perm)
-		return factor.New(d, sortedVars, tuples, values, nil)
+	if len(vars) >= 2 && width > 1 && totalRows(factors) >= MinParallelRows {
+		lead, n := r.topPlan()
+		if blocks := splitRange(n, width); len(blocks) >= 2 {
+			type part struct {
+				rows   []int32
+				values []V
+			}
+			parts := make([]part, len(blocks))
+			err = runBlocks(ctx, pool, limit, r, lead, blocks, stats, func(b int, rc *Runner[V]) {
+				parts[b].rows, parts[b].values = scanGrouped(d, op, rc, perm)
+			})
+			if err != nil {
+				return nil, err
+			}
+			var rows []int32
+			var values []V
+			for _, p := range parts {
+				rows = append(rows, p.rows...)
+				values = append(values, p.values...)
+			}
+			return factor.NewRows(d, sortedVars, rows, values, nil)
+		}
 	}
-	type part struct {
-		tuples [][]int
-		values []V
-	}
-	parts := make([]part, len(blocks))
-	err = runBlocks(ctx, pool, limit, r, lead, blocks, stats, func(b int, rc *Runner[V]) {
-		parts[b].tuples, parts[b].values = scanGrouped(d, op, rc, perm)
-	})
-	if err != nil {
-		return nil, err
-	}
-	var tuples [][]int
-	var values []V
-	for _, p := range parts {
-		tuples = append(tuples, p.tuples...)
-		values = append(values, p.values...)
-	}
-	return factor.New(d, sortedVars, tuples, values, nil)
+	r.Stats = stats
+	rows, values := scanGrouped(d, op, r, perm)
+	return factor.NewRows(d, sortedVars, rows, values, nil)
 }
 
 // JoinAllOn is JoinAll on the same block-parallel persistent pool.
 func JoinAllOn[V any](ctx context.Context, pool *Pool, limit int,
-	d *semiring.Domain[V], factors []*factor.Factor[V],
+	cache *TrieCache[V], d *semiring.Domain[V], factors []*factor.Factor[V],
 	vars []int, stats *Stats) (*factor.Factor[V], error) {
 
 	width := poolWidth(pool, limit)
-	if len(vars) == 0 || width <= 1 || totalRows(factors) < MinParallelRows {
-		return JoinAll(d, factors, vars, stats)
-	}
-	r, err := newRunner(ctx, pool, limit, d, factors, vars)
+	r, err := newRunner(ctx, pool, limit, cache, d, factors, vars)
 	if err != nil {
 		return nil, err
 	}
@@ -232,31 +234,32 @@ func JoinAllOn[V any](ctx context.Context, pool *Pool, limit int,
 	sort.Ints(sortedVars)
 	perm := permutationTo(vars, sortedVars)
 
-	lead, keys := r.topPlan()
-	blocks := splitKeys(keys, width)
-	if len(blocks) < 2 {
-		r.Stats = stats
-		tuples, values := scanListing(r, perm)
-		return factor.New(d, sortedVars, tuples, values, nil)
+	if len(vars) > 0 && width > 1 && totalRows(factors) >= MinParallelRows {
+		lead, n := r.topPlan()
+		if blocks := splitRange(n, width); len(blocks) >= 2 {
+			type part struct {
+				rows   []int32
+				values []V
+			}
+			parts := make([]part, len(blocks))
+			err = runBlocks(ctx, pool, limit, r, lead, blocks, stats, func(b int, rc *Runner[V]) {
+				parts[b].rows, parts[b].values = scanListing(rc, perm)
+			})
+			if err != nil {
+				return nil, err
+			}
+			var rows []int32
+			var values []V
+			for _, p := range parts {
+				rows = append(rows, p.rows...)
+				values = append(values, p.values...)
+			}
+			return factor.NewRows(d, sortedVars, rows, values, nil)
+		}
 	}
-	type part struct {
-		tuples [][]int
-		values []V
-	}
-	parts := make([]part, len(blocks))
-	err = runBlocks(ctx, pool, limit, r, lead, blocks, stats, func(b int, rc *Runner[V]) {
-		parts[b].tuples, parts[b].values = scanListing(rc, perm)
-	})
-	if err != nil {
-		return nil, err
-	}
-	var tuples [][]int
-	var values []V
-	for _, p := range parts {
-		tuples = append(tuples, p.tuples...)
-		values = append(values, p.values...)
-	}
-	return factor.New(d, sortedVars, tuples, values, nil)
+	r.Stats = stats
+	rows, values := scanListing(r, perm)
+	return factor.NewRows(d, sortedVars, rows, values, nil)
 }
 
 // poolWidth is the effective block-split width of a scan: the per-call limit
@@ -277,7 +280,7 @@ func EliminateInnermostPar[V any](d *semiring.Domain[V], op *semiring.Op[V],
 
 	pool := NewPool(workers)
 	defer pool.Close()
-	return EliminateInnermostOn(context.Background(), pool, 0, d, op, factors, vars, stats)
+	return EliminateInnermostOn(context.Background(), pool, 0, nil, d, op, factors, vars, stats)
 }
 
 // JoinAllPar is JoinAllOn on a transient pool.
@@ -286,5 +289,5 @@ func JoinAllPar[V any](d *semiring.Domain[V], factors []*factor.Factor[V],
 
 	pool := NewPool(workers)
 	defer pool.Close()
-	return JoinAllOn(context.Background(), pool, 0, d, factors, vars, stats)
+	return JoinAllOn(context.Background(), pool, 0, nil, d, factors, vars, stats)
 }

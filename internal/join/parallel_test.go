@@ -117,28 +117,22 @@ func TestEliminateInnermostParScalar(t *testing.T) {
 	}
 }
 
-func TestSplitKeys(t *testing.T) {
+func TestSplitRange(t *testing.T) {
 	for _, n := range []int{0, 1, 2, 3, 7, 100} {
-		keys := make([]int, n)
-		for i := range keys {
-			keys[i] = i * 3
-		}
 		for _, w := range []int{1, 2, 4, 13} {
-			blocks := splitKeys(keys, w)
-			var flat []int
+			blocks := splitRange(n, w)
+			next := 0
 			for _, b := range blocks {
-				if len(b) == 0 {
-					t.Fatalf("n=%d w=%d: empty block", n, w)
+				if b.Lo >= b.Hi {
+					t.Fatalf("n=%d w=%d: empty block %+v", n, w, b)
 				}
-				flat = append(flat, b...)
-			}
-			if len(flat) != n {
-				t.Fatalf("n=%d w=%d: blocks cover %d keys", n, w, len(flat))
-			}
-			for i := range flat {
-				if flat[i] != keys[i] {
-					t.Fatalf("n=%d w=%d: block order broken at %d", n, w, i)
+				if b.Lo != next {
+					t.Fatalf("n=%d w=%d: gap or overlap at %d (block %+v)", n, w, next, b)
 				}
+				next = b.Hi
+			}
+			if next != n {
+				t.Fatalf("n=%d w=%d: blocks cover %d of %d indices", n, w, next, n)
 			}
 			if len(blocks) > w*blocksPerWorker {
 				t.Fatalf("n=%d w=%d: %d blocks exceeds cap", n, w, len(blocks))

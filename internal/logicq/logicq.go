@@ -7,6 +7,7 @@
 package logicq
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/faqdb/faq/internal/core"
@@ -216,7 +217,13 @@ func SolveQCQ(q *Query) (*factor.Factor[bool], error) {
 	if err != nil {
 		return nil, err
 	}
-	res, _, err := core.Solve(cq, core.DefaultOptions())
+	// Prepared on the shared default engine: a sweep of shape-identical
+	// queries (examples/logic) plans once and hits the plan LRU thereafter.
+	prep, err := core.DefaultEngine[bool]().Prepare(cq)
+	if err != nil {
+		return nil, err
+	}
+	res, err := prep.Run(context.Background())
 	if err != nil {
 		return nil, err
 	}
@@ -230,7 +237,11 @@ func CountQCQ(q *Query) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
-	res, _, err := core.Solve(cq, core.DefaultOptions())
+	prep, err := core.DefaultEngine[int64]().Prepare(cq)
+	if err != nil {
+		return 0, err
+	}
+	res, err := prep.Run(context.Background())
 	if err != nil {
 		return 0, err
 	}

@@ -165,13 +165,19 @@ func ChainFAQ(ms []*Matrix) (*Matrix, *core.Plan, error) {
 		})
 		q.Factors = append(q.Factors, f)
 	}
-	res, plan, err := core.Solve(q, core.DefaultOptions())
+	prep, err := core.DefaultEngine[float64]().Prepare(q)
 	if err != nil {
 		return nil, nil, err
 	}
+	res, err := prep.Run(context.Background())
+	if err != nil {
+		return nil, nil, err
+	}
+	plan := prep.Plan()
 	out := NewMatrix(ms[0].Rows, ms[n-1].Cols)
-	for r, tup := range res.Output.Tuples {
-		out.Set(tup[0], tup[1], res.Output.Values[r])
+	for r := 0; r < res.Output.Size(); r++ {
+		row := res.Output.Row(r)
+		out.Set(int(row[0]), int(row[1]), res.Output.Values[r])
 	}
 	return out, plan, nil
 }
@@ -210,7 +216,11 @@ func FFTViaFAQ(b []complex128, p, m int) ([]complex128, error) {
 	}
 	q := fftQuery(b, p, m, n)
 	// The expression order eliminates y_{m-1} first — the FFT recursion.
-	res, err := core.InsideOut(q, q.Shape().ExpressionOrder(), core.DefaultOptions())
+	prep, err := core.DefaultEngine[complex128]().PrepareOrder(q, q.Shape().ExpressionOrder(), core.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	res, err := prep.Run(context.Background())
 	if err != nil {
 		return nil, err
 	}
@@ -283,10 +293,11 @@ func fftVectorFactor(b []complex128, p, m int, domSizes []int) *factor.Factor[co
 
 func fftDecode(res *core.Result[complex128], p, m, n int) []complex128 {
 	out := make([]complex128, n)
-	for r, tup := range res.Output.Tuples {
+	for r := 0; r < res.Output.Size(); r++ {
+		tup := res.Output.Row(r)
 		idx := 0
 		for j := m - 1; j >= 0; j-- {
-			idx = idx*p + tup[j]
+			idx = idx*p + int(tup[j])
 		}
 		out[idx] = res.Output.Values[r]
 	}

@@ -53,7 +53,7 @@ func TestMarginalMatchesBruteForceOnModels(t *testing.T) {
 			if got.Size() != want.Size() {
 				t.Fatalf("%s %v: %d rows vs %d", name, queryVars, got.Size(), want.Size())
 			}
-			for i, tup := range want.Tuples {
+			for i, tup := range want.Tuples() {
 				gv, ok := got.Value(tup)
 				if !ok || !approxEq(gv, want.Values[i]) {
 					t.Fatalf("%s %v: marginal(%v) = %v, want %v", name, queryVars, tup, gv, want.Values[i])

@@ -7,6 +7,7 @@
 package reljoin
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -91,11 +92,15 @@ func (in *Instance) RunInsideOut() ([][]int, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, _, err := core.Solve(q, core.DefaultOptions())
+	prep, err := core.DefaultEngine[bool]().Prepare(q)
 	if err != nil {
 		return nil, err
 	}
-	return res.Output.Tuples, nil
+	res, err := prep.Run(context.Background())
+	if err != nil {
+		return nil, err
+	}
+	return res.Output.Tuples(), nil
 }
 
 // RunHashJoin evaluates the join with a left-deep binary hash-join plan in

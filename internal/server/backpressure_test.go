@@ -1,0 +1,81 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// TestBackpressure429 drives the MaxInflight bound: with the single run
+// slot held, /v1/query must shed load with 429 + Retry-After (counted in
+// /statsz) instead of queueing, and admit again once the slot frees.
+func TestBackpressure429(t *testing.T) {
+	s, err := New(Config{Workers: 1, MaxInflight: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	post := func() *http.Response {
+		body, _ := json.Marshal(&QueryRequest{Spec: triangleSpec(6, 0, 0)})
+		resp, err := http.Post(ts.URL+"/v1/query", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	// Hold the only run slot, as an in-flight query would.
+	if !s.acquireRunSlot() {
+		t.Fatal("fresh server should have a free slot")
+	}
+	resp := post()
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated server answered %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("429 carries no Retry-After header")
+	}
+	if got := s.Statsz().Server.Rejected; got != 1 {
+		t.Fatalf("statsz rejected = %d, want 1", got)
+	}
+
+	// Releasing the slot readmits queries.
+	s.releaseRunSlot()
+	resp = post()
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("freed server answered %d, want 200", resp.StatusCode)
+	}
+	if got := s.Statsz().Server.Rejected; got != 1 {
+		t.Fatalf("statsz rejected moved to %d after an admitted query", got)
+	}
+}
+
+// TestBackpressureUnbounded checks that the default config never sheds.
+func TestBackpressureUnbounded(t *testing.T) {
+	s, err := New(Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < 4; i++ {
+		if !s.acquireRunSlot() {
+			t.Fatal("unbounded server must always admit")
+		}
+	}
+}
+
+func TestBackpressureConfigValidate(t *testing.T) {
+	if err := (Config{MaxInflight: -1}).Validate(); err == nil {
+		t.Fatal("negative max-inflight should fail validation")
+	}
+	if err := (Config{MaxInflight: 8}).Validate(); err != nil {
+		t.Fatalf("positive max-inflight rejected: %v", err)
+	}
+}

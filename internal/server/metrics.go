@@ -62,6 +62,7 @@ type metrics struct {
 	errs     atomic.Int64 // responses with status >= 400
 	inFlight atomic.Int64 // non-monitoring requests currently being handled
 	queries  atomic.Int64 // /v1/query requests
+	rejected atomic.Int64 // /v1/query requests shed with 429 (backpressure)
 	lat      latencyRing  // /v1/query latencies
 }
 
@@ -73,6 +74,7 @@ func (m *metrics) snapshot() ServerStatz {
 		RequestsErr:  m.errs.Load(),
 		InFlight:     m.inFlight.Load(),
 		Queries:      m.queries.Load(),
+		Rejected:     m.rejected.Load(),
 		LatencyP50MS: durationMS(qs[0]),
 		LatencyP99MS: durationMS(qs[1]),
 		LatencyMaxMS: durationMS(max),

@@ -118,6 +118,7 @@ type ServerStatz struct {
 	RequestsErr  int64   `json:"requests_err"`
 	InFlight     int64   `json:"in_flight"`
 	Queries      int64   `json:"queries"`
+	Rejected     int64   `json:"rejected"`
 	LatencyP50MS float64 `json:"latency_p50_ms"`
 	LatencyP99MS float64 `json:"latency_p99_ms"`
 	LatencyMaxMS float64 `json:"latency_max_ms"`

@@ -13,6 +13,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"sort"
 	"strings"
@@ -40,6 +41,11 @@ type Config struct {
 	// MaxBodyBytes caps /v1/query request bodies; <= 0 means
 	// defaultMaxBodyBytes.
 	MaxBodyBytes int64
+	// MaxInflight bounds concurrent /v1/query runs (connection-level
+	// backpressure): beyond the bound the server answers 429 with a
+	// Retry-After hint instead of queueing work onto a saturated engine
+	// pool.  <= 0 means unbounded.
+	MaxInflight int
 }
 
 const (
@@ -55,6 +61,7 @@ type Server struct {
 	eng *core.Engine[float64]
 	mux *http.ServeMux
 	m   metrics
+	sem chan struct{} // query-run slots; nil when MaxInflight <= 0
 }
 
 // Validate checks the engine-facing configuration.  New calls it; command
@@ -67,6 +74,9 @@ func (c Config) Validate() error {
 	}
 	if c.Workers < 0 {
 		return fmt.Errorf("workers must be >= 0 (0 = GOMAXPROCS, 1 = sequential), got %d", c.Workers)
+	}
+	if c.MaxInflight < 0 {
+		return fmt.Errorf("max-inflight must be >= 0 (0 = unbounded), got %d", c.MaxInflight)
 	}
 	return nil
 }
@@ -91,6 +101,9 @@ func New(cfg Config) (*Server, error) {
 			Planner:       cfg.Planner,
 		}),
 		mux: http.NewServeMux(),
+	}
+	if cfg.MaxInflight > 0 {
+		s.sem = make(chan struct{}, cfg.MaxInflight)
 	}
 	s.m.start = time.Now()
 	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
@@ -237,6 +250,37 @@ func (s *Server) Statsz() StatszResponse {
 	}
 }
 
+// acquireRunSlot claims a query-run slot without blocking; it reports false
+// when the server is at MaxInflight.  A nil semaphore always admits.
+func (s *Server) acquireRunSlot() bool {
+	if s.sem == nil {
+		return true
+	}
+	select {
+	case s.sem <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+func (s *Server) releaseRunSlot() {
+	if s.sem != nil {
+		<-s.sem
+	}
+}
+
+// retryAfterSeconds is the backpressure hint sent with 429 responses: the
+// window p50 query latency rounded up, at least one second — roughly when a
+// run slot should free up.
+func (s *Server) retryAfterSeconds() int {
+	qs, _ := s.m.lat.quantiles(0.50)
+	if sec := int((qs[0] + time.Second - 1) / time.Second); sec > 1 {
+		return sec
+	}
+	return 1
+}
+
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
@@ -260,6 +304,18 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Decode fresh factor data before claiming a run slot: body I/O and
+	// JSON work are client-paced and must not pin the concurrency bound.
+	var factors []*factor.Factor[float64]
+	if req.Factors != nil {
+		var ferr error
+		factors, ferr = buildFactors(q, layout, req.Factors)
+		if ferr != nil {
+			writeError(w, http.StatusBadRequest, "%v", ferr)
+			return
+		}
+	}
+
 	// The run's context: cancelled when the client disconnects, bounded by
 	// the request deadline (clamped to the server maximum).
 	ctx, cancel := context.WithTimeout(r.Context(), s.queryTimeout(req.TimeoutMS))
@@ -268,23 +324,34 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	opts := core.DefaultOptions()
 	opts.Workers = req.Workers
 
-	prep, err := s.eng.PrepareCtx(ctx, q, opts)
-	if err != nil {
-		s.writeRunError(w, ctx, err)
+	// The run slot covers exactly the engine work — prepare through run —
+	// not request decoding above or response encoding below, so MaxInflight
+	// bounds concurrent runs, and a slow client can't starve the bound.
+	if !s.acquireRunSlot() {
+		s.m.rejected.Add(1)
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", s.retryAfterSeconds()))
+		writeError(w, http.StatusTooManyRequests,
+			"server is at its %d-run concurrency bound, retry later", s.cfg.MaxInflight)
 		return
 	}
-
+	var prep *core.PreparedQuery[float64]
 	var res *core.Result[float64]
-	if req.Factors != nil {
-		factors, ferr := buildFactors(q, layout, req.Factors)
-		if ferr != nil {
-			writeError(w, http.StatusBadRequest, "%v", ferr)
-			return
+	err = func() error {
+		// Deferred so a panicking run (recovered by net/http) cannot leak
+		// the slot and wedge the bound shut.
+		defer s.releaseRunSlot()
+		var err error
+		prep, err = s.eng.PrepareCtx(ctx, q, opts)
+		if err != nil {
+			return err
 		}
-		res, err = prep.RunWithFactors(ctx, factors)
-	} else {
-		res, err = prep.Run(ctx)
-	}
+		if factors != nil {
+			res, err = prep.RunWithFactors(ctx, factors)
+		} else {
+			res, err = prep.Run(ctx)
+		}
+		return err
+	}()
 	if err != nil {
 		s.writeRunError(w, ctx, err)
 		return
@@ -304,7 +371,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		v := res.Scalar()
 		resp.Value = &v
 	} else {
-		out := &OutputData{Tuples: res.Output.Tuples, Values: res.Output.Values}
+		out := &OutputData{Tuples: res.Output.Tuples(), Values: res.Output.Values}
 		if out.Tuples == nil {
 			out.Tuples = [][]int{} // an empty output is [], not null
 		}
@@ -355,18 +422,22 @@ func buildFactors(q *core.Query[float64], layout [][]int, data []FactorData) ([]
 			perm[j] = j
 		}
 		sort.Slice(perm, func(a, b int) bool { return decl[perm[a]] < decl[perm[b]] })
-		tuples := make([][]int, len(fd.Tuples))
-		for t, tup := range fd.Tuples {
+		// Decode straight into the factor's flat row block — the fresh-data
+		// path ships whole relations per request, so skipping the [][]int
+		// intermediate is a measurable slice of triangle-fresh latency.
+		rows := make([]int32, 0, len(fd.Tuples)*len(decl))
+		for _, tup := range fd.Tuples {
 			if len(tup) != len(decl) {
 				return nil, fmt.Errorf("factor %d: tuple %v has arity %d, want %d", i, tup, len(tup), len(decl))
 			}
-			row := make([]int, len(decl))
-			for j, p := range perm {
-				row[j] = tup[p]
+			for _, p := range perm {
+				if tup[p] < math.MinInt32 || tup[p] > math.MaxInt32 {
+					return nil, fmt.Errorf("factor %d: tuple %v exceeds the int32 domain-value range", i, tup)
+				}
+				rows = append(rows, int32(tup[p]))
 			}
-			tuples[t] = row
 		}
-		f, err := factor.New(q.D, q.Factors[i].Vars, tuples, fd.Values, nil)
+		f, err := factor.NewRows(q.D, q.Factors[i].Vars, rows, fd.Values, nil)
 		if err != nil {
 			return nil, fmt.Errorf("factor %d: %v", i, err)
 		}

@@ -113,13 +113,14 @@ func TestQueryFreeVariables(t *testing.T) {
 		t.Fatalf("free-variable query: value=%v output=%v", resp.Value, resp.Output)
 	}
 	want := solveSpec(t, specText)
-	if len(resp.Output.Tuples) != len(want.Output.Tuples) {
-		t.Fatalf("output size %d != %d", len(resp.Output.Tuples), len(want.Output.Tuples))
+	wantTuples := want.Output.Tuples()
+	if len(resp.Output.Tuples) != len(wantTuples) {
+		t.Fatalf("output size %d != %d", len(resp.Output.Tuples), len(wantTuples))
 	}
-	for i := range want.Output.Tuples {
-		for j := range want.Output.Tuples[i] {
-			if resp.Output.Tuples[i][j] != want.Output.Tuples[i][j] {
-				t.Fatalf("tuple %d: %v != %v", i, resp.Output.Tuples[i], want.Output.Tuples[i])
+	for i := range wantTuples {
+		for j := range wantTuples[i] {
+			if resp.Output.Tuples[i][j] != wantTuples[i][j] {
+				t.Fatalf("tuple %d: %v != %v", i, resp.Output.Tuples[i], wantTuples[i])
 			}
 		}
 		if math.Float64bits(resp.Output.Values[i]) != math.Float64bits(want.Output.Values[i]) {
