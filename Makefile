@@ -1,9 +1,20 @@
 GO ?= go
 
-.PHONY: ci vet build test race bench bench-baseline bench-layout bench-serving serve-smoke fuzz
+.PHONY: ci vet build test race bench bench-baseline bench-layout bench-serving bench-wire serve-smoke fuzz lint doccheck fmt-check
 
 # Full local CI pass: what .github/workflows/ci.yml runs.
-ci: vet build test race bench serve-smoke
+ci: lint build test race bench serve-smoke
+
+# Docs/lint gate: formatting, vet, and a doc comment on every exported
+# symbol of the public API surface (faq.go, internal/server, internal/wire).
+lint: fmt-check vet doccheck
+
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+	  echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+doccheck:
+	$(GO) run ./cmd/doccheck . ./internal/server ./internal/wire
 
 vet:
 	$(GO) vet ./...
@@ -49,6 +60,12 @@ serve-smoke:
 # /statsz snapshot in BENCH_PR3.json (CI runs this as a non-blocking step).
 bench-serving:
 	./scripts/faqd_harness.sh bench BENCH_PR3.json
+
+# Wire-format benchmark: triangle-fresh with JSON vs binary factor bodies
+# (plus the int/tropical multi-domain shapes) against one live faqd;
+# BENCH_PR5.json is the comparable artifact (non-blocking in CI).
+bench-wire:
+	./scripts/faqd_harness.sh benchwire BENCH_PR5.json
 
 # Short fuzz session for the DIMACS parser.
 fuzz:

@@ -1,0 +1,144 @@
+// doccheck is the documentation gate of make lint: it fails when an
+// exported identifier in the given package directories lacks a doc
+// comment.  The public API surface (the root faq package, internal/server
+// and internal/wire) is held to "every exported symbol documented" — the
+// godoc half of the wire-protocol contract docs/PROTOCOL.md describes.
+//
+// Usage:
+//
+//	doccheck [package-dir ...]     # default: .
+//
+// Rules: top-level exported functions, methods on exported receivers,
+// and exported types need their own doc comment; const/var/type groups
+// are satisfied by a doc comment on the group or on the individual spec
+// (a trailing line comment counts for grouped consts/vars, matching
+// common Go practice for enum-style blocks).  _test.go files are skipped.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+func main() {
+	dirs := os.Args[1:]
+	if len(dirs) == 0 {
+		dirs = []string{"."}
+	}
+	var missing []string
+	for _, dir := range dirs {
+		m, err := checkDir(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "doccheck: %v\n", err)
+			os.Exit(1)
+		}
+		missing = append(missing, m...)
+	}
+	if len(missing) > 0 {
+		for _, m := range missing {
+			fmt.Println(m)
+		}
+		fmt.Fprintf(os.Stderr, "doccheck: %d exported symbol(s) lack doc comments\n", len(missing))
+		os.Exit(1)
+	}
+}
+
+// checkDir parses every non-test .go file in dir (no recursion — pass
+// sub-packages explicitly) and returns one line per undocumented exported
+// symbol.
+func checkDir(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", dir, err)
+	}
+	var missing []string
+	report := func(pos token.Pos, kind, name string) {
+		p := fset.Position(pos)
+		missing = append(missing, fmt.Sprintf("%s:%d: exported %s %s lacks a doc comment",
+			filepath.ToSlash(p.Filename), p.Line, kind, name))
+	}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					checkFunc(d, report)
+				case *ast.GenDecl:
+					checkGen(d, report)
+				}
+			}
+		}
+	}
+	return missing, nil
+}
+
+// checkFunc flags exported functions and exported methods on exported
+// receiver types.
+func checkFunc(d *ast.FuncDecl, report func(token.Pos, string, string)) {
+	if !d.Name.IsExported() || d.Doc != nil {
+		return
+	}
+	kind, name := "function", d.Name.Name
+	if d.Recv != nil && len(d.Recv.List) == 1 {
+		recv := receiverName(d.Recv.List[0].Type)
+		if recv == "" || !ast.IsExported(recv) {
+			return // method on an unexported type: internal surface
+		}
+		kind, name = "method", recv+"."+d.Name.Name
+	}
+	report(d.Pos(), kind, name)
+}
+
+// receiverName unwraps *T, T[P] and *T[P] receivers to T.
+func receiverName(e ast.Expr) string {
+	for {
+		switch t := e.(type) {
+		case *ast.StarExpr:
+			e = t.X
+		case *ast.IndexExpr:
+			e = t.X
+		case *ast.IndexListExpr:
+			e = t.X
+		case *ast.Ident:
+			return t.Name
+		default:
+			return ""
+		}
+	}
+}
+
+// checkGen flags exported names in type/const/var declarations.  A doc
+// comment on the group covers its members; an individual spec may instead
+// carry its own doc or line comment.
+func checkGen(d *ast.GenDecl, report func(token.Pos, string, string)) {
+	kind := map[token.Token]string{token.TYPE: "type", token.CONST: "const", token.VAR: "var"}[d.Tok]
+	if kind == "" {
+		return
+	}
+	groupDoc := d.Doc != nil
+	for _, s := range d.Specs {
+		switch spec := s.(type) {
+		case *ast.TypeSpec:
+			if spec.Name.IsExported() && !groupDoc && spec.Doc == nil && spec.Comment == nil {
+				report(spec.Pos(), kind, spec.Name.Name)
+			}
+		case *ast.ValueSpec:
+			if groupDoc || spec.Doc != nil || spec.Comment != nil {
+				continue
+			}
+			for _, n := range spec.Names {
+				if n.IsExported() {
+					report(n.Pos(), kind, n.Name)
+				}
+			}
+		}
+	}
+}

@@ -1,7 +1,11 @@
-// faqd is the FAQ serving daemon: an HTTP/JSON front end over one shared
-// engine, amortizing the Section 6–7 planning phase across every client
-// that asks the same query shape — the "questions asked frequently"
-// workload as a network service.
+// faqd is the FAQ serving daemon: an HTTP front end over one shared
+// engine runtime, amortizing the Section 6–7 planning phase across every
+// client that asks the same query shape — the "questions asked
+// frequently" workload as a network service.  Queries may declare any
+// value domain (float, int, bool, tropical); every domain is served
+// through one shared plan cache, and fresh factor data arrives as JSON or
+// as the binary factor framing of internal/wire (Content-Type:
+// application/x-faq-factors).  docs/PROTOCOL.md is the wire reference.
 //
 // Usage:
 //
@@ -10,7 +14,7 @@
 //
 // Endpoints:
 //
-//	POST /v1/query   run a spec-format query (JSON body, see internal/server)
+//	POST /v1/query   run a spec-format query (JSON or binary factor stream)
 //	GET  /v1/plan    plan report (?example=6.2 | POST {"spec": ...})
 //	GET  /healthz    liveness
 //	GET  /statsz     engine + server counters, latency percentiles

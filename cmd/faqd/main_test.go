@@ -51,8 +51,8 @@ func TestFaqdServeAndDrain(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if resp.Value == nil || *resp.Value != 5 {
-		t.Fatalf("query through faqd: %+v", resp)
+	if v, err := resp.FloatValue(); err != nil || v != 5 {
+		t.Fatalf("query through faqd: %v, %+v", err, resp)
 	}
 
 	cancel()

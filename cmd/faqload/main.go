@@ -7,8 +7,16 @@
 // Usage:
 //
 //	faqload -addr http://127.0.0.1:8080 [-shapes triangle,triangle-fresh,star,chain]
-//	        [-concurrency 8] [-duration 3s] [-dom 48] [-json BENCH_PR3.json]
+//	        [-concurrency 8] [-duration 3s] [-dom 48] [-wire json|binary|both]
+//	        [-json BENCH_PR3.json]
 //	faqload -addr ... -smoke     # healthz + one verified query, then exit
+//
+// Shapes: triangle, triangle-fresh (same spec, fresh factor data per
+// request), star, chain, triangle-int (the int domain), triangle-tropical
+// (the tropical min-plus domain).  -wire selects the encoding of fresh
+// factor data: json (the default), binary (the internal/wire framing), or
+// both — which drives each data-shipping shape twice and labels the binary
+// row "<shape>+bin", the comparison behind make bench-wire.
 //
 // Every response is verified against a local single-threaded Solve of the
 // same spec, so a load run is also a correctness run.
@@ -32,6 +40,7 @@ import (
 	"github.com/faqdb/faq/internal/factor"
 	"github.com/faqdb/faq/internal/server"
 	"github.com/faqdb/faq/internal/spec"
+	"github.com/faqdb/faq/internal/wire"
 )
 
 type config struct {
@@ -40,6 +49,7 @@ type config struct {
 	concurrency int
 	duration    time.Duration
 	dom         int
+	wire        string
 	jsonOut     string
 	smoke       bool
 	wait        time.Duration
@@ -58,22 +68,31 @@ func (c config) validate() error {
 	if c.dom < 4 {
 		return fmt.Errorf("-dom must be >= 4, got %d", c.dom)
 	}
+	switch c.wire {
+	case "json", "binary", "both":
+	default:
+		return fmt.Errorf("-wire must be json, binary or both, got %q", c.wire)
+	}
 	return nil
 }
 
-// workload is one named shape: a fixed spec (the plan-cache key under
-// load) and an optional per-request factor refresh.
+// workload is one named drive target: a fixed spec (the plan-cache key
+// under load), an optional per-request factor refresh with its encoding,
+// and a verifier holding every response to the local oracle.
 type workload struct {
 	name    string
 	spec    string
 	factors []server.FactorData // nil: run the spec's own data
-	want    uint64              // bit pattern of the expected scalar
+	binary  bool                // ship factors as wire frames, not JSON
+	wireDom wire.Domain         // frame domain when binary
+	verify  func(*server.QueryResponse) error
 }
 
 // shapeResult is one row of the throughput/latency table; the JSON form
-// feeds BENCH_PR3.json.
+// feeds the BENCH_PR*.json reports.
 type shapeResult struct {
 	Shape       string  `json:"shape"`
+	Wire        string  `json:"wire"`
 	Concurrency int     `json:"concurrency"`
 	DurationSec float64 `json:"duration_sec"`
 	Requests    int64   `json:"requests"`
@@ -84,7 +103,7 @@ type shapeResult struct {
 	MaxMS       float64 `json:"max_ms"`
 }
 
-// benchReport is the BENCH_PR3.json payload.
+// benchReport is the BENCH_PR*.json payload.
 type benchReport struct {
 	Tool        string                 `json:"tool"`
 	Addr        string                 `json:"addr"`
@@ -100,6 +119,7 @@ func main() {
 	flag.IntVar(&cfg.concurrency, "concurrency", 8, "concurrent clients per shape")
 	flag.DurationVar(&cfg.duration, "duration", 3*time.Second, "load duration per shape")
 	flag.IntVar(&cfg.dom, "dom", 48, "domain size of the generated workloads")
+	flag.StringVar(&cfg.wire, "wire", "json", "fresh-factor encoding: json, binary, or both (drives data shapes twice)")
 	flag.StringVar(&cfg.jsonOut, "json", "", "write the benchmark report to this file")
 	flag.BoolVar(&cfg.smoke, "smoke", false, "smoke mode: healthz + one verified query, then exit")
 	flag.DurationVar(&cfg.wait, "wait", 10*time.Second, "how long to wait for the daemon to become healthy")
@@ -137,8 +157,8 @@ func run(cfg config, out *os.File) error {
 
 	var report benchReport
 	report.Tool, report.Addr, report.Dom = "faqload", cfg.addr, cfg.dom
-	fmt.Fprintf(out, "%-16s %5s %8s %6s %9s %9s %9s %9s\n",
-		"shape", "conc", "reqs", "errs", "rps", "p50(ms)", "p99(ms)", "max(ms)")
+	fmt.Fprintf(out, "%-20s %6s %5s %8s %6s %9s %9s %9s %9s\n",
+		"shape", "wire", "conc", "reqs", "errs", "rps", "p50(ms)", "p99(ms)", "max(ms)")
 	for _, name := range strings.Split(cfg.shapes, ",") {
 		name = strings.TrimSpace(name)
 		if name == "" {
@@ -148,14 +168,16 @@ func run(cfg config, out *os.File) error {
 		if err != nil {
 			return err
 		}
-		res, err := drive(ctx, client, w, cfg)
-		if err != nil {
-			return err
+		for _, v := range encodings(w, cfg.wire) {
+			res, err := drive(ctx, client, v, cfg)
+			if err != nil {
+				return err
+			}
+			report.Results = append(report.Results, res)
+			fmt.Fprintf(out, "%-20s %6s %5d %8d %6d %9.1f %9.2f %9.2f %9.2f\n",
+				res.Shape, res.Wire, res.Concurrency, res.Requests, res.Errors, res.RPS,
+				res.P50MS, res.P99MS, res.MaxMS)
 		}
-		report.Results = append(report.Results, res)
-		fmt.Fprintf(out, "%-16s %5d %8d %6d %9.1f %9.2f %9.2f %9.2f\n",
-			res.Shape, res.Concurrency, res.Requests, res.Errors, res.RPS,
-			res.P50MS, res.P99MS, res.MaxMS)
 	}
 
 	st, err := client.Statsz(ctx)
@@ -163,9 +185,9 @@ func run(cfg config, out *os.File) error {
 		return err
 	}
 	report.FinalStatsz = st
-	fmt.Fprintf(out, "statsz: plan hits %d, misses %d, coalesced %d, runs %d, in-flight %d\n",
+	fmt.Fprintf(out, "statsz: plan hits %d, misses %d, coalesced %d, runs %d, binary %d, in-flight %d\n",
 		st.Engine.PlanCacheHits, st.Engine.PlanCacheMisses, st.Engine.PlanCoalesced,
-		st.Engine.Runs, st.Server.InFlight)
+		st.Engine.Runs, st.Server.QueriesBinary, st.Server.InFlight)
 	if st.Engine.PlanCacheHits+st.Engine.PlanCoalesced <= st.Engine.PlanCacheMisses {
 		fmt.Fprintf(out, "warning: plan cache hits do not dominate misses — is something else hitting this daemon?\n")
 	}
@@ -183,6 +205,25 @@ func run(cfg config, out *os.File) error {
 	return nil
 }
 
+// encodings expands one workload into the encoding variants -wire asks
+// for.  Shapes with no fresh data have nothing to encode and run once.
+func encodings(w workload, mode string) []workload {
+	if w.factors == nil {
+		return []workload{w}
+	}
+	switch mode {
+	case "binary":
+		w.binary = true
+		return []workload{w}
+	case "both":
+		bin := w
+		bin.name += "+bin"
+		bin.binary = true
+		return []workload{w, bin}
+	}
+	return []workload{w}
+}
+
 // smoke is the CI handshake: one verified query end to end.
 func smoke(ctx context.Context, client *server.Client, cfg config, out *os.File) error {
 	w, err := buildWorkload("triangle", cfg.dom)
@@ -193,22 +234,53 @@ func smoke(ctx context.Context, client *server.Client, cfg config, out *os.File)
 	if err != nil {
 		return err
 	}
-	if resp.Value == nil || math.Float64bits(*resp.Value) != w.want {
-		return fmt.Errorf("smoke query: got %v, want bits %v", resp.Value, w.want)
+	if err := w.verify(resp); err != nil {
+		return fmt.Errorf("smoke query: %v", err)
 	}
 	st, err := client.Statsz(ctx)
 	if err != nil {
 		return err
 	}
+	v, _ := resp.FloatValue()
 	fmt.Fprintf(out, "smoke ok: value=%g plan=%s width=%.3f runs=%d\n",
-		*resp.Value, resp.Plan.Method, resp.Plan.Width, st.Engine.Runs)
+		v, resp.Plan.Method, resp.Plan.Width, st.Engine.Runs)
 	return nil
 }
 
 // drive runs one workload at the configured concurrency for the configured
 // duration and folds per-client latencies into one table row.
 func drive(ctx context.Context, client *server.Client, w workload, cfg config) (shapeResult, error) {
-	req := &server.QueryRequest{Spec: w.spec, Factors: w.factors}
+	wireLabel := "-"
+	req := &server.QueryRequest{Spec: w.spec}
+	var stream []byte
+	switch {
+	case w.factors != nil && w.binary:
+		wireLabel = "binary"
+		frames := make([]*wire.Frame, len(w.factors))
+		for i, fd := range w.factors {
+			f, err := server.FactorFrame(w.wireDom, fd)
+			if err != nil {
+				return shapeResult{}, fmt.Errorf("shape %s: %v", w.name, err)
+			}
+			frames[i] = f
+		}
+		// Encode once, post many: the refresh payload is identical per
+		// request, so per-request work is one POST of prebuilt bytes.
+		var err error
+		if stream, err = server.EncodeQueryStream(req, frames); err != nil {
+			return shapeResult{}, fmt.Errorf("shape %s: %v", w.name, err)
+		}
+	case w.factors != nil:
+		wireLabel = "json"
+		req.Factors = w.factors
+	}
+	query := func() (*server.QueryResponse, error) {
+		if stream != nil {
+			return client.QueryStream(ctx, stream)
+		}
+		return client.Query(ctx, req)
+	}
+
 	stop := time.Now().Add(cfg.duration)
 	var wg sync.WaitGroup
 	var mu sync.Mutex
@@ -226,20 +298,16 @@ func drive(ctx context.Context, client *server.Client, w workload, cfg config) (
 			var myErr error
 			for time.Now().Before(stop) {
 				t0 := time.Now()
-				resp, err := client.Query(ctx, req)
+				resp, err := query()
 				mine = append(mine, time.Since(t0))
 				mineReqs++
+				if err == nil {
+					err = w.verify(resp)
+				}
 				if err != nil {
 					mineErrs++
 					if myErr == nil {
-						myErr = err
-					}
-					continue
-				}
-				if resp.Value == nil || math.Float64bits(*resp.Value) != w.want {
-					mineErrs++
-					if myErr == nil {
-						myErr = fmt.Errorf("shape %s: got %v, want bits %d", w.name, resp.Value, w.want)
+						myErr = fmt.Errorf("shape %s: %v", w.name, err)
 					}
 				}
 			}
@@ -269,6 +337,7 @@ func drive(ctx context.Context, client *server.Client, w workload, cfg config) (
 	}
 	return shapeResult{
 		Shape:       w.name,
+		Wire:        wireLabel,
 		Concurrency: cfg.concurrency,
 		DurationSec: elapsed.Seconds(),
 		Requests:    requests,
@@ -278,6 +347,22 @@ func drive(ctx context.Context, client *server.Client, w workload, cfg config) (
 		P99MS:       q(0.99),
 		MaxMS:       q(1),
 	}, nil
+}
+
+// floatVerifier returns a verifier holding responses to the bit pattern of
+// an expected float64 scalar.
+func floatVerifier(want float64) func(*server.QueryResponse) error {
+	bits := math.Float64bits(want)
+	return func(resp *server.QueryResponse) error {
+		got, err := resp.FloatValue()
+		if err != nil {
+			return err
+		}
+		if math.Float64bits(got) != bits {
+			return fmt.Errorf("got %v, want %v", got, want)
+		}
+		return nil
+	}
 }
 
 // buildWorkload generates a named workload over domain size dom and
@@ -301,12 +386,20 @@ func buildWorkload(name string, dom int) (workload, error) {
 			}
 		}
 		w.factors = []server.FactorData{fd, fd, fd}
+		w.wireDom = wire.DomainFloat
 	case "star":
 		w.spec = starSpec(dom)
 	case "chain":
 		w.spec = chainSpec(dom)
+	case "triangle-int":
+		// The triangle shape in the counting domain: same hypergraph and
+		// aggregate tags as "triangle", so it shares the float plan-cache
+		// entry through core.Retype.
+		return intWorkload(name, "domain int\n"+triangleSpec(dom))
+	case "triangle-tropical":
+		return tropicalWorkload(name, tropicalTriangleSpec(dom))
 	default:
-		return w, fmt.Errorf("unknown shape %q (want triangle, triangle-fresh, star or chain)", name)
+		return w, fmt.Errorf("unknown shape %q (want triangle, triangle-fresh, star, chain, triangle-int or triangle-tropical)", name)
 	}
 
 	q, err := spec.Parse(strings.NewReader(w.spec))
@@ -323,14 +416,73 @@ func buildWorkload(name string, dom int) (workload, error) {
 			q.Factors[i] = f
 		}
 	}
+	want, err := solveScalar(q)
+	if err != nil {
+		return w, fmt.Errorf("shape %s oracle: %v", name, err)
+	}
+	w.verify = floatVerifier(want)
+	return w, nil
+}
+
+// intWorkload builds an int-domain workload verified against the int64
+// oracle exactly (no float round-trip).
+func intWorkload(name, specText string) (workload, error) {
+	w := workload{name: name, spec: specText, wireDom: wire.DomainInt}
+	doc, err := spec.ParseDocument(strings.NewReader(specText))
+	if err != nil {
+		return w, fmt.Errorf("shape %s: %v", name, err)
+	}
+	q, _, err := doc.BuildInt()
+	if err != nil {
+		return w, fmt.Errorf("shape %s: %v", name, err)
+	}
+	want, err := solveScalar(q)
+	if err != nil {
+		return w, fmt.Errorf("shape %s oracle: %v", name, err)
+	}
+	w.verify = func(resp *server.QueryResponse) error {
+		got, err := resp.IntValue()
+		if err != nil {
+			return err
+		}
+		if got != want {
+			return fmt.Errorf("got %d, want %d", got, want)
+		}
+		return nil
+	}
+	return w, nil
+}
+
+// tropicalWorkload builds a tropical-domain workload (min-plus shortest
+// structure) verified bit-for-bit against the float64 oracle.
+func tropicalWorkload(name, specText string) (workload, error) {
+	w := workload{name: name, spec: specText, wireDom: wire.DomainTropical}
+	doc, err := spec.ParseDocument(strings.NewReader(specText))
+	if err != nil {
+		return w, fmt.Errorf("shape %s: %v", name, err)
+	}
+	q, _, err := doc.BuildTropical()
+	if err != nil {
+		return w, fmt.Errorf("shape %s: %v", name, err)
+	}
+	want, err := solveScalar(q)
+	if err != nil {
+		return w, fmt.Errorf("shape %s oracle: %v", name, err)
+	}
+	w.verify = floatVerifier(want)
+	return w, nil
+}
+
+// solveScalar runs the local single-threaded oracle.
+func solveScalar[V any](q *core.Query[V]) (V, error) {
 	opts := core.DefaultOptions()
 	opts.Workers = 1
 	res, _, err := core.Solve(q, opts)
 	if err != nil {
-		return w, fmt.Errorf("shape %s oracle: %v", name, err)
+		var zero V
+		return zero, err
 	}
-	w.want = math.Float64bits(res.Scalar())
-	return w, nil
+	return res.Scalar(), nil
 }
 
 // triangleSpec is Σ ψ(x,y)·ψ(y,z)·ψ(x,z) over a deterministic edge set.
@@ -351,6 +503,26 @@ func triangleSpec(dom int) string {
 	edge("x", "y")
 	edge("y", "z")
 	edge("x", "z")
+	return b.String()
+}
+
+// tropicalTriangleSpec is min_{x,y,z} ψ(x,y)+ψ(y,z)+ψ(x,z): the cheapest
+// triangle under per-edge costs.
+func tropicalTriangleSpec(dom int) string {
+	var b strings.Builder
+	b.WriteString("domain tropical\n")
+	fmt.Fprintf(&b, "var x %d min\nvar y %d min\nvar z %d min\n", dom, dom, dom)
+	for _, e := range [][2]string{{"x", "y"}, {"y", "z"}, {"x", "z"}} {
+		fmt.Fprintf(&b, "factor %s %s\n", e[0], e[1])
+		for a := 0; a < dom; a++ {
+			for c := 0; c < dom; c++ {
+				if (a*7+c*3)%5 == 0 && a != c {
+					fmt.Fprintf(&b, "%d %d = %d.5\n", a, c, 1+(a+2*c)%9)
+				}
+			}
+		}
+		b.WriteString("end\n")
+	}
 	return b.String()
 }
 

@@ -1,0 +1,69 @@
+package faq_test
+
+import (
+	"context"
+	"fmt"
+
+	faq "github.com/faqdb/faq"
+)
+
+// ExampleEngine_Prepare shows the serving split the package is named for:
+// plan a query shape once, then run it — and re-run it against fresh data
+// — without replanning.
+func ExampleEngine_Prepare() {
+	eng := faq.NewEngine[float64](faq.EngineOptions{Workers: 1})
+	defer eng.Close()
+
+	// Triangle count over 3 nodes: Σ_{x,y,z} ψ(x,y)·ψ(y,z)·ψ(x,z) with
+	// ψ(a,b) = 1 when a ≠ b — every ordered triple of distinct nodes.
+	d := faq.Float()
+	domSizes := []int{3, 3, 3} // FromFunc indexes sizes by global variable id
+	edge := func(u, v int) *faq.Factor[float64] {
+		return faq.FromFunc(d, []int{u, v}, domSizes, func(t []int) float64 {
+			if t[0] != t[1] {
+				return 1
+			}
+			return 0
+		})
+	}
+	q := &faq.Query[float64]{
+		D: d, NVars: 3, DomSizes: []int{3, 3, 3},
+		Aggs: []faq.Aggregate[float64]{
+			faq.SemiringAgg(faq.OpFloatSum()),
+			faq.SemiringAgg(faq.OpFloatSum()),
+			faq.SemiringAgg(faq.OpFloatSum()),
+		},
+		Factors: []*faq.Factor[float64]{edge(0, 1), edge(1, 2), edge(0, 2)},
+	}
+
+	prep, err := eng.Prepare(q) // Section 6–7 planners run here, once
+	if err != nil {
+		panic(err)
+	}
+	res, err := prep.Run(context.Background())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("triangles:", res.Scalar())
+
+	// Fresh same-shape data reuses the cached plan: drop one edge pair.
+	sparse := faq.FromFunc(d, []int{0, 1}, domSizes, func(t []int) float64 {
+		if t[0] < t[1] {
+			return 1
+		}
+		return 0
+	})
+	res, err = prep.RunWithFactors(context.Background(),
+		[]*faq.Factor[float64]{sparse, edge(1, 2), edge(0, 2)})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("after refresh:", res.Scalar())
+
+	st := eng.Stats()
+	fmt.Println("plans cached:", st.PlansCached, "runs:", st.Runs)
+	// Output:
+	// triangles: 6
+	// after refresh: 3
+	// plans cached: 1 runs: 2
+}

@@ -71,8 +71,12 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		v, err := resp.FloatValue()
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("seed %d: %.0f triangles  (plan %s, width %.2f, %.1fms)\n",
-			seed, *resp.Value, resp.Plan.Method, resp.Plan.Width, resp.ElapsedMS)
+			seed, v, resp.Plan.Method, resp.Plan.Width, resp.ElapsedMS)
 	}
 
 	// The plan report for the shape every request shared.

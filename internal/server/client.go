@@ -6,9 +6,12 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"net/url"
 	"time"
+
+	"github.com/faqdb/faq/internal/wire"
 )
 
 // Client is a Go client for the faqd API, used by faqload, the smoke
@@ -36,22 +39,16 @@ func (c *Client) httpClient() *http.Client {
 }
 
 // do issues one request and decodes the JSON response into out; non-2xx
-// responses are decoded as ErrorResponse and returned as errors.
-func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
-	var rd io.Reader
-	if body != nil {
-		buf, err := json.Marshal(body)
-		if err != nil {
-			return err
-		}
-		rd = bytes.NewReader(buf)
-	}
-	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rd)
+// responses are decoded as ErrorResponse and returned as errors.  The
+// decoder keeps numbers as json.Number so int-domain values survive
+// exactly (see QueryResponse.IntValue).
+func (c *Client) do(ctx context.Context, method, path, contentType string, body io.Reader, out any) error {
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, body)
 	if err != nil {
 		return err
 	}
-	if body != nil {
-		req.Header.Set("Content-Type", "application/json")
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
 	}
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
@@ -68,22 +65,155 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 	if out == nil {
 		return nil
 	}
-	return json.NewDecoder(resp.Body).Decode(out)
+	dec := json.NewDecoder(resp.Body)
+	dec.UseNumber()
+	return dec.Decode(out)
 }
 
-// Query runs one query.
+// doJSON marshals body (when non-nil) and issues the request as JSON.
+func (c *Client) doJSON(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	contentType := ""
+	if body != nil {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(buf)
+		contentType = "application/json"
+	}
+	return c.do(ctx, method, path, contentType, rd, out)
+}
+
+// Query runs one query with a JSON body (including any fresh factors).
 func (c *Client) Query(ctx context.Context, req *QueryRequest) (*QueryResponse, error) {
 	var resp QueryResponse
-	if err := c.do(ctx, http.MethodPost, "/v1/query", req, &resp); err != nil {
+	if err := c.doJSON(ctx, http.MethodPost, "/v1/query", req, &resp); err != nil {
 		return nil, err
 	}
 	return &resp, nil
 }
 
+// QueryFrames runs one query shipping fresh factor data as the binary
+// wire framing: req (whose Factors must be empty — the frames carry the
+// data) becomes the stream's envelope header and frames follow, one per
+// spec factor in spec order, columns in each spec block's declaration
+// order.  This is the fast data-refresh path: the server decodes frames
+// straight into flat factor blocks with no per-row allocation.
+func (c *Client) QueryFrames(ctx context.Context, req *QueryRequest, frames []*wire.Frame) (*QueryResponse, error) {
+	stream, err := EncodeQueryStream(req, frames)
+	if err != nil {
+		return nil, err
+	}
+	return c.QueryStream(ctx, stream)
+}
+
+// EncodeQueryStream renders a binary /v1/query body: req (whose Factors
+// must be empty) as the envelope header, then the frames.  Callers
+// re-issuing one refresh payload many times — load generators, replicated
+// writers — encode once and post the bytes with QueryStream.
+func EncodeQueryStream(req *QueryRequest, frames []*wire.Frame) ([]byte, error) {
+	if req.Factors != nil {
+		return nil, fmt.Errorf("faqd: binary query request carries JSON factors; ship them as frames")
+	}
+	header, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	var body bytes.Buffer
+	enc := wire.NewEncoder(&body)
+	if err := enc.WriteStreamHeader(header, len(frames)); err != nil {
+		return nil, err
+	}
+	for i, f := range frames {
+		if err := enc.Encode(f); err != nil {
+			return nil, fmt.Errorf("faqd: encoding factor frame %d: %w", i, err)
+		}
+	}
+	return body.Bytes(), nil
+}
+
+// QueryStream posts an already-encoded binary query body (see
+// EncodeQueryStream).
+func (c *Client) QueryStream(ctx context.Context, stream []byte) (*QueryResponse, error) {
+	var resp QueryResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/query", wire.ContentType, bytes.NewReader(stream), &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// QueryWire is QueryFrames for callers holding FactorData: it converts
+// req.Factors to frames of the given wire domain (float values must fit
+// the domain: integral for DomainInt, 0/1 for DomainBool) and ships them
+// binary.  Factors with no rows cannot declare their arity through
+// FactorData; use QueryFrames directly for those.
+func (c *Client) QueryWire(ctx context.Context, req *QueryRequest, dom wire.Domain) (*QueryResponse, error) {
+	frames := make([]*wire.Frame, len(req.Factors))
+	for i, fd := range req.Factors {
+		f, err := FactorFrame(dom, fd)
+		if err != nil {
+			return nil, fmt.Errorf("faqd: factor %d: %w", i, err)
+		}
+		frames[i] = f
+	}
+	hdr := *req
+	hdr.Factors = nil
+	return c.QueryFrames(ctx, &hdr, frames)
+}
+
+// FactorFrame converts one FactorData to a wire frame of the given
+// domain, with the same value conventions as the JSON path (int values
+// must be integral, bool values 0 or 1).
+func FactorFrame(dom wire.Domain, fd FactorData) (*wire.Frame, error) {
+	if len(fd.Tuples) == 0 {
+		return nil, fmt.Errorf("empty factor cannot declare its arity; build a wire.Frame directly")
+	}
+	arity := len(fd.Tuples[0])
+	f := &wire.Frame{Domain: dom, Arity: arity}
+	f.Rows = make([]int32, 0, len(fd.Tuples)*arity)
+	for _, tup := range fd.Tuples {
+		if len(tup) != arity {
+			return nil, fmt.Errorf("tuple %v has arity %d, want %d", tup, len(tup), arity)
+		}
+		for _, x := range tup {
+			if x < math.MinInt32 || x > math.MaxInt32 {
+				return nil, fmt.Errorf("tuple %v exceeds the int32 domain-value range", tup)
+			}
+			f.Rows = append(f.Rows, int32(x))
+		}
+	}
+	// Value conversions are the server's own JSON rules (jsonToInt,
+	// jsonToBool), so a frame the client builds is exactly a frame the
+	// server accepts.
+	var err error
+	switch dom {
+	case wire.DomainFloat, wire.DomainTropical:
+		f.Floats = fd.Values
+	case wire.DomainInt:
+		f.Ints = make([]int64, len(fd.Values))
+		for i, v := range fd.Values {
+			if f.Ints[i], err = jsonToInt(v); err != nil {
+				return nil, err
+			}
+		}
+	case wire.DomainBool:
+		f.Bools = make([]bool, len(fd.Values))
+		for i, v := range fd.Values {
+			if f.Bools[i], err = jsonToBool(v); err != nil {
+				return nil, err
+			}
+		}
+	default:
+		return nil, fmt.Errorf("invalid wire domain %v", dom)
+	}
+	return f, nil
+}
+
 // Plan fetches the plan report for a spec-format query.
 func (c *Client) Plan(ctx context.Context, specText string) (*PlanReport, error) {
 	var rep PlanReport
-	if err := c.do(ctx, http.MethodPost, "/v1/plan", &QueryRequest{Spec: specText}, &rep); err != nil {
+	if err := c.doJSON(ctx, http.MethodPost, "/v1/plan", &QueryRequest{Spec: specText}, &rep); err != nil {
 		return nil, err
 	}
 	return &rep, nil
@@ -93,7 +223,7 @@ func (c *Client) Plan(ctx context.Context, specText string) (*PlanReport, error)
 func (c *Client) PlanExample(ctx context.Context, example string) (*PlanReport, error) {
 	var rep PlanReport
 	path := "/v1/plan?example=" + url.QueryEscape(example)
-	if err := c.do(ctx, http.MethodGet, path, nil, &rep); err != nil {
+	if err := c.doJSON(ctx, http.MethodGet, path, nil, &rep); err != nil {
 		return nil, err
 	}
 	return &rep, nil
@@ -102,7 +232,7 @@ func (c *Client) PlanExample(ctx context.Context, example string) (*PlanReport, 
 // Statsz fetches the serving counters.
 func (c *Client) Statsz(ctx context.Context) (*StatszResponse, error) {
 	var st StatszResponse
-	if err := c.do(ctx, http.MethodGet, "/statsz", nil, &st); err != nil {
+	if err := c.doJSON(ctx, http.MethodGet, "/statsz", nil, &st); err != nil {
 		return nil, err
 	}
 	return &st, nil
@@ -110,7 +240,7 @@ func (c *Client) Statsz(ctx context.Context) (*StatszResponse, error) {
 
 // Healthz checks liveness.
 func (c *Client) Healthz(ctx context.Context) error {
-	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
+	return c.doJSON(ctx, http.MethodGet, "/healthz", nil, nil)
 }
 
 // WaitHealthy polls /healthz until it answers, ctx expires or timeout

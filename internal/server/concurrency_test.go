@@ -81,9 +81,19 @@ func TestConcurrentServing(t *testing.T) {
 				}
 				var got []uint64
 				if resp.Value != nil {
-					got = []uint64{math.Float64bits(*resp.Value)}
+					v, err := resp.FloatValue()
+					if err != nil {
+						errs <- err
+						return
+					}
+					got = []uint64{math.Float64bits(v)}
 				} else {
-					for _, x := range resp.Output.Values {
+					vals, err := resp.Output.FloatValues()
+					if err != nil {
+						errs <- err
+						return
+					}
+					for _, x := range vals {
 						got = append(got, math.Float64bits(x))
 					}
 				}

@@ -1,0 +1,68 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+
+	"github.com/faqdb/faq/internal/wire"
+)
+
+// ExampleClient runs one query against an in-process server: the same
+// Client faqload and the smoke harness drive against a network daemon.
+func ExampleClient() {
+	srv, err := New(Config{Workers: 1})
+	if err != nil {
+		panic(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	c := NewClient(ts.URL)
+	resp, err := c.Query(context.Background(), &QueryRequest{
+		Spec: "var x 3 sum\nvar y 3 sum\nfactor x y\n0 1 = 2\n1 2 = 3\nend\n",
+	})
+	if err != nil {
+		panic(err)
+	}
+	v, err := resp.FloatValue()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%s %g (plan %s)\n", resp.Domain, v, resp.Plan.Method)
+	// Output: float 5 (plan exact-dp)
+}
+
+// ExampleClient_QueryFrames ships fresh factor data in the binary wire
+// framing — the fast data-refresh path: the spec holds placeholder data,
+// the frame holds this request's rows, and the server decodes it straight
+// into a flat factor block.
+func ExampleClient_QueryFrames() {
+	srv, err := New(Config{Workers: 1})
+	if err != nil {
+		panic(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	c := NewClient(ts.URL)
+	resp, err := c.QueryFrames(context.Background(),
+		&QueryRequest{Spec: "var x 3 sum\nvar y 3 sum\nfactor x y\n0 0 = 1\nend\n"},
+		[]*wire.Frame{{
+			Domain: wire.DomainFloat,
+			Arity:  2,
+			Rows:   []int32{0, 1, 1, 2}, // rows (0,1) and (1,2)
+			Floats: []float64{2, 3},
+		}})
+	if err != nil {
+		panic(err)
+	}
+	v, err := resp.FloatValue()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%s %g\n", resp.Domain, v)
+	// Output: float 5
+}

@@ -62,18 +62,44 @@ type metrics struct {
 	errs     atomic.Int64 // responses with status >= 400
 	inFlight atomic.Int64 // non-monitoring requests currently being handled
 	queries  atomic.Int64 // /v1/query requests
+	binary   atomic.Int64 // /v1/query requests with binary factor streams
 	rejected atomic.Int64 // /v1/query requests shed with 429 (backpressure)
 	lat      latencyRing  // /v1/query latencies
+	domFloat atomic.Int64 // executed queries per value domain
+	domInt   atomic.Int64
+	domBool  atomic.Int64
+	domTrop  atomic.Int64
+}
+
+// countDomain bumps the per-domain executed-query counter.
+func (m *metrics) countDomain(name string) {
+	switch name {
+	case "float":
+		m.domFloat.Add(1)
+	case "int":
+		m.domInt.Add(1)
+	case "bool":
+		m.domBool.Add(1)
+	case "tropical":
+		m.domTrop.Add(1)
+	}
 }
 
 func (m *metrics) snapshot() ServerStatz {
 	qs, max := m.lat.quantiles(0.50, 0.99)
 	return ServerStatz{
-		Requests:     m.requests.Load(),
-		RequestsOK:   m.ok.Load(),
-		RequestsErr:  m.errs.Load(),
-		InFlight:     m.inFlight.Load(),
-		Queries:      m.queries.Load(),
+		Requests:      m.requests.Load(),
+		RequestsOK:    m.ok.Load(),
+		RequestsErr:   m.errs.Load(),
+		InFlight:      m.inFlight.Load(),
+		Queries:       m.queries.Load(),
+		QueriesBinary: m.binary.Load(),
+		QueriesByDomain: map[string]int64{
+			"float":    m.domFloat.Load(),
+			"int":      m.domInt.Load(),
+			"bool":     m.domBool.Load(),
+			"tropical": m.domTrop.Load(),
+		},
 		Rejected:     m.rejected.Load(),
 		LatencyP50MS: durationMS(qs[0]),
 		LatencyP99MS: durationMS(qs[1]),

@@ -1,18 +1,30 @@
-// The faqd wire protocol: JSON request/response types shared by the server
-// handlers, the Go client and the cmd tools (faqload, faqplan -json).  The
-// protocol is deliberately plain HTTP/JSON — the serving win of the FAQ
-// engine is plan amortization, not wire encoding, and JSON keeps curl and
-// load tools first-class citizens.
+// The faqd wire protocol: the request/response types shared by the server
+// handlers, the Go client and the cmd tools (faqload, faqplan -json).
+// Control flow is plain HTTP/JSON — the serving win of the FAQ engine is
+// plan amortization, and JSON keeps curl and load tools first-class
+// citizens — while bulk factor data may alternatively travel as the
+// internal/wire binary framing (Content-Type: application/x-faq-factors),
+// which skips the JSON tuple-decoding cost that dominates refresh-heavy
+// workloads.  docs/PROTOCOL.md is the complete reference.
 package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"strconv"
+)
 
 // QueryRequest is the body of POST /v1/query: a query in the internal/spec
 // text format, optionally with fresh factor data and per-request execution
-// knobs.
+// knobs.  As JSON it is the whole body; in a binary factor stream it is the
+// envelope header (without Factors — the frames carry the data).
 type QueryRequest struct {
-	// Spec is the query in the internal/spec format: variable declarations
-	// (domain size + aggregate) followed by factor blocks with listing
-	// data.  The spec's untyped shape is the plan-cache key, so requests
-	// that differ only in data share one planning pass.
+	// Spec is the query in the internal/spec format: an optional domain
+	// directive, variable declarations (domain size + aggregate) and
+	// factor blocks with listing data.  The spec's untyped shape is the
+	// plan-cache key, so requests that differ only in data — or only in
+	// value domain — share one planning pass.
 	Spec string `json:"spec"`
 	// Factors optionally replaces the spec's factor data with fresh
 	// same-shape data — the RunWithFactors path of a serving loop.  One
@@ -20,6 +32,7 @@ type QueryRequest struct {
 	// factor block's variable *declaration* order, i.e. the same column
 	// layout as the spec's own data lines (the server permutes to sorted
 	// storage order, exactly as the spec parser does for inline data).
+	// Binary requests must leave Factors empty and ship frames instead.
 	Factors []FactorData `json:"factors,omitempty"`
 	// TimeoutMS bounds planning + execution; 0 means the server default.
 	// The run is also cancelled when the client disconnects.
@@ -30,81 +43,241 @@ type QueryRequest struct {
 }
 
 // FactorData is fresh listing data for one factor: parallel tuple/value
-// slices, zero values dropped server-side.
+// slices, zero values dropped server-side.  Values are JSON numbers for
+// every domain: int-domain values must be integral (and within ±2^53, the
+// exact range of a float64 — use the binary encoding for full int64
+// precision), bool-domain values must be 0 or 1.
 type FactorData struct {
-	Tuples [][]int   `json:"tuples"`
+	// Tuples are the data rows, columns in the spec factor block's
+	// declaration order.
+	Tuples [][]int `json:"tuples"`
+	// Values are the row values, parallel to Tuples.
 	Values []float64 `json:"values"`
 }
 
-// QueryResponse is the body of a successful POST /v1/query.  Exactly one of
-// Value (no free variables) and Output (free variables) is set.
+// QueryResponse is the body of a successful POST /v1/query.  Exactly one
+// of Value (no free variables) and Output (free variables) is set, typed
+// by Domain.
 type QueryResponse struct {
-	Value     *float64    `json:"value,omitempty"`
-	Output    *OutputData `json:"output,omitempty"`
-	Plan      PlanSummary `json:"plan"`
-	Stats     RunStats    `json:"stats"`
-	ElapsedMS float64     `json:"elapsed_ms"`
+	// Domain names the value domain the spec declared: "float", "int",
+	// "bool" or "tropical".
+	Domain string `json:"domain"`
+	// Value is the scalar result of a query without free variables: a
+	// JSON number (float/int/tropical) or boolean (bool).  Use the typed
+	// accessors (FloatValue, IntValue, BoolValue) rather than asserting —
+	// a client-side decode yields json.Number, an in-process response the
+	// native Go value.
+	Value any `json:"value,omitempty"`
+	// Output is the listing result of a query with free variables.
+	Output *OutputData `json:"output,omitempty"`
+	// Plan summarizes the ordering the run executed.
+	Plan PlanSummary `json:"plan"`
+	// Stats are the run's InsideOut work counters.
+	Stats RunStats `json:"stats"`
+	// ElapsedMS is the server-side wall time of the request.
+	ElapsedMS float64 `json:"elapsed_ms"`
 }
 
-// OutputData is a free-variable result in listing representation.
+// FloatValue returns the scalar result of a float- or tropical-domain
+// query.
+func (r *QueryResponse) FloatValue() (float64, error) {
+	v, err := floatOf(r.Value)
+	if err != nil {
+		return 0, fmt.Errorf("faqd: %s-domain scalar: %w", r.Domain, err)
+	}
+	return v, nil
+}
+
+// IntValue returns the scalar result of an int-domain query, exact over
+// the full int64 range.
+func (r *QueryResponse) IntValue() (int64, error) {
+	v, err := intOf(r.Value)
+	if err != nil {
+		return 0, fmt.Errorf("faqd: %s-domain scalar: %w", r.Domain, err)
+	}
+	return v, nil
+}
+
+// BoolValue returns the scalar result of a bool-domain query.
+func (r *QueryResponse) BoolValue() (bool, error) {
+	v, err := boolOf(r.Value)
+	if err != nil {
+		return false, fmt.Errorf("faqd: %s-domain scalar: %w", r.Domain, err)
+	}
+	return v, nil
+}
+
+// OutputData is a free-variable result in listing representation, typed by
+// the response's Domain.
 type OutputData struct {
-	Vars   []string  `json:"vars"`
-	Tuples [][]int   `json:"tuples"`
-	Values []float64 `json:"values"`
+	// Vars are the free variables' spec names, in output column order.
+	Vars []string `json:"vars"`
+	// Tuples are the output rows.
+	Tuples [][]int `json:"tuples"`
+	// Values are the row values: JSON numbers or booleans per the
+	// response domain.  Use the typed accessors (FloatValues, IntValues,
+	// BoolValues) rather than asserting.
+	Values any `json:"values"`
+}
+
+// FloatValues returns the output column of a float- or tropical-domain
+// query.
+func (o *OutputData) FloatValues() ([]float64, error) { return columnOf(o.Values, floatOf) }
+
+// IntValues returns the output column of an int-domain query.
+func (o *OutputData) IntValues() ([]int64, error) { return columnOf(o.Values, intOf) }
+
+// BoolValues returns the output column of a bool-domain query.
+func (o *OutputData) BoolValues() ([]bool, error) { return columnOf(o.Values, boolOf) }
+
+// floatOf, intOf and boolOf read one domain value from its native Go form
+// (server-side) or its decoded JSON form (client-side: json.Number, or
+// float64/bool from a vanilla decoder).  Non-finite float values travel
+// as the strings "inf", "-inf", "nan" — JSON numbers cannot express them;
+// +Inf in particular is the tropical domain's additive identity (an empty
+// min), so it is a legitimate result.
+func floatOf(v any) (float64, error) {
+	switch x := v.(type) {
+	case float64:
+		return x, nil
+	case json.Number:
+		return strconv.ParseFloat(x.String(), 64)
+	case string:
+		switch x {
+		case "inf", "-inf", "nan": // the wire spellings, exactly
+			return strconv.ParseFloat(x, 64)
+		}
+		return 0, fmt.Errorf("string value %q is not a float spelling", x)
+	case nil:
+		return 0, fmt.Errorf("no value")
+	}
+	return 0, fmt.Errorf("value %v (%T) is not a number", v, v)
+}
+
+func intOf(v any) (int64, error) {
+	switch x := v.(type) {
+	case int64:
+		return x, nil
+	case json.Number:
+		return x.Int64()
+	case float64:
+		if x != math.Trunc(x) || math.Abs(x) > 1<<53 {
+			return 0, fmt.Errorf("value %v is not an exact int64", x)
+		}
+		return int64(x), nil
+	case nil:
+		return 0, fmt.Errorf("no value")
+	}
+	return 0, fmt.Errorf("value %v (%T) is not an integer", v, v)
+}
+
+func boolOf(v any) (bool, error) {
+	switch x := v.(type) {
+	case bool:
+		return x, nil
+	case nil:
+		return false, fmt.Errorf("no value")
+	}
+	return false, fmt.Errorf("value %v (%T) is not a bool", v, v)
+}
+
+// columnOf reads a whole output column through one of the scalar readers.
+func columnOf[V any](vs any, one func(any) (V, error)) ([]V, error) {
+	switch col := vs.(type) {
+	case []V: // server-side native column
+		return col, nil
+	case []any: // client-side decoded column
+		out := make([]V, len(col))
+		for i, v := range col {
+			x, err := one(v)
+			if err != nil {
+				return nil, fmt.Errorf("faqd: output value %d: %w", i, err)
+			}
+			out[i] = x
+		}
+		return out, nil
+	case nil:
+		return nil, fmt.Errorf("faqd: output has no values")
+	}
+	return nil, fmt.Errorf("faqd: output values have unexpected type %T", vs)
 }
 
 // PlanSummary is one planned ordering with its FAQ-width.
 type PlanSummary struct {
-	Method string   `json:"method"`
-	Width  float64  `json:"width"`
-	Order  []string `json:"order"`
+	// Method names the planner that produced the ordering.
+	Method string `json:"method"`
+	// Width is the ordering's FAQ-width.
+	Width float64 `json:"width"`
+	// Order lists the variables in elimination order (outermost first).
+	Order []string `json:"order"`
 }
 
 // RunStats are the InsideOut work counters of one run.
 type RunStats struct {
-	Eliminations     int   `json:"eliminations"`
+	// Eliminations counts the variable-elimination steps executed.
+	Eliminations int `json:"eliminations"`
+	// IntermediateRows totals the rows of every intermediate factor.
 	IntermediateRows int64 `json:"intermediate_rows"`
-	MaxIntermediate  int64 `json:"max_intermediate"`
-	JoinProbes       int64 `json:"join_probes"`
+	// MaxIntermediate is the largest single intermediate factor.
+	MaxIntermediate int64 `json:"max_intermediate"`
+	// JoinProbes counts OutsideIn trie probes.
+	JoinProbes int64 `json:"join_probes"`
 }
 
 // PlanReport is the Figure-1 ordering-theory pipeline for one query shape:
 // hypergraph → expression tree → precedence poset → planned orderings and
 // widths.  It is served by /v1/plan and emitted by faqplan -json.
 type PlanReport struct {
-	Hypergraph string   `json:"hypergraph"`
-	Vars       []string `json:"vars"`
-	NumFree    int      `json:"num_free"`
-	Tags       []string `json:"tags"`
+	// Hypergraph renders the query hypergraph.
+	Hypergraph string `json:"hypergraph"`
+	// Vars are the variable names in expression order.
+	Vars []string `json:"vars"`
+	// NumFree counts the free prefix.
+	NumFree int `json:"num_free"`
+	// Tags are the per-variable aggregate tags of the untyped shape.
+	Tags []string `json:"tags"`
 	// ExpressionTree is the Definition 6.18 tree (Figures 2–6);
 	// SoundExpressionTree is set only when the flat-rewriting-sound form
 	// (non-closed Σ anchored) differs from it.
 	ExpressionTree      string `json:"expression_tree"`
 	SoundExpressionTree string `json:"sound_expression_tree,omitempty"`
-	PosetPairs          int    `json:"poset_pairs"`
+	// PosetPairs counts the precedence poset's order pairs.
+	PosetPairs int `json:"poset_pairs"`
 	// LinearExtensions counts |LinEx(P)|, capped at 10000.
-	LinearExtensions int           `json:"linear_extensions"`
-	Plans            []PlanSummary `json:"plans"`
-	FHTW             float64       `json:"fhtw"`
+	LinearExtensions int `json:"linear_extensions"`
+	// Plans are the planned orderings, one per planner that ran.
+	Plans []PlanSummary `json:"plans"`
+	// FHTW is the fractional hypertree width of the query hypergraph.
+	FHTW float64 `json:"fhtw"`
 }
 
 // StatszResponse is the body of GET /statsz: a race-safe snapshot of the
 // engine counters plus server-level serving metrics.
 type StatszResponse struct {
-	UptimeSeconds float64     `json:"uptime_seconds"`
-	Engine        EngineStatz `json:"engine"`
-	Server        ServerStatz `json:"server"`
+	// UptimeSeconds is the time since the server was created.
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	// Engine mirrors core.EngineStats; one engine runtime serves every
+	// domain, so these counters are process-wide.
+	Engine EngineStatz `json:"engine"`
+	// Server holds the HTTP-level counters.
+	Server ServerStatz `json:"server"`
 }
 
 // EngineStatz mirrors core.EngineStats (see Engine.StatsSnapshot).
 type EngineStatz struct {
-	Prepared        int64 `json:"prepared"`
+	// Prepared counts Prepare calls that returned a prepared query.
+	Prepared int64 `json:"prepared"`
+	// PlanCacheHits / PlanCacheMisses count plan-LRU outcomes.
 	PlanCacheHits   int64 `json:"plan_cache_hits"`
 	PlanCacheMisses int64 `json:"plan_cache_misses"`
-	PlanCoalesced   int64 `json:"plan_coalesced"`
-	PlansCached     int64 `json:"plans_cached"`
-	Runs            int64 `json:"runs"`
-	RunsCancelled   int64 `json:"runs_cancelled"`
+	// PlanCoalesced counts prepares that adopted another request's
+	// in-flight planning pass.
+	PlanCoalesced int64 `json:"plan_coalesced"`
+	// PlansCached is the current plan-LRU population.
+	PlansCached int64 `json:"plans_cached"`
+	// Runs / RunsCancelled count completed and context-aborted runs.
+	Runs          int64 `json:"runs"`
+	RunsCancelled int64 `json:"runs_cancelled"`
 }
 
 // ServerStatz are the HTTP-level counters.  InFlight excludes the
@@ -113,19 +286,33 @@ type EngineStatz struct {
 // recent /v1/query requests (successful or not), so they track current
 // behavior, not lifetime history.
 type ServerStatz struct {
-	Requests     int64   `json:"requests"`
-	RequestsOK   int64   `json:"requests_ok"`
-	RequestsErr  int64   `json:"requests_err"`
-	InFlight     int64   `json:"in_flight"`
-	Queries      int64   `json:"queries"`
-	Rejected     int64   `json:"rejected"`
+	// Requests counts every request on any endpoint; RequestsOK and
+	// RequestsErr split them by status (< 400 vs >= 400).
+	Requests    int64 `json:"requests"`
+	RequestsOK  int64 `json:"requests_ok"`
+	RequestsErr int64 `json:"requests_err"`
+	// InFlight is the number of non-monitoring requests currently being
+	// handled.
+	InFlight int64 `json:"in_flight"`
+	// Queries counts POST /v1/query requests; QueriesBinary the subset
+	// that shipped binary factor streams.
+	Queries       int64 `json:"queries"`
+	QueriesBinary int64 `json:"queries_binary"`
+	// QueriesByDomain counts executed queries per value domain.
+	QueriesByDomain map[string]int64 `json:"queries_by_domain"`
+	// Rejected counts queries shed with 429 (backpressure).
+	Rejected int64 `json:"rejected"`
+	// LatencyP50MS / LatencyP99MS / LatencyMaxMS are percentiles over the
+	// recent-query latency ring.
 	LatencyP50MS float64 `json:"latency_p50_ms"`
 	LatencyP99MS float64 `json:"latency_p99_ms"`
 	LatencyMaxMS float64 `json:"latency_max_ms"`
-	Goroutines   int     `json:"goroutines"`
+	// Goroutines is runtime.NumGoroutine at snapshot time.
+	Goroutines int `json:"goroutines"`
 }
 
 // ErrorResponse is the body of every non-2xx response.
 type ErrorResponse struct {
+	// Error is a human-readable description of what was wrong.
 	Error string `json:"error"`
 }

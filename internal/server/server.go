@@ -1,11 +1,19 @@
-// Server is the faqd HTTP front end over a shared Engine: the network half
-// of the paper's "questions asked frequently" workload.  Every /v1/query
-// request is parsed with internal/spec, resolved to a PreparedQuery through
-// the engine's shape-keyed plan LRU (same-shape concurrent requests share
-// one plan, and a cold shape is planned exactly once under a thundering
-// herd — see engineRT.planFor), and executed under the request's context:
-// the run observes the timeout_ms deadline and client disconnects at block
-// boundaries, so abandoned queries stop consuming the pool.
+// Server is the faqd HTTP front end over a shared engine runtime: the
+// network half of the paper's "questions asked frequently" workload.
+// Every /v1/query request is parsed with internal/spec, routed by its
+// declared value domain to the engine handle of the matching value type
+// (all handles share one runtime via core.Retype, so every domain shares
+// the plan LRU), resolved to a PreparedQuery through the shape-keyed plan
+// cache (same-shape concurrent requests share one plan, and a cold shape
+// is planned exactly once under a thundering herd — see engineRT.planFor),
+// and executed under the request's context: the run observes the
+// timeout_ms deadline and client disconnects at block boundaries, so
+// abandoned queries stop consuming the pool.
+//
+// Fresh factor data arrives either as JSON ("factors" in the request body)
+// or as the internal/wire binary framing (Content-Type:
+// application/x-faq-factors), which decodes straight into the flat row
+// blocks factors store natively.
 package server
 
 import (
@@ -13,7 +21,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"math"
+	"mime"
 	"net/http"
 	"sort"
 	"strings"
@@ -22,6 +32,7 @@ import (
 	"github.com/faqdb/faq/internal/core"
 	"github.com/faqdb/faq/internal/factor"
 	"github.com/faqdb/faq/internal/spec"
+	"github.com/faqdb/faq/internal/wire"
 )
 
 // Config tunes a Server.  The zero value serves with GOMAXPROCS workers,
@@ -53,15 +64,20 @@ const (
 	defaultMaxBodyBytes = 16 << 20
 )
 
-// Server serves the faqd API over one engine.  Create with New, expose with
-// Handler, stop with Close after the HTTP server has drained (Close stops
-// the engine pool, so it must not race in-flight runs).
+// Server serves the faqd API over one engine runtime.  Create with New,
+// expose with Handler, stop with Close after the HTTP server has drained
+// (Close stops the engine pool, so it must not race in-flight runs).
 type Server struct {
 	cfg Config
-	eng *core.Engine[float64]
-	mux *http.ServeMux
-	m   metrics
-	sem chan struct{} // query-run slots; nil when MaxInflight <= 0
+	// eng is the float64 handle; engInt and engBool are core.Retype
+	// handles onto the same runtime (tropical shares eng's value type).
+	// One plan LRU, one pool, one stats block serve every domain.
+	eng     *core.Engine[float64]
+	engInt  *core.Engine[int64]
+	engBool *core.Engine[bool]
+	mux     *http.ServeMux
+	m       metrics
+	sem     chan struct{} // query-run slots; nil when MaxInflight <= 0
 }
 
 // Validate checks the engine-facing configuration.  New calls it; command
@@ -102,6 +118,8 @@ func New(cfg Config) (*Server, error) {
 		}),
 		mux: http.NewServeMux(),
 	}
+	s.engInt = core.Retype[int64](s.eng)
+	s.engBool = core.Retype[bool](s.eng)
 	if cfg.MaxInflight > 0 {
 		s.sem = make(chan struct{}, cfg.MaxInflight)
 	}
@@ -114,8 +132,9 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
-// Engine exposes the underlying engine (the faqd process shares it between
-// the HTTP front end and any embedded instrumentation).
+// Engine exposes the underlying float64 engine handle (the faqd process
+// shares it between the HTTP front end and any embedded instrumentation;
+// its stats are runtime-wide, covering every domain).
 func (s *Server) Engine() *core.Engine[float64] { return s.eng }
 
 // Close stops the engine's persistent workers.  Call after the HTTP server
@@ -189,16 +208,20 @@ func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 	writeJSON(w, code, ErrorResponse{Error: fmt.Sprintf(format, args...)})
 }
 
-// writeDecodeError distinguishes an oversized body (413: actionable —
-// shrink the factors or raise MaxBodyBytes) from malformed JSON (400).
+// writeDecodeError distinguishes an oversized body or frame (413:
+// actionable — shrink the factors or raise MaxBodyBytes) from a malformed
+// one (400).
 func writeDecodeError(w http.ResponseWriter, err error) {
 	var tooBig *http.MaxBytesError
-	if errors.As(err, &tooBig) {
+	switch {
+	case errors.As(err, &tooBig):
 		writeError(w, http.StatusRequestEntityTooLarge,
 			"request body exceeds the %d-byte limit", tooBig.Limit)
-		return
+	case errors.Is(err, wire.ErrTooLarge):
+		writeError(w, http.StatusRequestEntityTooLarge, "%v", err)
+	default:
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
 	}
-	writeError(w, http.StatusBadRequest, "bad request body: %v", err)
 }
 
 // statusClientClosedRequest is the nginx convention for "the client went
@@ -281,37 +304,225 @@ func (s *Server) retryAfterSeconds() int {
 	return 1
 }
 
+// maxStreamHeaderBytes bounds the JSON envelope of a binary request; the
+// spec text lives there, so it shares the request-body scale, not the
+// frame scale.
+const maxStreamHeaderBytes = 4 << 20
+
+// decodeQueryRequest reads the request body in either encoding: a plain
+// JSON QueryRequest, or — under Content-Type application/x-faq-factors — a
+// wire stream whose envelope header is the QueryRequest JSON (without
+// "factors") and whose frames carry the factor data.  The binary flag
+// feeds the queries_binary counter.
+func (s *Server) decodeQueryRequest(w http.ResponseWriter, r *http.Request) (req QueryRequest, frames []*wire.Frame, binary bool, err error) {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	ct := r.Header.Get("Content-Type")
+	if mt, _, mtErr := mime.ParseMediaType(ct); mtErr == nil && mt == wire.ContentType {
+		dec := wire.NewDecoder(body)
+		dec.SetMaxFrameBytes(int(min(s.cfg.MaxBodyBytes, int64(wire.DefaultMaxFrameBytes))))
+		header, n, hErr := dec.ReadStreamHeader(maxStreamHeaderBytes)
+		if hErr != nil {
+			return req, nil, true, hErr
+		}
+		jdec := json.NewDecoder(strings.NewReader(string(header)))
+		jdec.DisallowUnknownFields()
+		if jErr := jdec.Decode(&req); jErr != nil {
+			return req, nil, true, fmt.Errorf("stream header: %w", jErr)
+		}
+		if req.Factors != nil {
+			return req, nil, true, errors.New(`binary requests carry factors as frames, not as JSON "factors"`)
+		}
+		// Grow the slice as frames actually arrive: n is attacker-chosen,
+		// and preallocating by it would let a few header bytes demand a
+		// huge slice.  A missing frame surfaces as truncation below.
+		frames = make([]*wire.Frame, 0, min(n, 1024))
+		for i := 0; i < n; i++ {
+			f, fErr := dec.Decode()
+			if fErr != nil {
+				return req, nil, true, fmt.Errorf("factor frame %d of %d: %w", i, n, fErr)
+			}
+			frames = append(frames, f)
+		}
+		// A frame count that undersells the body would silently drop data.
+		if _, tErr := dec.Decode(); tErr != io.EOF {
+			return req, nil, true, fmt.Errorf("stream declares %d frames but carries more", n)
+		}
+		return req, frames, true, nil
+	}
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	err = dec.Decode(&req)
+	return req, nil, false, err
+}
+
+// domainCodec binds one value domain's serving pieces: its spec builder,
+// wire code, JSON value conversion and response encoding.  The four
+// instances below are what handleQuery dispatches on.
+type domainCodec[V any] struct {
+	name     string
+	wireDom  wire.Domain
+	build    func(*spec.Document) (*core.Query[V], [][]int, error)
+	fromJSON func(float64) (V, error)
+	frameCol func(*wire.Frame) []V
+	// encode and encodeColumn render response values.  They exist for the
+	// float domains: JSON has no Inf or NaN, so non-finite float64 values
+	// — the tropical additive identity +Inf in particular — travel as the
+	// strings "inf", "-inf", "nan" (the spec text vocabulary), which the
+	// client accessors parse back exactly.
+	encode       func(V) any
+	encodeColumn func([]V) any
+}
+
+// encodeFloat renders a float64 response value; non-finite values become
+// their spec-text string forms (json.Marshal rejects them as numbers).
+func encodeFloat(v float64) any {
+	switch {
+	case math.IsInf(v, 1):
+		return "inf"
+	case math.IsInf(v, -1):
+		return "-inf"
+	case math.IsNaN(v):
+		return "nan"
+	}
+	return v
+}
+
+// encodeFloatColumn keeps the raw slice when every value is finite (the
+// common case, marshaled identically) and falls back to element-wise
+// encoding otherwise.
+func encodeFloatColumn(vs []float64) any {
+	for i, v := range vs {
+		if math.IsInf(v, 0) || math.IsNaN(v) {
+			out := make([]any, len(vs))
+			for j, w := range vs[:i] {
+				out[j] = w
+			}
+			for j := i; j < len(vs); j++ {
+				out[j] = encodeFloat(vs[j])
+			}
+			return out
+		}
+	}
+	return vs
+}
+
+func identityEncode[V any](v V) any    { return v }
+func identityColumn[V any](vs []V) any { return vs }
+func jsonToInt(v float64) (int64, error) {
+	if v != math.Trunc(v) || math.Abs(v) > 1<<53 {
+		return 0, fmt.Errorf("value %v is not an exact int64 (ship int factors in the binary encoding for full precision)", v)
+	}
+	return int64(v), nil
+}
+
+func jsonToBool(v float64) (bool, error) {
+	switch v {
+	case 0:
+		return false, nil
+	case 1:
+		return true, nil
+	}
+	return false, fmt.Errorf("value %v is not a bool (want 0 or 1)", v)
+}
+
+var (
+	floatCodec = domainCodec[float64]{
+		name: spec.DomainFloat, wireDom: wire.DomainFloat,
+		build:    (*spec.Document).BuildFloat,
+		fromJSON: func(v float64) (float64, error) { return v, nil },
+		frameCol: func(f *wire.Frame) []float64 { return f.Floats },
+		encode:   encodeFloat, encodeColumn: encodeFloatColumn,
+	}
+	tropicalCodec = domainCodec[float64]{
+		name: spec.DomainTropical, wireDom: wire.DomainTropical,
+		build:    (*spec.Document).BuildTropical,
+		fromJSON: func(v float64) (float64, error) { return v, nil },
+		frameCol: func(f *wire.Frame) []float64 { return f.Floats },
+		encode:   encodeFloat, encodeColumn: encodeFloatColumn,
+	}
+	intCodec = domainCodec[int64]{
+		name: spec.DomainInt, wireDom: wire.DomainInt,
+		build:    (*spec.Document).BuildInt,
+		fromJSON: jsonToInt,
+		frameCol: func(f *wire.Frame) []int64 { return f.Ints },
+		encode:   identityEncode[int64], encodeColumn: identityColumn[int64],
+	}
+	boolCodec = domainCodec[bool]{
+		name: spec.DomainBool, wireDom: wire.DomainBool,
+		build:    (*spec.Document).BuildBool,
+		fromJSON: jsonToBool,
+		frameCol: func(f *wire.Frame) []bool { return f.Bools },
+		encode:   identityEncode[bool], encodeColumn: identityColumn[bool],
+	}
+)
+
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
-	dec.DisallowUnknownFields()
-	var req QueryRequest
-	if err := dec.Decode(&req); err != nil {
+	req, frames, binary, err := s.decodeQueryRequest(w, r)
+	if err != nil {
 		writeDecodeError(w, err)
 		return
 	}
+	if binary {
+		s.m.binary.Add(1)
+	}
 	if strings.TrimSpace(req.Spec) == "" {
 		writeError(w, http.StatusBadRequest, "empty spec")
-		return
-	}
-	q, layout, err := spec.ParseLayout(strings.NewReader(req.Spec))
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	if req.Workers < 0 {
 		writeError(w, http.StatusBadRequest, "workers must be >= 0, got %d", req.Workers)
 		return
 	}
+	doc, err := spec.ParseDocument(strings.NewReader(req.Spec))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	// Per-domain dispatch: each branch runs the same generic pipeline
+	// against the engine handle of its value type.  All handles share one
+	// runtime (plan LRU, pool, stats) via core.Retype, so an int request
+	// for a shape the float path already planned is a cache hit.
+	switch doc.Domain {
+	case spec.DomainFloat:
+		serveDomain(s, w, r, start, &req, doc, frames, s.eng, floatCodec)
+	case spec.DomainInt:
+		serveDomain(s, w, r, start, &req, doc, frames, s.engInt, intCodec)
+	case spec.DomainBool:
+		serveDomain(s, w, r, start, &req, doc, frames, s.engBool, boolCodec)
+	case spec.DomainTropical:
+		serveDomain(s, w, r, start, &req, doc, frames, s.eng, tropicalCodec)
+	default:
+		writeError(w, http.StatusBadRequest, "unsupported spec domain %q", doc.Domain)
+	}
+}
+
+// serveDomain is the domain-generic tail of handleQuery: build the typed
+// query, decode fresh factors (JSON or frames), run under the request
+// context and the MaxInflight bound, and write the typed response.
+func serveDomain[V any](s *Server, w http.ResponseWriter, r *http.Request, start time.Time,
+	req *QueryRequest, doc *spec.Document, frames []*wire.Frame,
+	eng *core.Engine[V], cv domainCodec[V]) {
+
+	q, layout, err := cv.build(doc)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 
 	// Decode fresh factor data before claiming a run slot: body I/O and
-	// JSON work are client-paced and must not pin the concurrency bound.
-	var factors []*factor.Factor[float64]
-	if req.Factors != nil {
-		var ferr error
-		factors, ferr = buildFactors(q, layout, req.Factors)
-		if ferr != nil {
-			writeError(w, http.StatusBadRequest, "%v", ferr)
+	// decoding work are client-paced and must not pin the concurrency
+	// bound.
+	var factors []*factor.Factor[V]
+	switch {
+	case frames != nil:
+		if factors, err = buildFactorsWire(q, layout, frames, cv); err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	case req.Factors != nil:
+		if factors, err = buildFactorsJSON(q, layout, req.Factors, cv); err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
 			return
 		}
 	}
@@ -334,14 +545,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			"server is at its %d-run concurrency bound, retry later", s.cfg.MaxInflight)
 		return
 	}
-	var prep *core.PreparedQuery[float64]
-	var res *core.Result[float64]
+	var prep *core.PreparedQuery[V]
+	var res *core.Result[V]
 	err = func() error {
 		// Deferred so a panicking run (recovered by net/http) cannot leak
 		// the slot and wedge the bound shut.
 		defer s.releaseRunSlot()
 		var err error
-		prep, err = s.eng.PrepareCtx(ctx, q, opts)
+		prep, err = eng.PrepareCtx(ctx, q, opts)
 		if err != nil {
 			return err
 		}
@@ -356,9 +567,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.writeRunError(w, ctx, err)
 		return
 	}
+	s.m.countDomain(cv.name)
 
 	resp := &QueryResponse{
-		Plan: planSummary(prep.Plan(), q.VarName),
+		Domain: cv.name,
+		Plan:   planSummary(prep.Plan(), q.VarName),
 		Stats: RunStats{
 			Eliminations:     res.Stats.Eliminations,
 			IntermediateRows: res.Stats.IntermediateRows,
@@ -368,16 +581,17 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		ElapsedMS: durationMS(time.Since(start)),
 	}
 	if q.NumFree == 0 {
-		v := res.Scalar()
-		resp.Value = &v
+		resp.Value = cv.encode(res.Scalar())
 	} else {
-		out := &OutputData{Tuples: res.Output.Tuples(), Values: res.Output.Values}
-		if out.Tuples == nil {
-			out.Tuples = [][]int{} // an empty output is [], not null
+		tuples := res.Output.Tuples()
+		if tuples == nil {
+			tuples = [][]int{} // an empty output is [], not null
 		}
-		if out.Values == nil {
-			out.Values = []float64{}
+		values := res.Output.Values
+		if values == nil {
+			values = []V{}
 		}
+		out := &OutputData{Tuples: tuples, Values: cv.encodeColumn(values)}
 		for _, v := range res.Output.Vars {
 			out.Vars = append(out.Vars, q.VarName(v))
 		}
@@ -403,25 +617,41 @@ func (s *Server) writeRunError(w http.ResponseWriter, ctx context.Context, err e
 	}
 }
 
-// buildFactors turns the request's fresh factor data into factors with the
-// spec query's variable scopes — the same-shape contract RunWithFactors
-// enforces.  Request tuple columns are in the spec factor block's
-// *declaration* order (the same column order as the spec's own data lines);
-// they are permuted here to the sorted order factors store, exactly as
-// spec.Parse permutes inline data, so a client can ship fresh data in the
-// layout of its own spec without silent transposition.
-func buildFactors(q *core.Query[float64], layout [][]int, data []FactorData) ([]*factor.Factor[float64], error) {
+// declPerm returns the permutation from a factor block's declaration-order
+// columns to the sorted storage order, and whether it is the identity.
+func declPerm(decl []int) (perm []int, identity bool) {
+	perm = make([]int, len(decl))
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.Slice(perm, func(a, b int) bool { return decl[perm[a]] < decl[perm[b]] })
+	identity = true
+	for i, p := range perm {
+		if p != i {
+			identity = false
+			break
+		}
+	}
+	return perm, identity
+}
+
+// buildFactorsJSON turns the request's JSON factor data into factors with
+// the spec query's variable scopes — the same-shape contract
+// RunWithFactors enforces.  Request tuple columns are in the spec factor
+// block's *declaration* order (the same column order as the spec's own
+// data lines); they are permuted here to the sorted order factors store,
+// exactly as the spec parser permutes inline data, so a client can ship
+// fresh data in the layout of its own spec without silent transposition.
+func buildFactorsJSON[V any](q *core.Query[V], layout [][]int, data []FactorData,
+	cv domainCodec[V]) ([]*factor.Factor[V], error) {
+
 	if len(data) != len(q.Factors) {
 		return nil, fmt.Errorf("request has %d factors, spec declares %d", len(data), len(q.Factors))
 	}
-	factors := make([]*factor.Factor[float64], len(data))
+	factors := make([]*factor.Factor[V], len(data))
 	for i, fd := range data {
 		decl := layout[i]
-		perm := make([]int, len(decl))
-		for j := range perm {
-			perm[j] = j
-		}
-		sort.Slice(perm, func(a, b int) bool { return decl[perm[a]] < decl[perm[b]] })
+		perm, _ := declPerm(decl)
 		// Decode straight into the factor's flat row block — the fresh-data
 		// path ships whole relations per request, so skipping the [][]int
 		// intermediate is a measurable slice of triangle-fresh latency.
@@ -437,9 +667,62 @@ func buildFactors(q *core.Query[float64], layout [][]int, data []FactorData) ([]
 				rows = append(rows, int32(tup[p]))
 			}
 		}
-		f, err := factor.NewRows(q.D, q.Factors[i].Vars, rows, fd.Values, nil)
+		values := make([]V, len(fd.Values))
+		for j, raw := range fd.Values {
+			v, err := cv.fromJSON(raw)
+			if err != nil {
+				return nil, fmt.Errorf("factor %d value %d: %v", i, j, err)
+			}
+			values[j] = v
+		}
+		f, err := factor.NewRows(q.D, q.Factors[i].Vars, rows, values, nil)
 		if err != nil {
 			return nil, fmt.Errorf("factor %d: %v", i, err)
+		}
+		factors[i] = f
+	}
+	return factors, nil
+}
+
+// buildFactorsWire is buildFactorsJSON for binary frames: the frame's row
+// block and value column feed factor.NewRows directly — when the spec
+// declared the block's variables in sorted order (the common case) both
+// columns are adopted without copying.
+func buildFactorsWire[V any](q *core.Query[V], layout [][]int, frames []*wire.Frame,
+	cv domainCodec[V]) ([]*factor.Factor[V], error) {
+
+	if len(frames) != len(q.Factors) {
+		return nil, fmt.Errorf("request has %d factor frames, spec declares %d", len(frames), len(q.Factors))
+	}
+	factors := make([]*factor.Factor[V], len(frames))
+	for i, fr := range frames {
+		decl := layout[i]
+		if fr.Domain != cv.wireDom {
+			return nil, fmt.Errorf("factor frame %d carries domain %v, spec declares %s",
+				i, fr.Domain, cv.name)
+		}
+		if fr.Arity != len(decl) {
+			return nil, fmt.Errorf("factor frame %d has arity %d, spec factor has %d",
+				i, fr.Arity, len(decl))
+		}
+		rows := fr.Rows
+		if perm, identity := declPerm(decl); !identity {
+			// The spec declared this block's columns out of sorted order:
+			// permute each row, exactly as the spec parser does for the
+			// block's own data lines.
+			k := len(decl)
+			rows = make([]int32, len(fr.Rows))
+			for r := 0; r < fr.NumRows(); r++ {
+				src := fr.Rows[r*k : r*k+k]
+				dst := rows[r*k : r*k+k]
+				for j, p := range perm {
+					dst[j] = src[p]
+				}
+			}
+		}
+		f, err := factor.NewRows(q.D, q.Factors[i].Vars, rows, cv.frameCol(fr), nil)
+		if err != nil {
+			return nil, fmt.Errorf("factor frame %d: %v", i, err)
 		}
 		factors[i] = f
 	}
@@ -466,12 +749,13 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 			writeDecodeError(w, err)
 			return
 		}
-		q, err := spec.Parse(strings.NewReader(req.Spec))
+		var err error
+		shape, name, err = planShape(req.Spec)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, "%v", err)
 			return
 		}
-		shape, name, timeoutMS = q.Shape(), q.VarName, req.TimeoutMS
+		timeoutMS = req.TimeoutMS
 	default:
 		writeError(w, http.StatusBadRequest,
 			"plan wants GET ?example=<name> or POST {\"spec\": ...}")
@@ -489,4 +773,33 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, rep)
+}
+
+// planShape resolves a spec of any domain to its untyped shape: plans are
+// domain-independent, so /v1/plan serves every domain through one path.
+func planShape(specText string) (*core.Shape, func(int) string, error) {
+	doc, err := spec.ParseDocument(strings.NewReader(specText))
+	if err != nil {
+		return nil, nil, err
+	}
+	switch doc.Domain {
+	case spec.DomainInt:
+		return shapeOf(doc, intCodec.build)
+	case spec.DomainBool:
+		return shapeOf(doc, boolCodec.build)
+	case spec.DomainTropical:
+		return shapeOf(doc, tropicalCodec.build)
+	default:
+		return shapeOf(doc, floatCodec.build)
+	}
+}
+
+// shapeOf builds the typed query just long enough to extract its untyped
+// shape and name table.
+func shapeOf[V any](doc *spec.Document, build func(*spec.Document) (*core.Query[V], [][]int, error)) (*core.Shape, func(int) string, error) {
+	q, _, err := build(doc)
+	if err != nil {
+		return nil, nil, err
+	}
+	return q.Shape(), q.VarName, nil
 }

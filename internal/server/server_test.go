@@ -80,6 +80,16 @@ func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server, *Client
 	return s, ts, c
 }
 
+// fval unwraps a float-domain scalar response.
+func fval(t *testing.T, resp *QueryResponse) float64 {
+	t.Helper()
+	v, err := resp.FloatValue()
+	if err != nil {
+		t.Fatalf("scalar value: %v", err)
+	}
+	return v
+}
+
 func TestQueryScalar(t *testing.T) {
 	_, _, c := newTestServer(t, Config{Workers: 1})
 	specText := triangleSpec(8, 0, 0)
@@ -91,8 +101,8 @@ func TestQueryScalar(t *testing.T) {
 		t.Fatalf("scalar query: value=%v output=%v", resp.Value, resp.Output)
 	}
 	want := solveSpec(t, specText).Scalar()
-	if math.Float64bits(*resp.Value) != math.Float64bits(want) {
-		t.Fatalf("server %v != solve %v", *resp.Value, want)
+	if got := fval(t, resp); math.Float64bits(got) != math.Float64bits(want) {
+		t.Fatalf("server %v != solve %v", got, want)
 	}
 	if resp.Plan.Method == "" || resp.Plan.Width <= 0 || len(resp.Plan.Order) != 3 {
 		t.Fatalf("plan summary: %+v", resp.Plan)
@@ -114,6 +124,10 @@ func TestQueryFreeVariables(t *testing.T) {
 	}
 	want := solveSpec(t, specText)
 	wantTuples := want.Output.Tuples()
+	gotValues, err := resp.Output.FloatValues()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(resp.Output.Tuples) != len(wantTuples) {
 		t.Fatalf("output size %d != %d", len(resp.Output.Tuples), len(wantTuples))
 	}
@@ -123,8 +137,8 @@ func TestQueryFreeVariables(t *testing.T) {
 				t.Fatalf("tuple %d: %v != %v", i, resp.Output.Tuples[i], wantTuples[i])
 			}
 		}
-		if math.Float64bits(resp.Output.Values[i]) != math.Float64bits(want.Output.Values[i]) {
-			t.Fatalf("value %d: %v != %v", i, resp.Output.Values[i], want.Output.Values[i])
+		if math.Float64bits(gotValues[i]) != math.Float64bits(want.Output.Values[i]) {
+			t.Fatalf("value %d: %v != %v", i, gotValues[i], want.Output.Values[i])
 		}
 	}
 	if want := []string{"x", "y"}; resp.Output.Vars[0] != want[0] || resp.Output.Vars[1] != want[1] {
@@ -159,8 +173,8 @@ func TestQueryWithFreshFactors(t *testing.T) {
 		}
 		// x<y<z over the upper-triangular support: C(6,3)=20 triangles, w³ each.
 		want := 20 * w * w * w
-		if *resp.Value != want {
-			t.Fatalf("fresh factors w=%g: got %v, want %v", w, *resp.Value, want)
+		if got := fval(t, resp); got != want {
+			t.Fatalf("fresh factors w=%g: got %v, want %v", w, got, want)
 		}
 		st := s.Engine().StatsSnapshot()
 		if st.PlanCacheMisses != 1 || int(st.PlanCacheHits) != i {
@@ -196,8 +210,8 @@ func TestQueryFreshFactorsDeclarationOrder(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if *resp.Value != 7 {
-		t.Fatalf("declaration-order factor transposed: got %v, want 7", *resp.Value)
+	if got := fval(t, resp); got != 7 {
+		t.Fatalf("declaration-order factor transposed: got %v, want 7", got)
 	}
 	// The same data through the spec's inline path agrees.
 	inline, err := c.Query(context.Background(), &QueryRequest{
@@ -206,8 +220,8 @@ func TestQueryFreshFactorsDeclarationOrder(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if *inline.Value != *resp.Value {
-		t.Fatalf("inline %v != fresh %v", *inline.Value, *resp.Value)
+	if fval(t, inline) != fval(t, resp) {
+		t.Fatalf("inline %v != fresh %v", fval(t, inline), fval(t, resp))
 	}
 }
 
@@ -223,8 +237,8 @@ func TestQueryTimeoutOverflow(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if *resp.Value != 3 {
-		t.Fatalf("got %v, want 3", *resp.Value)
+	if got := fval(t, resp); got != 3 {
+		t.Fatalf("got %v, want 3", got)
 	}
 	if to := s.queryTimeout(1 << 62); to != time.Second {
 		t.Fatalf("overflowing timeout resolved to %v, want the 1s clamp", to)

@@ -1,20 +1,38 @@
-// Package spec parses a small text format describing FAQ queries over the
-// real sum/max-product semirings, used by cmd/faqrun and cmd/faqplan.
+// Package spec parses a small text format describing FAQ queries, used by
+// cmd/faqrun, cmd/faqplan and the faqd serving daemon.
 //
 // Format (line oriented, '#' starts a comment):
 //
-//	var <name> <domSize> <agg>     # agg ∈ free | sum | max | prod
+//	domain <name>                  # optional, first; float (default),
+//	                               # int, bool or tropical
+//	var <name> <domSize> <agg>     # agg ∈ free | prod | <domain aggregate>
 //	factor <name> <name> ...       # starts a factor block over those vars
 //	<v1> <v2> ... = <value>        # one listed tuple per line
 //	end                            # closes the factor block
 //
-// "min" is rejected with an explanatory error: min-product over the reals
-// is not a lawful FAQ semiring (the shared additive identity is 0 and
-// min(x, 0) ≠ x); lawful min-product lives in the tropical domain, which
-// this float-only format does not express.
+// The domain directive selects the value algebra of the whole query and
+// with it the lawful aggregates and the value syntax:
+//
+//	domain    values               aggregates (besides free, prod)
+//	float     float64 literals     sum, max
+//	int       int64 literals       sum, max
+//	bool      true/false or 1/0    or
+//	tropical  float64 literals     min        (the (min, +) semiring)
+//
+// "min" over the float domain is rejected with an explanatory error:
+// min-product over the reals is not a lawful FAQ semiring (the shared
+// additive identity is 0 and min(x, 0) ≠ x); lawful min-product is the
+// tropical domain, where ⊗ is + and the additive identity is +∞.
 //
 // Variables must be declared with all free variables first (the FAQ normal
 // form of Eq. (1)); factors may list variables in any order.
+//
+// Parsing is two-phase: ParseDocument reads the text into an untyped
+// Document (syntax and structure only), and the per-domain builders
+// (BuildFloat, BuildInt, BuildBool, BuildTropical) instantiate a typed
+// core.Query from it.  The split is what multi-domain serving dispatches
+// on: faqd parses once, reads Document.Domain, and routes to the engine
+// handle of the matching value type.
 package spec
 
 import (
@@ -30,44 +48,82 @@ import (
 	"github.com/faqdb/faq/internal/semiring"
 )
 
-// Parse reads a query specification.
-func Parse(r io.Reader) (*core.Query[float64], error) {
-	q, _, err := ParseLayout(r)
-	return q, err
+// Canonical domain names, the accepted operands of the domain directive.
+const (
+	// DomainFloat is the real sum/max-product domain (float64, ·).
+	DomainFloat = "float"
+	// DomainInt is the counting domain (int64, ·) of #CQ / #QCQ.
+	DomainInt = "int"
+	// DomainBool is the Boolean domain ({false, true}, ∨, ∧).
+	DomainBool = "bool"
+	// DomainTropical is the min-plus semiring (R ∪ {+∞}, min, +).
+	DomainTropical = "tropical"
+)
+
+// Domains lists the canonical domain names in directive order.
+var Domains = []string{DomainFloat, DomainInt, DomainBool, DomainTropical}
+
+// Document is a parsed spec before domain instantiation: structure and
+// syntax are checked, values are still raw tokens (their grammar belongs
+// to the domain).  Build it into a typed query with one of the Build
+// methods matching Domain.
+type Document struct {
+	// Domain is the canonical value-domain name; DomainFloat when the
+	// directive is absent.
+	Domain string
+	// Vars are the variable declarations in declaration (= expression)
+	// order.
+	Vars []VarDecl
+	// Blocks are the factor blocks in declaration order.
+	Blocks []FactorBlock
 }
 
-// ParseLayout is Parse, additionally returning each factor's variables in
-// *declaration order* (the column order of its data lines).  Factors in the
-// parsed query always carry sorted variables with permuted tuples; callers
-// accepting out-of-band data in spec column order (the faqd `factors`
-// request field) need the declared layout to apply the same permutation.
-func ParseLayout(r io.Reader) (*core.Query[float64], [][]int, error) {
-	d := semiring.Float()
-	q := &core.Query[float64]{D: d}
+// VarDecl is one var line.
+type VarDecl struct {
+	// Name is the variable's spec name.
+	Name string
+	// Dom is the domain size (the variable ranges over 0..Dom-1).
+	Dom int
+	// Agg is the raw aggregate token: "free", "prod", or a domain
+	// aggregate name ("sum", "max", "min", "or").
+	Agg string
+	// Line is the source line of the declaration, for error messages.
+	Line int
+}
+
+// FactorBlock is one factor block: variables and tuple columns in
+// *declaration order* (the column order of the block's data lines), values
+// as raw tokens.
+type FactorBlock struct {
+	// Vars are the block's variable names in declaration order.
+	Vars []string
+	// VarIDs are the corresponding variable indices (positions in
+	// Document.Vars), parallel to Vars.
+	VarIDs []int
+	// Tuples are the data rows, columns in declaration order.
+	Tuples [][]int
+	// Values are the raw value tokens, parallel to Tuples.
+	Values []string
+	// Line is the source line of the factor directive; ValueLines are the
+	// source lines of the data rows, for error messages.
+	Line       int
+	ValueLines []int
+}
+
+// ParseDocument reads a spec into its untyped Document form, checking
+// syntax and structure (declaration order, arity, known variables) but not
+// domain semantics: aggregate lawfulness and value grammar are checked by
+// the Build methods, which know the value algebra.
+func ParseDocument(r io.Reader) (*Document, error) {
+	doc := &Document{Domain: DomainFloat}
 	names := map[string]int{}
+	numFree := 0
+	sawDomain := false
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<16), 1<<22)
 
 	lineNo := 0
-	var factorVars []int // nil when outside a factor block
-	var tuples [][]int
-	var values []float64
-	var perm []int // column permutation to sorted vars
-	var sortedVars []int
-
-	var layout [][]int // per factor: variables in declaration order
-
-	closeFactor := func() error {
-		f, err := factor.New(d, sortedVars, tuples, values, nil)
-		if err != nil {
-			return err
-		}
-		q.Factors = append(q.Factors, f)
-		layout = append(layout, factorVars)
-		factorVars, tuples, values, perm, sortedVars = nil, nil, nil, nil, nil
-		return nil
-	}
-
+	var blk *FactorBlock // nil when outside a factor block
 	for sc.Scan() {
 		lineNo++
 		line := sc.Text()
@@ -79,70 +135,72 @@ func ParseLayout(r io.Reader) (*core.Query[float64], [][]int, error) {
 			continue
 		}
 		switch fields[0] {
+		case "domain":
+			if sawDomain {
+				return nil, fmt.Errorf("spec:%d: duplicate domain directive", lineNo)
+			}
+			if len(doc.Vars) > 0 || len(doc.Blocks) > 0 || blk != nil {
+				return nil, fmt.Errorf("spec:%d: domain directive must precede all declarations", lineNo)
+			}
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("spec:%d: want 'domain <name>'", lineNo)
+			}
+			switch fields[1] {
+			case DomainFloat, DomainInt, DomainBool, DomainTropical:
+				doc.Domain = fields[1]
+			default:
+				return nil, fmt.Errorf("spec:%d: unknown domain %q (want %s)",
+					lineNo, fields[1], strings.Join(Domains, ", "))
+			}
+			sawDomain = true
 		case "var":
-			if factorVars != nil {
-				return nil, nil, fmt.Errorf("spec:%d: var inside factor block", lineNo)
+			if blk != nil {
+				return nil, fmt.Errorf("spec:%d: var inside factor block", lineNo)
 			}
 			if len(fields) != 4 {
-				return nil, nil, fmt.Errorf("spec:%d: want 'var <name> <dom> <agg>'", lineNo)
+				return nil, fmt.Errorf("spec:%d: want 'var <name> <dom> <agg>'", lineNo)
 			}
 			name := fields[1]
 			if _, dup := names[name]; dup {
-				return nil, nil, fmt.Errorf("spec:%d: duplicate variable %q", lineNo, name)
+				return nil, fmt.Errorf("spec:%d: duplicate variable %q", lineNo, name)
 			}
 			dom, err := strconv.Atoi(fields[2])
 			if err != nil || dom < 1 {
-				return nil, nil, fmt.Errorf("spec:%d: bad domain size %q", lineNo, fields[2])
+				return nil, fmt.Errorf("spec:%d: bad domain size %q", lineNo, fields[2])
 			}
-			agg, err := parseAgg(fields[3])
-			if err != nil {
-				return nil, nil, fmt.Errorf("spec:%d: %v", lineNo, err)
-			}
-			if agg.Kind == core.KindFree {
-				if q.NumFree != q.NVars {
-					return nil, nil, fmt.Errorf("spec:%d: free variable %q after a bound variable", lineNo, name)
+			if fields[3] == "free" {
+				if numFree != len(doc.Vars) {
+					return nil, fmt.Errorf("spec:%d: free variable %q after a bound variable", lineNo, name)
 				}
-				q.NumFree++
+				numFree++
 			}
-			names[name] = q.NVars
-			q.Names = append(q.Names, name)
-			q.DomSizes = append(q.DomSizes, dom)
-			q.Aggs = append(q.Aggs, agg)
-			q.NVars++
+			names[name] = len(doc.Vars)
+			doc.Vars = append(doc.Vars, VarDecl{Name: name, Dom: dom, Agg: fields[3], Line: lineNo})
 		case "factor":
-			if factorVars != nil {
-				return nil, nil, fmt.Errorf("spec:%d: nested factor block", lineNo)
+			if blk != nil {
+				return nil, fmt.Errorf("spec:%d: nested factor block", lineNo)
 			}
 			if len(fields) < 2 {
-				return nil, nil, fmt.Errorf("spec:%d: factor needs at least one variable", lineNo)
+				return nil, fmt.Errorf("spec:%d: factor needs at least one variable", lineNo)
 			}
+			blk = &FactorBlock{Line: lineNo}
 			for _, name := range fields[1:] {
 				v, ok := names[name]
 				if !ok {
-					return nil, nil, fmt.Errorf("spec:%d: unknown variable %q", lineNo, name)
+					return nil, fmt.Errorf("spec:%d: unknown variable %q", lineNo, name)
 				}
-				factorVars = append(factorVars, v)
-			}
-			perm = make([]int, len(factorVars))
-			for i := range perm {
-				perm[i] = i
-			}
-			fv := factorVars
-			sort.Slice(perm, func(a, b int) bool { return fv[perm[a]] < fv[perm[b]] })
-			sortedVars = make([]int, len(factorVars))
-			for i, p := range perm {
-				sortedVars[i] = factorVars[p]
+				blk.Vars = append(blk.Vars, name)
+				blk.VarIDs = append(blk.VarIDs, v)
 			}
 		case "end":
-			if factorVars == nil {
-				return nil, nil, fmt.Errorf("spec:%d: end outside factor block", lineNo)
+			if blk == nil {
+				return nil, fmt.Errorf("spec:%d: end outside factor block", lineNo)
 			}
-			if err := closeFactor(); err != nil {
-				return nil, nil, fmt.Errorf("spec:%d: %v", lineNo, err)
-			}
+			doc.Blocks = append(doc.Blocks, *blk)
+			blk = nil
 		default:
-			if factorVars == nil {
-				return nil, nil, fmt.Errorf("spec:%d: unexpected %q outside a factor block", lineNo, fields[0])
+			if blk == nil {
+				return nil, fmt.Errorf("spec:%d: unexpected %q outside a factor block", lineNo, fields[0])
 			}
 			eq := -1
 			for i, f := range fields {
@@ -151,30 +209,139 @@ func ParseLayout(r io.Reader) (*core.Query[float64], [][]int, error) {
 					break
 				}
 			}
-			if eq != len(factorVars) || len(fields) != eq+2 {
-				return nil, nil, fmt.Errorf("spec:%d: want '%d values = weight'", lineNo, len(factorVars))
+			if eq != len(blk.Vars) || len(fields) != eq+2 {
+				return nil, fmt.Errorf("spec:%d: want '%d values = weight'", lineNo, len(blk.Vars))
 			}
-			tup := make([]int, len(factorVars))
-			for i, p := range perm {
-				x, err := strconv.Atoi(fields[p])
+			tup := make([]int, len(blk.Vars))
+			for i := range tup {
+				x, err := strconv.Atoi(fields[i])
 				if err != nil {
-					return nil, nil, fmt.Errorf("spec:%d: bad value %q", lineNo, fields[p])
+					return nil, fmt.Errorf("spec:%d: bad value %q", lineNo, fields[i])
 				}
 				tup[i] = x
 			}
-			val, err := strconv.ParseFloat(fields[eq+1], 64)
-			if err != nil {
-				return nil, nil, fmt.Errorf("spec:%d: bad weight %q", lineNo, fields[eq+1])
-			}
-			tuples = append(tuples, tup)
-			values = append(values, val)
+			blk.Tuples = append(blk.Tuples, tup)
+			blk.Values = append(blk.Values, fields[eq+1])
+			blk.ValueLines = append(blk.ValueLines, lineNo)
 		}
 	}
 	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if blk != nil {
+		return nil, fmt.Errorf("spec: unterminated factor block")
+	}
+	return doc, nil
+}
+
+// NumFree counts the leading free variables.
+func (doc *Document) NumFree() int {
+	n := 0
+	for _, v := range doc.Vars {
+		if v.Agg != "free" {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+// BuildFloat instantiates the document over the real domain (float64, ·)
+// with sum/max aggregates.  The layout result holds each factor's
+// variables in declaration order (see ParseLayout).
+func (doc *Document) BuildFloat() (*core.Query[float64], [][]int, error) {
+	if err := doc.requireDomain(DomainFloat); err != nil {
 		return nil, nil, err
 	}
-	if factorVars != nil {
-		return nil, nil, fmt.Errorf("spec: unterminated factor block")
+	return buildQuery(doc, semiring.Float(), floatAgg, parseFloatValue)
+}
+
+// BuildInt instantiates the document over the counting domain (int64, ·)
+// with sum/max aggregates.
+func (doc *Document) BuildInt() (*core.Query[int64], [][]int, error) {
+	if err := doc.requireDomain(DomainInt); err != nil {
+		return nil, nil, err
+	}
+	return buildQuery(doc, semiring.Int(), intAgg, parseIntValue)
+}
+
+// BuildBool instantiates the document over the Boolean domain (∨, ∧).
+func (doc *Document) BuildBool() (*core.Query[bool], [][]int, error) {
+	if err := doc.requireDomain(DomainBool); err != nil {
+		return nil, nil, err
+	}
+	return buildQuery(doc, semiring.Bool(), boolAgg, parseBoolValue)
+}
+
+// BuildTropical instantiates the document over the tropical semiring
+// (min, +): values are path costs, min is the lawful aggregate, and the
+// additive identity is +∞ ("inf" in spec text).
+func (doc *Document) BuildTropical() (*core.Query[float64], [][]int, error) {
+	if err := doc.requireDomain(DomainTropical); err != nil {
+		return nil, nil, err
+	}
+	return buildQuery(doc, semiring.Tropical(), tropicalAgg, parseFloatValue)
+}
+
+func (doc *Document) requireDomain(want string) error {
+	if doc.Domain != want {
+		return fmt.Errorf("spec: document declares domain %q, not %q", doc.Domain, want)
+	}
+	return nil
+}
+
+// buildQuery instantiates a Document over one value algebra: aggregates
+// through aggOf, value tokens through parseVal, tuples permuted from
+// declaration order to the sorted variable order factors store — exactly
+// the permutation faqd applies to out-of-band factor data, so inline and
+// shipped data mean the same thing.
+func buildQuery[V any](doc *Document, d *semiring.Domain[V],
+	aggOf func(string) (core.Aggregate[V], error),
+	parseVal func(string) (V, error)) (*core.Query[V], [][]int, error) {
+
+	q := &core.Query[V]{D: d, NVars: len(doc.Vars), NumFree: doc.NumFree()}
+	for _, vd := range doc.Vars {
+		agg, err := aggOf(vd.Agg)
+		if err != nil {
+			return nil, nil, fmt.Errorf("spec:%d: %v", vd.Line, err)
+		}
+		q.Names = append(q.Names, vd.Name)
+		q.DomSizes = append(q.DomSizes, vd.Dom)
+		q.Aggs = append(q.Aggs, agg)
+	}
+	layout := make([][]int, 0, len(doc.Blocks))
+	for _, blk := range doc.Blocks {
+		perm := make([]int, len(blk.VarIDs))
+		for i := range perm {
+			perm[i] = i
+		}
+		sort.Slice(perm, func(a, b int) bool { return blk.VarIDs[perm[a]] < blk.VarIDs[perm[b]] })
+		sortedVars := make([]int, len(perm))
+		for i, p := range perm {
+			sortedVars[i] = blk.VarIDs[p]
+		}
+		tuples := make([][]int, len(blk.Tuples))
+		for i, raw := range blk.Tuples {
+			tup := make([]int, len(perm))
+			for j, p := range perm {
+				tup[j] = raw[p]
+			}
+			tuples[i] = tup
+		}
+		values := make([]V, len(blk.Values))
+		for i, tok := range blk.Values {
+			v, err := parseVal(tok)
+			if err != nil {
+				return nil, nil, fmt.Errorf("spec:%d: bad %s weight %q", blk.ValueLines[i], doc.Domain, tok)
+			}
+			values[i] = v
+		}
+		f, err := factor.New(d, sortedVars, tuples, values, nil)
+		if err != nil {
+			return nil, nil, fmt.Errorf("spec:%d: %v", blk.Line, err)
+		}
+		q.Factors = append(q.Factors, f)
+		layout = append(layout, blk.VarIDs)
 	}
 	if err := q.Validate(); err != nil {
 		return nil, nil, err
@@ -182,7 +349,37 @@ func ParseLayout(r io.Reader) (*core.Query[float64], [][]int, error) {
 	return q, layout, nil
 }
 
-func parseAgg(s string) (core.Aggregate[float64], error) {
+// Parse reads a float-domain query specification; specs declaring another
+// domain are rejected with a pointer to the typed builders.  It is the
+// compatibility entry point of the float-only tools (faqrun, faqplan).
+func Parse(r io.Reader) (*core.Query[float64], error) {
+	q, _, err := ParseLayout(r)
+	return q, err
+}
+
+// ParseLayout is Parse, additionally returning each factor's variables in
+// *declaration order* (the column order of its data lines).  Factors in
+// the parsed query always carry sorted variables with permuted tuples;
+// callers accepting out-of-band data in spec column order (the faqd
+// `factors` request field and binary factor frames) need the declared
+// layout to apply the same permutation.
+func ParseLayout(r io.Reader) (*core.Query[float64], [][]int, error) {
+	doc, err := ParseDocument(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	if doc.Domain != DomainFloat {
+		builder := map[string]string{
+			DomainInt: "BuildInt", DomainBool: "BuildBool", DomainTropical: "BuildTropical",
+		}[doc.Domain]
+		return nil, nil, fmt.Errorf(
+			"spec: domain %q in a float-only context (use ParseDocument and %s)",
+			doc.Domain, builder)
+	}
+	return doc.BuildFloat()
+}
+
+func floatAgg(s string) (core.Aggregate[float64], error) {
 	switch s {
 	case "free":
 		return core.Free[float64](), nil
@@ -191,15 +388,67 @@ func parseAgg(s string) (core.Aggregate[float64], error) {
 	case "max":
 		return core.SemiringAgg(semiring.OpFloatMax()), nil
 	case "min":
-		// Rejected at parse time rather than at Validate time: min over
-		// (float64, ·, 0) is not a lawful FAQ aggregate (min(x, 0) = 0 ≠ x),
-		// and this float-only format cannot express the lawful alternative.
+		// Rejected at build time rather than at Validate time: min over
+		// (float64, ·, 0) is not a lawful FAQ aggregate (min(x, 0) = 0 ≠ x).
+		// The lawful alternative is one directive away.
 		return core.Aggregate[float64]{}, fmt.Errorf(
 			"aggregate \"min\" is not a lawful semiring over the real product " +
 				"(min(x, 0) = 0 ≠ x); lawful min-product is the tropical semiring " +
-				"(min, +), not expressible in this float spec format")
+				"(min, +) — declare 'domain tropical'")
 	case "prod":
 		return core.ProductAgg[float64](), nil
 	}
-	return core.Aggregate[float64]{}, fmt.Errorf("unknown aggregate %q (want free|sum|max|prod)", s)
+	return core.Aggregate[float64]{}, fmt.Errorf("unknown aggregate %q for domain float (want free|sum|max|prod)", s)
+}
+
+func intAgg(s string) (core.Aggregate[int64], error) {
+	switch s {
+	case "free":
+		return core.Free[int64](), nil
+	case "sum":
+		return core.SemiringAgg(semiring.OpIntSum()), nil
+	case "max":
+		return core.SemiringAgg(semiring.OpIntMax()), nil
+	case "prod":
+		return core.ProductAgg[int64](), nil
+	}
+	return core.Aggregate[int64]{}, fmt.Errorf("unknown aggregate %q for domain int (want free|sum|max|prod)", s)
+}
+
+func boolAgg(s string) (core.Aggregate[bool], error) {
+	switch s {
+	case "free":
+		return core.Free[bool](), nil
+	case "or":
+		return core.SemiringAgg(semiring.OpOr()), nil
+	case "prod":
+		return core.ProductAgg[bool](), nil
+	}
+	return core.Aggregate[bool]{}, fmt.Errorf("unknown aggregate %q for domain bool (want free|or|prod)", s)
+}
+
+func tropicalAgg(s string) (core.Aggregate[float64], error) {
+	switch s {
+	case "free":
+		return core.Free[float64](), nil
+	case "min":
+		return core.SemiringAgg(semiring.OpTropicalMin()), nil
+	case "prod":
+		return core.ProductAgg[float64](), nil
+	}
+	return core.Aggregate[float64]{}, fmt.Errorf("unknown aggregate %q for domain tropical (want free|min|prod)", s)
+}
+
+func parseFloatValue(s string) (float64, error) { return strconv.ParseFloat(s, 64) }
+
+func parseIntValue(s string) (int64, error) { return strconv.ParseInt(s, 10, 64) }
+
+func parseBoolValue(s string) (bool, error) {
+	switch s {
+	case "1", "true":
+		return true, nil
+	case "0", "false":
+		return false, nil
+	}
+	return false, fmt.Errorf("bad bool %q", s)
 }

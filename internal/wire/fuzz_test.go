@@ -1,0 +1,174 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"math"
+	"testing"
+
+	"github.com/faqdb/faq/internal/factor"
+	"github.com/faqdb/faq/internal/semiring"
+)
+
+// FuzzWireRoundTrip holds the codec to the contract the serving path
+// relies on: whatever column data a client frames, the decoded frame is
+// bit-identical to the encoded one, and feeding either side into
+// factor.NewRows produces the same factor (same rows, same value bits) or
+// the same rejection.  The value column is built from raw fuzzed bytes, so
+// NaNs, infinities, negative cells and duplicate rows are all exercised.
+func FuzzWireRoundTrip(f *testing.F) {
+	f.Add(uint8(2), uint8(1), []byte{0, 0, 0, 0, 1, 0, 0, 0}, []byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add(uint8(1), uint8(2), []byte{255, 255, 255, 255}, []byte{9, 9, 9, 9, 9, 9, 9, 9})
+	f.Add(uint8(3), uint8(3), make([]byte, 24), []byte{1, 0})
+	f.Add(uint8(0), uint8(4), []byte{}, []byte{0, 0, 0, 0, 0, 0, 0, 64})
+	f.Fuzz(func(t *testing.T, arityB, domB uint8, rowBytes, valBytes []byte) {
+		dom := Domain(domB%4 + 1)
+		arity := int(arityB % 4)
+		// Row count: as many complete value encodings as valBytes holds,
+		// bounded by the complete rows rowBytes holds (for arity > 0).
+		n := len(valBytes) / dom.ValueSize()
+		if arity > 0 {
+			if nr := len(rowBytes) / (4 * arity); nr < n {
+				n = nr
+			}
+		}
+		frame := &Frame{Domain: dom, Arity: arity}
+		frame.Rows = make([]int32, n*arity)
+		for i := range frame.Rows {
+			frame.Rows[i] = int32(binary.LittleEndian.Uint32(rowBytes[4*i:]))
+		}
+		switch dom {
+		case DomainFloat, DomainTropical:
+			frame.Floats = make([]float64, n)
+			for i := range frame.Floats {
+				frame.Floats[i] = math.Float64frombits(binary.LittleEndian.Uint64(valBytes[8*i:]))
+			}
+		case DomainInt:
+			frame.Ints = make([]int64, n)
+			for i := range frame.Ints {
+				frame.Ints[i] = int64(binary.LittleEndian.Uint64(valBytes[8*i:]))
+			}
+		case DomainBool:
+			frame.Bools = make([]bool, n)
+			for i := range frame.Bools {
+				frame.Bools[i] = valBytes[i]&1 == 1
+			}
+		}
+
+		var buf bytes.Buffer
+		if err := NewEncoder(&buf).Encode(frame); err != nil {
+			t.Fatalf("encode rejected a consistent frame: %v", err)
+		}
+		dec := NewDecoder(&buf)
+		got, err := dec.Decode()
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if _, err := dec.Decode(); err != io.EOF {
+			t.Fatalf("trailing read: %v, want io.EOF", err)
+		}
+		if got.Domain != frame.Domain || got.Arity != frame.Arity || got.NumRows() != n {
+			t.Fatalf("header changed: %v/%d/%d, want %v/%d/%d",
+				got.Domain, got.Arity, got.NumRows(), frame.Domain, frame.Arity, n)
+		}
+		for i := range frame.Rows {
+			if got.Rows[i] != frame.Rows[i] {
+				t.Fatalf("row cell %d: %d != %d", i, got.Rows[i], frame.Rows[i])
+			}
+		}
+
+		vars := make([]int, arity)
+		for i := range vars {
+			vars[i] = i
+		}
+		switch dom {
+		case DomainFloat, DomainTropical:
+			for i := range frame.Floats {
+				if math.Float64bits(got.Floats[i]) != math.Float64bits(frame.Floats[i]) {
+					t.Fatalf("float %d: bits changed", i)
+				}
+			}
+			d := semiring.Float()
+			if dom == DomainTropical {
+				d = semiring.Tropical()
+			}
+			compareNewRows(t, d, vars, arity, frame.Rows, frame.Floats, got.Rows, got.Floats,
+				math.Float64bits, func(a, b float64) bool { return math.Float64bits(a) == math.Float64bits(b) })
+		case DomainInt:
+			compareNewRows(t, semiring.Int(), vars, arity, frame.Rows, frame.Ints, got.Rows, got.Ints,
+				func(v int64) uint64 { return uint64(v) }, func(a, b int64) bool { return a == b })
+		case DomainBool:
+			compareNewRows(t, semiring.Bool(), vars, arity, frame.Rows, frame.Bools, got.Rows, got.Bools,
+				func(v bool) uint64 {
+					if v {
+						return 1
+					}
+					return 0
+				}, func(a, b bool) bool { return a == b })
+		}
+	})
+}
+
+// compareNewRows feeds the pre-encode and post-decode columns through
+// factor.NewRows and requires identical outcomes.  NewRows consumes its
+// arguments, so both sides get copies.
+func compareNewRows[V any](t *testing.T, d *semiring.Domain[V], vars []int, arity int,
+	rowsA []int32, valsA []V, rowsB []int32, valsB []V,
+	bits func(V) uint64, eq func(a, b V) bool) {
+	t.Helper()
+	fa, errA := factor.NewRows(d, vars, append([]int32(nil), rowsA...), append([]V(nil), valsA...), nil)
+	fb, errB := factor.NewRows(d, vars, append([]int32(nil), rowsB...), append([]V(nil), valsB...), nil)
+	if (errA == nil) != (errB == nil) {
+		t.Fatalf("NewRows disagreement: pre-encode err %v, post-decode err %v", errA, errB)
+	}
+	if errA != nil {
+		return
+	}
+	if fa.Size() != fb.Size() || fa.Arity() != fb.Arity() {
+		t.Fatalf("factor size/arity: %d/%d != %d/%d", fa.Size(), fa.Arity(), fb.Size(), fb.Arity())
+	}
+	ra, rb := fa.Rows(), fb.Rows()
+	for i := range ra {
+		if ra[i] != rb[i] {
+			t.Fatalf("factor row cell %d: %d != %d", i, ra[i], rb[i])
+		}
+	}
+	for i := range fa.Values {
+		if !eq(fa.Values[i], fb.Values[i]) {
+			t.Fatalf("factor value %d: bits %x != %x", i, bits(fa.Values[i]), bits(fb.Values[i]))
+		}
+	}
+	_ = arity
+}
+
+// FuzzDecode throws raw bytes at the frame decoder: it must never panic
+// and every frame it does accept must survive a re-encode/re-decode cycle
+// bit-identically.
+func FuzzDecode(f *testing.F) {
+	var seed bytes.Buffer
+	_ = NewEncoder(&seed).Encode(&Frame{Domain: DomainFloat, Arity: 2,
+		Rows: []int32{0, 1, 2, 3}, Floats: []float64{1, 2}})
+	f.Add(seed.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0x24, 1, 1, 1, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec := NewDecoder(bytes.NewReader(data))
+		dec.SetMaxFrameBytes(1 << 20) // keep hostile length prefixes cheap
+		frame, err := dec.Decode()
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := NewEncoder(&buf).Encode(frame); err != nil {
+			t.Fatalf("decoded frame does not re-encode: %v", err)
+		}
+		again, err := NewDecoder(&buf).Decode()
+		if err != nil {
+			t.Fatalf("re-decode: %v", err)
+		}
+		if again.Domain != frame.Domain || again.Arity != frame.Arity || again.NumRows() != frame.NumRows() {
+			t.Fatalf("re-decode changed the header")
+		}
+	})
+}

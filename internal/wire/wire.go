@@ -1,0 +1,465 @@
+// Package wire implements the faqd binary factor encoding: a
+// length-prefixed framing for shipping factor data (the fresh-data path of
+// POST /v1/query) without the JSON tuple-decoding cost that dominates
+// refresh-heavy serving workloads.
+//
+// A frame carries one factor as the two flat columns internal/factor
+// stores natively — the row-major []int32 tuple block and the value
+// column — so decoding is a header check plus two raw copies, with zero
+// per-row allocation, and the result feeds factor.NewRows directly.
+//
+// # Frame layout
+//
+// Every multi-byte integer is little-endian; varint fields use the
+// unsigned LEB128 encoding of encoding/binary.
+//
+//	uvarint  payload length in bytes (everything after this prefix)
+//	payload:
+//	  uvarint  version        (currently 1)
+//	  byte     value domain   (1=float, 2=int, 3=bool, 4=tropical)
+//	  uvarint  arity          (columns per row)
+//	  uvarint  row count
+//	  rows     row count × arity × int32, little-endian, row-major
+//	  values   row count × value, little-endian:
+//	             float/tropical  8-byte IEEE 754 bits
+//	             int             8-byte two's complement
+//	             bool            1 byte (0 or 1)
+//
+// The payload length must equal the header plus the two columns exactly:
+// truncated and padded frames are both rejected, so a frame boundary error
+// cannot silently shift row data into the value column.
+//
+// # Stream layout
+//
+// A factor stream — the request body of POST /v1/query with Content-Type
+// application/x-faq-factors — is a small envelope followed by the frames:
+//
+//	"FAQW"   4-byte magic
+//	uvarint  stream version (currently 1)
+//	uvarint  header length, then that many opaque header bytes
+//	         (for /v1/query: the QueryRequest JSON without "factors")
+//	uvarint  frame count
+//	frames   frame count × frame, one per spec factor in spec order
+//
+// See docs/PROTOCOL.md for the full wire reference.
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Version is the frame version this package encodes and the only version
+// it accepts when decoding.
+const Version = 1
+
+// StreamVersion is the stream-envelope version (the magic + header + count
+// prefix), independent of the per-frame version.
+const StreamVersion = 1
+
+// ContentType is the MIME type of a factor stream, accepted by
+// POST /v1/query as an alternative to application/json.
+const ContentType = "application/x-faq-factors"
+
+// DefaultMaxFrameBytes bounds a single frame's payload unless the decoder
+// is reconfigured with SetMaxFrameBytes — large enough for hundreds of
+// millions of binary-factor rows, small enough that a corrupt length
+// prefix cannot drive a huge allocation.
+const DefaultMaxFrameBytes = 1 << 28
+
+// MaxArity bounds the declared arity of a frame.  No planner in this
+// repository handles queries anywhere near this wide; the bound exists so
+// arity × row-count products cannot overflow during validation.
+const MaxArity = 1 << 16
+
+// streamMagic starts every factor stream.
+const streamMagic = "FAQW"
+
+// Sentinel errors returned (wrapped, with detail) by Decoder.  Match with
+// errors.Is.
+var (
+	// ErrBadMagic means the stream does not start with the "FAQW" magic.
+	ErrBadMagic = errors.New("wire: bad stream magic")
+	// ErrVersion means a frame or stream declared an unsupported version.
+	ErrVersion = errors.New("wire: unsupported version")
+	// ErrDomain means a frame declared an unknown value-domain byte.
+	ErrDomain = errors.New("wire: unknown value domain")
+	// ErrTooLarge means a declared length exceeds the decoder's limit.
+	ErrTooLarge = errors.New("wire: length exceeds limit")
+	// ErrTruncated means the input ended inside a frame or the envelope.
+	ErrTruncated = errors.New("wire: truncated input")
+	// ErrFrameLength means a frame's declared payload length does not
+	// match its header plus its two columns exactly.
+	ErrFrameLength = errors.New("wire: frame length mismatch")
+)
+
+// Domain identifies the value encoding of a frame's value column.  It is
+// the wire twin of the spec format's domain directive: the faqd handler
+// requires a request's frames to match its spec's declared domain.
+type Domain byte
+
+// The wire value domains.  Float and Tropical share the float64 encoding
+// but are distinct codes: the spec domain decides the algebra, and a
+// mismatch between spec and frames is a client error worth catching.
+const (
+	// DomainInvalid is the zero Domain; never valid on the wire.
+	DomainInvalid Domain = 0
+	// DomainFloat is float64 (IEEE 754 bits, little-endian).
+	DomainFloat Domain = 1
+	// DomainInt is int64 (two's complement, little-endian).
+	DomainInt Domain = 2
+	// DomainBool is bool (one byte, 0 or 1).
+	DomainBool Domain = 3
+	// DomainTropical is float64 over the tropical (min, +) semiring.
+	DomainTropical Domain = 4
+)
+
+// Valid reports whether d is a defined wire domain.
+func (d Domain) Valid() bool { return d >= DomainFloat && d <= DomainTropical }
+
+// ValueSize returns the encoded size of one value in bytes (0 for an
+// invalid domain).
+func (d Domain) ValueSize() int {
+	switch d {
+	case DomainFloat, DomainInt, DomainTropical:
+		return 8
+	case DomainBool:
+		return 1
+	}
+	return 0
+}
+
+// String returns the spec-format domain name ("float", "int", "bool",
+// "tropical").
+func (d Domain) String() string {
+	switch d {
+	case DomainFloat:
+		return "float"
+	case DomainInt:
+		return "int"
+	case DomainBool:
+		return "bool"
+	case DomainTropical:
+		return "tropical"
+	}
+	return fmt.Sprintf("Domain(%d)", byte(d))
+}
+
+// ParseDomain maps a spec-format domain name to its wire code.
+func ParseDomain(name string) (Domain, error) {
+	switch name {
+	case "float":
+		return DomainFloat, nil
+	case "int":
+		return DomainInt, nil
+	case "bool":
+		return DomainBool, nil
+	case "tropical":
+		return DomainTropical, nil
+	}
+	return DomainInvalid, fmt.Errorf("%w: %q (want float, int, bool or tropical)", ErrDomain, name)
+}
+
+// Frame is one decoded (or to-be-encoded) factor: the row-major tuple
+// block plus exactly one value column, selected by Domain.  Rows holds
+// NumRows() × Arity int32 cells; columns follow the order the sender
+// declared (for /v1/query: the spec factor block's declaration order).
+type Frame struct {
+	// Domain selects the value column: Floats for DomainFloat and
+	// DomainTropical, Ints for DomainInt, Bools for DomainBool.
+	Domain Domain
+	// Arity is the number of columns per row.
+	Arity int
+	// Rows is the row-major tuple block: NumRows() × Arity cells.
+	Rows []int32
+	// Floats is the value column of DomainFloat and DomainTropical frames.
+	Floats []float64
+	// Ints is the value column of DomainInt frames.
+	Ints []int64
+	// Bools is the value column of DomainBool frames.
+	Bools []bool
+}
+
+// NumRows returns the number of rows, i.e. the length of the domain's
+// value column.
+func (f *Frame) NumRows() int {
+	switch f.Domain {
+	case DomainFloat, DomainTropical:
+		return len(f.Floats)
+	case DomainInt:
+		return len(f.Ints)
+	case DomainBool:
+		return len(f.Bools)
+	}
+	return 0
+}
+
+// check validates internal consistency before encoding.
+func (f *Frame) check() error {
+	if !f.Domain.Valid() {
+		return fmt.Errorf("%w: %d", ErrDomain, byte(f.Domain))
+	}
+	if f.Arity < 0 || f.Arity > MaxArity {
+		return fmt.Errorf("wire: arity %d out of range [0, %d]", f.Arity, MaxArity)
+	}
+	var wrong bool
+	switch f.Domain {
+	case DomainFloat, DomainTropical:
+		wrong = f.Ints != nil || f.Bools != nil
+	case DomainInt:
+		wrong = f.Floats != nil || f.Bools != nil
+	case DomainBool:
+		wrong = f.Floats != nil || f.Ints != nil
+	}
+	if wrong {
+		return fmt.Errorf("wire: frame carries a value column foreign to domain %v", f.Domain)
+	}
+	if len(f.Rows) != f.NumRows()*f.Arity {
+		return fmt.Errorf("wire: row block has %d cells for %d rows of arity %d",
+			len(f.Rows), f.NumRows(), f.Arity)
+	}
+	return nil
+}
+
+// Encoder writes factor streams and frames to an io.Writer, reusing one
+// scratch buffer across calls.  An Encoder is not safe for concurrent use.
+type Encoder struct {
+	w   io.Writer
+	buf []byte
+}
+
+// NewEncoder returns an Encoder writing to w.
+func NewEncoder(w io.Writer) *Encoder { return &Encoder{w: w} }
+
+// WriteStreamHeader writes the stream envelope: magic, stream version, the
+// opaque header bytes (for /v1/query: the QueryRequest JSON without
+// "factors") and the number of frames that follow.
+func (e *Encoder) WriteStreamHeader(header []byte, frames int) error {
+	if frames < 0 {
+		return fmt.Errorf("wire: negative frame count %d", frames)
+	}
+	e.buf = e.buf[:0]
+	e.buf = append(e.buf, streamMagic...)
+	e.buf = binary.AppendUvarint(e.buf, StreamVersion)
+	e.buf = binary.AppendUvarint(e.buf, uint64(len(header)))
+	e.buf = append(e.buf, header...)
+	e.buf = binary.AppendUvarint(e.buf, uint64(frames))
+	_, err := e.w.Write(e.buf)
+	return err
+}
+
+// Encode writes one frame: the uvarint payload-length prefix, the header
+// and the two raw columns, in a single Write.
+func (e *Encoder) Encode(f *Frame) error {
+	if err := f.check(); err != nil {
+		return err
+	}
+	n := f.NumRows()
+	var hdr [3 * binary.MaxVarintLen64]byte
+	h := binary.PutUvarint(hdr[:], Version)
+	hdr[h] = byte(f.Domain)
+	h++
+	h += binary.PutUvarint(hdr[h:], uint64(f.Arity))
+	h += binary.PutUvarint(hdr[h:], uint64(n))
+	payload := h + 4*len(f.Rows) + f.Domain.ValueSize()*n
+
+	e.buf = e.buf[:0]
+	if cap(e.buf) < payload+binary.MaxVarintLen64 {
+		e.buf = make([]byte, 0, payload+binary.MaxVarintLen64)
+	}
+	e.buf = binary.AppendUvarint(e.buf, uint64(payload))
+	e.buf = append(e.buf, hdr[:h]...)
+	for _, x := range f.Rows {
+		e.buf = binary.LittleEndian.AppendUint32(e.buf, uint32(x))
+	}
+	switch f.Domain {
+	case DomainFloat, DomainTropical:
+		for _, v := range f.Floats {
+			e.buf = binary.LittleEndian.AppendUint64(e.buf, math.Float64bits(v))
+		}
+	case DomainInt:
+		for _, v := range f.Ints {
+			e.buf = binary.LittleEndian.AppendUint64(e.buf, uint64(v))
+		}
+	case DomainBool:
+		for _, v := range f.Bools {
+			if v {
+				e.buf = append(e.buf, 1)
+			} else {
+				e.buf = append(e.buf, 0)
+			}
+		}
+	}
+	_, err := e.w.Write(e.buf)
+	return err
+}
+
+// Decoder reads factor streams and frames.  A Decoder is not safe for
+// concurrent use.
+type Decoder struct {
+	br  *bufio.Reader
+	max int
+	buf []byte
+}
+
+// NewDecoder returns a Decoder reading from r with the
+// DefaultMaxFrameBytes frame limit.
+func NewDecoder(r io.Reader) *Decoder {
+	br, ok := r.(*bufio.Reader)
+	if !ok {
+		br = bufio.NewReader(r)
+	}
+	return &Decoder{br: br, max: DefaultMaxFrameBytes}
+}
+
+// SetMaxFrameBytes bounds the payload length Decode accepts; n <= 0
+// restores DefaultMaxFrameBytes.  The bound is checked before any
+// allocation, so a corrupt or hostile length prefix cannot drive memory
+// use past it.
+func (d *Decoder) SetMaxFrameBytes(n int) {
+	if n <= 0 {
+		n = DefaultMaxFrameBytes
+	}
+	d.max = n
+}
+
+// ReadStreamHeader reads the stream envelope and returns the opaque header
+// bytes and the declared frame count.  maxHeader bounds the header length
+// (<= 0 means the decoder's frame limit).
+func (d *Decoder) ReadStreamHeader(maxHeader int) (header []byte, frames int, err error) {
+	if maxHeader <= 0 {
+		maxHeader = d.max
+	}
+	var magic [len(streamMagic)]byte
+	if _, err := io.ReadFull(d.br, magic[:]); err != nil {
+		return nil, 0, fmt.Errorf("%w: reading magic: %w", ErrTruncated, err)
+	}
+	if string(magic[:]) != streamMagic {
+		return nil, 0, fmt.Errorf("%w: got %q", ErrBadMagic, magic[:])
+	}
+	v, err := binary.ReadUvarint(d.br)
+	if err != nil {
+		return nil, 0, fmt.Errorf("%w: reading stream version: %w", ErrTruncated, err)
+	}
+	if v != StreamVersion {
+		return nil, 0, fmt.Errorf("%w: stream version %d (want %d)", ErrVersion, v, StreamVersion)
+	}
+	hlen, err := binary.ReadUvarint(d.br)
+	if err != nil {
+		return nil, 0, fmt.Errorf("%w: reading header length: %w", ErrTruncated, err)
+	}
+	if hlen > uint64(maxHeader) {
+		return nil, 0, fmt.Errorf("%w: %d-byte stream header (limit %d)", ErrTooLarge, hlen, maxHeader)
+	}
+	header = make([]byte, hlen)
+	if _, err := io.ReadFull(d.br, header); err != nil {
+		return nil, 0, fmt.Errorf("%w: reading stream header: %w", ErrTruncated, err)
+	}
+	n, err := binary.ReadUvarint(d.br)
+	if err != nil {
+		return nil, 0, fmt.Errorf("%w: reading frame count: %w", ErrTruncated, err)
+	}
+	// Each frame costs at least one length byte; a count the input cannot
+	// possibly satisfy is rejected up front rather than discovered frame
+	// by frame.
+	if n > uint64(d.max) {
+		return nil, 0, fmt.Errorf("%w: %d frames declared (limit %d)", ErrTooLarge, n, d.max)
+	}
+	return header, int(n), nil
+}
+
+// Decode reads one frame.  A clean end of input (no bytes at all) returns
+// io.EOF; an end inside a frame returns ErrTruncated.
+func (d *Decoder) Decode() (*Frame, error) {
+	payload, err := binary.ReadUvarint(d.br)
+	if err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("%w: reading frame length: %w", ErrTruncated, err)
+	}
+	if payload > uint64(d.max) {
+		return nil, fmt.Errorf("%w: %d-byte frame (limit %d)", ErrTooLarge, payload, d.max)
+	}
+	if uint64(cap(d.buf)) < payload {
+		d.buf = make([]byte, payload)
+	}
+	buf := d.buf[:payload]
+	if _, err := io.ReadFull(d.br, buf); err != nil {
+		return nil, fmt.Errorf("%w: frame declared %d bytes: %w", ErrTruncated, payload, err)
+	}
+
+	v, h := binary.Uvarint(buf)
+	if h <= 0 {
+		return nil, fmt.Errorf("%w: unreadable version", ErrFrameLength)
+	}
+	if v != Version {
+		return nil, fmt.Errorf("%w: frame version %d (want %d)", ErrVersion, v, Version)
+	}
+	if h >= len(buf) {
+		return nil, fmt.Errorf("%w: header ends before domain byte", ErrFrameLength)
+	}
+	dom := Domain(buf[h])
+	h++
+	if !dom.Valid() {
+		return nil, fmt.Errorf("%w: %d", ErrDomain, byte(dom))
+	}
+	arity, k := binary.Uvarint(buf[h:])
+	if k <= 0 {
+		return nil, fmt.Errorf("%w: unreadable arity", ErrFrameLength)
+	}
+	h += k
+	if arity > MaxArity {
+		return nil, fmt.Errorf("%w: arity %d (limit %d)", ErrTooLarge, arity, MaxArity)
+	}
+	rows, k := binary.Uvarint(buf[h:])
+	if k <= 0 {
+		return nil, fmt.Errorf("%w: unreadable row count", ErrFrameLength)
+	}
+	h += k
+
+	if rows > uint64(d.max) {
+		return nil, fmt.Errorf("%w: %d rows (limit %d)", ErrTooLarge, rows, d.max)
+	}
+	need := rows * (4*arity + uint64(dom.ValueSize())) // no overflow: rows ≤ max, arity ≤ MaxArity
+	if need != uint64(len(buf)-h) {
+		return nil, fmt.Errorf("%w: %d rows of arity %d need %d column bytes, frame carries %d",
+			ErrFrameLength, rows, arity, need, len(buf)-h)
+	}
+
+	f := &Frame{Domain: dom, Arity: int(arity)}
+	f.Rows = make([]int32, rows*arity)
+	for i := range f.Rows {
+		f.Rows[i] = int32(binary.LittleEndian.Uint32(buf[h+4*i:]))
+	}
+	h += 4 * len(f.Rows)
+	switch dom {
+	case DomainFloat, DomainTropical:
+		f.Floats = make([]float64, rows)
+		for i := range f.Floats {
+			f.Floats[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[h+8*i:]))
+		}
+	case DomainInt:
+		f.Ints = make([]int64, rows)
+		for i := range f.Ints {
+			f.Ints[i] = int64(binary.LittleEndian.Uint64(buf[h+8*i:]))
+		}
+	case DomainBool:
+		f.Bools = make([]bool, rows)
+		for i := range f.Bools {
+			switch buf[h+i] {
+			case 0:
+			case 1:
+				f.Bools[i] = true
+			default:
+				return nil, fmt.Errorf("%w: bool value %d at row %d (want 0 or 1)",
+					ErrFrameLength, buf[h+i], i)
+			}
+		}
+	}
+	return f, nil
+}

@@ -1,0 +1,227 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"math"
+	"reflect"
+	"testing"
+)
+
+// roundTrip encodes f and decodes it back through a fresh Decoder.
+func roundTrip(t *testing.T, f *Frame) *Frame {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := NewEncoder(&buf).Encode(f); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	dec := NewDecoder(&buf)
+	got, err := dec.Decode()
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if _, err := dec.Decode(); err != io.EOF {
+		t.Fatalf("after last frame: %v, want io.EOF", err)
+	}
+	return got
+}
+
+func TestRoundTripAllDomains(t *testing.T) {
+	rows := []int32{0, 1, 1, 0, 2, 2}
+	frames := []*Frame{
+		{Domain: DomainFloat, Arity: 2, Rows: rows, Floats: []float64{1.5, -0, math.Inf(1)}},
+		{Domain: DomainTropical, Arity: 2, Rows: rows, Floats: []float64{0, 7.25, math.Inf(1)}},
+		{Domain: DomainInt, Arity: 2, Rows: rows, Ints: []int64{math.MinInt64, 0, math.MaxInt64}},
+		{Domain: DomainBool, Arity: 2, Rows: rows, Bools: []bool{true, false, true}},
+		{Domain: DomainFloat, Arity: 0, Rows: nil, Floats: []float64{42}}, // scalar factor
+		{Domain: DomainInt, Arity: 3, Rows: nil, Ints: nil},               // empty factor
+	}
+	for _, f := range frames {
+		got := roundTrip(t, f)
+		if got.Domain != f.Domain || got.Arity != f.Arity {
+			t.Fatalf("domain/arity: got %v/%d, want %v/%d", got.Domain, got.Arity, f.Domain, f.Arity)
+		}
+		if len(got.Rows) != len(f.Rows) {
+			t.Fatalf("rows: got %v, want %v", got.Rows, f.Rows)
+		}
+		for i := range f.Rows {
+			if got.Rows[i] != f.Rows[i] {
+				t.Fatalf("row cell %d: got %d, want %d", i, got.Rows[i], f.Rows[i])
+			}
+		}
+		switch f.Domain {
+		case DomainFloat, DomainTropical:
+			for i := range f.Floats {
+				if math.Float64bits(got.Floats[i]) != math.Float64bits(f.Floats[i]) {
+					t.Fatalf("float %d: bits differ (%v vs %v)", i, got.Floats[i], f.Floats[i])
+				}
+			}
+		case DomainInt:
+			if len(f.Ints) > 0 && !reflect.DeepEqual(got.Ints, f.Ints) {
+				t.Fatalf("ints: got %v, want %v", got.Ints, f.Ints)
+			}
+		case DomainBool:
+			if !reflect.DeepEqual(got.Bools, f.Bools) {
+				t.Fatalf("bools: got %v, want %v", got.Bools, f.Bools)
+			}
+		}
+	}
+}
+
+func TestStreamHeaderRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf)
+	header := []byte(`{"spec":"var x 2 sum\n..."}`)
+	if err := enc.WriteStreamHeader(header, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Encode(&Frame{Domain: DomainFloat, Arity: 1, Rows: []int32{0}, Floats: []float64{1}}); err != nil {
+		t.Fatal(err)
+	}
+	dec := NewDecoder(&buf)
+	got, frames, err := dec.ReadStreamHeader(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, header) || frames != 3 {
+		t.Fatalf("header %q frames %d, want %q / 3", got, frames, header)
+	}
+	if f, err := dec.Decode(); err != nil || f.NumRows() != 1 {
+		t.Fatalf("frame after header: %v, %v", f, err)
+	}
+}
+
+// encodeValid returns the encoding of a small valid float frame.
+func encodeValid(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	err := NewEncoder(&buf).Encode(&Frame{
+		Domain: DomainFloat, Arity: 2,
+		Rows: []int32{0, 1, 2, 3}, Floats: []float64{1, 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func decodeErr(t *testing.T, raw []byte) error {
+	t.Helper()
+	_, err := NewDecoder(bytes.NewReader(raw)).Decode()
+	if err == nil {
+		t.Fatal("corrupt frame decoded without error")
+	}
+	return err
+}
+
+func TestDecodeRejectsTruncated(t *testing.T) {
+	raw := encodeValid(t)
+	// Every strict prefix (except the empty one, which is a clean EOF)
+	// must fail with ErrTruncated — the declared payload never arrives.
+	for cut := 1; cut < len(raw); cut++ {
+		err := decodeErr(t, raw[:cut])
+		if !errors.Is(err, ErrTruncated) {
+			t.Fatalf("prefix of %d/%d bytes: %v, want ErrTruncated", cut, len(raw), err)
+		}
+	}
+	if _, err := NewDecoder(bytes.NewReader(nil)).Decode(); err != io.EOF {
+		t.Fatalf("empty input: %v, want io.EOF", err)
+	}
+}
+
+func TestDecodeRejectsOversized(t *testing.T) {
+	raw := encodeValid(t)
+	dec := NewDecoder(bytes.NewReader(raw))
+	dec.SetMaxFrameBytes(8) // smaller than the frame's payload
+	if _, err := dec.Decode(); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("got %v, want ErrTooLarge", err)
+	}
+
+	// A forged length prefix claiming more bytes than the limit is
+	// rejected before any allocation.
+	huge := binary.AppendUvarint(nil, uint64(DefaultMaxFrameBytes)+1)
+	if err := decodeErr(t, huge); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("forged huge length: %v, want ErrTooLarge", err)
+	}
+}
+
+func TestDecodeRejectsBadVersion(t *testing.T) {
+	raw := encodeValid(t)
+	// The version uvarint is the first payload byte (after the 1-byte
+	// length prefix for this small frame).
+	raw[1] = 99
+	if err := decodeErr(t, raw); !errors.Is(err, ErrVersion) {
+		t.Fatalf("got %v, want ErrVersion", err)
+	}
+}
+
+func TestDecodeRejectsBadDomain(t *testing.T) {
+	raw := encodeValid(t)
+	raw[2] = 200 // domain byte follows the version
+	if err := decodeErr(t, raw); !errors.Is(err, ErrDomain) {
+		t.Fatalf("got %v, want ErrDomain", err)
+	}
+}
+
+func TestDecodeRejectsPaddedFrame(t *testing.T) {
+	raw := encodeValid(t)
+	// Grow the declared payload length by one and append a padding byte:
+	// columns no longer fill the payload exactly.
+	n, k := binary.Uvarint(raw)
+	grown := binary.AppendUvarint(nil, n+1)
+	grown = append(grown, raw[k:]...)
+	grown = append(grown, 0)
+	if err := decodeErr(t, grown); !errors.Is(err, ErrFrameLength) {
+		t.Fatalf("got %v, want ErrFrameLength", err)
+	}
+}
+
+func TestDecodeRejectsBadBool(t *testing.T) {
+	var buf bytes.Buffer
+	err := NewEncoder(&buf).Encode(&Frame{Domain: DomainBool, Arity: 1, Rows: []int32{0}, Bools: []bool{true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[len(raw)-1] = 7 // not 0/1
+	if err := decodeErr(t, raw); !errors.Is(err, ErrFrameLength) {
+		t.Fatalf("got %v, want ErrFrameLength", err)
+	}
+}
+
+func TestStreamHeaderRejections(t *testing.T) {
+	mk := func(mutate func([]byte) []byte) error {
+		var buf bytes.Buffer
+		if err := NewEncoder(&buf).WriteStreamHeader([]byte("hdr"), 1); err != nil {
+			t.Fatal(err)
+		}
+		raw := mutate(buf.Bytes())
+		_, _, err := NewDecoder(bytes.NewReader(raw)).ReadStreamHeader(0)
+		return err
+	}
+	if err := mk(func(b []byte) []byte { b[0] = 'X'; return b }); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("bad magic: %v", err)
+	}
+	if err := mk(func(b []byte) []byte { b[4] = 9; return b }); !errors.Is(err, ErrVersion) {
+		t.Fatalf("bad stream version: %v", err)
+	}
+	if err := mk(func(b []byte) []byte { return b[:5] }); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("truncated envelope: %v", err)
+	}
+}
+
+func TestEncodeRejectsInconsistentFrame(t *testing.T) {
+	bad := []*Frame{
+		{Domain: DomainInvalid, Arity: 1, Rows: []int32{0}, Floats: []float64{1}},
+		{Domain: DomainFloat, Arity: 2, Rows: []int32{0}, Floats: []float64{1}}, // short row block
+		{Domain: DomainFloat, Arity: 1, Rows: []int32{0}, Ints: []int64{1}},     // wrong column
+		{Domain: DomainInt, Arity: 1, Rows: []int32{0}, Ints: []int64{1}, Bools: []bool{true}},
+	}
+	for i, f := range bad {
+		if err := NewEncoder(io.Discard).Encode(f); err == nil {
+			t.Fatalf("bad frame %d encoded without error", i)
+		}
+	}
+}

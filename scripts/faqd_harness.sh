@@ -3,8 +3,9 @@
 # down gracefully (SIGTERM) and propagate its exit status — so the harness
 # also verifies the drain path every time it runs.
 #
-#   scripts/faqd_harness.sh smoke              # make serve-smoke / CI gate
-#   scripts/faqd_harness.sh bench BENCH_PR3.json   # serving benchmark
+#   scripts/faqd_harness.sh smoke                  # make serve-smoke / CI gate
+#   scripts/faqd_harness.sh bench BENCH_PR3.json       # serving benchmark
+#   scripts/faqd_harness.sh benchwire BENCH_PR5.json   # JSON vs binary factor bodies
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -42,8 +43,15 @@ case "$mode" in
   bench)
     "$bin/faqload" -addr "$addr" -concurrency 8 -duration 2s -json "$json_out"
     ;;
+  benchwire)
+    # The wire-format comparison: every data-shipping shape runs twice
+    # (JSON then binary factor bodies), plus the multi-domain shapes that
+    # share the float plan cache.
+    "$bin/faqload" -addr "$addr" -concurrency 8 -duration 2s -wire both \
+      -shapes triangle,triangle-fresh,triangle-int,triangle-tropical -json "$json_out"
+    ;;
   *)
-    echo "usage: $0 smoke|bench [json-out]" >&2
+    echo "usage: $0 smoke|bench|benchwire [json-out]" >&2
     exit 2
     ;;
 esac
