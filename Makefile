@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci vet build test race bench bench-baseline bench-layout bench-serving bench-wire serve-smoke fuzz lint doccheck fmt-check
+.PHONY: ci vet build test race bench bench-baseline bench-layout bench-serving bench-wire bench-delta serve-smoke fuzz fuzz-delta lint doccheck fmt-check
 
 # Full local CI pass: what .github/workflows/ci.yml runs.
 ci: lint build test race bench serve-smoke
@@ -67,6 +67,21 @@ bench-serving:
 bench-wire:
 	./scripts/faqd_harness.sh benchwire BENCH_PR5.json
 
+# Incremental-maintenance benchmark: triangle-fresh (full binary refresh
+# per request, the PR 5 baseline) vs triangle-delta (row changes to
+# per-client /v1/delta sessions, verified row for row); BENCH_PR6.json is
+# the comparable artifact (non-blocking in CI).
+bench-delta:
+	./scripts/faqd_harness.sh benchdelta BENCH_PR6.json
+
 # Short fuzz session for the DIMACS parser.
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzParseDIMACS -fuzztime 30s ./internal/cnf/
+
+# Delta fuzz smoke: the wire delta codec round trip, the raw-byte delta
+# decoder and the ApplyDeltas differential oracle, a few seconds each (CI
+# runs this as a blocking step — it is cheap and catches codec drift).
+fuzz-delta:
+	$(GO) test -run '^$$' -fuzz FuzzDeltaFrameRoundTrip -fuzztime 5s ./internal/wire/
+	$(GO) test -run '^$$' -fuzz FuzzDeltaDecode -fuzztime 5s ./internal/wire/
+	$(GO) test -run '^$$' -fuzz FuzzApplyDeltas -fuzztime 5s ./internal/core/

@@ -10,11 +10,13 @@
 // Usage:
 //
 //	faqd [-addr :8080] [-workers n] [-plan-cache n] [-planner auto]
-//	     [-timeout 30s] [-max-timeout 0] [-max-inflight n] [-addr-file path]
+//	     [-timeout 30s] [-max-timeout 0] [-max-inflight n] [-max-sessions n]
+//	     [-addr-file path]
 //
 // Endpoints:
 //
 //	POST /v1/query   run a spec-format query (JSON or binary factor stream)
+//	POST /v1/delta   apply a delta batch to an evolving query session
 //	GET  /v1/plan    plan report (?example=6.2 | POST {"spec": ...})
 //	GET  /healthz    liveness
 //	GET  /statsz     engine + server counters, latency percentiles
@@ -51,6 +53,7 @@ type config struct {
 	maxTimeout  time.Duration
 	drainGrace  time.Duration
 	maxInflight int
+	maxSessions int
 }
 
 // validate delegates to the one authoritative check in server.Config, so
@@ -71,6 +74,7 @@ func main() {
 	flag.DurationVar(&cfg.maxTimeout, "max-timeout", 0, "clamp client-requested deadlines (0 = no clamp)")
 	flag.DurationVar(&cfg.drainGrace, "drain-grace", 30*time.Second, "shutdown drain budget for in-flight queries")
 	flag.IntVar(&cfg.maxInflight, "max-inflight", 0, "bound concurrent query runs; beyond it respond 429 (0 = unbounded)")
+	flag.IntVar(&cfg.maxSessions, "max-sessions", 0, "bound the delta-session registry, LRU-evicting beyond it (0 = default 256)")
 	flag.Parse()
 	if err := cfg.validate(); err != nil {
 		fmt.Fprintf(os.Stderr, "faqd: %v\n", err)
@@ -103,6 +107,7 @@ func run(ctx context.Context, cfg config, out *os.File) error {
 		DefaultTimeout: cfg.timeout,
 		MaxTimeout:     cfg.maxTimeout,
 		MaxInflight:    cfg.maxInflight,
+		MaxSessions:    cfg.maxSessions,
 	})
 	if err != nil {
 		return err

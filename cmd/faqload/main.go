@@ -13,10 +13,12 @@
 //
 // Shapes: triangle, triangle-fresh (same spec, fresh factor data per
 // request), star, chain, triangle-int (the int domain), triangle-tropical
-// (the tropical min-plus domain).  -wire selects the encoding of fresh
-// factor data: json (the default), binary (the internal/wire framing), or
-// both — which drives each data-shipping shape twice and labels the binary
-// row "<shape>+bin", the comparison behind make bench-wire.
+// (the tropical min-plus domain), triangle-delta (per-client /v1/delta
+// sessions cycling insert/delete batches that return to baseline).  -wire
+// selects the encoding of fresh factor or delta data: json (the default),
+// binary (the internal/wire framing), or both — which drives each
+// data-shipping shape twice and labels the binary row "<shape>+bin", the
+// comparison behind make bench-wire and make bench-delta.
 //
 // Every response is verified against a local single-threaded Solve of the
 // same spec, so a load run is also a correctness run.
@@ -83,9 +85,24 @@ type workload struct {
 	name    string
 	spec    string
 	factors []server.FactorData // nil: run the spec's own data
-	binary  bool                // ship factors as wire frames, not JSON
+	binary  bool                // ship factors/deltas as wire frames, not JSON
 	wireDom wire.Domain         // frame domain when binary
 	verify  func(*server.QueryResponse) error
+	// Delta workloads drive /v1/delta instead of /v1/query: each client
+	// owns a session and cycles through steps, verifying the maintained
+	// output row for row at every one.  seedVerify checks the session's
+	// freshly seeded state before the cycle starts.
+	steps      []deltaStep
+	seedVerify func(*server.DeltaResponse) error
+}
+
+// deltaStep is one step of a delta workload's cycle: the batch in both
+// encodings, plus the expected maintained output (precomputed by a local
+// single-threaded recompute of the state the step produces).
+type deltaStep struct {
+	deltas []server.DeltaData
+	frames []*wire.DeltaFrame
+	verify func(*server.DeltaResponse) error
 }
 
 // shapeResult is one row of the throughput/latency table; the JSON form
@@ -208,7 +225,7 @@ func run(cfg config, out *os.File) error {
 // encodings expands one workload into the encoding variants -wire asks
 // for.  Shapes with no fresh data have nothing to encode and run once.
 func encodings(w workload, mode string) []workload {
-	if w.factors == nil {
+	if w.factors == nil && w.steps == nil {
 		return []workload{w}
 	}
 	switch mode {
@@ -250,6 +267,9 @@ func smoke(ctx context.Context, client *server.Client, cfg config, out *os.File)
 // drive runs one workload at the configured concurrency for the configured
 // duration and folds per-client latencies into one table row.
 func drive(ctx context.Context, client *server.Client, w workload, cfg config) (shapeResult, error) {
+	if w.steps != nil {
+		return driveDelta(ctx, client, w, cfg)
+	}
 	wireLabel := "-"
 	req := &server.QueryRequest{Spec: w.spec}
 	var stream []byte
@@ -322,11 +342,125 @@ func drive(ctx context.Context, client *server.Client, w workload, cfg config) (
 		}()
 	}
 	wg.Wait()
-	elapsed := time.Since(start)
+	return foldResult(w.name, wireLabel, cfg, lats, requests, errCount, time.Since(start), firstErr)
+}
 
+// driveDelta drives a delta workload: every client seeds its own session,
+// then cycles the workload's steps, verifying each maintained response
+// row for row against the precomputed recompute.  A client stops at its
+// first error — a failed step desynchronizes the session state, and every
+// later verification would report the same divergence.
+func driveDelta(ctx context.Context, client *server.Client, w workload, cfg config) (shapeResult, error) {
+	wireLabel := "json"
+	if w.binary {
+		wireLabel = "binary"
+	}
+	// Session names carry a nonce so repeated faqload runs against one
+	// daemon never adopt a mid-cycle state from a previous run.
+	nonce := time.Now().UnixNano()
+	stop := time.Now().Add(cfg.duration)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var lats []time.Duration
+	var requests, errCount int64
+	var firstErr error
+
+	start := time.Now()
+	for g := 0; g < cfg.concurrency; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			session := fmt.Sprintf("faqload-%s-%d-%d", w.name, nonce, g)
+			var mine []time.Duration
+			var mineReqs, mineErrs int64
+			var myErr error
+			fail := func(err error) {
+				mineErrs++
+				if myErr == nil {
+					myErr = fmt.Errorf("shape %s session %s: %v", w.name, session, err)
+				}
+			}
+
+			// Encode once, post many: each step's stream is identical for
+			// this client's whole run.
+			var seedStream []byte
+			var streams [][]byte
+			if w.binary {
+				var err error
+				hdr := &server.DeltaRequest{Spec: w.spec, Session: session}
+				if seedStream, err = server.EncodeDeltaStream(hdr, nil); err != nil {
+					fail(err)
+				}
+				for _, st := range w.steps {
+					s, err := server.EncodeDeltaStream(hdr, st.frames)
+					if err != nil {
+						fail(err)
+						break
+					}
+					streams = append(streams, s)
+				}
+			}
+			post := func(step int) (*server.DeltaResponse, error) {
+				switch {
+				case w.binary && step < 0:
+					return client.DeltaStream(ctx, seedStream)
+				case w.binary:
+					return client.DeltaStream(ctx, streams[step])
+				case step < 0:
+					return client.Delta(ctx, &server.DeltaRequest{Spec: w.spec, Session: session})
+				}
+				return client.Delta(ctx, &server.DeltaRequest{
+					Spec: w.spec, Session: session, Deltas: w.steps[step].deltas})
+			}
+
+			if myErr == nil {
+				// Seed the session (a real, counted request) and verify the
+				// pristine state before evolving it.
+				t0 := time.Now()
+				resp, err := post(-1)
+				mine = append(mine, time.Since(t0))
+				mineReqs++
+				if err == nil {
+					err = w.seedVerify(resp)
+				}
+				if err != nil {
+					fail(err)
+				}
+			}
+			for i := 0; myErr == nil && time.Now().Before(stop); i++ {
+				step := i % len(w.steps)
+				t0 := time.Now()
+				resp, err := post(step)
+				mine = append(mine, time.Since(t0))
+				mineReqs++
+				if err == nil {
+					err = w.steps[step].verify(resp)
+				}
+				if err != nil {
+					fail(fmt.Errorf("step %d (cycle pos %d): %v", i, step, err))
+				}
+			}
+
+			mu.Lock()
+			lats = append(lats, mine...)
+			requests += mineReqs
+			errCount += mineErrs
+			if firstErr == nil {
+				firstErr = myErr
+			}
+			mu.Unlock()
+		}(g)
+	}
+	wg.Wait()
+	return foldResult(w.name, wireLabel, cfg, lats, requests, errCount, time.Since(start), firstErr)
+}
+
+// foldResult folds per-client latencies into one table row.
+func foldResult(name, wireLabel string, cfg config, lats []time.Duration,
+	requests, errCount int64, elapsed time.Duration, firstErr error) (shapeResult, error) {
 	if firstErr != nil {
 		return shapeResult{}, fmt.Errorf("shape %s: %d/%d requests failed, first: %v",
-			w.name, errCount, requests, firstErr)
+			name, errCount, requests, firstErr)
 	}
 	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
 	q := func(p float64) float64 {
@@ -336,7 +470,7 @@ func drive(ctx context.Context, client *server.Client, w workload, cfg config) (
 		return float64(lats[int(p*float64(len(lats)-1))]) / float64(time.Millisecond)
 	}
 	return shapeResult{
-		Shape:       w.name,
+		Shape:       name,
 		Wire:        wireLabel,
 		Concurrency: cfg.concurrency,
 		DurationSec: elapsed.Seconds(),
@@ -398,8 +532,10 @@ func buildWorkload(name string, dom int) (workload, error) {
 		return intWorkload(name, "domain int\n"+triangleSpec(dom))
 	case "triangle-tropical":
 		return tropicalWorkload(name, tropicalTriangleSpec(dom))
+	case "triangle-delta":
+		return deltaWorkload(name, dom)
 	default:
-		return w, fmt.Errorf("unknown shape %q (want triangle, triangle-fresh, star, chain, triangle-int or triangle-tropical)", name)
+		return w, fmt.Errorf("unknown shape %q (want triangle, triangle-fresh, star, chain, triangle-int, triangle-tropical or triangle-delta)", name)
 	}
 
 	q, err := spec.Parse(strings.NewReader(w.spec))
@@ -471,6 +607,140 @@ func tropicalWorkload(name, specText string) (workload, error) {
 	}
 	w.verify = floatVerifier(want)
 	return w, nil
+}
+
+// deltaWorkload builds the /v1/delta drive target: a free-variable
+// triangle listing over the triangleSpec edge set, evolved by a 4-step
+// cycle — insert K loop edges into the first relation, insert them into
+// the second, delete them from the first, delete them from the second —
+// which returns the session to its seeded baseline.  The expected output
+// of every step is precomputed by applying the batch to local factor
+// copies and re-solving single-threaded, so each maintained response is
+// verified row for row against a full recompute.
+func deltaWorkload(name string, dom int) (workload, error) {
+	w := workload{name: name, wireDom: wire.DomainFloat}
+	var b strings.Builder
+	fmt.Fprintf(&b, "var x %d free\nvar y %d sum\nvar z %d sum\n", dom, dom, dom)
+	for _, e := range [][2]string{{"x", "y"}, {"y", "z"}, {"x", "z"}} {
+		fmt.Fprintf(&b, "factor %s %s\n", e[0], e[1])
+		for a := 0; a < dom; a++ {
+			for c := 0; c < dom; c++ {
+				if (a*7+c*3)%5 == 0 && a != c {
+					fmt.Fprintf(&b, "%d %d = 1\n", a, c)
+				}
+			}
+		}
+		b.WriteString("end\n")
+	}
+	w.spec = b.String()
+
+	// K loop edges (i, i): the baseline excludes the diagonal, so inserts
+	// are new rows and the matching deletes restore the baseline exactly.
+	k := 8
+	if k > dom {
+		k = dom
+	}
+	tuples := make([][]int, k)
+	values := make([]float64, k)
+	for i := range tuples {
+		tuples[i] = []int{i, i}
+		values[i] = 1
+	}
+	batches := []server.DeltaData{
+		{Factor: 0, Op: "insert", Tuples: tuples, Values: values},
+		{Factor: 1, Op: "insert", Tuples: tuples, Values: values},
+		{Factor: 0, Op: "delete", Tuples: tuples},
+		{Factor: 1, Op: "delete", Tuples: tuples},
+	}
+
+	q, err := spec.Parse(strings.NewReader(w.spec))
+	if err != nil {
+		return w, fmt.Errorf("shape %s: %v", name, err)
+	}
+	cur := append([]*factor.Factor[float64](nil), q.Factors...)
+	oracle := func() (*factor.Factor[float64], error) {
+		nq := *q
+		nq.Factors = append([]*factor.Factor[float64](nil), cur...)
+		opts := core.DefaultOptions()
+		opts.Workers = 1
+		res, _, err := core.Solve(&nq, opts)
+		if err != nil {
+			return nil, err
+		}
+		return res.Output, nil
+	}
+	base, err := oracle()
+	if err != nil {
+		return w, fmt.Errorf("shape %s oracle: %v", name, err)
+	}
+	w.seedVerify = deltaOutputVerifier(base)
+
+	for _, dd := range batches {
+		op := factor.DeltaInsert
+		if dd.Op == "delete" {
+			op = factor.DeltaDelete
+		}
+		rows := make([]int32, 0, len(dd.Tuples)*2)
+		for _, tup := range dd.Tuples {
+			rows = append(rows, int32(tup[0]), int32(tup[1]))
+		}
+		nf, err := cur[dd.Factor].ApplyDelta(q.D, factor.Delta[float64]{
+			Op: op, Rows: rows, Values: dd.Values}, nil)
+		if err != nil {
+			return w, fmt.Errorf("shape %s step oracle: %v", name, err)
+		}
+		cur[dd.Factor] = nf
+		want, err := oracle()
+		if err != nil {
+			return w, fmt.Errorf("shape %s step oracle: %v", name, err)
+		}
+		frame := &wire.DeltaFrame{Op: wire.DeltaOpInsert, Domain: wire.DomainFloat,
+			Factor: dd.Factor, Arity: 2, Rows: rows, Floats: dd.Values}
+		if op == factor.DeltaDelete {
+			frame.Op = wire.DeltaOpDelete
+			frame.Floats = nil
+		}
+		w.steps = append(w.steps, deltaStep{
+			deltas: []server.DeltaData{dd},
+			frames: []*wire.DeltaFrame{frame},
+			verify: deltaOutputVerifier(want),
+		})
+	}
+	// The cycle must end where it started, or long runs would drift.
+	if !cur[0].Equal(q.D, q.Factors[0]) || !cur[1].Equal(q.D, q.Factors[1]) {
+		return w, fmt.Errorf("shape %s: delta cycle does not return to baseline", name)
+	}
+	return w, nil
+}
+
+// deltaOutputVerifier holds a maintained listing response to the expected
+// output, row for row and bit for bit.
+func deltaOutputVerifier(want *factor.Factor[float64]) func(*server.DeltaResponse) error {
+	wantTuples := want.Tuples()
+	wantVals := want.Values
+	return func(resp *server.DeltaResponse) error {
+		if resp.Output == nil {
+			return fmt.Errorf("no output in delta response")
+		}
+		vals, err := resp.Output.FloatValues()
+		if err != nil {
+			return err
+		}
+		if len(resp.Output.Tuples) != len(wantTuples) || len(vals) != len(wantVals) {
+			return fmt.Errorf("output has %d rows, want %d", len(resp.Output.Tuples), len(wantTuples))
+		}
+		for i, tup := range wantTuples {
+			for j := range tup {
+				if resp.Output.Tuples[i][j] != tup[j] {
+					return fmt.Errorf("row %d: tuple %v, want %v", i, resp.Output.Tuples[i], tup)
+				}
+			}
+			if math.Float64bits(vals[i]) != math.Float64bits(wantVals[i]) {
+				return fmt.Errorf("row %d: value %v, want %v", i, vals[i], wantVals[i])
+			}
+		}
+		return nil
+	}
 }
 
 // solveScalar runs the local single-threaded oracle.

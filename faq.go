@@ -44,6 +44,15 @@
 //	res, err := prep.Run(ctx)                  // InsideOut: res.Scalar() is the
 //	                                           // triangle count, Width ≈ 1.5
 //	res, err = prep.RunWithFactors(ctx, fresh) // same shape, new data: no replan
+//	res, err = prep.ApplyDeltas(ctx, deltas)   // evolving data: incremental
+//	                                           // maintenance, not a recompute
+//
+// For evolving data, PreparedQuery.ApplyDeltas maintains the result under
+// batches of row inserts and deletes: ring semirings (sum over float/int)
+// propagate an algebraic Δ, idempotent ones (bool, tropical, max) re-execute
+// only the key-range blocks a batch touches, and factor versions roll
+// through the engine-wide versioned trie cache so unchanged tries are shared
+// by every run and prepared query.
 //
 // Runs observe ctx between elimination steps and at the block boundaries of
 // every scan: a cancelled run returns ctx.Err() cleanly with no goroutine
@@ -134,6 +143,37 @@ type (
 	EngineOptions = core.EngineOptions
 	// EngineStats are an Engine's cumulative serving counters.
 	EngineStats = core.EngineStats
+	// Delta is one batch of row changes against a prepared query's factor,
+	// applied through PreparedQuery.ApplyDeltas.
+	Delta[V any] = core.Delta[V]
+	// DeltaOp selects what a delta batch does to its rows.
+	DeltaOp = factor.DeltaOp
+)
+
+// Delta batch operations.
+const (
+	// DeltaInsert upserts rows: present rows take the batch value, absent
+	// rows are added, and a zero batch value removes the row.
+	DeltaInsert = factor.DeltaInsert
+	// DeltaDelete removes rows; every row must be present.
+	DeltaDelete = factor.DeltaDelete
+)
+
+// Sentinel errors of the delta path, matched with errors.Is.  A rejected
+// batch leaves the prepared query's state unchanged.
+var (
+	// ErrDeltaArity reports a batch whose row block or value count does not
+	// match the target factor's arity.
+	ErrDeltaArity = factor.ErrDeltaArity
+	// ErrDeltaDup reports a batch listing the same row twice.
+	ErrDeltaDup = factor.ErrDeltaDup
+	// ErrDeltaAbsent reports a delete of a row the factor does not hold.
+	ErrDeltaAbsent = factor.ErrDeltaAbsent
+	// ErrDeltaRange reports a key outside its variable's domain.
+	ErrDeltaRange = factor.ErrDeltaRange
+	// ErrDeltaFactor reports a delta addressed at a factor index the
+	// prepared query does not have.
+	ErrDeltaFactor = core.ErrDeltaFactor
 )
 
 // NewEngine creates a long-lived engine with its own plan cache and

@@ -1,0 +1,294 @@
+// Differential IVM harness: random delta streams over random queries across
+// the Float, Int, Bool and Tropical domains, asserting at every step that
+// PreparedQuery.ApplyDeltas ≡ a full recompute over the updated factors —
+// bit-identically, on both a sequential and a pooled engine, with the
+// parallel threshold lowered so block scans engage.  The oracle maintains
+// its own factor state through factor.ApplyDelta (an independent path from
+// the executor's), re-prepares it fresh each step, and compares outputs with
+// Factor.Equal, so a divergence of a single bit or a single row fails.
+//
+// Exactness caveat baked into the data: Float uses small non-negative
+// integer values, so ring Δ-propagation (+/-) and max-product distribution
+// are exact; Int is exact mod 2⁶⁴; Bool and Tropical are exact picks.
+package faq
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/faqdb/faq/internal/factor"
+)
+
+// queryDomSizes maps the query's per-variable domain sizes onto one factor.
+func queryDomSizes[V any](q *Query[V], f *Factor[V]) []int {
+	ds := make([]int, len(f.Vars))
+	for i, v := range f.Vars {
+		ds[i] = q.DomSizes[v]
+	}
+	return ds
+}
+
+// randomDeltaBatches draws 1–3 delta batches against the current factor
+// state and returns them along with the state they produce (maintained via
+// factor.ApplyDelta so deletes always name live rows, even when a later
+// batch hits a factor an earlier batch already changed).
+func randomDeltaBatches[V any](rng *rand.Rand, q *Query[V], cur []*Factor[V],
+	randVal func(*rand.Rand) V) ([]Delta[V], []*Factor[V]) {
+
+	d := q.D
+	next := append([]*Factor[V](nil), cur...)
+	nb := 1 + rng.Intn(3)
+	var out []Delta[V]
+	for i := 0; i < nb; i++ {
+		fi := rng.Intn(len(next))
+		f := next[fi]
+		arity := len(f.Vars)
+		var dl Delta[V]
+		if f.Size() > 0 && rng.Intn(10) < 3 {
+			// Delete 1–2 distinct live rows.
+			n := 1 + rng.Intn(min(2, f.Size()))
+			seen := map[int]bool{}
+			var rows []int32
+			for len(seen) < n {
+				ri := rng.Intn(f.Size())
+				if seen[ri] {
+					continue
+				}
+				seen[ri] = true
+				rows = append(rows, f.Row(ri)...)
+			}
+			dl = Delta[V]{Factor: fi, Op: DeltaDelete, Rows: rows}
+		} else {
+			// Upsert 1–3 distinct rows (capped by the factor's full
+			// domain); a quarter of the values are Zero, exercising
+			// insert-as-removal.
+			maxRows := 1
+			for _, v := range f.Vars {
+				maxRows *= q.DomSizes[v]
+			}
+			n := min(1+rng.Intn(3), maxRows)
+			seen := map[string]bool{}
+			var rows []int32
+			var vals []V
+			for len(vals) < n {
+				row := make([]int32, arity)
+				for j, v := range f.Vars {
+					row[j] = int32(rng.Intn(q.DomSizes[v]))
+				}
+				key := fmt.Sprint(row)
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				rows = append(rows, row...)
+				v := d.Zero
+				if rng.Intn(4) != 0 {
+					v = randVal(rng)
+				}
+				vals = append(vals, v)
+			}
+			dl = Delta[V]{Factor: fi, Op: DeltaInsert, Rows: rows, Values: vals}
+		}
+		nf, err := f.ApplyDelta(d, factor.Delta[V]{Op: dl.Op, Rows: dl.Rows, Values: dl.Values},
+			queryDomSizes(q, f))
+		if err != nil {
+			panic(fmt.Sprintf("delta generator produced an invalid batch: %v", err))
+		}
+		next[fi] = nf
+		out = append(out, dl)
+	}
+	return out, next
+}
+
+// runDeltaDifferential is the harness body for one domain.
+func runDeltaDifferential[V any](t *testing.T, seed int64, trials int, d *Domain[V],
+	ringOps, allOps []*Op[V], allowProduct bool, randVal func(*rand.Rand) V) {
+
+	t.Helper()
+	forceParallelBlocks(t)
+	engSeq := NewEngine[V](EngineOptions{Workers: 1})
+	t.Cleanup(engSeq.Close)
+	engPar := NewEngine[V](EngineOptions{Workers: 4})
+	t.Cleanup(engPar.Close)
+	rng := rand.New(rand.NewSource(seed))
+	ctx := context.Background()
+	strategies := map[string]int{}
+	for trial := 0; trial < trials; trial++ {
+		q := randomQuery(rng, d, ringOps, allOps, allowProduct, randVal)
+		if rng.Intn(3) == 0 {
+			// Bias toward uniform bound aggregates: mixed ops are the
+			// common draw, but the ring strategy only engages when every
+			// bound variable shares one invertible op, so force that shape
+			// on a third of the trials (replacing any product var too).
+			op := ringOps[rng.Intn(len(ringOps))]
+			for i := q.NumFree; i < q.NVars; i++ {
+				q.Aggs[i] = SemiringAgg(op)
+			}
+		}
+		opts := DefaultOptions()
+		opts.IndicatorProjections = rng.Intn(4) != 0
+		opts.FilterOutput = rng.Intn(4) != 0
+		seqOpts, parOpts := opts, opts
+		seqOpts.Workers = 1
+		parOpts.Workers = 2 + rng.Intn(6)
+
+		prepSeq, err := engSeq.PrepareOpts(q, seqOpts)
+		if err != nil {
+			t.Fatalf("trial %d: seq Prepare: %v", trial, err)
+		}
+		prepPar, err := engPar.PrepareOpts(q, parOpts)
+		if err != nil {
+			t.Fatalf("trial %d: par Prepare: %v", trial, err)
+		}
+		strategies[prepSeq.DeltaStrategy()]++
+
+		cur := append([]*Factor[V](nil), q.Factors...)
+		steps := 1 + rng.Intn(5)
+		for step := 0; step < steps; step++ {
+			var deltas []Delta[V]
+			deltas, cur = randomDeltaBatches(rng, q, cur, randVal)
+
+			resSeq, err := prepSeq.ApplyDeltas(ctx, deltas)
+			if err != nil {
+				t.Fatalf("trial %d step %d: seq ApplyDeltas: %v", trial, step, err)
+			}
+			resPar, err := prepPar.ApplyDeltas(ctx, deltas)
+			if err != nil {
+				t.Fatalf("trial %d step %d: par ApplyDeltas: %v", trial, step, err)
+			}
+
+			// Full-recompute oracle over the independently maintained state.
+			nq := *q
+			nq.Factors = cur
+			oraclePrep, err := engSeq.PrepareOpts(&nq, seqOpts)
+			if err != nil {
+				t.Fatalf("trial %d step %d: oracle Prepare: %v", trial, step, err)
+			}
+			want, err := oraclePrep.Run(ctx)
+			if err != nil {
+				t.Fatalf("trial %d step %d: oracle Run: %v", trial, step, err)
+			}
+
+			if !resSeq.Output.Equal(d, want.Output) {
+				t.Fatalf("trial %d step %d (%s): sequential ApplyDeltas ≠ recompute\nquery: nvars=%d free=%d doms=%v opts=%+v\ndeltas: %+v\ngot  %v\nwant %v",
+					trial, step, prepSeq.DeltaStrategy(), q.NVars, q.NumFree, q.DomSizes, opts,
+					deltas, resSeq.Output, want.Output)
+			}
+			if !resPar.Output.Equal(d, resSeq.Output) {
+				t.Fatalf("trial %d step %d (%s): Workers=1 and Workers=%d ApplyDeltas outputs differ\ngot  %v\nwant %v",
+					trial, step, prepPar.DeltaStrategy(), parOpts.Workers, resPar.Output, resSeq.Output)
+			}
+
+			// The executor's internal factor state must track the oracle's.
+			for i, f := range prepSeq.CurrentFactors() {
+				if !f.Equal(d, cur[i]) {
+					t.Fatalf("trial %d step %d: CurrentFactors[%d] diverged\ngot  %v\nwant %v",
+						trial, step, i, f, cur[i])
+				}
+			}
+		}
+
+		// A rejected batch must not disturb the maintained state: replay a
+		// guaranteed failure (factor index out of range) and re-check.
+		if _, err := prepSeq.ApplyDeltas(ctx, []Delta[V]{{Factor: len(q.Factors)}}); !errors.Is(err, ErrDeltaFactor) {
+			t.Fatalf("trial %d: out-of-range factor index: got %v, want ErrDeltaFactor", trial, err)
+		}
+		res, err := prepSeq.ApplyDeltas(ctx, nil)
+		if err != nil {
+			t.Fatalf("trial %d: post-rejection ApplyDeltas: %v", trial, err)
+		}
+		nq := *q
+		nq.Factors = cur
+		oraclePrep, err := engSeq.PrepareOpts(&nq, seqOpts)
+		if err != nil {
+			t.Fatalf("trial %d: post-rejection oracle Prepare: %v", trial, err)
+		}
+		want, err := oraclePrep.Run(ctx)
+		if err != nil {
+			t.Fatalf("trial %d: post-rejection oracle Run: %v", trial, err)
+		}
+		if !res.Output.Equal(d, want.Output) {
+			t.Fatalf("trial %d: state disturbed by a rejected batch\ngot  %v\nwant %v",
+				trial, res.Output, want.Output)
+		}
+	}
+	t.Logf("maintenance strategies drawn: %v", strategies)
+}
+
+func TestDeltaDifferentialFloat(t *testing.T) {
+	all := []*Op[float64]{OpFloatSum(), OpFloatMax()}
+	ring := []*Op[float64]{OpFloatSum()}
+	runDeltaDifferential(t, 2001, 40, Float(), ring, all, true,
+		func(rng *rand.Rand) float64 { return float64(1 + rng.Intn(4)) })
+}
+
+func TestDeltaDifferentialInt(t *testing.T) {
+	all := []*Op[int64]{OpIntSum(), OpIntMax()}
+	ring := []*Op[int64]{OpIntSum()}
+	runDeltaDifferential(t, 2002, 40, Int(), ring, all, true,
+		func(rng *rand.Rand) int64 { return int64(1 + rng.Intn(3)) })
+}
+
+func TestDeltaDifferentialBool(t *testing.T) {
+	ops := []*Op[bool]{OpOr()}
+	runDeltaDifferential(t, 2003, 30, Bool(), ops, ops, true,
+		func(*rand.Rand) bool { return true })
+}
+
+func TestDeltaDifferentialTropical(t *testing.T) {
+	ops := []*Op[float64]{OpTropicalMin()}
+	runDeltaDifferential(t, 2004, 40, Tropical(), ops, ops, true,
+		func(rng *rand.Rand) float64 { return float64(rng.Intn(6)) })
+}
+
+// TestDeltaStrategySelection pins the strategy router: a pure sum query is
+// ring-maintainable, an idempotent scalar query re-executes blocks, and a
+// product variable at the lead forces recompute.
+func TestDeltaStrategySelection(t *testing.T) {
+	eng := NewEngine[float64](EngineOptions{Workers: 1})
+	t.Cleanup(eng.Close)
+	d := Float()
+	edges := func(vars []int) *Factor[float64] {
+		return FromFunc(d, vars, []int{4, 4, 4}, func(t []int) float64 {
+			return float64((t[0]+t[1])%3) + 1
+		})
+	}
+	base := func(agg Aggregate[float64]) *Query[float64] {
+		return &Query[float64]{
+			D: d, NVars: 3, DomSizes: []int{4, 4, 4}, NumFree: 0,
+			Aggs:    []Aggregate[float64]{agg, agg, agg},
+			Factors: []*Factor[float64]{edges([]int{0, 1}), edges([]int{1, 2}), edges([]int{0, 2})},
+		}
+	}
+
+	sum := base(SemiringAgg(OpFloatSum()))
+	prep, err := eng.Prepare(sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := prep.DeltaStrategy(); got != "ring" {
+		t.Fatalf("pure-sum query: strategy %q, want ring", got)
+	}
+
+	maxq := base(SemiringAgg(OpFloatMax()))
+	prep, err = eng.Prepare(maxq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := prep.DeltaStrategy(); got != "blocks" {
+		t.Fatalf("max-product scalar query: strategy %q, want blocks", got)
+	}
+
+	prod := base(SemiringAgg(OpFloatMax()))
+	prod.Aggs = []Aggregate[float64]{ProductAgg[float64](), SemiringAgg(OpFloatMax()), SemiringAgg(OpFloatMax())}
+	prep, err = eng.PrepareOrder(prod, []int{0, 1, 2}, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := prep.DeltaStrategy(); got != "recompute" {
+		t.Fatalf("product-at-lead query: strategy %q, want recompute", got)
+	}
+}

@@ -8,7 +8,13 @@
 //     a ⊕-fold, so parallelism must not change a single bit,
 //   - Engine.Prepare+Run ≡ Solve, bit-identical on both a sequential and a
 //     pooled engine, so the prepared serving path (plan cache + persistent
-//     pool) computes exactly what the one-shot path does.
+//     pool) computes exactly what the one-shot path does,
+//   - ApplyDeltas after a random batch ≡ BruteForce over the updated
+//     factors, so incremental maintenance joins the same oracle loop
+//     (faq_delta_test.go soaks this much harder).
+//
+// The harness is goroutine-leak-checked: engine pools must be gone once
+// Close has run.
 //
 // The parallel threshold is lowered so block scans engage even on these tiny
 // instances; `go test -race` (run in CI) makes the harness double as the
@@ -20,7 +26,9 @@ import (
 	"context"
 	"math"
 	"math/rand"
+	"runtime"
 	"testing"
+	"time"
 
 	"github.com/faqdb/faq/internal/join"
 )
@@ -31,6 +39,39 @@ func forceParallelBlocks(t *testing.T) {
 	old := join.MinParallelRows
 	join.MinParallelRows = 1
 	t.Cleanup(func() { join.MinParallelRows = old })
+}
+
+// checkGoroutineLeak registers a cleanup asserting the goroutine count
+// returns to its pre-test level.  Call it before creating any engines: test
+// cleanups run LIFO, so this check fires after Engine.Close has shut the
+// worker pools down.  A few retries absorb goroutines still parking.
+func checkGoroutineLeak(t *testing.T) {
+	t.Helper()
+	// Solve/InsideOut run on the shared default engine, whose persistent
+	// workers are never reaped (by design).  Grow that pool to the
+	// harness's maximum width before snapshotting, so only genuinely
+	// leaked goroutines trip the check.
+	warm := &Query[bool]{
+		D: Bool(), NVars: 1, DomSizes: []int{1}, NumFree: 0,
+		Aggs:    []Aggregate[bool]{SemiringAgg(OpOr())},
+		Factors: []*Factor[bool]{FromFunc(Bool(), []int{0}, []int{1}, func([]int) bool { return true })},
+	}
+	wopts := DefaultOptions()
+	wopts.Workers = 8
+	if _, _, err := Solve(warm, wopts); err != nil {
+		t.Fatalf("default-pool warm-up: %v", err)
+	}
+	before := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		var after int
+		for i := 0; i < 50; i++ {
+			if after = runtime.NumGoroutine(); after <= before {
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		t.Errorf("goroutine leak: %d before the test, %d after engine shutdown", before, after)
+	})
 }
 
 // randomQuery draws a small random FAQ instance.  maxOps excludes non-ring
@@ -128,6 +169,7 @@ func runEquivalence[V any](t *testing.T, seed int64, trials int, d *Domain[V],
 	randVal func(*rand.Rand) V, eq func(a, b V) bool) {
 
 	t.Helper()
+	checkGoroutineLeak(t)
 	forceParallelBlocks(t)
 	engSeq := NewEngine[V](EngineOptions{Workers: 1})
 	t.Cleanup(engSeq.Close)
@@ -195,6 +237,7 @@ func runEquivalence[V any](t *testing.T, seed int64, trials int, d *Domain[V],
 		// Engine invariant: Prepare+Run must reproduce Solve bit-identically
 		// on both the sequential and the pooled engine (the plan cache hands
 		// shape-identical trials the same plan, so this also soaks the LRU).
+		preps := map[string]*PreparedQuery[V]{}
 		for name, eng := range map[string]*Engine[V]{"seq": engSeq, "par": engPar} {
 			prep, err := eng.PrepareOpts(q, opts)
 			if err != nil {
@@ -208,6 +251,35 @@ func runEquivalence[V any](t *testing.T, seed int64, trials int, d *Domain[V],
 				t.Fatalf("trial %d: %s engine Prepare+Run diverged from Solve:\n%v\n%v",
 					trial, name, pres.Output, solvedSeq.Output)
 			}
+			preps[name] = prep
+		}
+
+		// Delta interleave: push one random batch through each prepared
+		// query's maintenance path and check the maintained output against
+		// the brute-force oracle over the updated factors; the two engines
+		// must also agree bit-identically with each other.
+		deltas, updated := randomDeltaBatches(rng, q, q.Factors, randVal)
+		nq := *q
+		nq.Factors = updated
+		dwant, err := BruteForce(&nq)
+		if err != nil {
+			t.Fatalf("trial %d: post-delta brute force: %v", trial, err)
+		}
+		var prevOut *Factor[V]
+		for name, prep := range preps {
+			dres, err := prep.ApplyDeltas(context.Background(), deltas)
+			if err != nil {
+				t.Fatalf("trial %d: %s engine ApplyDeltas: %v", trial, name, err)
+			}
+			if !matches(d, dres.Output, dwant, eq) {
+				t.Fatalf("trial %d: %s engine ApplyDeltas (%s) ≠ BruteForce over updated factors\ndeltas: %+v\ngot  %v\nwant %v",
+					trial, name, prep.DeltaStrategy(), deltas, dres.Output, dwant)
+			}
+			if prevOut != nil && !dres.Output.Equal(d, prevOut) {
+				t.Fatalf("trial %d: seq and par engines disagree after ApplyDeltas:\n%v\n%v",
+					trial, dres.Output, prevOut)
+			}
+			prevOut = dres.Output
 		}
 	}
 }

@@ -18,6 +18,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"reflect"
 	"runtime"
 	"slices"
 	"sync"
@@ -60,6 +61,17 @@ type EngineStats struct {
 	PlansCached     int64 // entries currently in the LRU
 	Runs            int64 // prepared runs completed successfully
 	RunsCancelled   int64 // prepared runs aborted by their context
+
+	DeltasApplied   int64 // ApplyDeltas calls committed successfully
+	DeltaRingRuns   int64 // algebraic Δ-propagation runs (invertible ⊕)
+	DeltaBlockRuns  int64 // affected-block re-executions
+	DeltaRecomputes int64 // full recomputes taken by the delta path
+
+	TrieCacheHits          int64 // trie/projection lookups served from cache
+	TrieCacheMisses        int64 // lookups that built fresh
+	TrieCacheInvalidations int64 // entries dropped by version bumps
+	TrieCacheEvictions     int64 // entries dropped by LRU capacity
+	TrieCacheEntries       int64 // entries currently cached (all value types)
 }
 
 // engineRT is the untyped runtime shared by every Engine[V] handle onto it:
@@ -77,7 +89,26 @@ type engineRT struct {
 	flightMu sync.Mutex
 	flight   map[string]*planFlight
 
-	prepared, hits, misses, coalesced, runs, cancelled atomic.Int64
+	// trieCaches holds one engine-wide versioned trie cache per value type,
+	// keyed by reflect.Type of *V.  Every PreparedQuery of that value type
+	// shares it, so shape-distinct queries over the same factors reuse each
+	// other's tries, and a delta committed through one prepared query
+	// invalidates stale entries for all of them.
+	trieCaches sync.Map // reflect.Type -> *join.TrieCache[V]
+
+	prepared, hits, misses, coalesced, runs, cancelled     atomic.Int64
+	deltas, deltaRingRuns, deltaBlockRuns, deltaRecomputes atomic.Int64
+}
+
+// trieCacheFor returns the runtime's shared trie cache for value type V,
+// creating it on first use.
+func trieCacheFor[V any](rt *engineRT) *join.TrieCache[V] {
+	key := reflect.TypeOf((*V)(nil))
+	if c, ok := rt.trieCaches.Load(key); ok {
+		return c.(*join.TrieCache[V])
+	}
+	c, _ := rt.trieCaches.LoadOrStore(key, join.NewTrieCache[V](nil))
+	return c.(*join.TrieCache[V])
 }
 
 func newEngineRT(opts EngineOptions, growable bool) *engineRT {
@@ -101,7 +132,7 @@ func (rt *engineRT) planner() string {
 }
 
 func (rt *engineRT) stats() EngineStats {
-	return EngineStats{
+	s := EngineStats{
 		Prepared:        rt.prepared.Load(),
 		PlanCacheHits:   rt.hits.Load(),
 		PlanCacheMisses: rt.misses.Load(),
@@ -109,7 +140,21 @@ func (rt *engineRT) stats() EngineStats {
 		PlansCached:     int64(rt.cache.len()),
 		Runs:            rt.runs.Load(),
 		RunsCancelled:   rt.cancelled.Load(),
+		DeltasApplied:   rt.deltas.Load(),
+		DeltaRingRuns:   rt.deltaRingRuns.Load(),
+		DeltaBlockRuns:  rt.deltaBlockRuns.Load(),
+		DeltaRecomputes: rt.deltaRecomputes.Load(),
 	}
+	rt.trieCaches.Range(func(_, v any) bool {
+		tc := v.(interface{ Stats() join.TrieCacheStats }).Stats()
+		s.TrieCacheHits += tc.Hits
+		s.TrieCacheMisses += tc.Misses
+		s.TrieCacheInvalidations += tc.Invalidations
+		s.TrieCacheEvictions += tc.Evictions
+		s.TrieCacheEntries += tc.Entries
+		return true
+	})
+	return s
 }
 
 // ErrPlannerPanic marks the error handed to singleflight waiters when the
@@ -340,8 +385,9 @@ func (e *Engine[V]) PrepareCtx(ctx context.Context, q *Query[V], opts Options) (
 		return nil, err
 	}
 	e.rt.prepared.Add(1)
-	return &PreparedQuery[V]{rt: e.rt, q: q, plan: plan, opts: opts,
-		tries: join.NewTrieCache(q.Factors)}, nil
+	tc := trieCacheFor[V](e.rt)
+	tc.Register(q.Factors...)
+	return &PreparedQuery[V]{rt: e.rt, q: q, plan: plan, opts: opts, tries: tc}, nil
 }
 
 // PrepareOrder binds q to an explicit variable ordering with the given
@@ -363,8 +409,9 @@ func (e *Engine[V]) PrepareOrder(q *Query[V], order []int, opts Options) (*Prepa
 	}
 	plan := &Plan{Order: append([]int(nil), order...), Width: w, Method: "user"}
 	e.rt.prepared.Add(1)
-	return &PreparedQuery[V]{rt: e.rt, q: q, plan: plan, opts: opts,
-		tries: join.NewTrieCache(q.Factors)}, nil
+	tc := trieCacheFor[V](e.rt)
+	tc.Register(q.Factors...)
+	return &PreparedQuery[V]{rt: e.rt, q: q, plan: plan, opts: opts, tries: tc}, nil
 }
 
 // PreparedQuery is a planned FAQ query bound to an engine: the Section 6–7
@@ -376,12 +423,20 @@ type PreparedQuery[V any] struct {
 	q    *Query[V]
 	plan *Plan
 	opts Options
-	// tries memoizes the CSR tries and indicator projections of the
-	// prepared input factors across runs, keyed by factor identity: a warm
-	// repeat Run skips the trie-build phase entirely.  RunWithFactors runs
-	// without it — fresh data is a fresh identity, so nothing stale can be
-	// served and transient factors never pin cache memory.
+	// tries is the engine-wide versioned trie cache for this value type,
+	// shared by every PreparedQuery of the engine.  Prepare registers the
+	// query's factors, so a warm repeat Run skips the trie-build phase
+	// entirely; ApplyDeltas commits new factor versions through
+	// TrieCache.Update, which drops the superseded entries, so nothing
+	// stale is ever served.  Unregistered (transient) factors bypass the
+	// cache and never pin memory.
 	tries *join.TrieCache[V]
+
+	// deltaMu serializes ApplyDeltas calls; deltaSt is the incremental
+	// maintenance state (current factor versions plus the cached result or
+	// per-block results), created lazily on first use.
+	deltaMu sync.Mutex
+	deltaSt *deltaState[V]
 }
 
 // Plan returns the cached plan.  Treat it as read-only: it may be shared
@@ -418,7 +473,12 @@ func (p *PreparedQuery[V]) RunWithFactors(ctx context.Context, factors []*factor
 	if err := nq.Validate(); err != nil { // fresh data: check domain bounds once
 		return nil, err
 	}
-	return p.run(ctx, &nq, nil) // fresh factors: the prepared trie cache does not apply
+	// Fresh factors are not registered in the engine's versioned trie cache,
+	// so they would bypass it anyway; passing no cache keeps the bypass
+	// explicit and skips the lookups.  Callers mutating data in place should
+	// prefer ApplyDeltas, which registers the new versions and invalidates
+	// the superseded ones.
+	return p.run(ctx, &nq, nil)
 }
 
 func factorVars[V any](f *factor.Factor[V]) []int {

@@ -1,58 +1,249 @@
-// TrieCache: memoized CSR tries and indicator projections for the
-// prepare-once-run-many serving path.  A PreparedQuery's input factors are
-// immutable by contract, so a trie built from a factor for one join order —
-// and an indicator projection of a factor onto one variable set — is valid
-// for every subsequent run.  The cache is keyed by factor identity (the
-// pointer) plus the order/projection fingerprint, and only admits factors
-// registered at construction time: intermediate factors are fresh pointers
-// every run and must not pin memory, so they always miss and are never
-// stored.  Fresh data swapped in through RunWithFactors arrives as new
-// pointers too, which is the invalidation story — a cache entry can never
-// serve stale rows because its key IS the data it was built from.
+// TrieCache: versioned memoization of CSR tries and indicator projections
+// for the prepare-once-run-many serving path.  Entries are keyed by factor
+// identity plus the order/projection fingerprint and stamped with the
+// factor's registration version; Update swaps a factor for its successor
+// (the delta path of incremental maintenance), bumping the version and
+// dropping every entry derived from the old data — so a cache entry can
+// never serve stale rows even though factors now evolve in place at the
+// engine level.  One cache is shared engine-wide across PreparedQuery
+// instances: registration is explicit (Register/Update), unregistered
+// factors — intermediates, one-shot fresh data — always build fresh and
+// are never stored.  Both the registered-factor set and the entry set are
+// LRU-bounded, so a long-lived engine serving many sessions cannot pin
+// unbounded factor data through its cache.
 package join
 
 import (
+	"container/list"
 	"sync"
 
 	"github.com/faqdb/faq/internal/factor"
 	"github.com/faqdb/faq/internal/semiring"
 )
 
-// TrieCache memoizes per-factor derived structures across runs of one
-// prepared query.  All methods are safe for concurrent use and on a nil
-// receiver (nil means "build fresh, cache nothing").
+// Default LRU bounds of a TrieCache: the registered-factor cap bounds how
+// much factor data the cache can pin, the entry cap bounds derived
+// structures (tries + projections).
+const (
+	DefaultTrieCacheFactors = 1024
+	DefaultTrieCacheEntries = 4096
+)
+
+// TrieCacheStats is a snapshot of one cache's counters: Hits/Misses count
+// lookups of registered factors, Invalidations counts entries dropped
+// because their factor was updated past them, Evictions counts entries
+// dropped by the capacity bounds, and Entries/Factors are the current
+// populations.
+type TrieCacheStats struct {
+	Hits, Misses, Invalidations, Evictions int64
+	Entries, Factors                       int64
+}
+
+// TrieCache memoizes per-factor derived structures across runs.  All
+// methods are safe for concurrent use and on a nil receiver (nil means
+// "build fresh, cache nothing").
 type TrieCache[V any] struct {
-	mu      sync.Mutex
-	allowed map[*factor.Factor[V]]bool
-	tries   map[trieKey[V]]any // *trie[V]; any avoids instantiating twice
-	projs   map[projKey[V]]*factor.Factor[V]
-	hits    int64
-	misses  int64
+	mu         sync.Mutex
+	maxFactors int
+	maxEntries int
+	version    map[*factor.Factor[V]]uint64
+	regLRU     *list.List // *factor.Factor[V]; front = most recently registered
+	regEl      map[*factor.Factor[V]]*list.Element
+	lru        *list.List // *cacheEntry[V]; front = most recently used
+	byKey      map[entryKey[V]]*list.Element
+
+	hits, misses, invalidations, evictions int64
 }
 
-type trieKey[V any] struct {
-	f     *factor.Factor[V]
-	order string
-}
+// entry kinds.
+const (
+	kindTrie byte = 't'
+	kindProj byte = 'p'
+)
 
-type projKey[V any] struct {
+type entryKey[V any] struct {
 	f    *factor.Factor[V]
-	onto string
+	kind byte
+	fp   string // order fingerprint (tries) or onto fingerprint (projections)
 }
 
-// NewTrieCache returns a cache that will memoize tries and projections for
-// exactly the given factors (a prepared query's inputs) plus the projections
-// derived from them.
+type cacheEntry[V any] struct {
+	key     entryKey[V]
+	version uint64            // key.f's version when the entry was built
+	val     any               // *trie[V] or *factor.Factor[V]
+	derived *factor.Factor[V] // projections: the registered result factor
+}
+
+// NewTrieCache returns a cache with the given factors registered (nil is a
+// valid, empty start — an engine-wide cache registers factors at Prepare).
 func NewTrieCache[V any](factors []*factor.Factor[V]) *TrieCache[V] {
 	c := &TrieCache[V]{
-		allowed: make(map[*factor.Factor[V]]bool, len(factors)),
-		tries:   map[trieKey[V]]any{},
-		projs:   map[projKey[V]]*factor.Factor[V]{},
+		maxFactors: DefaultTrieCacheFactors,
+		maxEntries: DefaultTrieCacheEntries,
+		version:    map[*factor.Factor[V]]uint64{},
+		regLRU:     list.New(),
+		regEl:      map[*factor.Factor[V]]*list.Element{},
+		lru:        list.New(),
+		byKey:      map[entryKey[V]]*list.Element{},
 	}
-	for _, f := range factors {
-		c.allowed[f] = true
-	}
+	c.Register(factors...)
 	return c
+}
+
+// Register admits factors for memoization (idempotent; nil factors are
+// skipped).  Registration is LRU-bounded: admitting a factor past the cap
+// expels the least recently registered one along with its entries.
+func (c *TrieCache[V]) Register(factors ...*factor.Factor[V]) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, f := range factors {
+		c.registerLocked(f)
+	}
+}
+
+func (c *TrieCache[V]) registerLocked(f *factor.Factor[V]) {
+	if f == nil {
+		return
+	}
+	if el, ok := c.regEl[f]; ok {
+		c.regLRU.MoveToFront(el)
+		return
+	}
+	c.version[f] = 1
+	c.regEl[f] = c.regLRU.PushFront(f)
+	for c.maxFactors > 0 && c.regLRU.Len() > c.maxFactors {
+		last := c.regLRU.Back()
+		old := last.Value.(*factor.Factor[V])
+		c.evictions += int64(c.dropFactorLocked(old))
+	}
+}
+
+// Update replaces a registered factor with its successor: old's entries
+// (and the entries of projections derived from it) are invalidated, and
+// new is registered at the next version.  lo/hi report the lead-key range
+// the underlying delta touched; invalidation is conservatively whole-factor
+// — range granularity lives in the delta executor's per-block dirtiness,
+// which re-runs only the blocks intersecting [lo, hi) — so the range here
+// is documentation of intent, not a partial-drop instruction.  Updating an
+// unregistered old simply registers new.
+func (c *TrieCache[V]) Update(old, new *factor.Factor[V], lo, hi int32) {
+	if c == nil {
+		return
+	}
+	_, _ = lo, hi
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	next := uint64(1)
+	if old != nil {
+		if v, ok := c.version[old]; ok {
+			next = v + 1
+			c.invalidations += int64(c.dropFactorLocked(old))
+		}
+	}
+	if new == nil {
+		return
+	}
+	if el, ok := c.regEl[new]; ok {
+		// Already registered (e.g. an update cycle returning to a held
+		// factor): bump its version so entries built before the swap-out
+		// cannot be served, and refresh its registration recency.
+		c.invalidations += int64(c.dropFactorEntriesLocked(new))
+		if c.version[new] < next {
+			c.version[new] = next
+		} else {
+			c.version[new]++
+		}
+		c.regLRU.MoveToFront(el)
+		return
+	}
+	c.version[new] = next
+	c.regEl[new] = c.regLRU.PushFront(new)
+}
+
+// SetLimits reconfigures the LRU bounds (<= 0 restores the defaults) and
+// evicts down to them immediately.
+func (c *TrieCache[V]) SetLimits(maxFactors, maxEntries int) {
+	if c == nil {
+		return
+	}
+	if maxFactors <= 0 {
+		maxFactors = DefaultTrieCacheFactors
+	}
+	if maxEntries <= 0 {
+		maxEntries = DefaultTrieCacheEntries
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.maxFactors, c.maxEntries = maxFactors, maxEntries
+	for c.regLRU.Len() > c.maxFactors {
+		c.evictions += int64(c.dropFactorLocked(c.regLRU.Back().Value.(*factor.Factor[V])))
+	}
+	c.evictEntriesLocked()
+}
+
+// dropFactorLocked deregisters f and removes every entry keyed by it,
+// cascading through derived projections.  Returns the number of entries
+// removed.
+func (c *TrieCache[V]) dropFactorLocked(f *factor.Factor[V]) int {
+	if el, ok := c.regEl[f]; ok {
+		c.regLRU.Remove(el)
+		delete(c.regEl, f)
+	}
+	delete(c.version, f)
+	return c.dropFactorEntriesLocked(f)
+}
+
+// dropFactorEntriesLocked removes every entry keyed by f (leaving f's own
+// registration alone), cascading through derived projections.
+func (c *TrieCache[V]) dropFactorEntriesLocked(f *factor.Factor[V]) int {
+	var keys []entryKey[V]
+	for k := range c.byKey {
+		if k.f == f {
+			keys = append(keys, k)
+		}
+	}
+	n := 0
+	for _, k := range keys {
+		n += c.removeKeyLocked(k)
+	}
+	return n
+}
+
+// removeKeyLocked removes one entry if still present, cascading: dropping
+// a projection entry also drops the projection factor's registration and
+// the tries built from it.  Returns the number of entries removed.
+func (c *TrieCache[V]) removeKeyLocked(k entryKey[V]) int {
+	el, ok := c.byKey[k]
+	if !ok {
+		return 0
+	}
+	e := el.Value.(*cacheEntry[V])
+	c.lru.Remove(el)
+	delete(c.byKey, k)
+	n := 1
+	if e.derived != nil {
+		n += c.dropFactorLocked(e.derived)
+	}
+	return n
+}
+
+// insertLocked stores a fresh entry and evicts down to the entry cap.
+func (c *TrieCache[V]) insertLocked(k entryKey[V], version uint64, val any, derived *factor.Factor[V]) {
+	c.byKey[k] = c.lru.PushFront(&cacheEntry[V]{key: k, version: version, val: val, derived: derived})
+	c.evictEntriesLocked()
+}
+
+func (c *TrieCache[V]) evictEntriesLocked() {
+	for c.maxEntries > 0 && c.lru.Len() > c.maxEntries {
+		last := c.lru.Back()
+		if last == nil {
+			return
+		}
+		c.evictions += int64(c.removeKeyLocked(last.Value.(*cacheEntry[V]).key))
+	}
 }
 
 // varsKey fingerprints a variable sequence.
@@ -87,25 +278,32 @@ func trieOrderKey[V any](f *factor.Factor[V], pos map[int]int) string {
 }
 
 // trieFor returns the CSR trie of f along pos, from the cache when f is a
-// registered factor (or a cached projection of one) and the trie was built
-// before.  Concurrent first builds may both construct; both results are
+// registered factor (or a cached projection of one) at an unchanged
+// version.  Concurrent first builds may both construct; both results are
 // identical and either may win the store.
 func (c *TrieCache[V]) trieFor(f *factor.Factor[V], pos map[int]int) (*trie[V], error) {
 	if c == nil {
 		return buildTrie(f, pos)
 	}
 	c.mu.Lock()
-	if !c.allowed[f] {
+	ver, registered := c.version[f]
+	if !registered {
 		// Intermediate factors are fresh every run — expected builds, not
 		// cache misses, so they stay out of the counters.
 		c.mu.Unlock()
 		return buildTrie(f, pos)
 	}
-	key := trieKey[V]{f: f, order: trieOrderKey(f, pos)}
-	if t, ok := c.tries[key]; ok {
-		c.hits++
-		c.mu.Unlock()
-		return t.(*trie[V]), nil
+	key := entryKey[V]{f: f, kind: kindTrie, fp: trieOrderKey(f, pos)}
+	if el, ok := c.byKey[key]; ok {
+		e := el.Value.(*cacheEntry[V])
+		if e.version == ver {
+			c.hits++
+			c.lru.MoveToFront(el)
+			c.mu.Unlock()
+			return e.val.(*trie[V]), nil
+		}
+		// Stale under a re-registered pointer: drop and rebuild.
+		c.invalidations += int64(c.removeKeyLocked(key))
 	}
 	c.misses++
 	c.mu.Unlock()
@@ -115,51 +313,78 @@ func (c *TrieCache[V]) trieFor(f *factor.Factor[V], pos map[int]int) (*trie[V], 
 		return nil, err
 	}
 	c.mu.Lock()
-	c.tries[key] = t
+	if cur, ok := c.version[f]; ok && cur == ver {
+		if _, exists := c.byKey[key]; !exists {
+			c.insertLocked(key, ver, t, nil)
+		}
+	}
 	c.mu.Unlock()
 	return t, nil
 }
 
 // Projection returns the indicator projection of f onto the given variable
-// set, memoized when f is a registered factor.  Cached projections are
-// themselves registered, so their tries are cacheable in turn — on a warm
-// cache a repeat Run performs no trie or projection builds at all.
+// set, memoized when f is a registered factor at an unchanged version.
+// Cached projections are themselves registered, so their tries are
+// cacheable in turn — on a warm cache a repeat Run performs no trie or
+// projection builds at all.
 func (c *TrieCache[V]) Projection(d *semiring.Domain[V], f *factor.Factor[V], onto []int) *factor.Factor[V] {
 	if c == nil {
 		return f.IndicatorProjection(d, onto)
 	}
 	c.mu.Lock()
-	if !c.allowed[f] {
+	ver, registered := c.version[f]
+	if !registered {
 		c.mu.Unlock()
 		return f.IndicatorProjection(d, onto)
 	}
-	key := projKey[V]{f: f, onto: varsKey(onto)}
-	if p, ok := c.projs[key]; ok {
-		c.hits++
-		c.mu.Unlock()
-		return p
+	key := entryKey[V]{f: f, kind: kindProj, fp: varsKey(onto)}
+	if el, ok := c.byKey[key]; ok {
+		e := el.Value.(*cacheEntry[V])
+		if e.version == ver {
+			c.hits++
+			c.lru.MoveToFront(el)
+			c.mu.Unlock()
+			return e.val.(*factor.Factor[V])
+		}
+		c.invalidations += int64(c.removeKeyLocked(key))
 	}
 	c.misses++
 	c.mu.Unlock()
 
 	p := f.IndicatorProjection(d, onto)
 	c.mu.Lock()
-	if prev, ok := c.projs[key]; ok {
-		p = prev // lost a race: keep the stored copy so trie keys stay stable
-	} else {
-		c.projs[key] = p
-		c.allowed[p] = true
+	defer c.mu.Unlock()
+	if cur, ok := c.version[f]; !ok || cur != ver {
+		return p // factor moved on while we built: serve but do not store
 	}
-	c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		// Lost a race: keep the stored copy so trie keys stay stable.
+		return el.Value.(*cacheEntry[V]).val.(*factor.Factor[V])
+	}
+	c.registerLocked(p)
+	c.insertLocked(key, ver, p, p)
 	return p
 }
 
-// Counters returns (hits, misses) for tests and /statsz-style monitoring.
+// Counters returns (hits, misses), the legacy subset of Stats.
 func (c *TrieCache[V]) Counters() (hits, misses int64) {
+	s := c.Stats()
+	return s.Hits, s.Misses
+}
+
+// Stats returns a snapshot of the cache's counters and populations.
+func (c *TrieCache[V]) Stats() TrieCacheStats {
 	if c == nil {
-		return 0, 0
+		return TrieCacheStats{}
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.hits, c.misses
+	return TrieCacheStats{
+		Hits:          c.hits,
+		Misses:        c.misses,
+		Invalidations: c.invalidations,
+		Evictions:     c.evictions,
+		Entries:       int64(c.lru.Len()),
+		Factors:       int64(c.regLRU.Len()),
+	}
 }

@@ -119,3 +119,143 @@ func TestCachedScanMatchesUncached(t *testing.T) {
 		t.Fatal("warm rounds never hit the cache")
 	}
 }
+
+// TestTrieCacheUpdateInvalidates: swapping a factor for its successor must
+// drop every entry derived from the old data — its tries AND the tries of
+// projections built from it — and serve the successor's data afterwards.
+func TestTrieCacheUpdateInvalidates(t *testing.T) {
+	d := semiring.Float()
+	rng := rand.New(rand.NewSource(21))
+	old := randomFactor(rng, d, []int{0, 1, 2}, 6, 40)
+	c := NewTrieCache([]*factor.Factor[float64]{old})
+	pos := map[int]int{0: 0, 1: 1, 2: 2}
+
+	t1, err := c.trieFor(old, pos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1 := c.Projection(d, old, []int{0, 1})
+	if _, err := c.trieFor(p1, map[int]int{0: 0, 1: 1}); err != nil {
+		t.Fatal(err)
+	}
+	next := randomFactor(rng, d, []int{0, 1, 2}, 6, 40)
+	c.Update(old, next, 0, 6)
+	s := c.Stats()
+	if s.Invalidations == 0 {
+		t.Fatal("Update recorded no invalidations")
+	}
+	if s.Entries != 0 {
+		t.Fatalf("entries survived the update: %d (the projection cascade leaked)", s.Entries)
+	}
+	// The old pointer is deregistered: rebuilt fresh, never stored.
+	u1, _ := c.trieFor(old, pos)
+	u2, _ := c.trieFor(old, pos)
+	if u1 == t1 || u1 == u2 {
+		t.Fatal("stale entry served for the replaced factor")
+	}
+	// The successor memoizes like any registered factor.
+	n1, _ := c.trieFor(next, pos)
+	n2, _ := c.trieFor(next, pos)
+	if n1 != n2 {
+		t.Fatal("updated factor does not memoize")
+	}
+}
+
+// TestTrieCacheUpdateCycleBumpsVersion: an update cycle that returns to a
+// pointer the cache still holds (old → new → old) must not serve entries
+// built before the swap-out, even though the pointer is identical.
+func TestTrieCacheUpdateCycleBumpsVersion(t *testing.T) {
+	d := semiring.Float()
+	rng := rand.New(rand.NewSource(22))
+	a := randomFactor(rng, d, []int{0, 1}, 8, 30)
+	b := randomFactor(rng, d, []int{0, 1}, 8, 30)
+	c := NewTrieCache([]*factor.Factor[float64]{a})
+	pos := map[int]int{0: 0, 1: 1}
+
+	ta1, _ := c.trieFor(a, pos)
+	c.Update(a, b, 0, 8)
+	c.Register(a) // the same pointer re-enters (e.g. a rolled-back state)
+	ta2, _ := c.trieFor(a, pos)
+	ta3, _ := c.trieFor(a, pos)
+	if ta2 != ta3 {
+		t.Fatal("re-registered factor does not memoize")
+	}
+	_ = ta1 // the old trie object may legitimately equal a rebuild bit-wise
+
+	// And updating INTO a still-registered pointer bumps its version: the
+	// memoized trie from before the update may not be served after it.
+	c.Update(b, a, 0, 8)
+	ta4, _ := c.trieFor(a, pos)
+	if ta4 == ta2 {
+		t.Fatal("entry built before the update survived an update onto the same pointer")
+	}
+}
+
+// TestTrieCacheEvictionOrdering: with a hard entry cap, the least recently
+// used entry goes first, and touching an entry protects it.
+func TestTrieCacheEvictionOrdering(t *testing.T) {
+	d := semiring.Float()
+	rng := rand.New(rand.NewSource(23))
+	var fs []*factor.Factor[float64]
+	for i := 0; i < 3; i++ {
+		fs = append(fs, randomFactor(rng, d, []int{0, 1}, 8, 30))
+	}
+	c := NewTrieCache(fs)
+	c.SetLimits(DefaultTrieCacheFactors, 2)
+	pos := map[int]int{0: 0, 1: 1}
+
+	t0, _ := c.trieFor(fs[0], pos) // entries: {0}
+	t1, _ := c.trieFor(fs[1], pos) // entries: {1, 0}
+	r0, _ := c.trieFor(fs[0], pos) // touch 0 → {0, 1}
+	if r0 != t0 {
+		t.Fatal("entry evicted below the cap")
+	}
+	if _, err := c.trieFor(fs[2], pos); err != nil { // evicts 1, the LRU
+		t.Fatal(err)
+	}
+	if got := c.Stats(); got.Evictions == 0 || got.Entries != 2 {
+		t.Fatalf("stats after eviction: %+v", got)
+	}
+	r1, _ := c.trieFor(fs[1], pos) // must rebuild: it was the victim
+	if r1 == t1 {
+		t.Fatal("LRU victim was still served")
+	}
+	r0b, _ := c.trieFor(fs[0], pos)
+	if r0b == t0 {
+		// 0 was most recent before 2 arrived, then 1's rebuild evicted it —
+		// order must be 2,1 now, so 0 rebuilds too.  If it didn't, eviction
+		// ignored recency.
+		t.Fatal("eviction did not follow LRU order")
+	}
+}
+
+// TestTrieCacheFactorCapExpelsOldest: the registered-factor LRU expels the
+// least recently registered factor, taking its entries with it.
+func TestTrieCacheFactorCapExpelsOldest(t *testing.T) {
+	d := semiring.Float()
+	rng := rand.New(rand.NewSource(24))
+	var fs []*factor.Factor[float64]
+	for i := 0; i < 3; i++ {
+		fs = append(fs, randomFactor(rng, d, []int{0, 1}, 8, 30))
+	}
+	c := NewTrieCache[float64](nil)
+	c.SetLimits(2, DefaultTrieCacheEntries)
+	pos := map[int]int{0: 0, 1: 1}
+
+	c.Register(fs[0], fs[1])
+	t0, _ := c.trieFor(fs[0], pos)
+	c.Register(fs[0]) // refresh 0's recency; 1 is now the expulsion victim
+	c.Register(fs[2]) // expels 1
+	u1a, _ := c.trieFor(fs[1], pos)
+	u1b, _ := c.trieFor(fs[1], pos)
+	if u1a == u1b {
+		t.Fatal("expelled factor still memoizes")
+	}
+	r0, _ := c.trieFor(fs[0], pos)
+	if r0 != t0 {
+		t.Fatal("recency-refreshed factor lost its entry")
+	}
+	if got := c.Stats(); got.Factors != 2 {
+		t.Fatalf("registered factors after expulsion: %d, want 2", got.Factors)
+	}
+}

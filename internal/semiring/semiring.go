@@ -66,6 +66,19 @@ type Op[V any] struct {
 	// Zero, so an aggregate whose identity is not Zero silently computes a
 	// different function than Eq. (1).
 	NonSemiring string
+	// Inverse, when non-nil, is subtraction with respect to ⊕: it returns
+	// a ⊕ b⁻¹, so Combine(Inverse(a, b), b) = a.  Only ring aggregates have
+	// one (sum over float/int); idempotent aggregates like max, min and or
+	// destroy information and leave it nil.  Incremental view maintenance
+	// keys on this field: with an inverse, deltas propagate algebraically;
+	// without one, affected state must be recomputed.
+	Inverse func(a, b V) V
+}
+
+// Invertible reports whether the aggregate carries a ⊕-inverse, i.e. forms
+// a commutative group rather than just a monoid.  Nil receivers report false.
+func (o *Op[V]) Invertible() bool {
+	return o != nil && o.Inverse != nil
 }
 
 // SameOp reports whether two aggregates are the same named operator.
@@ -115,8 +128,14 @@ func Float() *Domain[float64] {
 }
 
 // OpFloatSum is + over float64 (sum-product semiring: marginals, #CSP).
+// It carries an Inverse (subtraction), making (float64, +) a group: the
+// hook incremental maintenance uses to retract stale contributions.
 func OpFloatSum() *Op[float64] {
-	return &Op[float64]{Name: "sum", Combine: func(a, b float64) float64 { return a + b }}
+	return &Op[float64]{
+		Name:    "sum",
+		Combine: func(a, b float64) float64 { return a + b },
+		Inverse: func(a, b float64) float64 { return a - b },
+	}
 }
 
 // OpFloatMax is max over non-negative float64 (max-product semiring: MAP).
@@ -152,9 +171,15 @@ func Int() *Domain[int64] {
 	}
 }
 
-// OpIntSum is + over int64.
+// OpIntSum is + over int64.  Like OpFloatSum it carries an Inverse; int64
+// arithmetic is exact mod 2⁶⁴, so delta propagation is bit-identical to a
+// full recompute.
 func OpIntSum() *Op[int64] {
-	return &Op[int64]{Name: "sum", Combine: func(a, b int64) int64 { return a + b }}
+	return &Op[int64]{
+		Name:    "sum",
+		Combine: func(a, b int64) int64 { return a + b },
+		Inverse: func(a, b int64) int64 { return a - b },
+	}
 }
 
 // OpIntMax is max over non-negative int64.
@@ -179,9 +204,13 @@ func Complex() *Domain[complex128] {
 	}
 }
 
-// OpComplexSum is + over complex128.
+// OpComplexSum is + over complex128, with the group inverse (subtraction).
 func OpComplexSum() *Op[complex128] {
-	return &Op[complex128]{Name: "sum", Combine: func(a, b complex128) complex128 { return a + b }}
+	return &Op[complex128]{
+		Name:    "sum",
+		Combine: func(a, b complex128) complex128 { return a + b },
+		Inverse: func(a, b complex128) complex128 { return a - b },
+	}
 }
 
 // Rat returns the exact rational domain (Q, ·) used by the weighted #SAT
@@ -200,11 +229,17 @@ func Rat() *Domain[*big.Rat] {
 	}
 }
 
-// OpRatSum is + over *big.Rat.
+// OpRatSum is + over *big.Rat, with the group inverse (exact subtraction).
 func OpRatSum() *Op[*big.Rat] {
-	return &Op[*big.Rat]{Name: "sum", Combine: func(a, b *big.Rat) *big.Rat {
-		return new(big.Rat).Add(a, b)
-	}}
+	return &Op[*big.Rat]{
+		Name: "sum",
+		Combine: func(a, b *big.Rat) *big.Rat {
+			return new(big.Rat).Add(a, b)
+		},
+		Inverse: func(a, b *big.Rat) *big.Rat {
+			return new(big.Rat).Sub(a, b)
+		},
+	}
 }
 
 // SetUniverse is the number of elements in the small-set semiring universe.

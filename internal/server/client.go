@@ -263,3 +263,61 @@ func (c *Client) WaitHealthy(ctx context.Context, timeout time.Duration) error {
 		time.Sleep(50 * time.Millisecond)
 	}
 }
+
+// Delta posts one JSON delta batch to /v1/delta: row changes against the
+// named session's evolving factor state (seeded from the spec on first
+// contact).  The response carries the maintained result.
+func (c *Client) Delta(ctx context.Context, req *DeltaRequest) (*DeltaResponse, error) {
+	var resp DeltaResponse
+	if err := c.doJSON(ctx, http.MethodPost, "/v1/delta", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// DeltaFrames posts one binary delta batch: req (whose Deltas must be
+// empty — the frames carry the changes) becomes the stream's envelope
+// header and delta frames follow.  This is the fast maintenance path: the
+// server decodes frames straight into flat delta row blocks.
+func (c *Client) DeltaFrames(ctx context.Context, req *DeltaRequest, frames []*wire.DeltaFrame) (*DeltaResponse, error) {
+	stream, err := EncodeDeltaStream(req, frames)
+	if err != nil {
+		return nil, err
+	}
+	return c.DeltaStream(ctx, stream)
+}
+
+// EncodeDeltaStream renders a binary /v1/delta body: req (whose Deltas
+// must be empty) as the envelope header, then the delta frames.  Load
+// generators replaying one batch many times encode once and post the
+// bytes with DeltaStream.
+func EncodeDeltaStream(req *DeltaRequest, frames []*wire.DeltaFrame) ([]byte, error) {
+	if req.Deltas != nil {
+		return nil, fmt.Errorf("faqd: binary delta request carries JSON deltas; ship them as frames")
+	}
+	header, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	var body bytes.Buffer
+	enc := wire.NewEncoder(&body)
+	if err := enc.WriteStreamHeader(header, len(frames)); err != nil {
+		return nil, err
+	}
+	for i, f := range frames {
+		if err := enc.EncodeDelta(f); err != nil {
+			return nil, fmt.Errorf("faqd: encoding delta frame %d: %w", i, err)
+		}
+	}
+	return body.Bytes(), nil
+}
+
+// DeltaStream posts an already-encoded binary delta body (see
+// EncodeDeltaStream).
+func (c *Client) DeltaStream(ctx context.Context, stream []byte) (*DeltaResponse, error) {
+	var resp DeltaResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/delta", wire.DeltaContentType, bytes.NewReader(stream), &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}

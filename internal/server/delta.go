@@ -1,0 +1,428 @@
+// POST /v1/delta: incremental maintenance over the wire.  A delta request
+// names a spec and a batch of row changes; the server resolves the spec to
+// a long-lived delta session — a PreparedQuery whose factor state evolves
+// in place — applies the batch through core.ApplyDeltas (ring propagation,
+// affected-block re-execution or recompute, whichever the query admits)
+// and answers with the maintained result.  The first request for a session
+// seeds its state from the spec's inline factor data; later requests ship
+// only the changes, which is the whole point: the work is proportional to
+// the delta, not to the database.
+//
+// Sessions are keyed by the request's explicit "session" name, or by the
+// spec text itself when none is given, and the registry is LRU-bounded
+// (Config.MaxSessions) so an open-ended stream of one-shot specs cannot
+// pin unbounded factor state.  Batches arrive as JSON ("deltas") or as a
+// binary delta stream (Content-Type application/x-faq-deltas): the same
+// "FAQW" envelope as factor streams, carrying delta frames instead.
+package server
+
+import (
+	"container/list"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"mime"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/faqdb/faq/internal/core"
+	"github.com/faqdb/faq/internal/factor"
+	"github.com/faqdb/faq/internal/spec"
+	"github.com/faqdb/faq/internal/wire"
+)
+
+// defaultMaxSessions bounds the delta-session registry when Config leaves
+// MaxSessions at zero.
+const defaultMaxSessions = 256
+
+// deltaSession is one entry of the session registry: the prepared query
+// whose state the deltas evolve, plus what the response encoder needs.
+// prep and q are stored untyped (the registry spans all four value
+// domains); serveDelta re-types them and answers 400 on a domain mismatch.
+type deltaSession struct {
+	domain string
+	prep   any // *core.PreparedQuery[V]
+	q      any // *core.Query[V]
+	layout [][]int
+}
+
+// sessionRegistry is an LRU-bounded map of delta sessions.
+type sessionRegistry struct {
+	mu  sync.Mutex
+	max int
+	lru *list.List // *sessionNode; front = most recently used
+	by  map[string]*list.Element
+}
+
+type sessionNode struct {
+	key  string
+	sess *deltaSession
+}
+
+func newSessionRegistry(max int) *sessionRegistry {
+	if max <= 0 {
+		max = defaultMaxSessions
+	}
+	return &sessionRegistry{max: max, lru: list.New(), by: map[string]*list.Element{}}
+}
+
+// get returns the session for key, refreshing its recency.
+func (r *sessionRegistry) get(key string) *deltaSession {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if el, ok := r.by[key]; ok {
+		r.lru.MoveToFront(el)
+		return el.Value.(*sessionNode).sess
+	}
+	return nil
+}
+
+// add stores sess under key unless another request won the race, in which
+// case the stored session is returned instead (one evolving state per key).
+func (r *sessionRegistry) add(key string, sess *deltaSession) *deltaSession {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if el, ok := r.by[key]; ok {
+		r.lru.MoveToFront(el)
+		return el.Value.(*sessionNode).sess
+	}
+	r.by[key] = r.lru.PushFront(&sessionNode{key: key, sess: sess})
+	for r.lru.Len() > r.max {
+		last := r.lru.Back()
+		delete(r.by, last.Value.(*sessionNode).key)
+		r.lru.Remove(last)
+	}
+	return sess
+}
+
+// len reports the current session population for /statsz.
+func (r *sessionRegistry) len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.lru.Len()
+}
+
+// sessionKey resolves the registry key: an explicit session name wins,
+// otherwise the spec text itself keys the state (same spec = same evolving
+// database).
+func sessionKey(req *DeltaRequest) string {
+	if req.Session != "" {
+		return "name:" + req.Session
+	}
+	return "spec:" + req.Spec
+}
+
+// maxDeltaFrames caps the frame count of one binary delta stream; a batch
+// larger than this should be split across requests anyway.
+const maxDeltaFrames = 65536
+
+// decodeDeltaRequest reads the body of POST /v1/delta in either encoding:
+// plain JSON, or — under application/x-faq-deltas — a wire stream whose
+// envelope header is the DeltaRequest JSON (without "deltas") followed by
+// delta frames.
+func (s *Server) decodeDeltaRequest(w http.ResponseWriter, r *http.Request) (req DeltaRequest, frames []*wire.DeltaFrame, binary bool, err error) {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	ct := r.Header.Get("Content-Type")
+	if mt, _, mtErr := mime.ParseMediaType(ct); mtErr == nil && mt == wire.DeltaContentType {
+		dec := wire.NewDecoder(body)
+		dec.SetMaxFrameBytes(int(min(s.cfg.MaxBodyBytes, int64(wire.DefaultMaxFrameBytes))))
+		header, n, hErr := dec.ReadStreamHeader(maxStreamHeaderBytes)
+		if hErr != nil {
+			return req, nil, true, hErr
+		}
+		jdec := json.NewDecoder(strings.NewReader(string(header)))
+		jdec.DisallowUnknownFields()
+		if jErr := jdec.Decode(&req); jErr != nil {
+			return req, nil, true, fmt.Errorf("stream header: %w", jErr)
+		}
+		if req.Deltas != nil {
+			return req, nil, true, errors.New(`binary requests carry deltas as frames, not as JSON "deltas"`)
+		}
+		if n > maxDeltaFrames {
+			return req, nil, true, fmt.Errorf("stream declares %d delta frames (limit %d)", n, maxDeltaFrames)
+		}
+		frames = make([]*wire.DeltaFrame, 0, min(n, 1024))
+		for i := 0; i < n; i++ {
+			f, fErr := dec.DecodeDelta()
+			if fErr != nil {
+				return req, nil, true, fmt.Errorf("delta frame %d of %d: %w", i, n, fErr)
+			}
+			frames = append(frames, f)
+		}
+		if _, tErr := dec.DecodeDelta(); tErr != io.EOF {
+			return req, nil, true, fmt.Errorf("stream declares %d delta frames but carries more", n)
+		}
+		return req, frames, true, nil
+	}
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	err = dec.Decode(&req)
+	return req, nil, false, err
+}
+
+func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	req, frames, binary, err := s.decodeDeltaRequest(w, r)
+	if err != nil {
+		writeDecodeError(w, err)
+		return
+	}
+	if binary {
+		s.m.deltasBinary.Add(1)
+	}
+	if strings.TrimSpace(req.Spec) == "" {
+		writeError(w, http.StatusBadRequest, "empty spec")
+		return
+	}
+	if req.Workers < 0 {
+		writeError(w, http.StatusBadRequest, "workers must be >= 0, got %d", req.Workers)
+		return
+	}
+	doc, err := spec.ParseDocument(strings.NewReader(req.Spec))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	switch doc.Domain {
+	case spec.DomainFloat:
+		serveDelta(s, w, r, start, &req, doc, frames, s.eng, floatCodec)
+	case spec.DomainInt:
+		serveDelta(s, w, r, start, &req, doc, frames, s.engInt, intCodec)
+	case spec.DomainBool:
+		serveDelta(s, w, r, start, &req, doc, frames, s.engBool, boolCodec)
+	case spec.DomainTropical:
+		serveDelta(s, w, r, start, &req, doc, frames, s.eng, tropicalCodec)
+	default:
+		writeError(w, http.StatusBadRequest, "unsupported spec domain %q", doc.Domain)
+	}
+}
+
+// serveDelta is the domain-generic tail of handleDelta: resolve (or seed)
+// the session, translate the batch, apply it under the request context and
+// the MaxInflight bound, and write the maintained result.
+func serveDelta[V any](s *Server, w http.ResponseWriter, r *http.Request, start time.Time,
+	req *DeltaRequest, doc *spec.Document, frames []*wire.DeltaFrame,
+	eng *core.Engine[V], cv domainCodec[V]) {
+
+	key := sessionKey(req)
+	sess := s.sessions.get(key)
+	if sess == nil {
+		// First request of the session: the spec's inline factor data is
+		// the initial state.  Prepare outside the registry lock; a racing
+		// request for the same key may win, in which case its state is the
+		// session (add returns the stored one).
+		q, layout, err := cv.build(doc)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		opts := core.DefaultOptions()
+		opts.Workers = req.Workers
+		prepCtx, cancel := context.WithTimeout(r.Context(), s.queryTimeout(req.TimeoutMS))
+		prep, err := eng.PrepareCtx(prepCtx, q, opts)
+		cancel()
+		if err != nil {
+			s.writeRunError(w, r.Context(), err)
+			return
+		}
+		sess = s.sessions.add(key, &deltaSession{domain: cv.name, prep: prep, q: q, layout: layout})
+	}
+	prep, ok := sess.prep.(*core.PreparedQuery[V])
+	if !ok || sess.domain != cv.name {
+		writeError(w, http.StatusBadRequest,
+			"session %q holds a %s-domain query, request spec declares %s",
+			req.Session, sess.domain, cv.name)
+		return
+	}
+	q := sess.q.(*core.Query[V])
+
+	deltas, err := buildDeltas(q, sess.layout, req.Deltas, frames, cv)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.queryTimeout(req.TimeoutMS))
+	defer cancel()
+	if !s.acquireRunSlot() {
+		s.m.rejected.Add(1)
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", s.retryAfterSeconds()))
+		writeError(w, http.StatusTooManyRequests,
+			"server is at its %d-run concurrency bound, retry later", s.cfg.MaxInflight)
+		return
+	}
+	var res *core.Result[V]
+	err = func() error {
+		defer s.releaseRunSlot()
+		var err error
+		res, err = prep.ApplyDeltas(ctx, deltas)
+		return err
+	}()
+	if err != nil {
+		s.writeDeltaError(w, ctx, err)
+		return
+	}
+	s.m.countDomain(cv.name)
+
+	resp := &DeltaResponse{
+		Domain:    cv.name,
+		Strategy:  prep.DeltaStrategy(),
+		Applied:   len(deltas),
+		ElapsedMS: durationMS(time.Since(start)),
+	}
+	resp.Stats = RunStats{
+		Eliminations:     res.Stats.Eliminations,
+		IntermediateRows: res.Stats.IntermediateRows,
+		MaxIntermediate:  res.Stats.MaxIntermediate,
+		JoinProbes:       res.Stats.Join.Probes,
+	}
+	if q.NumFree == 0 {
+		resp.Value = cv.encode(res.Scalar())
+	} else {
+		tuples := res.Output.Tuples()
+		if tuples == nil {
+			tuples = [][]int{}
+		}
+		values := res.Output.Values
+		if values == nil {
+			values = []V{}
+		}
+		out := &OutputData{Tuples: tuples, Values: cv.encodeColumn(values)}
+		for _, v := range res.Output.Vars {
+			out.Vars = append(out.Vars, q.VarName(v))
+		}
+		resp.Output = out
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// writeDeltaError maps an ApplyDeltas failure: the factor-layer sentinels
+// (bad rows, absent deletes, duplicate or out-of-domain keys) are client
+// mistakes → 400 with the sentinel text; the rest routes like a run error.
+func (s *Server) writeDeltaError(w http.ResponseWriter, ctx context.Context, err error) {
+	switch {
+	case errors.Is(err, factor.ErrDeltaArity), errors.Is(err, factor.ErrDeltaDup),
+		errors.Is(err, factor.ErrDeltaAbsent), errors.Is(err, factor.ErrDeltaRange),
+		errors.Is(err, core.ErrDeltaFactor):
+		writeError(w, http.StatusBadRequest, "%v", err)
+	default:
+		s.writeRunError(w, ctx, err)
+	}
+}
+
+// deltaOpOf maps the JSON op spelling to the factor-layer op.
+func deltaOpOf(op string) (factor.DeltaOp, error) {
+	switch op {
+	case "insert":
+		return factor.DeltaInsert, nil
+	case "delete":
+		return factor.DeltaDelete, nil
+	}
+	return 0, fmt.Errorf("unknown delta op %q (want \"insert\" or \"delete\")", op)
+}
+
+// buildDeltas translates the request's batch — JSON DeltaData or binary
+// delta frames, whichever arrived — into core deltas.  Tuple columns are in
+// the spec factor block's declaration order and are permuted to the sorted
+// storage order here, exactly as fresh factor data is.
+func buildDeltas[V any](q *core.Query[V], layout [][]int, data []DeltaData,
+	frames []*wire.DeltaFrame, cv domainCodec[V]) ([]core.Delta[V], error) {
+
+	if frames != nil {
+		return buildDeltasWire(q, layout, frames, cv)
+	}
+	deltas := make([]core.Delta[V], 0, len(data))
+	for i, dd := range data {
+		if dd.Factor < 0 || dd.Factor >= len(q.Factors) {
+			return nil, fmt.Errorf("delta %d: factor index %d out of range (spec declares %d factors)",
+				i, dd.Factor, len(q.Factors))
+		}
+		op, err := deltaOpOf(dd.Op)
+		if err != nil {
+			return nil, fmt.Errorf("delta %d: %w", i, err)
+		}
+		decl := layout[dd.Factor]
+		perm, _ := declPerm(decl)
+		rows := make([]int32, 0, len(dd.Tuples)*len(decl))
+		for _, tup := range dd.Tuples {
+			if len(tup) != len(decl) {
+				return nil, fmt.Errorf("delta %d: tuple %v has arity %d, want %d", i, tup, len(tup), len(decl))
+			}
+			for _, p := range perm {
+				if tup[p] < math.MinInt32 || tup[p] > math.MaxInt32 {
+					return nil, fmt.Errorf("delta %d: tuple %v exceeds the int32 domain-value range", i, tup)
+				}
+				rows = append(rows, int32(tup[p]))
+			}
+		}
+		dl := core.Delta[V]{Factor: dd.Factor, Op: op, Rows: rows}
+		if op == factor.DeltaInsert {
+			if len(dd.Values) != len(dd.Tuples) {
+				return nil, fmt.Errorf("delta %d: %d values for %d tuples", i, len(dd.Values), len(dd.Tuples))
+			}
+			dl.Values = make([]V, len(dd.Values))
+			for j, raw := range dd.Values {
+				v, err := cv.fromJSON(raw)
+				if err != nil {
+					return nil, fmt.Errorf("delta %d value %d: %v", i, j, err)
+				}
+				dl.Values[j] = v
+			}
+		} else if len(dd.Values) != 0 {
+			return nil, fmt.Errorf("delta %d: delete carries %d values", i, len(dd.Values))
+		}
+		deltas = append(deltas, dl)
+	}
+	return deltas, nil
+}
+
+// frameDeltaCol selects a delta frame's insert value column for the codec's
+// value type (the delta twin of domainCodec.frameCol).
+func frameDeltaCol[V any](cv domainCodec[V], f *wire.DeltaFrame) []V {
+	fr := &wire.Frame{Domain: f.Domain, Arity: f.Arity,
+		Floats: f.Floats, Ints: f.Ints, Bools: f.Bools}
+	return cv.frameCol(fr)
+}
+
+// buildDeltasWire is buildDeltas for binary delta frames.
+func buildDeltasWire[V any](q *core.Query[V], layout [][]int, frames []*wire.DeltaFrame,
+	cv domainCodec[V]) ([]core.Delta[V], error) {
+
+	deltas := make([]core.Delta[V], 0, len(frames))
+	for i, fr := range frames {
+		if fr.Factor < 0 || fr.Factor >= len(q.Factors) {
+			return nil, fmt.Errorf("delta frame %d: factor index %d out of range (spec declares %d factors)",
+				i, fr.Factor, len(q.Factors))
+		}
+		if fr.Domain != cv.wireDom {
+			return nil, fmt.Errorf("delta frame %d carries domain %v, spec declares %s", i, fr.Domain, cv.name)
+		}
+		decl := layout[fr.Factor]
+		if fr.Arity != len(decl) {
+			return nil, fmt.Errorf("delta frame %d has arity %d, spec factor has %d", i, fr.Arity, len(decl))
+		}
+		rows := fr.Rows
+		if perm, identity := declPerm(decl); !identity {
+			k := len(decl)
+			rows = make([]int32, len(fr.Rows))
+			for r := 0; r < len(fr.Rows)/k; r++ {
+				src := fr.Rows[r*k : r*k+k]
+				dst := rows[r*k : r*k+k]
+				for j, p := range perm {
+					dst[j] = src[p]
+				}
+			}
+		}
+		dl := core.Delta[V]{Factor: fr.Factor, Op: factor.DeltaOp(fr.Op), Rows: rows}
+		if fr.Op == wire.DeltaOpInsert {
+			dl.Values = frameDeltaCol(cv, fr)
+		}
+		deltas = append(deltas, dl)
+	}
+	return deltas, nil
+}

@@ -1,0 +1,291 @@
+package server
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"github.com/faqdb/faq/internal/wire"
+)
+
+// deltaSpec is the evolving-database fixture: a scalar triangle count over
+// {0,1}³ whose three relations start as full cross products (answer 8).
+// The third block declares its variables as "z x" — reversed relative to
+// sorted storage order — so delta tuples exercise the same declaration-
+// order permutation fresh factor data goes through.
+func deltaSpec() string {
+	var b strings.Builder
+	b.WriteString("var x 2 sum\nvar y 2 sum\nvar z 2 sum\n")
+	for _, vars := range []string{"x y", "y z", "z x"} {
+		b.WriteString("factor " + vars + "\n")
+		b.WriteString("0 0 = 1\n0 1 = 1\n1 0 = 1\n1 1 = 1\nend\n")
+	}
+	return b.String()
+}
+
+// deltaOracle recomputes the expected answer for the evolving state by
+// shipping the full data through the already-verified /v1/query fresh-
+// factor path.  data[i] maps a declaration-order tuple to its value.
+func deltaOracle(t *testing.T, c *Client, specText string, data []map[[2]int]float64) float64 {
+	t.Helper()
+	req := &QueryRequest{Spec: specText}
+	for _, m := range data {
+		var fd FactorData
+		for tup, v := range m {
+			fd.Tuples = append(fd.Tuples, []int{tup[0], tup[1]})
+			fd.Values = append(fd.Values, v)
+		}
+		req.Factors = append(req.Factors, fd)
+	}
+	resp, err := c.Query(context.Background(), req)
+	if err != nil {
+		t.Fatalf("oracle query: %v", err)
+	}
+	v, err := resp.FloatValue()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// fullCross is the starting state of every deltaSpec factor.
+func fullCross() map[[2]int]float64 {
+	return map[[2]int]float64{{0, 0}: 1, {0, 1}: 1, {1, 0}: 1, {1, 1}: 1}
+}
+
+// applyData mirrors one DeltaData onto the test-side tracking state.
+func applyData(m map[[2]int]float64, dd DeltaData) {
+	for i, tup := range dd.Tuples {
+		k := [2]int{tup[0], tup[1]}
+		if dd.Op == "delete" {
+			delete(m, k)
+		} else if dd.Values[i] == 0 {
+			delete(m, k)
+		} else {
+			m[k] = dd.Values[i]
+		}
+	}
+}
+
+// TestDeltaSessionJSON drives a JSON delta session end to end: the first
+// request seeds the state from the spec, each batch's maintained answer
+// matches a full fresh-data recompute, and a batch against the permuted
+// "z x" block lands on the right rows.
+func TestDeltaSessionJSON(t *testing.T) {
+	s, _, c := newTestServer(t, Config{Workers: 2})
+	ctx := context.Background()
+	specText := deltaSpec()
+	data := []map[[2]int]float64{fullCross(), fullCross(), fullCross()}
+
+	resp, err := c.Delta(ctx, &DeltaRequest{Spec: specText, Session: "evolve"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, err := resp.FloatValue(); err != nil || v != 8 {
+		t.Fatalf("seeded session answers %v (%v), want 8", v, err)
+	}
+	if resp.Strategy == "" || resp.Applied != 0 {
+		t.Fatalf("empty batch: strategy %q, applied %d", resp.Strategy, resp.Applied)
+	}
+
+	batches := [][]DeltaData{
+		{{Factor: 0, Op: "insert", Tuples: [][]int{{0, 0}}, Values: []float64{5}}},
+		{{Factor: 1, Op: "delete", Tuples: [][]int{{1, 0}, {1, 1}}}},
+		// Factor 2 is declared "z x": the tuple (z, x) = (0, 1) must reach
+		// storage as (x, z) = (1, 0).
+		{{Factor: 2, Op: "insert", Tuples: [][]int{{0, 1}}, Values: []float64{3}},
+			{Factor: 0, Op: "insert", Tuples: [][]int{{0, 0}}, Values: []float64{0}}},
+	}
+	for bi, batch := range batches {
+		resp, err := c.Delta(ctx, &DeltaRequest{Spec: specText, Session: "evolve", Deltas: batch})
+		if err != nil {
+			t.Fatalf("batch %d: %v", bi, err)
+		}
+		for _, dd := range batch {
+			applyData(data[dd.Factor], dd)
+		}
+		want := deltaOracle(t, c, specText, data)
+		if got, err := resp.FloatValue(); err != nil || got != want {
+			t.Fatalf("batch %d: maintained answer %v (%v), want %v", bi, got, err, want)
+		}
+		if resp.Applied != len(batch) {
+			t.Fatalf("batch %d: applied %d of %d", bi, resp.Applied, len(batch))
+		}
+	}
+
+	st := s.Statsz()
+	if st.Server.Deltas != int64(1+len(batches)) {
+		t.Fatalf("deltas counter = %d, want %d", st.Server.Deltas, 1+len(batches))
+	}
+	if st.Server.DeltaSessions != 1 {
+		t.Fatalf("delta_sessions = %d, want 1", st.Server.DeltaSessions)
+	}
+	if st.Engine.DeltasApplied != int64(1+len(batches)) {
+		t.Fatalf("engine deltas_applied = %d, want %d", st.Engine.DeltasApplied, 1+len(batches))
+	}
+	if st.Engine.DeltaRingRuns+st.Engine.DeltaBlockRuns+st.Engine.DeltaRecomputes == 0 {
+		t.Fatal("no maintenance strategy counter moved")
+	}
+}
+
+// TestDeltaSessionBinary drives the same evolution through binary delta
+// streams and requires answers identical to the JSON path.
+func TestDeltaSessionBinary(t *testing.T) {
+	s, _, c := newTestServer(t, Config{Workers: 2})
+	ctx := context.Background()
+	specText := deltaSpec()
+
+	seed, err := c.DeltaFrames(ctx, &DeltaRequest{Spec: specText, Session: "bin"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, err := seed.FloatValue(); err != nil || v != 8 {
+		t.Fatalf("seeded session answers %v (%v), want 8", v, err)
+	}
+
+	// The same three batches as the JSON test, as frames; frame 2 ships
+	// declaration-order (z, x) columns.
+	frames := [][]*wire.DeltaFrame{
+		{{Op: wire.DeltaOpInsert, Domain: wire.DomainFloat, Factor: 0, Arity: 2,
+			Rows: []int32{0, 0}, Floats: []float64{5}}},
+		{{Op: wire.DeltaOpDelete, Domain: wire.DomainFloat, Factor: 1, Arity: 2,
+			Rows: []int32{1, 0, 1, 1}}},
+		{{Op: wire.DeltaOpInsert, Domain: wire.DomainFloat, Factor: 2, Arity: 2,
+			Rows: []int32{0, 1}, Floats: []float64{3}},
+			{Op: wire.DeltaOpInsert, Domain: wire.DomainFloat, Factor: 0, Arity: 2,
+				Rows: []int32{0, 0}, Floats: []float64{0}}},
+	}
+	jsonBatches := [][]DeltaData{
+		{{Factor: 0, Op: "insert", Tuples: [][]int{{0, 0}}, Values: []float64{5}}},
+		{{Factor: 1, Op: "delete", Tuples: [][]int{{1, 0}, {1, 1}}}},
+		{{Factor: 2, Op: "insert", Tuples: [][]int{{0, 1}}, Values: []float64{3}},
+			{Factor: 0, Op: "insert", Tuples: [][]int{{0, 0}}, Values: []float64{0}}},
+	}
+	if _, err := c.Delta(ctx, &DeltaRequest{Spec: specText, Session: "json"}); err != nil {
+		t.Fatal(err)
+	}
+	for bi := range frames {
+		bres, err := c.DeltaFrames(ctx, &DeltaRequest{Spec: specText, Session: "bin"}, frames[bi])
+		if err != nil {
+			t.Fatalf("binary batch %d: %v", bi, err)
+		}
+		jres, err := c.Delta(ctx, &DeltaRequest{Spec: specText, Session: "json", Deltas: jsonBatches[bi]})
+		if err != nil {
+			t.Fatalf("json batch %d: %v", bi, err)
+		}
+		bv, _ := bres.FloatValue()
+		jv, _ := jres.FloatValue()
+		if bv != jv {
+			t.Fatalf("batch %d: binary session answers %v, JSON session %v", bi, bv, jv)
+		}
+	}
+
+	st := s.Statsz()
+	if st.Server.DeltasBinary != int64(1+len(frames)) {
+		t.Fatalf("deltas_binary = %d, want %d", st.Server.DeltasBinary, 1+len(frames))
+	}
+	if st.Server.DeltaSessions != 2 {
+		t.Fatalf("delta_sessions = %d, want 2", st.Server.DeltaSessions)
+	}
+}
+
+// TestDeltaRejections maps client mistakes to 400s and proves a rejected
+// batch leaves the session state untouched.
+func TestDeltaRejections(t *testing.T) {
+	_, _, c := newTestServer(t, Config{Workers: 2})
+	ctx := context.Background()
+	specText := deltaSpec()
+	if _, err := c.Delta(ctx, &DeltaRequest{Spec: specText}); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := map[string]*DeltaRequest{
+		"unknown op": {Spec: specText,
+			Deltas: []DeltaData{{Factor: 0, Op: "upsert", Tuples: [][]int{{0, 0}}, Values: []float64{1}}}},
+		"factor out of range": {Spec: specText,
+			Deltas: []DeltaData{{Factor: 3, Op: "delete", Tuples: [][]int{{0, 0}}}}},
+		"arity mismatch": {Spec: specText,
+			Deltas: []DeltaData{{Factor: 0, Op: "delete", Tuples: [][]int{{0}}}}},
+		"value count off": {Spec: specText,
+			Deltas: []DeltaData{{Factor: 0, Op: "insert", Tuples: [][]int{{0, 0}}, Values: []float64{1, 2}}}},
+		"delete with values": {Spec: specText,
+			Deltas: []DeltaData{{Factor: 0, Op: "delete", Tuples: [][]int{{0, 0}}, Values: []float64{1}}}},
+		"out of domain": {Spec: specText,
+			Deltas: []DeltaData{{Factor: 0, Op: "insert", Tuples: [][]int{{0, 9}}, Values: []float64{1}}}},
+		"absent delete": {Spec: specText,
+			Deltas: []DeltaData{
+				{Factor: 0, Op: "delete", Tuples: [][]int{{0, 0}}},
+				{Factor: 0, Op: "delete", Tuples: [][]int{{0, 0}}}}},
+		"empty spec": {Spec: "   "},
+	}
+	for name, req := range cases {
+		if _, err := c.Delta(ctx, req); err == nil || !strings.Contains(err.Error(), "400") {
+			t.Errorf("%s: err = %v, want HTTP 400", name, err)
+		}
+	}
+
+	// Binary mistakes: JSON deltas inside a binary envelope, and a frame
+	// domain that contradicts the spec.
+	if _, err := EncodeDeltaStream(&DeltaRequest{Spec: specText,
+		Deltas: []DeltaData{{Factor: 0, Op: "insert"}}}, nil); err == nil {
+		t.Error("EncodeDeltaStream accepted JSON deltas")
+	}
+	if _, err := c.DeltaFrames(ctx, &DeltaRequest{Spec: specText},
+		[]*wire.DeltaFrame{{Op: wire.DeltaOpInsert, Domain: wire.DomainInt, Factor: 0, Arity: 2,
+			Rows: []int32{0, 0}, Ints: []int64{1}}}); err == nil || !strings.Contains(err.Error(), "400") {
+		t.Errorf("frame domain mismatch: err = %v, want HTTP 400", err)
+	}
+
+	// After every rejection the state still answers 8.
+	resp, err := c.Delta(ctx, &DeltaRequest{Spec: specText})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, err := resp.FloatValue(); err != nil || v != 8 {
+		t.Fatalf("state after rejections answers %v (%v), want 8", v, err)
+	}
+}
+
+// TestDeltaSessionDomainMismatch: reusing a session name across value
+// domains is a client error, not a panic or a silent re-seed.
+func TestDeltaSessionDomainMismatch(t *testing.T) {
+	_, _, c := newTestServer(t, Config{Workers: 2})
+	ctx := context.Background()
+	if _, err := c.Delta(ctx, &DeltaRequest{Spec: deltaSpec(), Session: "shared"}); err != nil {
+		t.Fatal(err)
+	}
+	intSpec := "domain int\n" + strings.Join([]string{
+		"var a 2 sum", "factor a", "0 = 1", "1 = 2", "end", ""}, "\n")
+	_, err := c.Delta(ctx, &DeltaRequest{Spec: intSpec, Session: "shared"})
+	if err == nil || !strings.Contains(err.Error(), "400") {
+		t.Fatalf("cross-domain session reuse: err = %v, want HTTP 400", err)
+	}
+}
+
+// TestDeltaSessionLRU: the registry drops the least recently used session
+// at MaxSessions, and a dropped session transparently re-seeds.
+func TestDeltaSessionLRU(t *testing.T) {
+	s, _, c := newTestServer(t, Config{Workers: 2, MaxSessions: 1})
+	ctx := context.Background()
+	specText := deltaSpec()
+
+	if _, err := c.Delta(ctx, &DeltaRequest{Spec: specText, Session: "a",
+		Deltas: []DeltaData{{Factor: 0, Op: "insert", Tuples: [][]int{{0, 0}}, Values: []float64{5}}}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Delta(ctx, &DeltaRequest{Spec: specText, Session: "b"}); err != nil {
+		t.Fatal(err)
+	}
+	if n := s.Statsz().Server.DeltaSessions; n != 1 {
+		t.Fatalf("delta_sessions = %d, want 1", n)
+	}
+	// Session "a" was evicted: coming back re-seeds from the spec, so its
+	// earlier insert is gone and the answer is the pristine 8.
+	resp, err := c.Delta(ctx, &DeltaRequest{Spec: specText, Session: "a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, err := resp.FloatValue(); err != nil || v != 8 {
+		t.Fatalf("re-seeded session answers %v (%v), want 8", v, err)
+	}
+}

@@ -56,19 +56,21 @@ func (r *latencyRing) quantiles(qs ...float64) (out []time.Duration, max time.Du
 
 // metrics are the server-level counters behind /statsz.
 type metrics struct {
-	start    time.Time
-	requests atomic.Int64 // all requests, any endpoint
-	ok       atomic.Int64 // responses with status < 400
-	errs     atomic.Int64 // responses with status >= 400
-	inFlight atomic.Int64 // non-monitoring requests currently being handled
-	queries  atomic.Int64 // /v1/query requests
-	binary   atomic.Int64 // /v1/query requests with binary factor streams
-	rejected atomic.Int64 // /v1/query requests shed with 429 (backpressure)
-	lat      latencyRing  // /v1/query latencies
-	domFloat atomic.Int64 // executed queries per value domain
-	domInt   atomic.Int64
-	domBool  atomic.Int64
-	domTrop  atomic.Int64
+	start        time.Time
+	requests     atomic.Int64 // all requests, any endpoint
+	ok           atomic.Int64 // responses with status < 400
+	errs         atomic.Int64 // responses with status >= 400
+	inFlight     atomic.Int64 // non-monitoring requests currently being handled
+	queries      atomic.Int64 // /v1/query requests
+	binary       atomic.Int64 // /v1/query requests with binary factor streams
+	rejected     atomic.Int64 // /v1/query requests shed with 429 (backpressure)
+	deltas       atomic.Int64 // /v1/delta requests
+	deltasBinary atomic.Int64 // /v1/delta requests with binary delta streams
+	lat          latencyRing  // /v1/query + /v1/delta latencies
+	domFloat     atomic.Int64 // executed queries per value domain
+	domInt       atomic.Int64
+	domBool      atomic.Int64
+	domTrop      atomic.Int64
 }
 
 // countDomain bumps the per-domain executed-query counter.
@@ -100,6 +102,8 @@ func (m *metrics) snapshot() ServerStatz {
 			"bool":     m.domBool.Load(),
 			"tropical": m.domTrop.Load(),
 		},
+		Deltas:       m.deltas.Load(),
+		DeltasBinary: m.deltasBinary.Load(),
 		Rejected:     m.rejected.Load(),
 		LatencyP50MS: durationMS(qs[0]),
 		LatencyP99MS: durationMS(qs[1]),

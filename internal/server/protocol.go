@@ -55,6 +55,80 @@ type FactorData struct {
 	Values []float64 `json:"values"`
 }
 
+// DeltaRequest is the body of POST /v1/delta: a delta batch against an
+// evolving query session.  As JSON it is the whole body; in a binary delta
+// stream (Content-Type application/x-faq-deltas) it is the envelope header
+// (without Deltas — the delta frames carry the changes).
+type DeltaRequest struct {
+	// Spec is the query in the internal/spec format.  On the session's
+	// first request the spec's inline factor data seeds the evolving state;
+	// on later requests it identifies the query shape (and, when Session is
+	// empty, the session itself).
+	Spec string `json:"spec"`
+	// Session optionally names the evolving state.  Requests sharing a
+	// session name evolve one database; when empty, the spec text is the
+	// session key, so identical specs share state.
+	Session string `json:"session,omitempty"`
+	// Deltas is the batch, applied atomically in order: either the whole
+	// batch commits and the response carries the maintained result, or the
+	// state is untouched and the response is an error.  Binary requests
+	// must leave Deltas empty and ship delta frames instead.
+	Deltas []DeltaData `json:"deltas,omitempty"`
+	// TimeoutMS bounds the incremental run; 0 means the server default.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Workers caps executor concurrency for the session's first prepare;
+	// an established session keeps the concurrency it was prepared with.
+	Workers int `json:"workers,omitempty"`
+}
+
+// DeltaData is one batch entry: row changes against a single factor.
+type DeltaData struct {
+	// Factor is the spec-order index of the factor the rows change.
+	Factor int `json:"factor"`
+	// Op is "insert" (upsert; a zero value removes the row) or "delete"
+	// (every named row must be present).
+	Op string `json:"op"`
+	// Tuples are the changed rows, columns in the spec factor block's
+	// declaration order, exactly as in FactorData.
+	Tuples [][]int `json:"tuples"`
+	// Values are the inserted row values, parallel to Tuples; deletes
+	// carry none.  The same JSON number conventions as FactorData apply.
+	Values []float64 `json:"values,omitempty"`
+}
+
+// DeltaResponse is the body of a successful POST /v1/delta: the maintained
+// query result after the batch, plus how it was maintained.  Value/Output
+// follow the QueryResponse convention.
+type DeltaResponse struct {
+	// Domain names the value domain the spec declared.
+	Domain string `json:"domain"`
+	// Value is the scalar result (no free variables), typed as in
+	// QueryResponse.
+	Value any `json:"value,omitempty"`
+	// Output is the listing result (free variables).
+	Output *OutputData `json:"output,omitempty"`
+	// Strategy names the maintenance path the session uses: "ring"
+	// (Δ-propagation), "blocks" (affected-block re-execution) or
+	// "recompute" (full re-run).
+	Strategy string `json:"strategy"`
+	// Applied is the number of deltas committed by this request.
+	Applied int `json:"applied"`
+	// Stats are the incremental run's work counters.
+	Stats RunStats `json:"stats"`
+	// ElapsedMS is the server-side wall time of the request.
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+// FloatValue returns the scalar result of a float- or tropical-domain
+// delta response.
+func (r *DeltaResponse) FloatValue() (float64, error) { return floatOf(r.Value) }
+
+// IntValue returns the scalar result of an int-domain delta response.
+func (r *DeltaResponse) IntValue() (int64, error) { return intOf(r.Value) }
+
+// BoolValue returns the scalar result of a bool-domain delta response.
+func (r *DeltaResponse) BoolValue() (bool, error) { return boolOf(r.Value) }
+
 // QueryResponse is the body of a successful POST /v1/query.  Exactly one
 // of Value (no free variables) and Output (free variables) is set, typed
 // by Domain.
@@ -278,6 +352,21 @@ type EngineStatz struct {
 	// Runs / RunsCancelled count completed and context-aborted runs.
 	Runs          int64 `json:"runs"`
 	RunsCancelled int64 `json:"runs_cancelled"`
+	// DeltasApplied counts committed ApplyDeltas batches; the three run
+	// counters attribute them to maintenance strategies (ring
+	// Δ-propagation, affected-block re-execution, full recompute).
+	DeltasApplied   int64 `json:"deltas_applied"`
+	DeltaRingRuns   int64 `json:"delta_ring_runs"`
+	DeltaBlockRuns  int64 `json:"delta_block_runs"`
+	DeltaRecomputes int64 `json:"delta_recomputes"`
+	// TrieCache* mirror the engine-wide versioned trie cache: lookup
+	// outcomes, entries dropped by factor updates, capacity evictions and
+	// the current population.
+	TrieCacheHits          int64 `json:"trie_cache_hits"`
+	TrieCacheMisses        int64 `json:"trie_cache_misses"`
+	TrieCacheInvalidations int64 `json:"trie_cache_invalidations"`
+	TrieCacheEvictions     int64 `json:"trie_cache_evictions"`
+	TrieCacheEntries       int64 `json:"trie_cache_entries"`
 }
 
 // ServerStatz are the HTTP-level counters.  InFlight excludes the
@@ -300,6 +389,12 @@ type ServerStatz struct {
 	QueriesBinary int64 `json:"queries_binary"`
 	// QueriesByDomain counts executed queries per value domain.
 	QueriesByDomain map[string]int64 `json:"queries_by_domain"`
+	// Deltas counts POST /v1/delta requests; DeltasBinary the subset that
+	// shipped binary delta streams.  DeltaSessions is the current session
+	// registry population (LRU-bounded by Config.MaxSessions).
+	Deltas        int64 `json:"deltas"`
+	DeltasBinary  int64 `json:"deltas_binary"`
+	DeltaSessions int64 `json:"delta_sessions"`
 	// Rejected counts queries shed with 429 (backpressure).
 	Rejected int64 `json:"rejected"`
 	// LatencyP50MS / LatencyP99MS / LatencyMaxMS are percentiles over the

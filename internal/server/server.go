@@ -57,6 +57,11 @@ type Config struct {
 	// Retry-After hint instead of queueing work onto a saturated engine
 	// pool.  <= 0 means unbounded.
 	MaxInflight int
+	// MaxSessions bounds the /v1/delta session registry: beyond it the
+	// least recently used session's evolving state is dropped (a later
+	// request for it re-seeds from its spec).  <= 0 means
+	// defaultMaxSessions.
+	MaxSessions int
 }
 
 const (
@@ -72,12 +77,13 @@ type Server struct {
 	// eng is the float64 handle; engInt and engBool are core.Retype
 	// handles onto the same runtime (tropical shares eng's value type).
 	// One plan LRU, one pool, one stats block serve every domain.
-	eng     *core.Engine[float64]
-	engInt  *core.Engine[int64]
-	engBool *core.Engine[bool]
-	mux     *http.ServeMux
-	m       metrics
-	sem     chan struct{} // query-run slots; nil when MaxInflight <= 0
+	eng      *core.Engine[float64]
+	engInt   *core.Engine[int64]
+	engBool  *core.Engine[bool]
+	mux      *http.ServeMux
+	m        metrics
+	sem      chan struct{} // query-run slots; nil when MaxInflight <= 0
+	sessions *sessionRegistry
 }
 
 // Validate checks the engine-facing configuration.  New calls it; command
@@ -123,8 +129,10 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxInflight > 0 {
 		s.sem = make(chan struct{}, cfg.MaxInflight)
 	}
+	s.sessions = newSessionRegistry(cfg.MaxSessions)
 	s.m.start = time.Now()
 	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
+	s.mux.HandleFunc("POST /v1/delta", s.handleDelta)
 	s.mux.HandleFunc("GET /v1/plan", s.handlePlan)
 	s.mux.HandleFunc("POST /v1/plan", s.handlePlan)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -159,6 +167,10 @@ func (s *Server) Handler() http.Handler {
 		s.mux.ServeHTTP(cw, r)
 		if r.Method == http.MethodPost && r.URL.Path == "/v1/query" {
 			s.m.queries.Add(1)
+			s.m.lat.observe(time.Since(start))
+		}
+		if r.Method == http.MethodPost && r.URL.Path == "/v1/delta" {
+			s.m.deltas.Add(1)
 			s.m.lat.observe(time.Since(start))
 		}
 		if cw.status() < 400 {
@@ -258,6 +270,8 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 // plus the server-level metrics.
 func (s *Server) Statsz() StatszResponse {
 	es := s.eng.StatsSnapshot()
+	sv := s.m.snapshot()
+	sv.DeltaSessions = int64(s.sessions.len())
 	return StatszResponse{
 		UptimeSeconds: time.Since(s.m.start).Seconds(),
 		Engine: EngineStatz{
@@ -268,8 +282,19 @@ func (s *Server) Statsz() StatszResponse {
 			PlansCached:     es.PlansCached,
 			Runs:            es.Runs,
 			RunsCancelled:   es.RunsCancelled,
+
+			DeltasApplied:   es.DeltasApplied,
+			DeltaRingRuns:   es.DeltaRingRuns,
+			DeltaBlockRuns:  es.DeltaBlockRuns,
+			DeltaRecomputes: es.DeltaRecomputes,
+
+			TrieCacheHits:          es.TrieCacheHits,
+			TrieCacheMisses:        es.TrieCacheMisses,
+			TrieCacheInvalidations: es.TrieCacheInvalidations,
+			TrieCacheEvictions:     es.TrieCacheEvictions,
+			TrieCacheEntries:       es.TrieCacheEntries,
 		},
-		Server: s.m.snapshot(),
+		Server: sv,
 	}
 }
 

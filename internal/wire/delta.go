@@ -1,0 +1,329 @@
+// Delta frames: the binary encoding of factor row-batch changes, the wire
+// half of incremental view maintenance (POST /v1/delta).  A delta frame
+// reuses the factor frame's framing discipline — uvarint payload-length
+// prefix, exact-length validation, little-endian columns — but carries an
+// operation byte and the index of the spec factor it applies to, and a
+// delete frame ships no value column at all.
+//
+// # Delta frame layout
+//
+//	uvarint  payload length in bytes (everything after this prefix)
+//	payload:
+//	  uvarint  version        (currently 1)
+//	  byte     op             (1=insert, 2=delete)
+//	  byte     value domain   (1=float, 2=int, 3=bool, 4=tropical)
+//	  uvarint  factor index   (position in the spec's factor list)
+//	  uvarint  arity          (columns per row)
+//	  uvarint  row count
+//	  rows     row count × arity × int32, little-endian, row-major
+//	  values   insert only: row count × value, same encoding as factor
+//	           frames; a delete payload ends after the row block
+//
+// A delta stream — the request body of POST /v1/delta with Content-Type
+// application/x-faq-deltas — uses the same "FAQW" envelope as factor
+// streams (the opaque header carries the DeltaRequest JSON without
+// "deltas"), followed by delta frames instead of factor frames.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// DeltaVersion is the delta-frame version this package encodes and the
+// only version it accepts when decoding.
+const DeltaVersion = 1
+
+// DeltaContentType is the MIME type of a delta stream, accepted by
+// POST /v1/delta as an alternative to application/json.
+const DeltaContentType = "application/x-faq-deltas"
+
+// ErrDeltaOp means a delta frame declared an unknown operation byte.
+var ErrDeltaOp = errors.New("wire: unknown delta op")
+
+// DeltaOp is the operation byte of a delta frame.  The numeric values
+// match factor.DeltaOp, so frames translate to batches without mapping.
+type DeltaOp byte
+
+// The wire delta operations.
+const (
+	// DeltaOpInvalid is the zero DeltaOp; never valid on the wire.
+	DeltaOpInvalid DeltaOp = 0
+	// DeltaOpInsert upserts the frame's rows with its values.
+	DeltaOpInsert DeltaOp = 1
+	// DeltaOpDelete removes the frame's rows; the frame has no values.
+	DeltaOpDelete DeltaOp = 2
+)
+
+// Valid reports whether o is a defined delta operation.
+func (o DeltaOp) Valid() bool { return o == DeltaOpInsert || o == DeltaOpDelete }
+
+// String names the operation ("insert", "delete").
+func (o DeltaOp) String() string {
+	switch o {
+	case DeltaOpInsert:
+		return "insert"
+	case DeltaOpDelete:
+		return "delete"
+	}
+	return fmt.Sprintf("DeltaOp(%d)", byte(o))
+}
+
+// DeltaFrame is one decoded (or to-be-encoded) row-batch change against
+// one factor of a prepared query.  Insert frames carry exactly one value
+// column, selected by Domain, parallel to the rows; delete frames carry
+// none.
+type DeltaFrame struct {
+	// Op says whether the rows are upserted or deleted.
+	Op DeltaOp
+	// Domain selects the value column of insert frames, exactly as in
+	// Frame.  Delete frames still declare it so the receiver can check it
+	// against the spec's domain before touching any data.
+	Domain Domain
+	// Factor is the index of the target factor in the spec's factor list.
+	Factor int
+	// Arity is the number of columns per row.
+	Arity int
+	// Rows is the row-major tuple block: NumRows() × Arity cells.
+	Rows []int32
+	// Floats is the insert value column of DomainFloat/DomainTropical frames.
+	Floats []float64
+	// Ints is the insert value column of DomainInt frames.
+	Ints []int64
+	// Bools is the insert value column of DomainBool frames.
+	Bools []bool
+}
+
+// NumRows returns the number of rows in the frame.
+func (f *DeltaFrame) NumRows() int {
+	if f.Op == DeltaOpDelete {
+		if f.Arity == 0 {
+			return 0
+		}
+		return len(f.Rows) / f.Arity
+	}
+	switch f.Domain {
+	case DomainFloat, DomainTropical:
+		return len(f.Floats)
+	case DomainInt:
+		return len(f.Ints)
+	case DomainBool:
+		return len(f.Bools)
+	}
+	return 0
+}
+
+// check validates internal consistency before encoding.
+func (f *DeltaFrame) check() error {
+	if !f.Op.Valid() {
+		return fmt.Errorf("%w: %d", ErrDeltaOp, byte(f.Op))
+	}
+	if !f.Domain.Valid() {
+		return fmt.Errorf("%w: %d", ErrDomain, byte(f.Domain))
+	}
+	if f.Factor < 0 {
+		return fmt.Errorf("wire: negative factor index %d", f.Factor)
+	}
+	if f.Arity < 0 || f.Arity > MaxArity {
+		return fmt.Errorf("wire: arity %d out of range [0, %d]", f.Arity, MaxArity)
+	}
+	var wrong bool
+	switch {
+	case f.Op == DeltaOpDelete:
+		wrong = f.Floats != nil || f.Ints != nil || f.Bools != nil
+	case f.Domain == DomainFloat || f.Domain == DomainTropical:
+		wrong = f.Ints != nil || f.Bools != nil
+	case f.Domain == DomainInt:
+		wrong = f.Floats != nil || f.Bools != nil
+	case f.Domain == DomainBool:
+		wrong = f.Floats != nil || f.Ints != nil
+	}
+	if wrong {
+		return fmt.Errorf("wire: delta frame carries a value column foreign to %v/%v", f.Op, f.Domain)
+	}
+	if f.Arity == 0 {
+		if len(f.Rows) != 0 {
+			return fmt.Errorf("wire: nullary delta frame carries %d row cells", len(f.Rows))
+		}
+		return nil
+	}
+	if len(f.Rows)%f.Arity != 0 {
+		return fmt.Errorf("wire: row block has %d cells for arity %d", len(f.Rows), f.Arity)
+	}
+	if f.Op == DeltaOpInsert && len(f.Rows) != f.NumRows()*f.Arity {
+		return fmt.Errorf("wire: row block has %d cells for %d rows of arity %d",
+			len(f.Rows), f.NumRows(), f.Arity)
+	}
+	return nil
+}
+
+// EncodeDelta writes one delta frame: the uvarint payload-length prefix,
+// the header and the columns, in a single Write.
+func (e *Encoder) EncodeDelta(f *DeltaFrame) error {
+	if err := f.check(); err != nil {
+		return err
+	}
+	n := f.NumRows()
+	var hdr [4*binary.MaxVarintLen64 + 2]byte
+	h := binary.PutUvarint(hdr[:], DeltaVersion)
+	hdr[h] = byte(f.Op)
+	h++
+	hdr[h] = byte(f.Domain)
+	h++
+	h += binary.PutUvarint(hdr[h:], uint64(f.Factor))
+	h += binary.PutUvarint(hdr[h:], uint64(f.Arity))
+	h += binary.PutUvarint(hdr[h:], uint64(n))
+	vsize := 0
+	if f.Op == DeltaOpInsert {
+		vsize = f.Domain.ValueSize()
+	}
+	payload := h + 4*len(f.Rows) + vsize*n
+
+	e.buf = e.buf[:0]
+	if cap(e.buf) < payload+binary.MaxVarintLen64 {
+		e.buf = make([]byte, 0, payload+binary.MaxVarintLen64)
+	}
+	e.buf = binary.AppendUvarint(e.buf, uint64(payload))
+	e.buf = append(e.buf, hdr[:h]...)
+	for _, x := range f.Rows {
+		e.buf = binary.LittleEndian.AppendUint32(e.buf, uint32(x))
+	}
+	if f.Op == DeltaOpInsert {
+		switch f.Domain {
+		case DomainFloat, DomainTropical:
+			for _, v := range f.Floats {
+				e.buf = binary.LittleEndian.AppendUint64(e.buf, math.Float64bits(v))
+			}
+		case DomainInt:
+			for _, v := range f.Ints {
+				e.buf = binary.LittleEndian.AppendUint64(e.buf, uint64(v))
+			}
+		case DomainBool:
+			for _, v := range f.Bools {
+				if v {
+					e.buf = append(e.buf, 1)
+				} else {
+					e.buf = append(e.buf, 0)
+				}
+			}
+		}
+	}
+	_, err := e.w.Write(e.buf)
+	return err
+}
+
+// DecodeDelta reads one delta frame.  A clean end of input returns io.EOF;
+// an end inside a frame returns ErrTruncated.  The payload length must
+// equal the header plus the columns exactly, as for factor frames.
+func (d *Decoder) DecodeDelta() (*DeltaFrame, error) {
+	payload, err := binary.ReadUvarint(d.br)
+	if err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("%w: reading delta frame length: %w", ErrTruncated, err)
+	}
+	if payload > uint64(d.max) {
+		return nil, fmt.Errorf("%w: %d-byte delta frame (limit %d)", ErrTooLarge, payload, d.max)
+	}
+	if uint64(cap(d.buf)) < payload {
+		d.buf = make([]byte, payload)
+	}
+	buf := d.buf[:payload]
+	if _, err := io.ReadFull(d.br, buf); err != nil {
+		return nil, fmt.Errorf("%w: delta frame declared %d bytes: %w", ErrTruncated, payload, err)
+	}
+
+	v, h := binary.Uvarint(buf)
+	if h <= 0 {
+		return nil, fmt.Errorf("%w: unreadable version", ErrFrameLength)
+	}
+	if v != DeltaVersion {
+		return nil, fmt.Errorf("%w: delta frame version %d (want %d)", ErrVersion, v, DeltaVersion)
+	}
+	if h+1 >= len(buf) {
+		return nil, fmt.Errorf("%w: header ends before op/domain bytes", ErrFrameLength)
+	}
+	op := DeltaOp(buf[h])
+	h++
+	if !op.Valid() {
+		return nil, fmt.Errorf("%w: %d", ErrDeltaOp, byte(op))
+	}
+	dom := Domain(buf[h])
+	h++
+	if !dom.Valid() {
+		return nil, fmt.Errorf("%w: %d", ErrDomain, byte(dom))
+	}
+	idx, k := binary.Uvarint(buf[h:])
+	if k <= 0 {
+		return nil, fmt.Errorf("%w: unreadable factor index", ErrFrameLength)
+	}
+	h += k
+	if idx > uint64(d.max) {
+		return nil, fmt.Errorf("%w: factor index %d (limit %d)", ErrTooLarge, idx, d.max)
+	}
+	arity, k := binary.Uvarint(buf[h:])
+	if k <= 0 {
+		return nil, fmt.Errorf("%w: unreadable arity", ErrFrameLength)
+	}
+	h += k
+	if arity > MaxArity {
+		return nil, fmt.Errorf("%w: arity %d (limit %d)", ErrTooLarge, arity, MaxArity)
+	}
+	rows, k := binary.Uvarint(buf[h:])
+	if k <= 0 {
+		return nil, fmt.Errorf("%w: unreadable row count", ErrFrameLength)
+	}
+	h += k
+
+	if rows > uint64(d.max) {
+		return nil, fmt.Errorf("%w: %d rows (limit %d)", ErrTooLarge, rows, d.max)
+	}
+	vsize := uint64(0)
+	if op == DeltaOpInsert {
+		vsize = uint64(dom.ValueSize())
+	}
+	need := rows * (4*arity + vsize) // no overflow: rows ≤ max, arity ≤ MaxArity
+	if need != uint64(len(buf)-h) {
+		return nil, fmt.Errorf("%w: %d delta rows of arity %d need %d column bytes, frame carries %d",
+			ErrFrameLength, rows, arity, need, len(buf)-h)
+	}
+
+	f := &DeltaFrame{Op: op, Domain: dom, Factor: int(idx), Arity: int(arity)}
+	f.Rows = make([]int32, rows*arity)
+	for i := range f.Rows {
+		f.Rows[i] = int32(binary.LittleEndian.Uint32(buf[h+4*i:]))
+	}
+	h += 4 * len(f.Rows)
+	if op == DeltaOpDelete {
+		return f, nil
+	}
+	switch dom {
+	case DomainFloat, DomainTropical:
+		f.Floats = make([]float64, rows)
+		for i := range f.Floats {
+			f.Floats[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[h+8*i:]))
+		}
+	case DomainInt:
+		f.Ints = make([]int64, rows)
+		for i := range f.Ints {
+			f.Ints[i] = int64(binary.LittleEndian.Uint64(buf[h+8*i:]))
+		}
+	case DomainBool:
+		f.Bools = make([]bool, rows)
+		for i := range f.Bools {
+			switch buf[h+i] {
+			case 0:
+			case 1:
+				f.Bools[i] = true
+			default:
+				return nil, fmt.Errorf("%w: bool value %d at row %d (want 0 or 1)",
+					ErrFrameLength, buf[h+i], i)
+			}
+		}
+	}
+	return f, nil
+}

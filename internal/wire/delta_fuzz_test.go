@@ -1,0 +1,156 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"math"
+	"testing"
+)
+
+// buildDeltaFrame assembles a consistent delta frame from raw fuzzed bytes:
+// the row block is cut to complete rows, the value column (insert only) to
+// complete values, and the row count to the shorter of the two, so every
+// generated frame is one the encoder must accept.
+func buildDeltaFrame(opB, domB, arityB uint8, factorIdx uint16, rowBytes, valBytes []byte) *DeltaFrame {
+	op := DeltaOp(opB%2 + 1)
+	dom := Domain(domB%4 + 1)
+	arity := int(arityB % 4)
+	f := &DeltaFrame{Op: op, Domain: dom, Factor: int(factorIdx), Arity: arity}
+	var n int
+	if op == DeltaOpInsert {
+		n = len(valBytes) / dom.ValueSize()
+	} else if arity > 0 {
+		n = len(rowBytes) / (4 * arity)
+	}
+	if arity > 0 {
+		if nr := len(rowBytes) / (4 * arity); nr < n {
+			n = nr
+		}
+	} else if op == DeltaOpDelete {
+		n = 0
+	}
+	f.Rows = make([]int32, n*arity)
+	for i := range f.Rows {
+		f.Rows[i] = int32(binary.LittleEndian.Uint32(rowBytes[4*i:]))
+	}
+	if op != DeltaOpInsert {
+		return f
+	}
+	switch dom {
+	case DomainFloat, DomainTropical:
+		f.Floats = make([]float64, n)
+		for i := range f.Floats {
+			f.Floats[i] = math.Float64frombits(binary.LittleEndian.Uint64(valBytes[8*i:]))
+		}
+	case DomainInt:
+		f.Ints = make([]int64, n)
+		for i := range f.Ints {
+			f.Ints[i] = int64(binary.LittleEndian.Uint64(valBytes[8*i:]))
+		}
+	case DomainBool:
+		f.Bools = make([]bool, n)
+		for i := range f.Bools {
+			f.Bools[i] = valBytes[i]&1 == 1
+		}
+	}
+	return f
+}
+
+// FuzzDeltaFrameRoundTrip holds the delta codec to the IVM wire contract:
+// any consistent hand-built batch encodes, decodes back bit-identically
+// (op, domain, factor index, rows and value bits), and a delete frame never
+// grows a value column.  NaNs, negative cells and duplicate rows all pass
+// through untouched — semantic validation belongs to factor.ApplyDelta, not
+// the codec.
+func FuzzDeltaFrameRoundTrip(f *testing.F) {
+	f.Add(uint8(1), uint8(1), uint8(2), uint16(0), []byte{0, 0, 0, 0, 1, 0, 0, 0}, []byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add(uint8(0), uint8(2), uint8(1), uint16(3), []byte{255, 255, 255, 255}, []byte{})
+	f.Add(uint8(1), uint8(3), uint8(3), uint16(9), make([]byte, 24), []byte{1, 0})
+	f.Add(uint8(1), uint8(4), uint8(0), uint16(1), []byte{}, []byte{0, 0, 0, 0, 0, 0, 0, 64})
+	f.Fuzz(func(t *testing.T, opB, domB, arityB uint8, factorIdx uint16, rowBytes, valBytes []byte) {
+		frame := buildDeltaFrame(opB, domB, arityB, factorIdx, rowBytes, valBytes)
+
+		var buf bytes.Buffer
+		if err := NewEncoder(&buf).EncodeDelta(frame); err != nil {
+			t.Fatalf("encode rejected a consistent delta frame: %v", err)
+		}
+		dec := NewDecoder(&buf)
+		got, err := dec.DecodeDelta()
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if _, err := dec.DecodeDelta(); err != io.EOF {
+			t.Fatalf("trailing read: %v, want io.EOF", err)
+		}
+
+		if got.Op != frame.Op || got.Domain != frame.Domain || got.Factor != frame.Factor ||
+			got.Arity != frame.Arity || got.NumRows() != frame.NumRows() {
+			t.Fatalf("header changed: %v/%v/%d/%d/%d, want %v/%v/%d/%d/%d",
+				got.Op, got.Domain, got.Factor, got.Arity, got.NumRows(),
+				frame.Op, frame.Domain, frame.Factor, frame.Arity, frame.NumRows())
+		}
+		for i := range frame.Rows {
+			if got.Rows[i] != frame.Rows[i] {
+				t.Fatalf("row cell %d: %d != %d", i, got.Rows[i], frame.Rows[i])
+			}
+		}
+		if frame.Op == DeltaOpDelete {
+			if got.Floats != nil || got.Ints != nil || got.Bools != nil {
+				t.Fatal("delete frame decoded with a value column")
+			}
+			return
+		}
+		for i := range frame.Floats {
+			if math.Float64bits(got.Floats[i]) != math.Float64bits(frame.Floats[i]) {
+				t.Fatalf("float %d: bits changed", i)
+			}
+		}
+		for i := range frame.Ints {
+			if got.Ints[i] != frame.Ints[i] {
+				t.Fatalf("int %d: %d != %d", i, got.Ints[i], frame.Ints[i])
+			}
+		}
+		for i := range frame.Bools {
+			if got.Bools[i] != frame.Bools[i] {
+				t.Fatalf("bool %d: %v != %v", i, got.Bools[i], frame.Bools[i])
+			}
+		}
+	})
+}
+
+// FuzzDeltaDecode throws raw bytes at the delta decoder: it must never
+// panic, and every frame it accepts must survive re-encode/re-decode with
+// an identical header.
+func FuzzDeltaDecode(f *testing.F) {
+	var seed bytes.Buffer
+	_ = NewEncoder(&seed).EncodeDelta(&DeltaFrame{Op: DeltaOpInsert, Domain: DomainFloat,
+		Arity: 2, Rows: []int32{0, 1, 2, 3}, Floats: []float64{1, 2}})
+	f.Add(seed.Bytes())
+	seed.Reset()
+	_ = NewEncoder(&seed).EncodeDelta(&DeltaFrame{Op: DeltaOpDelete, Domain: DomainInt,
+		Factor: 2, Arity: 1, Rows: []int32{7}})
+	f.Add(seed.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0x24, 1, 1, 1, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec := NewDecoder(bytes.NewReader(data))
+		dec.SetMaxFrameBytes(1 << 20) // keep hostile length prefixes cheap
+		frame, err := dec.DecodeDelta()
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := NewEncoder(&buf).EncodeDelta(frame); err != nil {
+			t.Fatalf("decoded delta frame does not re-encode: %v", err)
+		}
+		again, err := NewDecoder(&buf).DecodeDelta()
+		if err != nil {
+			t.Fatalf("re-decode: %v", err)
+		}
+		if again.Op != frame.Op || again.Domain != frame.Domain || again.Factor != frame.Factor ||
+			again.Arity != frame.Arity || again.NumRows() != frame.NumRows() {
+			t.Fatalf("re-decode changed the header")
+		}
+	})
+}

@@ -6,6 +6,7 @@
 #   scripts/faqd_harness.sh smoke                  # make serve-smoke / CI gate
 #   scripts/faqd_harness.sh bench BENCH_PR3.json       # serving benchmark
 #   scripts/faqd_harness.sh benchwire BENCH_PR5.json   # JSON vs binary factor bodies
+#   scripts/faqd_harness.sh benchdelta BENCH_PR6.json  # incremental vs full refresh
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -50,8 +51,17 @@ case "$mode" in
     "$bin/faqload" -addr "$addr" -concurrency 8 -duration 2s -wire both \
       -shapes triangle,triangle-fresh,triangle-int,triangle-tropical -json "$json_out"
     ;;
+  benchdelta)
+    # The incremental-maintenance comparison: triangle-fresh reprices the
+    # whole database per request (binary factor bodies — the PR 5
+    # baseline); triangle-delta ships only row changes to per-client
+    # /v1/delta sessions, every response verified row for row against a
+    # local recompute.
+    "$bin/faqload" -addr "$addr" -concurrency 8 -duration 2s -wire both \
+      -shapes triangle-fresh,triangle-delta -json "$json_out"
+    ;;
   *)
-    echo "usage: $0 smoke|bench|benchwire [json-out]" >&2
+    echo "usage: $0 smoke|bench|benchwire|benchdelta [json-out]" >&2
     exit 2
     ;;
 esac
