@@ -1,12 +1,13 @@
 GO ?= go
 
-.PHONY: ci vet build test race bench bench-baseline bench-layout bench-serving bench-wire bench-delta serve-smoke fuzz fuzz-delta lint doccheck fmt-check
+.PHONY: ci vet build test race bench bench-baseline bench-layout bench-serving bench-wire bench-delta bench-store serve-smoke fuzz fuzz-delta fuzz-store lint doccheck fmt-check
 
 # Full local CI pass: what .github/workflows/ci.yml runs.
 ci: lint build test race bench serve-smoke
 
 # Docs/lint gate: formatting, vet, and a doc comment on every exported
-# symbol of the public API surface (faq.go, internal/server, internal/wire).
+# symbol of the public API surface (faq.go, internal/server, internal/wire,
+# internal/store).
 lint: fmt-check vet doccheck
 
 fmt-check:
@@ -14,7 +15,7 @@ fmt-check:
 	  echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 doccheck:
-	$(GO) run ./cmd/doccheck . ./internal/server ./internal/wire
+	$(GO) run ./cmd/doccheck . ./internal/server ./internal/wire ./internal/store
 
 vet:
 	$(GO) vet ./...
@@ -74,6 +75,14 @@ bench-wire:
 bench-delta:
 	./scripts/faqd_harness.sh benchdelta BENCH_PR6.json
 
+# Dataset-store benchmark: triangle-fresh (full factor payload per request,
+# JSON and binary — the ship-data baselines) vs triangle-dataset (factors
+# uploaded once, queried by name from the mmap-served store with zero
+# factor bytes on the wire); BENCH_PR7.json is the comparable artifact
+# (non-blocking in CI).
+bench-store:
+	./scripts/faqd_harness.sh benchstore BENCH_PR7.json
+
 # Short fuzz session for the DIMACS parser.
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzParseDIMACS -fuzztime 30s ./internal/cnf/
@@ -85,3 +94,8 @@ fuzz-delta:
 	$(GO) test -run '^$$' -fuzz FuzzDeltaFrameRoundTrip -fuzztime 5s ./internal/wire/
 	$(GO) test -run '^$$' -fuzz FuzzDeltaDecode -fuzztime 5s ./internal/wire/
 	$(GO) test -run '^$$' -fuzz FuzzApplyDeltas -fuzztime 5s ./internal/core/
+
+# Store fuzz smoke: the dataset-file opener against arbitrary bytes — every
+# corruption must surface as a typed error, never a panic or a bad read.
+fuzz-store:
+	$(GO) test -run '^$$' -fuzz FuzzStoreOpen -fuzztime 5s ./internal/store/

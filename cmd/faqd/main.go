@@ -11,15 +11,22 @@
 //
 //	faqd [-addr :8080] [-workers n] [-plan-cache n] [-planner auto]
 //	     [-timeout 30s] [-max-timeout 0] [-max-inflight n] [-max-sessions n]
-//	     [-addr-file path]
+//	     [-addr-file path] [-data dir]
 //
 // Endpoints:
 //
 //	POST /v1/query   run a spec-format query (JSON or binary factor stream)
 //	POST /v1/delta   apply a delta batch to an evolving query session
 //	GET  /v1/plan    plan report (?example=6.2 | POST {"spec": ...})
+//	PUT  /v1/datasets/{name}    store a factor stream as a named dataset
+//	GET  /v1/datasets[/{name}]  list datasets / describe one
+//	DELETE /v1/datasets/{name}  remove a dataset
 //	GET  /healthz    liveness
 //	GET  /statsz     engine + server counters, latency percentiles
+//
+// With -data <dir>, uploaded datasets persist as checksummed .faqds files
+// under the directory and are memory-mapped back on restart: a spec with
+// `use <dataset>` queries them with zero factor bytes on the wire.
 //
 // -addr :0 picks a free port; the bound address is printed on stdout and,
 // with -addr-file, written to a file so scripts can find it.  SIGINT and
@@ -54,6 +61,7 @@ type config struct {
 	drainGrace  time.Duration
 	maxInflight int
 	maxSessions int
+	dataDir     string
 }
 
 // validate delegates to the one authoritative check in server.Config, so
@@ -75,6 +83,7 @@ func main() {
 	flag.DurationVar(&cfg.drainGrace, "drain-grace", 30*time.Second, "shutdown drain budget for in-flight queries")
 	flag.IntVar(&cfg.maxInflight, "max-inflight", 0, "bound concurrent query runs; beyond it respond 429 (0 = unbounded)")
 	flag.IntVar(&cfg.maxSessions, "max-sessions", 0, "bound the delta-session registry, LRU-evicting beyond it (0 = default 256)")
+	flag.StringVar(&cfg.dataDir, "data", "", "dataset directory: persist uploads and mmap-serve them by name (empty disables)")
 	flag.Parse()
 	if err := cfg.validate(); err != nil {
 		fmt.Fprintf(os.Stderr, "faqd: %v\n", err)
@@ -108,11 +117,19 @@ func run(ctx context.Context, cfg config, out *os.File) error {
 		MaxTimeout:     cfg.maxTimeout,
 		MaxInflight:    cfg.maxInflight,
 		MaxSessions:    cfg.maxSessions,
+		DataDir:        cfg.dataDir,
 	})
 	if err != nil {
 		return err
 	}
 	defer srv.Close()
+	if st := srv.Store(); st != nil {
+		fmt.Fprintf(out, "faqd: dataset store %s: %d datasets, %d bytes mapped\n",
+			cfg.dataDir, st.Len(), st.BytesMapped())
+		for _, msg := range st.LoadErrors() {
+			log.Printf("faqd: dataset load: %s", msg)
+		}
+	}
 
 	ln, err := net.Listen("tcp", cfg.addr)
 	if err != nil {

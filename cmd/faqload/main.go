@@ -14,7 +14,10 @@
 // Shapes: triangle, triangle-fresh (same spec, fresh factor data per
 // request), star, chain, triangle-int (the int domain), triangle-tropical
 // (the tropical min-plus domain), triangle-delta (per-client /v1/delta
-// sessions cycling insert/delete batches that return to baseline).  -wire
+// sessions cycling insert/delete batches that return to baseline),
+// triangle-dataset (the triangle data uploaded once as a named dataset,
+// then queried by name with zero factor bytes on the wire — needs a
+// daemon started with -data).  -wire
 // selects the encoding of fresh factor or delta data: json (the default),
 // binary (the internal/wire framing), or both — which drives each
 // data-shipping shape twice and labels the binary row "<shape>+bin", the
@@ -33,6 +36,7 @@ import (
 	"math"
 	"net/http"
 	"os"
+	"os/exec"
 	"sort"
 	"strings"
 	"sync"
@@ -46,15 +50,16 @@ import (
 )
 
 type config struct {
-	addr        string
-	shapes      string
-	concurrency int
-	duration    time.Duration
-	dom         int
-	wire        string
-	jsonOut     string
-	smoke       bool
-	wait        time.Duration
+	addr         string
+	shapes       string
+	concurrency  int
+	duration     time.Duration
+	dom          int
+	wire         string
+	jsonOut      string
+	smoke        bool
+	smokeDataset string
+	wait         time.Duration
 }
 
 func (c config) validate() error {
@@ -75,6 +80,11 @@ func (c config) validate() error {
 	default:
 		return fmt.Errorf("-wire must be json, binary or both, got %q", c.wire)
 	}
+	switch c.smokeDataset {
+	case "", "put", "cold":
+	default:
+		return fmt.Errorf("-smoke-dataset must be put or cold, got %q", c.smokeDataset)
+	}
 	return nil
 }
 
@@ -88,6 +98,9 @@ type workload struct {
 	binary  bool                // ship factors/deltas as wire frames, not JSON
 	wireDom wire.Domain         // frame domain when binary
 	verify  func(*server.QueryResponse) error
+	// setup runs once before the drive — dataset workloads upload their
+	// factors here, so the drive itself ships zero factor bytes.
+	setup func(ctx context.Context, client *server.Client) error
 	// Delta workloads drive /v1/delta instead of /v1/query: each client
 	// owns a session and cycles through steps, verifying the maintained
 	// output row for row at every one.  seedVerify checks the session's
@@ -123,10 +136,23 @@ type shapeResult struct {
 // benchReport is the BENCH_PR*.json payload.
 type benchReport struct {
 	Tool        string                 `json:"tool"`
+	GitSHA      string                 `json:"git_sha,omitempty"`
+	UnixTime    int64                  `json:"unix_time"`
 	Addr        string                 `json:"addr"`
 	Dom         int                    `json:"dom"`
 	Results     []shapeResult          `json:"results"`
 	FinalStatsz *server.StatszResponse `json:"final_statsz,omitempty"`
+}
+
+// gitSHA resolves the working tree's commit, best-effort: reports compare
+// across commits, so the stamp matters, but a missing git is no reason to
+// fail a load run.
+func gitSHA() string {
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
 }
 
 func main() {
@@ -139,6 +165,7 @@ func main() {
 	flag.StringVar(&cfg.wire, "wire", "json", "fresh-factor encoding: json, binary, or both (drives data shapes twice)")
 	flag.StringVar(&cfg.jsonOut, "json", "", "write the benchmark report to this file")
 	flag.BoolVar(&cfg.smoke, "smoke", false, "smoke mode: healthz + one verified query, then exit")
+	flag.StringVar(&cfg.smokeDataset, "smoke-dataset", "", "dataset smoke mode: put (upload + verified dataset query) or cold (verify a restart-surviving dataset), then exit")
 	flag.DurationVar(&cfg.wait, "wait", 10*time.Second, "how long to wait for the daemon to become healthy")
 	flag.Parse()
 	if err := cfg.validate(); err != nil {
@@ -168,12 +195,16 @@ func run(cfg config, out *os.File) error {
 		return err
 	}
 
+	if cfg.smokeDataset != "" {
+		return smokeDataset(ctx, client, cfg, out)
+	}
 	if cfg.smoke {
 		return smoke(ctx, client, cfg, out)
 	}
 
 	var report benchReport
 	report.Tool, report.Addr, report.Dom = "faqload", cfg.addr, cfg.dom
+	report.GitSHA, report.UnixTime = gitSHA(), time.Now().Unix()
 	fmt.Fprintf(out, "%-20s %6s %5s %8s %6s %9s %9s %9s %9s\n",
 		"shape", "wire", "conc", "reqs", "errs", "rps", "p50(ms)", "p99(ms)", "max(ms)")
 	for _, name := range strings.Split(cfg.shapes, ",") {
@@ -184,6 +215,11 @@ func run(cfg config, out *os.File) error {
 		w, err := buildWorkload(name, cfg.dom)
 		if err != nil {
 			return err
+		}
+		if w.setup != nil {
+			if err := w.setup(ctx, client); err != nil {
+				return fmt.Errorf("shape %s setup: %v", name, err)
+			}
 		}
 		for _, v := range encodings(w, cfg.wire) {
 			res, err := drive(ctx, client, v, cfg)
@@ -534,8 +570,10 @@ func buildWorkload(name string, dom int) (workload, error) {
 		return tropicalWorkload(name, tropicalTriangleSpec(dom))
 	case "triangle-delta":
 		return deltaWorkload(name, dom)
+	case "triangle-dataset":
+		return datasetWorkload(name, dom)
 	default:
-		return w, fmt.Errorf("unknown shape %q (want triangle, triangle-fresh, star, chain, triangle-int, triangle-tropical or triangle-delta)", name)
+		return w, fmt.Errorf("unknown shape %q (want triangle, triangle-fresh, star, chain, triangle-int, triangle-tropical, triangle-delta or triangle-dataset)", name)
 	}
 
 	q, err := spec.Parse(strings.NewReader(w.spec))
@@ -741,6 +779,100 @@ func deltaOutputVerifier(want *factor.Factor[float64]) func(*server.DeltaRespons
 		}
 		return nil
 	}
+}
+
+// triangleEdgeFrame is the triangleSpec edge relation as one wire frame:
+// the upload body of dataset workloads.
+func triangleEdgeFrame(dom int) *wire.Frame {
+	f := &wire.Frame{Domain: wire.DomainFloat, Arity: 2}
+	for a := 0; a < dom; a++ {
+		for c := 0; c < dom; c++ {
+			if (a*7+c*3)%5 == 0 && a != c {
+				f.Rows = append(f.Rows, int32(a), int32(c))
+				f.Floats = append(f.Floats, 1)
+			}
+		}
+	}
+	return f
+}
+
+// datasetTriangleSpec is the triangle query against a resident dataset:
+// same shape and data as triangleSpec, zero factor bytes in the spec.
+func datasetTriangleSpec(name string, dom int) string {
+	return fmt.Sprintf("use %s\nvar x %d sum\nvar y %d sum\nvar z %d sum\n"+
+		"factor x y @0\nfactor y z @1\nfactor x z @2\n", name, dom, dom, dom)
+}
+
+// datasetName keys the uploaded triangle dataset by domain size, so runs
+// with different -dom never read each other's data.
+func datasetName(dom int) string { return fmt.Sprintf("faqload-tri-%d", dom) }
+
+// datasetWorkload builds the triangle-dataset drive target: setup uploads
+// the triangle edge relations as a named dataset, and every request runs
+// the `use`-spec against the server's resident mapped factors — the
+// query-by-name path bench-store compares against triangle-fresh.  The
+// oracle is the same local solve as "triangle" (identical data), so each
+// response is verified bit for bit.
+func datasetWorkload(name string, dom int) (workload, error) {
+	dsName := datasetName(dom)
+	w := workload{name: name, spec: datasetTriangleSpec(dsName, dom), wireDom: wire.DomainFloat}
+	q, err := spec.Parse(strings.NewReader(triangleSpec(dom)))
+	if err != nil {
+		return w, fmt.Errorf("shape %s: %v", name, err)
+	}
+	want, err := solveScalar(q)
+	if err != nil {
+		return w, fmt.Errorf("shape %s oracle: %v", name, err)
+	}
+	w.verify = floatVerifier(want)
+	w.setup = func(ctx context.Context, client *server.Client) error {
+		f := triangleEdgeFrame(dom)
+		_, err := client.PutDataset(ctx, dsName, []*wire.Frame{f, f, f})
+		return err
+	}
+	return w, nil
+}
+
+// smokeDataset is the persistence handshake of the serve-smoke gate.  In
+// "put" mode it uploads the triangle dataset and runs one verified
+// dataset query; in "cold" mode it uploads nothing — the dataset must
+// already be resident, loaded from disk by a restarted daemon — and runs
+// the same verified query, proving the warm restart serves correct
+// results from the mapped file.
+func smokeDataset(ctx context.Context, client *server.Client, cfg config, out *os.File) error {
+	w, err := buildWorkload("triangle-dataset", cfg.dom)
+	if err != nil {
+		return err
+	}
+	if cfg.smokeDataset == "put" {
+		if err := w.setup(ctx, client); err != nil {
+			return err
+		}
+	}
+	resp, err := client.Query(ctx, &server.QueryRequest{Spec: w.spec})
+	if err != nil {
+		return err
+	}
+	if err := w.verify(resp); err != nil {
+		return fmt.Errorf("dataset smoke query (%s): %v", cfg.smokeDataset, err)
+	}
+	st, err := client.Statsz(ctx)
+	if err != nil {
+		return err
+	}
+	if st.Store == nil {
+		return fmt.Errorf("dataset smoke: /statsz reports no store section")
+	}
+	if st.Store.Datasets < 1 {
+		return fmt.Errorf("dataset smoke: /statsz reports %d datasets, want >= 1", st.Store.Datasets)
+	}
+	if st.Store.DatasetQueries < 1 {
+		return fmt.Errorf("dataset smoke: /statsz reports %d dataset queries, want >= 1", st.Store.DatasetQueries)
+	}
+	v, _ := resp.FloatValue()
+	fmt.Fprintf(out, "dataset smoke ok (%s): value=%g datasets=%d bytes_mapped=%d dataset_queries=%d\n",
+		cfg.smokeDataset, v, st.Store.Datasets, st.Store.BytesMapped, st.Store.DatasetQueries)
+	return nil
 }
 
 // solveScalar runs the local single-threaded oracle.

@@ -1,0 +1,36 @@
+package factor
+
+import (
+	"fmt"
+
+	"github.com/faqdb/faq/internal/semiring"
+)
+
+// NewView builds a factor over caller-owned row/value storage without
+// copying or mutating it — the zero-copy construction path for factors
+// served straight out of memory-mapped dataset segments.  Unlike NewRows it
+// takes no ownership and performs no compaction or re-sort: the block must
+// already satisfy every Factor invariant (rows strictly sorted and
+// duplicate-free, values non-zero), and construction fails if it does not.
+// The backing slices may live on read-only pages; NewView never writes to
+// them, and neither do the engine's read paths (trie builds copy or alias
+// them read-only).
+func NewView[V any](d *semiring.Domain[V], vars []int, rows []int32, values []V) (*Factor[V], error) {
+	if err := checkVars(vars); err != nil {
+		return nil, err
+	}
+	if len(rows) != len(values)*len(vars) {
+		return nil, fmt.Errorf("factor: row block has %d cells for %d values of arity %d",
+			len(rows), len(values), len(vars))
+	}
+	for i, v := range values {
+		if d.IsZero(v) {
+			return nil, fmt.Errorf("factor: view value %d is the domain zero", i)
+		}
+	}
+	f := &Factor[V]{Vars: vars, Values: values, rows: rows}
+	if !f.strictlySorted() {
+		return nil, fmt.Errorf("factor: view rows not in strict lexicographic order")
+	}
+	return f, nil
+}

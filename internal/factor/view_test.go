@@ -1,0 +1,92 @@
+package factor
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/faqdb/faq/internal/semiring"
+)
+
+func TestNewViewAdoptsCanonicalColumns(t *testing.T) {
+	d := semiring.Float()
+	rows := []int32{0, 1, 2, 0, 2, 5}
+	values := []float64{1.5, 2, 3}
+	f, err := NewView(d, []int{0, 1}, rows, values)
+	if err != nil {
+		t.Fatalf("NewView: %v", err)
+	}
+	// Zero copy: the factor must alias the caller's slices, not copies.
+	if &f.Values[0] != &values[0] || &f.rows[0] != &rows[0] {
+		t.Fatal("NewView copied its columns")
+	}
+	if f.Size() != 3 {
+		t.Fatalf("NumRows = %d, want 3", f.Size())
+	}
+	got := f.Tuples()
+	want := [][]int{{0, 1}, {2, 0}, {2, 5}}
+	for i := range want {
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("Tuples = %v, want %v", got, want)
+			}
+		}
+	}
+}
+
+func TestNewViewEmpty(t *testing.T) {
+	f, err := NewView(semiring.Float(), []int{0, 1}, nil, nil)
+	if err != nil {
+		t.Fatalf("NewView empty: %v", err)
+	}
+	if f.Size() != 0 {
+		t.Fatalf("NumRows = %d, want 0", f.Size())
+	}
+}
+
+func TestNewViewRejectsInvalid(t *testing.T) {
+	d := semiring.Float()
+	cases := []struct {
+		name   string
+		vars   []int
+		rows   []int32
+		values []float64
+		errSub string
+	}{
+		{"unsorted rows", []int{0, 1}, []int32{2, 0, 0, 1}, []float64{1, 2}, "lexicographic"},
+		{"duplicate rows", []int{0, 1}, []int32{0, 1, 0, 1}, []float64{1, 2}, "lexicographic"},
+		{"zero value", []int{0, 1}, []int32{0, 1}, []float64{0}, "domain zero"},
+		{"ragged block", []int{0, 1}, []int32{0, 1, 2}, []float64{1}, "cells"},
+		{"unsorted vars", []int{1, 0}, []int32{0, 1}, []float64{1}, "sorted"},
+		{"duplicate vars", []int{0, 0}, []int32{0, 1}, []float64{1}, "duplicate"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := NewView(d, tc.vars, tc.rows, tc.values)
+			if err == nil {
+				t.Fatal("NewView accepted invalid input")
+			}
+			if !strings.Contains(err.Error(), tc.errSub) {
+				t.Fatalf("err = %v, want mention of %q", err, tc.errSub)
+			}
+		})
+	}
+}
+
+// TestNewViewEqualsNewRows checks the view constructor against the heap
+// constructor on identical canonical data: same tuples, same values.
+func TestNewViewEqualsNewRows(t *testing.T) {
+	d := semiring.Int()
+	rows := []int32{0, 3, 1, 1, 4, 0}
+	values := []int64{7, -1, 9}
+	view, err := NewView(d, []int{2, 5}, rows, values)
+	if err != nil {
+		t.Fatalf("NewView: %v", err)
+	}
+	heap, err := NewRows(d, []int{2, 5}, append([]int32(nil), rows...), append([]int64(nil), values...), nil)
+	if err != nil {
+		t.Fatalf("NewRows: %v", err)
+	}
+	if !view.Equal(d, heap) {
+		t.Fatal("view and heap factors differ on identical data")
+	}
+}

@@ -264,6 +264,56 @@ func (c *Client) WaitHealthy(ctx context.Context, timeout time.Duration) error {
 	}
 }
 
+// PutDataset uploads frames as the named dataset — a binary factor stream
+// under PUT /v1/datasets/{name} — replacing any existing version, and
+// returns the stored manifest.  After the upload, a spec with
+// `use <name>` and @<i> factor references queries the dataset with no
+// factor bytes on the wire.
+func (c *Client) PutDataset(ctx context.Context, name string, frames []*wire.Frame) (*DatasetInfo, error) {
+	var body bytes.Buffer
+	enc := wire.NewEncoder(&body)
+	if err := enc.WriteStreamHeader(nil, len(frames)); err != nil {
+		return nil, err
+	}
+	for i, f := range frames {
+		if err := enc.Encode(f); err != nil {
+			return nil, fmt.Errorf("faqd: encoding factor frame %d: %w", i, err)
+		}
+	}
+	var info DatasetInfo
+	path := "/v1/datasets/" + url.PathEscape(name)
+	if err := c.do(ctx, http.MethodPut, path, wire.ContentType, &body, &info); err != nil {
+		return nil, err
+	}
+	return &info, nil
+}
+
+// Dataset fetches one dataset's manifest: factor shapes, sizes, checksums.
+func (c *Client) Dataset(ctx context.Context, name string) (*DatasetInfo, error) {
+	var info DatasetInfo
+	path := "/v1/datasets/" + url.PathEscape(name)
+	if err := c.doJSON(ctx, http.MethodGet, path, nil, &info); err != nil {
+		return nil, err
+	}
+	return &info, nil
+}
+
+// Datasets lists every dataset resident on the server.
+func (c *Client) Datasets(ctx context.Context) ([]DatasetInfo, error) {
+	var resp DatasetListResponse
+	if err := c.doJSON(ctx, http.MethodGet, "/v1/datasets", nil, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Datasets, nil
+}
+
+// DeleteDataset removes the named dataset from the server's catalog and
+// disk.
+func (c *Client) DeleteDataset(ctx context.Context, name string) error {
+	path := "/v1/datasets/" + url.PathEscape(name)
+	return c.doJSON(ctx, http.MethodDelete, path, nil, nil)
+}
+
 // Delta posts one JSON delta batch to /v1/delta: row changes against the
 // named session's evolving factor state (seeded from the spec on first
 // contact).  The response carries the maintained result.

@@ -1,0 +1,471 @@
+// The dataset catalog endpoints and the resident-query path: PUT/GET/
+// DELETE /v1/datasets/{name} manage named, checksummed on-disk factor sets
+// (internal/store), and a spec with a `use <dataset>` directive runs
+// /v1/query against the mapped factors with zero factor bytes on the wire.
+//
+// Resident queries are served through a prepared-query registry keyed by
+// (dataset, spec, workers): the first request resolves the spec's @<ref>
+// blocks to zero-copy views over the mapped file (factor.NewView — no
+// decode, no heap copy) and prepares once; every later request reuses the
+// prepared query, whose stable factor pointers keep the engine's trie
+// cache warm.  Entries pin their dataset's mapping with a reference and
+// are dropped — releasing it — when the dataset is replaced or deleted,
+// when the LRU bound evicts them, or when a staleness check notices a
+// newer version.
+package server
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"mime"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"github.com/faqdb/faq/internal/core"
+	"github.com/faqdb/faq/internal/factor"
+	"github.com/faqdb/faq/internal/semiring"
+	"github.com/faqdb/faq/internal/spec"
+	"github.com/faqdb/faq/internal/store"
+	"github.com/faqdb/faq/internal/wire"
+)
+
+// maxDatasetFrames caps the factor count of one dataset upload.
+const maxDatasetFrames = 65536
+
+// Store exposes the server's dataset store; nil when the server runs
+// without a data directory.
+func (s *Server) Store() *store.Store { return s.store }
+
+// requireStore answers 503 when the server has no dataset store.
+func (s *Server) requireStore(w http.ResponseWriter) bool {
+	if s.store == nil {
+		writeError(w, http.StatusServiceUnavailable,
+			"dataset store not configured (start faqd with -data <dir>)")
+		return false
+	}
+	return true
+}
+
+// datasetInfoOf renders a store manifest for the API.
+func datasetInfoOf(m store.Manifest, bytes int64) DatasetInfo {
+	info := DatasetInfo{Name: m.Name, Domain: m.Domain, Bytes: bytes}
+	for _, f := range m.Factors {
+		info.Factors = append(info.Factors, DatasetFactorInfo{
+			Arity: f.Arity, Rows: f.Rows, Bytes: f.Length,
+			CRC32: fmt.Sprintf("%08x", f.CRC32),
+		})
+	}
+	return info
+}
+
+// errDatasetMismatch marks a spec whose declared domain disagrees with the
+// dataset it uses — the client's mistake.
+var errDatasetMismatch = errors.New("dataset domain mismatch")
+
+// writeStoreError maps a store failure to a status: a bad name or a
+// domain mismatch is the client's, an absent dataset is 404, everything
+// else is the server's.
+func writeStoreError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, store.ErrBadName), errors.Is(err, errDatasetMismatch):
+		writeError(w, http.StatusBadRequest, "%v", err)
+	case errors.Is(err, store.ErrNotFound):
+		writeError(w, http.StatusNotFound, "%v", err)
+	default:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+	}
+}
+
+// handleDatasetPut stores the request body — a binary factor stream, the
+// same Content-Type and framing as a binary /v1/query — as the named
+// dataset, replacing any existing version, and answers with its manifest.
+func (s *Server) handleDatasetPut(w http.ResponseWriter, r *http.Request) {
+	if !s.requireStore(w) {
+		return
+	}
+	name := r.PathValue("name")
+	if !store.ValidName(name) {
+		writeError(w, http.StatusBadRequest, "invalid dataset name %q", name)
+		return
+	}
+	ct := r.Header.Get("Content-Type")
+	if mt, _, err := mime.ParseMediaType(ct); err != nil || mt != wire.ContentType {
+		writeError(w, http.StatusUnsupportedMediaType,
+			"dataset uploads must be %s factor streams, got %q", wire.ContentType, ct)
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := wire.NewDecoder(body)
+	dec.SetMaxFrameBytes(int(min(s.cfg.MaxBodyBytes, int64(wire.DefaultMaxFrameBytes))))
+	// The envelope's opaque header is unused for uploads (clients send it
+	// empty); only the frames matter.
+	_, n, err := dec.ReadStreamHeader(maxStreamHeaderBytes)
+	if err != nil {
+		writeDecodeError(w, err)
+		return
+	}
+	if n == 0 {
+		writeError(w, http.StatusBadRequest, "dataset upload carries no factor frames")
+		return
+	}
+	if n > maxDatasetFrames {
+		writeError(w, http.StatusBadRequest, "dataset upload declares %d frames (limit %d)", n, maxDatasetFrames)
+		return
+	}
+	frames := make([]*wire.Frame, 0, min(n, 1024))
+	for i := 0; i < n; i++ {
+		f, err := dec.Decode()
+		if err != nil {
+			writeDecodeError(w, fmt.Errorf("factor frame %d of %d: %w", i, n, err))
+			return
+		}
+		frames = append(frames, f)
+	}
+	if _, err := dec.Decode(); err != io.EOF {
+		writeError(w, http.StatusBadRequest, "stream declares %d frames but carries more", n)
+		return
+	}
+	man, err := s.store.Put(name, frames)
+	if err != nil {
+		switch {
+		case errors.Is(err, store.ErrBadName), errors.Is(err, store.ErrUpload):
+			// Canonicalization failures (duplicate rows, mixed domains) are
+			// the upload's fault.
+			writeError(w, http.StatusBadRequest, "%v", err)
+		case errors.Is(err, store.ErrClosed):
+			writeError(w, http.StatusServiceUnavailable, "%v", err)
+		default:
+			writeError(w, http.StatusInternalServerError, "%v", err)
+		}
+		return
+	}
+	// Replacing a dataset invalidates every prepared query built over its
+	// previous mapping.
+	s.resident.purgeDataset(name)
+	ds, dsErr := s.store.Get(name)
+	var bytes int64
+	if dsErr == nil {
+		bytes = int64(ds.Bytes())
+		ds.Release()
+	}
+	writeJSON(w, http.StatusOK, datasetInfoOf(man, bytes))
+}
+
+// handleDatasetGet describes one dataset: shapes, sizes and checksums.
+func (s *Server) handleDatasetGet(w http.ResponseWriter, r *http.Request) {
+	if !s.requireStore(w) {
+		return
+	}
+	ds, err := s.store.Get(r.PathValue("name"))
+	if err != nil {
+		writeStoreError(w, err)
+		return
+	}
+	defer ds.Release()
+	writeJSON(w, http.StatusOK, datasetInfoOf(ds.Manifest(), int64(ds.Bytes())))
+}
+
+// handleDatasetList lists every resident dataset.
+func (s *Server) handleDatasetList(w http.ResponseWriter, r *http.Request) {
+	if !s.requireStore(w) {
+		return
+	}
+	resp := DatasetListResponse{Datasets: []DatasetInfo{}}
+	for _, m := range s.store.List() {
+		var bytes int64
+		if ds, err := s.store.Get(m.Name); err == nil {
+			bytes = int64(ds.Bytes())
+			ds.Release()
+		}
+		resp.Datasets = append(resp.Datasets, datasetInfoOf(m, bytes))
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleDatasetDelete removes a dataset from the catalog and disk.
+// In-flight queries over it finish against the old mapping.
+func (s *Server) handleDatasetDelete(w http.ResponseWriter, r *http.Request) {
+	if !s.requireStore(w) {
+		return
+	}
+	name := r.PathValue("name")
+	if err := s.store.Delete(name); err != nil {
+		writeStoreError(w, err)
+		return
+	}
+	s.resident.purgeDataset(name)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// residentEntry is one prepared resident query: the dataset version it was
+// built over (holding one reference on its mapping), the typed prepared
+// query and everything the response encoder needs.
+type residentEntry struct {
+	dataset string
+	ds      *store.Dataset // referenced; released when the entry dies
+	domain  string
+	prep    any // *core.PreparedQuery[V]
+	q       any // *core.Query[V]
+}
+
+// residentRegistry is an LRU-bounded map of resident prepared queries,
+// keyed by (dataset, spec text, workers).  It is the dataset twin of the
+// delta sessionRegistry, with dataset-version staleness and reference
+// management on top.
+type residentRegistry struct {
+	mu  sync.Mutex
+	max int
+	lru *list.List // *residentNode; front = most recently used
+	by  map[string]*list.Element
+}
+
+type residentNode struct {
+	key   string
+	entry *residentEntry
+}
+
+func newResidentRegistry(max int) *residentRegistry {
+	if max <= 0 {
+		max = defaultMaxSessions
+	}
+	return &residentRegistry{max: max, lru: list.New(), by: map[string]*list.Element{}}
+}
+
+// residentKey builds the registry key for one (dataset, spec, workers).
+func residentKey(dataset, specText string, workers int) string {
+	return fmt.Sprintf("%s\x00%d\x00%s", dataset, workers, specText)
+}
+
+// get returns the entry for key if it was built over current — the
+// still-resident dataset version — refreshing its recency.  A stale entry
+// (the dataset was replaced since) is dropped, its reference released, and
+// nil returned so the caller rebuilds.
+func (r *residentRegistry) get(key string, current *store.Dataset) *residentEntry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	el, ok := r.by[key]
+	if !ok {
+		return nil
+	}
+	entry := el.Value.(*residentNode).entry
+	if entry.ds != current {
+		delete(r.by, key)
+		r.lru.Remove(el)
+		entry.ds.Release()
+		return nil
+	}
+	r.lru.MoveToFront(el)
+	return entry
+}
+
+// add stores entry under key unless a racing request won, in which case
+// the duplicate's reference is released and the stored entry returned.
+// LRU overflow evicts (and releases) the least recently used entry.
+func (r *residentRegistry) add(key string, entry *residentEntry) *residentEntry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if el, ok := r.by[key]; ok {
+		stored := el.Value.(*residentNode).entry
+		if stored.ds == entry.ds {
+			r.lru.MoveToFront(el)
+			entry.ds.Release()
+			return stored
+		}
+		// The stored entry is for an older dataset version: replace it.
+		delete(r.by, key)
+		r.lru.Remove(el)
+		stored.ds.Release()
+	}
+	r.by[key] = r.lru.PushFront(&residentNode{key: key, entry: entry})
+	for r.lru.Len() > r.max {
+		last := r.lru.Back()
+		node := last.Value.(*residentNode)
+		delete(r.by, node.key)
+		r.lru.Remove(last)
+		node.entry.ds.Release()
+	}
+	return entry
+}
+
+// purgeDataset drops (and releases) every entry built over the named
+// dataset — called when the dataset is replaced or deleted.
+func (r *residentRegistry) purgeDataset(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for el := r.lru.Front(); el != nil; {
+		next := el.Next()
+		node := el.Value.(*residentNode)
+		if node.entry.dataset == name {
+			delete(r.by, node.key)
+			r.lru.Remove(el)
+			node.entry.ds.Release()
+		}
+		el = next
+	}
+}
+
+// purgeAll drops every entry; used at server close.
+func (r *residentRegistry) purgeAll() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for el := r.lru.Front(); el != nil; el = el.Next() {
+		el.Value.(*residentNode).entry.ds.Release()
+	}
+	r.lru.Init()
+	r.by = map[string]*list.Element{}
+}
+
+// len reports the registry population for /statsz.
+func (r *residentRegistry) len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.lru.Len()
+}
+
+// datasetResolver resolves @<ref> blocks against one dataset: refs are
+// decimal factor indices, stored columns are read in the block's
+// declaration order, and when that order is already sorted (the common
+// case) the factor is a zero-copy view over the mapped file.  An unsorted
+// declaration permutes into fresh heap columns, exactly as shipped frames
+// are permuted.
+func datasetResolver[V any](ds *store.Dataset, col func(*store.Dataset, int) []V) spec.Resolver[V] {
+	return func(d *semiring.Domain[V], ref string, declVars []int) (*factor.Factor[V], error) {
+		idx, err := strconv.Atoi(ref)
+		if err != nil || idx < 0 || idx >= ds.NumFactors() {
+			return nil, fmt.Errorf("dataset %q has no factor @%s (%d factors)",
+				ds.Name(), ref, ds.NumFactors())
+		}
+		meta := ds.Meta(idx)
+		if meta.Arity != len(declVars) {
+			return nil, fmt.Errorf("dataset %q factor @%d has arity %d, block declares %d",
+				ds.Name(), idx, meta.Arity, len(declVars))
+		}
+		rows := ds.Rows(idx)
+		values := col(ds, idx)
+		perm, identity := declPerm(declVars)
+		sorted := make([]int, len(declVars))
+		for i, p := range perm {
+			sorted[i] = declVars[p]
+		}
+		if identity {
+			return factor.NewView(d, sorted, rows, values)
+		}
+		k := len(declVars)
+		prows := make([]int32, len(rows))
+		for r := 0; r < meta.Rows; r++ {
+			src := rows[r*k : r*k+k]
+			dst := prows[r*k : r*k+k]
+			for j, p := range perm {
+				dst[j] = src[p]
+			}
+		}
+		// NewRows compacts and sorts in place: it must never touch the
+		// mapped columns, so the permuted path hands it heap copies.
+		return factor.NewRows(d, sorted, prows, append([]V(nil), values...), nil)
+	}
+}
+
+// cloningResolver wraps a resolver so every resolved factor is a deep heap
+// copy — the seed path of /v1/delta sessions, whose factor state evolves
+// in place and must not alias (or pin) the read-only mapping.
+func cloningResolver[V any](inner spec.Resolver[V]) spec.Resolver[V] {
+	return func(d *semiring.Domain[V], ref string, declVars []int) (*factor.Factor[V], error) {
+		f, err := inner(d, ref, declVars)
+		if err != nil {
+			return nil, err
+		}
+		return f.Clone(), nil
+	}
+}
+
+// resolveDataset fetches the spec's dataset (with a reference for the
+// caller) and checks its domain against the request's.
+func resolveDataset[V any](s *Server, doc *spec.Document, cv domainCodec[V]) (*store.Dataset, error) {
+	ds, err := s.store.Get(doc.Dataset)
+	if err != nil {
+		return nil, err
+	}
+	if ds.Domain() != cv.wireDom {
+		ds.Release()
+		return nil, fmt.Errorf("%w: dataset %q holds %v factors, spec declares %s",
+			errDatasetMismatch, doc.Dataset, ds.Domain(), cv.name)
+	}
+	return ds, nil
+}
+
+// serveDatasetQuery is the resident-data tail of handleQuery: resolve the
+// prepared query from the registry (or build it over zero-copy views and
+// register it), run, and encode.  No factor bytes arrive on the wire and
+// no factor decode happens on the hit path — the win that makes
+// query-by-name faster than shipping data.
+func serveDatasetQuery[V any](s *Server, w http.ResponseWriter, r *http.Request, start time.Time,
+	req *QueryRequest, doc *spec.Document, eng *core.Engine[V], cv domainCodec[V]) {
+
+	if !s.requireStore(w) {
+		return
+	}
+	key := residentKey(doc.Dataset, req.Spec, req.Workers)
+	ds, err := resolveDataset(s, doc, cv)
+	if err != nil {
+		writeStoreError(w, err)
+		return
+	}
+	// The request's reference pins the mapping through the run: a
+	// concurrent delete or replace purges the registry (releasing its
+	// reference) but cannot unmap pages this run is reading.
+	defer ds.Release()
+	entry := s.resident.get(key, ds)
+	if entry == nil {
+		// Build over zero-copy views; the registry entry takes its own
+		// reference on the mapping.
+		q, _, err := cv.build(doc, datasetResolver(ds, cv.storeCol))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		opts := core.DefaultOptions()
+		opts.Workers = req.Workers
+		prepCtx, cancel := context.WithTimeout(r.Context(), s.queryTimeout(req.TimeoutMS))
+		prep, err := eng.PrepareCtx(prepCtx, q, opts)
+		cancel()
+		if err != nil {
+			s.writeRunError(w, r.Context(), err)
+			return
+		}
+		ds.Acquire()
+		entry = s.resident.add(key, &residentEntry{
+			dataset: doc.Dataset, ds: ds, domain: cv.name, prep: prep, q: q,
+		})
+	}
+	prep := entry.prep.(*core.PreparedQuery[V])
+	q := entry.q.(*core.Query[V])
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.queryTimeout(req.TimeoutMS))
+	defer cancel()
+	if !s.acquireRunSlot() {
+		s.m.rejected.Add(1)
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", s.retryAfterSeconds()))
+		writeError(w, http.StatusTooManyRequests,
+			"server is at its %d-run concurrency bound, retry later", s.cfg.MaxInflight)
+		return
+	}
+	var res *core.Result[V]
+	err = func() error {
+		defer s.releaseRunSlot()
+		var err error
+		res, err = prep.Run(ctx)
+		return err
+	}()
+	if err != nil {
+		s.writeRunError(w, ctx, err)
+		return
+	}
+	s.m.countDomain(cv.name)
+	s.m.datasetQ.Add(1)
+	writeJSON(w, http.StatusOK, encodeQueryResponse(cv, q, prep, res, start))
+}

@@ -33,6 +33,7 @@ import (
 	"github.com/faqdb/faq/internal/core"
 	"github.com/faqdb/faq/internal/factor"
 	"github.com/faqdb/faq/internal/spec"
+	"github.com/faqdb/faq/internal/store"
 	"github.com/faqdb/faq/internal/wire"
 )
 
@@ -216,7 +217,25 @@ func serveDelta[V any](s *Server, w http.ResponseWriter, r *http.Request, start 
 		// the initial state.  Prepare outside the registry lock; a racing
 		// request for the same key may win, in which case its state is the
 		// session (add returns the stored one).
-		q, layout, err := cv.build(doc)
+		var resolvers []spec.Resolver[V]
+		var seedDS *store.Dataset
+		if doc.Dataset != "" {
+			// A dataset spec seeds the session from resident factors — but
+			// session state evolves in place, so the seed must be a deep
+			// heap copy, never the mapped (read-only) columns themselves.
+			ds, derr := resolveDataset(s, doc, cv)
+			if derr != nil {
+				writeStoreError(w, derr)
+				return
+			}
+			seedDS = ds
+			resolvers = append(resolvers, cloningResolver(datasetResolver(ds, cv.storeCol)))
+		}
+		q, layout, err := cv.build(doc, resolvers...)
+		if seedDS != nil {
+			// The session owns heap copies now; drop the mapping ref.
+			seedDS.Release()
+		}
 		if err != nil {
 			writeError(w, http.StatusBadRequest, "%v", err)
 			return

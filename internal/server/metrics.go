@@ -66,6 +66,7 @@ type metrics struct {
 	rejected     atomic.Int64 // /v1/query requests shed with 429 (backpressure)
 	deltas       atomic.Int64 // /v1/delta requests
 	deltasBinary atomic.Int64 // /v1/delta requests with binary delta streams
+	datasetQ     atomic.Int64 // /v1/query requests served from resident datasets
 	lat          latencyRing  // /v1/query + /v1/delta latencies
 	domFloat     atomic.Int64 // executed queries per value domain
 	domInt       atomic.Int64

@@ -325,6 +325,59 @@ type PlanReport struct {
 	FHTW float64 `json:"fhtw"`
 }
 
+// DatasetInfo describes one stored dataset: the body of a successful
+// GET /v1/datasets/{name} and the acknowledgment of a PUT.
+type DatasetInfo struct {
+	// Name is the dataset name.
+	Name string `json:"name"`
+	// Domain is the value domain shared by every factor ("float", "int",
+	// "bool" or "tropical").
+	Domain string `json:"domain"`
+	// Bytes is the on-disk (and mapped) file size.
+	Bytes int64 `json:"bytes"`
+	// Factors lists the stored factors in reference order (@0, @1, …).
+	Factors []DatasetFactorInfo `json:"factors"`
+}
+
+// DatasetFactorInfo is the shape, size and checksum of one stored factor.
+type DatasetFactorInfo struct {
+	// Arity is the number of columns per row.
+	Arity int `json:"arity"`
+	// Rows is the number of stored (non-zero) tuples.
+	Rows int `json:"rows"`
+	// Bytes is the factor's padded segment length on disk.
+	Bytes int64 `json:"bytes"`
+	// CRC32 is the segment's CRC-32 (IEEE), in hex.
+	CRC32 string `json:"crc32"`
+}
+
+// DatasetListResponse is the body of GET /v1/datasets.
+type DatasetListResponse struct {
+	// Datasets lists every resident dataset, sorted by name.
+	Datasets []DatasetInfo `json:"datasets"`
+}
+
+// StoreStatz are the dataset-store counters of /statsz, present when the
+// server was started with a data directory.
+type StoreStatz struct {
+	// Datasets is the number of resident (mapped) datasets.
+	Datasets int64 `json:"datasets"`
+	// BytesMapped is the total mapped bytes across resident datasets.
+	BytesMapped int64 `json:"bytes_mapped"`
+	// ChecksumFailures counts dataset opens rejected by a CRC mismatch
+	// over the store's lifetime.
+	ChecksumFailures int64 `json:"store_checksum_failures"`
+	// DatasetQueries counts /v1/query requests served against resident
+	// dataset factors (specs with a use directive).
+	DatasetQueries int64 `json:"dataset_queries"`
+	// ResidentPrepared is the current population of the dataset
+	// prepared-query registry (queries kept warm against resident data).
+	ResidentPrepared int64 `json:"resident_prepared"`
+	// LoadErrors counts files skipped at startup because they failed
+	// verification.
+	LoadErrors int64 `json:"load_errors"`
+}
+
 // StatszResponse is the body of GET /statsz: a race-safe snapshot of the
 // engine counters plus server-level serving metrics.
 type StatszResponse struct {
@@ -335,6 +388,9 @@ type StatszResponse struct {
 	Engine EngineStatz `json:"engine"`
 	// Server holds the HTTP-level counters.
 	Server ServerStatz `json:"server"`
+	// Store holds the dataset-store counters; nil when the server runs
+	// without a data directory.
+	Store *StoreStatz `json:"store,omitempty"`
 }
 
 // EngineStatz mirrors core.EngineStats (see Engine.StatsSnapshot).

@@ -32,6 +32,7 @@ import (
 	"github.com/faqdb/faq/internal/core"
 	"github.com/faqdb/faq/internal/factor"
 	"github.com/faqdb/faq/internal/spec"
+	"github.com/faqdb/faq/internal/store"
 	"github.com/faqdb/faq/internal/wire"
 )
 
@@ -60,8 +61,13 @@ type Config struct {
 	// MaxSessions bounds the /v1/delta session registry: beyond it the
 	// least recently used session's evolving state is dropped (a later
 	// request for it re-seeds from its spec).  <= 0 means
-	// defaultMaxSessions.
+	// defaultMaxSessions.  The resident dataset-query registry shares the
+	// same bound.
 	MaxSessions int
+	// DataDir names the dataset directory: uploads under
+	// PUT /v1/datasets/{name} persist there and are memory-mapped back on
+	// restart.  Empty disables the dataset endpoints (they answer 503).
+	DataDir string
 }
 
 const (
@@ -84,6 +90,8 @@ type Server struct {
 	m        metrics
 	sem      chan struct{} // query-run slots; nil when MaxInflight <= 0
 	sessions *sessionRegistry
+	store    *store.Store // nil without Config.DataDir
+	resident *residentRegistry
 }
 
 // Validate checks the engine-facing configuration.  New calls it; command
@@ -130,11 +138,24 @@ func New(cfg Config) (*Server, error) {
 		s.sem = make(chan struct{}, cfg.MaxInflight)
 	}
 	s.sessions = newSessionRegistry(cfg.MaxSessions)
+	s.resident = newResidentRegistry(cfg.MaxSessions)
+	if cfg.DataDir != "" {
+		st, err := store.OpenDir(cfg.DataDir)
+		if err != nil {
+			s.eng.Close()
+			return nil, fmt.Errorf("server: opening dataset store: %w", err)
+		}
+		s.store = st
+	}
 	s.m.start = time.Now()
 	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
 	s.mux.HandleFunc("POST /v1/delta", s.handleDelta)
 	s.mux.HandleFunc("GET /v1/plan", s.handlePlan)
 	s.mux.HandleFunc("POST /v1/plan", s.handlePlan)
+	s.mux.HandleFunc("PUT /v1/datasets/{name}", s.handleDatasetPut)
+	s.mux.HandleFunc("GET /v1/datasets/{name}", s.handleDatasetGet)
+	s.mux.HandleFunc("DELETE /v1/datasets/{name}", s.handleDatasetDelete)
+	s.mux.HandleFunc("GET /v1/datasets", s.handleDatasetList)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /statsz", s.handleStatsz)
 	return s, nil
@@ -145,10 +166,17 @@ func New(cfg Config) (*Server, error) {
 // its stats are runtime-wide, covering every domain).
 func (s *Server) Engine() *core.Engine[float64] { return s.eng }
 
-// Close stops the engine's persistent workers.  Call after the HTTP server
-// has shut down gracefully: http.Server.Shutdown drains in-flight handlers,
+// Close stops the engine's persistent workers, drops resident prepared
+// queries and unmaps the dataset store.  Call after the HTTP server has
+// shut down gracefully: http.Server.Shutdown drains in-flight handlers,
 // and every run belongs to some handler.
-func (s *Server) Close() { s.eng.Close() }
+func (s *Server) Close() {
+	s.eng.Close()
+	s.resident.purgeAll()
+	if s.store != nil {
+		s.store.Close()
+	}
+}
 
 // Handler returns the root handler: the API mux wrapped in the metrics
 // middleware.
@@ -272,7 +300,19 @@ func (s *Server) Statsz() StatszResponse {
 	es := s.eng.StatsSnapshot()
 	sv := s.m.snapshot()
 	sv.DeltaSessions = int64(s.sessions.len())
+	var st *StoreStatz
+	if s.store != nil {
+		st = &StoreStatz{
+			Datasets:         int64(s.store.Len()),
+			BytesMapped:      s.store.BytesMapped(),
+			ChecksumFailures: s.store.ChecksumFailures(),
+			DatasetQueries:   s.m.datasetQ.Load(),
+			ResidentPrepared: int64(s.resident.len()),
+			LoadErrors:       int64(len(s.store.LoadErrors())),
+		}
+	}
 	return StatszResponse{
+		Store:         st,
 		UptimeSeconds: time.Since(s.m.start).Seconds(),
 		Engine: EngineStatz{
 			Prepared:        es.Prepared,
@@ -386,9 +426,12 @@ func (s *Server) decodeQueryRequest(w http.ResponseWriter, r *http.Request) (req
 type domainCodec[V any] struct {
 	name     string
 	wireDom  wire.Domain
-	build    func(*spec.Document) (*core.Query[V], [][]int, error)
+	build    func(*spec.Document, ...spec.Resolver[V]) (*core.Query[V], [][]int, error)
 	fromJSON func(float64) (V, error)
 	frameCol func(*wire.Frame) []V
+	// storeCol reads one stored factor's value column from a mapped dataset
+	// (the zero-copy feed for datasetResolver).
+	storeCol func(*store.Dataset, int) []V
 	// encode and encodeColumn render response values.  They exist for the
 	// float domains: JSON has no Inf or NaN, so non-finite float64 values
 	// — the tropical additive identity +Inf in particular — travel as the
@@ -456,6 +499,7 @@ var (
 		build:    (*spec.Document).BuildFloat,
 		fromJSON: func(v float64) (float64, error) { return v, nil },
 		frameCol: func(f *wire.Frame) []float64 { return f.Floats },
+		storeCol: (*store.Dataset).Floats,
 		encode:   encodeFloat, encodeColumn: encodeFloatColumn,
 	}
 	tropicalCodec = domainCodec[float64]{
@@ -463,6 +507,7 @@ var (
 		build:    (*spec.Document).BuildTropical,
 		fromJSON: func(v float64) (float64, error) { return v, nil },
 		frameCol: func(f *wire.Frame) []float64 { return f.Floats },
+		storeCol: (*store.Dataset).Floats,
 		encode:   encodeFloat, encodeColumn: encodeFloatColumn,
 	}
 	intCodec = domainCodec[int64]{
@@ -470,6 +515,7 @@ var (
 		build:    (*spec.Document).BuildInt,
 		fromJSON: jsonToInt,
 		frameCol: func(f *wire.Frame) []int64 { return f.Ints },
+		storeCol: (*store.Dataset).Ints,
 		encode:   identityEncode[int64], encodeColumn: identityColumn[int64],
 	}
 	boolCodec = domainCodec[bool]{
@@ -477,6 +523,7 @@ var (
 		build:    (*spec.Document).BuildBool,
 		fromJSON: jsonToBool,
 		frameCol: func(f *wire.Frame) []bool { return f.Bools },
+		storeCol: (*store.Dataset).Bools,
 		encode:   identityEncode[bool], encodeColumn: identityColumn[bool],
 	}
 )
@@ -528,6 +575,19 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 func serveDomain[V any](s *Server, w http.ResponseWriter, r *http.Request, start time.Time,
 	req *QueryRequest, doc *spec.Document, frames []*wire.Frame,
 	eng *core.Engine[V], cv domainCodec[V]) {
+
+	if doc.Dataset != "" {
+		// A dataset spec runs against resident mapped factors: fresh factor
+		// data in the same request would be ambiguous (which source wins?),
+		// so it is rejected outright.
+		if frames != nil || req.Factors != nil {
+			writeError(w, http.StatusBadRequest,
+				"spec uses dataset %q: drop the shipped factors (resident factors serve this query)", doc.Dataset)
+			return
+		}
+		serveDatasetQuery(s, w, r, start, req, doc, eng, cv)
+		return
+	}
 
 	q, layout, err := cv.build(doc)
 	if err != nil {
@@ -593,6 +653,13 @@ func serveDomain[V any](s *Server, w http.ResponseWriter, r *http.Request, start
 		return
 	}
 	s.m.countDomain(cv.name)
+	writeJSON(w, http.StatusOK, encodeQueryResponse(cv, q, prep, res, start))
+}
+
+// encodeQueryResponse renders a completed run as the /v1/query response
+// body; shared by the fresh-data path and the resident dataset path.
+func encodeQueryResponse[V any](cv domainCodec[V], q *core.Query[V],
+	prep *core.PreparedQuery[V], res *core.Result[V], start time.Time) *QueryResponse {
 
 	resp := &QueryResponse{
 		Domain: cv.name,
@@ -622,7 +689,7 @@ func serveDomain[V any](s *Server, w http.ResponseWriter, r *http.Request, start
 		}
 		resp.Output = out
 	}
-	writeJSON(w, http.StatusOK, resp)
+	return resp
 }
 
 // writeRunError maps a prepare/run failure to a status: deadline → 504,
@@ -820,9 +887,10 @@ func planShape(specText string) (*core.Shape, func(int) string, error) {
 }
 
 // shapeOf builds the typed query just long enough to extract its untyped
-// shape and name table.
-func shapeOf[V any](doc *spec.Document, build func(*spec.Document) (*core.Query[V], [][]int, error)) (*core.Shape, func(int) string, error) {
-	q, _, err := build(doc)
+// shape and name table.  Dataset references resolve through the stub
+// resolver: a plan needs variable scopes, not factor data.
+func shapeOf[V any](doc *spec.Document, build func(*spec.Document, ...spec.Resolver[V]) (*core.Query[V], [][]int, error)) (*core.Shape, func(int) string, error) {
+	q, _, err := build(doc, spec.StubResolver[V]())
 	if err != nil {
 		return nil, nil, err
 	}

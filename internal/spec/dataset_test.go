@@ -1,0 +1,172 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/faqdb/faq/internal/factor"
+	"github.com/faqdb/faq/internal/semiring"
+)
+
+const datasetSpec = `
+use tri
+var x 4 sum
+var y 4 sum
+var z 4 sum
+factor x y @0
+factor y z @1
+factor x z @2
+`
+
+func TestParseUseDirective(t *testing.T) {
+	doc, err := ParseDocument(strings.NewReader(datasetSpec))
+	if err != nil {
+		t.Fatalf("ParseDocument: %v", err)
+	}
+	if doc.Dataset != "tri" {
+		t.Fatalf("Dataset = %q, want \"tri\"", doc.Dataset)
+	}
+	if len(doc.Blocks) != 3 {
+		t.Fatalf("%d blocks, want 3", len(doc.Blocks))
+	}
+	for i, blk := range doc.Blocks {
+		if blk.Ref == "" {
+			t.Fatalf("block %d has no ref", i)
+		}
+	}
+}
+
+func TestParseUseErrors(t *testing.T) {
+	cases := []struct {
+		name, text, errSub string
+	}{
+		{"duplicate", "use a\nuse b\nvar x 2 sum\nfactor x @0\n", "duplicate use"},
+		{"after block", "var x 2 sum\nfactor x\n0 = 1\nend\nuse a\n", "precede all factor blocks"},
+		{"missing name", "use\n", "'use <dataset>'"},
+		{"ref without use", "var x 2 sum\nfactor x @0\n", "without a use directive"},
+		{"empty ref", "use a\nvar x 2 sum\nfactor x @\n", "empty factor reference"},
+		{"inside block", "use a\nvar x 2 sum\nfactor x\nuse b\nend\n", "use inside factor block"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseDocument(strings.NewReader(tc.text))
+			if err == nil || !strings.Contains(err.Error(), tc.errSub) {
+				t.Fatalf("err = %v, want mention of %q", err, tc.errSub)
+			}
+		})
+	}
+}
+
+func TestBuildRefNeedsResolver(t *testing.T) {
+	doc, err := ParseDocument(strings.NewReader(datasetSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := doc.BuildFloat(); err == nil ||
+		!strings.Contains(err.Error(), "needs a dataset resolver") {
+		t.Fatalf("BuildFloat without resolver: %v", err)
+	}
+}
+
+func TestBuildRefWithResolver(t *testing.T) {
+	doc, err := ParseDocument(strings.NewReader(datasetSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gotRefs []string
+	resolve := func(d *semiring.Domain[float64], ref string, declVars []int) (*factor.Factor[float64], error) {
+		gotRefs = append(gotRefs, ref)
+		sorted := append([]int(nil), declVars...)
+		if len(sorted) == 2 && sorted[0] > sorted[1] {
+			sorted[0], sorted[1] = sorted[1], sorted[0]
+		}
+		return factor.New(d, sorted, [][]int{{0, 1}}, []float64{2}, nil)
+	}
+	q, layout, err := doc.BuildFloat(resolve)
+	if err != nil {
+		t.Fatalf("BuildFloat: %v", err)
+	}
+	if len(q.Factors) != 3 || len(layout) != 3 {
+		t.Fatalf("%d factors, %d layouts", len(q.Factors), len(layout))
+	}
+	if len(gotRefs) != 3 || gotRefs[0] != "0" || gotRefs[1] != "1" || gotRefs[2] != "2" {
+		t.Fatalf("resolved refs = %v", gotRefs)
+	}
+	if q.Factors[0].Size() != 1 {
+		t.Fatalf("factor 0 has %d rows", q.Factors[0].Size())
+	}
+}
+
+func TestBuildRefResolverVarMismatch(t *testing.T) {
+	doc, err := ParseDocument(strings.NewReader(datasetSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrong := func(d *semiring.Domain[float64], ref string, declVars []int) (*factor.Factor[float64], error) {
+		return factor.New(d, []int{0}, nil, nil, nil) // arity 1, blocks declare 2
+	}
+	if _, _, err := doc.BuildFloat(wrong); err == nil ||
+		!strings.Contains(err.Error(), "arity") {
+		t.Fatalf("arity mismatch: %v", err)
+	}
+}
+
+func TestStubResolverShapes(t *testing.T) {
+	doc, err := ParseDocument(strings.NewReader(datasetSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, _, err := doc.BuildFloat(StubResolver[float64]())
+	if err != nil {
+		t.Fatalf("BuildFloat with stub: %v", err)
+	}
+	if len(q.Factors) != 3 {
+		t.Fatalf("%d factors", len(q.Factors))
+	}
+	for i, f := range q.Factors {
+		if f.Arity() != 2 || f.Size() != 0 {
+			t.Fatalf("stub factor %d: arity %d size %d", i, f.Arity(), f.Size())
+		}
+	}
+	if q.Shape() == nil {
+		t.Fatal("nil shape")
+	}
+}
+
+// TestUseAllDomains checks the directive composes with every domain's
+// build method.
+func TestUseAllDomains(t *testing.T) {
+	for _, dom := range []string{DomainFloat, DomainInt, DomainBool, DomainTropical} {
+		t.Run(dom, func(t *testing.T) {
+			text := datasetSpec
+			agg := "sum"
+			if dom == DomainTropical {
+				agg = "min"
+			} else if dom == DomainBool {
+				agg = "or"
+			}
+			text = strings.ReplaceAll(text, "sum", agg)
+			if dom != DomainFloat {
+				text = "domain " + dom + "\n" + text
+			}
+			doc, err := ParseDocument(strings.NewReader(text))
+			if err != nil {
+				t.Fatalf("ParseDocument: %v", err)
+			}
+			var buildErr error
+			switch dom {
+			case DomainFloat:
+				_, _, buildErr = doc.BuildFloat(StubResolver[float64]())
+			case DomainInt:
+				_, _, buildErr = doc.BuildInt(StubResolver[int64]())
+			case DomainBool:
+				_, _, buildErr = doc.BuildBool(StubResolver[bool]())
+			case DomainTropical:
+				_, _, buildErr = doc.BuildTropical(StubResolver[float64]())
+			}
+			if buildErr != nil {
+				t.Fatalf("build: %v", buildErr)
+			}
+		})
+	}
+}

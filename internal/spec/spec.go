@@ -5,10 +5,13 @@
 //
 //	domain <name>                  # optional, first; float (default),
 //	                               # int, bool or tropical
+//	use <dataset>                  # optional: name a server-resident dataset
 //	var <name> <domSize> <agg>     # agg ∈ free | prod | <domain aggregate>
 //	factor <name> <name> ...       # starts a factor block over those vars
 //	<v1> <v2> ... = <value>        # one listed tuple per line
 //	end                            # closes the factor block
+//	factor <name> <name> ... @<i>  # whole block: factor i of the used
+//	                               # dataset, columns in declaration order
 //
 // The domain directive selects the value algebra of the whole query and
 // with it the lawful aggregates and the value syntax:
@@ -26,6 +29,13 @@
 //
 // Variables must be declared with all free variables first (the FAQ normal
 // form of Eq. (1)); factors may list variables in any order.
+//
+// A factor line ending in @<ref> declares no inline data: its rows come
+// from the named dataset's factor <ref> (server-resident, zero factor
+// bytes on the wire), with stored columns interpreted in the block's
+// declaration order exactly like shipped factor frames.  Such references
+// require a preceding use directive, and building them requires a
+// Resolver (the serving tier supplies one backed by its dataset store).
 //
 // Parsing is two-phase: ParseDocument reads the text into an untyped
 // Document (syntax and structure only), and the per-domain builders
@@ -71,6 +81,9 @@ type Document struct {
 	// Domain is the canonical value-domain name; DomainFloat when the
 	// directive is absent.
 	Domain string
+	// Dataset is the name from the use directive, "" when absent.  Blocks
+	// with a non-empty Ref draw their data from this dataset.
+	Dataset string
 	// Vars are the variable declarations in declaration (= expression)
 	// order.
 	Vars []VarDecl
@@ -104,6 +117,10 @@ type FactorBlock struct {
 	Tuples [][]int
 	// Values are the raw value tokens, parallel to Tuples.
 	Values []string
+	// Ref is the dataset factor reference of an @<ref> block ("" for an
+	// inline block, the token after '@' otherwise).  Ref blocks carry no
+	// Tuples or Values; their data is resolved at build time.
+	Ref string
 	// Line is the source line of the factor directive; ValueLines are the
 	// source lines of the data rows, for error messages.
 	Line       int
@@ -153,6 +170,20 @@ func ParseDocument(r io.Reader) (*Document, error) {
 					lineNo, fields[1], strings.Join(Domains, ", "))
 			}
 			sawDomain = true
+		case "use":
+			if blk != nil {
+				return nil, fmt.Errorf("spec:%d: use inside factor block", lineNo)
+			}
+			if doc.Dataset != "" {
+				return nil, fmt.Errorf("spec:%d: duplicate use directive", lineNo)
+			}
+			if len(doc.Blocks) > 0 {
+				return nil, fmt.Errorf("spec:%d: use directive must precede all factor blocks", lineNo)
+			}
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("spec:%d: want 'use <dataset>'", lineNo)
+			}
+			doc.Dataset = fields[1]
 		case "var":
 			if blk != nil {
 				return nil, fmt.Errorf("spec:%d: var inside factor block", lineNo)
@@ -180,17 +211,35 @@ func ParseDocument(r io.Reader) (*Document, error) {
 			if blk != nil {
 				return nil, fmt.Errorf("spec:%d: nested factor block", lineNo)
 			}
-			if len(fields) < 2 {
+			varNames := fields[1:]
+			ref := ""
+			if len(varNames) > 0 && strings.HasPrefix(varNames[len(varNames)-1], "@") {
+				ref = varNames[len(varNames)-1][1:]
+				varNames = varNames[:len(varNames)-1]
+				if ref == "" {
+					return nil, fmt.Errorf("spec:%d: empty factor reference", lineNo)
+				}
+				if doc.Dataset == "" {
+					return nil, fmt.Errorf("spec:%d: factor reference @%s without a use directive", lineNo, ref)
+				}
+			}
+			if len(varNames) == 0 {
 				return nil, fmt.Errorf("spec:%d: factor needs at least one variable", lineNo)
 			}
-			blk = &FactorBlock{Line: lineNo}
-			for _, name := range fields[1:] {
+			blk = &FactorBlock{Line: lineNo, Ref: ref}
+			for _, name := range varNames {
 				v, ok := names[name]
 				if !ok {
 					return nil, fmt.Errorf("spec:%d: unknown variable %q", lineNo, name)
 				}
 				blk.Vars = append(blk.Vars, name)
 				blk.VarIDs = append(blk.VarIDs, v)
+			}
+			if ref != "" {
+				// A reference block is complete on its factor line: no data
+				// lines, no end.
+				doc.Blocks = append(doc.Blocks, *blk)
+				blk = nil
 			}
 		case "end":
 			if blk == nil {
@@ -234,6 +283,26 @@ func ParseDocument(r io.Reader) (*Document, error) {
 	return doc, nil
 }
 
+// Resolver supplies the factor data of an @<ref> block from an external
+// source (the serving tier's dataset store).  declVars are the block's
+// variable ids in declaration order — the column order of the stored
+// rows, exactly as for shipped factor frames — and the returned factor
+// must carry those variables sorted ascending (permuting columns as
+// needed).  The Build methods fail on any reference block when no
+// resolver is supplied.
+type Resolver[V any] func(d *semiring.Domain[V], ref string, declVars []int) (*factor.Factor[V], error)
+
+// StubResolver resolves every reference to an empty factor over the
+// declared variables: the right resolver for shape-only consumers
+// (/v1/plan), where factor data never influences the output.
+func StubResolver[V any]() Resolver[V] {
+	return func(d *semiring.Domain[V], _ string, declVars []int) (*factor.Factor[V], error) {
+		sorted := append([]int(nil), declVars...)
+		sort.Ints(sorted)
+		return factor.New(d, sorted, nil, nil, nil)
+	}
+}
+
 // NumFree counts the leading free variables.
 func (doc *Document) NumFree() int {
 	n := 0
@@ -248,39 +317,49 @@ func (doc *Document) NumFree() int {
 
 // BuildFloat instantiates the document over the real domain (float64, ·)
 // with sum/max aggregates.  The layout result holds each factor's
-// variables in declaration order (see ParseLayout).
-func (doc *Document) BuildFloat() (*core.Query[float64], [][]int, error) {
+// variables in declaration order (see ParseLayout).  An optional Resolver
+// supplies the data of @<ref> blocks; without one, reference blocks are a
+// build error.
+func (doc *Document) BuildFloat(resolve ...Resolver[float64]) (*core.Query[float64], [][]int, error) {
 	if err := doc.requireDomain(DomainFloat); err != nil {
 		return nil, nil, err
 	}
-	return buildQuery(doc, semiring.Float(), floatAgg, parseFloatValue)
+	return buildQuery(doc, semiring.Float(), floatAgg, parseFloatValue, pickResolver(resolve))
 }
 
 // BuildInt instantiates the document over the counting domain (int64, ·)
 // with sum/max aggregates.
-func (doc *Document) BuildInt() (*core.Query[int64], [][]int, error) {
+func (doc *Document) BuildInt(resolve ...Resolver[int64]) (*core.Query[int64], [][]int, error) {
 	if err := doc.requireDomain(DomainInt); err != nil {
 		return nil, nil, err
 	}
-	return buildQuery(doc, semiring.Int(), intAgg, parseIntValue)
+	return buildQuery(doc, semiring.Int(), intAgg, parseIntValue, pickResolver(resolve))
 }
 
 // BuildBool instantiates the document over the Boolean domain (∨, ∧).
-func (doc *Document) BuildBool() (*core.Query[bool], [][]int, error) {
+func (doc *Document) BuildBool(resolve ...Resolver[bool]) (*core.Query[bool], [][]int, error) {
 	if err := doc.requireDomain(DomainBool); err != nil {
 		return nil, nil, err
 	}
-	return buildQuery(doc, semiring.Bool(), boolAgg, parseBoolValue)
+	return buildQuery(doc, semiring.Bool(), boolAgg, parseBoolValue, pickResolver(resolve))
 }
 
 // BuildTropical instantiates the document over the tropical semiring
 // (min, +): values are path costs, min is the lawful aggregate, and the
 // additive identity is +∞ ("inf" in spec text).
-func (doc *Document) BuildTropical() (*core.Query[float64], [][]int, error) {
+func (doc *Document) BuildTropical(resolve ...Resolver[float64]) (*core.Query[float64], [][]int, error) {
 	if err := doc.requireDomain(DomainTropical); err != nil {
 		return nil, nil, err
 	}
-	return buildQuery(doc, semiring.Tropical(), tropicalAgg, parseFloatValue)
+	return buildQuery(doc, semiring.Tropical(), tropicalAgg, parseFloatValue, pickResolver(resolve))
+}
+
+// pickResolver unwraps the optional variadic resolver argument.
+func pickResolver[V any](rs []Resolver[V]) Resolver[V] {
+	if len(rs) > 0 {
+		return rs[0]
+	}
+	return nil
 }
 
 func (doc *Document) requireDomain(want string) error {
@@ -297,7 +376,7 @@ func (doc *Document) requireDomain(want string) error {
 // shipped data mean the same thing.
 func buildQuery[V any](doc *Document, d *semiring.Domain[V],
 	aggOf func(string) (core.Aggregate[V], error),
-	parseVal func(string) (V, error)) (*core.Query[V], [][]int, error) {
+	parseVal func(string) (V, error), resolve Resolver[V]) (*core.Query[V], [][]int, error) {
 
 	q := &core.Query[V]{D: d, NVars: len(doc.Vars), NumFree: doc.NumFree()}
 	for _, vd := range doc.Vars {
@@ -319,6 +398,29 @@ func buildQuery[V any](doc *Document, d *semiring.Domain[V],
 		sortedVars := make([]int, len(perm))
 		for i, p := range perm {
 			sortedVars[i] = blk.VarIDs[p]
+		}
+		if blk.Ref != "" {
+			if resolve == nil {
+				return nil, nil, fmt.Errorf(
+					"spec:%d: factor reference @%s needs a dataset resolver", blk.Line, blk.Ref)
+			}
+			f, err := resolve(d, blk.Ref, blk.VarIDs)
+			if err != nil {
+				return nil, nil, fmt.Errorf("spec:%d: @%s: %w", blk.Line, blk.Ref, err)
+			}
+			if len(f.Vars) != len(sortedVars) {
+				return nil, nil, fmt.Errorf("spec:%d: @%s: resolver returned arity %d, block declares %d",
+					blk.Line, blk.Ref, len(f.Vars), len(sortedVars))
+			}
+			for i := range sortedVars {
+				if f.Vars[i] != sortedVars[i] {
+					return nil, nil, fmt.Errorf("spec:%d: @%s: resolver variables %v, block declares %v",
+						blk.Line, blk.Ref, f.Vars, sortedVars)
+				}
+			}
+			q.Factors = append(q.Factors, f)
+			layout = append(layout, blk.VarIDs)
+			continue
 		}
 		tuples := make([][]int, len(blk.Tuples))
 		for i, raw := range blk.Tuples {

@@ -1,0 +1,118 @@
+package store
+
+import (
+	"errors"
+	"testing"
+	"unsafe"
+
+	"github.com/faqdb/faq/internal/wire"
+)
+
+// goodImage builds one complete, valid dataset image for corruption tests.
+func goodImage(t testing.TB) []byte {
+	t.Helper()
+	img, _, err := EncodeDataset("c", []*wire.Frame{floatFrame(), floatFrame()})
+	if err != nil {
+		t.Fatalf("EncodeDataset: %v", err)
+	}
+	return img
+}
+
+// typedStoreError reports whether err wraps one of the package's open-time
+// sentinels — the contract every corruption must satisfy: a typed error,
+// never a panic, never a silently wrong dataset.
+func typedStoreError(err error) bool {
+	return errors.Is(err, ErrBadMagic) || errors.Is(err, ErrVersion) ||
+		errors.Is(err, ErrTruncated) || errors.Is(err, ErrChecksum) ||
+		errors.Is(err, ErrManifest)
+}
+
+// aligned8 copies b into an 8-aligned buffer, matching the alignment
+// guarantee of the real mmap and fallback read paths.
+func aligned8(b []byte) []byte {
+	words := make([]uint64, (len(b)+7)/8+1)
+	out := unsafe.Slice((*byte)(unsafe.Pointer(&words[0])), len(b))
+	copy(out, b)
+	return out
+}
+
+// TestOpenTruncatedAtEveryBoundary truncates the image at every byte
+// position: each prefix must yield a typed sentinel error.
+func TestOpenTruncatedAtEveryBoundary(t *testing.T) {
+	img := goodImage(t)
+	for n := 0; n < len(img); n++ {
+		ds, err := openBytes(aligned8(img[:n]))
+		if err == nil {
+			ds.Release()
+			t.Fatalf("truncation at %d/%d bytes opened successfully", n, len(img))
+		}
+		if !typedStoreError(err) {
+			t.Fatalf("truncation at %d: untyped error %v", n, err)
+		}
+	}
+}
+
+// TestOpenFlippedEveryByte flips every byte of the image in turn: header,
+// manifest, CRC and payload corruption must all be detected.
+func TestOpenFlippedEveryByte(t *testing.T) {
+	img := goodImage(t)
+	for i := range img {
+		mut := aligned8(img)
+		mut[i] ^= 0xFF
+		ds, err := openBytes(mut)
+		if err == nil {
+			ds.Release()
+			t.Fatalf("flipping byte %d/%d went undetected", i, len(img))
+		}
+		if !typedStoreError(err) {
+			t.Fatalf("flipping byte %d: untyped error %v", i, err)
+		}
+	}
+}
+
+// TestOpenTrailingBytes appends garbage after a valid image; the exact
+// length check must reject it.
+func TestOpenTrailingBytes(t *testing.T) {
+	img := append(goodImage(t), 0, 0, 0, 0, 0, 0, 0, 0)
+	if _, err := openBytes(aligned8(img)); !errors.Is(err, ErrManifest) {
+		t.Fatalf("trailing bytes: err = %v, want ErrManifest", err)
+	}
+}
+
+func FuzzStoreOpen(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("FAQS"))
+	img, _, err := EncodeDataset("seed", []*wire.Frame{floatFrame()})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(img)
+	imgInt, _, err := EncodeDataset("seed2", []*wire.Frame{intFrame(), intFrame()})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(imgInt)
+	imgBool, _, err := EncodeDataset("seed3", []*wire.Frame{boolFrame()})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(imgBool)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ds, err := openBytes(aligned8(data))
+		if err != nil {
+			if !typedStoreError(err) {
+				t.Fatalf("untyped open error: %v", err)
+			}
+			return
+		}
+		// A successful open must be internally consistent and safe to read.
+		for i := 0; i < ds.NumFactors(); i++ {
+			meta := ds.Meta(i)
+			if len(ds.Rows(i)) != meta.Rows*meta.Arity {
+				t.Fatalf("factor %d: %d row cells for %d×%d", i, len(ds.Rows(i)), meta.Rows, meta.Arity)
+			}
+		}
+		ds.Release()
+	})
+}

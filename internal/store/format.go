@@ -1,0 +1,128 @@
+// Package store implements the faqd persistent dataset store: named,
+// checksummed, versioned on-disk factor sets that the server memory-maps
+// and serves zero-copy.  A dataset file holds a JSON manifest plus one
+// segment per factor in the internal/wire frame layout (uvarint header,
+// row-major []int32 block, raw little-endian value column), so the bytes
+// on disk are exactly the bytes internal/factor uses in memory: a cold
+// start is checksum verification plus pointer fixup, with no decode and no
+// heap copy of factor data.
+//
+// # File layout (.faqds, version 1)
+//
+// Every multi-byte integer is little-endian; varint fields use the
+// unsigned LEB128 encoding of encoding/binary.
+//
+//	"FAQS"   4-byte magic
+//	uvarint  format version (currently 1)
+//	uvarint  manifest length, then that many bytes of manifest JSON
+//	uint32   CRC-32 (IEEE) of every byte above, including the magic
+//	zeros    padding to the next multiple of 8 — the segment base
+//	segments one per factor, contiguous, each starting 8-aligned
+//
+// Each segment repeats the wire frame payload with 8-byte alignment pads
+// so the row and value columns can be reinterpreted in place:
+//
+//	header   wire frame prelude: uvarint version, domain byte,
+//	         uvarint arity, uvarint row count
+//	zeros    padding to the next multiple of 8 from the segment start
+//	rows     row count × arity × int32, row-major
+//	zeros    padding to the next multiple of 8
+//	values   row count × value (8-byte float64/int64, 1-byte bool)
+//	zeros    padding to the next multiple of 8
+//
+// The manifest records each segment's offset (relative to the segment
+// base), padded length and a CRC-32 over the whole padded segment.  Rows
+// in every segment are strictly lexicographically sorted, duplicate-free
+// and zero-value-free (the writer canonicalizes uploads through
+// factor.NewRows), which is what lets factor.NewView adopt the mapped
+// columns without copying.
+//
+// Files are written to a temp file in the dataset directory, fsynced and
+// atomically renamed into place, so a crashed writer never publishes a
+// half dataset.
+package store
+
+import (
+	"errors"
+	"regexp"
+)
+
+// magic starts every dataset file.
+const magic = "FAQS"
+
+// FormatVersion is the on-disk format version this package writes and the
+// only version it accepts when opening.
+const FormatVersion = 1
+
+// FileSuffix is the dataset file extension under the store directory.
+const FileSuffix = ".faqds"
+
+// maxManifestBytes bounds the declared manifest length so a corrupt
+// prefix cannot drive a huge allocation.
+const maxManifestBytes = 1 << 24
+
+// Sentinel errors returned (wrapped, with detail) by Open and the Store
+// methods.  Match with errors.Is.
+var (
+	// ErrBadMagic means the file does not start with the "FAQS" magic.
+	ErrBadMagic = errors.New("store: bad dataset magic")
+	// ErrVersion means the file declares an unsupported format version.
+	ErrVersion = errors.New("store: unsupported format version")
+	// ErrTruncated means the file ends before its declared contents do.
+	ErrTruncated = errors.New("store: truncated dataset file")
+	// ErrChecksum means a manifest or segment CRC does not match its bytes.
+	ErrChecksum = errors.New("store: checksum mismatch")
+	// ErrManifest means the manifest is unparseable or structurally
+	// inconsistent with the file (bad offsets, mismatched headers,
+	// non-zero padding, trailing bytes).
+	ErrManifest = errors.New("store: invalid dataset manifest")
+	// ErrBadName means a dataset name fails validation (see ValidName).
+	ErrBadName = errors.New("store: invalid dataset name")
+	// ErrUpload means uploaded factor data could not be canonicalized
+	// (duplicate tuples, mixed domains, no factors) — a client error.
+	ErrUpload = errors.New("store: invalid upload")
+	// ErrNotFound means the named dataset is not in the store.
+	ErrNotFound = errors.New("store: dataset not found")
+	// ErrClosed means the store has been closed.
+	ErrClosed = errors.New("store: closed")
+)
+
+// Manifest describes a dataset file: its name, the value domain shared by
+// every factor, and one FactorMeta per segment in spec order.
+type Manifest struct {
+	// Name is the dataset name the file was published under.
+	Name string `json:"name"`
+	// Domain is the spec-format domain name ("float", "int", "bool",
+	// "tropical") shared by every factor in the dataset.
+	Domain string `json:"domain"`
+	// Factors lists the segments in order; spec references (@0, @1, …)
+	// index into this list.
+	Factors []FactorMeta `json:"factors"`
+}
+
+// FactorMeta describes one stored factor segment.
+type FactorMeta struct {
+	// Arity is the number of columns per row.
+	Arity int `json:"arity"`
+	// Rows is the number of stored (non-zero) tuples.
+	Rows int `json:"rows"`
+	// Offset is the segment start relative to the file's segment base;
+	// always a multiple of 8.
+	Offset int64 `json:"offset"`
+	// Length is the padded segment length in bytes.
+	Length int64 `json:"length"`
+	// CRC32 is the CRC-32 (IEEE) of the padded segment bytes.
+	CRC32 uint32 `json:"crc32"`
+}
+
+// nameRE validates dataset names: they become file names, so the alphabet
+// excludes path separators and a leading dot (no hidden files, no "..").
+var nameRE = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9._-]{0,127}$`)
+
+// ValidName reports whether name is a legal dataset name: 1–128 characters
+// of [A-Za-z0-9._-], not starting with '.', '_' or '-'.
+func ValidName(name string) bool { return nameRE.MatchString(name) }
+
+// pad8 returns the number of zero bytes needed to advance n to the next
+// multiple of 8.
+func pad8(n int) int { return (8 - n%8) % 8 }

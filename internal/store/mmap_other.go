@@ -1,0 +1,25 @@
+//go:build !unix
+
+package store
+
+import (
+	"io"
+	"os"
+	"unsafe"
+)
+
+// mapFile on platforms without syscall.Mmap reads the file into an
+// 8-aligned heap buffer (backed by []uint64, so the in-place column views
+// keep their alignment guarantee).  Serving still works identically; only
+// the larger-than-RAM property is lost.
+func mapFile(f *os.File, size int) (data []byte, unmap func() error, err error) {
+	if size == 0 {
+		return nil, func() error { return nil }, nil
+	}
+	words := make([]uint64, (size+7)/8)
+	data = unsafe.Slice((*byte)(unsafe.Pointer(&words[0])), size)
+	if _, err := io.ReadFull(io.NewSectionReader(f, 0, int64(size)), data); err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return nil }, nil
+}

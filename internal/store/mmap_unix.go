@@ -1,0 +1,23 @@
+//go:build unix
+
+package store
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile memory-maps size bytes of f read-only.  The mapping base is
+// page-aligned, so the format's 8-aligned column offsets stay 8-aligned
+// in memory — the precondition for the in-place column views.  Pages are
+// faulted in on demand, so datasets larger than RAM serve fine.
+func mapFile(f *os.File, size int) (data []byte, unmap func() error, err error) {
+	if size == 0 {
+		return nil, func() error { return nil }, nil
+	}
+	b, err := syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, err
+	}
+	return b, func() error { return syscall.Munmap(b) }, nil
+}

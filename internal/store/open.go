@@ -1,0 +1,301 @@
+package store
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"sync/atomic"
+	"unsafe"
+
+	"github.com/faqdb/faq/internal/wire"
+)
+
+// Dataset is one opened dataset file: verified, memory-mapped (where the
+// platform supports it) and served zero-copy.  The row and value column
+// accessors return slices aliasing the mapped file — callers must treat
+// them as read-only and must hold a reference (Acquire/Release) for as
+// long as they use them; the mapping is released when the last reference
+// drops.
+type Dataset struct {
+	manifest Manifest
+	domain   wire.Domain
+	path     string
+
+	data  []byte
+	unmap func() error
+
+	refs    atomic.Int64
+	factors []segView
+}
+
+// segView holds the fixed-up column views of one segment.
+type segView struct {
+	rows   []int32
+	floats []float64
+	ints   []int64
+	bools  []bool
+}
+
+// littleEndianHost reports whether the host stores integers little-endian
+// — the precondition for reinterpreting the on-disk columns in place.
+func littleEndianHost() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}
+
+// Open maps and fully verifies one dataset file: magic, version, manifest
+// CRC and structure, every segment CRC, and the consistency of each
+// segment's embedded frame header with the manifest.  On success the
+// returned Dataset holds one reference (the caller's) and serves its
+// columns as views directly over the mapped bytes — no decode, no copy.
+// Errors wrap the package sentinels.
+func Open(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	if st.Size() > int64(int(^uint(0)>>1)) {
+		return nil, fmt.Errorf("%w: %d bytes", ErrTruncated, st.Size())
+	}
+	data, unmap, err := mapFile(f, int(st.Size()))
+	if err != nil {
+		return nil, fmt.Errorf("store: mapping %s: %w", path, err)
+	}
+	ds, err := openBytes(data)
+	if err != nil {
+		unmap()
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	ds.path = path
+	ds.unmap = unmap
+	return ds, nil
+}
+
+// openBytes verifies and fixes up a complete dataset image.  The returned
+// Dataset aliases data.
+func openBytes(data []byte) (*Dataset, error) {
+	if len(data) < len(magic) || string(data[:len(magic)]) != magic {
+		return nil, fmt.Errorf("%w", ErrBadMagic)
+	}
+	pos := len(magic)
+	ver, n := binary.Uvarint(data[pos:])
+	if n <= 0 {
+		return nil, fmt.Errorf("%w: unreadable format version", ErrTruncated)
+	}
+	pos += n
+	if ver != FormatVersion {
+		return nil, fmt.Errorf("%w: format version %d (want %d)", ErrVersion, ver, FormatVersion)
+	}
+	mlen, n := binary.Uvarint(data[pos:])
+	if n <= 0 {
+		return nil, fmt.Errorf("%w: unreadable manifest length", ErrTruncated)
+	}
+	pos += n
+	if mlen > maxManifestBytes {
+		return nil, fmt.Errorf("%w: %d-byte manifest (limit %d)", ErrManifest, mlen, maxManifestBytes)
+	}
+	if uint64(len(data)-pos) < mlen+4 {
+		return nil, fmt.Errorf("%w: file ends inside the manifest", ErrTruncated)
+	}
+	manJSON := data[pos : pos+int(mlen)]
+	pos += int(mlen)
+	wantCRC := binary.LittleEndian.Uint32(data[pos:])
+	if got := crc32.ChecksumIEEE(data[:pos]); got != wantCRC {
+		return nil, fmt.Errorf("%w: manifest CRC %08x, computed %08x", ErrChecksum, wantCRC, got)
+	}
+	pos += 4
+	segBase := pos + pad8(pos)
+	if segBase > len(data) {
+		return nil, fmt.Errorf("%w: file ends inside header padding", ErrTruncated)
+	}
+	for ; pos < segBase; pos++ {
+		if data[pos] != 0 {
+			return nil, fmt.Errorf("%w: non-zero header padding at byte %d", ErrManifest, pos)
+		}
+	}
+
+	ds := &Dataset{data: data, unmap: func() error { return nil }}
+	if err := json.Unmarshal(manJSON, &ds.manifest); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrManifest, err)
+	}
+	dom, err := wire.ParseDomain(ds.manifest.Domain)
+	if err != nil {
+		return nil, fmt.Errorf("%w: domain %q", ErrManifest, ds.manifest.Domain)
+	}
+	ds.domain = dom
+	if len(ds.manifest.Factors) == 0 {
+		return nil, fmt.Errorf("%w: no factors", ErrManifest)
+	}
+
+	next := int64(0)
+	for i, meta := range ds.manifest.Factors {
+		if meta.Offset != next {
+			return nil, fmt.Errorf("%w: factor %d at offset %d, expected %d", ErrManifest, i, meta.Offset, next)
+		}
+		if meta.Offset%8 != 0 {
+			return nil, fmt.Errorf("%w: factor %d offset %d not 8-aligned", ErrManifest, i, meta.Offset)
+		}
+		if meta.Arity < 0 || meta.Arity > wire.MaxArity || meta.Rows < 0 {
+			return nil, fmt.Errorf("%w: factor %d shape %d×%d", ErrManifest, i, meta.Rows, meta.Arity)
+		}
+		hdr := wire.FrameHeader{Domain: dom, Arity: meta.Arity, Rows: meta.Rows}
+		rowsOff, valsOff, length := segmentLayout(hdr)
+		if int64(length) != meta.Length {
+			return nil, fmt.Errorf("%w: factor %d length %d, layout needs %d", ErrManifest, i, meta.Length, length)
+		}
+		segStart := int64(segBase) + meta.Offset
+		segEnd := segStart + meta.Length
+		if segEnd > int64(len(data)) {
+			return nil, fmt.Errorf("%w: file ends inside factor %d", ErrTruncated, i)
+		}
+		seg := data[segStart:segEnd]
+		if got := crc32.ChecksumIEEE(seg); got != meta.CRC32 {
+			return nil, fmt.Errorf("%w: factor %d CRC %08x, computed %08x", ErrChecksum, i, meta.CRC32, got)
+		}
+		got, hlen, err := wire.ParseFrameHeader(seg)
+		if err != nil {
+			return nil, fmt.Errorf("%w: factor %d header: %v", ErrManifest, i, err)
+		}
+		if got != hdr {
+			return nil, fmt.Errorf("%w: factor %d header %+v, manifest says %+v", ErrManifest, i, got, hdr)
+		}
+		for _, p := range seg[hlen:rowsOff] {
+			if p != 0 {
+				return nil, fmt.Errorf("%w: factor %d non-zero header padding", ErrManifest, i)
+			}
+		}
+		view, err := fixupSegment(seg, dom, meta, rowsOff, valsOff)
+		if err != nil {
+			return nil, fmt.Errorf("factor %d: %w", i, err)
+		}
+		ds.factors = append(ds.factors, view)
+		next = segEnd - int64(segBase)
+	}
+	if int64(segBase)+next != int64(len(data)) {
+		return nil, fmt.Errorf("%w: %d trailing bytes after the last factor",
+			ErrManifest, int64(len(data))-int64(segBase)-next)
+	}
+	ds.refs.Store(1)
+	return ds, nil
+}
+
+// fixupSegment builds the typed column views over one verified segment.
+// On little-endian hosts this is pure pointer fixup; a big-endian host
+// falls back to a decoded heap copy so results stay correct everywhere.
+func fixupSegment(seg []byte, dom wire.Domain, meta FactorMeta, rowsOff, valsOff int) (segView, error) {
+	var v segView
+	nCells := meta.Rows * meta.Arity
+	vals := seg[valsOff : valsOff+dom.ValueSize()*meta.Rows]
+	if dom == wire.DomainBool {
+		// One byte per bool; stored factors hold only non-zero values, so
+		// every byte must be exactly 1 for the []bool reinterpretation (and
+		// the listing semantics) to be sound.
+		for i, b := range vals {
+			if b != 1 {
+				return v, fmt.Errorf("%w: bool value %d at row %d (want 1)", ErrManifest, b, i)
+			}
+		}
+	}
+	if littleEndianHost() {
+		if nCells > 0 {
+			v.rows = unsafe.Slice((*int32)(unsafe.Pointer(&seg[rowsOff])), nCells)
+		}
+		if meta.Rows > 0 {
+			switch dom {
+			case wire.DomainFloat, wire.DomainTropical:
+				v.floats = unsafe.Slice((*float64)(unsafe.Pointer(&vals[0])), meta.Rows)
+			case wire.DomainInt:
+				v.ints = unsafe.Slice((*int64)(unsafe.Pointer(&vals[0])), meta.Rows)
+			case wire.DomainBool:
+				v.bools = unsafe.Slice((*bool)(unsafe.Pointer(&vals[0])), meta.Rows)
+			}
+		}
+		return v, nil
+	}
+	v.rows = make([]int32, nCells)
+	for i := range v.rows {
+		v.rows[i] = int32(binary.LittleEndian.Uint32(seg[rowsOff+4*i:]))
+	}
+	switch dom {
+	case wire.DomainFloat, wire.DomainTropical:
+		v.floats = make([]float64, meta.Rows)
+		for i := range v.floats {
+			bits := binary.LittleEndian.Uint64(vals[8*i:])
+			v.floats[i] = *(*float64)(unsafe.Pointer(&bits))
+		}
+	case wire.DomainInt:
+		v.ints = make([]int64, meta.Rows)
+		for i := range v.ints {
+			v.ints[i] = int64(binary.LittleEndian.Uint64(vals[8*i:]))
+		}
+	case wire.DomainBool:
+		v.bools = make([]bool, meta.Rows)
+		for i := range v.bools {
+			v.bools[i] = vals[i] == 1
+		}
+	}
+	return v, nil
+}
+
+// Name returns the dataset name recorded in the manifest.
+func (d *Dataset) Name() string { return d.manifest.Name }
+
+// Domain returns the wire value domain shared by every factor.
+func (d *Dataset) Domain() wire.Domain { return d.domain }
+
+// Path returns the file the dataset was opened from.
+func (d *Dataset) Path() string { return d.path }
+
+// Bytes returns the size of the mapped file in bytes.
+func (d *Dataset) Bytes() int { return len(d.data) }
+
+// NumFactors returns the number of stored factors.
+func (d *Dataset) NumFactors() int { return len(d.factors) }
+
+// Meta returns the manifest entry of factor i.
+func (d *Dataset) Meta(i int) FactorMeta { return d.manifest.Factors[i] }
+
+// Manifest returns a copy of the file manifest.
+func (d *Dataset) Manifest() Manifest {
+	m := d.manifest
+	m.Factors = append([]FactorMeta(nil), d.manifest.Factors...)
+	return m
+}
+
+// Rows returns factor i's row-major tuple block as a view over the mapped
+// file; read-only, valid while the caller holds a reference.
+func (d *Dataset) Rows(i int) []int32 { return d.factors[i].rows }
+
+// Floats returns factor i's value column for float and tropical datasets;
+// read-only, valid while the caller holds a reference.
+func (d *Dataset) Floats(i int) []float64 { return d.factors[i].floats }
+
+// Ints returns factor i's value column for int datasets; read-only, valid
+// while the caller holds a reference.
+func (d *Dataset) Ints(i int) []int64 { return d.factors[i].ints }
+
+// Bools returns factor i's value column for bool datasets; read-only,
+// valid while the caller holds a reference.
+func (d *Dataset) Bools(i int) []bool { return d.factors[i].bools }
+
+// Acquire takes an additional reference; every Acquire must be paired
+// with a Release.
+func (d *Dataset) Acquire() { d.refs.Add(1) }
+
+// Release drops one reference; the last release unmaps the file.  Using
+// any column view after the final Release is a use-after-unmap.
+func (d *Dataset) Release() error {
+	if n := d.refs.Add(-1); n == 0 {
+		return d.unmap()
+	} else if n < 0 {
+		panic("store: Dataset released more times than acquired")
+	}
+	return nil
+}

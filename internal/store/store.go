@@ -1,0 +1,205 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"github.com/faqdb/faq/internal/wire"
+)
+
+// Store is the on-disk dataset catalog: a directory of .faqds files plus
+// an in-memory index of the opened (mapped) datasets, safe for concurrent
+// use.  The catalog holds one reference on every resident dataset; Get
+// hands the caller an additional reference, so a dataset replaced or
+// deleted mid-request stays mapped until its last user releases it.
+type Store struct {
+	dir string
+
+	mu     sync.RWMutex
+	byName map[string]*Dataset
+	closed bool
+
+	checksumFailures atomic.Int64
+	loadErrs         []string
+}
+
+// OpenDir opens (creating if needed) the dataset directory and maps every
+// valid .faqds file in it — the faqd warm-restart path.  Files that fail
+// verification are skipped, recorded in LoadErrors, and counted in
+// ChecksumFailures when the failure is a CRC mismatch; one bad file never
+// blocks the rest of the catalog.
+func OpenDir(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{dir: dir, byName: make(map[string]*Dataset)}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), FileSuffix) {
+			continue
+		}
+		name := strings.TrimSuffix(e.Name(), FileSuffix)
+		if !ValidName(name) {
+			s.loadErrs = append(s.loadErrs, fmt.Sprintf("%s: %v", e.Name(), ErrBadName))
+			continue
+		}
+		ds, err := Open(filepath.Join(dir, e.Name()))
+		if err != nil {
+			if errors.Is(err, ErrChecksum) {
+				s.checksumFailures.Add(1)
+			}
+			s.loadErrs = append(s.loadErrs, err.Error())
+			continue
+		}
+		s.byName[name] = ds
+	}
+	return s, nil
+}
+
+// Dir returns the dataset directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Put canonicalizes frames, writes them as a dataset file (atomic
+// temp-file + rename), re-opens the published file through the same
+// verification path a cold start uses, and swaps it into the catalog.
+// An existing dataset of the same name is replaced; its mapping lives on
+// until the last in-flight reference releases it.
+func (s *Store) Put(name string, frames []*wire.Frame) (Manifest, error) {
+	if !ValidName(name) {
+		return Manifest{}, fmt.Errorf("%w: %q", ErrBadName, name)
+	}
+	path := filepath.Join(s.dir, name+FileSuffix)
+
+	// Serialize writers per store: concurrent PUTs of one name must not
+	// interleave write/open/swap.
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return Manifest{}, ErrClosed
+	}
+	if _, err := WriteFile(path, name, frames); err != nil {
+		return Manifest{}, err
+	}
+	ds, err := Open(path)
+	if err != nil {
+		if errors.Is(err, ErrChecksum) {
+			s.checksumFailures.Add(1)
+		}
+		os.Remove(path)
+		return Manifest{}, fmt.Errorf("store: verifying published dataset: %w", err)
+	}
+	if old := s.byName[name]; old != nil {
+		defer old.Release()
+	}
+	s.byName[name] = ds
+	return ds.Manifest(), nil
+}
+
+// Get returns the named dataset with a reference held for the caller,
+// who must Release it when done.
+func (s *Store) Get(name string) (*Dataset, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	ds := s.byName[name]
+	if ds == nil {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	ds.Acquire()
+	return ds, nil
+}
+
+// Delete removes the named dataset from the catalog and deletes its file.
+// In-flight users of the dataset keep a valid mapping until they release.
+func (s *Store) Delete(name string) error {
+	if !ValidName(name) {
+		return fmt.Errorf("%w: %q", ErrBadName, name)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	ds := s.byName[name]
+	if ds == nil {
+		return fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	delete(s.byName, name)
+	if err := os.Remove(filepath.Join(s.dir, name+FileSuffix)); err != nil {
+		ds.Release()
+		return fmt.Errorf("store: %w", err)
+	}
+	return ds.Release()
+}
+
+// List returns the manifests of every resident dataset, sorted by name.
+func (s *Store) List() []Manifest {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]Manifest, 0, len(s.byName))
+	for _, ds := range s.byName {
+		out = append(out, ds.Manifest())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Len returns the number of resident datasets.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.byName)
+}
+
+// BytesMapped returns the total mapped bytes across resident datasets.
+func (s *Store) BytesMapped() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var total int64
+	for _, ds := range s.byName {
+		total += int64(ds.Bytes())
+	}
+	return total
+}
+
+// ChecksumFailures returns how many dataset opens have failed with a CRC
+// mismatch over the store's lifetime (boot scan plus later operations).
+func (s *Store) ChecksumFailures() int64 { return s.checksumFailures.Load() }
+
+// LoadErrors returns the per-file failures recorded while scanning the
+// directory at OpenDir time.
+func (s *Store) LoadErrors() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]string(nil), s.loadErrs...)
+}
+
+// Close drops the catalog's references.  Datasets still held by callers
+// stay mapped until those references release.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	var first error
+	for name, ds := range s.byName {
+		if err := ds.Release(); err != nil && first == nil {
+			first = err
+		}
+		delete(s.byName, name)
+	}
+	return first
+}

@@ -1,0 +1,298 @@
+package store
+
+import (
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/faqdb/faq/internal/wire"
+)
+
+// floatFrame returns a small float frame with deliberately unsorted rows:
+// the writer must canonicalize, and the opened dataset must serve the
+// sorted order.
+func floatFrame() *wire.Frame {
+	return &wire.Frame{
+		Domain: wire.DomainFloat, Arity: 2,
+		Rows:   []int32{5, 1, 0, 2, 3, 4},
+		Floats: []float64{2.5, 0.25, 7},
+	}
+}
+
+func intFrame() *wire.Frame {
+	return &wire.Frame{
+		Domain: wire.DomainInt, Arity: 1,
+		Rows: []int32{9, 4},
+		Ints: []int64{-3, 1 << 40},
+	}
+}
+
+func boolFrame() *wire.Frame {
+	return &wire.Frame{
+		Domain: wire.DomainBool, Arity: 2,
+		Rows:  []int32{1, 2, 0, 1},
+		Bools: []bool{true, true},
+	}
+}
+
+func tropicalFrame() *wire.Frame {
+	return &wire.Frame{
+		Domain: wire.DomainTropical, Arity: 1,
+		Rows:   []int32{3, 1},
+		Floats: []float64{1.5, -2},
+	}
+}
+
+func TestWriteOpenRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tri"+FileSuffix)
+	if _, err := WriteFile(path, "tri", []*wire.Frame{floatFrame(), floatFrame()}); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	ds, err := Open(path)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer ds.Release()
+
+	if ds.Name() != "tri" || ds.Domain() != wire.DomainFloat || ds.NumFactors() != 2 {
+		t.Fatalf("dataset identity: name=%q domain=%v factors=%d", ds.Name(), ds.Domain(), ds.NumFactors())
+	}
+	wantRows := []int32{0, 2, 3, 4, 5, 1} // canonical lexicographic order
+	wantVals := []float64{0.25, 7, 2.5}
+	for i := 0; i < 2; i++ {
+		rows, vals := ds.Rows(i), ds.Floats(i)
+		if len(rows) != len(wantRows) || len(vals) != len(wantVals) {
+			t.Fatalf("factor %d shape: %d cells, %d values", i, len(rows), len(vals))
+		}
+		for j := range wantRows {
+			if rows[j] != wantRows[j] {
+				t.Fatalf("factor %d rows = %v, want %v", i, rows, wantRows)
+			}
+		}
+		for j := range wantVals {
+			if math.Float64bits(vals[j]) != math.Float64bits(wantVals[j]) {
+				t.Fatalf("factor %d values = %v, want %v", i, vals, wantVals)
+			}
+		}
+	}
+	if ds.Meta(0).Rows != 3 || ds.Meta(0).Arity != 2 {
+		t.Fatalf("meta = %+v", ds.Meta(0))
+	}
+}
+
+func TestRoundTripAllDomains(t *testing.T) {
+	cases := []struct {
+		name  string
+		frame *wire.Frame
+	}{
+		{"float", floatFrame()},
+		{"int", intFrame()},
+		{"bool", boolFrame()},
+		{"tropical", tropicalFrame()},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "d"+FileSuffix)
+			if _, err := WriteFile(path, "d", []*wire.Frame{tc.frame}); err != nil {
+				t.Fatalf("WriteFile: %v", err)
+			}
+			ds, err := Open(path)
+			if err != nil {
+				t.Fatalf("Open: %v", err)
+			}
+			defer ds.Release()
+			if ds.Domain() != tc.frame.Domain {
+				t.Fatalf("domain = %v, want %v", ds.Domain(), tc.frame.Domain)
+			}
+			if got := ds.Meta(0).Rows; got != tc.frame.NumRows() {
+				t.Fatalf("rows = %d, want %d", got, tc.frame.NumRows())
+			}
+			switch tc.frame.Domain {
+			case wire.DomainFloat, wire.DomainTropical:
+				if ds.Floats(0) == nil {
+					t.Fatal("nil float column")
+				}
+			case wire.DomainInt:
+				if got := ds.Ints(0); got[0] != -3 && got[1] != -3 {
+					t.Fatalf("int column = %v", got)
+				}
+			case wire.DomainBool:
+				for _, b := range ds.Bools(0) {
+					if !b {
+						t.Fatalf("bool column = %v", ds.Bools(0))
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestEncodeDatasetZeroValuesDropped(t *testing.T) {
+	f := &wire.Frame{
+		Domain: wire.DomainFloat, Arity: 1,
+		Rows:   []int32{0, 1, 2},
+		Floats: []float64{1, 0, 3}, // the float zero is the domain zero
+	}
+	_, man, err := EncodeDataset("z", []*wire.Frame{f})
+	if err != nil {
+		t.Fatalf("EncodeDataset: %v", err)
+	}
+	if man.Factors[0].Rows != 2 {
+		t.Fatalf("stored %d rows, want 2 (zero dropped)", man.Factors[0].Rows)
+	}
+}
+
+func TestEncodeDatasetUploadErrors(t *testing.T) {
+	dup := &wire.Frame{
+		Domain: wire.DomainFloat, Arity: 1,
+		Rows:   []int32{1, 1},
+		Floats: []float64{2, 3},
+	}
+	if _, _, err := EncodeDataset("d", []*wire.Frame{dup}); !errors.Is(err, ErrUpload) {
+		t.Fatalf("duplicate rows: err = %v, want ErrUpload", err)
+	}
+	if _, _, err := EncodeDataset("d", nil); !errors.Is(err, ErrUpload) {
+		t.Fatalf("no frames: err = %v, want ErrUpload", err)
+	}
+	mixed := []*wire.Frame{floatFrame(), intFrame()}
+	if _, _, err := EncodeDataset("d", mixed); !errors.Is(err, ErrUpload) {
+		t.Fatalf("mixed domains: err = %v, want ErrUpload", err)
+	}
+	if _, _, err := EncodeDataset("../escape", []*wire.Frame{floatFrame()}); !errors.Is(err, ErrBadName) {
+		t.Fatalf("bad name: err = %v, want ErrBadName", err)
+	}
+}
+
+func TestValidName(t *testing.T) {
+	for _, ok := range []string{"a", "tri", "data-set_1.v2", "A0"} {
+		if !ValidName(ok) {
+			t.Errorf("ValidName(%q) = false, want true", ok)
+		}
+	}
+	for _, bad := range []string{"", ".", "..", ".hidden", "-x", "_x", "a/b", "a\\b", "a b",
+		"x..y/..", string(make([]byte, 200))} {
+		if ValidName(bad) {
+			t.Errorf("ValidName(%q) = true, want false", bad)
+		}
+	}
+}
+
+func TestStoreLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenDir(dir)
+	if err != nil {
+		t.Fatalf("OpenDir: %v", err)
+	}
+	defer s.Close()
+
+	if _, err := s.Get("tri"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get before Put: %v, want ErrNotFound", err)
+	}
+	man, err := s.Put("tri", []*wire.Frame{floatFrame()})
+	if err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if man.Name != "tri" || len(man.Factors) != 1 {
+		t.Fatalf("manifest = %+v", man)
+	}
+	if _, err := s.Put("bools", []*wire.Frame{boolFrame()}); err != nil {
+		t.Fatalf("Put bools: %v", err)
+	}
+	if s.Len() != 2 || s.BytesMapped() <= 0 {
+		t.Fatalf("Len=%d BytesMapped=%d", s.Len(), s.BytesMapped())
+	}
+	list := s.List()
+	if len(list) != 2 || list[0].Name != "bools" || list[1].Name != "tri" {
+		t.Fatalf("List = %+v", list)
+	}
+
+	ds, err := s.Get("tri")
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	// Replace while a reference is out: the old mapping must stay valid.
+	if _, err := s.Put("tri", []*wire.Frame{floatFrame(), floatFrame()}); err != nil {
+		t.Fatalf("Put replace: %v", err)
+	}
+	if ds.NumFactors() != 1 || ds.Rows(0)[0] != 0 {
+		t.Fatal("old mapping corrupted after replace")
+	}
+	ds.Release()
+
+	ds2, err := s.Get("tri")
+	if err != nil {
+		t.Fatalf("Get replaced: %v", err)
+	}
+	if ds2.NumFactors() != 2 {
+		t.Fatalf("replaced dataset has %d factors, want 2", ds2.NumFactors())
+	}
+	ds2.Release()
+
+	if err := s.Delete("tri"); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if err := s.Delete("tri"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double Delete: %v, want ErrNotFound", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "tri"+FileSuffix)); !os.IsNotExist(err) {
+		t.Fatalf("file survives Delete: %v", err)
+	}
+	if _, err := s.Put("../escape", []*wire.Frame{floatFrame()}); !errors.Is(err, ErrBadName) {
+		t.Fatalf("Put traversal name: %v, want ErrBadName", err)
+	}
+}
+
+func TestOpenDirWarmRestart(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenDir(dir)
+	if err != nil {
+		t.Fatalf("OpenDir: %v", err)
+	}
+	if _, err := s.Put("tri", []*wire.Frame{floatFrame()}); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if _, err := s.Put("ints", []*wire.Frame{intFrame()}); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := s.Get("tri"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Get after Close: %v, want ErrClosed", err)
+	}
+
+	// A corrupt file and a stray file must not block the rest.
+	img, err := os.ReadFile(filepath.Join(dir, "tri"+FileSuffix))
+	if err != nil {
+		t.Fatal(err)
+	}
+	img[len(img)-1] ^= 0xFF
+	if err := os.WriteFile(filepath.Join(dir, "bad"+FileSuffix), img, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "notes.txt"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := OpenDir(dir)
+	if err != nil {
+		t.Fatalf("OpenDir restart: %v", err)
+	}
+	defer s2.Close()
+	if s2.Len() != 2 {
+		t.Fatalf("restart Len = %d, want 2", s2.Len())
+	}
+	if s2.ChecksumFailures() != 1 || len(s2.LoadErrors()) != 1 {
+		t.Fatalf("ChecksumFailures=%d LoadErrors=%v", s2.ChecksumFailures(), s2.LoadErrors())
+	}
+	ds, err := s2.Get("tri")
+	if err != nil {
+		t.Fatalf("Get after restart: %v", err)
+	}
+	defer ds.Release()
+	if ds.Rows(0)[0] != 0 || math.Float64bits(ds.Floats(0)[0]) != math.Float64bits(0.25) {
+		t.Fatalf("restart served rows=%v values=%v", ds.Rows(0), ds.Floats(0))
+	}
+}

@@ -1,0 +1,186 @@
+package store
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+
+	"github.com/faqdb/faq/internal/factor"
+	"github.com/faqdb/faq/internal/semiring"
+	"github.com/faqdb/faq/internal/wire"
+)
+
+// canonFrame rewrites one uploaded frame into storage canonical form —
+// rows strictly sorted, duplicates rejected, zero values dropped — by
+// round-tripping it through factor.NewRows over positional variables.
+// This is what guarantees every stored segment satisfies the invariants
+// factor.NewView requires, so serving never has to copy or re-sort.
+func canonFrame(f *wire.Frame) (*wire.Frame, error) {
+	switch f.Domain {
+	case wire.DomainFloat:
+		rows, vals, err := canonColumns(semiring.Float(), f, f.Floats)
+		return &wire.Frame{Domain: f.Domain, Arity: f.Arity, Rows: rows, Floats: vals}, err
+	case wire.DomainTropical:
+		rows, vals, err := canonColumns(semiring.Tropical(), f, f.Floats)
+		return &wire.Frame{Domain: f.Domain, Arity: f.Arity, Rows: rows, Floats: vals}, err
+	case wire.DomainInt:
+		rows, vals, err := canonColumns(semiring.Int(), f, f.Ints)
+		return &wire.Frame{Domain: f.Domain, Arity: f.Arity, Rows: rows, Ints: vals}, err
+	case wire.DomainBool:
+		rows, vals, err := canonColumns(semiring.Bool(), f, f.Bools)
+		return &wire.Frame{Domain: f.Domain, Arity: f.Arity, Rows: rows, Bools: vals}, err
+	}
+	return nil, fmt.Errorf("%w: %d", wire.ErrDomain, byte(f.Domain))
+}
+
+// canonColumns sorts, deduplicates and zero-compacts one frame's columns.
+// Duplicate tuples are an upload error (combine is nil), matching the
+// /v1/query fresh-data path.
+func canonColumns[V any](d *semiring.Domain[V], f *wire.Frame, vals []V) ([]int32, []V, error) {
+	vars := make([]int, f.Arity)
+	for i := range vars {
+		vars[i] = i
+	}
+	// NewRows takes ownership and compacts in place; copy so the caller's
+	// frame survives.
+	fac, err := factor.NewRows(d, vars,
+		append([]int32(nil), f.Rows...), append([]V(nil), vals...), nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	return fac.Rows(), fac.Values, nil
+}
+
+// segmentLayout computes a segment's internal offsets (relative to the
+// segment start) from its header: where the row block and value column
+// begin and the total padded length.
+func segmentLayout(h wire.FrameHeader) (rowsOff, valsOff, length int) {
+	hdr := wire.AppendFrameHeader(nil, h)
+	rowsOff = len(hdr) + pad8(len(hdr))
+	rowsEnd := rowsOff + 4*h.Rows*h.Arity
+	valsOff = rowsEnd + pad8(rowsEnd)
+	valsEnd := valsOff + h.Domain.ValueSize()*h.Rows
+	length = valsEnd + pad8(valsEnd)
+	return rowsOff, valsOff, length
+}
+
+// appendSegment appends one canonical frame in the segment encoding and
+// returns the extended buffer plus the segment's metadata (Offset left for
+// the caller to fill).
+func appendSegment(buf []byte, f *wire.Frame) ([]byte, FactorMeta) {
+	start := len(buf)
+	n := f.NumRows()
+	buf = wire.AppendFrameHeader(buf, wire.FrameHeader{Domain: f.Domain, Arity: f.Arity, Rows: n})
+	buf = append(buf, make([]byte, pad8(len(buf)-start))...)
+	for _, x := range f.Rows {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(x))
+	}
+	buf = append(buf, make([]byte, pad8(len(buf)-start))...)
+	switch f.Domain {
+	case wire.DomainFloat, wire.DomainTropical:
+		for _, v := range f.Floats {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+		}
+	case wire.DomainInt:
+		for _, v := range f.Ints {
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(v))
+		}
+	case wire.DomainBool:
+		for _, v := range f.Bools {
+			if v {
+				buf = append(buf, 1)
+			} else {
+				buf = append(buf, 0)
+			}
+		}
+	}
+	buf = append(buf, make([]byte, pad8(len(buf)-start))...)
+	seg := buf[start:]
+	return buf, FactorMeta{
+		Arity:  f.Arity,
+		Rows:   n,
+		Length: int64(len(seg)),
+		CRC32:  crc32.ChecksumIEEE(seg),
+	}
+}
+
+// EncodeDataset canonicalizes frames (sort, dedup, drop zeros) and encodes
+// the complete dataset file image.  Every frame must share one domain; at
+// least one frame is required.
+func EncodeDataset(name string, frames []*wire.Frame) ([]byte, *Manifest, error) {
+	if !ValidName(name) {
+		return nil, nil, fmt.Errorf("%w: %q", ErrBadName, name)
+	}
+	if len(frames) == 0 {
+		return nil, nil, fmt.Errorf("%w: dataset %q has no factors", ErrUpload, name)
+	}
+	dom := frames[0].Domain
+	if !dom.Valid() {
+		return nil, nil, fmt.Errorf("%w: factor 0 domain %d", ErrUpload, byte(dom))
+	}
+	man := &Manifest{Name: name, Domain: dom.String()}
+	var segs []byte
+	for i, f := range frames {
+		if f.Domain != dom {
+			return nil, nil, fmt.Errorf("%w: factor %d has domain %v, dataset is %v", ErrUpload, i, f.Domain, dom)
+		}
+		canon, err := canonFrame(f)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%w: factor %d: %v", ErrUpload, i, err)
+		}
+		start := int64(len(segs))
+		var meta FactorMeta
+		segs, meta = appendSegment(segs, canon)
+		meta.Offset = start
+		man.Factors = append(man.Factors, meta)
+	}
+
+	manJSON, err := json.Marshal(man)
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: encoding manifest: %w", err)
+	}
+	buf := append([]byte(nil), magic...)
+	buf = binary.AppendUvarint(buf, FormatVersion)
+	buf = binary.AppendUvarint(buf, uint64(len(manJSON)))
+	buf = append(buf, manJSON...)
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+	buf = append(buf, make([]byte, pad8(len(buf)))...)
+	buf = append(buf, segs...)
+	return buf, man, nil
+}
+
+// WriteFile encodes the dataset and publishes it at path atomically: the
+// image is written to a temp file in the same directory, fsynced, and
+// renamed into place, so readers never observe a partial file and a crash
+// mid-write leaves any previous version untouched.
+func WriteFile(path, name string, frames []*wire.Frame) (*Manifest, error) {
+	img, man, err := EncodeDataset(name, frames)
+	if err != nil {
+		return nil, err
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp*")
+	if err != nil {
+		return nil, fmt.Errorf("store: creating temp file: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(img); err != nil {
+		tmp.Close()
+		return nil, fmt.Errorf("store: writing %s: %w", tmp.Name(), err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return nil, fmt.Errorf("store: syncing %s: %w", tmp.Name(), err)
+	}
+	if err := tmp.Close(); err != nil {
+		return nil, fmt.Errorf("store: closing %s: %w", tmp.Name(), err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return nil, fmt.Errorf("store: publishing %s: %w", path, err)
+	}
+	return man, nil
+}

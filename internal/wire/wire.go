@@ -198,6 +198,74 @@ func (f *Frame) NumRows() int {
 	return 0
 }
 
+// FrameHeader is the fixed prelude of a frame payload: version, domain
+// byte, arity and row count, in the uvarint encoding described in the
+// package comment.  It is shared verbatim by the on-disk segment format of
+// internal/store, so a stored factor's header bytes are exactly the bytes
+// a frame would put on the network.
+type FrameHeader struct {
+	// Domain is the value-domain byte.
+	Domain Domain
+	// Arity is the number of columns per row.
+	Arity int
+	// Rows is the row count.
+	Rows int
+}
+
+// AppendFrameHeader appends h in the frame-payload prelude encoding
+// (uvarint version, domain byte, uvarint arity, uvarint row count) and
+// returns the extended slice.
+func AppendFrameHeader(dst []byte, h FrameHeader) []byte {
+	dst = binary.AppendUvarint(dst, Version)
+	dst = append(dst, byte(h.Domain))
+	dst = binary.AppendUvarint(dst, uint64(h.Arity))
+	dst = binary.AppendUvarint(dst, uint64(h.Rows))
+	return dst
+}
+
+// ParseFrameHeader decodes a frame-payload prelude from the start of b and
+// returns the header plus the number of bytes consumed.  Errors carry the
+// package sentinels: ErrVersion for an unsupported version, ErrDomain for
+// an unknown domain byte, ErrTooLarge for an arity beyond MaxArity and
+// ErrFrameLength for a prelude the bytes cannot express.
+func ParseFrameHeader(b []byte) (FrameHeader, int, error) {
+	var hdr FrameHeader
+	v, h := binary.Uvarint(b)
+	if h <= 0 {
+		return hdr, 0, fmt.Errorf("%w: unreadable version", ErrFrameLength)
+	}
+	if v != Version {
+		return hdr, 0, fmt.Errorf("%w: frame version %d (want %d)", ErrVersion, v, Version)
+	}
+	if h >= len(b) {
+		return hdr, 0, fmt.Errorf("%w: header ends before domain byte", ErrFrameLength)
+	}
+	hdr.Domain = Domain(b[h])
+	h++
+	if !hdr.Domain.Valid() {
+		return hdr, 0, fmt.Errorf("%w: %d", ErrDomain, byte(hdr.Domain))
+	}
+	arity, k := binary.Uvarint(b[h:])
+	if k <= 0 {
+		return hdr, 0, fmt.Errorf("%w: unreadable arity", ErrFrameLength)
+	}
+	h += k
+	if arity > MaxArity {
+		return hdr, 0, fmt.Errorf("%w: arity %d (limit %d)", ErrTooLarge, arity, MaxArity)
+	}
+	hdr.Arity = int(arity)
+	rows, k := binary.Uvarint(b[h:])
+	if k <= 0 {
+		return hdr, 0, fmt.Errorf("%w: unreadable row count", ErrFrameLength)
+	}
+	h += k
+	if rows > uint64(math.MaxInt/4)/(arity+1) {
+		return hdr, 0, fmt.Errorf("%w: %d rows of arity %d", ErrTooLarge, rows, arity)
+	}
+	hdr.Rows = int(rows)
+	return hdr, h, nil
+}
+
 // check validates internal consistency before encoding.
 func (f *Frame) check() error {
 	if !f.Domain.Valid() {
@@ -259,20 +327,16 @@ func (e *Encoder) Encode(f *Frame) error {
 		return err
 	}
 	n := f.NumRows()
-	var hdr [3 * binary.MaxVarintLen64]byte
-	h := binary.PutUvarint(hdr[:], Version)
-	hdr[h] = byte(f.Domain)
-	h++
-	h += binary.PutUvarint(hdr[h:], uint64(f.Arity))
-	h += binary.PutUvarint(hdr[h:], uint64(n))
-	payload := h + 4*len(f.Rows) + f.Domain.ValueSize()*n
+	var hbuf [3*binary.MaxVarintLen64 + 1]byte
+	hdr := AppendFrameHeader(hbuf[:0], FrameHeader{Domain: f.Domain, Arity: f.Arity, Rows: n})
+	payload := len(hdr) + 4*len(f.Rows) + f.Domain.ValueSize()*n
 
 	e.buf = e.buf[:0]
 	if cap(e.buf) < payload+binary.MaxVarintLen64 {
 		e.buf = make([]byte, 0, payload+binary.MaxVarintLen64)
 	}
 	e.buf = binary.AppendUvarint(e.buf, uint64(payload))
-	e.buf = append(e.buf, hdr[:h]...)
+	e.buf = append(e.buf, hdr...)
 	for _, x := range f.Rows {
 		e.buf = binary.LittleEndian.AppendUint32(e.buf, uint32(x))
 	}
@@ -393,39 +457,16 @@ func (d *Decoder) Decode() (*Frame, error) {
 		return nil, fmt.Errorf("%w: frame declared %d bytes: %w", ErrTruncated, payload, err)
 	}
 
-	v, h := binary.Uvarint(buf)
-	if h <= 0 {
-		return nil, fmt.Errorf("%w: unreadable version", ErrFrameLength)
+	hdr, h, err := ParseFrameHeader(buf)
+	if err != nil {
+		return nil, err
 	}
-	if v != Version {
-		return nil, fmt.Errorf("%w: frame version %d (want %d)", ErrVersion, v, Version)
-	}
-	if h >= len(buf) {
-		return nil, fmt.Errorf("%w: header ends before domain byte", ErrFrameLength)
-	}
-	dom := Domain(buf[h])
-	h++
-	if !dom.Valid() {
-		return nil, fmt.Errorf("%w: %d", ErrDomain, byte(dom))
-	}
-	arity, k := binary.Uvarint(buf[h:])
-	if k <= 0 {
-		return nil, fmt.Errorf("%w: unreadable arity", ErrFrameLength)
-	}
-	h += k
-	if arity > MaxArity {
-		return nil, fmt.Errorf("%w: arity %d (limit %d)", ErrTooLarge, arity, MaxArity)
-	}
-	rows, k := binary.Uvarint(buf[h:])
-	if k <= 0 {
-		return nil, fmt.Errorf("%w: unreadable row count", ErrFrameLength)
-	}
-	h += k
+	dom, arity, rows := hdr.Domain, uint64(hdr.Arity), uint64(hdr.Rows)
 
 	if rows > uint64(d.max) {
 		return nil, fmt.Errorf("%w: %d rows (limit %d)", ErrTooLarge, rows, d.max)
 	}
-	need := rows * (4*arity + uint64(dom.ValueSize())) // no overflow: rows ≤ max, arity ≤ MaxArity
+	need := rows * (4*arity + uint64(dom.ValueSize())) // no overflow: ParseFrameHeader bounds rows×arity
 	if need != uint64(len(buf)-h) {
 		return nil, fmt.Errorf("%w: %d rows of arity %d need %d column bytes, frame carries %d",
 			ErrFrameLength, rows, arity, need, len(buf)-h)

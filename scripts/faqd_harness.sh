@@ -1,12 +1,17 @@
 #!/usr/bin/env bash
 # Build faqd + faqload, boot a daemon on a free port, drive it, then shut it
 # down gracefully (SIGTERM) and propagate its exit status — so the harness
-# also verifies the drain path every time it runs.
+# also verifies the drain path every time it runs.  The daemon always runs
+# with a -data directory, so every mode exercises the dataset store, and
+# the smoke mode additionally proves cold-restart persistence: upload a
+# dataset, SIGTERM the daemon, boot a fresh one over the same directory and
+# verify the dataset survived bit for bit.
 #
 #   scripts/faqd_harness.sh smoke                  # make serve-smoke / CI gate
 #   scripts/faqd_harness.sh bench BENCH_PR3.json       # serving benchmark
 #   scripts/faqd_harness.sh benchwire BENCH_PR5.json   # JSON vs binary factor bodies
 #   scripts/faqd_harness.sh benchdelta BENCH_PR6.json  # incremental vs full refresh
+#   scripts/faqd_harness.sh benchstore BENCH_PR7.json  # shipped factors vs resident datasets
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -15,6 +20,7 @@ json_out="${2:-BENCH_PR3.json}"
 
 bin="$(mktemp -d)"
 addr_file="$bin/addr"
+data_dir="$bin/data"
 faqd_pid=""
 cleanup() {
   [ -n "$faqd_pid" ] && kill "$faqd_pid" 2>/dev/null || true
@@ -26,20 +32,43 @@ trap cleanup EXIT
 go build -o "$bin/faqd" ./cmd/faqd
 go build -o "$bin/faqload" ./cmd/faqload
 
-"$bin/faqd" -addr 127.0.0.1:0 -addr-file "$addr_file" &
-faqd_pid=$!
+# boot_faqd starts the daemon over the persistent data directory and waits
+# for it to publish its address.
+boot_faqd() {
+  : > "$addr_file"
+  "$bin/faqd" -addr 127.0.0.1:0 -addr-file "$addr_file" -data "$data_dir" &
+  faqd_pid=$!
+  for _ in $(seq 1 100); do
+    [ -s "$addr_file" ] && break
+    sleep 0.1
+  done
+  [ -s "$addr_file" ] || { echo "faqd never wrote $addr_file" >&2; exit 1; }
+  addr="$(cat "$addr_file")"
+  echo "harness: faqd at $addr (data $data_dir)"
+}
 
-for _ in $(seq 1 100); do
-  [ -s "$addr_file" ] && break
-  sleep 0.1
-done
-[ -s "$addr_file" ] || { echo "faqd never wrote $addr_file" >&2; exit 1; }
-addr="$(cat "$addr_file")"
-echo "harness: faqd at $addr"
+# stop_faqd SIGTERMs the daemon and propagates a drain failure.
+stop_faqd() {
+  kill "$faqd_pid"
+  local status=0
+  wait "$faqd_pid" || status=$?
+  faqd_pid=""
+  [ "$status" -eq 0 ] || { echo "faqd exited $status" >&2; exit "$status"; }
+}
+
+boot_faqd
 
 case "$mode" in
   smoke)
     "$bin/faqload" -addr "$addr" -smoke
+    # Persistence round trip: upload a dataset and run a verified query
+    # against it, restart the daemon cold over the same -data directory,
+    # and verify the mmap-loaded dataset serves the same answer with no
+    # re-upload.
+    "$bin/faqload" -addr "$addr" -smoke-dataset put
+    stop_faqd
+    boot_faqd
+    "$bin/faqload" -addr "$addr" -smoke-dataset cold
     ;;
   bench)
     "$bin/faqload" -addr "$addr" -concurrency 8 -duration 2s -json "$json_out"
@@ -60,15 +89,19 @@ case "$mode" in
     "$bin/faqload" -addr "$addr" -concurrency 8 -duration 2s -wire both \
       -shapes triangle-fresh,triangle-delta -json "$json_out"
     ;;
+  benchstore)
+    # The resident-data comparison: triangle-fresh ships the full factor
+    # payload per request (JSON and binary — the PR 5/6 baselines);
+    # triangle-dataset uploads the same factors once and queries by name,
+    # zero factor bytes on the wire, served from the mmap-backed store.
+    "$bin/faqload" -addr "$addr" -concurrency 8 -duration 2s -wire both \
+      -shapes triangle-fresh,triangle-dataset -json "$json_out"
+    ;;
   *)
-    echo "usage: $0 smoke|bench|benchwire|benchdelta [json-out]" >&2
+    echo "usage: $0 smoke|bench|benchwire|benchdelta|benchstore [json-out]" >&2
     exit 2
     ;;
 esac
 
 # Graceful shutdown: SIGTERM, then faqd's own exit status.
-kill "$faqd_pid"
-status=0
-wait "$faqd_pid" || status=$?
-faqd_pid=""
-exit "$status"
+stop_faqd
