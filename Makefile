@@ -1,13 +1,13 @@
 GO ?= go
 
-.PHONY: ci vet build test race bench bench-baseline bench-layout bench-serving bench-wire bench-delta bench-store serve-smoke fuzz fuzz-delta fuzz-store lint doccheck fmt-check
+.PHONY: ci vet build test race bench bench-baseline bench-layout bench-serving bench-wire bench-delta bench-store bench-obs serve-smoke obs-smoke fuzz fuzz-delta fuzz-store lint doccheck fmt-check
 
 # Full local CI pass: what .github/workflows/ci.yml runs.
-ci: lint build test race bench serve-smoke
+ci: lint build test race bench serve-smoke obs-smoke
 
 # Docs/lint gate: formatting, vet, and a doc comment on every exported
 # symbol of the public API surface (faq.go, internal/server, internal/wire,
-# internal/store).
+# internal/store, internal/spec, internal/obs).
 lint: fmt-check vet doccheck
 
 fmt-check:
@@ -15,7 +15,7 @@ fmt-check:
 	  echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 doccheck:
-	$(GO) run ./cmd/doccheck . ./internal/server ./internal/wire ./internal/store
+	$(GO) run ./cmd/doccheck . ./internal/server ./internal/wire ./internal/store ./internal/spec ./internal/obs
 
 vet:
 	$(GO) vet ./...
@@ -56,6 +56,13 @@ bench-layout:
 serve-smoke:
 	./scripts/faqd_harness.sh smoke
 
+# Observability smoke: boot faqd with -slow-query=0, run traced queries
+# whose span trees must account for wall time, assert /metrics parses as
+# Prometheus text with the stage histograms and shape table, and validate
+# the slow-query log entries (blocking in CI, alongside serve-smoke).
+obs-smoke:
+	./scripts/faqd_harness.sh obssmoke
+
 # Serving benchmark: faqload drives shapes × concurrency × duration against
 # a live faqd and records the throughput/latency table plus the final
 # /statsz snapshot in BENCH_PR3.json (CI runs this as a non-blocking step).
@@ -82,6 +89,13 @@ bench-delta:
 # (non-blocking in CI).
 bench-store:
 	./scripts/faqd_harness.sh benchstore BENCH_PR7.json
+
+# Observability-overhead benchmark: the plain-triangle cache-hit path with
+# tracing disabled (the ≤1% regression gate vs earlier reports) plus
+# per-stage breakdowns from one traced probe per shape; BENCH_PR8.json is
+# the comparable artifact (non-blocking in CI).
+bench-obs:
+	./scripts/faqd_harness.sh benchobs BENCH_PR8.json
 
 # Short fuzz session for the DIMACS parser.
 fuzz:

@@ -1,0 +1,46 @@
+package faq
+
+import (
+	"context"
+	"testing"
+
+	"github.com/faqdb/faq/internal/obs"
+)
+
+// BenchmarkPreparedTraceOverhead times a warm prepared triangle run with
+// tracing disabled (the production cache-hit path — the nil-trace hooks
+// must cost no more than a context lookup, the PR 8 acceptance bound is a
+// ≤1% regression) and enabled (the opt-in cost of building the span tree,
+// one trace per Run).
+func BenchmarkPreparedTraceOverhead(b *testing.B) {
+	eng := NewEngine[float64](EngineOptions{})
+	b.Cleanup(eng.Close)
+	prep, err := eng.Prepare(preparedTriangle(20))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := prep.Run(context.Background()); err != nil { // warm the tries
+		b.Fatal(err)
+	}
+	b.Run("untraced", func(b *testing.B) {
+		ctx := context.Background()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := prep.Run(ctx); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("traced", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tr := obs.NewTrace()
+			if _, err := prep.Run(obs.WithTrace(context.Background(), tr)); err != nil {
+				b.Fatal(err)
+			}
+			if tr.Finish() == nil {
+				b.Fatal("trace lost")
+			}
+		}
+	})
+}

@@ -11,7 +11,8 @@
 //
 //	faqd [-addr :8080] [-workers n] [-plan-cache n] [-planner auto]
 //	     [-timeout 30s] [-max-timeout 0] [-max-inflight n] [-max-sessions n]
-//	     [-addr-file path] [-data dir]
+//	     [-addr-file path] [-data dir] [-slow-query d] [-slow-query-log path]
+//	     [-debug-addr addr]
 //
 // Endpoints:
 //
@@ -23,10 +24,18 @@
 //	DELETE /v1/datasets/{name}  remove a dataset
 //	GET  /healthz    liveness
 //	GET  /statsz     engine + server counters, latency percentiles
+//	GET  /metrics    Prometheus text exposition (see docs/PROTOCOL.md)
 //
 // With -data <dir>, uploaded datasets persist as checksummed .faqds files
 // under the directory and are memory-mapped back on restart: a spec with
 // `use <dataset>` queries them with zero factor bytes on the wire.
+//
+// -slow-query d logs a JSON line (with the full stage trace) for every
+// query slower than d to -slow-query-log (stderr by default); d=0 logs
+// every query.  -debug-addr opens a second listener serving only
+// net/http/pprof, kept off the public address, and turns on pprof
+// execution labels (endpoint, domain, shape) so CPU profiles attribute
+// samples to what was being served.
 //
 // -addr :0 picks a free port; the bound address is printed on stdout and,
 // with -addr-file, written to a file so scripts can find it.  SIGINT and
@@ -41,6 +50,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -62,6 +72,9 @@ type config struct {
 	maxInflight int
 	maxSessions int
 	dataDir     string
+	slowQuery   time.Duration
+	slowLog     string
+	debugAddr   string
 }
 
 // validate delegates to the one authoritative check in server.Config, so
@@ -84,6 +97,9 @@ func main() {
 	flag.IntVar(&cfg.maxInflight, "max-inflight", 0, "bound concurrent query runs; beyond it respond 429 (0 = unbounded)")
 	flag.IntVar(&cfg.maxSessions, "max-sessions", 0, "bound the delta-session registry, LRU-evicting beyond it (0 = default 256)")
 	flag.StringVar(&cfg.dataDir, "data", "", "dataset directory: persist uploads and mmap-serve them by name (empty disables)")
+	flag.DurationVar(&cfg.slowQuery, "slow-query", -1, "log queries slower than this with their stage trace (0 logs all, negative disables)")
+	flag.StringVar(&cfg.slowLog, "slow-query-log", "", "slow-query log destination, appended as JSON lines (empty = stderr)")
+	flag.StringVar(&cfg.debugAddr, "debug-addr", "", "serve net/http/pprof on this separate address and label profiles (empty disables)")
 	flag.Parse()
 	if err := cfg.validate(); err != nil {
 		fmt.Fprintf(os.Stderr, "faqd: %v\n", err)
@@ -109,7 +125,7 @@ func main() {
 // listener closes, in-flight queries drain within drainGrace, and the
 // engine pool stops.
 func run(ctx context.Context, cfg config, out *os.File) error {
-	srv, err := server.New(server.Config{
+	scfg := server.Config{
 		Workers:        cfg.workers,
 		PlanCacheSize:  cfg.planCache,
 		Planner:        cfg.planner,
@@ -118,7 +134,21 @@ func run(ctx context.Context, cfg config, out *os.File) error {
 		MaxInflight:    cfg.maxInflight,
 		MaxSessions:    cfg.maxSessions,
 		DataDir:        cfg.dataDir,
-	})
+		ProfileLabels:  cfg.debugAddr != "",
+	}
+	if cfg.slowQuery >= 0 {
+		scfg.SlowQuery = cfg.slowQuery
+		scfg.SlowQueryLog = os.Stderr
+		if cfg.slowLog != "" {
+			f, err := os.OpenFile(cfg.slowLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				return fmt.Errorf("faqd: slow-query log: %w", err)
+			}
+			defer f.Close()
+			scfg.SlowQueryLog = f
+		}
+	}
+	srv, err := server.New(scfg)
 	if err != nil {
 		return err
 	}
@@ -141,6 +171,27 @@ func run(ctx context.Context, cfg config, out *os.File) error {
 			ln.Close()
 			return err
 		}
+	}
+
+	// The pprof surface gets its own listener so profiling stays off the
+	// public address: bind -debug-addr to localhost and the query port can
+	// face the world without exposing heap dumps.
+	if cfg.debugAddr != "" {
+		dln, err := net.Listen("tcp", cfg.debugAddr)
+		if err != nil {
+			ln.Close()
+			return err
+		}
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		ds := &http.Server{Handler: dmux}
+		fmt.Fprintf(out, "faqd: pprof on %s\n", dln.Addr())
+		go ds.Serve(dln)
+		defer ds.Close()
 	}
 
 	hs := &http.Server{Handler: srv.Handler()}

@@ -8,8 +8,17 @@
 //
 //	faqload -addr http://127.0.0.1:8080 [-shapes triangle,triangle-fresh,star,chain]
 //	        [-concurrency 8] [-duration 3s] [-dom 48] [-wire json|binary|both]
-//	        [-json BENCH_PR3.json]
+//	        [-json BENCH_PR3.json] [-trace]
 //	faqload -addr ... -smoke     # healthz + one verified query, then exit
+//	faqload -addr ... -smoke-obs [-slow-log path]   # observability gate
+//
+// -trace attaches a server-side stage breakdown (one traced probe query
+// per shape, milliseconds per pipeline stage) to each report row.
+// -smoke-obs runs traced triangle and triangle-dataset queries (the
+// daemon needs -data), requires their span trees to account for wall
+// time within 10%, asserts /metrics parses as Prometheus text with the
+// stage histograms and shape table, and — given -slow-log — that the
+// daemon's slow-query log holds valid JSON entries.
 //
 // Shapes: triangle, triangle-fresh (same spec, fresh factor data per
 // request), star, chain, triangle-int (the int domain), triangle-tropical
@@ -28,6 +37,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
@@ -44,6 +54,7 @@ import (
 
 	"github.com/faqdb/faq/internal/core"
 	"github.com/faqdb/faq/internal/factor"
+	"github.com/faqdb/faq/internal/obs"
 	"github.com/faqdb/faq/internal/server"
 	"github.com/faqdb/faq/internal/spec"
 	"github.com/faqdb/faq/internal/wire"
@@ -59,6 +70,9 @@ type config struct {
 	jsonOut      string
 	smoke        bool
 	smokeDataset string
+	smokeObs     bool
+	slowLogPath  string
+	trace        bool
 	wait         time.Duration
 }
 
@@ -129,8 +143,12 @@ type shapeResult struct {
 	Errors      int64   `json:"errors"`
 	RPS         float64 `json:"rps"`
 	P50MS       float64 `json:"p50_ms"`
+	P90MS       float64 `json:"p90_ms"`
 	P99MS       float64 `json:"p99_ms"`
 	MaxMS       float64 `json:"max_ms"`
+	// Stages is the server-side stage breakdown (milliseconds per request
+	// pipeline stage) of one traced probe query, attached in -trace mode.
+	Stages map[string]float64 `json:"stage_ms,omitempty"`
 }
 
 // benchReport is the BENCH_PR*.json payload.
@@ -166,6 +184,9 @@ func main() {
 	flag.StringVar(&cfg.jsonOut, "json", "", "write the benchmark report to this file")
 	flag.BoolVar(&cfg.smoke, "smoke", false, "smoke mode: healthz + one verified query, then exit")
 	flag.StringVar(&cfg.smokeDataset, "smoke-dataset", "", "dataset smoke mode: put (upload + verified dataset query) or cold (verify a restart-surviving dataset), then exit")
+	flag.BoolVar(&cfg.smokeObs, "smoke-obs", false, "observability smoke mode: traced queries, /metrics parse, slow-log check, then exit")
+	flag.StringVar(&cfg.slowLogPath, "slow-log", "", "path of the daemon's slow-query log, validated in -smoke-obs mode")
+	flag.BoolVar(&cfg.trace, "trace", false, "attach a server-side stage breakdown (one traced probe per shape) to the report")
 	flag.DurationVar(&cfg.wait, "wait", 10*time.Second, "how long to wait for the daemon to become healthy")
 	flag.Parse()
 	if err := cfg.validate(); err != nil {
@@ -198,6 +219,9 @@ func run(cfg config, out *os.File) error {
 	if cfg.smokeDataset != "" {
 		return smokeDataset(ctx, client, cfg, out)
 	}
+	if cfg.smokeObs {
+		return smokeObs(ctx, client, cfg, out)
+	}
 	if cfg.smoke {
 		return smoke(ctx, client, cfg, out)
 	}
@@ -205,8 +229,8 @@ func run(cfg config, out *os.File) error {
 	var report benchReport
 	report.Tool, report.Addr, report.Dom = "faqload", cfg.addr, cfg.dom
 	report.GitSHA, report.UnixTime = gitSHA(), time.Now().Unix()
-	fmt.Fprintf(out, "%-20s %6s %5s %8s %6s %9s %9s %9s %9s\n",
-		"shape", "wire", "conc", "reqs", "errs", "rps", "p50(ms)", "p99(ms)", "max(ms)")
+	fmt.Fprintf(out, "%-20s %6s %5s %8s %6s %9s %9s %9s %9s %9s\n",
+		"shape", "wire", "conc", "reqs", "errs", "rps", "p50(ms)", "p90(ms)", "p99(ms)", "max(ms)")
 	for _, name := range strings.Split(cfg.shapes, ",") {
 		name = strings.TrimSpace(name)
 		if name == "" {
@@ -226,10 +250,15 @@ func run(cfg config, out *os.File) error {
 			if err != nil {
 				return err
 			}
+			if cfg.trace && v.steps == nil {
+				if res.Stages, err = stageProbe(ctx, client, v); err != nil {
+					return fmt.Errorf("shape %s trace probe: %v", v.name, err)
+				}
+			}
 			report.Results = append(report.Results, res)
-			fmt.Fprintf(out, "%-20s %6s %5d %8d %6d %9.1f %9.2f %9.2f %9.2f\n",
+			fmt.Fprintf(out, "%-20s %6s %5d %8d %6d %9.1f %9.2f %9.2f %9.2f %9.2f\n",
 				res.Shape, res.Wire, res.Concurrency, res.Requests, res.Errors, res.RPS,
-				res.P50MS, res.P99MS, res.MaxMS)
+				res.P50MS, res.P90MS, res.P99MS, res.MaxMS)
 		}
 	}
 
@@ -297,6 +326,179 @@ func smoke(ctx context.Context, client *server.Client, cfg config, out *os.File)
 	v, _ := resp.FloatValue()
 	fmt.Fprintf(out, "smoke ok: value=%g plan=%s width=%.3f runs=%d\n",
 		v, resp.Plan.Method, resp.Plan.Width, st.Engine.Runs)
+	return nil
+}
+
+// stageProbe runs one traced query of the workload's spec and folds the
+// top-level span tree into per-stage milliseconds for the BENCH report.
+// Delta workloads have no /v1/query form and are skipped by the caller.
+func stageProbe(ctx context.Context, client *server.Client, w workload) (map[string]float64, error) {
+	req := &server.QueryRequest{Spec: w.spec}
+	if w.factors != nil {
+		// The probe always ships JSON — it measures server-side stages, not
+		// the wire encoding, and the traced JSON path exercises every stage.
+		req.Factors = w.factors
+	}
+	resp, err := client.QueryWithTrace(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	if err := w.verify(resp); err != nil {
+		return nil, err
+	}
+	if resp.Trace == nil || len(resp.Trace.Spans) == 0 {
+		return nil, fmt.Errorf("traced response carried no span tree")
+	}
+	stages := make(map[string]float64, len(resp.Trace.Spans))
+	for _, sp := range resp.Trace.Spans {
+		stages[sp.Name] += sp.DurMS
+	}
+	return stages, nil
+}
+
+// checkTraceAccounts holds a span tree to the accounting contract: the
+// top-level stage spans must cover the traced wall time to within 10%
+// (with a 1ms absolute floor for sub-millisecond queries) and must not
+// exceed it — stages are sequential, so overlap would be a bug.
+func checkTraceAccounts(name string, td *obs.TraceData) error {
+	if td == nil || len(td.Spans) == 0 {
+		return fmt.Errorf("%s: traced response carried no span tree", name)
+	}
+	var sum float64
+	for _, sp := range td.Spans {
+		sum += sp.DurMS
+	}
+	slack := td.DurMS * 0.10
+	if slack < 1 {
+		slack = 1
+	}
+	if gap := td.DurMS - sum; gap > slack || gap < -0.01 {
+		return fmt.Errorf("%s: stage spans sum to %.3fms of %.3fms wall (gap %.3fms > slack %.3fms)",
+			name, sum, td.DurMS, td.DurMS-sum, slack)
+	}
+	return nil
+}
+
+// smokeObs is the observability gate behind make obs-smoke: traced
+// queries whose span trees must account for the request wall time, a
+// /metrics scrape that must parse as Prometheus text and carry the stage
+// histograms and shape table, and — when the daemon runs with
+// -slow-query=0 and -slow-query-log — a slow-query log that must hold
+// valid JSON entries (checked via -slow-log).
+func smokeObs(ctx context.Context, client *server.Client, cfg config, out *os.File) error {
+	// One traced plain-triangle query, verified against the oracle.
+	tri, err := buildWorkload("triangle", cfg.dom)
+	if err != nil {
+		return err
+	}
+	resp, err := client.QueryWithTrace(ctx, &server.QueryRequest{Spec: tri.spec})
+	if err != nil {
+		return err
+	}
+	if err := tri.verify(resp); err != nil {
+		return fmt.Errorf("traced triangle: %v", err)
+	}
+	if err := checkTraceAccounts("triangle", resp.Trace); err != nil {
+		return err
+	}
+
+	// The acceptance query: a traced triangle-dataset run (the daemon must
+	// have -data), whose spans must likewise account for the wall time.
+	ds, err := buildWorkload("triangle-dataset", cfg.dom)
+	if err != nil {
+		return err
+	}
+	if err := ds.setup(ctx, client); err != nil {
+		return fmt.Errorf("dataset upload: %v", err)
+	}
+	dresp, err := client.QueryWithTrace(ctx, &server.QueryRequest{Spec: ds.spec})
+	if err != nil {
+		return err
+	}
+	if err := ds.verify(dresp); err != nil {
+		return fmt.Errorf("traced dataset query: %v", err)
+	}
+	if err := checkTraceAccounts("triangle-dataset", dresp.Trace); err != nil {
+		return err
+	}
+
+	// /metrics must parse as Prometheus text and carry the new series.
+	// The request histogram is fed after the response bytes flush, so
+	// scrape until both queries have landed.
+	var samples obs.PromSamples
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		raw, err := client.Metrics(ctx)
+		if err != nil {
+			return err
+		}
+		if samples, err = obs.ParsePromText(bytes.NewReader(raw)); err != nil {
+			return fmt.Errorf("/metrics does not parse as Prometheus text: %v", err)
+		}
+		if samples[`faqd_request_duration_seconds_count{endpoint="query"}`] >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("/metrics never recorded the smoke queries: %v",
+				samples[`faqd_request_duration_seconds_count{endpoint="query"}`])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if samples["faqd_queries_total"] < 2 {
+		return fmt.Errorf("faqd_queries_total = %v, want >= 2", samples["faqd_queries_total"])
+	}
+	for _, st := range []string{"parse", "resolve", "prepare", "execute", "encode"} {
+		key := fmt.Sprintf("faqd_stage_duration_seconds_count{stage=%q}", st)
+		if samples[key] < 1 {
+			return fmt.Errorf("%s = %v, want >= 1", key, samples[key])
+		}
+	}
+	// Both smoke queries share one structural shape key (the dataset query
+	// is the same triangle hypergraph), so one series with two counts.
+	shapes := 0
+	var shapeCount float64
+	for k := range samples {
+		if strings.HasPrefix(k, "faqd_shape_queries_total{") {
+			shapes++
+			shapeCount += samples[k]
+		}
+	}
+	if shapes < 1 || shapeCount < 2 {
+		return fmt.Errorf("/metrics shape table: %d series counting %v queries, want >= 1 series counting >= 2", shapes, shapeCount)
+	}
+
+	// With -slow-log, the daemon ran -slow-query=0: every query must have
+	// produced one valid JSON entry with its stage trace.
+	entries := 0
+	if cfg.slowLogPath != "" {
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			data, err := os.ReadFile(cfg.slowLogPath)
+			if err == nil && len(data) > 0 {
+				for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+					var entry obs.SlowQueryEntry
+					if err := json.Unmarshal([]byte(line), &entry); err != nil {
+						return fmt.Errorf("slow-query log line is not JSON: %v\n%s", err, line)
+					}
+					if entry.Endpoint == "" || entry.Trace == nil {
+						return fmt.Errorf("slow-query log entry missing endpoint or trace: %s", line)
+					}
+					entries++
+				}
+			}
+			if entries >= 2 {
+				break
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("slow-query log %s has %d entries, want >= 2", cfg.slowLogPath, entries)
+			}
+			time.Sleep(20 * time.Millisecond)
+			entries = 0
+		}
+	}
+
+	fmt.Fprintf(out, "obs smoke ok: traced=2 metric_samples=%d shape_series=%d slow_log_entries=%d\n",
+		len(samples), shapes, entries)
 	return nil
 }
 
@@ -514,6 +716,7 @@ func foldResult(name, wireLabel string, cfg config, lats []time.Duration,
 		Errors:      errCount,
 		RPS:         float64(requests) / elapsed.Seconds(),
 		P50MS:       q(0.50),
+		P90MS:       q(0.90),
 		P99MS:       q(0.99),
 		MaxMS:       q(1),
 	}, nil

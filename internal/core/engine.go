@@ -27,6 +27,7 @@ import (
 	"github.com/faqdb/faq/internal/factor"
 	"github.com/faqdb/faq/internal/hypergraph"
 	"github.com/faqdb/faq/internal/join"
+	"github.com/faqdb/faq/internal/obs"
 )
 
 // DefaultPlanCacheSize is the plan-LRU capacity when EngineOptions leaves
@@ -177,11 +178,15 @@ type planFlight struct {
 // result, counted as PlanCoalesced.  If the leader fails because its own
 // context was cancelled, waiters retry — the next one through becomes the
 // new leader — so one impatient client cannot poison a shape for the herd.
-func (rt *engineRT) planFor(ctx context.Context, s *Shape) (*Plan, error) {
-	key := s.Key() + ";planner=" + rt.planner()
+// shapeKey is the caller-computed s.Key(); the cache-outcome annotation on
+// any context-carried trace lands on the caller's open "prepare" span.
+func (rt *engineRT) planFor(ctx context.Context, s *Shape, shapeKey string) (*Plan, error) {
+	key := shapeKey + ";planner=" + rt.planner()
+	tr := obs.FromContext(ctx)
 	for {
 		if p, ok := rt.cache.get(key); ok {
 			rt.hits.Add(1)
+			tr.Annotate("plan", "hit")
 			return p, nil
 		}
 		rt.flightMu.Lock()
@@ -196,6 +201,7 @@ func (rt *engineRT) planFor(ctx context.Context, s *Shape) (*Plan, error) {
 				continue // leader's own deadline, not ours: retry
 			}
 			rt.coalesced.Add(1)
+			tr.Annotate("plan", "coalesced")
 			return f.plan, f.err
 		}
 		// Re-check under the lock: the previous leader may have finished
@@ -203,6 +209,7 @@ func (rt *engineRT) planFor(ctx context.Context, s *Shape) (*Plan, error) {
 		if p, ok := rt.cache.get(key); ok {
 			rt.flightMu.Unlock()
 			rt.hits.Add(1)
+			tr.Annotate("plan", "hit")
 			return p, nil
 		}
 		f := &planFlight{done: make(chan struct{})}
@@ -237,6 +244,9 @@ func (rt *engineRT) planFor(ctx context.Context, s *Shape) (*Plan, error) {
 				rt.cache.put(key, p)
 			}
 		}()
+		if err == nil {
+			tr.Annotate("plan", "planned")
+		}
 		return p, err
 	}
 }
@@ -380,14 +390,16 @@ func (e *Engine[V]) PrepareCtx(ctx context.Context, q *Query[V], opts Options) (
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
-	plan, err := e.rt.planFor(ctx, q.Shape())
+	s := q.Shape()
+	sk := s.Key()
+	plan, err := e.rt.planFor(ctx, s, sk)
 	if err != nil {
 		return nil, err
 	}
 	e.rt.prepared.Add(1)
 	tc := trieCacheFor[V](e.rt)
 	tc.Register(q.Factors...)
-	return &PreparedQuery[V]{rt: e.rt, q: q, plan: plan, opts: opts, tries: tc}, nil
+	return &PreparedQuery[V]{rt: e.rt, q: q, plan: plan, opts: opts, tries: tc, shapeKey: sk}, nil
 }
 
 // PrepareOrder binds q to an explicit variable ordering with the given
@@ -411,7 +423,7 @@ func (e *Engine[V]) PrepareOrder(q *Query[V], order []int, opts Options) (*Prepa
 	e.rt.prepared.Add(1)
 	tc := trieCacheFor[V](e.rt)
 	tc.Register(q.Factors...)
-	return &PreparedQuery[V]{rt: e.rt, q: q, plan: plan, opts: opts, tries: tc}, nil
+	return &PreparedQuery[V]{rt: e.rt, q: q, plan: plan, opts: opts, tries: tc, shapeKey: s.Key()}, nil
 }
 
 // PreparedQuery is a planned FAQ query bound to an engine: the Section 6–7
@@ -423,6 +435,10 @@ type PreparedQuery[V any] struct {
 	q    *Query[V]
 	plan *Plan
 	opts Options
+	// shapeKey is the query's Shape.Key(), captured at Prepare so serving
+	// paths (shape metrics, pprof labels, slow-query log) never recompute
+	// it — Shape() allocates.
+	shapeKey string
 	// tries is the engine-wide versioned trie cache for this value type,
 	// shared by every PreparedQuery of the engine.  Prepare registers the
 	// query's factors, so a warm repeat Run skips the trie-build phase
@@ -442,6 +458,10 @@ type PreparedQuery[V any] struct {
 // Plan returns the cached plan.  Treat it as read-only: it may be shared
 // with other prepared queries of the same shape.
 func (p *PreparedQuery[V]) Plan() *Plan { return p.plan }
+
+// ShapeKey returns the query's plan-shape key (Shape.Key form), captured
+// once at Prepare time.
+func (p *PreparedQuery[V]) ShapeKey() string { return p.shapeKey }
 
 // Query returns the underlying query (read-only).
 func (p *PreparedQuery[V]) Query() *Query[V] { return p.q }

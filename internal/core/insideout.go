@@ -8,6 +8,7 @@ import (
 	"github.com/faqdb/faq/internal/bitset"
 	"github.com/faqdb/faq/internal/factor"
 	"github.com/faqdb/faq/internal/join"
+	"github.com/faqdb/faq/internal/obs"
 	"github.com/faqdb/faq/internal/semiring"
 )
 
@@ -128,6 +129,10 @@ func insideOutValidated[V any](ctx context.Context, q *Query[V], order []int, op
 		entries = append(entries, entry[V]{vars: bitset.FromSlice(f.Vars), f: f})
 	}
 
+	// tr is nil unless the request asked for a trace; every per-step hook
+	// below is guarded on it, so the disabled path does no extra work.
+	tr := obs.FromContext(ctx)
+
 	// Eliminate bound variables from the innermost out.
 	for k := q.NVars - 1; k >= q.NumFree; k-- {
 		if err := ctx.Err(); err != nil {
@@ -136,10 +141,35 @@ func insideOutValidated[V any](ctx context.Context, q *Query[V], order []int, op
 		v := order[k]
 		agg := q.Aggs[v]
 		var err error
+		var sp *obs.Span
+		var before join.Stats
+		if tr != nil {
+			// Safe to copy non-atomically: res.Stats.Join is only mutated
+			// from this goroutine (parallel scans merge worker-private
+			// stats in the caller after the pool drains).
+			before = res.Stats.Join
+			sp = tr.Start("eliminate")
+		}
 		if agg.Kind == KindSemiring {
 			entries, err = eliminateSemiring(ctx, q, exec, &res.Stats, entries, v, agg.Op, pos, opts)
 		} else {
 			entries, err = eliminateProduct(q, &res.Stats, entries, v)
+		}
+		if sp != nil {
+			sp.Set("var", q.VarName(v))
+			if agg.Kind == KindSemiring {
+				sp.Set("kind", "semiring")
+			} else {
+				sp.Set("kind", "product")
+			}
+			after := res.Stats.Join
+			sp.Set("probes", after.Probes-before.Probes)
+			sp.Set("rows", after.Emitted-before.Emitted)
+			if blocks := after.Blocks - before.Blocks; blocks > 0 {
+				sp.Set("blocks", blocks)
+				sp.Set("pool_wait_ms", float64(after.PoolWaitNS-before.PoolWaitNS)/1e6)
+			}
+			sp.End()
 		}
 		if err != nil {
 			return nil, err
@@ -170,7 +200,9 @@ func insideOutValidated[V any](ctx context.Context, q *Query[V], order []int, op
 	var filters []*factor.Factor[V]
 	if opts.FilterOutput {
 		var err error
+		sp := tr.Start("output_filters")
 		filters, err = buildOutputFilters(ctx, q, exec, &res.Stats, entries, order, pos, opts)
+		sp.End()
 		if err != nil {
 			return nil, err
 		}
@@ -186,7 +218,14 @@ func insideOutValidated[V any](ctx context.Context, q *Query[V], order []int, op
 		res.Factorized = fz
 		return res, nil
 	}
+	sp := tr.Start("listing")
 	out, err := fz.toListing(ctx, &res.Stats.Join)
+	if sp != nil {
+		if out != nil {
+			sp.Set("rows", out.Size())
+		}
+		sp.End()
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -27,11 +27,14 @@ import (
 	"github.com/faqdb/faq/internal/semiring"
 )
 
-// Stats accumulates instrumentation counters for benchmark harnesses.
+// Stats accumulates instrumentation counters for benchmark harnesses and
+// the observability layer.
 type Stats struct {
 	Probes     int64 // candidate membership probes
 	Emitted    int64 // tuples emitted (before aggregation)
 	Multiplies int64
+	Blocks     int64 // parallel scan blocks executed (0 for sequential scans)
+	PoolWaitNS int64 // summed per-block wait from scan submission to block start
 }
 
 // Merge atomically folds t into s.  Block-parallel scans give every worker a
@@ -44,6 +47,8 @@ func (s *Stats) Merge(t *Stats) {
 	atomic.AddInt64(&s.Probes, t.Probes)
 	atomic.AddInt64(&s.Emitted, t.Emitted)
 	atomic.AddInt64(&s.Multiplies, t.Multiplies)
+	atomic.AddInt64(&s.Blocks, t.Blocks)
+	atomic.AddInt64(&s.PoolWaitNS, t.PoolWaitNS)
 }
 
 // trieLevel is one depth of a CSR trie: keys holds every node's key at this

@@ -28,6 +28,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"github.com/faqdb/faq/internal/factor"
 	"github.com/faqdb/faq/internal/semiring"
@@ -152,6 +153,7 @@ func runBlocks[V any](ctx context.Context, pool *Pool, limit int, r *Runner[V],
 	lead int, blocks []blockRange, stats *Stats, scan func(block int, rc *Runner[V])) error {
 
 	local := make([]Stats, len(blocks))
+	submitted := time.Now()
 	err := pool.Run(ctx, len(blocks), limit, func(b int) {
 		rc := r.clone()
 		rc.topLead = lead
@@ -159,6 +161,8 @@ func runBlocks[V any](ctx context.Context, pool *Pool, limit int, r *Runner[V],
 		rc.hasTop = true
 		if stats != nil {
 			rc.Stats = &local[b]
+			rc.Stats.Blocks = 1
+			rc.Stats.PoolWaitNS = int64(time.Since(submitted))
 		}
 		scan(b, rc)
 	})

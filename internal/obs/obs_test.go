@@ -1,0 +1,231 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNilTraceIsFree(t *testing.T) {
+	var tr *Trace
+	sp := tr.Start("parse")
+	if sp != nil {
+		t.Fatalf("nil trace returned a live span")
+	}
+	sp.Set("k", 1) // must not panic
+	sp.End()
+	tr.Annotate("k", 2)
+	if d := tr.Finish(); d != nil {
+		t.Fatalf("nil trace finished to %v", d)
+	}
+	if got := FromContext(context.Background()); got != nil {
+		t.Fatalf("bare context carries a trace: %v", got)
+	}
+	if ctx := WithTrace(context.Background(), nil); FromContext(ctx) != nil {
+		t.Fatalf("WithTrace(nil) installed a trace")
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		tr := FromContext(context.Background())
+		sp := tr.Start("execute")
+		tr.Annotate("cache", "hit")
+		sp.Set("blocks", 4)
+		sp.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled tracing allocates %.1f per op, want 0", allocs)
+	}
+}
+
+func TestTraceSpanTree(t *testing.T) {
+	tr := NewTrace()
+	ctx := WithTrace(context.Background(), tr)
+	if FromContext(ctx) != tr {
+		t.Fatalf("trace did not round-trip through the context")
+	}
+	p := tr.Start("parse")
+	p.End()
+	e := tr.Start("execute")
+	s1 := tr.Start("eliminate")
+	tr.Annotate("var", "z") // lands on the innermost open span (s1)
+	s1.End()
+	s2 := tr.Start("eliminate")
+	s2.Set("blocks", 8)
+	s2.End()
+	e.End()
+	data := tr.Finish()
+	if data == nil || len(data.Spans) != 2 {
+		t.Fatalf("want 2 top-level spans, got %+v", data)
+	}
+	if data.Spans[0].Name != "parse" || data.Spans[1].Name != "execute" {
+		t.Fatalf("top-level spans out of order: %+v", data.Spans)
+	}
+	exec := data.Spans[1]
+	if len(exec.Spans) != 2 {
+		t.Fatalf("execute should have 2 children, got %+v", exec)
+	}
+	if exec.Spans[0].Attrs["var"] != "z" {
+		t.Fatalf("Annotate missed the open span: %+v", exec.Spans[0])
+	}
+	if exec.Spans[1].Attrs["blocks"] != 8 {
+		t.Fatalf("Set missed: %+v", exec.Spans[1])
+	}
+	if again := tr.Finish(); again != data {
+		t.Fatalf("second Finish rebuilt the snapshot")
+	}
+	if _, err := json.Marshal(data); err != nil {
+		t.Fatalf("trace data does not marshal: %v", err)
+	}
+}
+
+func TestTraceFinishClosesOpenSpans(t *testing.T) {
+	tr := NewTrace()
+	tr.Start("execute")
+	tr.Start("eliminate")
+	time.Sleep(time.Millisecond)
+	data := tr.Finish()
+	if len(data.Spans) != 1 || len(data.Spans[0].Spans) != 1 {
+		t.Fatalf("open spans lost: %+v", data)
+	}
+	if data.Spans[0].DurMS <= 0 || data.Spans[0].Spans[0].DurMS <= 0 {
+		t.Fatalf("open spans not closed with a duration: %+v", data)
+	}
+}
+
+func TestRegistryExpositionRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_requests_total", "Requests served.", Label{"endpoint", "query"})
+	c.Add(41)
+	c.Inc()
+	r.CounterFunc("test_runs_total", "Runs.", func() float64 { return 7 })
+	r.GaugeFunc("test_in_flight", "In flight.", func() float64 { return 3 })
+	h := r.Histogram("test_latency_seconds", "Latency.", nil, Label{"stage", "execute"})
+	h.Observe(700 * time.Microsecond) // le=0.001
+	h.Observe(700 * time.Microsecond)
+	h.Observe(20 * time.Second) // +Inf
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf)
+	text := buf.String()
+
+	samples, err := ParsePromText(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("exposition does not parse: %v\n%s", err, text)
+	}
+	if got := samples[`test_requests_total{endpoint="query"}`]; got != 42 {
+		t.Fatalf("counter sample = %v, want 42", got)
+	}
+	if got := samples[`test_runs_total`]; got != 7 {
+		t.Fatalf("counterfunc sample = %v, want 7", got)
+	}
+	if got := samples[`test_in_flight`]; got != 3 {
+		t.Fatalf("gauge sample = %v, want 3", got)
+	}
+	if got := samples[`test_latency_seconds_bucket{stage="execute",le="0.001"}`]; got != 2 {
+		t.Fatalf("le=0.001 bucket = %v, want 2", got)
+	}
+	if got := samples[`test_latency_seconds_bucket{stage="execute",le="0.0005"}`]; got != 0 {
+		t.Fatalf("le=0.0005 bucket = %v, want 0", got)
+	}
+	if got := samples[`test_latency_seconds_bucket{stage="execute",le="+Inf"}`]; got != 3 {
+		t.Fatalf("+Inf bucket = %v, want 3 (cumulative)", got)
+	}
+	if got := samples[`test_latency_seconds_count{stage="execute"}`]; got != 3 {
+		t.Fatalf("histogram count = %v, want 3", got)
+	}
+	if got := samples[`test_latency_seconds_sum{stage="execute"}`]; got < 20 || got > 21 {
+		t.Fatalf("histogram sum = %v, want ~20.0014", got)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_esc_total", "Escaping.", Label{"shape", "a\"b\\c\nd"})
+	c.Inc()
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf)
+	samples, err := ParsePromText(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatalf("escaped exposition does not parse: %v\n%s", err, buf.String())
+	}
+	if len(samples) != 1 {
+		t.Fatalf("want exactly one sample, got %v", samples)
+	}
+}
+
+func TestParsePromTextRejectsGarbage(t *testing.T) {
+	bad := []string{
+		"9name 1\n",
+		"name{unterminated=\"x 1\n",
+		"name nope\n",
+		"# TYPE name\n",
+		"# TYPE name nonsense\n",
+	}
+	for _, text := range bad {
+		if _, err := ParsePromText(strings.NewReader(text)); err == nil {
+			t.Errorf("parser accepted %q", text)
+		}
+	}
+}
+
+func TestShapeTableBounds(t *testing.T) {
+	tab := NewShapeTable(2)
+	tab.Observe("a", time.Millisecond)
+	tab.Observe("a", time.Millisecond)
+	tab.Observe("b", time.Millisecond)
+	tab.Observe("c", time.Millisecond) // beyond capacity -> overflow
+	tab.Observe("c", time.Millisecond)
+	rows, overflow := tab.TopK(10)
+	if len(rows) != 2 {
+		t.Fatalf("table grew past its bound: %+v", rows)
+	}
+	if rows[0].Key != "a" || rows[0].Count != 2 {
+		t.Fatalf("top row wrong: %+v", rows)
+	}
+	if overflow != 2 {
+		t.Fatalf("overflow = %d, want 2", overflow)
+	}
+	var buf bytes.Buffer
+	tab.WritePrometheus(&buf, 10)
+	samples, err := ParsePromText(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatalf("shape exposition does not parse: %v\n%s", err, buf.String())
+	}
+	if got := samples[`faqd_shape_queries_total{shape="a"}`]; got != 2 {
+		t.Fatalf("shape a count = %v, want 2", got)
+	}
+	if got := samples[`faqd_shape_overflow_total`]; got != 2 {
+		t.Fatalf("overflow sample = %v, want 2", got)
+	}
+}
+
+func TestSlowLogJSONLines(t *testing.T) {
+	if nilLog := NewSlowLog(nil); nilLog != nil {
+		t.Fatalf("nil writer should disable the log")
+	}
+	var nilLog *SlowLog
+	nilLog.Log(&SlowQueryEntry{}) // must not panic
+	if nilLog.Count() != 0 {
+		t.Fatalf("nil log counted")
+	}
+
+	var buf bytes.Buffer
+	l := NewSlowLog(&buf)
+	l.Log(&SlowQueryEntry{Time: "t0", Endpoint: "query", Domain: "float", Shape: "n=3", Status: 200, WallMS: 1.5})
+	l.Log(&SlowQueryEntry{Time: "t1", Endpoint: "delta", Status: 400, WallMS: 0.2})
+	if l.Count() != 2 {
+		t.Fatalf("count = %d, want 2", l.Count())
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want 2 lines, got %q", buf.String())
+	}
+	var e SlowQueryEntry
+	if err := json.Unmarshal([]byte(lines[0]), &e); err != nil {
+		t.Fatalf("line 0 is not JSON: %v", err)
+	}
+	if e.Endpoint != "query" || e.Shape != "n=3" || e.WallMS != 1.5 {
+		t.Fatalf("entry did not round-trip: %+v", e)
+	}
+}

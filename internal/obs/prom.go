@@ -1,0 +1,239 @@
+// Hand-rolled Prometheus text exposition (format version 0.0.4): counter,
+// gauge and fixed-bucket histogram families with pre-rendered label sets,
+// registered once and written on every scrape.  No client_golang — the
+// daemon's metric surface is small and fixed, and the exposition format is
+// a few dozen lines of code.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefBuckets are the default latency histogram bucket upper bounds in
+// seconds: half-millisecond resolution at the fast end (a warm cache-hit
+// query is under a millisecond of engine time), stretching to 10 s so a
+// planner-bound cold shape still lands in a finite bucket.
+var DefBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Label is one metric label pair; values are escaped at registration.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// Registry is an ordered collection of metric families, written as
+// Prometheus text by WritePrometheus.  Register every series up front
+// (registration takes a lock); Observe/Add on the returned handles are
+// lock-free.
+type Registry struct {
+	mu     sync.Mutex
+	fams   []*family
+	byName map[string]*family
+}
+
+// family is one metric name: HELP/TYPE plus its label-distinct series.
+type family struct {
+	name, help, typ string
+	series          []*series
+}
+
+// series is one labeled sample source within a family.
+type series struct {
+	labels string // pre-rendered {k="v",...} or ""
+	ctr    *Counter
+	fn     func() float64
+	hist   *Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: map[string]*family{}}
+}
+
+func (r *Registry) register(name, help, typ string, s *series) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.byName[name]
+	if !ok {
+		f = &family{name: name, help: help, typ: typ}
+		r.byName[name] = f
+		r.fams = append(r.fams, f)
+	}
+	f.series = append(f.series, s)
+}
+
+// Counter is a monotonically increasing counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Counter registers (or extends) a counter family and returns the handle
+// for the given label set.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	c := &Counter{}
+	r.register(name, help, "counter", &series{labels: renderLabels(labels), ctr: c})
+	return c
+}
+
+// CounterFunc registers a counter whose value is read from fn at scrape
+// time — the bridge for counters that already live elsewhere as atomics
+// (the /statsz fields), so exposition never double-counts.
+func (r *Registry) CounterFunc(name, help string, fn func() float64, labels ...Label) {
+	r.register(name, help, "counter", &series{labels: renderLabels(labels), fn: fn})
+}
+
+// GaugeFunc registers a gauge read from fn at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	r.register(name, help, "gauge", &series{labels: renderLabels(labels), fn: fn})
+}
+
+// Histogram is a fixed-bucket latency histogram: per-bucket atomic
+// counts (non-cumulative internally; exposition accumulates), an atomic
+// nanosecond sum and a total count.  Observe is lock-free.
+type Histogram struct {
+	bounds []float64 // upper bounds in seconds, ascending
+	counts []atomic.Int64
+	sumNS  atomic.Int64
+	count  atomic.Int64
+}
+
+// Histogram registers (or extends) a histogram family with the given
+// bucket upper bounds in seconds (nil means DefBuckets) and returns the
+// handle for the given label set.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	if bounds == nil {
+		bounds = DefBuckets
+	}
+	h := &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+	r.register(name, help, "histogram", &series{labels: renderLabels(labels), hist: h})
+	return h
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	sec := d.Seconds()
+	i := 0
+	for ; i < len(h.bounds); i++ {
+		if sec <= h.bounds[i] {
+			break
+		}
+	}
+	h.counts[i].Add(1) // i == len(bounds) is the +Inf bucket
+	h.sumNS.Add(int64(d))
+	h.count.Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// WritePrometheus writes every registered family in the Prometheus text
+// exposition format, families in registration order.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.Lock()
+	fams := append([]*family(nil), r.fams...)
+	r.mu.Unlock()
+	for _, f := range fams {
+		fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help)
+		fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ)
+		for _, s := range f.series {
+			switch {
+			case s.ctr != nil:
+				writeSample(w, f.name, s.labels, float64(s.ctr.Value()))
+			case s.fn != nil:
+				writeSample(w, f.name, s.labels, s.fn())
+			case s.hist != nil:
+				writeHistogram(w, f.name, s.labels, s.hist)
+			}
+		}
+	}
+}
+
+func writeHistogram(w io.Writer, name, labels string, h *Histogram) {
+	var cum int64
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		writeSample(w, name+"_bucket", mergeLabels(labels, "le", formatBound(b)), float64(cum))
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	writeSample(w, name+"_bucket", mergeLabels(labels, "le", "+Inf"), float64(cum))
+	writeSample(w, name+"_sum", labels, float64(h.sumNS.Load())/1e9)
+	writeSample(w, name+"_count", labels, float64(h.count.Load()))
+}
+
+func writeSample(w io.Writer, name, labels string, v float64) {
+	fmt.Fprintf(w, "%s%s %s\n", name, labels, strconv.FormatFloat(v, 'g', -1, 64))
+}
+
+// formatBound renders a bucket bound the way Prometheus clients do
+// (shortest float form, no exponent for the usual latency range).
+func formatBound(b float64) string { return strconv.FormatFloat(b, 'g', -1, 64) }
+
+// renderLabels pre-renders a label set as {k="v",...} with Prometheus
+// escaping; an empty set renders as "".
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(EscapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// mergeLabels inserts one extra label pair into a pre-rendered label set
+// (used for histogram "le" labels).
+func mergeLabels(labels, name, value string) string {
+	extra := name + `="` + EscapeLabelValue(value) + `"`
+	if labels == "" {
+		return "{" + extra + "}"
+	}
+	return labels[:len(labels)-1] + "," + extra + "}"
+}
+
+// EscapeLabelValue escapes a label value per the exposition format:
+// backslash, double quote and newline.
+func EscapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,173 @@
+// A tiny Prometheus text-format parser: just enough to let tests and the
+// obs-smoke gate assert that GET /metrics emits well-formed exposition
+// without importing a client library.  It validates comment lines, metric
+// name syntax, label-block quoting and sample values, and returns every
+// sample keyed by its full series identity (name plus rendered labels).
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// PromSamples maps a series identity — `name{labels}` exactly as written
+// — to its parsed value.
+type PromSamples map[string]float64
+
+// ParsePromText parses Prometheus text exposition, returning every sample
+// or the first syntax error (with its line number).
+func ParsePromText(r io.Reader) (PromSamples, error) {
+	out := PromSamples{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := checkComment(line); err != nil {
+				return nil, fmt.Errorf("line %d: %v", lineNo, err)
+			}
+			continue
+		}
+		key, val, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		out[key] = val
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// checkComment validates a # HELP / # TYPE line.
+func checkComment(line string) error {
+	fields := strings.Fields(line)
+	if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+		return fmt.Errorf("malformed comment %q (want # HELP/TYPE name ...)", line)
+	}
+	if !validMetricName(fields[2]) {
+		return fmt.Errorf("invalid metric name %q", fields[2])
+	}
+	if fields[1] == "TYPE" {
+		if len(fields) < 4 {
+			return fmt.Errorf("TYPE line %q missing a type", line)
+		}
+		switch fields[3] {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("unknown metric type %q", fields[3])
+		}
+	}
+	return nil
+}
+
+// parseSample splits `name{labels} value` (labels optional) and validates
+// each piece.
+func parseSample(line string) (key string, val float64, err error) {
+	var namePart, valPart string
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		j := strings.LastIndexByte(line, '}')
+		if j < i {
+			return "", 0, fmt.Errorf("unbalanced label braces in %q", line)
+		}
+		if err := checkLabels(line[i+1 : j]); err != nil {
+			return "", 0, err
+		}
+		namePart = line[:i]
+		key = line[:j+1]
+		valPart = strings.TrimSpace(line[j+1:])
+	} else {
+		k := strings.IndexAny(line, " \t")
+		if k < 0 {
+			return "", 0, fmt.Errorf("sample %q has no value", line)
+		}
+		namePart = line[:k]
+		key = namePart
+		valPart = strings.TrimSpace(line[k:])
+	}
+	if !validMetricName(namePart) {
+		return "", 0, fmt.Errorf("invalid metric name %q", namePart)
+	}
+	v, perr := strconv.ParseFloat(valPart, 64)
+	if perr != nil {
+		return "", 0, fmt.Errorf("bad sample value %q: %v", valPart, perr)
+	}
+	return key, v, nil
+}
+
+// checkLabels validates the inside of a label block: name="value" pairs,
+// comma-separated, quotes balanced with backslash escapes.
+func checkLabels(s string) error {
+	for len(s) > 0 {
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return fmt.Errorf("label %q missing =", s)
+		}
+		name := s[:eq]
+		if !validLabelName(name) {
+			return fmt.Errorf("invalid label name %q", name)
+		}
+		rest := s[eq+1:]
+		if len(rest) == 0 || rest[0] != '"' {
+			return fmt.Errorf("label %s value not quoted", name)
+		}
+		// Scan the quoted value honoring backslash escapes.
+		i := 1
+		for i < len(rest) {
+			if rest[i] == '\\' {
+				i += 2
+				continue
+			}
+			if rest[i] == '"' {
+				break
+			}
+			i++
+		}
+		if i >= len(rest) {
+			return fmt.Errorf("label %s value unterminated", name)
+		}
+		s = rest[i+1:]
+		if len(s) > 0 {
+			if s[0] != ',' {
+				return fmt.Errorf("labels not comma-separated at %q", s)
+			}
+			s = s[1:]
+		}
+	}
+	return nil
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		alpha := (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || r == '_' || r == ':'
+		if !alpha && (i == 0 || r < '0' || r > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		alpha := (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || r == '_'
+		if !alpha && (i == 0 || r < '0' || r > '9') {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,112 @@
+// ShapeTable: the bounded per-plan-shape-key aggregation behind the
+// faqd_shape_* metrics.  Shape keys are client-controlled (every distinct
+// spec skeleton makes one), so the table is capacity-bounded: the first
+// MaxShapes distinct keys get their own series and everything beyond is
+// folded into one overflow counter, keeping /metrics label cardinality
+// fixed no matter what traffic arrives.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// DefaultMaxShapes is the shape-table capacity when NewShapeTable is
+// given a non-positive bound.
+const DefaultMaxShapes = 64
+
+// ShapeTable aggregates query count and total latency per plan-shape key,
+// bounded to a fixed number of distinct keys.
+type ShapeTable struct {
+	mu       sync.Mutex
+	max      int
+	entries  map[string]*shapeEntry
+	overflow shapeEntry // everything beyond the first max distinct keys
+}
+
+type shapeEntry struct {
+	count int64
+	sumNS int64
+}
+
+// ShapeCount is one row of the table snapshot.
+type ShapeCount struct {
+	// Key is the plan-shape key (core.Shape.Key form).
+	Key string
+	// Count is the number of observed queries of this shape.
+	Count int64
+	// SumSeconds is the total observed latency.
+	SumSeconds float64
+}
+
+// NewShapeTable returns a table bounded to max distinct shape keys
+// (non-positive means DefaultMaxShapes).
+func NewShapeTable(max int) *ShapeTable {
+	if max <= 0 {
+		max = DefaultMaxShapes
+	}
+	return &ShapeTable{max: max, entries: map[string]*shapeEntry{}}
+}
+
+// Observe records one query of the given shape key.
+func (t *ShapeTable) Observe(key string, d time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e, ok := t.entries[key]
+	if !ok {
+		if len(t.entries) >= t.max {
+			t.overflow.count++
+			t.overflow.sumNS += int64(d)
+			return
+		}
+		e = &shapeEntry{}
+		t.entries[key] = e
+	}
+	e.count++
+	e.sumNS += int64(d)
+}
+
+// TopK returns the k highest-count shapes, descending by count (ties by
+// key so the order is deterministic), plus the overflow row count.
+func (t *ShapeTable) TopK(k int) (rows []ShapeCount, overflow int64) {
+	t.mu.Lock()
+	rows = make([]ShapeCount, 0, len(t.entries))
+	for key, e := range t.entries {
+		rows = append(rows, ShapeCount{Key: key, Count: e.count, SumSeconds: float64(e.sumNS) / 1e9})
+	}
+	overflow = t.overflow.count
+	t.mu.Unlock()
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Count != rows[j].Count {
+			return rows[i].Count > rows[j].Count
+		}
+		return rows[i].Key < rows[j].Key
+	})
+	if k > 0 && len(rows) > k {
+		rows = rows[:k]
+	}
+	return rows, overflow
+}
+
+// WritePrometheus writes the top-k table as three counter families:
+// faqd_shape_queries_total and faqd_shape_seconds_total labeled by shape
+// key, plus faqd_shape_overflow_total for observations beyond capacity.
+func (t *ShapeTable) WritePrometheus(w io.Writer, k int) {
+	rows, overflow := t.TopK(k)
+	fmt.Fprintf(w, "# HELP faqd_shape_queries_total Executed queries per plan-shape key (top %d by count; capacity-bounded).\n", k)
+	fmt.Fprintf(w, "# TYPE faqd_shape_queries_total counter\n")
+	for _, r := range rows {
+		fmt.Fprintf(w, "faqd_shape_queries_total{shape=\"%s\"} %d\n", EscapeLabelValue(r.Key), r.Count)
+	}
+	fmt.Fprintf(w, "# HELP faqd_shape_seconds_total Total query latency per plan-shape key.\n")
+	fmt.Fprintf(w, "# TYPE faqd_shape_seconds_total counter\n")
+	for _, r := range rows {
+		fmt.Fprintf(w, "faqd_shape_seconds_total{shape=\"%s\"} %g\n", EscapeLabelValue(r.Key), r.SumSeconds)
+	}
+	fmt.Fprintf(w, "# HELP faqd_shape_overflow_total Queries whose shape fell beyond the table's capacity.\n")
+	fmt.Fprintf(w, "# TYPE faqd_shape_overflow_total counter\n")
+	fmt.Fprintf(w, "faqd_shape_overflow_total %d\n", overflow)
+}

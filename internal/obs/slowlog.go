@@ -1,0 +1,77 @@
+// SlowLog: the structured slow-query log.  Entries are JSON, one object
+// per line, written under a mutex so concurrent handlers never interleave
+// bytes; each entry carries the request's plan-shape key, domain, dataset
+// and the stage-timing span tree, so a slow query explains where its time
+// went without a debugger attached.
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+)
+
+// SlowQueryEntry is one slow-query log line.
+type SlowQueryEntry struct {
+	// Time is the entry's wall-clock timestamp (RFC 3339, nanoseconds).
+	Time string `json:"time"`
+	// Endpoint names the request path family ("query", "delta", ...).
+	Endpoint string `json:"endpoint"`
+	// Domain is the spec's value domain, when known.
+	Domain string `json:"domain,omitempty"`
+	// Dataset is the resident dataset the spec used, when any.
+	Dataset string `json:"dataset,omitempty"`
+	// Shape is the plan-shape key (core.Shape.Key form), when known.
+	Shape string `json:"shape,omitempty"`
+	// Status is the HTTP status the request was answered with.
+	Status int `json:"status"`
+	// WallMS is the request's server-side wall time.
+	WallMS float64 `json:"wall_ms"`
+	// Trace is the stage-timing span tree.
+	Trace *TraceData `json:"trace,omitempty"`
+}
+
+// SlowLog writes slow-query entries as JSON lines.  A nil *SlowLog is
+// valid and drops everything, so callers log unconditionally.
+type SlowLog struct {
+	mu sync.Mutex
+	w  io.Writer
+	n  atomic.Int64
+}
+
+// NewSlowLog wraps w as a slow-query log; a nil writer returns a nil log
+// (logging disabled).
+func NewSlowLog(w io.Writer) *SlowLog {
+	if w == nil {
+		return nil
+	}
+	return &SlowLog{w: w}
+}
+
+// Log writes one entry as a JSON line.  Marshal failures are impossible
+// for SlowQueryEntry's field types; write errors are deliberately
+// swallowed — a full disk must not fail queries.
+func (l *SlowLog) Log(e *SlowQueryEntry) {
+	if l == nil {
+		return
+	}
+	buf, err := json.Marshal(e)
+	if err != nil {
+		return
+	}
+	buf = append(buf, '\n')
+	l.mu.Lock()
+	l.w.Write(buf)
+	l.mu.Unlock()
+	l.n.Add(1)
+}
+
+// Count returns the number of entries logged, for the
+// faqd_slow_queries_total counter.
+func (l *SlowLog) Count() int64 {
+	if l == nil {
+		return 0
+	}
+	return l.n.Load()
+}

@@ -1,0 +1,217 @@
+// Package obs is faqd's zero-dependency observability layer: request
+// stage tracing (Trace / Span, carried on the context), hand-rolled
+// Prometheus text exposition (Registry, Counter, Histogram — no
+// client_golang), a bounded per-plan-shape aggregation table (ShapeTable)
+// and a structured slow-query log (SlowLog).
+//
+// The tracing half is built to cost nothing when disabled: FromContext on
+// a context without a trace returns a nil *Trace, and every method of
+// *Trace and *Span is a no-op on a nil receiver, so instrumented code
+// calls them unconditionally without branching or allocating.  A serving
+// path that never enables tracing therefore pays one context lookup per
+// request and zero allocations.
+package obs
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// traceKey is the context key a Trace travels under.
+type traceKey struct{}
+
+// WithTrace returns a context carrying tr.  A nil tr returns ctx
+// unchanged, so callers can thread an optional trace without branching.
+func WithTrace(ctx context.Context, tr *Trace) context.Context {
+	if tr == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, traceKey{}, tr)
+}
+
+// FromContext returns the context's trace, or nil when tracing is
+// disabled for this request.  The nil result is usable: every Trace and
+// Span method no-ops on it.
+func FromContext(ctx context.Context) *Trace {
+	tr, _ := ctx.Value(traceKey{}).(*Trace)
+	return tr
+}
+
+// Trace records a tree of timed spans for one request.  Spans are opened
+// with Start and closed with End; Start nests the new span under the
+// innermost still-open one, which matches the strictly sequential stage
+// structure of a request (parse → resolve → prepare → execute → encode,
+// with per-elimination-step children under execute).  All methods are
+// safe for concurrent use and no-ops on a nil receiver.
+type Trace struct {
+	mu    sync.Mutex
+	t0    time.Time
+	roots []*Span
+	stack []*Span // open spans, innermost last
+	data  *TraceData
+}
+
+// NewTrace starts a trace whose clock begins now.
+func NewTrace() *Trace { return &Trace{t0: time.Now()} }
+
+// Span is one timed interval of a trace, with optional key/value
+// attributes and child spans.  Spans are created by Trace.Start and
+// closed by End; all methods are no-ops on a nil receiver.
+type Span struct {
+	tr    *Trace
+	name  string
+	start time.Duration // offset from the trace's start
+	dur   time.Duration // zero until End
+	attrs []Attr
+	kids  []*Span
+}
+
+// Attr is one span attribute.  Values should be strings or numbers so
+// the trace marshals cleanly.
+type Attr struct {
+	Key string
+	Val any
+}
+
+// Start opens a span named name under the innermost open span (or at the
+// top level) and returns it.  On a nil trace it returns a nil span, so
+// disabled tracing allocates nothing.
+func (t *Trace) Start(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	sp := &Span{tr: t, name: name, start: time.Since(t.t0)}
+	if n := len(t.stack); n > 0 {
+		parent := t.stack[n-1]
+		parent.kids = append(parent.kids, sp)
+	} else {
+		t.roots = append(t.roots, sp)
+	}
+	t.stack = append(t.stack, sp)
+	return sp
+}
+
+// Annotate attaches an attribute to the innermost open span; it is how a
+// lower layer (the engine's plan cache, say) tags the stage span its
+// caller opened without needing a handle on it.  No-op on a nil trace or
+// when no span is open.
+func (t *Trace) Annotate(key string, val any) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if n := len(t.stack); n > 0 {
+		sp := t.stack[n-1]
+		sp.attrs = append(sp.attrs, Attr{Key: key, Val: val})
+	}
+}
+
+// End closes the span.  Well-nested use closes children before parents;
+// defensively, ending a span also ends any still-open spans nested inside
+// it.  No-op on a nil span or a span already ended.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	t := s.tr
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := time.Since(t.t0)
+	for n := len(t.stack); n > 0; n-- {
+		open := t.stack[n-1]
+		if open.dur == 0 {
+			open.dur = now - open.start
+		}
+		if open == s {
+			t.stack = t.stack[:n-1]
+			return
+		}
+	}
+	// s was not on the stack (already ended): leave the stack alone.
+	if s.dur == 0 {
+		s.dur = now - s.start
+	}
+}
+
+// Set attaches an attribute to the span.  No-op on a nil span.
+func (s *Span) Set(key string, val any) {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	s.attrs = append(s.attrs, Attr{Key: key, Val: val})
+	s.tr.mu.Unlock()
+}
+
+// TraceData is the marshal-ready snapshot of a finished trace: the span
+// tree with millisecond timings, the shape /v1/query returns under
+// "trace" and the slow-query log embeds.
+type TraceData struct {
+	// DurMS is the wall time from the trace's start to Finish.
+	DurMS float64 `json:"dur_ms"`
+	// Spans are the top-level stage spans in start order.
+	Spans []SpanData `json:"spans"`
+}
+
+// SpanData is one marshal-ready span.
+type SpanData struct {
+	// Name is the span name (a stage or step label).
+	Name string `json:"name"`
+	// StartMS is the span's start offset from the trace start.
+	StartMS float64 `json:"start_ms"`
+	// DurMS is the span's duration.
+	DurMS float64 `json:"dur_ms"`
+	// Attrs are the span's attributes, if any.
+	Attrs map[string]any `json:"attrs,omitempty"`
+	// Spans are the child spans, if any.
+	Spans []SpanData `json:"spans,omitempty"`
+}
+
+// Finish closes any still-open spans and returns the snapshot.  The first
+// call freezes the trace; later calls return the same snapshot.  Nil
+// receiver returns nil.
+func (t *Trace) Finish() *TraceData {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.data != nil {
+		return t.data
+	}
+	now := time.Since(t.t0)
+	for _, sp := range t.stack {
+		if sp.dur == 0 {
+			sp.dur = now - sp.start
+		}
+	}
+	t.stack = nil
+	out := &TraceData{DurMS: durMS(now), Spans: spanData(t.roots)}
+	t.data = out
+	return out
+}
+
+func spanData(spans []*Span) []SpanData {
+	if len(spans) == 0 {
+		return nil
+	}
+	out := make([]SpanData, len(spans))
+	for i, sp := range spans {
+		d := SpanData{Name: sp.name, StartMS: durMS(sp.start), DurMS: durMS(sp.dur)}
+		if len(sp.attrs) > 0 {
+			d.Attrs = make(map[string]any, len(sp.attrs))
+			for _, a := range sp.attrs {
+				d.Attrs[a.Key] = a.Val
+			}
+		}
+		d.Spans = spanData(sp.kids)
+		out[i] = d
+	}
+	return out
+}
+
+func durMS(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

@@ -94,6 +94,36 @@ func (c *Client) Query(ctx context.Context, req *QueryRequest) (*QueryResponse, 
 	return &resp, nil
 }
 
+// QueryWithTrace runs one JSON query asking the server for its stage
+// trace (?trace=1).  The response's Trace field carries the span tree —
+// parse/resolve/prepare/execute/encode at the top level, per-elimination
+// spans under execute.
+func (c *Client) QueryWithTrace(ctx context.Context, req *QueryRequest) (*QueryResponse, error) {
+	var resp QueryResponse
+	if err := c.doJSON(ctx, http.MethodPost, "/v1/query?trace=1", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Metrics fetches the raw Prometheus text exposition from GET /metrics.
+// Callers parse it with obs.ParsePromText or hand it to a scraper.
+func (c *Client) Metrics(ctx context.Context) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("faqd: GET /metrics: HTTP %d", resp.StatusCode)
+	}
+	return io.ReadAll(resp.Body)
+}
+
 // QueryFrames runs one query shipping fresh factor data as the binary
 // wire framing: req (whose Factors must be empty — the frames carry the
 // data) becomes the stream's envelope header and frames follow, one per

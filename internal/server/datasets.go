@@ -409,6 +409,9 @@ func serveDatasetQuery[V any](s *Server, w http.ResponseWriter, r *http.Request,
 	if !s.requireStore(w) {
 		return
 	}
+	ro := reqObsFrom(r.Context())
+	endResolve := ro.stage(stageResolve)
+	defer endResolve()
 	key := residentKey(doc.Dataset, req.Spec, req.Workers)
 	ds, err := resolveDataset(s, doc, cv)
 	if err != nil {
@@ -424,6 +427,7 @@ func serveDatasetQuery[V any](s *Server, w http.ResponseWriter, r *http.Request,
 		// Build over zero-copy views; the registry entry takes its own
 		// reference on the mapping.
 		q, _, err := cv.build(doc, datasetResolver(ds, cv.storeCol))
+		endResolve()
 		if err != nil {
 			writeError(w, http.StatusBadRequest, "%v", err)
 			return
@@ -431,7 +435,9 @@ func serveDatasetQuery[V any](s *Server, w http.ResponseWriter, r *http.Request,
 		opts := core.DefaultOptions()
 		opts.Workers = req.Workers
 		prepCtx, cancel := context.WithTimeout(r.Context(), s.queryTimeout(req.TimeoutMS))
+		endPrep := ro.stage(stagePrepare)
 		prep, err := eng.PrepareCtx(prepCtx, q, opts)
+		endPrep()
 		cancel()
 		if err != nil {
 			s.writeRunError(w, r.Context(), err)
@@ -442,8 +448,12 @@ func serveDatasetQuery[V any](s *Server, w http.ResponseWriter, r *http.Request,
 			dataset: doc.Dataset, ds: ds, domain: cv.name, prep: prep, q: q,
 		})
 	}
+	// A registry hit skips the prepare stage entirely — a traced response
+	// with no "prepare" span means the resident prepared query served it.
+	endResolve()
 	prep := entry.prep.(*core.PreparedQuery[V])
 	q := entry.q.(*core.Query[V])
+	ro.setQuery(cv.name, doc.Dataset, prep.ShapeKey())
 
 	ctx, cancel := context.WithTimeout(r.Context(), s.queryTimeout(req.TimeoutMS))
 	defer cancel()
@@ -455,10 +465,13 @@ func serveDatasetQuery[V any](s *Server, w http.ResponseWriter, r *http.Request,
 		return
 	}
 	var res *core.Result[V]
-	err = func() error {
+	err = func() (err error) {
 		defer s.releaseRunSlot()
-		var err error
-		res, err = prep.Run(ctx)
+		endExec := ro.stage(stageExecute)
+		defer endExec()
+		ro.runLabeled(ctx, func(ctx context.Context) {
+			res, err = prep.Run(ctx)
+		})
 		return err
 	}()
 	if err != nil {
@@ -467,5 +480,9 @@ func serveDatasetQuery[V any](s *Server, w http.ResponseWriter, r *http.Request,
 	}
 	s.m.countDomain(cv.name)
 	s.m.datasetQ.Add(1)
-	writeJSON(w, http.StatusOK, encodeQueryResponse(cv, q, prep, res, start))
+	endEncode := ro.stage(stageEncode)
+	resp := encodeQueryResponse(cv, q, prep, res, start)
+	endEncode()
+	resp.Trace = ro.traceData()
+	writeJSON(w, http.StatusOK, resp)
 }

@@ -168,6 +168,9 @@ func (s *Server) decodeDeltaRequest(w http.ResponseWriter, r *http.Request) (req
 
 func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
+	ro := reqObsFrom(r.Context())
+	endParse := ro.stage(stageParse)
+	defer endParse() // idempotent; covers the early error returns
 	req, frames, binary, err := s.decodeDeltaRequest(w, r)
 	if err != nil {
 		writeDecodeError(w, err)
@@ -185,6 +188,7 @@ func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	doc, err := spec.ParseDocument(strings.NewReader(req.Spec))
+	endParse()
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -210,6 +214,9 @@ func serveDelta[V any](s *Server, w http.ResponseWriter, r *http.Request, start 
 	req *DeltaRequest, doc *spec.Document, frames []*wire.DeltaFrame,
 	eng *core.Engine[V], cv domainCodec[V]) {
 
+	ro := reqObsFrom(r.Context())
+	endResolve := ro.stage(stageResolve)
+	defer endResolve()
 	key := sessionKey(req)
 	sess := s.sessions.get(key)
 	if sess == nil {
@@ -243,7 +250,13 @@ func serveDelta[V any](s *Server, w http.ResponseWriter, r *http.Request, start 
 		opts := core.DefaultOptions()
 		opts.Workers = req.Workers
 		prepCtx, cancel := context.WithTimeout(r.Context(), s.queryTimeout(req.TimeoutMS))
+		// Close the resolve stage around the prepare so the two histograms
+		// stay disjoint; a second resolve stage below covers the batch
+		// translation.
+		endResolve()
+		endPrep := ro.stage(stagePrepare)
 		prep, err := eng.PrepareCtx(prepCtx, q, opts)
+		endPrep()
 		cancel()
 		if err != nil {
 			s.writeRunError(w, r.Context(), err)
@@ -260,11 +273,15 @@ func serveDelta[V any](s *Server, w http.ResponseWriter, r *http.Request, start 
 	}
 	q := sess.q.(*core.Query[V])
 
+	endResolve()
+	endTranslate := ro.stage(stageResolve)
 	deltas, err := buildDeltas(q, sess.layout, req.Deltas, frames, cv)
+	endTranslate()
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	ro.setQuery(cv.name, doc.Dataset, prep.ShapeKey())
 
 	ctx, cancel := context.WithTimeout(r.Context(), s.queryTimeout(req.TimeoutMS))
 	defer cancel()
@@ -276,10 +293,13 @@ func serveDelta[V any](s *Server, w http.ResponseWriter, r *http.Request, start 
 		return
 	}
 	var res *core.Result[V]
-	err = func() error {
+	err = func() (err error) {
 		defer s.releaseRunSlot()
-		var err error
-		res, err = prep.ApplyDeltas(ctx, deltas)
+		endExec := ro.stage(stageExecute)
+		defer endExec()
+		ro.runLabeled(ctx, func(ctx context.Context) {
+			res, err = prep.ApplyDeltas(ctx, deltas)
+		})
 		return err
 	}()
 	if err != nil {
@@ -288,6 +308,7 @@ func serveDelta[V any](s *Server, w http.ResponseWriter, r *http.Request, start 
 	}
 	s.m.countDomain(cv.name)
 
+	endEncode := ro.stage(stageEncode)
 	resp := &DeltaResponse{
 		Domain:    cv.name,
 		Strategy:  prep.DeltaStrategy(),
@@ -317,6 +338,8 @@ func serveDelta[V any](s *Server, w http.ResponseWriter, r *http.Request, start 
 		}
 		resp.Output = out
 	}
+	endEncode()
+	resp.Trace = ro.traceData()
 	writeJSON(w, http.StatusOK, resp)
 }
 

@@ -30,28 +30,29 @@ func (r *latencyRing) observe(d time.Duration) {
 	r.mu.Unlock()
 }
 
-// quantiles returns the given quantiles (in [0, 1]) plus the window max,
-// all zero when nothing has been observed.
-func (r *latencyRing) quantiles(qs ...float64) (out []time.Duration, max time.Duration) {
+// quantiles returns the given quantiles (in [0, 1]) plus the window max
+// and the window size (how many samples they were computed over, at most
+// latencyRingSize).  All zero when nothing has been observed.
+func (r *latencyRing) quantiles(qs ...float64) (out []time.Duration, max time.Duration, window int64) {
 	r.mu.Lock()
 	n := r.n
 	if n > latencyRingSize {
 		n = latencyRingSize
 	}
-	window := make([]time.Duration, n)
-	copy(window, r.buf[:n])
+	samples := make([]time.Duration, n)
+	copy(samples, r.buf[:n])
 	r.mu.Unlock()
 
 	out = make([]time.Duration, len(qs))
 	if n == 0 {
-		return out, 0
+		return out, 0, 0
 	}
-	sort.Slice(window, func(i, j int) bool { return window[i] < window[j] })
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
 	for i, q := range qs {
 		idx := int(q * float64(n-1))
-		out[i] = window[idx]
+		out[i] = samples[idx]
 	}
-	return out, window[n-1]
+	return out, samples[n-1], n
 }
 
 // metrics are the server-level counters behind /statsz.
@@ -89,7 +90,7 @@ func (m *metrics) countDomain(name string) {
 }
 
 func (m *metrics) snapshot() ServerStatz {
-	qs, max := m.lat.quantiles(0.50, 0.99)
+	qs, max, window := m.lat.quantiles(0.50, 0.90, 0.99)
 	return ServerStatz{
 		Requests:      m.requests.Load(),
 		RequestsOK:    m.ok.Load(),
@@ -103,13 +104,15 @@ func (m *metrics) snapshot() ServerStatz {
 			"bool":     m.domBool.Load(),
 			"tropical": m.domTrop.Load(),
 		},
-		Deltas:       m.deltas.Load(),
-		DeltasBinary: m.deltasBinary.Load(),
-		Rejected:     m.rejected.Load(),
-		LatencyP50MS: durationMS(qs[0]),
-		LatencyP99MS: durationMS(qs[1]),
-		LatencyMaxMS: durationMS(max),
-		Goroutines:   runtime.NumGoroutine(),
+		Deltas:        m.deltas.Load(),
+		DeltasBinary:  m.deltasBinary.Load(),
+		Rejected:      m.rejected.Load(),
+		LatencyP50MS:  durationMS(qs[0]),
+		LatencyP90MS:  durationMS(qs[1]),
+		LatencyP99MS:  durationMS(qs[2]),
+		LatencyMaxMS:  durationMS(max),
+		LatencyWindow: window,
+		Goroutines:    runtime.NumGoroutine(),
 	}
 }
 

@@ -5,31 +5,48 @@ import (
 	"time"
 )
 
-func TestLatencyRingQuantiles(t *testing.T) {
+func TestLatencyRingQuantilesEmpty(t *testing.T) {
 	var r latencyRing
-	qs, max := r.quantiles(0.5, 0.99)
-	if qs[0] != 0 || qs[1] != 0 || max != 0 {
-		t.Fatalf("empty ring: %v %v", qs, max)
-	}
-	for i := 1; i <= 100; i++ {
-		r.observe(time.Duration(i) * time.Millisecond)
-	}
-	qs, max = r.quantiles(0.5, 0.99)
-	if qs[0] != 50*time.Millisecond || qs[1] != 99*time.Millisecond || max != 100*time.Millisecond {
-		t.Fatalf("p50=%v p99=%v max=%v", qs[0], qs[1], max)
+	qs, max, window := r.quantiles(0.5, 0.9, 0.99)
+	if qs[0] != 0 || qs[1] != 0 || qs[2] != 0 || max != 0 || window != 0 {
+		t.Fatalf("empty ring: qs=%v max=%v window=%d", qs, max, window)
 	}
 }
 
-// TestLatencyRingWraps overfills the ring and checks only the newest window
-// is reported.
+func TestLatencyRingQuantiles(t *testing.T) {
+	var r latencyRing
+	for i := 1; i <= 100; i++ {
+		r.observe(time.Duration(i) * time.Millisecond)
+	}
+	qs, max, window := r.quantiles(0.5, 0.9, 0.99)
+	if qs[0] != 50*time.Millisecond || qs[1] != 90*time.Millisecond || qs[2] != 99*time.Millisecond {
+		t.Fatalf("p50=%v p90=%v p99=%v", qs[0], qs[1], qs[2])
+	}
+	if max != 100*time.Millisecond {
+		t.Fatalf("max=%v", max)
+	}
+	if window != 100 {
+		t.Fatalf("window=%d, want 100", window)
+	}
+}
+
+// TestLatencyRingWraps overfills the ring (n > latencyRingSize) and checks
+// that only the newest window is reported and the window size caps at the
+// ring size.
 func TestLatencyRingWraps(t *testing.T) {
 	var r latencyRing
 	for i := 0; i < latencyRingSize+10; i++ {
 		r.observe(time.Duration(i))
 	}
-	qs, _ := r.quantiles(0)
+	qs, max, window := r.quantiles(0)
 	// The minimum surviving sample is from the newest window, not sample 0.
 	if qs[0] < 10 {
 		t.Fatalf("stale sample %v survived the wrap", qs[0])
+	}
+	if max != time.Duration(latencyRingSize+9) {
+		t.Fatalf("max=%v, want the newest sample %d", max, latencyRingSize+9)
+	}
+	if window != latencyRingSize {
+		t.Fatalf("window=%d, want the ring size %d", window, latencyRingSize)
 	}
 }

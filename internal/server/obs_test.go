@@ -1,0 +1,351 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/faqdb/faq/internal/obs"
+)
+
+// syncBuffer is a goroutine-safe bytes.Buffer for the slow-query log: the
+// middleware writes entries after the response bytes are flushed, so the
+// test goroutine and the handler goroutine can touch it concurrently.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+func (b *syncBuffer) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Len()
+}
+
+// newTraceHeaderRequest builds a JSON POST asking for the trace via the
+// X-FAQ-Trace header rather than the query parameter.
+func newTraceHeaderRequest(url string, body []byte) (*http.Request, error) {
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-FAQ-Trace", "1")
+	return req, nil
+}
+
+// waitFor polls cond until it holds or a deadline passes.  Request-level
+// metrics and the slow-query log are written after the response is
+// flushed, so a client that just got its answer may observe them a beat
+// later.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached within 5s")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestIsMonitoringPath(t *testing.T) {
+	for _, p := range []string{"/healthz", "/statsz", "/metrics", "/debug/pprof/", "/debug/pprof/heap"} {
+		if !isMonitoringPath(p) {
+			t.Errorf("isMonitoringPath(%q) = false, want true", p)
+		}
+	}
+	for _, p := range []string{"/v1/query", "/v1/delta", "/v1/datasets", "/", "/debug/pprofx"} {
+		if isMonitoringPath(p) {
+			t.Errorf("isMonitoringPath(%q) = true, want false", p)
+		}
+	}
+}
+
+// spanNames collects the top-level span names of a trace in order.
+func spanNames(td *obs.TraceData) []string {
+	names := make([]string, len(td.Spans))
+	for i, sp := range td.Spans {
+		names[i] = sp.Name
+	}
+	return names
+}
+
+func findSpan(td *obs.TraceData, name string) *obs.SpanData {
+	for i := range td.Spans {
+		if td.Spans[i].Name == name {
+			return &td.Spans[i]
+		}
+	}
+	return nil
+}
+
+func TestQueryTrace(t *testing.T) {
+	_, _, c := newTestServer(t, Config{Workers: 1})
+	specText := triangleSpec(8, 0, 0)
+
+	// An untraced query must not carry a trace.
+	plain, err := c.Query(context.Background(), &QueryRequest{Spec: specText})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Trace != nil {
+		t.Fatalf("untraced query returned a trace: %+v", plain.Trace)
+	}
+
+	resp, err := c.QueryWithTrace(context.Background(), &QueryRequest{Spec: specText})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Trace == nil {
+		t.Fatal("?trace=1 returned no trace")
+	}
+	td := resp.Trace
+
+	// The pipeline stages appear in order.  This run hits the plan cache
+	// warmed by the untraced query above, so prepare is present (it is the
+	// cache lookup) and annotated as a hit.
+	want := []string{"parse", "resolve", "prepare", "execute", "encode"}
+	got := spanNames(td)
+	if len(got) != len(want) {
+		t.Fatalf("top-level spans %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("top-level spans %v, want %v", got, want)
+		}
+	}
+	prep := findSpan(td, "prepare")
+	if prep.Attrs["plan"] != "hit" {
+		t.Fatalf("warm prepare span attrs %v, want plan=hit", prep.Attrs)
+	}
+
+	// The execute span holds per-elimination children (3 bound variables)
+	// plus the listing span.
+	exec := findSpan(td, "execute")
+	elims := 0
+	for _, kid := range exec.Spans {
+		if kid.Name == "eliminate" {
+			elims++
+			if kid.Attrs["var"] == nil || kid.Attrs["kind"] == nil {
+				t.Fatalf("eliminate span missing attrs: %v", kid.Attrs)
+			}
+		}
+	}
+	if elims != 3 {
+		t.Fatalf("execute span has %d eliminate children, want 3", elims)
+	}
+
+	// Stage spans partition the request: their durations sum to no more
+	// than the trace wall time, and every duration is non-negative.
+	var sum float64
+	for _, sp := range td.Spans {
+		if sp.DurMS < 0 {
+			t.Fatalf("negative span duration: %+v", sp)
+		}
+		sum += sp.DurMS
+	}
+	if sum > td.DurMS*1.001+0.1 {
+		t.Fatalf("stage durations sum to %.3fms > trace wall %.3fms", sum, td.DurMS)
+	}
+}
+
+func TestQueryTraceHeader(t *testing.T) {
+	_, ts, c := newTestServer(t, Config{Workers: 1})
+	body, err := json.Marshal(&QueryRequest{Spec: triangleSpec(6, 0, 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := newTraceHeaderRequest(ts.URL+"/v1/query", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpResp, err := c.httpClient().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer httpResp.Body.Close()
+	var resp QueryResponse
+	if err := json.NewDecoder(httpResp.Body).Decode(&resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Trace == nil {
+		t.Fatal("X-FAQ-Trace: 1 returned no trace")
+	}
+}
+
+func TestMetricsExposition(t *testing.T) {
+	_, _, c := newTestServer(t, Config{Workers: 1})
+	specText := triangleSpec(8, 0, 0)
+	if _, err := c.Query(context.Background(), &QueryRequest{Spec: specText}); err != nil {
+		t.Fatal(err)
+	}
+
+	// The request histogram and shape table are fed after the response is
+	// flushed; scrape until the query has fully landed.
+	var raw []byte
+	var samples obs.PromSamples
+	waitFor(t, func() bool {
+		var err error
+		raw, err = c.Metrics(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		samples, err = obs.ParsePromText(bytes.NewReader(raw))
+		if err != nil {
+			t.Fatalf("/metrics is not valid Prometheus text: %v\n%s", err, raw)
+		}
+		return samples[`faqd_request_duration_seconds_count{endpoint="query"}`] == 1
+	})
+
+	if v := samples[`faqd_queries_total`]; v != 1 {
+		t.Fatalf("faqd_queries_total = %v, want 1", v)
+	}
+	if v := samples[`faqd_queries_domain_total{domain="float"}`]; v != 1 {
+		t.Fatalf(`faqd_queries_domain_total{domain="float"} = %v, want 1`, v)
+	}
+	// Every stage histogram observed the one query.
+	for _, st := range stageNames {
+		key := `faqd_stage_duration_seconds_count{stage="` + st + `"}`
+		if v := samples[key]; v != 1 {
+			t.Fatalf("%s = %v, want 1", key, v)
+		}
+	}
+	if v := samples[`faqd_request_duration_seconds_count{endpoint="query"}`]; v != 1 {
+		t.Fatalf("request histogram count = %v, want 1", v)
+	}
+	// The query's shape landed in the bounded shape table.
+	found := false
+	for k := range samples {
+		if strings.HasPrefix(k, "faqd_shape_queries_total{") {
+			found = true
+			if samples[k] != 1 {
+				t.Fatalf("%s = %v, want 1", k, samples[k])
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no faqd_shape_queries_total series in:\n%s", raw)
+	}
+	if _, ok := samples["faqd_shape_overflow_total"]; !ok {
+		t.Fatal("faqd_shape_overflow_total missing")
+	}
+	// Engine metrics flow through the scrape-time callbacks.
+	if v := samples["faqd_engine_runs_total"]; v != 1 {
+		t.Fatalf("faqd_engine_runs_total = %v, want 1", v)
+	}
+	if v := samples["faqd_engine_plan_cache_misses_total"]; v != 1 {
+		t.Fatalf("faqd_engine_plan_cache_misses_total = %v, want 1", v)
+	}
+}
+
+func TestSlowQueryLog(t *testing.T) {
+	var buf syncBuffer
+	// SlowQuery 0 logs every request, so one query yields one entry.
+	_, _, c := newTestServer(t, Config{Workers: 1, SlowQueryLog: &buf, SlowQuery: 0})
+	if _, err := c.Query(context.Background(), &QueryRequest{Spec: triangleSpec(8, 0, 0)}); err != nil {
+		t.Fatal(err)
+	}
+
+	waitFor(t, func() bool { return buf.Len() > 0 })
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("slow log has %d lines, want 1:\n%s", len(lines), buf.String())
+	}
+	var entry obs.SlowQueryEntry
+	if err := json.Unmarshal([]byte(lines[0]), &entry); err != nil {
+		t.Fatalf("slow log line is not JSON: %v\n%s", err, lines[0])
+	}
+	if entry.Endpoint != "query" || entry.Status != 200 {
+		t.Fatalf("slow log entry: %+v", entry)
+	}
+	if entry.Domain != "float" || entry.Shape == "" {
+		t.Fatalf("slow log entry missing query identity: %+v", entry)
+	}
+	if entry.Trace == nil || len(entry.Trace.Spans) == 0 {
+		t.Fatalf("slow log entry has no stage breakdown: %+v", entry)
+	}
+	if _, err := time.Parse(time.RFC3339Nano, entry.Time); err != nil {
+		t.Fatalf("slow log timestamp %q: %v", entry.Time, err)
+	}
+	if entry.WallMS < 0 {
+		t.Fatalf("slow log wall %v", entry.WallMS)
+	}
+	// A threshold above any test-query latency logs nothing.
+	var quiet syncBuffer
+	_, _, c2 := newTestServer(t, Config{Workers: 1, SlowQueryLog: &quiet, SlowQuery: time.Hour})
+	if _, err := c2.Query(context.Background(), &QueryRequest{Spec: triangleSpec(8, 0, 0)}); err != nil {
+		t.Fatal(err)
+	}
+	if quiet.Len() != 0 {
+		t.Fatalf("fast query crossed an hour-long slow threshold:\n%s", quiet.String())
+	}
+}
+
+// BenchmarkReqObsOverhead prices the whole untraced per-request
+// observability path — begin, five stage checkpoints, finish — to keep
+// it honest against the ≤1% serving-overhead budget (requests are
+// milliseconds; this must stay microseconds).
+func BenchmarkReqObsOverhead(b *testing.B) {
+	s, err := New(Config{Workers: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	r := httptest.NewRequest(http.MethodPost, "/v1/query", nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ro, _ := s.obs.begin(r, "query")
+		for _, st := range stageNames {
+			end := ro.stage(st)
+			end()
+		}
+		ro.setQuery("float", "", "bench-shape")
+		s.obs.finish(ro, http.StatusOK, time.Millisecond)
+	}
+}
+
+func TestDeltaTrace(t *testing.T) {
+	_, ts, c := newTestServer(t, Config{Workers: 1})
+	body, err := json.Marshal(&DeltaRequest{Session: "obs-test", Spec: triangleSpec(8, 0, 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := newTraceHeaderRequest(ts.URL+"/v1/delta", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpResp, err := c.httpClient().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer httpResp.Body.Close()
+	var resp DeltaResponse
+	if err := json.NewDecoder(httpResp.Body).Decode(&resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Trace == nil || len(resp.Trace.Spans) == 0 {
+		t.Fatal("traced delta returned no span tree")
+	}
+	if findSpan(resp.Trace, "parse") == nil || findSpan(resp.Trace, "execute") == nil {
+		t.Fatalf("delta trace spans: %v", spanNames(resp.Trace))
+	}
+}

@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"math"
 	"strconv"
+
+	"github.com/faqdb/faq/internal/obs"
 )
 
 // QueryRequest is the body of POST /v1/query: a query in the internal/spec
@@ -117,6 +119,9 @@ type DeltaResponse struct {
 	Stats RunStats `json:"stats"`
 	// ElapsedMS is the server-side wall time of the request.
 	ElapsedMS float64 `json:"elapsed_ms"`
+	// Trace is the stage-timing span tree, present when the request asked
+	// for it (?trace=1 or the X-FAQ-Trace: 1 header).
+	Trace *obs.TraceData `json:"trace,omitempty"`
 }
 
 // FloatValue returns the scalar result of a float- or tropical-domain
@@ -150,6 +155,9 @@ type QueryResponse struct {
 	Stats RunStats `json:"stats"`
 	// ElapsedMS is the server-side wall time of the request.
 	ElapsedMS float64 `json:"elapsed_ms"`
+	// Trace is the stage-timing span tree, present when the request asked
+	// for it (?trace=1 or the X-FAQ-Trace: 1 header).
+	Trace *obs.TraceData `json:"trace,omitempty"`
 }
 
 // FloatValue returns the scalar result of a float- or tropical-domain
@@ -453,11 +461,15 @@ type ServerStatz struct {
 	DeltaSessions int64 `json:"delta_sessions"`
 	// Rejected counts queries shed with 429 (backpressure).
 	Rejected int64 `json:"rejected"`
-	// LatencyP50MS / LatencyP99MS / LatencyMaxMS are percentiles over the
-	// recent-query latency ring.
-	LatencyP50MS float64 `json:"latency_p50_ms"`
-	LatencyP99MS float64 `json:"latency_p99_ms"`
-	LatencyMaxMS float64 `json:"latency_max_ms"`
+	// LatencyP50MS / LatencyP90MS / LatencyP99MS / LatencyMaxMS are
+	// percentiles over the recent-query latency ring; LatencyWindow is the
+	// number of samples they were computed over (at most the ring size),
+	// so a reader can judge how trustworthy the tail percentiles are.
+	LatencyP50MS  float64 `json:"latency_p50_ms"`
+	LatencyP90MS  float64 `json:"latency_p90_ms"`
+	LatencyP99MS  float64 `json:"latency_p99_ms"`
+	LatencyMaxMS  float64 `json:"latency_max_ms"`
+	LatencyWindow int64   `json:"latency_window"`
 	// Goroutines is runtime.NumGoroutine at snapshot time.
 	Goroutines int `json:"goroutines"`
 }

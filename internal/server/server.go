@@ -68,6 +68,17 @@ type Config struct {
 	// PUT /v1/datasets/{name} persist there and are memory-mapped back on
 	// restart.  Empty disables the dataset endpoints (they answer 503).
 	DataDir string
+	// SlowQueryLog receives the structured slow-query log as JSON lines;
+	// nil disables slow-query logging.  SlowQuery is the wall-time
+	// threshold at or above which a /v1/query or /v1/delta request is
+	// logged — 0 logs every request (useful for smoke tests and short
+	// captures).
+	SlowQueryLog io.Writer
+	SlowQuery    time.Duration
+	// ProfileLabels attaches pprof labels (endpoint, domain, shape) around
+	// query execution, so CPU profiles attribute samples to what was being
+	// served.  faqd enables it with -debug-addr.
+	ProfileLabels bool
 }
 
 const (
@@ -92,6 +103,7 @@ type Server struct {
 	sessions *sessionRegistry
 	store    *store.Store // nil without Config.DataDir
 	resident *residentRegistry
+	obs      *serverObs
 }
 
 // Validate checks the engine-facing configuration.  New calls it; command
@@ -148,6 +160,7 @@ func New(cfg Config) (*Server, error) {
 		s.store = st
 	}
 	s.m.start = time.Now()
+	s.obs = newServerObs(s)
 	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
 	s.mux.HandleFunc("POST /v1/delta", s.handleDelta)
 	s.mux.HandleFunc("GET /v1/plan", s.handlePlan)
@@ -158,6 +171,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/datasets", s.handleDatasetList)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /statsz", s.handleStatsz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s, nil
 }
 
@@ -179,32 +193,37 @@ func (s *Server) Close() {
 }
 
 // Handler returns the root handler: the API mux wrapped in the metrics
-// middleware.
+// and observability middleware.
 func (s *Server) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.m.requests.Add(1)
-		// The monitoring endpoints stay out of the in-flight gauge so an
-		// idle daemon reads 0 even while being polled ("wait for
-		// in_flight == 0, then stop" must terminate).
-		if r.URL.Path != "/healthz" && r.URL.Path != "/statsz" {
+		if !isMonitoringPath(r.URL.Path) {
 			s.m.inFlight.Add(1)
 			defer s.m.inFlight.Add(-1)
 		}
 		cw := &countingWriter{ResponseWriter: w}
 		start := time.Now()
+		var ro *reqObs
+		if ep := endpointOf(r); ep != "" {
+			ro, r = s.obs.begin(r, ep)
+		}
 		s.mux.ServeHTTP(cw, r)
+		wall := time.Since(start)
 		if r.Method == http.MethodPost && r.URL.Path == "/v1/query" {
 			s.m.queries.Add(1)
-			s.m.lat.observe(time.Since(start))
+			s.m.lat.observe(wall)
 		}
 		if r.Method == http.MethodPost && r.URL.Path == "/v1/delta" {
 			s.m.deltas.Add(1)
-			s.m.lat.observe(time.Since(start))
+			s.m.lat.observe(wall)
 		}
 		if cw.status() < 400 {
 			s.m.ok.Add(1)
 		} else {
 			s.m.errs.Add(1)
+		}
+		if ro != nil {
+			s.obs.finish(ro, cw.status(), wall)
 		}
 	})
 }
@@ -362,7 +381,7 @@ func (s *Server) releaseRunSlot() {
 // window p50 query latency rounded up, at least one second — roughly when a
 // run slot should free up.
 func (s *Server) retryAfterSeconds() int {
-	qs, _ := s.m.lat.quantiles(0.50)
+	qs, _, _ := s.m.lat.quantiles(0.50)
 	if sec := int((qs[0] + time.Second - 1) / time.Second); sec > 1 {
 		return sec
 	}
@@ -530,6 +549,9 @@ var (
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
+	ro := reqObsFrom(r.Context())
+	endParse := ro.stage(stageParse)
+	defer endParse() // idempotent; covers the early error returns
 	req, frames, binary, err := s.decodeQueryRequest(w, r)
 	if err != nil {
 		writeDecodeError(w, err)
@@ -547,6 +569,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	doc, err := spec.ParseDocument(strings.NewReader(req.Spec))
+	endParse()
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -589,6 +612,9 @@ func serveDomain[V any](s *Server, w http.ResponseWriter, r *http.Request, start
 		return
 	}
 
+	ro := reqObsFrom(r.Context())
+	endResolve := ro.stage(stageResolve)
+	defer endResolve()
 	q, layout, err := cv.build(doc)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
@@ -611,6 +637,7 @@ func serveDomain[V any](s *Server, w http.ResponseWriter, r *http.Request, start
 			return
 		}
 	}
+	endResolve()
 
 	// The run's context: cancelled when the client disconnects, bounded by
 	// the request deadline (clamped to the server maximum).
@@ -632,20 +659,26 @@ func serveDomain[V any](s *Server, w http.ResponseWriter, r *http.Request, start
 	}
 	var prep *core.PreparedQuery[V]
 	var res *core.Result[V]
-	err = func() error {
+	err = func() (err error) {
 		// Deferred so a panicking run (recovered by net/http) cannot leak
 		// the slot and wedge the bound shut.
 		defer s.releaseRunSlot()
-		var err error
+		endPrep := ro.stage(stagePrepare)
 		prep, err = eng.PrepareCtx(ctx, q, opts)
+		endPrep()
 		if err != nil {
 			return err
 		}
-		if factors != nil {
-			res, err = prep.RunWithFactors(ctx, factors)
-		} else {
-			res, err = prep.Run(ctx)
-		}
+		ro.setQuery(cv.name, "", prep.ShapeKey())
+		endExec := ro.stage(stageExecute)
+		defer endExec()
+		ro.runLabeled(ctx, func(ctx context.Context) {
+			if factors != nil {
+				res, err = prep.RunWithFactors(ctx, factors)
+			} else {
+				res, err = prep.Run(ctx)
+			}
+		})
 		return err
 	}()
 	if err != nil {
@@ -653,7 +686,11 @@ func serveDomain[V any](s *Server, w http.ResponseWriter, r *http.Request, start
 		return
 	}
 	s.m.countDomain(cv.name)
-	writeJSON(w, http.StatusOK, encodeQueryResponse(cv, q, prep, res, start))
+	endEncode := ro.stage(stageEncode)
+	resp := encodeQueryResponse(cv, q, prep, res, start)
+	endEncode()
+	resp.Trace = ro.traceData()
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // encodeQueryResponse renders a completed run as the /v1/query response

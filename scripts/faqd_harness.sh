@@ -8,10 +8,12 @@
 # verify the dataset survived bit for bit.
 #
 #   scripts/faqd_harness.sh smoke                  # make serve-smoke / CI gate
+#   scripts/faqd_harness.sh obssmoke               # make obs-smoke / CI gate
 #   scripts/faqd_harness.sh bench BENCH_PR3.json       # serving benchmark
 #   scripts/faqd_harness.sh benchwire BENCH_PR5.json   # JSON vs binary factor bodies
 #   scripts/faqd_harness.sh benchdelta BENCH_PR6.json  # incremental vs full refresh
 #   scripts/faqd_harness.sh benchstore BENCH_PR7.json  # shipped factors vs resident datasets
+#   scripts/faqd_harness.sh benchobs BENCH_PR8.json    # tracing overhead + stage breakdowns
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -32,11 +34,11 @@ trap cleanup EXIT
 go build -o "$bin/faqd" ./cmd/faqd
 go build -o "$bin/faqload" ./cmd/faqload
 
-# boot_faqd starts the daemon over the persistent data directory and waits
-# for it to publish its address.
+# boot_faqd starts the daemon over the persistent data directory (plus any
+# extra flags) and waits for it to publish its address.
 boot_faqd() {
   : > "$addr_file"
-  "$bin/faqd" -addr 127.0.0.1:0 -addr-file "$addr_file" -data "$data_dir" &
+  "$bin/faqd" -addr 127.0.0.1:0 -addr-file "$addr_file" -data "$data_dir" "$@" &
   faqd_pid=$!
   for _ in $(seq 1 100); do
     [ -s "$addr_file" ] && break
@@ -56,7 +58,12 @@ stop_faqd() {
   [ "$status" -eq 0 ] || { echo "faqd exited $status" >&2; exit "$status"; }
 }
 
-boot_faqd
+# The obs gate boots with the slow-query log catching every request and a
+# pprof listener, so the traced smoke can validate all three surfaces.
+slow_log="$bin/slow.log"
+boot_flags=()
+[ "$mode" = obssmoke ] && boot_flags=(-slow-query=0 -slow-query-log "$slow_log" -debug-addr 127.0.0.1:0)
+boot_faqd ${boot_flags[@]+"${boot_flags[@]}"}
 
 case "$mode" in
   smoke)
@@ -97,8 +104,23 @@ case "$mode" in
     "$bin/faqload" -addr "$addr" -concurrency 8 -duration 2s -wire both \
       -shapes triangle-fresh,triangle-dataset -json "$json_out"
     ;;
+  obssmoke)
+    # Observability gate: traced triangle + triangle-dataset queries whose
+    # span trees must account for wall time within 10%, a /metrics scrape
+    # that must parse as Prometheus text with the stage histograms and
+    # shape table, and a slow-query log (every request, -slow-query=0)
+    # holding valid JSON entries.
+    "$bin/faqload" -addr "$addr" -smoke-obs -slow-log "$slow_log"
+    ;;
+  benchobs)
+    # The observability-overhead record: plain triangle is the cache-hit
+    # path with tracing disabled (the ≤1% regression gate), and every row
+    # carries a per-stage breakdown from one traced probe query.
+    "$bin/faqload" -addr "$addr" -concurrency 8 -duration 2s -wire both -trace \
+      -shapes triangle,triangle-fresh,triangle-dataset -json "$json_out"
+    ;;
   *)
-    echo "usage: $0 smoke|bench|benchwire|benchdelta|benchstore [json-out]" >&2
+    echo "usage: $0 smoke|obssmoke|bench|benchwire|benchdelta|benchstore|benchobs [json-out]" >&2
     exit 2
     ;;
 esac
