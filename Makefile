@@ -1,13 +1,13 @@
 GO ?= go
 
-.PHONY: ci vet build test race bench bench-baseline bench-layout bench-serving bench-wire bench-delta bench-store bench-obs serve-smoke obs-smoke fuzz fuzz-delta fuzz-store lint doccheck fmt-check
+.PHONY: ci vet build test race bench bench-baseline bench-layout bench-serving bench-wire bench-delta bench-store bench-obs bench-radix serve-smoke obs-smoke fuzz fuzz-delta fuzz-store fuzz-radix lint doccheck fmt-check
 
 # Full local CI pass: what .github/workflows/ci.yml runs.
 ci: lint build test race bench serve-smoke obs-smoke
 
 # Docs/lint gate: formatting, vet, and a doc comment on every exported
 # symbol of the public API surface (faq.go, internal/server, internal/wire,
-# internal/store, internal/spec, internal/obs).
+# internal/store, internal/spec, internal/obs, internal/sortx).
 lint: fmt-check vet doccheck
 
 fmt-check:
@@ -15,7 +15,7 @@ fmt-check:
 	  echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 doccheck:
-	$(GO) run ./cmd/doccheck . ./internal/server ./internal/wire ./internal/store ./internal/spec ./internal/obs
+	$(GO) run ./cmd/doccheck . ./internal/server ./internal/wire ./internal/store ./internal/spec ./internal/obs ./internal/sortx
 
 vet:
 	$(GO) vet ./...
@@ -96,6 +96,24 @@ bench-store:
 # the comparable artifact (non-blocking in CI).
 bench-obs:
 	./scripts/faqd_harness.sh benchobs BENCH_PR8.json
+
+# Radix-sort benchmark: the shared packed-key kernel vs the comparison
+# argsort it replaced (arity 1-5, 48k rows), the permuted trie build at
+# arity 3-5 against its forced-comparison baseline (the ≥4x acceptance
+# ratio), and the sort-based projection path — all with -benchmem.  The
+# harness then appends a triangle-fresh + triangle-dataset serving probe so
+# the stored-order build and probe-loop numbers are part of the same
+# record.  BENCH_PR9.json is the comparable artifact (non-blocking in CI).
+bench-radix:
+	$(GO) test -run '^$$' -bench 'BenchmarkRadixArgsort|BenchmarkComparisonArgsort' -benchtime 30x -benchmem -json ./internal/sortx | tee BENCH_PR9.json
+	$(GO) test -run '^$$' -bench 'BenchmarkLayoutTrieBuildPermutedArity|BenchmarkLayoutTrieBuildIdentity|BenchmarkLayoutTrieProbe' -benchtime 100x -benchmem -json ./internal/join | tee -a BENCH_PR9.json
+	$(GO) test -run '^$$' -bench 'BenchmarkLayoutProjection' -benchtime 20x -benchmem -json ./internal/factor | tee -a BENCH_PR9.json
+	./scripts/faqd_harness.sh benchradix BENCH_PR9.json
+
+# Radix differential fuzz smoke: the packed-key kernel against the stable
+# comparison reference over arbitrary blocks (arity, sign bytes, cutoffs).
+fuzz-radix:
+	$(GO) test -run '^$$' -fuzz FuzzRadixArgsort -fuzztime 10s ./internal/sortx/
 
 # Short fuzz session for the DIMACS parser.
 fuzz:

@@ -453,6 +453,20 @@ func smokeObs(ctx context.Context, client *server.Client, cfg config, out *os.Fi
 			return fmt.Errorf("%s = %v, want >= 1", key, samples[key])
 		}
 	}
+	// The sort-strategy counters must round-trip the exposition parser.
+	// The smoke queries sort factor blocks below the radix cutoff, so only
+	// presence is asserted, not a minimum.
+	for _, key := range []string{
+		"faqd_sort_radix_total",
+		"faqd_sort_comparison_total",
+		"faqd_scan_splits_total",
+		"faqd_scan_splits_cache_aware_total",
+		"faqd_scan_block_keys",
+	} {
+		if _, ok := samples[key]; !ok {
+			return fmt.Errorf("/metrics is missing %s", key)
+		}
+	}
 	// Both smoke queries share one structural shape key (the dataset query
 	// is the same triangle hypergraph), so one series with two counts.
 	shapes := 0

@@ -169,6 +169,14 @@ func insideOutValidated[V any](ctx context.Context, q *Query[V], order []int, op
 				sp.Set("blocks", blocks)
 				sp.Set("pool_wait_ms", float64(after.PoolWaitNS-before.PoolWaitNS)/1e6)
 			}
+			if scans := after.ParallelScans - before.ParallelScans; scans > 0 {
+				sp.Set("block_keys", (after.BlockKeys-before.BlockKeys)/scans)
+				if after.CacheSplits-before.CacheSplits > 0 {
+					sp.Set("split", "cache-aware")
+				} else {
+					sp.Set("split", "floor")
+				}
+			}
 			sp.End()
 		}
 		if err != nil {

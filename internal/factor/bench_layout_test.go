@@ -4,6 +4,7 @@
 package factor
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -51,6 +52,34 @@ func BenchmarkLayoutFactorLookup(b *testing.B) {
 		if v := f.ValueOrZero(d, tuples[i%len(tuples)]); v == 0 {
 			b.Fatal("present tuple read as zero")
 		}
+	}
+}
+
+// BenchmarkLayoutProjection: marginalizing out the FIRST column keeps a
+// non-prefix projection, so grouping runs through the sort-based path
+// (argsortRows over the projected block) at arity 3-5.  `make bench-radix`
+// records these to BENCH_PR9.json.
+func BenchmarkLayoutProjection(b *testing.B) {
+	d := semiring.Float()
+	op := semiring.OpFloatSum()
+	for _, arity := range []int{3, 4, 5} {
+		vars := make([]int, arity)
+		for i := range vars {
+			vars[i] = i
+		}
+		tuples, values := layoutInput(int64(30+arity), arity, 3000, 48000)
+		f, err := New(d, vars, tuples, values, func(a, x float64) float64 { return a + x })
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("arity%d", arity), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if g := f.Marginalize(d, op, 0); g.Size() == 0 {
+					b.Fatal("empty marginal")
+				}
+			}
+		})
 	}
 }
 

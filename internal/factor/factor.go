@@ -23,6 +23,7 @@ import (
 	"sort"
 
 	"github.com/faqdb/faq/internal/semiring"
+	"github.com/faqdb/faq/internal/sortx"
 )
 
 // Factor is a function ψ over Vars in listing representation.  Vars are
@@ -408,20 +409,11 @@ func groupOrder(proj []int32, m, n int, prefix bool) []int {
 }
 
 // argsortRows returns the row indices of an n×k block in lexicographic row
-// order; stable adds an index tie-break so equal rows keep their input
-// order (required wherever duplicates fold in input order).
+// order; stable guarantees equal rows keep their input order (required
+// wherever duplicates fold in input order).  The work happens in the shared
+// packed-key radix kernel, which goes chunk-parallel on very large blocks.
 func argsortRows(rows []int32, k, n int, stable bool) []int {
-	order := make([]int, n)
-	for i := range order {
-		order[i] = i
-	}
-	parallelSort(order, func(a, b int) bool {
-		if c := compareRows(rows[a*k:a*k+k], rows[b*k:b*k+k]); c != 0 {
-			return c < 0
-		}
-		return stable && a < b
-	})
-	return order
+	return sortx.Argsort(rows, k, n, stable)
 }
 
 // foldGroups iterates the projected rows group by group (a group is a

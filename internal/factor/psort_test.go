@@ -2,42 +2,23 @@ package factor
 
 import (
 	"math/rand"
-	"sort"
 	"testing"
 
 	"github.com/faqdb/faq/internal/semiring"
+	"github.com/faqdb/faq/internal/sortx"
 )
 
-// TestParallelSortMatchesSortSlice exercises the chunked merge sort well past
-// the parallel threshold and against odd chunk counts.
-func TestParallelSortMatchesSortSlice(t *testing.T) {
-	rng := rand.New(rand.NewSource(42))
-	for _, n := range []int{0, 1, 2, parallelSortMin - 1, parallelSortMin, parallelSortMin + 1, 3*parallelSortMin + 17} {
-		keys := make([]int, n)
-		for i := range keys {
-			keys[i] = rng.Intn(1 << 30)
-		}
-		want := append([]int(nil), keys...)
-		sort.Ints(want)
-		order := make([]int, n)
-		for i := range order {
-			order[i] = i
-		}
-		parallelSort(order, func(a, b int) bool { return keys[a] < keys[b] })
-		for i, o := range order {
-			if keys[o] != want[i] {
-				t.Fatalf("n=%d: position %d has %d, want %d", n, i, keys[o], want[i])
-			}
-		}
-	}
-}
-
 // TestNewSortsLargeFactor checks that the factor constructor keeps rows in
-// lexicographic order above the parallel-sort threshold.
+// lexicographic order well past the radix kernel's parallel threshold, so
+// the chunk-parallel path is covered through the constructor.
 func TestNewSortsLargeFactor(t *testing.T) {
+	oldPar := sortx.ParallelMinRows
+	sortx.ParallelMinRows = 4096
+	defer func() { sortx.ParallelMinRows = oldPar }()
+
 	d := semiring.Float()
 	rng := rand.New(rand.NewSource(7))
-	n := 2*parallelSortMin + 31
+	n := 2*sortx.ParallelMinRows + 31
 	tuples := make([][]int, n)
 	values := make([]float64, n)
 	for i := range tuples {
@@ -47,6 +28,9 @@ func TestNewSortsLargeFactor(t *testing.T) {
 	f, err := New(d, []int{0, 1}, tuples, values, func(a, b float64) float64 { return a })
 	if err != nil {
 		t.Fatal(err)
+	}
+	if f.Size() == 0 {
+		t.Fatal("empty factor")
 	}
 	for i := 1; i < f.Size(); i++ {
 		if compareRows(f.Row(i-1), f.Row(i)) >= 0 {

@@ -4,11 +4,13 @@
 package join
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
 	"github.com/faqdb/faq/internal/factor"
 	"github.com/faqdb/faq/internal/semiring"
+	"github.com/faqdb/faq/internal/sortx"
 )
 
 func layoutFactor(seed int64, vars []int, dom, n int) *factor.Factor[float64] {
@@ -56,6 +58,55 @@ func BenchmarkLayoutTrieBuildPermuted(b *testing.B) {
 		if _, err := buildTrie(f, pos); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkLayoutTrieBuildPermutedArity: the same permuted re-sort build at
+// arity 3-5 — the range the old comparison fallback covered before the
+// radix kernel.  `make bench-radix` records these to BENCH_PR9.json.
+func BenchmarkLayoutTrieBuildPermutedArity(b *testing.B) {
+	for _, arity := range []int{3, 4, 5} {
+		vars := make([]int, arity)
+		pos := map[int]int{}
+		for i := range vars {
+			vars[i] = i
+			pos[i] = arity - 1 - i // reverse the columns: full re-sort
+		}
+		f := layoutFactor(int64(10+arity), vars, 3000, 48000)
+		b.Run(fmt.Sprintf("arity%d", arity), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := buildTrie(f, pos); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkLayoutTrieBuildPermutedArityBaseline is the same build with the
+// radix cutoff raised past the block size, so the sort runs the comparison
+// path — the pre-radix baseline the ≥4x acceptance ratio is taken against.
+func BenchmarkLayoutTrieBuildPermutedArityBaseline(b *testing.B) {
+	oldMin := sortx.RadixMinRows
+	sortx.RadixMinRows = 1 << 30
+	defer func() { sortx.RadixMinRows = oldMin }()
+	for _, arity := range []int{3, 4, 5} {
+		vars := make([]int, arity)
+		pos := map[int]int{}
+		for i := range vars {
+			vars[i] = i
+			pos[i] = arity - 1 - i
+		}
+		f := layoutFactor(int64(10+arity), vars, 3000, 48000)
+		b.Run(fmt.Sprintf("arity%d", arity), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := buildTrie(f, pos); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

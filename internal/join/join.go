@@ -19,12 +19,12 @@ package join
 import (
 	"context"
 	"fmt"
-	"slices"
 	"sort"
 	"sync/atomic"
 
 	"github.com/faqdb/faq/internal/factor"
 	"github.com/faqdb/faq/internal/semiring"
+	"github.com/faqdb/faq/internal/sortx"
 )
 
 // Stats accumulates instrumentation counters for benchmark harnesses and
@@ -35,6 +35,10 @@ type Stats struct {
 	Multiplies int64
 	Blocks     int64 // parallel scan blocks executed (0 for sequential scans)
 	PoolWaitNS int64 // summed per-block wait from scan submission to block start
+
+	ParallelScans int64 // scans split into parallel blocks
+	BlockKeys     int64 // summed lead-keys-per-block choice, one term per parallel scan
+	CacheSplits   int64 // parallel scans whose block count was cache-target sized
 }
 
 // Merge atomically folds t into s.  Block-parallel scans give every worker a
@@ -49,6 +53,9 @@ func (s *Stats) Merge(t *Stats) {
 	atomic.AddInt64(&s.Multiplies, t.Multiplies)
 	atomic.AddInt64(&s.Blocks, t.Blocks)
 	atomic.AddInt64(&s.PoolWaitNS, t.PoolWaitNS)
+	atomic.AddInt64(&s.ParallelScans, t.ParallelScans)
+	atomic.AddInt64(&s.BlockKeys, t.BlockKeys)
+	atomic.AddInt64(&s.CacheSplits, t.CacheSplits)
 }
 
 // trieLevel is one depth of a CSR trie: keys holds every node's key at this
@@ -119,51 +126,15 @@ func buildTrie[V any](f *factor.Factor[V], pos map[int]int) (*trie[V], error) {
 	return t, nil
 }
 
-// sortRowOrder argsorts n rows of width k lexicographically.  Rows of arity
-// <= 2 — binary relations, the bulk of join inputs — pack into one ordered
-// uint64 key per row, so the sort runs on machine-word compares instead of
-// per-compare column loops.
+// sortRowOrder argsorts n rows of width k lexicographically via the shared
+// packed-key radix kernel — arity-agnostic, so permuted builds at arity 3+
+// no longer fall back to a per-compare column loop.  Rows here are unique
+// (a column permutation of a unique block), so the unstable variant
+// suffices; it also retires this function's old k<=2 comparator, which
+// returned 1 for equal keys and so violated strict weak ordering on any
+// input with duplicate rows.
 func sortRowOrder(rows []int32, k, n int) []int {
-	rowOrder := make([]int, n)
-	for i := range rowOrder {
-		rowOrder[i] = i
-	}
-	if k <= 2 {
-		type kv struct {
-			key uint64
-			idx int32
-		}
-		pairs := make([]kv, n)
-		for r := 0; r < n; r++ {
-			// XOR of the sign bit maps int32 order onto uint32 order.
-			hi := uint64(uint32(rows[r*k]) ^ 0x80000000)
-			var lo uint64
-			if k == 2 {
-				lo = uint64(uint32(rows[r*k+1]) ^ 0x80000000)
-			}
-			pairs[r] = kv{key: hi<<32 | lo, idx: int32(r)}
-		}
-		slices.SortFunc(pairs, func(a, b kv) int {
-			if a.key < b.key {
-				return -1
-			}
-			return 1 // rows are unique: keys never tie
-		})
-		for i, p := range pairs {
-			rowOrder[i] = int(p.idx)
-		}
-		return rowOrder
-	}
-	sort.Slice(rowOrder, func(a, b int) bool {
-		ra, rb := rows[rowOrder[a]*k:rowOrder[a]*k+k], rows[rowOrder[b]*k:rowOrder[b]*k+k]
-		for i := range ra {
-			if ra[i] != rb[i] {
-				return ra[i] < rb[i]
-			}
-		}
-		return false
-	})
-	return rowOrder
+	return sortx.Argsort(rows, k, n, false)
 }
 
 // buildLevels fills the CSR levels from a sorted unique row block in one

@@ -28,7 +28,9 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
+	"unsafe"
 
 	"github.com/faqdb/faq/internal/factor"
 	"github.com/faqdb/faq/internal/semiring"
@@ -43,6 +45,17 @@ var MinParallelRows = 2048
 // blocksPerWorker oversubscribes the pool so skewed key ranges (heavy-hitter
 // values, as in the AGM-tight skew instances) keep all workers busy.
 const blocksPerWorker = 4
+
+// BlockTargetBytes is the cache-aware split target: when the prepared
+// tries' resident footprint is known, the scan is split into enough blocks
+// that each block's share of the footprint fits a mid-size L2 slice, so a
+// block's working set stays cache-resident while it runs.  Exposed as a
+// variable for tests and tuning.
+var BlockTargetBytes = 256 << 10
+
+// maxBlocksPerWorker caps cache-aware oversubscription: past this the
+// per-block clone and merge overhead outweighs locality.
+const maxBlocksPerWorker = 64
 
 // Workers resolves a worker-count knob: values < 1 mean GOMAXPROCS.
 func Workers(n int) int {
@@ -119,10 +132,25 @@ func (r *Runner[V]) topPlan() (lead, n int) {
 // keys.
 type blockRange struct{ Lo, Hi int }
 
-// splitRange partitions n candidate indices into at most
-// workers×blocksPerWorker contiguous non-empty blocks.
-func splitRange(n, workers int) []blockRange {
+// splitRange partitions n candidate indices into contiguous non-empty
+// blocks.  The floor is workers×blocksPerWorker blocks (skew tolerance);
+// when the scan's resident footprint is known (footprint > 0) and a floor
+// block's share would overflow BlockTargetBytes, the count grows until
+// each block's share fits — capped at workers×maxBlocksPerWorker so clone
+// and merge overhead stays bounded.  The bool reports whether the
+// footprint target (rather than the floor) chose the count.
+func splitRange(n, workers, footprint int) ([]blockRange, bool) {
 	nb := workers * blocksPerWorker
+	cacheAware := false
+	if footprint > 0 {
+		if want := (footprint + BlockTargetBytes - 1) / BlockTargetBytes; want > nb {
+			nb = want
+			if cap := workers * maxBlocksPerWorker; nb > cap {
+				nb = cap
+			}
+			cacheAware = true
+		}
+	}
 	if nb > n {
 		nb = n
 	}
@@ -133,7 +161,59 @@ func splitRange(n, workers int) []blockRange {
 			out = append(out, blockRange{Lo: lo, Hi: hi})
 		}
 	}
-	return out
+	return out, cacheAware
+}
+
+// footprintBytes estimates the resident bytes a block scan touches: every
+// trie's CSR arrays plus its leaf values.  Shared across blocks, so it is
+// the scan's footprint, and each block touches roughly its index share.
+func (r *Runner[V]) footprintBytes() int {
+	var v V
+	vSize := int(unsafe.Sizeof(v))
+	total := 0
+	for _, t := range r.tries {
+		for _, lv := range t.levels {
+			total += 4 * (len(lv.keys) + len(lv.start))
+		}
+		total += vSize * len(t.values)
+	}
+	return total
+}
+
+// Process-wide split counters, mirrored to /statsz and /metrics: scans
+// split into parallel blocks, how many of those were sized by the cache
+// target rather than the worker floor, and the most recent lead-keys-per-
+// block choice.
+var (
+	splitScans         atomic.Int64
+	splitCacheAware    atomic.Int64
+	splitLastBlockKeys atomic.Int64
+)
+
+// SplitStats returns the process-wide split counters: parallel scans run,
+// scans whose block count was cache-target sized, and the last scan's
+// lead keys per block.
+func SplitStats() (scans, cacheAware, lastBlockKeys int64) {
+	return splitScans.Load(), splitCacheAware.Load(), splitLastBlockKeys.Load()
+}
+
+// recordSplit notes one block-parallel scan in both the per-run Stats and
+// the process-wide counters.
+func recordSplit(stats *Stats, blocks []blockRange, n int, cacheAware bool) {
+	perBlock := int64(n / len(blocks))
+	splitScans.Add(1)
+	splitLastBlockKeys.Store(perBlock)
+	if cacheAware {
+		splitCacheAware.Add(1)
+	}
+	if stats == nil {
+		return
+	}
+	atomic.AddInt64(&stats.ParallelScans, 1)
+	atomic.AddInt64(&stats.BlockKeys, perBlock)
+	if cacheAware {
+		atomic.AddInt64(&stats.CacheSplits, 1)
+	}
 }
 
 func totalRows[V any](factors []*factor.Factor[V]) int {
@@ -198,7 +278,8 @@ func EliminateInnermostOn[V any](ctx context.Context, pool *Pool, limit int,
 
 	if len(vars) >= 2 && width > 1 && totalRows(factors) >= MinParallelRows {
 		lead, n := r.topPlan()
-		if blocks := splitRange(n, width); len(blocks) >= 2 {
+		if blocks, cacheAware := splitRange(n, width, r.footprintBytes()); len(blocks) >= 2 {
+			recordSplit(stats, blocks, n, cacheAware)
 			type part struct {
 				rows   []int32
 				values []V
@@ -240,7 +321,8 @@ func JoinAllOn[V any](ctx context.Context, pool *Pool, limit int,
 
 	if len(vars) > 0 && width > 1 && totalRows(factors) >= MinParallelRows {
 		lead, n := r.topPlan()
-		if blocks := splitRange(n, width); len(blocks) >= 2 {
+		if blocks, cacheAware := splitRange(n, width, r.footprintBytes()); len(blocks) >= 2 {
+			recordSplit(stats, blocks, n, cacheAware)
 			type part struct {
 				rows   []int32
 				values []V

@@ -120,24 +120,42 @@ func TestEliminateInnermostParScalar(t *testing.T) {
 func TestSplitRange(t *testing.T) {
 	for _, n := range []int{0, 1, 2, 3, 7, 100} {
 		for _, w := range []int{1, 2, 4, 13} {
-			blocks := splitRange(n, w)
-			next := 0
-			for _, b := range blocks {
-				if b.Lo >= b.Hi {
-					t.Fatalf("n=%d w=%d: empty block %+v", n, w, b)
+			for _, footprint := range []int{0, BlockTargetBytes / 2, 100 * BlockTargetBytes} {
+				blocks, cacheAware := splitRange(n, w, footprint)
+				next := 0
+				for _, b := range blocks {
+					if b.Lo >= b.Hi {
+						t.Fatalf("n=%d w=%d fp=%d: empty block %+v", n, w, footprint, b)
+					}
+					if b.Lo != next {
+						t.Fatalf("n=%d w=%d fp=%d: gap or overlap at %d (block %+v)", n, w, footprint, next, b)
+					}
+					next = b.Hi
 				}
-				if b.Lo != next {
-					t.Fatalf("n=%d w=%d: gap or overlap at %d (block %+v)", n, w, next, b)
+				if next != n {
+					t.Fatalf("n=%d w=%d fp=%d: blocks cover %d of %d indices", n, w, footprint, next, n)
 				}
-				next = b.Hi
-			}
-			if next != n {
-				t.Fatalf("n=%d w=%d: blocks cover %d of %d indices", n, w, next, n)
-			}
-			if len(blocks) > w*blocksPerWorker {
-				t.Fatalf("n=%d w=%d: %d blocks exceeds cap", n, w, len(blocks))
+				if len(blocks) > w*maxBlocksPerWorker {
+					t.Fatalf("n=%d w=%d fp=%d: %d blocks exceeds hard cap", n, w, footprint, len(blocks))
+				}
+				if !cacheAware && len(blocks) > w*blocksPerWorker {
+					t.Fatalf("n=%d w=%d fp=%d: %d blocks exceeds floor without cache sizing", n, w, footprint, len(blocks))
+				}
+				if cacheAware && footprint <= w*blocksPerWorker*BlockTargetBytes {
+					t.Fatalf("n=%d w=%d fp=%d: cache-aware split though floor blocks fit the target", n, w, footprint)
+				}
 			}
 		}
+	}
+	// The cache target grows the count exactly when a floor block's share
+	// of the footprint would overflow BlockTargetBytes.
+	blocks, cacheAware := splitRange(1<<20, 2, 32*BlockTargetBytes)
+	if !cacheAware || len(blocks) != 32 {
+		t.Fatalf("footprint sizing: got %d blocks (cacheAware=%v), want 32 cache-aware", len(blocks), cacheAware)
+	}
+	blocks, cacheAware = splitRange(1<<20, 2, 1000*BlockTargetBytes)
+	if !cacheAware || len(blocks) != 2*maxBlocksPerWorker {
+		t.Fatalf("footprint cap: got %d blocks (cacheAware=%v), want %d", len(blocks), cacheAware, 2*maxBlocksPerWorker)
 	}
 }
 
@@ -146,5 +164,6 @@ func TestSplitRange(t *testing.T) {
 // on how the pool split and scheduled the scan, not on the work done.
 func workCounters(s Stats) Stats {
 	s.Blocks, s.PoolWaitNS = 0, 0
+	s.ParallelScans, s.BlockKeys, s.CacheSplits = 0, 0, 0
 	return s
 }

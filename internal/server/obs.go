@@ -22,7 +22,9 @@ import (
 	"time"
 
 	"github.com/faqdb/faq/internal/core"
+	"github.com/faqdb/faq/internal/join"
 	"github.com/faqdb/faq/internal/obs"
+	"github.com/faqdb/faq/internal/sortx"
 )
 
 // The stage names, in request-pipeline order.  They are the fixed label
@@ -137,6 +139,19 @@ func newServerObs(s *Server) *serverObs {
 	}
 	reg.CounterFunc("faqd_slow_queries_total", "Requests written to the slow-query log.",
 		func() float64 { return float64(o.slowLog.Count()) })
+
+	// Data-plane sort and scan-split strategy counters, process-wide like
+	// the atomics they read.
+	reg.CounterFunc("faqd_sort_radix_total", "Row-block argsorts served by the packed-key radix kernel.",
+		func() float64 { return float64(sortx.RadixSorts()) })
+	reg.CounterFunc("faqd_sort_comparison_total", "Row-block argsorts below the radix cutoff (comparison sort).",
+		func() float64 { return float64(sortx.ComparisonSorts()) })
+	reg.CounterFunc("faqd_scan_splits_total", "Scans split into parallel blocks.",
+		func() float64 { scans, _, _ := join.SplitStats(); return float64(scans) })
+	reg.CounterFunc("faqd_scan_splits_cache_aware_total", "Parallel scans whose block count was cache-target sized.",
+		func() float64 { _, cache, _ := join.SplitStats(); return float64(cache) })
+	reg.GaugeFunc("faqd_scan_block_keys", "Lead keys per block chosen by the most recent split.",
+		func() float64 { _, _, keys := join.SplitStats(); return float64(keys) })
 
 	// Engine counters mirror core.EngineStats; each callback takes its own
 	// snapshot (a handful of atomic loads — scraping is the cold path).

@@ -399,6 +399,25 @@ type StatszResponse struct {
 	// Store holds the dataset-store counters; nil when the server runs
 	// without a data directory.
 	Store *StoreStatz `json:"store,omitempty"`
+	// Sort holds the data-plane sort and scan-split counters.
+	Sort SortStatz `json:"sort"`
+}
+
+// SortStatz are the process-wide data-plane counters of the shared radix
+// sort kernel and the block-parallel scan splitter.
+type SortStatz struct {
+	// RadixSorts / ComparisonSorts count row-block argsorts by strategy:
+	// the packed-key radix kernel vs the below-cutoff comparison sort.
+	RadixSorts      int64 `json:"radix_sorts"`
+	ComparisonSorts int64 `json:"comparison_sorts"`
+	// ParallelScans counts scans split into parallel blocks;
+	// CacheAwareSplits the subset whose block count was sized to the
+	// cache footprint target rather than the worker floor.
+	ParallelScans    int64 `json:"parallel_scans"`
+	CacheAwareSplits int64 `json:"cache_aware_splits"`
+	// LastBlockKeys is the lead-keys-per-block choice of the most recent
+	// split.
+	LastBlockKeys int64 `json:"last_block_keys"`
 }
 
 // EngineStatz mirrors core.EngineStats (see Engine.StatsSnapshot).

@@ -31,6 +31,8 @@ import (
 
 	"github.com/faqdb/faq/internal/core"
 	"github.com/faqdb/faq/internal/factor"
+	"github.com/faqdb/faq/internal/join"
+	"github.com/faqdb/faq/internal/sortx"
 	"github.com/faqdb/faq/internal/spec"
 	"github.com/faqdb/faq/internal/store"
 	"github.com/faqdb/faq/internal/wire"
@@ -330,9 +332,17 @@ func (s *Server) Statsz() StatszResponse {
 			LoadErrors:       int64(len(s.store.LoadErrors())),
 		}
 	}
+	splitScans, splitCache, splitKeys := join.SplitStats()
 	return StatszResponse{
 		Store:         st,
 		UptimeSeconds: time.Since(s.m.start).Seconds(),
+		Sort: SortStatz{
+			RadixSorts:       sortx.RadixSorts(),
+			ComparisonSorts:  sortx.ComparisonSorts(),
+			ParallelScans:    splitScans,
+			CacheAwareSplits: splitCache,
+			LastBlockKeys:    splitKeys,
+		},
 		Engine: EngineStatz{
 			Prepared:        es.Prepared,
 			PlanCacheHits:   es.PlanCacheHits,

@@ -1,0 +1,45 @@
+// Kernel benchmarks: the radix argsort against the comparison argsort it
+// replaced, at the 48k-row scale of the permuted trie builds and across
+// the arity range the old uint64 fast path did not cover.  `make
+// bench-radix` records these (with -benchmem) to BENCH_PR9.json as the
+// before/after record.
+package sortx
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func benchBlock(k, n int, dom int32) []int32 {
+	rng := rand.New(rand.NewSource(int64(k)*1000 + int64(n)))
+	rows := make([]int32, n*k)
+	for i := range rows {
+		rows[i] = rng.Int31n(dom)
+	}
+	return rows
+}
+
+func BenchmarkRadixArgsort(b *testing.B) {
+	for _, k := range []int{1, 2, 3, 4, 5} {
+		rows := benchBlock(k, 48000, 3000)
+		b.Run(fmt.Sprintf("arity%d", k), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				radixArgsort(rows, k, 48000)
+			}
+		})
+	}
+}
+
+func BenchmarkComparisonArgsort(b *testing.B) {
+	for _, k := range []int{1, 2, 3, 4, 5} {
+		rows := benchBlock(k, 48000, 3000)
+		b.Run(fmt.Sprintf("arity%d", k), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				comparisonArgsort(rows, k, 48000, true)
+			}
+		})
+	}
+}

@@ -1,0 +1,346 @@
+// The LSD radix kernel: rows pack into fixed-width byte keys, then
+// counting passes over 8-bit digits permute (key, index) pairs between
+// ping-pong buffers from the least significant digit up.  Counting sort is
+// stable, so the composed permutation is the stable lexicographic argsort.
+package sortx
+
+import "math/bits"
+
+// kv is the unit the counting passes move: a packed key and the row index
+// it carries.  One struct store per element keeps the scatter a single
+// write stream instead of parallel key and index streams.
+type kv struct {
+	key uint64
+	idx int32
+}
+
+// bytePos names one byte of one column: the digit read at a counting pass.
+type bytePos struct {
+	col   int
+	shift uint
+}
+
+// radixArgsort returns the stable lexicographic argsort of n rows of
+// width k.
+//
+// A first scan OR- and AND-accumulates each column (over sign-flipped
+// values, so unsigned byte order equals signed column order): a byte
+// position is constant across the block exactly when the accumulators
+// agree there, and constant digits cannot change the order.  Small
+// domains leave most positions constant — typically two live bytes per
+// column — so the varying positions usually fit in one uint64 regardless
+// of arity.  When they do (eight or fewer), a second scan gathers them
+// into a single compact key per row, least significant first, building
+// the per-digit histograms in the same pass; then one counting pass per
+// varying byte scatters (key, index) pairs, the final pass writing row
+// indices straight to the result.  Only the rare wide case — more than
+// eight varying bytes: high arity over large domains — pays for
+// multi-word keys.
+func radixArgsort(rows []int32, k, n int) []int {
+	if n == 0 {
+		return []int{}
+	}
+	ors := make([]uint32, k)
+	ands := make([]uint32, k)
+	for c := 0; c < k; c++ {
+		u := uint32(rows[c]) ^ 0x80000000
+		ors[c], ands[c] = u, u
+	}
+	for r := 1; r < n; r++ {
+		row := rows[r*k : r*k+k]
+		for c, x := range row {
+			u := uint32(x) ^ 0x80000000
+			ors[c] |= u
+			ands[c] &= u
+		}
+	}
+
+	// Varying byte positions in least-significant-first pass order: the
+	// last column's low byte first, the first column's high byte last.
+	varying := make([]bytePos, 0, 4*k)
+	for c := k - 1; c >= 0; c-- {
+		diff := ors[c] ^ ands[c]
+		for b := uint(0); b < 4; b++ {
+			if diff>>(8*b)&0xff != 0 {
+				varying = append(varying, bytePos{c, 8 * b})
+			}
+		}
+	}
+
+	m := len(varying)
+	idxBits := uint(bits.Len(uint(n - 1)))
+	switch {
+	case m == 0:
+		// Every row is identical: the stable order is the identity.
+		return identity(n)
+	case 8*m+int(idxBits) <= 64:
+		return packedArgsort(rows, k, n, varying, idxBits)
+	case m <= 8:
+		return compactArgsort(rows, k, n, varying)
+	case m <= 16:
+		return compact2Argsort(rows, k, n, varying)
+	default:
+		return wideArgsort(rows, k, n, varying)
+	}
+}
+
+// packedArgsort is the tightest case: the varying bytes AND the row index
+// fit one uint64 together (key above, index in the low idxBits), so each
+// counting pass moves eight bytes per element — half the (key, index)
+// pair — and no separate index array exists at all.  Equal rows differ
+// only in their index bits, which sit below every digit, so the pack
+// scan's ascending-index order plus counting-sort stability yields the
+// stable permutation.
+func packedArgsort(rows []int32, k, n int, varying []bytePos, idxBits uint) []int {
+	m := len(varying)
+	keysA := make([]uint64, n)
+	hist := make([]int32, m*256)
+	for i := 0; i < n; i++ {
+		row := rows[i*k : i*k+k]
+		ck := uint64(i)
+		for j, bp := range varying {
+			b := byte((uint32(row[bp.col]) ^ 0x80000000) >> bp.shift)
+			ck |= uint64(b) << (idxBits + uint(j)*8)
+			hist[j*256+int(b)]++
+		}
+		keysA[i] = ck
+	}
+
+	out := make([]int, n)
+	mask := uint64(1)<<idxBits - 1
+	var keysB []uint64
+	if m > 1 {
+		keysB = make([]uint64, n)
+	}
+	var offs [256]int32
+	for t := 0; t < m; t++ {
+		h := hist[t*256 : t*256+256]
+		sum := int32(0)
+		for d := 0; d < 256; d++ {
+			offs[d] = sum
+			sum += h[d]
+		}
+		shift := idxBits + uint(t)*8
+		if t == m-1 {
+			for i := 0; i < n; i++ {
+				key := keysA[i]
+				d := byte(key >> shift)
+				j := offs[d]
+				offs[d] = j + 1
+				out[j] = int(key & mask)
+			}
+			break
+		}
+		for i := 0; i < n; i++ {
+			key := keysA[i]
+			d := byte(key >> shift)
+			j := offs[d]
+			offs[d] = j + 1
+			keysB[j] = key
+		}
+		keysA, keysB = keysB, keysA
+	}
+	return out
+}
+
+// compactArgsort handles keys whose varying bytes fit one uint64: byte t
+// of the compact key is the digit of counting pass t.
+func compactArgsort(rows []int32, k, n int, varying []bytePos) []int {
+	m := len(varying)
+	pairsA := make([]kv, n)
+	hist := make([]int32, m*256)
+	for i := 0; i < n; i++ {
+		row := rows[i*k : i*k+k]
+		var ck uint64
+		for j, bp := range varying {
+			b := byte((uint32(row[bp.col]) ^ 0x80000000) >> bp.shift)
+			ck |= uint64(b) << (uint(j) * 8)
+			hist[j*256+int(b)]++
+		}
+		pairsA[i] = kv{ck, int32(i)}
+	}
+
+	out := make([]int, n)
+	var pairsB []kv
+	if m > 1 {
+		pairsB = make([]kv, n)
+	}
+	var offs [256]int32
+	for t := 0; t < m; t++ {
+		h := hist[t*256 : t*256+256]
+		sum := int32(0)
+		for d := 0; d < 256; d++ {
+			offs[d] = sum
+			sum += h[d]
+		}
+		shift := uint(t) * 8
+		if t == m-1 {
+			for i := 0; i < n; i++ {
+				p := pairsA[i]
+				d := byte(p.key >> shift)
+				j := offs[d]
+				offs[d] = j + 1
+				out[j] = int(p.idx)
+			}
+			break
+		}
+		for i := 0; i < n; i++ {
+			p := pairsA[i]
+			d := byte(p.key >> shift)
+			j := offs[d]
+			offs[d] = j + 1
+			pairsB[j] = p
+		}
+		pairsA, pairsB = pairsB, pairsA
+	}
+	return out
+}
+
+// kv2 extends kv to sixteen varying bytes: passes 0-7 read digits from
+// k1 (the less significant word), passes 8-15 from k0.
+type kv2 struct {
+	k0, k1 uint64
+	idx    int32
+}
+
+// compact2Argsort is compactArgsort for nine to sixteen varying bytes —
+// arity four through eight over realistic domains — moving 24-byte
+// (key, key, index) triples instead of multi-word copies.
+func compact2Argsort(rows []int32, k, n int, varying []bytePos) []int {
+	m := len(varying)
+	pairsA := make([]kv2, n)
+	hist := make([]int32, m*256)
+	for i := 0; i < n; i++ {
+		row := rows[i*k : i*k+k]
+		var c0, c1 uint64
+		for j, bp := range varying {
+			b := byte((uint32(row[bp.col]) ^ 0x80000000) >> bp.shift)
+			if j < 8 {
+				c1 |= uint64(b) << (uint(j) * 8)
+			} else {
+				c0 |= uint64(b) << (uint(j-8) * 8)
+			}
+			hist[j*256+int(b)]++
+		}
+		pairsA[i] = kv2{c0, c1, int32(i)}
+	}
+
+	out := make([]int, n)
+	pairsB := make([]kv2, n)
+	var offs [256]int32
+	for t := 0; t < m; t++ {
+		h := hist[t*256 : t*256+256]
+		sum := int32(0)
+		for d := 0; d < 256; d++ {
+			offs[d] = sum
+			sum += h[d]
+		}
+		var shift uint
+		lowWord := t < 8
+		if lowWord {
+			shift = uint(t) * 8
+		} else {
+			shift = uint(t-8) * 8
+		}
+		if t == m-1 {
+			for i := 0; i < n; i++ {
+				p := &pairsA[i]
+				word := p.k0
+				if lowWord {
+					word = p.k1
+				}
+				d := byte(word >> shift)
+				j := offs[d]
+				offs[d] = j + 1
+				out[j] = int(p.idx)
+			}
+			break
+		}
+		for i := 0; i < n; i++ {
+			p := pairsA[i]
+			word := p.k0
+			if lowWord {
+				word = p.k1
+			}
+			d := byte(word >> shift)
+			j := offs[d]
+			offs[d] = j + 1
+			pairsB[j] = p
+		}
+		pairsA, pairsB = pairsB, pairsA
+	}
+	return out
+}
+
+// wideArgsort is the multi-word fallback: each row packs into
+// ceil(k/2) uint64 words — each word holds two sign-flipped columns, the
+// earlier column in the high half, so unsigned word order equals
+// lexicographic order over the pair — and every counting pass moves the
+// whole key alongside its index.
+func wideArgsort(rows []int32, k, n int, varying []bytePos) []int {
+	w := (k + 1) / 2
+	keysA := make([]uint64, n*w)
+	for r := 0; r < n; r++ {
+		row := rows[r*k : r*k+k]
+		kb := keysA[r*w : r*w+w]
+		for c, x := range row {
+			u := uint64(uint32(x) ^ 0x80000000)
+			if c&1 == 0 {
+				kb[c>>1] = u << 32
+			} else {
+				kb[c>>1] |= u
+			}
+		}
+	}
+
+	// Histograms for the varying positions only, one scan for all passes.
+	m := len(varying)
+	hist := make([]int32, m*256)
+	words := make([]int, m)   // word index holding pass t's digit
+	shifts := make([]uint, m) // bit shift of pass t's digit within its word
+	for t, bp := range varying {
+		words[t] = bp.col >> 1
+		shifts[t] = bp.shift
+		if bp.col&1 == 0 {
+			shifts[t] += 32
+		}
+	}
+	for r := 0; r < n; r++ {
+		kb := keysA[r*w : r*w+w]
+		for t := 0; t < m; t++ {
+			hist[t*256+int(byte(kb[words[t]]>>shifts[t]))]++
+		}
+	}
+
+	idxA := make([]int32, n)
+	for i := range idxA {
+		idxA[i] = int32(i)
+	}
+	keysB := make([]uint64, n*w)
+	idxB := make([]int32, n)
+	var offs [256]int32
+	for t := 0; t < m; t++ {
+		h := hist[t*256 : t*256+256]
+		sum := int32(0)
+		for d := 0; d < 256; d++ {
+			offs[d] = sum
+			sum += h[d]
+		}
+		wi, shift := words[t], shifts[t]
+		for i := 0; i < n; i++ {
+			kb := keysA[i*w : i*w+w]
+			d := byte(kb[wi] >> shift)
+			j := int(offs[d])
+			offs[d]++
+			copy(keysB[j*w:j*w+w], kb)
+			idxB[j] = idxA[i]
+		}
+		keysA, keysB = keysB, keysA
+		idxA, idxB = idxB, idxA
+	}
+	out := make([]int, n)
+	for i, x := range idxA {
+		out[i] = int(x)
+	}
+	return out
+}

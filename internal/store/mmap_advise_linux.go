@@ -1,0 +1,29 @@
+//go:build linux
+
+package store
+
+import "syscall"
+
+// adviseSequential hints the kernel that the mapping is about to be read
+// front to back — Open's full-file CRC verification — so readahead runs
+// deep instead of the default window.  Advisory only: errors are returned
+// for tests but callers ignore them.
+func adviseSequential(data []byte) error {
+	if len(data) == 0 {
+		return nil
+	}
+	return syscall.Madvise(data, syscall.MADV_SEQUENTIAL)
+}
+
+// adviseWillNeed asks the kernel to start faulting the verified dataset in
+// ahead of first query use, and resets the readahead pattern to normal
+// (query access is point lookups and range scans, not one sweep).
+func adviseWillNeed(data []byte) error {
+	if len(data) == 0 {
+		return nil
+	}
+	if err := syscall.Madvise(data, syscall.MADV_NORMAL); err != nil {
+		return err
+	}
+	return syscall.Madvise(data, syscall.MADV_WILLNEED)
+}

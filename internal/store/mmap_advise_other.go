@@ -1,0 +1,9 @@
+//go:build !linux
+
+package store
+
+// madvise is Linux-gated rather than unix-gated: syscall.Madvise is absent
+// on several unix ports, and the hints are pure optimizations anyway.
+func adviseSequential([]byte) error { return nil }
+
+func adviseWillNeed([]byte) error { return nil }

@@ -68,11 +68,18 @@ func Open(path string) (*Dataset, error) {
 	if err != nil {
 		return nil, fmt.Errorf("store: mapping %s: %w", path, err)
 	}
+	// openBytes CRC-verifies the whole file front to back; tell the kernel
+	// so readahead runs deep.  Hints only — failures don't affect serving.
+	_ = adviseSequential(data)
 	ds, err := openBytes(data)
 	if err != nil {
 		unmap()
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
+	// Verified and about to serve: prefault ahead of first query use and
+	// drop the sequential readahead pattern (queries do point lookups and
+	// range scans).
+	_ = adviseWillNeed(data)
 	ds.path = path
 	ds.unmap = unmap
 	return ds, nil

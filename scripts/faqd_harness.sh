@@ -14,6 +14,7 @@
 #   scripts/faqd_harness.sh benchdelta BENCH_PR6.json  # incremental vs full refresh
 #   scripts/faqd_harness.sh benchstore BENCH_PR7.json  # shipped factors vs resident datasets
 #   scripts/faqd_harness.sh benchobs BENCH_PR8.json    # tracing overhead + stage breakdowns
+#   scripts/faqd_harness.sh benchradix BENCH_PR9.json  # appends a serving probe to the radix record
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -104,6 +105,17 @@ case "$mode" in
     "$bin/faqload" -addr "$addr" -concurrency 8 -duration 2s -wire both \
       -shapes triangle-fresh,triangle-dataset -json "$json_out"
     ;;
+  benchradix)
+    # The radix-record serving probe: triangle-fresh (stored-order builds
+    # on shipped factors) and triangle-dataset (probe loop over resident
+    # tries), appended to the kernel/build benchmarks `make bench-radix`
+    # already wrote to the artifact — faqload overwrites its -json file, so
+    # it writes to a scratch path that is then concatenated.
+    probe_json="$bin/radix-probe.json"
+    "$bin/faqload" -addr "$addr" -concurrency 8 -duration 2s -wire binary \
+      -shapes triangle-fresh,triangle-dataset -json "$probe_json"
+    cat "$probe_json" >> "$json_out"
+    ;;
   obssmoke)
     # Observability gate: traced triangle + triangle-dataset queries whose
     # span trees must account for wall time within 10%, a /metrics scrape
@@ -120,7 +132,7 @@ case "$mode" in
       -shapes triangle,triangle-fresh,triangle-dataset -json "$json_out"
     ;;
   *)
-    echo "usage: $0 smoke|obssmoke|bench|benchwire|benchdelta|benchstore|benchobs [json-out]" >&2
+    echo "usage: $0 smoke|obssmoke|bench|benchwire|benchdelta|benchstore|benchobs|benchradix [json-out]" >&2
     exit 2
     ;;
 esac
