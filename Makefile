@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci vet build test race bench bench-baseline bench-layout bench-serving bench-wire bench-delta bench-store bench-obs bench-radix serve-smoke obs-smoke fuzz fuzz-delta fuzz-store fuzz-radix lint doccheck fmt-check
+.PHONY: ci vet build test race bench bench-baseline bench-layout bench-serving bench-wire bench-delta bench-store bench-obs bench-radix bench-batch serve-smoke obs-smoke fuzz fuzz-delta fuzz-store fuzz-radix fuzz-wire lint doccheck fmt-check
 
 # Full local CI pass: what .github/workflows/ci.yml runs.
 ci: lint build test race bench serve-smoke obs-smoke
@@ -97,6 +97,15 @@ bench-store:
 bench-obs:
 	./scripts/faqd_harness.sh benchobs BENCH_PR8.json
 
+# Batch-protocol benchmark: small triangle queries driven as single
+# requests (JSON and binary factor bodies) and as /v1/batch requests of 32
+# items (JSON and fully binary: batch envelope in, streamed result records
+# out), every item verified against the oracle.  The acceptance ratio is
+# batch-32 triangle vs the single-query binary baseline, same run;
+# BENCH_PR10.json is the comparable artifact (non-blocking in CI).
+bench-batch:
+	./scripts/faqd_harness.sh benchbatch BENCH_PR10.json
+
 # Radix-sort benchmark: the shared packed-key kernel vs the comparison
 # argsort it replaced (arity 1-5, 48k rows), the permuted trie build at
 # arity 3-5 against its forced-comparison baseline (the ≥4x acceptance
@@ -131,3 +140,11 @@ fuzz-delta:
 # corruption must surface as a typed error, never a panic or a bad read.
 fuzz-store:
 	$(GO) test -run '^$$' -fuzz FuzzStoreOpen -fuzztime 5s ./internal/store/
+
+# Batch-protocol fuzz smoke: the batch envelope decoder against arbitrary
+# bytes (every rejection a typed sentinel, every accepted envelope
+# re-encoding identically) and the result-record codec round trip (CI runs
+# this as a blocking step, alongside fuzz-delta).
+fuzz-wire:
+	$(GO) test -run '^$$' -fuzz FuzzBatchDecode -fuzztime 5s ./internal/wire/
+	$(GO) test -run '^$$' -fuzz FuzzResultFrameRoundTrip -fuzztime 5s ./internal/wire/

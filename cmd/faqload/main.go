@@ -30,7 +30,11 @@
 // selects the encoding of fresh factor or delta data: json (the default),
 // binary (the internal/wire framing), or both — which drives each
 // data-shipping shape twice and labels the binary row "<shape>+bin", the
-// comparison behind make bench-wire and make bench-delta.
+// comparison behind make bench-wire and make bench-delta.  -batch N
+// additionally re-drives every query shape as /v1/batch requests of N
+// items (labelled "<shape>+batchN"; binary shapes ship the batch
+// envelope and stream binary result records), each item verified against
+// the same oracle — the same-run A/B behind make bench-batch.
 //
 // Every response is verified against a local single-threaded Solve of the
 // same spec, so a load run is also a correctness run.
@@ -67,6 +71,7 @@ type config struct {
 	duration     time.Duration
 	dom          int
 	wire         string
+	batch        int
 	jsonOut      string
 	smoke        bool
 	smokeDataset string
@@ -93,6 +98,9 @@ func (c config) validate() error {
 	case "json", "binary", "both":
 	default:
 		return fmt.Errorf("-wire must be json, binary or both, got %q", c.wire)
+	}
+	if c.batch < 0 {
+		return fmt.Errorf("-batch must be >= 0, got %d", c.batch)
 	}
 	switch c.smokeDataset {
 	case "", "put", "cold":
@@ -181,6 +189,7 @@ func main() {
 	flag.DurationVar(&cfg.duration, "duration", 3*time.Second, "load duration per shape")
 	flag.IntVar(&cfg.dom, "dom", 48, "domain size of the generated workloads")
 	flag.StringVar(&cfg.wire, "wire", "json", "fresh-factor encoding: json, binary, or both (drives data shapes twice)")
+	flag.IntVar(&cfg.batch, "batch", 0, "also drive each query shape as /v1/batch requests of N items (0 disables)")
 	flag.StringVar(&cfg.jsonOut, "json", "", "write the benchmark report to this file")
 	flag.BoolVar(&cfg.smoke, "smoke", false, "smoke mode: healthz + one verified query, then exit")
 	flag.StringVar(&cfg.smokeDataset, "smoke-dataset", "", "dataset smoke mode: put (upload + verified dataset query) or cold (verify a restart-surviving dataset), then exit")
@@ -259,6 +268,20 @@ func run(cfg config, out *os.File) error {
 			fmt.Fprintf(out, "%-20s %6s %5d %8d %6d %9.1f %9.2f %9.2f %9.2f %9.2f\n",
 				res.Shape, res.Wire, res.Concurrency, res.Requests, res.Errors, res.RPS,
 				res.P50MS, res.P90MS, res.P99MS, res.MaxMS)
+			if cfg.batch > 0 && v.steps == nil && v.setup == nil {
+				// Same-run A/B: the same shape again as /v1/batch requests of
+				// -batch items, every item verified against the oracle.  The
+				// row's Requests/RPS count items, so it compares directly
+				// against the single-query row above.
+				bres, err := driveBatch(ctx, client, v, cfg)
+				if err != nil {
+					return err
+				}
+				report.Results = append(report.Results, bres)
+				fmt.Fprintf(out, "%-20s %6s %5d %8d %6d %9.1f %9.2f %9.2f %9.2f %9.2f\n",
+					bres.Shape, bres.Wire, bres.Concurrency, bres.Requests, bres.Errors, bres.RPS,
+					bres.P50MS, bres.P90MS, bres.P99MS, bres.MaxMS)
+			}
 		}
 	}
 
@@ -595,6 +618,125 @@ func drive(ctx context.Context, client *server.Client, w workload, cfg config) (
 	}
 	wg.Wait()
 	return foldResult(w.name, wireLabel, cfg, lats, requests, errCount, time.Since(start), firstErr)
+}
+
+// driveBatch drives a workload as /v1/batch requests of cfg.batch items —
+// each item shipping the workload's factor data (or running the spec's
+// own data when it has none) — and verifies every item of every response
+// against the same oracle the single-query drive uses, plus the batch
+// contract itself (status ok, completed == n, items in index order).
+// The result row counts items, not POSTs, so its RPS is the per-item
+// throughput: directly comparable with the single-query row, which is
+// the whole point of the A/B.  Latency percentiles are per batch POST.
+func driveBatch(ctx context.Context, client *server.Client, w workload, cfg config) (shapeResult, error) {
+	n := cfg.batch
+	name := fmt.Sprintf("%s+batch%d", w.name, n)
+	breq := &server.BatchRequest{Spec: w.spec}
+	wireLabel := "json"
+	var stream []byte
+	switch {
+	case w.binary:
+		// Fully binary: the FAQB request envelope in, streamed FAQR result
+		// records out.  Encode once, post many.
+		wireLabel = "binary"
+		groups := make([][]*wire.Frame, n)
+		if w.factors != nil {
+			frames := make([]*wire.Frame, len(w.factors))
+			for i, fd := range w.factors {
+				f, err := server.FactorFrame(w.wireDom, fd)
+				if err != nil {
+					return shapeResult{}, fmt.Errorf("shape %s: %v", name, err)
+				}
+				frames[i] = f
+			}
+			for i := range groups {
+				groups[i] = frames
+			}
+		}
+		var err error
+		if stream, err = server.EncodeBatchStream(breq, groups); err != nil {
+			return shapeResult{}, fmt.Errorf("shape %s: %v", name, err)
+		}
+	default:
+		items := make([]server.BatchItem, n)
+		for i := range items {
+			items[i] = server.BatchItem{Factors: w.factors}
+		}
+		breq.Items = items
+	}
+
+	checkBatch := func(resp *server.BatchResponse, err error) error {
+		if err != nil {
+			return err
+		}
+		if resp.Status != server.BatchStatusOK || resp.Completed != n || len(resp.Items) != n {
+			return fmt.Errorf("batch status=%q completed=%d items=%d, want ok/%d/%d",
+				resp.Status, resp.Completed, len(resp.Items), n, n)
+		}
+		for i := range resp.Items {
+			item := &resp.Items[i]
+			if item.Index != i {
+				return fmt.Errorf("item %d carries index %d", i, item.Index)
+			}
+			if item.Error != "" {
+				return fmt.Errorf("item %d failed: %s", i, item.Error)
+			}
+			// The per-item oracle: each item re-verified exactly as a
+			// single-query response would be.
+			if err := w.verify(&server.QueryResponse{Value: item.Value, Output: item.Output}); err != nil {
+				return fmt.Errorf("item %d: %v", i, err)
+			}
+		}
+		return nil
+	}
+	post := func() error {
+		if stream != nil {
+			resp, err := client.QueryBatchStream(ctx, wire.BatchContentType, stream, nil)
+			return checkBatch(resp, err)
+		}
+		resp, err := client.QueryBatch(ctx, breq)
+		return checkBatch(resp, err)
+	}
+
+	stop := time.Now().Add(cfg.duration)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var lats []time.Duration
+	var requests, errCount int64
+	var firstErr error
+
+	start := time.Now()
+	for g := 0; g < cfg.concurrency; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var mine []time.Duration
+			var mineReqs, mineErrs int64
+			var myErr error
+			for time.Now().Before(stop) {
+				t0 := time.Now()
+				err := post()
+				mine = append(mine, time.Since(t0))
+				mineReqs += int64(n) // the row counts items, not POSTs
+				if err != nil {
+					mineErrs++
+					if myErr == nil {
+						myErr = fmt.Errorf("shape %s: %v", name, err)
+					}
+				}
+			}
+			mu.Lock()
+			lats = append(lats, mine...)
+			requests += mineReqs
+			errCount += mineErrs
+			if firstErr == nil {
+				firstErr = myErr
+			}
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return foldResult(name, wireLabel, cfg, lats, requests, errCount, time.Since(start), firstErr)
 }
 
 // driveDelta drives a delta workload: every client seeds its own session,

@@ -1,0 +1,119 @@
+// Batch-equivalence harness for the public API: PreparedQuery.RunBatch
+// must be indistinguishable from issuing the same items as sequential
+// Run/RunWithFactors calls — bit-identical outputs per item, across the
+// four value domains, on both a sequential and a pooled engine, at
+// several batch parallel widths.  Like the main equivalence harness it is
+// goroutine-leak-checked and runs under -race in CI.
+package faq
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// runBatchEquivalence draws random queries, regenerates each query's
+// factor values per item (same shape, fresh data — exactly the prepared
+// serving pattern), and checks RunBatch against the sequential oracle.
+func runBatchEquivalence[V any](t *testing.T, seed int64, trials int, d *Domain[V],
+	ringOps, allOps []*Op[V], allowProduct bool, randVal func(*rand.Rand) V) {
+
+	t.Helper()
+	checkGoroutineLeak(t)
+	forceParallelBlocks(t)
+	engSeq := NewEngine[V](EngineOptions{Workers: 1})
+	t.Cleanup(engSeq.Close)
+	engPar := NewEngine[V](EngineOptions{Workers: 4})
+	t.Cleanup(engPar.Close)
+	rng := rand.New(rand.NewSource(seed))
+
+	for trial := 0; trial < trials; trial++ {
+		q := randomQuery(rng, d, ringOps, allOps, allowProduct, randVal)
+		const nitems = 6
+		sets := make([][]*Factor[V], nitems)
+		for i := range sets {
+			if i%3 == 2 {
+				continue // nil item: run the prepared factors themselves
+			}
+			fresh := make([]*Factor[V], len(q.Factors))
+			for j, f := range q.Factors {
+				fresh[j] = FromFunc(d, f.Vars, q.DomSizes, func([]int) V {
+					if rng.Float64() < 0.35 {
+						return d.Zero
+					}
+					return randVal(rng)
+				})
+			}
+			sets[i] = fresh
+		}
+
+		for name, eng := range map[string]*Engine[V]{"seq": engSeq, "par": engPar} {
+			prep, err := eng.Prepare(q)
+			if err != nil {
+				t.Fatalf("trial %d: %s engine Prepare: %v", trial, name, err)
+			}
+			// The oracle: each item as its own sequential call.
+			want := make([]*Result[V], nitems)
+			for i, set := range sets {
+				if set == nil {
+					want[i], err = prep.Run(context.Background())
+				} else {
+					want[i], err = prep.RunWithFactors(context.Background(), set)
+				}
+				if err != nil {
+					t.Fatalf("trial %d: %s engine item %d: %v", trial, name, i, err)
+				}
+			}
+			for _, parallel := range []int{1, 3, 8} {
+				got := make([]*Result[V], nitems)
+				calls := make([]int, nitems)
+				err := prep.RunBatch(context.Background(), sets, parallel,
+					func(i int, res *Result[V], _ time.Duration, err error) {
+						if err != nil {
+							t.Errorf("trial %d: %s engine batch item %d: %v", trial, name, i, err)
+							return
+						}
+						got[i] = res
+						calls[i]++
+					})
+				if err != nil {
+					t.Fatalf("trial %d: %s engine RunBatch(parallel=%d): %v", trial, name, parallel, err)
+				}
+				for i := range got {
+					if calls[i] != 1 {
+						t.Fatalf("trial %d: item %d emitted %d times", trial, i, calls[i])
+					}
+					if got[i] == nil || !got[i].Output.Equal(d, want[i].Output) {
+						t.Fatalf("trial %d: %s engine parallel=%d item %d: RunBatch diverged from sequential\ngot  %v\nwant %v",
+							trial, name, parallel, i, got[i].Output, want[i].Output)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestBatchEquivalenceFloat(t *testing.T) {
+	runBatchEquivalence(t, 4101, 20, Float(),
+		[]*Op[float64]{OpFloatSum()}, []*Op[float64]{OpFloatSum(), OpFloatMax()}, true,
+		func(rng *rand.Rand) float64 { return float64(1 + rng.Intn(4)) })
+}
+
+func TestBatchEquivalenceInt(t *testing.T) {
+	runBatchEquivalence(t, 4102, 20, Int(),
+		[]*Op[int64]{OpIntSum()}, []*Op[int64]{OpIntSum(), OpIntMax()}, true,
+		func(rng *rand.Rand) int64 { return int64(1 + rng.Intn(3)) })
+}
+
+func TestBatchEquivalenceBool(t *testing.T) {
+	ops := []*Op[bool]{OpOr()}
+	runBatchEquivalence(t, 4103, 20, Bool(), ops, ops, true,
+		func(*rand.Rand) bool { return true })
+}
+
+func TestBatchEquivalenceTropical(t *testing.T) {
+	ops := []*Op[float64]{OpTropicalMin()}
+	runBatchEquivalence(t, 4104, 20, Tropical(), ops, ops, true,
+		func(rng *rand.Rand) float64 { return float64(rng.Intn(6)) })
+}

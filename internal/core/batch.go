@@ -1,0 +1,76 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"github.com/faqdb/faq/internal/factor"
+)
+
+// RunBatch pipelines many executions of one prepared query: the Section
+// 6–7 work (validation, planning, trie registration) is paid once by
+// Prepare, and each batch item is a pure InsideOut run.  sets[i] is the
+// i-th item's factor data, with the same shape contract as
+// RunWithFactors; a nil entry runs the prepared factors themselves (the
+// warm trie-cache path).  At most parallel items run concurrently
+// (values < 1 mean 1); items are admitted in index order but complete in
+// any order.
+//
+// emit is called exactly once per item — (index, result, elapsed, nil) on
+// success, (index, nil, elapsed, err) on failure, elapsed being the
+// item's own run wall time (zero for items aborted before admission) —
+// serialized under an internal mutex, so the callback may write to
+// shared state (a response stream, a result slice) without its own
+// locking.  Cancellation is observed both at admission (items not yet
+// started emit ctx.Err() immediately) and inside running items, between
+// elimination steps and at block boundaries; no goroutine outlives the
+// call.  RunBatch returns ctx.Err(), nil when the batch ran to
+// completion — per-item failures are reported through emit only, so one
+// bad item does not mask the rest.
+func (p *PreparedQuery[V]) RunBatch(ctx context.Context, sets [][]*factor.Factor[V], parallel int, emit func(i int, res *Result[V], elapsed time.Duration, err error)) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if parallel < 1 {
+		parallel = 1
+	}
+	var (
+		mu  sync.Mutex
+		wg  sync.WaitGroup
+		sem = make(chan struct{}, parallel)
+	)
+	report := func(i int, res *Result[V], elapsed time.Duration, err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		emit(i, res, elapsed, err)
+	}
+	for i := range sets {
+		if err := ctx.Err(); err != nil {
+			report(i, nil, 0, err)
+			continue
+		}
+		select {
+		case sem <- struct{}{}:
+		case <-ctx.Done():
+			report(i, nil, 0, ctx.Err())
+			continue
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			start := time.Now()
+			var res *Result[V]
+			var err error
+			if sets[i] == nil {
+				res, err = p.Run(ctx)
+			} else {
+				res, err = p.RunWithFactors(ctx, sets[i])
+			}
+			report(i, res, time.Since(start), err)
+		}(i)
+	}
+	wg.Wait()
+	return ctx.Err()
+}

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/faqdb/faq/internal/factor"
+)
+
+// TestRunBatchMatchesSequential pins the batch contract: one Prepare, N
+// pipelined runs, and every item's scalar is bit-identical to the
+// sequential RunWithFactors result for the same data.
+func TestRunBatchMatchesSequential(t *testing.T) {
+	e := NewEngine[float64](EngineOptions{Workers: 4})
+	defer e.Close()
+	p, err := e.Prepare(engineTriangleQuery(t, 12, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 9
+	sets := make([][]*factor.Factor[float64], n)
+	want := make([]float64, n)
+	for i := range sets {
+		if i%4 == 3 {
+			sets[i] = nil // prepared-data item: must match Run()
+			res, err := p.Run(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+			want[i] = res.Scalar()
+			continue
+		}
+		sets[i] = engineTriangleQuery(t, 12, float64(i)).Factors
+		res, err := p.RunWithFactors(context.Background(), sets[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = res.Scalar()
+	}
+
+	for _, parallel := range []int{0, 1, 3, 16} {
+		got := make([]float64, n)
+		calls := make([]int, n)
+		err := p.RunBatch(context.Background(), sets, parallel, func(i int, res *Result[float64], _ time.Duration, err error) {
+			calls[i]++
+			if err != nil {
+				t.Errorf("item %d: %v", i, err)
+				return
+			}
+			got[i] = res.Scalar()
+		})
+		if err != nil {
+			t.Fatalf("parallel=%d: %v", parallel, err)
+		}
+		for i := range want {
+			if calls[i] != 1 {
+				t.Fatalf("parallel=%d: item %d emitted %d times", parallel, i, calls[i])
+			}
+			if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+				t.Fatalf("parallel=%d: item %d = %v, want %v", parallel, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestRunBatchCancellation checks that a cancelled context reaches every
+// item: already-admitted items fail inside the run, never-admitted items
+// are emitted with ctx.Err() without starting, and RunBatch itself
+// returns the context error.
+func TestRunBatchCancellation(t *testing.T) {
+	e := NewEngine[float64](EngineOptions{Workers: 2})
+	defer e.Close()
+	p, err := e.Prepare(engineTriangleQuery(t, 12, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sets := make([][]*factor.Factor[float64], 6)
+	for i := range sets {
+		sets[i] = engineTriangleQuery(t, 12, float64(i)).Factors
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var emitted atomic.Int32
+	err = p.RunBatch(ctx, sets, 2, func(i int, res *Result[float64], _ time.Duration, err error) {
+		emitted.Add(1)
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("item %d: err %v, want context.Canceled", i, err)
+		}
+		if res != nil {
+			t.Errorf("item %d: result delivered after cancel", i)
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunBatch returned %v, want context.Canceled", err)
+	}
+	if got := emitted.Load(); got != int32(len(sets)) {
+		t.Fatalf("emitted %d items, want %d", got, len(sets))
+	}
+}
+
+// TestRunBatchBadItem checks per-item isolation: one malformed factor set
+// fails only its own item; the rest of the batch completes and RunBatch
+// returns nil.
+func TestRunBatchBadItem(t *testing.T) {
+	e := NewEngine[float64](EngineOptions{Workers: 2})
+	defer e.Close()
+	p, err := e.Prepare(engineTriangleQuery(t, 12, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := engineTriangleQuery(t, 12, 1).Factors
+	bad := engineTriangleQuery(t, 12, 2).Factors[:2] // wrong factor count
+	sets := [][]*factor.Factor[float64]{good, bad, good}
+
+	var failures atomic.Int32
+	err = p.RunBatch(context.Background(), sets, 2, func(i int, res *Result[float64], _ time.Duration, err error) {
+		if i == 1 {
+			failures.Add(1)
+			if err == nil {
+				t.Error("malformed item succeeded")
+			}
+			return
+		}
+		if err != nil {
+			t.Errorf("item %d: %v", i, err)
+		}
+	})
+	if err != nil {
+		t.Fatalf("RunBatch: %v", err)
+	}
+	if failures.Load() != 1 {
+		t.Fatalf("bad item emitted %d times", failures.Load())
+	}
+}

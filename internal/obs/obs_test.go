@@ -80,6 +80,34 @@ func TestTraceSpanTree(t *testing.T) {
 	}
 }
 
+func TestTraceRecordSpan(t *testing.T) {
+	var nilTr *Trace
+	nilTr.RecordSpan("item", time.Now(), time.Millisecond) // must not panic
+
+	tr := NewTrace()
+	e := tr.Start("execute")
+	start := time.Now()
+	tr.RecordSpan("item", start, 2*time.Millisecond, Attr{Key: "index", Val: 3})
+	tr.RecordSpan("item", start.Add(-time.Hour), time.Millisecond) // pre-trace start clamps to 0
+	e.End()
+	data := tr.Finish()
+	if len(data.Spans) != 1 || len(data.Spans[0].Spans) != 2 {
+		t.Fatalf("recorded spans misplaced: %+v", data)
+	}
+	kids := data.Spans[0].Spans
+	if kids[0].Name != "item" || kids[0].DurMS != 2 || kids[0].Attrs["index"] != 3 {
+		t.Fatalf("recorded span lost its fields: %+v", kids[0])
+	}
+	if kids[1].StartMS != 0 {
+		t.Fatalf("pre-trace start not clamped: %+v", kids[1])
+	}
+	tr2 := NewTrace()
+	tr2.RecordSpan("item", time.Now(), time.Millisecond)
+	if d := tr2.Finish(); len(d.Spans) != 1 {
+		t.Fatalf("top-level recorded span lost: %+v", d)
+	}
+}
+
 func TestTraceFinishClosesOpenSpans(t *testing.T) {
 	tr := NewTrace()
 	tr.Start("execute")

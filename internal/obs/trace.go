@@ -110,6 +110,32 @@ func (t *Trace) Annotate(key string, val any) {
 	}
 }
 
+// RecordSpan appends an already-completed span under the innermost open
+// span (or at the top level when none is open).  Start/End nesting
+// assumes strictly sequential stages, so concurrent work — the pipelined
+// items of a batch — times itself and is recorded retroactively from a
+// serialized completion callback instead.  start is placed on the
+// trace's clock; a start before the trace began is clamped to offset
+// zero.  No-op on a nil trace.
+func (t *Trace) RecordSpan(name string, start time.Time, dur time.Duration, attrs ...Attr) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	off := start.Sub(t.t0)
+	if off < 0 {
+		off = 0
+	}
+	sp := &Span{tr: t, name: name, start: off, dur: dur, attrs: attrs}
+	if n := len(t.stack); n > 0 {
+		parent := t.stack[n-1]
+		parent.kids = append(parent.kids, sp)
+	} else {
+		t.roots = append(t.roots, sp)
+	}
+}
+
 // End closes the span.  Well-nested use closes children before parents;
 // defensively, ending a span also ends any still-open spans nested inside
 // it.  No-op on a nil span or a span already ended.

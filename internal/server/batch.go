@@ -1,0 +1,608 @@
+// POST /v1/batch: many same-shape queries amortizing one HTTP round trip,
+// one spec parse and one prepare.  The request carries one spec plus N
+// factor sets — as JSON, or as the internal/wire batch envelope
+// (Content-Type: application/x-faq-batch) — and the items are pipelined
+// onto the engine pool through core.RunBatch: prepare once, run N times,
+// at most `parallel` items in flight.  A batch claims exactly one
+// MaxInflight run slot (connection-level backpressure counts requests,
+// not items); the per-item concurrency respects the engine pool caps.
+//
+// Responses come in two encodings.  The default is one JSON
+// BatchResponse with every item in index order.  Under
+// Accept: application/x-faq-results the server instead streams binary
+// result records (internal/wire "FAQR") over a chunked response, one
+// record flushed per completed item in completion order — each record
+// carries its item index, so clients reassemble out-of-order completions
+// — terminated by an end record with the batch summary.
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"mime"
+	"net/http"
+	"runtime"
+	"strings"
+	"time"
+
+	"github.com/faqdb/faq/internal/core"
+	"github.com/faqdb/faq/internal/factor"
+	"github.com/faqdb/faq/internal/obs"
+	"github.com/faqdb/faq/internal/spec"
+	"github.com/faqdb/faq/internal/wire"
+)
+
+// BatchRequest is the body of POST /v1/batch: one spec, N factor sets and
+// the batch execution knobs.  As JSON it is the whole body; in a binary
+// batch envelope it is the header (without Items — the per-item frame
+// groups carry the data).
+type BatchRequest struct {
+	// Spec is the query in the internal/spec format, shared by every item.
+	// Specs with a `use <dataset>` directive are rejected: resident factors
+	// make per-item factor sets meaningless — issue single queries instead.
+	Spec string `json:"spec"`
+	// Items are the batch items, each a factor set for one run.  Binary
+	// requests must leave Items empty and ship frame groups instead.
+	Items []BatchItem `json:"items,omitempty"`
+	// TimeoutMS bounds the whole batch — prepare plus every item; 0 means
+	// the server default.  On expiry (or client disconnect) the remaining
+	// items are aborted and the response reports partial results.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Workers caps each item run's executor concurrency, as in
+	// QueryRequest; 0 means the pool's full width.
+	Workers int `json:"workers,omitempty"`
+	// Parallel caps how many items run concurrently; 0 means the server
+	// picks (the engine pool width).  Items are admitted in index order.
+	Parallel int `json:"parallel,omitempty"`
+}
+
+// BatchItem is one batch item: the factor data for one run of the spec.
+type BatchItem struct {
+	// Factors replaces the spec's factor data for this item, with the same
+	// shape and column-order contract as QueryRequest.Factors.  An empty
+	// list runs the spec's own inline data (the warm trie-cache path).
+	Factors []FactorData `json:"factors,omitempty"`
+}
+
+// BatchResponse is the JSON body of a successful POST /v1/batch.
+type BatchResponse struct {
+	// Domain names the value domain the spec declared.
+	Domain string `json:"domain"`
+	// Plan summarizes the ordering every item executed (one prepare serves
+	// the whole batch).
+	Plan PlanSummary `json:"plan"`
+	// Items holds one result per requested item, in index order.
+	Items []BatchItemResult `json:"items"`
+	// Completed counts the items that produced a result.
+	Completed int `json:"completed"`
+	// Status is "ok" when every item completed, "partial" otherwise (some
+	// items failed or were aborted by the deadline; see each item's Error).
+	Status string `json:"status"`
+	// ElapsedMS is the server-side wall time of the whole batch.
+	ElapsedMS float64 `json:"elapsed_ms"`
+	// Trace is the stage-timing span tree with per-item spans under
+	// execute, present when the request asked for it.
+	Trace *obs.TraceData `json:"trace,omitempty"`
+}
+
+// BatchItemResult is one item's outcome.  Exactly one of Value/Output is
+// set on success (by the spec's free-variable count); Error is set on
+// failure.  Value and Output follow the QueryResponse conventions.
+type BatchItemResult struct {
+	// Index is the item's position in the request.
+	Index int `json:"index"`
+	// Value is the scalar result (no free variables); use the typed
+	// accessors rather than asserting.
+	Value any `json:"value,omitempty"`
+	// Output is the listing result (free variables).  In a binary result
+	// record only Vars is populated here — the record's embedded frame
+	// carries the tuples and values.
+	Output *OutputData `json:"output,omitempty"`
+	// Stats are the item run's work counters.
+	Stats RunStats `json:"stats"`
+	// Error describes the item's failure; empty on success.
+	Error string `json:"error,omitempty"`
+	// ElapsedMS is the item run's wall time.
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+// FloatValue returns the item's scalar result for float- and
+// tropical-domain batches.
+func (r *BatchItemResult) FloatValue() (float64, error) { return floatOf(r.Value) }
+
+// IntValue returns the item's scalar result for int-domain batches.
+func (r *BatchItemResult) IntValue() (int64, error) { return intOf(r.Value) }
+
+// BoolValue returns the item's scalar result for bool-domain batches.
+func (r *BatchItemResult) BoolValue() (bool, error) { return boolOf(r.Value) }
+
+// BatchStreamHeader is the result-stream envelope header of a streamed
+// batch response: what the client knows before the first item completes.
+type BatchStreamHeader struct {
+	// Domain names the value domain the spec declared.
+	Domain string `json:"domain"`
+	// Plan summarizes the ordering every item executes.
+	Plan PlanSummary `json:"plan"`
+	// Items is the number of requested items; the stream carries one item
+	// or error record per item (in completion order) plus the end record.
+	Items int `json:"items"`
+}
+
+// BatchSummary is the end record's header in a streamed batch response:
+// the batch outcome, mirroring the summary fields of BatchResponse.
+type BatchSummary struct {
+	// Completed counts the items that produced a result.
+	Completed int `json:"completed"`
+	// Status is "ok" or "partial", as in BatchResponse.
+	Status string `json:"status"`
+	// ElapsedMS is the server-side wall time of the whole batch.
+	ElapsedMS float64 `json:"elapsed_ms"`
+	// Trace is the batch's span tree, present when the request asked for
+	// it (the end record is the last place it can travel).
+	Trace *obs.TraceData `json:"trace,omitempty"`
+}
+
+// The BatchResponse.Status values.
+const (
+	// BatchStatusOK means every item completed.
+	BatchStatusOK = "ok"
+	// BatchStatusPartial means some items failed or were aborted.
+	BatchStatusPartial = "partial"
+)
+
+// maxBatchItems bounds the declared item count of one batch: above it the
+// batch is rejected outright rather than queued for minutes.
+const maxBatchItems = 4096
+
+// decodeBatchRequest reads the request body in either encoding: a plain
+// JSON BatchRequest, or — under Content-Type application/x-faq-batch — a
+// wire batch envelope whose header is the BatchRequest JSON (without
+// "items") and whose frame groups carry the per-item factor data.  For
+// the binary encoding, items[i] is the i-th group (nil when the item
+// declared zero frames: run the spec's own data).
+func (s *Server) decodeBatchRequest(w http.ResponseWriter, r *http.Request) (req BatchRequest, items [][]*wire.Frame, binary bool, err error) {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	ct := r.Header.Get("Content-Type")
+	if mt, _, mtErr := mime.ParseMediaType(ct); mtErr == nil && mt == wire.BatchContentType {
+		dec := wire.NewDecoder(body)
+		dec.SetMaxFrameBytes(int(min(s.cfg.MaxBodyBytes, int64(wire.DefaultMaxFrameBytes))))
+		header, n, hErr := dec.ReadBatchHeader(maxStreamHeaderBytes)
+		if hErr != nil {
+			return req, nil, true, hErr
+		}
+		jdec := json.NewDecoder(bytes.NewReader(header))
+		jdec.DisallowUnknownFields()
+		if jErr := jdec.Decode(&req); jErr != nil {
+			return req, nil, true, fmt.Errorf("batch header: %w", jErr)
+		}
+		if req.Items != nil {
+			return req, nil, true, errors.New(`binary batches carry items as frame groups, not as JSON "items"`)
+		}
+		if n > maxBatchItems {
+			return req, nil, true, fmt.Errorf("batch declares %d items (limit %d)", n, maxBatchItems)
+		}
+		// Grow as items actually arrive: n is attacker-chosen and a missing
+		// group surfaces as truncation below.
+		items = make([][]*wire.Frame, 0, min(n, 1024))
+		for i := 0; i < n; i++ {
+			m, mErr := dec.ReadBatchItemHeader()
+			if mErr != nil {
+				return req, nil, true, fmt.Errorf("batch item %d of %d: %w", i, n, mErr)
+			}
+			var group []*wire.Frame
+			for j := 0; j < m; j++ {
+				f, fErr := dec.Decode()
+				if fErr != nil {
+					return req, nil, true, fmt.Errorf("batch item %d frame %d of %d: %w", i, j, m, fErr)
+				}
+				group = append(group, f)
+			}
+			items = append(items, group)
+		}
+		// An item count that undersells the body would silently drop data.
+		if _, tErr := dec.Decode(); tErr != io.EOF {
+			return req, nil, true, fmt.Errorf("batch declares %d items but carries more", n)
+		}
+		return req, items, true, nil
+	}
+	jdec := json.NewDecoder(body)
+	jdec.DisallowUnknownFields()
+	err = jdec.Decode(&req)
+	return req, nil, false, err
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	ro := reqObsFrom(r.Context())
+	endParse := ro.stage(stageParse)
+	defer endParse() // idempotent; covers the early error returns
+	req, wireItems, binary, err := s.decodeBatchRequest(w, r)
+	if err != nil {
+		writeDecodeError(w, err)
+		return
+	}
+	if binary {
+		s.m.batchBinary.Add(1)
+	}
+	if strings.TrimSpace(req.Spec) == "" {
+		writeError(w, http.StatusBadRequest, "empty spec")
+		return
+	}
+	if req.Workers < 0 || req.Parallel < 0 {
+		writeError(w, http.StatusBadRequest, "workers and parallel must be >= 0")
+		return
+	}
+	n := len(req.Items)
+	if binary {
+		n = len(wireItems)
+	}
+	if n == 0 {
+		writeError(w, http.StatusBadRequest, "batch has no items")
+		return
+	}
+	if n > maxBatchItems {
+		writeError(w, http.StatusBadRequest, "batch declares %d items (limit %d)", n, maxBatchItems)
+		return
+	}
+	doc, err := spec.ParseDocument(strings.NewReader(req.Spec))
+	endParse()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if doc.Dataset != "" {
+		writeError(w, http.StatusBadRequest,
+			"spec uses dataset %q: batch items ship their own factors; query resident datasets with /v1/query", doc.Dataset)
+		return
+	}
+	switch doc.Domain {
+	case spec.DomainFloat:
+		serveBatchDomain(s, w, r, start, &req, doc, wireItems, s.eng, floatCodec)
+	case spec.DomainInt:
+		serveBatchDomain(s, w, r, start, &req, doc, wireItems, s.engInt, intCodec)
+	case spec.DomainBool:
+		serveBatchDomain(s, w, r, start, &req, doc, wireItems, s.engBool, boolCodec)
+	case spec.DomainTropical:
+		serveBatchDomain(s, w, r, start, &req, doc, wireItems, s.eng, tropicalCodec)
+	default:
+		writeError(w, http.StatusBadRequest, "unsupported spec domain %q", doc.Domain)
+	}
+}
+
+// serveBatchDomain is the domain-generic tail of handleBatch: build the
+// typed query once, decode and validate every item's factors up front
+// (any malformed item fails the whole batch with 400 before any work
+// runs), then prepare once and pipeline the items through core.RunBatch
+// under one MaxInflight slot.
+func serveBatchDomain[V any](s *Server, w http.ResponseWriter, r *http.Request, start time.Time,
+	req *BatchRequest, doc *spec.Document, wireItems [][]*wire.Frame,
+	eng *core.Engine[V], cv domainCodec[V]) {
+
+	ro := reqObsFrom(r.Context())
+	endResolve := ro.stage(stageResolve)
+	defer endResolve()
+	q, layout, err := cv.build(doc)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	// Decode every item before claiming the run slot: body-paced work must
+	// not pin the concurrency bound, and a malformed item anywhere rejects
+	// the batch before any item has run.
+	var sets [][]*factor.Factor[V]
+	if wireItems != nil {
+		sets = make([][]*factor.Factor[V], len(wireItems))
+		for i, group := range wireItems {
+			if group == nil {
+				continue // zero frames: run the spec's own data
+			}
+			if sets[i], err = buildFactorsWire(q, layout, group, cv); err != nil {
+				writeError(w, http.StatusBadRequest, "batch item %d: %v", i, err)
+				return
+			}
+		}
+	} else {
+		sets = make([][]*factor.Factor[V], len(req.Items))
+		for i, item := range req.Items {
+			if item.Factors == nil {
+				continue
+			}
+			if sets[i], err = buildFactorsJSON(q, layout, item.Factors, cv); err != nil {
+				writeError(w, http.StatusBadRequest, "batch item %d: %v", i, err)
+				return
+			}
+		}
+	}
+	endResolve()
+
+	streaming := acceptsMediaType(r, wire.ResultContentType)
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.queryTimeout(req.TimeoutMS))
+	defer cancel()
+
+	opts := core.DefaultOptions()
+	opts.Workers = req.Workers
+
+	// One run slot covers the whole batch — prepare through the last item.
+	// MaxInflight is connection-level backpressure: a batch is one request,
+	// and its internal parallelism is bounded separately below.
+	if !s.acquireRunSlot() {
+		s.m.rejected.Add(1)
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", s.retryAfterSeconds()))
+		writeError(w, http.StatusTooManyRequests,
+			"server is at its %d-run concurrency bound, retry later", s.cfg.MaxInflight)
+		return
+	}
+	defer s.releaseRunSlot()
+
+	endPrep := ro.stage(stagePrepare)
+	prep, err := eng.PrepareCtx(ctx, q, opts)
+	endPrep()
+	if err != nil {
+		s.writeRunError(w, ctx, err)
+		return
+	}
+	ro.setQuery(cv.name, "", prep.ShapeKey())
+
+	parallel := req.Parallel
+	if parallel <= 0 {
+		parallel = s.cfg.Workers
+		if parallel <= 0 {
+			parallel = runtime.GOMAXPROCS(0)
+		}
+	}
+	if parallel > len(sets) {
+		parallel = len(sets)
+	}
+
+	if streaming {
+		s.m.batchStreams.Add(1)
+		serveBatchStream(s, w, ctx, ro, req, q, prep, sets, parallel, cv, start)
+		return
+	}
+
+	items := make([]BatchItemResult, len(sets))
+	completed := 0
+	var firstErr error
+	endExec := ro.stage(stageExecute)
+	ro.runLabeled(ctx, func(ctx context.Context) {
+		err = prep.RunBatch(ctx, sets, parallel, func(i int, res *core.Result[V], elapsed time.Duration, runErr error) {
+			// Serialized by RunBatch: plain writes are safe here.
+			items[i] = encodeBatchItem(cv, q, i, res, runErr, elapsed)
+			ro.recordItemSpan(i, time.Now().Add(-elapsed), elapsed, runErr != nil)
+			if runErr != nil {
+				if firstErr == nil {
+					firstErr = runErr
+				}
+				s.m.batchItemErr.Add(1)
+				return
+			}
+			completed++
+		})
+	})
+	endExec()
+	s.m.batchItems.Add(int64(len(sets)))
+	if completed == 0 {
+		// Nothing to report: surface the failure as a plain error response
+		// (deadline → 504, disconnect → 499), like a single query would.
+		if firstErr == nil {
+			firstErr = err
+		}
+		s.writeRunError(w, ctx, firstErr)
+		return
+	}
+	s.m.countDomain(cv.name)
+	status := BatchStatusOK
+	if completed < len(sets) {
+		status = BatchStatusPartial
+	}
+	endEncode := ro.stage(stageEncode)
+	resp := &BatchResponse{
+		Domain:    cv.name,
+		Plan:      planSummary(prep.Plan(), q.VarName),
+		Items:     items,
+		Completed: completed,
+		Status:    status,
+		ElapsedMS: durationMS(time.Since(start)),
+	}
+	endEncode()
+	resp.Trace = ro.traceData()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// encodeBatchItem renders one item outcome.  elapsed is the item's own
+// run wall time as measured by RunBatch (zero for items aborted before
+// admission).
+func encodeBatchItem[V any](cv domainCodec[V], q *core.Query[V], index int,
+	res *core.Result[V], runErr error, elapsed time.Duration) BatchItemResult {
+
+	item := BatchItemResult{Index: index, ElapsedMS: durationMS(elapsed)}
+	if runErr != nil {
+		item.Error = runErr.Error()
+		return item
+	}
+	item.Stats = RunStats{
+		Eliminations:     res.Stats.Eliminations,
+		IntermediateRows: res.Stats.IntermediateRows,
+		MaxIntermediate:  res.Stats.MaxIntermediate,
+		JoinProbes:       res.Stats.Join.Probes,
+	}
+	if q.NumFree == 0 {
+		item.Value = cv.encode(res.Scalar())
+		return item
+	}
+	tuples := res.Output.Tuples()
+	if tuples == nil {
+		tuples = [][]int{}
+	}
+	values := res.Output.Values
+	if values == nil {
+		values = []V{}
+	}
+	out := &OutputData{Tuples: tuples, Values: cv.encodeColumn(values)}
+	for _, v := range res.Output.Vars {
+		out.Vars = append(out.Vars, q.VarName(v))
+	}
+	item.Output = out
+	return item
+}
+
+// outputFrame renders a free-variable output factor as one wire frame:
+// the factor's flat row block and native value column are adopted without
+// copying (the frame is written, never mutated).
+func outputFrame[V any](cv domainCodec[V], out *factor.Factor[V]) *wire.Frame {
+	f := &wire.Frame{Domain: cv.wireDom, Arity: out.Arity(), Rows: out.Rows()}
+	switch col := any(out.Values).(type) {
+	case []float64:
+		f.Floats = col
+	case []int64:
+		f.Ints = col
+	case []bool:
+		f.Bools = col
+	}
+	return f
+}
+
+// encodeBinaryQueryResponse renders a completed /v1/query run as a binary
+// factor stream: the QueryResponse JSON (Output carrying only Vars) as
+// the envelope header, then zero frames (scalar result — the value stays
+// in the header) or one frame with the free-variable output.  The frame's
+// value column is the run's native column, so float bits — including the
+// non-finite tropical identities — travel exactly.
+func encodeBinaryQueryResponse[V any](cv domainCodec[V], q *core.Query[V],
+	prep *core.PreparedQuery[V], res *core.Result[V], start time.Time, tr *obs.TraceData) ([]byte, error) {
+
+	resp := &QueryResponse{
+		Domain: cv.name,
+		Plan:   planSummary(prep.Plan(), q.VarName),
+		Stats: RunStats{
+			Eliminations:     res.Stats.Eliminations,
+			IntermediateRows: res.Stats.IntermediateRows,
+			MaxIntermediate:  res.Stats.MaxIntermediate,
+			JoinProbes:       res.Stats.Join.Probes,
+		},
+		ElapsedMS: durationMS(time.Since(start)),
+		Trace:     tr,
+	}
+	var frame *wire.Frame
+	if q.NumFree == 0 {
+		resp.Value = cv.encode(res.Scalar())
+	} else {
+		out := &OutputData{}
+		for _, v := range res.Output.Vars {
+			out.Vars = append(out.Vars, q.VarName(v))
+		}
+		resp.Output = out
+		frame = outputFrame(cv, res.Output)
+	}
+	header, err := json.Marshal(resp)
+	if err != nil {
+		return nil, err
+	}
+	var body bytes.Buffer
+	enc := wire.NewEncoder(&body)
+	nframes := 0
+	if frame != nil {
+		nframes = 1
+	}
+	if err := enc.WriteStreamHeader(header, nframes); err != nil {
+		return nil, err
+	}
+	if frame != nil {
+		if err := enc.Encode(frame); err != nil {
+			return nil, err
+		}
+	}
+	return body.Bytes(), nil
+}
+
+// serveBatchStream is the streamed half of serveBatchDomain: a 200 with
+// Content-Type application/x-faq-results, the stream header, then one
+// result record flushed per completed item (in completion order) and the
+// end record with the batch summary.  The status code is committed before
+// the first item runs, so runtime failures are reported in-band: failed
+// items as error records, the overall outcome in the end record's status.
+func serveBatchStream[V any](s *Server, w http.ResponseWriter, ctx context.Context,
+	ro *reqObs, req *BatchRequest, q *core.Query[V], prep *core.PreparedQuery[V],
+	sets [][]*factor.Factor[V], parallel int, cv domainCodec[V], start time.Time) {
+
+	header, err := json.Marshal(&BatchStreamHeader{
+		Domain: cv.name,
+		Plan:   planSummary(prep.Plan(), q.VarName),
+		Items:  len(sets),
+	})
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "encoding stream header: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", wire.ResultContentType)
+	w.WriteHeader(http.StatusOK)
+	rc := http.NewResponseController(w)
+	enc := wire.NewEncoder(w)
+	if err := enc.WriteResultHeader(header); err != nil {
+		return // client went away; items were never started
+	}
+	rc.Flush()
+
+	completed := 0
+	endExec := ro.stage(stageExecute)
+	ro.runLabeled(ctx, func(ctx context.Context) {
+		prep.RunBatch(ctx, sets, parallel, func(i int, res *core.Result[V], elapsed time.Duration, runErr error) {
+			// Serialized by RunBatch: the encoder and counters are safe.
+			item := encodeBatchItem(cv, q, i, res, runErr, elapsed)
+			ro.recordItemSpan(i, time.Now().Add(-elapsed), elapsed, runErr != nil)
+			rf := &wire.ResultFrame{Index: i}
+			if runErr != nil {
+				s.m.batchItemErr.Add(1)
+				rf.Kind = wire.ResultError
+			} else {
+				completed++
+				rf.Kind = wire.ResultItem
+				if item.Output != nil {
+					// The frame carries the output data; the record header
+					// keeps only the variable names.
+					rf.Output = outputFrame(cv, res.Output)
+					item.Output = &OutputData{Vars: item.Output.Vars}
+				}
+			}
+			hdr, mErr := json.Marshal(&item)
+			if mErr != nil {
+				return // unrepresentable item; the end record's count reflects it
+			}
+			rf.Header = hdr
+			if enc.EncodeResult(rf) == nil {
+				rc.Flush()
+			}
+		})
+	})
+	endExec()
+	s.m.batchItems.Add(int64(len(sets)))
+	if completed > 0 {
+		s.m.countDomain(cv.name)
+	}
+	status := BatchStatusOK
+	if completed < len(sets) {
+		status = BatchStatusPartial
+	}
+	summary, err := json.Marshal(&BatchSummary{
+		Completed: completed,
+		Status:    status,
+		ElapsedMS: durationMS(time.Since(start)),
+		Trace:     ro.traceData(),
+	})
+	if err != nil {
+		return
+	}
+	if enc.EncodeResult(&wire.ResultFrame{
+		Kind:   wire.ResultEnd,
+		Index:  completed,
+		Header: summary,
+	}) == nil {
+		rc.Flush()
+	}
+}

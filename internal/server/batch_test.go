@@ -1,0 +1,584 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/faqdb/faq/internal/obs"
+	"github.com/faqdb/faq/internal/wire"
+)
+
+// batchPairData builds N per-item factor sets for pairSpec: the same four
+// rows with values scaled per item, so every item has a distinct answer.
+func batchPairData(n int, scale func(i int) float64) []BatchItem {
+	return batchPairItems(n, func(i int) []float64 {
+		s := scale(i)
+		return []float64{2 * s, 3 * s, 5 * s, 1 * s}
+	})
+}
+
+// batchPairItems is batchPairData with full control of the row values
+// (the bool domain only accepts 0/1).
+func batchPairItems(n int, vals func(i int) []float64) []BatchItem {
+	items := make([]BatchItem, n)
+	for i := range items {
+		items[i] = BatchItem{Factors: []FactorData{{
+			Tuples: [][]int{{0, 1}, {1, 2}, {2, 0}, {3, 3}},
+			Values: vals(i),
+		}}}
+	}
+	return items
+}
+
+// TestBatchEquivalencePerDomain is the batch acceptance test: for every
+// value domain, for several parallel widths, a batch of N items must be
+// bit-identical to N sequential /v1/query calls with the same factor
+// sets — via both the JSON response and the streamed binary result
+// records.
+func TestBatchEquivalencePerDomain(t *testing.T) {
+	_, _, c := newTestServer(t, Config{})
+	ctx := context.Background()
+	const n = 7
+
+	scaled := func(i int) []float64 {
+		s := float64(i + 1)
+		return []float64{2 * s, 3 * s, 5 * s, 1 * s}
+	}
+	domains := []struct {
+		domain, agg string
+		vals        func(i int) []float64
+	}{
+		{"float", "sum", scaled},
+		{"int", "sum", scaled},
+		{"bool", "or", func(i int) []float64 {
+			s := float64(i % 2)
+			return []float64{s, 1 - s, s, s}
+		}},
+		{"tropical", "min", scaled},
+	}
+	for _, d := range domains {
+		t.Run(d.domain, func(t *testing.T) {
+			specText := pairSpec(d.domain, d.agg)
+			items := batchPairItems(n, d.vals)
+
+			// The oracle: each item as its own single query.
+			want := make([]*QueryResponse, n)
+			for i, item := range items {
+				var err error
+				want[i], err = c.Query(ctx, &QueryRequest{Spec: specText, Factors: item.Factors})
+				if err != nil {
+					t.Fatalf("single query %d: %v", i, err)
+				}
+			}
+
+			for _, parallel := range []int{1, 3, 16} {
+				req := &BatchRequest{Spec: specText, Items: items, Parallel: parallel}
+				br, err := c.QueryBatch(ctx, req)
+				if err != nil {
+					t.Fatalf("batch parallel=%d: %v", parallel, err)
+				}
+				checkBatchMatchesSingles(t, d.domain, br, want, n)
+
+				// Same request, streamed binary result records.
+				body, err := json.Marshal(req)
+				if err != nil {
+					t.Fatal(err)
+				}
+				seen := 0
+				sr, err := c.QueryBatchStream(ctx, "application/json", body,
+					func(*BatchItemResult) error { seen++; return nil })
+				if err != nil {
+					t.Fatalf("batch stream parallel=%d: %v", parallel, err)
+				}
+				if seen != n {
+					t.Fatalf("stream callback saw %d items, want %d", seen, n)
+				}
+				checkBatchMatchesSingles(t, d.domain, sr, want, n)
+			}
+		})
+	}
+}
+
+// checkBatchMatchesSingles compares every batch item against its
+// single-query oracle, bit-exactly for float-valued domains.
+func checkBatchMatchesSingles(t *testing.T, domain string, br *BatchResponse, want []*QueryResponse, n int) {
+	t.Helper()
+	if br.Domain != domain {
+		t.Fatalf("batch domain %q, want %q", br.Domain, domain)
+	}
+	if br.Status != BatchStatusOK || br.Completed != n || len(br.Items) != n {
+		t.Fatalf("batch status=%q completed=%d items=%d, want ok/%d/%d",
+			br.Status, br.Completed, len(br.Items), n, n)
+	}
+	for i, item := range br.Items {
+		if item.Index != i {
+			t.Fatalf("item %d carries index %d", i, item.Index)
+		}
+		if item.Error != "" {
+			t.Fatalf("item %d failed: %s", i, item.Error)
+		}
+		switch domain {
+		case "float", "tropical":
+			got, err := item.FloatValue()
+			if err != nil {
+				t.Fatalf("item %d value: %v", i, err)
+			}
+			ref := fval(t, want[i])
+			if math.Float64bits(got) != math.Float64bits(ref) {
+				t.Fatalf("item %d: batch %v != single %v", i, got, ref)
+			}
+		case "int":
+			got, err := item.IntValue()
+			if err != nil {
+				t.Fatalf("item %d value: %v", i, err)
+			}
+			ref, err := want[i].IntValue()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != ref {
+				t.Fatalf("item %d: batch %d != single %d", i, got, ref)
+			}
+		case "bool":
+			got, err := item.BoolValue()
+			if err != nil {
+				t.Fatalf("item %d value: %v", i, err)
+			}
+			ref, err := want[i].BoolValue()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != ref {
+				t.Fatalf("item %d: batch %v != single %v", i, got, ref)
+			}
+		}
+		if item.Stats.Eliminations == 0 {
+			t.Fatalf("item %d carries no run stats", i)
+		}
+	}
+}
+
+// TestBatchBinaryEnvelope ships the per-item factor data as a binary
+// batch envelope and checks the results against the JSON-items batch.
+func TestBatchBinaryEnvelope(t *testing.T) {
+	_, _, c := newTestServer(t, Config{Workers: 1})
+	ctx := context.Background()
+	specText := pairSpec("float", "sum")
+	const n = 5
+	items := batchPairData(n, func(i int) float64 { return float64(i + 1) })
+
+	jr, err := c.QueryBatch(ctx, &BatchRequest{Spec: specText, Items: items})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	groups := make([][]*wire.Frame, n)
+	for i, item := range items {
+		f, err := FactorFrame(wire.DomainFloat, item.Factors[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		groups[i] = []*wire.Frame{f}
+	}
+	br, err := c.QueryBatchFrames(ctx, &BatchRequest{Spec: specText}, groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if br.Status != BatchStatusOK || br.Completed != n {
+		t.Fatalf("binary batch status=%q completed=%d", br.Status, br.Completed)
+	}
+	for i := range br.Items {
+		jv, err := jr.Items[i].FloatValue()
+		if err != nil {
+			t.Fatal(err)
+		}
+		bv, err := br.Items[i].FloatValue()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(jv) != math.Float64bits(bv) {
+			t.Fatalf("item %d: json %v != binary %v", i, jv, bv)
+		}
+	}
+
+	// Binary envelope + streamed binary results: fully binary round trip.
+	stream, err := EncodeBatchStream(&BatchRequest{Spec: specText}, groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, err := c.QueryBatchStream(ctx, wire.BatchContentType, stream, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range sr.Items {
+		jv, err := jr.Items[i].FloatValue()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sv, err := sr.Items[i].FloatValue()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(jv) != math.Float64bits(sv) {
+			t.Fatalf("item %d: json %v != stream %v", i, jv, sv)
+		}
+	}
+}
+
+// TestBatchFreeVariableOutputs checks listing results survive both batch
+// encodings: a free-variable spec's per-item outputs must match the
+// single-query oracle row for row, via JSON items and streamed records
+// (whose outputs travel as embedded binary frames).
+func TestBatchFreeVariableOutputs(t *testing.T) {
+	_, _, c := newTestServer(t, Config{Workers: 1})
+	ctx := context.Background()
+	specText := "var x 4 free\nvar y 4 sum\nfactor y x\n0 1 = 1\nend\n"
+	const n = 4
+	items := batchPairData(n, func(i int) float64 { return float64(i + 1) })
+
+	want := make([]*QueryResponse, n)
+	for i, item := range items {
+		var err error
+		want[i], err = c.Query(ctx, &QueryRequest{Spec: specText, Factors: item.Factors})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	br, err := c.QueryBatch(ctx, &BatchRequest{Spec: specText, Items: items})
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := json.Marshal(&BatchRequest{Spec: specText, Items: items})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, err := c.QueryBatchStream(ctx, "application/json", body, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for name, resp := range map[string]*BatchResponse{"json": br, "stream": sr} {
+		for i, item := range resp.Items {
+			if item.Output == nil {
+				t.Fatalf("%s item %d has no output", name, i)
+			}
+			wantOut := want[i].Output
+			if fmt.Sprint(item.Output.Vars) != fmt.Sprint(wantOut.Vars) {
+				t.Fatalf("%s item %d vars %v, want %v", name, i, item.Output.Vars, wantOut.Vars)
+			}
+			if fmt.Sprint(item.Output.Tuples) != fmt.Sprint(wantOut.Tuples) {
+				t.Fatalf("%s item %d tuples %v, want %v", name, i, item.Output.Tuples, wantOut.Tuples)
+			}
+			got, err := item.Output.FloatValues()
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref, err := wantOut.FloatValues()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(ref) {
+				t.Fatalf("%s item %d: %d values, want %d", name, i, len(got), len(ref))
+			}
+			for j := range got {
+				if math.Float64bits(got[j]) != math.Float64bits(ref[j]) {
+					t.Fatalf("%s item %d value %d: %v != %v", name, i, j, got[j], ref[j])
+				}
+			}
+		}
+	}
+}
+
+// TestBatchRequestErrors drives the batch rejection paths: every
+// malformed request must fail whole with 400 before any item runs.
+func TestBatchRequestErrors(t *testing.T) {
+	_, ts, c := newTestServer(t, Config{Workers: 1})
+	ctx := context.Background()
+	specText := pairSpec("float", "sum")
+
+	post := func(t *testing.T, contentType string, body []byte) *http.Response {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/v1/batch", contentType, bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { resp.Body.Close() })
+		return resp
+	}
+
+	t.Run("no items", func(t *testing.T) {
+		if _, err := c.QueryBatch(ctx, &BatchRequest{Spec: specText}); err == nil ||
+			!strings.Contains(err.Error(), "no items") {
+			t.Fatalf("empty batch: %v", err)
+		}
+	})
+	t.Run("empty spec", func(t *testing.T) {
+		if _, err := c.QueryBatch(ctx, &BatchRequest{Items: batchPairData(1, func(int) float64 { return 1 })}); err == nil {
+			t.Fatal("empty spec accepted")
+		}
+	})
+	t.Run("dataset spec", func(t *testing.T) {
+		req := &BatchRequest{
+			Spec:  "use mystore\nvar x 4 sum\nvar y 4 sum\nfactor y x\nend\n",
+			Items: batchPairData(1, func(int) float64 { return 1 }),
+		}
+		if _, err := c.QueryBatch(ctx, req); err == nil ||
+			!strings.Contains(err.Error(), "dataset") {
+			t.Fatalf("dataset batch: %v", err)
+		}
+	})
+	t.Run("bad item fails whole batch", func(t *testing.T) {
+		items := batchPairData(3, func(int) float64 { return 1 })
+		items[1].Factors = append(items[1].Factors, items[1].Factors[0]) // one factor too many
+		if _, err := c.QueryBatch(ctx, &BatchRequest{Spec: specText, Items: items}); err == nil ||
+			!strings.Contains(err.Error(), "item 1") {
+			t.Fatalf("bad item: %v", err)
+		}
+	})
+	t.Run("binary envelope with JSON items", func(t *testing.T) {
+		stream, err := EncodeBatchStream(&BatchRequest{Spec: specText,
+			Items: batchPairData(1, func(int) float64 { return 1 })}, nil)
+		if err == nil {
+			t.Fatalf("encoder accepted JSON items in a binary envelope: %d bytes", len(stream))
+		}
+		// Hand-build the same malformed envelope; the server must 400 it.
+		header, _ := json.Marshal(&BatchRequest{Spec: specText,
+			Items: batchPairData(1, func(int) float64 { return 1 })})
+		var body bytes.Buffer
+		enc := wire.NewEncoder(&body)
+		if err := enc.WriteBatchHeader(header, 0); err != nil {
+			t.Fatal(err)
+		}
+		resp := post(t, wire.BatchContentType, body.Bytes())
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("HTTP %d, want 400", resp.StatusCode)
+		}
+	})
+	t.Run("truncated binary envelope", func(t *testing.T) {
+		header, _ := json.Marshal(&BatchRequest{Spec: specText})
+		var body bytes.Buffer
+		enc := wire.NewEncoder(&body)
+		if err := enc.WriteBatchHeader(header, 3); err != nil { // declares 3 items, ships none
+			t.Fatal(err)
+		}
+		resp := post(t, wire.BatchContentType, body.Bytes())
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("HTTP %d, want 400", resp.StatusCode)
+		}
+	})
+	t.Run("oversized item count", func(t *testing.T) {
+		body, _ := json.Marshal(&BatchRequest{Spec: specText,
+			Items: make([]BatchItem, maxBatchItems+1)})
+		resp := post(t, "application/json", body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("HTTP %d, want 400", resp.StatusCode)
+		}
+	})
+}
+
+// TestBatchCancellationNoLeak drives the mid-batch abort paths: a batch
+// whose deadline expires part-way must answer with partial results (or a
+// clean timeout error when nothing completed), stop running the
+// remaining items, and leak no goroutines.  A client disconnect must do
+// the same server-side.
+func TestBatchCancellationNoLeak(t *testing.T) {
+	s, ts, c := newTestServer(t, Config{})
+	ctx := context.Background()
+
+	// A spec heavy enough that a batch of them cannot finish in 1ms.
+	specText := triangleSpec(48, 0, 0)
+	items := make([]BatchItem, 16)
+
+	before := runtime.NumGoroutine()
+
+	t.Run("deadline", func(t *testing.T) {
+		br, err := c.QueryBatch(ctx, &BatchRequest{Spec: specText, Items: items, TimeoutMS: 1, Parallel: 2})
+		if err != nil {
+			// Nothing completed: the server reports one clean 504.
+			if !strings.Contains(err.Error(), "504") && !strings.Contains(err.Error(), "deadline") {
+				t.Fatalf("timeout batch failed oddly: %v", err)
+			}
+		} else {
+			if br.Status != BatchStatusPartial || br.Completed >= len(items) {
+				t.Fatalf("timeout batch status=%q completed=%d", br.Status, br.Completed)
+			}
+			aborted := 0
+			for _, item := range br.Items {
+				if item.Error != "" {
+					aborted++
+				}
+			}
+			if aborted != len(items)-br.Completed {
+				t.Fatalf("%d errored items, completed=%d of %d", aborted, br.Completed, len(items))
+			}
+		}
+	})
+
+	t.Run("disconnect", func(t *testing.T) {
+		body, _ := json.Marshal(&BatchRequest{Spec: specText, Items: items, Parallel: 2})
+		reqCtx, cancel := context.WithCancel(ctx)
+		req, err := http.NewRequestWithContext(reqCtx, http.MethodPost, ts.URL+"/v1/batch",
+			bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		go func() {
+			time.Sleep(10 * time.Millisecond)
+			cancel() // hang up mid-batch
+		}()
+		resp, err := ts.Client().Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+	})
+
+	// Every item goroutine must drain: poll because the aborted runs
+	// finish their in-flight block before observing cancellation.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= before+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines: %d before, %d after cancelled batches", before, runtime.NumGoroutine())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// The server still answers cleanly after the aborts.
+	if _, err := c.Query(ctx, &QueryRequest{Spec: pairSpec("float", "sum")}); err != nil {
+		t.Fatalf("server wedged after cancelled batches: %v", err)
+	}
+	_ = s
+}
+
+// TestBatchBackpressureOneSlot pins the batch admission contract: a whole
+// batch occupies exactly one MaxInflight slot — so a saturated server
+// sheds batches with 429 + Retry-After, and one running batch saturates
+// a MaxInflight=1 server for single queries too.
+func TestBatchBackpressureOneSlot(t *testing.T) {
+	s, ts, c := newTestServer(t, Config{Workers: 1, MaxInflight: 1})
+	ctx := context.Background()
+	specText := pairSpec("float", "sum")
+	items := batchPairData(4, func(i int) float64 { return float64(i + 1) })
+
+	// Hold the only slot, as an in-flight request would: batches shed.
+	if !s.acquireRunSlot() {
+		t.Fatal("fresh server should have a free slot")
+	}
+	body, _ := json.Marshal(&BatchRequest{Spec: specText, Items: items})
+	resp, err := http.Post(ts.URL+"/v1/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated server answered %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("429 carries no Retry-After header")
+	}
+	if got := s.Statsz().Server.Rejected; got != 1 {
+		t.Fatalf("statsz rejected = %d, want 1", got)
+	}
+
+	// Releasing the slot admits the whole batch — N items under ONE slot.
+	s.releaseRunSlot()
+	br, err := c.QueryBatch(ctx, &BatchRequest{Spec: specText, Items: items})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if br.Status != BatchStatusOK || br.Completed != len(items) {
+		t.Fatalf("batch after release: status=%q completed=%d", br.Status, br.Completed)
+	}
+	if got := s.Statsz().Server.Rejected; got != 1 {
+		t.Fatalf("admitted batch moved rejected to %d", got)
+	}
+
+	stats := s.Statsz().Server
+	if stats.Batches != 2 || stats.BatchItems != int64(len(items)) {
+		t.Fatalf("statsz batches=%d batch_items=%d, want 2 and %d",
+			stats.Batches, stats.BatchItems, len(items))
+	}
+}
+
+// TestBatchStatszAndMetrics checks the batch counters surface in /statsz
+// and /metrics.
+func TestBatchStatszAndMetrics(t *testing.T) {
+	s, _, c := newTestServer(t, Config{Workers: 1})
+	ctx := context.Background()
+	specText := pairSpec("float", "sum")
+	items := batchPairData(3, func(i int) float64 { return float64(i + 1) })
+
+	if _, err := c.QueryBatch(ctx, &BatchRequest{Spec: specText, Items: items}); err != nil {
+		t.Fatal(err)
+	}
+	body, _ := json.Marshal(&BatchRequest{Spec: specText, Items: items})
+	if _, err := c.QueryBatchStream(ctx, "application/json", body, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	stats := s.Statsz().Server
+	if stats.Batches != 2 || stats.BatchItems != 6 || stats.BatchStreams != 1 {
+		t.Fatalf("statsz batches=%d items=%d streams=%d, want 2/6/1",
+			stats.Batches, stats.BatchItems, stats.BatchStreams)
+	}
+	raw, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, metric := range []string{
+		"faqd_batches_total 2",
+		"faqd_batch_items_total 6",
+		"faqd_batch_streams_total 1",
+	} {
+		if !strings.Contains(string(raw), metric) {
+			t.Fatalf("/metrics lacks %q", metric)
+		}
+	}
+}
+
+// TestBatchTrace checks ?trace=1 batches carry per-item spans under the
+// execute stage.
+func TestBatchTrace(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{Workers: 1})
+	specText := pairSpec("float", "sum")
+	items := batchPairData(3, func(i int) float64 { return float64(i + 1) })
+	body, _ := json.Marshal(&BatchRequest{Spec: specText, Items: items})
+	resp, err := http.Post(ts.URL+"/v1/batch?trace=1", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var br BatchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+		t.Fatal(err)
+	}
+	if br.Trace == nil {
+		t.Fatal("traced batch carries no trace")
+	}
+	itemSpans := 0
+	var walk func(spans []obs.SpanData)
+	walk = func(spans []obs.SpanData) {
+		for _, sp := range spans {
+			if sp.Name == "item" {
+				itemSpans++
+			}
+			walk(sp.Spans)
+		}
+	}
+	walk(br.Trace.Spans)
+	if itemSpans != len(items) {
+		t.Fatalf("trace carries %d item spans, want %d", itemSpans, len(items))
+	}
+}

@@ -1,0 +1,259 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"math"
+	"net/http"
+	"testing"
+
+	"github.com/faqdb/faq/internal/wire"
+)
+
+// TestBinaryResponsePerDomain checks the response-side binary
+// negotiation: for every domain, Accept: application/x-faq-factors must
+// deliver the same scalar the JSON encoding does, bit-exactly.
+func TestBinaryResponsePerDomain(t *testing.T) {
+	_, _, c := newTestServer(t, Config{Workers: 1})
+	ctx := context.Background()
+
+	fresh := FactorData{
+		Tuples: [][]int{{0, 1}, {1, 2}, {2, 0}, {3, 3}},
+		Values: []float64{2, 3, 5, 1},
+	}
+	boolFresh := FactorData{Tuples: fresh.Tuples, Values: []float64{1, 0, 1, 1}}
+
+	cases := []struct {
+		domain, agg string
+		data        FactorData
+	}{
+		{"float", "sum", fresh},
+		{"int", "sum", fresh},
+		{"bool", "or", boolFresh},
+		{"tropical", "min", fresh},
+	}
+	for _, tc := range cases {
+		t.Run(tc.domain, func(t *testing.T) {
+			specText := pairSpec(tc.domain, tc.agg)
+			req := &QueryRequest{Spec: specText, Factors: []FactorData{tc.data}}
+			jr, err := c.Query(ctx, req)
+			if err != nil {
+				t.Fatalf("json query: %v", err)
+			}
+			br, err := c.QueryBinary(ctx, req)
+			if err != nil {
+				t.Fatalf("binary-response query: %v", err)
+			}
+			if br.Domain != tc.domain {
+				t.Fatalf("binary response domain %q, want %q", br.Domain, tc.domain)
+			}
+			switch tc.domain {
+			case "float", "tropical":
+				jv := fval(t, jr)
+				bv := fval(t, br)
+				if math.Float64bits(jv) != math.Float64bits(bv) {
+					t.Fatalf("json %v != binary %v", jv, bv)
+				}
+			case "int":
+				jv, err := jr.IntValue()
+				if err != nil {
+					t.Fatal(err)
+				}
+				bv, err := br.IntValue()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if jv != bv {
+					t.Fatalf("json %d != binary %d", jv, bv)
+				}
+			case "bool":
+				jv, err := jr.BoolValue()
+				if err != nil {
+					t.Fatal(err)
+				}
+				bv, err := br.BoolValue()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if jv != bv {
+					t.Fatalf("json %v != binary %v", jv, bv)
+				}
+			}
+			if br.Plan.Method == "" || br.Stats.Eliminations == 0 {
+				t.Fatalf("binary response lacks plan/stats: %+v", br)
+			}
+		})
+	}
+}
+
+// TestBinaryResponseOutput checks a free-variable query's output listing
+// survives the binary response frame, row for row and bit for bit —
+// fully binary in both directions via QueryStreamBinary.
+func TestBinaryResponseOutput(t *testing.T) {
+	_, _, c := newTestServer(t, Config{Workers: 1})
+	ctx := context.Background()
+	specText := "var x 4 free\nvar y 4 sum\nfactor y x\n0 1 = 1\nend\n"
+	fresh := FactorData{
+		Tuples: [][]int{{0, 1}, {1, 2}, {2, 0}, {3, 3}},
+		Values: []float64{2, 3, 5, 1},
+	}
+
+	jr, err := c.Query(ctx, &QueryRequest{Spec: specText, Factors: []FactorData{fresh}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame, err := FactorFrame(wire.DomainFloat, fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err := EncodeQueryStream(&QueryRequest{Spec: specText}, []*wire.Frame{frame})
+	if err != nil {
+		t.Fatal(err)
+	}
+	br, err := c.QueryStreamBinary(ctx, stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if br.Output == nil || jr.Output == nil {
+		t.Fatalf("outputs: json=%v binary=%v", jr.Output, br.Output)
+	}
+	if len(br.Output.Vars) != 1 || br.Output.Vars[0] != jr.Output.Vars[0] {
+		t.Fatalf("binary vars %v, json vars %v", br.Output.Vars, jr.Output.Vars)
+	}
+	if len(br.Output.Tuples) != len(jr.Output.Tuples) {
+		t.Fatalf("binary %d rows, json %d rows", len(br.Output.Tuples), len(jr.Output.Tuples))
+	}
+	jv, err := jr.Output.FloatValues()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bv, err := br.Output.FloatValues()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range jv {
+		if br.Output.Tuples[i][0] != jr.Output.Tuples[i][0] {
+			t.Fatalf("row %d: binary tuple %v, json tuple %v", i, br.Output.Tuples[i], jr.Output.Tuples[i])
+		}
+		if math.Float64bits(jv[i]) != math.Float64bits(bv[i]) {
+			t.Fatalf("row %d: json %v != binary %v", i, jv[i], bv[i])
+		}
+	}
+}
+
+// TestBinaryResponseInt64Precision proves the binary response carries
+// int64 outputs JSON cannot: a value beyond 2^53 comes back exact.
+func TestBinaryResponseInt64Precision(t *testing.T) {
+	_, _, c := newTestServer(t, Config{Workers: 1})
+	big := int64(1)<<60 + 3
+	stream, err := EncodeQueryStream(
+		&QueryRequest{Spec: "domain int\nvar x 2 free\nfactor x\n0 = 1\nend\n"},
+		[]*wire.Frame{{Domain: wire.DomainInt, Arity: 1, Rows: []int32{1}, Ints: []int64{big}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.QueryStreamBinary(context.Background(), stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, err := resp.Output.IntValues()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 1 || vals[0] != big {
+		t.Fatalf("binary output %v, want [%d]", vals, big)
+	}
+}
+
+// TestBinaryResponseNegotiation checks the Accept handshake: only the
+// exact media type opts in, plain and wildcard Accepts keep JSON, and
+// /statsz counts the binary responses served.
+func TestBinaryResponseNegotiation(t *testing.T) {
+	s, ts, _ := newTestServer(t, Config{Workers: 1})
+	body, _ := json.Marshal(&QueryRequest{Spec: pairSpec("float", "sum")})
+
+	post := func(t *testing.T, accept string) *http.Response {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/query", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if accept != "" {
+			req.Header.Set("Accept", accept)
+		}
+		resp, err := ts.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { resp.Body.Close() })
+		return resp
+	}
+
+	for _, accept := range []string{"", "*/*", "application/json", "application/x-faq-factors-not"} {
+		if ct := post(t, accept).Header.Get("Content-Type"); ct != "application/json" {
+			t.Fatalf("Accept %q answered %q, want JSON", accept, ct)
+		}
+	}
+	for _, accept := range []string{
+		wire.ContentType,
+		"application/json, application/x-faq-factors;q=0.9",
+	} {
+		if ct := post(t, accept).Header.Get("Content-Type"); ct != wire.ContentType {
+			t.Fatalf("Accept %q answered %q, want %q", accept, ct, wire.ContentType)
+		}
+	}
+	if got := s.Statsz().Server.QueriesBinaryResp; got != 2 {
+		t.Fatalf("statsz queries_binary_responses = %d, want 2", got)
+	}
+}
+
+// TestBinaryResponseDataset checks the negotiation also covers dataset
+// queries (a `use <dataset>` spec served from resident factors).
+func TestBinaryResponseDataset(t *testing.T) {
+	_, ts, c := newTestServer(t, Config{Workers: 1, DataDir: t.TempDir()})
+	ctx := context.Background()
+
+	frame, err := FactorFrame(wire.DomainFloat, FactorData{
+		Tuples: [][]int{{0, 1}, {1, 2}, {2, 0}, {3, 3}},
+		Values: []float64{2, 3, 5, 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.PutDataset(ctx, "pairs", []*wire.Frame{frame}); err != nil {
+		t.Fatal(err)
+	}
+	specText := "use pairs\nvar x 4 sum\nvar y 4 sum\nfactor y x\nend\n"
+
+	jr, err := c.Query(ctx, &QueryRequest{Spec: specText})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	body, _ := json.Marshal(&QueryRequest{Spec: specText})
+	breq, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/query", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	breq.Header.Set("Content-Type", "application/json")
+	breq.Header.Set("Accept", wire.ContentType)
+	bresp, err := ts.Client().Do(breq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bresp.Body.Close()
+	if ct := bresp.Header.Get("Content-Type"); ct != wire.ContentType {
+		t.Fatalf("dataset query answered %q, want %q", ct, wire.ContentType)
+	}
+	br, err := DecodeBinaryQueryResponse(bresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jv := fval(t, jr)
+	bv := fval(t, br)
+	if math.Float64bits(jv) != math.Float64bits(bv) {
+		t.Fatalf("dataset json %v != binary %v", jv, bv)
+	}
+}

@@ -1,0 +1,274 @@
+// Client-side batch and binary-response support: QueryBatch and friends
+// for POST /v1/batch (JSON or binary envelope in, JSON or streamed binary
+// result records out) and QueryBinary for single queries negotiating a
+// binary factor-frame response.
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"github.com/faqdb/faq/internal/wire"
+)
+
+// QueryBinary runs one JSON query asking for a binary response
+// (Accept: application/x-faq-factors): the scalar value or the output
+// listing comes back as a factor stream instead of JSON, preserving
+// exact float bits and full-range int64 values.  The decoded response
+// is a plain QueryResponse; read outputs through the typed accessors
+// as usual.
+func (c *Client) QueryBinary(ctx context.Context, req *QueryRequest) (*QueryResponse, error) {
+	buf, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	return c.doBinaryQuery(ctx, "application/json", bytes.NewReader(buf))
+}
+
+// QueryStreamBinary posts an already-encoded binary query body (see
+// EncodeQueryStream) and asks for a binary response too — fully binary
+// in both directions.
+func (c *Client) QueryStreamBinary(ctx context.Context, stream []byte) (*QueryResponse, error) {
+	return c.doBinaryQuery(ctx, wire.ContentType, bytes.NewReader(stream))
+}
+
+// doBinaryQuery posts the body with Accept: application/x-faq-factors and
+// decodes the binary response stream.
+func (c *Client) doBinaryQuery(ctx context.Context, contentType string, body io.Reader) (*QueryResponse, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/query", body)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", contentType)
+	req.Header.Set("Accept", wire.ContentType)
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		var apiErr ErrorResponse
+		if json.NewDecoder(resp.Body).Decode(&apiErr) == nil && apiErr.Error != "" {
+			return nil, fmt.Errorf("faqd: POST /v1/query: %s (HTTP %d)", apiErr.Error, resp.StatusCode)
+		}
+		return nil, fmt.Errorf("faqd: POST /v1/query: HTTP %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != wire.ContentType {
+		return nil, fmt.Errorf("faqd: server answered %q, not the requested binary encoding", ct)
+	}
+	return DecodeBinaryQueryResponse(resp.Body)
+}
+
+// DecodeBinaryQueryResponse reads a binary /v1/query response stream: the
+// QueryResponse JSON envelope header, then zero frames (scalar result)
+// or one frame carrying the output listing, which is spliced back into
+// Output.Tuples and Output.Values.
+func DecodeBinaryQueryResponse(r io.Reader) (*QueryResponse, error) {
+	dec := wire.NewDecoder(r)
+	header, nframes, err := dec.ReadStreamHeader(maxStreamHeaderBytes)
+	if err != nil {
+		return nil, fmt.Errorf("faqd: binary response header: %w", err)
+	}
+	var resp QueryResponse
+	jdec := json.NewDecoder(bytes.NewReader(header))
+	jdec.UseNumber()
+	if err := jdec.Decode(&resp); err != nil {
+		return nil, fmt.Errorf("faqd: binary response header: %w", err)
+	}
+	switch nframes {
+	case 0:
+		return &resp, nil
+	case 1:
+	default:
+		return nil, fmt.Errorf("faqd: binary query response carries %d frames, want 0 or 1", nframes)
+	}
+	f, err := dec.Decode()
+	if err != nil {
+		return nil, fmt.Errorf("faqd: binary response output frame: %w", err)
+	}
+	if resp.Output == nil {
+		resp.Output = &OutputData{}
+	}
+	spliceOutputFrame(resp.Output, f)
+	return &resp, nil
+}
+
+// spliceOutputFrame fills an OutputData's Tuples and Values from a
+// decoded output frame; Vars stay as the JSON header delivered them.
+func spliceOutputFrame(out *OutputData, f *wire.Frame) {
+	n := f.NumRows()
+	tuples := make([][]int, n)
+	for i := 0; i < n; i++ {
+		row := make([]int, f.Arity)
+		for j := 0; j < f.Arity; j++ {
+			row[j] = int(f.Rows[i*f.Arity+j])
+		}
+		tuples[i] = row
+	}
+	out.Tuples = tuples
+	switch f.Domain {
+	case wire.DomainFloat, wire.DomainTropical:
+		out.Values = f.Floats
+	case wire.DomainInt:
+		out.Values = f.Ints
+	case wire.DomainBool:
+		out.Values = f.Bools
+	}
+}
+
+// QueryBatch runs a batch of same-spec queries in one request with JSON
+// in both directions.  Items come back in index order; check
+// resp.Status for "partial" and each item's Error.
+func (c *Client) QueryBatch(ctx context.Context, req *BatchRequest) (*BatchResponse, error) {
+	var resp BatchResponse
+	if err := c.doJSON(ctx, http.MethodPost, "/v1/batch", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// EncodeBatchStream renders a binary /v1/batch body: req (whose Items
+// must be empty — the frame groups carry the data) as the envelope
+// header, then one frame group per item.  A nil group means "run the
+// spec's own inline data" for that item.
+func EncodeBatchStream(req *BatchRequest, items [][]*wire.Frame) ([]byte, error) {
+	if req.Items != nil {
+		return nil, fmt.Errorf("faqd: binary batch request carries JSON items; ship them as frame groups")
+	}
+	header, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	var body bytes.Buffer
+	enc := wire.NewEncoder(&body)
+	if err := enc.WriteBatchHeader(header, len(items)); err != nil {
+		return nil, err
+	}
+	for i, group := range items {
+		if err := enc.WriteBatchItemHeader(len(group)); err != nil {
+			return nil, err
+		}
+		for j, f := range group {
+			if err := enc.Encode(f); err != nil {
+				return nil, fmt.Errorf("faqd: encoding batch item %d frame %d: %w", i, j, err)
+			}
+		}
+	}
+	return body.Bytes(), nil
+}
+
+// QueryBatchFrames runs a batch shipping the per-item factor data as
+// binary frame groups (see EncodeBatchStream); the response is JSON.
+func (c *Client) QueryBatchFrames(ctx context.Context, req *BatchRequest, items [][]*wire.Frame) (*BatchResponse, error) {
+	stream, err := EncodeBatchStream(req, items)
+	if err != nil {
+		return nil, err
+	}
+	var resp BatchResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/batch", wire.BatchContentType, bytes.NewReader(stream), &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// QueryBatchStream runs a batch asking for the streamed binary result
+// encoding (Accept: application/x-faq-results): the server pushes one
+// result record per item as it completes, in completion order.  body is
+// an encoded request in either direction — JSON (contentType
+// "application/json") or a binary envelope from EncodeBatchStream
+// (wire.BatchContentType).
+//
+// When onItem is non-nil it observes every item record in arrival
+// (completion) order, before reassembly; a non-nil return aborts the
+// stream.  The returned BatchResponse has items back in index order,
+// exactly as the JSON encoding would deliver them.  A stream that ends
+// without the terminating end record fails with an error rather than
+// passing off a truncated batch as complete.
+func (c *Client) QueryBatchStream(ctx context.Context, contentType string, body []byte,
+	onItem func(*BatchItemResult) error) (*BatchResponse, error) {
+
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/batch", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", contentType)
+	req.Header.Set("Accept", wire.ResultContentType)
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		var apiErr ErrorResponse
+		if json.NewDecoder(resp.Body).Decode(&apiErr) == nil && apiErr.Error != "" {
+			return nil, fmt.Errorf("faqd: POST /v1/batch: %s (HTTP %d)", apiErr.Error, resp.StatusCode)
+		}
+		return nil, fmt.Errorf("faqd: POST /v1/batch: HTTP %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != wire.ResultContentType {
+		return nil, fmt.Errorf("faqd: server answered %q, not the requested result-stream encoding", ct)
+	}
+
+	dec := wire.NewDecoder(resp.Body)
+	header, err := dec.ReadResultHeader(maxStreamHeaderBytes)
+	if err != nil {
+		return nil, fmt.Errorf("faqd: result stream header: %w", err)
+	}
+	var sh BatchStreamHeader
+	if err := json.Unmarshal(header, &sh); err != nil {
+		return nil, fmt.Errorf("faqd: result stream header: %w", err)
+	}
+	out := &BatchResponse{
+		Domain: sh.Domain,
+		Plan:   sh.Plan,
+		Items:  make([]BatchItemResult, sh.Items),
+	}
+	for i := range out.Items {
+		out.Items[i] = BatchItemResult{Index: i, Error: "missing from result stream"}
+	}
+	for {
+		rf, err := dec.DecodeResult()
+		if err == io.EOF {
+			return nil, fmt.Errorf("faqd: result stream ended without its end record (%d items seen)", sh.Items)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("faqd: result stream: %w", err)
+		}
+		if rf.Kind == wire.ResultEnd {
+			var sum BatchSummary
+			if err := json.Unmarshal(rf.Header, &sum); err != nil {
+				return nil, fmt.Errorf("faqd: result stream summary: %w", err)
+			}
+			out.Completed = sum.Completed
+			out.Status = sum.Status
+			out.ElapsedMS = sum.ElapsedMS
+			out.Trace = sum.Trace
+			return out, nil
+		}
+		var item BatchItemResult
+		jdec := json.NewDecoder(bytes.NewReader(rf.Header))
+		jdec.UseNumber()
+		if err := jdec.Decode(&item); err != nil {
+			return nil, fmt.Errorf("faqd: result record %d header: %w", rf.Index, err)
+		}
+		if rf.Output != nil {
+			if item.Output == nil {
+				item.Output = &OutputData{}
+			}
+			spliceOutputFrame(item.Output, rf.Output)
+		}
+		if onItem != nil {
+			if err := onItem(&item); err != nil {
+				return nil, err
+			}
+		}
+		if item.Index < 0 || item.Index >= len(out.Items) {
+			return nil, fmt.Errorf("faqd: result record index %d out of range (%d items)", item.Index, len(out.Items))
+		}
+		out.Items[item.Index] = item
+	}
+}

@@ -481,6 +481,20 @@ func serveDatasetQuery[V any](s *Server, w http.ResponseWriter, r *http.Request,
 	s.m.countDomain(cv.name)
 	s.m.datasetQ.Add(1)
 	endEncode := ro.stage(stageEncode)
+	if acceptsMediaType(r, wire.ContentType) {
+		// Same binary response negotiation as the fresh-data path: dataset
+		// queries with large free-variable outputs gain the most from it.
+		s.m.binaryResp.Add(1)
+		stream, encErr := encodeBinaryQueryResponse(cv, q, prep, res, start, ro.traceData())
+		endEncode()
+		if encErr != nil {
+			writeError(w, http.StatusInternalServerError, "encoding binary response: %v", encErr)
+			return
+		}
+		w.Header().Set("Content-Type", wire.ContentType)
+		w.Write(stream) // nothing to do about a broken connection here
+		return
+	}
 	resp := encodeQueryResponse(cv, q, prep, res, start)
 	endEncode()
 	resp.Trace = ro.traceData()

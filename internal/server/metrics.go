@@ -64,7 +64,13 @@ type metrics struct {
 	inFlight     atomic.Int64 // non-monitoring requests currently being handled
 	queries      atomic.Int64 // /v1/query requests
 	binary       atomic.Int64 // /v1/query requests with binary factor streams
-	rejected     atomic.Int64 // /v1/query requests shed with 429 (backpressure)
+	binaryResp   atomic.Int64 // /v1/query responses in the binary encoding
+	rejected     atomic.Int64 // query/batch requests shed with 429 (backpressure)
+	batches      atomic.Int64 // /v1/batch requests
+	batchBinary  atomic.Int64 // /v1/batch requests with the binary envelope
+	batchStreams atomic.Int64 // /v1/batch responses streamed as result records
+	batchItems   atomic.Int64 // executed batch items
+	batchItemErr atomic.Int64 // batch items that failed
 	deltas       atomic.Int64 // /v1/delta requests
 	deltasBinary atomic.Int64 // /v1/delta requests with binary delta streams
 	datasetQ     atomic.Int64 // /v1/query requests served from resident datasets
@@ -104,15 +110,21 @@ func (m *metrics) snapshot() ServerStatz {
 			"bool":     m.domBool.Load(),
 			"tropical": m.domTrop.Load(),
 		},
-		Deltas:        m.deltas.Load(),
-		DeltasBinary:  m.deltasBinary.Load(),
-		Rejected:      m.rejected.Load(),
-		LatencyP50MS:  durationMS(qs[0]),
-		LatencyP90MS:  durationMS(qs[1]),
-		LatencyP99MS:  durationMS(qs[2]),
-		LatencyMaxMS:  durationMS(max),
-		LatencyWindow: window,
-		Goroutines:    runtime.NumGoroutine(),
+		QueriesBinaryResp: m.binaryResp.Load(),
+		Deltas:            m.deltas.Load(),
+		DeltasBinary:      m.deltasBinary.Load(),
+		Rejected:          m.rejected.Load(),
+		Batches:           m.batches.Load(),
+		BatchesBinary:     m.batchBinary.Load(),
+		BatchStreams:      m.batchStreams.Load(),
+		BatchItems:        m.batchItems.Load(),
+		BatchItemsErr:     m.batchItemErr.Load(),
+		LatencyP50MS:      durationMS(qs[0]),
+		LatencyP90MS:      durationMS(qs[1]),
+		LatencyP99MS:      durationMS(qs[2]),
+		LatencyMaxMS:      durationMS(max),
+		LatencyWindow:     window,
+		Goroutines:        runtime.NumGoroutine(),
 	}
 }
 

@@ -41,7 +41,7 @@ const (
 var stageNames = []string{stageParse, stageResolve, stagePrepare, stageExecute, stageEncode}
 
 // endpointNames is the fixed label set of faqd_request_duration_seconds.
-var endpointNames = []string{"query", "delta", "plan", "dataset"}
+var endpointNames = []string{"query", "batch", "delta", "plan", "dataset"}
 
 // shapeTopK bounds how many per-shape series /metrics exposes (the table
 // itself holds obs.DefaultMaxShapes; the exposition shows the top K by
@@ -63,6 +63,8 @@ func endpointOf(r *http.Request) string {
 	switch {
 	case r.URL.Path == "/v1/query" && r.Method == http.MethodPost:
 		return "query"
+	case r.URL.Path == "/v1/batch" && r.Method == http.MethodPost:
+		return "batch"
 	case r.URL.Path == "/v1/delta" && r.Method == http.MethodPost:
 		return "delta"
 	case r.URL.Path == "/v1/plan":
@@ -114,8 +116,20 @@ func newServerObs(s *Server) *serverObs {
 		func() float64 { return float64(s.m.queries.Load()) })
 	reg.CounterFunc("faqd_queries_binary_total", "Queries shipping binary factor streams.",
 		func() float64 { return float64(s.m.binary.Load()) })
+	reg.CounterFunc("faqd_queries_binary_responses_total", "Query responses in the binary factor encoding.",
+		func() float64 { return float64(s.m.binaryResp.Load()) })
 	reg.CounterFunc("faqd_queries_rejected_total", "Queries shed with 429 (backpressure).",
 		func() float64 { return float64(s.m.rejected.Load()) })
+	reg.CounterFunc("faqd_batches_total", "POST /v1/batch requests.",
+		func() float64 { return float64(s.m.batches.Load()) })
+	reg.CounterFunc("faqd_batches_binary_total", "Batch requests shipping the binary envelope.",
+		func() float64 { return float64(s.m.batchBinary.Load()) })
+	reg.CounterFunc("faqd_batch_streams_total", "Batch responses streamed as binary result records.",
+		func() float64 { return float64(s.m.batchStreams.Load()) })
+	reg.CounterFunc("faqd_batch_items_total", "Executed batch items across all batches.",
+		func() float64 { return float64(s.m.batchItems.Load()) })
+	reg.CounterFunc("faqd_batch_items_err_total", "Batch items that failed.",
+		func() float64 { return float64(s.m.batchItemErr.Load()) })
 	reg.CounterFunc("faqd_dataset_queries_total", "Queries served from resident datasets.",
 		func() float64 { return float64(s.m.datasetQ.Load()) })
 	reg.CounterFunc("faqd_deltas_total", "POST /v1/delta requests.",
@@ -252,7 +266,7 @@ func reqObsFrom(ctx context.Context) *reqObs {
 // request context.
 func (o *serverObs) begin(r *http.Request, endpoint string) (*reqObs, *http.Request) {
 	ro := &reqObs{o: o, endpoint: endpoint}
-	if endpoint == "query" || endpoint == "delta" {
+	if endpoint == "query" || endpoint == "batch" || endpoint == "delta" {
 		// The RawQuery check keeps the no-query-string hot path free of the
 		// url.Values allocation r.URL.Query() would pay on every request.
 		if r.URL.RawQuery != "" && r.URL.Query().Get("trace") == "1" {
@@ -321,6 +335,23 @@ func (ro *reqObs) setQuery(domain, dataset, shape string) {
 		return
 	}
 	ro.domain, ro.dataset, ro.shape = domain, dataset, shape
+}
+
+// recordItemSpan appends one completed batch item's span to the trace,
+// under the batch's open execute stage.  Batch items run concurrently, so
+// their spans cannot use the sequential stage Start/End discipline; each
+// item times itself and is recorded here from the serialized completion
+// callback (see core.RunBatch), which keeps the trace's span stack
+// single-writer.
+func (ro *reqObs) recordItemSpan(index int, start time.Time, d time.Duration, errored bool) {
+	if ro == nil || ro.tr == nil {
+		return
+	}
+	attrs := []obs.Attr{{Key: "index", Val: index}}
+	if errored {
+		attrs = append(attrs, obs.Attr{Key: "error", Val: true})
+	}
+	ro.tr.RecordSpan("item", start, d, attrs...)
 }
 
 // traceData returns the finished span tree when the client asked for it,

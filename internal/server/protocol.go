@@ -467,9 +467,22 @@ type ServerStatz struct {
 	// handled.
 	InFlight int64 `json:"in_flight"`
 	// Queries counts POST /v1/query requests; QueriesBinary the subset
-	// that shipped binary factor streams.
-	Queries       int64 `json:"queries"`
-	QueriesBinary int64 `json:"queries_binary"`
+	// that shipped binary factor streams; QueriesBinaryResp the subset
+	// whose response was negotiated into the binary factor encoding
+	// (Accept: application/x-faq-factors).
+	Queries           int64 `json:"queries"`
+	QueriesBinary     int64 `json:"queries_binary"`
+	QueriesBinaryResp int64 `json:"queries_binary_responses"`
+	// Batches counts POST /v1/batch requests; BatchesBinary the subset
+	// that shipped the binary batch envelope; BatchStreams the subset
+	// whose response was streamed as binary result records (Accept:
+	// application/x-faq-results).  BatchItems counts executed batch items
+	// across all batches; BatchItemsErr the items that failed.
+	Batches       int64 `json:"batches"`
+	BatchesBinary int64 `json:"batches_binary"`
+	BatchStreams  int64 `json:"batch_streams"`
+	BatchItems    int64 `json:"batch_items"`
+	BatchItemsErr int64 `json:"batch_items_err"`
 	// QueriesByDomain counts executed queries per value domain.
 	QueriesByDomain map[string]int64 `json:"queries_by_domain"`
 	// Deltas counts POST /v1/delta requests; DeltasBinary the subset that

@@ -164,6 +164,7 @@ func New(cfg Config) (*Server, error) {
 	s.m.start = time.Now()
 	s.obs = newServerObs(s)
 	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
+	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	s.mux.HandleFunc("POST /v1/delta", s.handleDelta)
 	s.mux.HandleFunc("GET /v1/plan", s.handlePlan)
 	s.mux.HandleFunc("POST /v1/plan", s.handlePlan)
@@ -215,6 +216,10 @@ func (s *Server) Handler() http.Handler {
 			s.m.queries.Add(1)
 			s.m.lat.observe(wall)
 		}
+		if r.Method == http.MethodPost && r.URL.Path == "/v1/batch" {
+			s.m.batches.Add(1)
+			s.m.lat.observe(wall)
+		}
 		if r.Method == http.MethodPost && r.URL.Path == "/v1/delta" {
 			s.m.deltas.Add(1)
 			s.m.lat.observe(wall)
@@ -249,6 +254,11 @@ func (w *countingWriter) Write(b []byte) (int, error) {
 	}
 	return w.ResponseWriter.Write(b)
 }
+
+// Unwrap exposes the underlying writer so http.ResponseController can
+// reach Flush through the wrapper — the streamed batch path flushes after
+// every result record.
+func (w *countingWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
 
 func (w *countingWriter) status() int {
 	if w.wrote == 0 {
@@ -697,10 +707,40 @@ func serveDomain[V any](s *Server, w http.ResponseWriter, r *http.Request, start
 	}
 	s.m.countDomain(cv.name)
 	endEncode := ro.stage(stageEncode)
+	if acceptsMediaType(r, wire.ContentType) {
+		// Binary response negotiation: the free-variable output travels as
+		// one factor frame instead of JSON rows (see
+		// encodeBinaryQueryResponse), closing the PR 5 wire asymmetry.
+		s.m.binaryResp.Add(1)
+		stream, encErr := encodeBinaryQueryResponse(cv, q, prep, res, start, ro.traceData())
+		endEncode()
+		if encErr != nil {
+			writeError(w, http.StatusInternalServerError, "encoding binary response: %v", encErr)
+			return
+		}
+		w.Header().Set("Content-Type", wire.ContentType)
+		w.Write(stream) // nothing to do about a broken connection here
+		return
+	}
 	resp := encodeQueryResponse(cv, q, prep, res, start)
 	endEncode()
 	resp.Trace = ro.traceData()
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// acceptsMediaType reports whether the request's Accept header names the
+// given media type exactly.  Parameters are ignored and wildcards do not
+// match: the binary response encodings are strictly opt-in, so a plain
+// */* keeps meaning JSON.
+func acceptsMediaType(r *http.Request, mediaType string) bool {
+	for _, hdr := range r.Header.Values("Accept") {
+		for _, part := range strings.Split(hdr, ",") {
+			if mt, _, err := mime.ParseMediaType(strings.TrimSpace(part)); err == nil && mt == mediaType {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // encodeQueryResponse renders a completed run as the /v1/query response

@@ -1,0 +1,391 @@
+// Batch and result framing: the multi-item request envelope of
+// POST /v1/batch and the length-prefixed result stream its streaming
+// responses (and binary /v1/query responses) are built from.
+//
+// # Batch envelope layout
+//
+// A batch stream — the request body of POST /v1/batch with Content-Type
+// application/x-faq-batch — is one envelope followed by per-item frame
+// groups.  Every multi-byte integer is little-endian; varint fields use
+// the unsigned LEB128 encoding of encoding/binary.
+//
+//	"FAQB"   4-byte magic
+//	uvarint  batch version (currently 1)
+//	uvarint  header length, then that many opaque header bytes
+//	         (for /v1/batch: the BatchRequest JSON without "items")
+//	uvarint  item count N
+//	items    N × item, each:
+//	           uvarint  frame count M (one frame per spec factor)
+//	           frames   M × frame (the standard factor-frame encoding)
+//
+// # Result stream layout
+//
+// A result stream — the response body of POST /v1/batch under
+// Accept: application/x-faq-results — is an envelope followed by
+// length-prefixed result records, one written (and flushed) per completed
+// item, in completion order.  Records carry their item index, so clients
+// reassemble out-of-order completions.
+//
+//	"FAQR"   4-byte magic
+//	uvarint  result-stream version (currently 1)
+//	uvarint  header length, then that many opaque header bytes
+//	         (for /v1/batch: the BatchStreamHeader JSON)
+//	records  result records until the end record:
+//	           uvarint  payload length in bytes
+//	           payload:
+//	             uvarint  version (currently 1)
+//	             byte     kind (1=item, 2=error, 3=end)
+//	             uvarint  item index (end: completed-item count)
+//	             uvarint  header length, then that many opaque header
+//	                      bytes (for /v1/batch: the item's JSON)
+//	             byte     output flag (1 = a frame payload follows)
+//	             frame    the item's free-variable output as one frame
+//	                      payload (the factor-frame encoding without its
+//	                      own length prefix), present only when the
+//	                      output flag is 1
+//
+// The end record (kind 3) terminates a well-formed stream; input that
+// stops before it is truncated, which DecodeResult reports as io.EOF at a
+// record boundary — the caller knows completion only by having seen the
+// end record.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// BatchVersion is the batch-envelope version this package encodes and the
+// only one it accepts.
+const BatchVersion = 1
+
+// ResultVersion is the result-stream and result-record version.
+const ResultVersion = 1
+
+// BatchContentType is the MIME type of a batch request stream, accepted
+// by POST /v1/batch as an alternative to application/json.
+const BatchContentType = "application/x-faq-batch"
+
+// ResultContentType is the MIME type of a binary result stream, returned
+// by POST /v1/batch (and, with a single frame, by POST /v1/query) when
+// the client sends it in Accept.
+const ResultContentType = "application/x-faq-results"
+
+// batchMagic starts every batch request stream.
+const batchMagic = "FAQB"
+
+// resultMagic starts every result stream.
+const resultMagic = "FAQR"
+
+// ErrResultKind means a result record declared an unknown kind byte.
+var ErrResultKind = errors.New("wire: unknown result kind")
+
+// ResultKind tags one result record: a completed item, a failed item, or
+// the stream-terminating end record.
+type ResultKind byte
+
+// The result-record kinds.
+const (
+	// ResultItem is a completed item: the header carries the item JSON
+	// and the output flag may introduce a free-variable output frame.
+	ResultItem ResultKind = 1
+	// ResultError is a failed item: the header carries the item JSON
+	// with its error; no output frame follows.
+	ResultError ResultKind = 2
+	// ResultEnd terminates the stream: the index is the completed-item
+	// count and the header carries the batch summary JSON.
+	ResultEnd ResultKind = 3
+)
+
+// Valid reports whether k is a defined result kind.
+func (k ResultKind) Valid() bool { return k >= ResultItem && k <= ResultEnd }
+
+// String names the kind ("item", "error", "end").
+func (k ResultKind) String() string {
+	switch k {
+	case ResultItem:
+		return "item"
+	case ResultError:
+		return "error"
+	case ResultEnd:
+		return "end"
+	}
+	return fmt.Sprintf("ResultKind(%d)", byte(k))
+}
+
+// ResultFrame is one decoded (or to-be-encoded) result record: the item
+// index, the opaque header bytes (for /v1/batch: the item's JSON) and,
+// for items with free variables, the output as an embedded factor frame.
+type ResultFrame struct {
+	// Kind tags the record (item, error, end).
+	Kind ResultKind
+	// Index is the item's position in the batch; for an end record it is
+	// the completed-item count.
+	Index int
+	// Header is the record's opaque header (for /v1/batch: the item
+	// JSON, or the summary JSON on the end record).
+	Header []byte
+	// Output is the item's free-variable output frame; nil for scalar
+	// items, error records and end records.
+	Output *Frame
+}
+
+// WriteBatchHeader writes the batch envelope: magic, version, the opaque
+// header bytes (for /v1/batch: the BatchRequest JSON without "items") and
+// the number of items that follow.
+func (e *Encoder) WriteBatchHeader(header []byte, items int) error {
+	if items < 0 {
+		return fmt.Errorf("wire: negative item count %d", items)
+	}
+	e.buf = e.buf[:0]
+	e.buf = append(e.buf, batchMagic...)
+	e.buf = binary.AppendUvarint(e.buf, BatchVersion)
+	e.buf = binary.AppendUvarint(e.buf, uint64(len(header)))
+	e.buf = append(e.buf, header...)
+	e.buf = binary.AppendUvarint(e.buf, uint64(items))
+	_, err := e.w.Write(e.buf)
+	return err
+}
+
+// WriteBatchItemHeader writes one item's frame count; the item's frames
+// follow via Encode, one per spec factor in spec order.
+func (e *Encoder) WriteBatchItemHeader(frames int) error {
+	if frames < 0 {
+		return fmt.Errorf("wire: negative frame count %d", frames)
+	}
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], uint64(frames))
+	_, err := e.w.Write(buf[:n])
+	return err
+}
+
+// WriteResultHeader writes the result-stream envelope: magic, version and
+// the opaque header bytes (for /v1/batch: the BatchStreamHeader JSON).
+func (e *Encoder) WriteResultHeader(header []byte) error {
+	e.buf = e.buf[:0]
+	e.buf = append(e.buf, resultMagic...)
+	e.buf = binary.AppendUvarint(e.buf, ResultVersion)
+	e.buf = binary.AppendUvarint(e.buf, uint64(len(header)))
+	e.buf = append(e.buf, header...)
+	_, err := e.w.Write(e.buf)
+	return err
+}
+
+// EncodeResult writes one result record — the uvarint payload-length
+// prefix, the record fields and the optional embedded output frame — in a
+// single Write, so a streaming handler can flush record boundaries.
+func (e *Encoder) EncodeResult(rf *ResultFrame) error {
+	if !rf.Kind.Valid() {
+		return fmt.Errorf("%w: %d", ErrResultKind, byte(rf.Kind))
+	}
+	if rf.Index < 0 {
+		return fmt.Errorf("wire: negative result index %d", rf.Index)
+	}
+	if rf.Output != nil {
+		if rf.Kind != ResultItem {
+			return fmt.Errorf("wire: %v record carries an output frame", rf.Kind)
+		}
+		if err := rf.Output.check(); err != nil {
+			return err
+		}
+	}
+
+	var rec []byte
+	rec = binary.AppendUvarint(rec, ResultVersion)
+	rec = append(rec, byte(rf.Kind))
+	rec = binary.AppendUvarint(rec, uint64(rf.Index))
+	rec = binary.AppendUvarint(rec, uint64(len(rf.Header)))
+	rec = append(rec, rf.Header...)
+	if rf.Output != nil {
+		rec = append(rec, 1)
+		rec = appendFramePayload(rec, rf.Output)
+	} else {
+		rec = append(rec, 0)
+	}
+
+	e.buf = e.buf[:0]
+	if cap(e.buf) < len(rec)+binary.MaxVarintLen64 {
+		e.buf = make([]byte, 0, len(rec)+binary.MaxVarintLen64)
+	}
+	e.buf = binary.AppendUvarint(e.buf, uint64(len(rec)))
+	e.buf = append(e.buf, rec...)
+	_, err := e.w.Write(e.buf)
+	return err
+}
+
+// ReadBatchHeader reads the batch envelope and returns the opaque header
+// bytes and the declared item count.  maxHeader bounds the header length
+// (<= 0 means the decoder's frame limit).
+func (d *Decoder) ReadBatchHeader(maxHeader int) (header []byte, items int, err error) {
+	if maxHeader <= 0 {
+		maxHeader = d.max
+	}
+	var magic [len(batchMagic)]byte
+	if _, err := io.ReadFull(d.br, magic[:]); err != nil {
+		return nil, 0, fmt.Errorf("%w: reading batch magic: %w", ErrTruncated, err)
+	}
+	if string(magic[:]) != batchMagic {
+		return nil, 0, fmt.Errorf("%w: got %q", ErrBadMagic, magic[:])
+	}
+	v, err := binary.ReadUvarint(d.br)
+	if err != nil {
+		return nil, 0, fmt.Errorf("%w: reading batch version: %w", ErrTruncated, err)
+	}
+	if v != BatchVersion {
+		return nil, 0, fmt.Errorf("%w: batch version %d (want %d)", ErrVersion, v, BatchVersion)
+	}
+	hlen, err := binary.ReadUvarint(d.br)
+	if err != nil {
+		return nil, 0, fmt.Errorf("%w: reading batch header length: %w", ErrTruncated, err)
+	}
+	if hlen > uint64(maxHeader) {
+		return nil, 0, fmt.Errorf("%w: %d-byte batch header (limit %d)", ErrTooLarge, hlen, maxHeader)
+	}
+	header = make([]byte, hlen)
+	if _, err := io.ReadFull(d.br, header); err != nil {
+		return nil, 0, fmt.Errorf("%w: reading batch header: %w", ErrTruncated, err)
+	}
+	n, err := binary.ReadUvarint(d.br)
+	if err != nil {
+		return nil, 0, fmt.Errorf("%w: reading item count: %w", ErrTruncated, err)
+	}
+	// Each item costs at least one frame-count byte; a count the input
+	// cannot possibly satisfy is rejected up front.
+	if n > uint64(d.max) {
+		return nil, 0, fmt.Errorf("%w: %d items declared (limit %d)", ErrTooLarge, n, d.max)
+	}
+	return header, int(n), nil
+}
+
+// ReadBatchItemHeader reads one item's frame count; the item's frames
+// follow via Decode.
+func (d *Decoder) ReadBatchItemHeader() (frames int, err error) {
+	n, err := binary.ReadUvarint(d.br)
+	if err != nil {
+		return 0, fmt.Errorf("%w: reading item frame count: %w", ErrTruncated, err)
+	}
+	if n > uint64(d.max) {
+		return 0, fmt.Errorf("%w: %d frames declared (limit %d)", ErrTooLarge, n, d.max)
+	}
+	return int(n), nil
+}
+
+// ReadResultHeader reads the result-stream envelope and returns the
+// opaque header bytes.  maxHeader bounds the header length (<= 0 means
+// the decoder's frame limit).
+func (d *Decoder) ReadResultHeader(maxHeader int) (header []byte, err error) {
+	if maxHeader <= 0 {
+		maxHeader = d.max
+	}
+	var magic [len(resultMagic)]byte
+	if _, err := io.ReadFull(d.br, magic[:]); err != nil {
+		return nil, fmt.Errorf("%w: reading result magic: %w", ErrTruncated, err)
+	}
+	if string(magic[:]) != resultMagic {
+		return nil, fmt.Errorf("%w: got %q", ErrBadMagic, magic[:])
+	}
+	v, err := binary.ReadUvarint(d.br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: reading result version: %w", ErrTruncated, err)
+	}
+	if v != ResultVersion {
+		return nil, fmt.Errorf("%w: result version %d (want %d)", ErrVersion, v, ResultVersion)
+	}
+	hlen, err := binary.ReadUvarint(d.br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: reading result header length: %w", ErrTruncated, err)
+	}
+	if hlen > uint64(maxHeader) {
+		return nil, fmt.Errorf("%w: %d-byte result header (limit %d)", ErrTooLarge, hlen, maxHeader)
+	}
+	header = make([]byte, hlen)
+	if _, err := io.ReadFull(d.br, header); err != nil {
+		return nil, fmt.Errorf("%w: reading result header: %w", ErrTruncated, err)
+	}
+	return header, nil
+}
+
+// DecodeResult reads one result record.  A clean end of input at a record
+// boundary returns io.EOF — completion is signaled in-band by the end
+// record, so a caller that hits io.EOF without having seen ResultEnd is
+// looking at a truncated stream.  An end inside a record returns
+// ErrTruncated.
+func (d *Decoder) DecodeResult() (*ResultFrame, error) {
+	payload, err := binary.ReadUvarint(d.br)
+	if err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("%w: reading result record length: %w", ErrTruncated, err)
+	}
+	if payload > uint64(d.max) {
+		return nil, fmt.Errorf("%w: %d-byte result record (limit %d)", ErrTooLarge, payload, d.max)
+	}
+	if uint64(cap(d.buf)) < payload {
+		d.buf = make([]byte, payload)
+	}
+	buf := d.buf[:payload]
+	if _, err := io.ReadFull(d.br, buf); err != nil {
+		return nil, fmt.Errorf("%w: result record declared %d bytes: %w", ErrTruncated, payload, err)
+	}
+
+	v, h := binary.Uvarint(buf)
+	if h <= 0 {
+		return nil, fmt.Errorf("%w: unreadable result record version", ErrFrameLength)
+	}
+	if v != ResultVersion {
+		return nil, fmt.Errorf("%w: result record version %d (want %d)", ErrVersion, v, ResultVersion)
+	}
+	if h >= len(buf) {
+		return nil, fmt.Errorf("%w: record ends before kind byte", ErrFrameLength)
+	}
+	rf := &ResultFrame{Kind: ResultKind(buf[h])}
+	h++
+	if !rf.Kind.Valid() {
+		return nil, fmt.Errorf("%w: %d", ErrResultKind, byte(rf.Kind))
+	}
+	idx, k := binary.Uvarint(buf[h:])
+	if k <= 0 {
+		return nil, fmt.Errorf("%w: unreadable result index", ErrFrameLength)
+	}
+	h += k
+	if idx > uint64(d.max) {
+		return nil, fmt.Errorf("%w: result index %d (limit %d)", ErrTooLarge, idx, d.max)
+	}
+	rf.Index = int(idx)
+	hlen, k := binary.Uvarint(buf[h:])
+	if k <= 0 {
+		return nil, fmt.Errorf("%w: unreadable result header length", ErrFrameLength)
+	}
+	h += k
+	if hlen > uint64(len(buf)-h) {
+		return nil, fmt.Errorf("%w: record header declares %d bytes, %d remain", ErrFrameLength, hlen, len(buf)-h)
+	}
+	rf.Header = append([]byte(nil), buf[h:h+int(hlen)]...)
+	h += int(hlen)
+	if h >= len(buf) {
+		return nil, fmt.Errorf("%w: record ends before output flag", ErrFrameLength)
+	}
+	flag := buf[h]
+	h++
+	switch flag {
+	case 0:
+		if h != len(buf) {
+			return nil, fmt.Errorf("%w: %d trailing bytes after flagless record", ErrFrameLength, len(buf)-h)
+		}
+	case 1:
+		if rf.Kind != ResultItem {
+			return nil, fmt.Errorf("%w: %v record declares an output frame", ErrFrameLength, rf.Kind)
+		}
+		out, err := parseFramePayload(buf[h:])
+		if err != nil {
+			return nil, err
+		}
+		rf.Output = out
+	default:
+		return nil, fmt.Errorf("%w: output flag %d (want 0 or 1)", ErrFrameLength, flag)
+	}
+	return rf, nil
+}

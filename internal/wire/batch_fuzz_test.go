@@ -1,0 +1,218 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"math"
+	"testing"
+)
+
+// wireSentinels are the only errors the batch/result decode paths may
+// surface; anything else on arbitrary input is a contract break.
+var wireSentinels = []error{
+	ErrBadMagic, ErrVersion, ErrDomain, ErrTooLarge, ErrTruncated,
+	ErrFrameLength, ErrResultKind, io.EOF,
+}
+
+func requireSentinel(t *testing.T, op string, err error) {
+	t.Helper()
+	for _, s := range wireSentinels {
+		if errors.Is(err, s) {
+			return
+		}
+	}
+	t.Fatalf("%s: non-sentinel error %v", op, err)
+}
+
+// FuzzBatchDecode throws raw bytes at the batch-envelope reader: header,
+// item headers and the per-item frame loop.  It must never panic, every
+// rejection must be one of the package sentinels, and any batch it does
+// accept must survive a re-encode/re-decode cycle with the same header,
+// counts and frame payloads.
+func FuzzBatchDecode(f *testing.F) {
+	var seed bytes.Buffer
+	enc := NewEncoder(&seed)
+	_ = enc.WriteBatchHeader([]byte(`{"spec":"t"}`), 2)
+	_ = enc.WriteBatchItemHeader(1)
+	_ = enc.Encode(&Frame{Domain: DomainInt, Arity: 1, Rows: []int32{4}, Ints: []int64{-7}})
+	_ = enc.WriteBatchItemHeader(0)
+	f.Add(seed.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("FAQB"))
+	f.Add([]byte("FAQB\x01\x00\xff\xff\xff\xff\x0f"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec := NewDecoder(bytes.NewReader(data))
+		dec.SetMaxFrameBytes(1 << 20) // keep hostile length prefixes cheap
+		header, items, err := dec.ReadBatchHeader(1 << 16)
+		if err != nil {
+			requireSentinel(t, "batch header", err)
+			return
+		}
+		var groups [][]*Frame
+		for i := 0; i < items; i++ {
+			frames, err := dec.ReadBatchItemHeader()
+			if err != nil {
+				requireSentinel(t, "item header", err)
+				return
+			}
+			group := make([]*Frame, 0, frames)
+			for j := 0; j < frames; j++ {
+				fr, err := dec.Decode()
+				if err != nil {
+					requireSentinel(t, "item frame", err)
+					return
+				}
+				group = append(group, fr)
+			}
+			groups = append(groups, group)
+		}
+
+		var buf bytes.Buffer
+		re := NewEncoder(&buf)
+		if err := re.WriteBatchHeader(header, len(groups)); err != nil {
+			t.Fatalf("accepted batch does not re-encode: %v", err)
+		}
+		for _, group := range groups {
+			if err := re.WriteBatchItemHeader(len(group)); err != nil {
+				t.Fatal(err)
+			}
+			for _, fr := range group {
+				if err := re.Encode(fr); err != nil {
+					t.Fatalf("accepted frame does not re-encode: %v", err)
+				}
+			}
+		}
+		rdec := NewDecoder(&buf)
+		rheader, ritems, err := rdec.ReadBatchHeader(1 << 16)
+		if err != nil {
+			t.Fatalf("re-decode header: %v", err)
+		}
+		if !bytes.Equal(rheader, header) || ritems != len(groups) {
+			t.Fatalf("re-decode changed the envelope: %d items, header %q", ritems, rheader)
+		}
+		for i, group := range groups {
+			m, err := rdec.ReadBatchItemHeader()
+			if err != nil || m != len(group) {
+				t.Fatalf("re-decode item %d: %d frames, err %v", i, m, err)
+			}
+			for j, want := range group {
+				got, err := rdec.Decode()
+				if err != nil {
+					t.Fatalf("re-decode item %d frame %d: %v", i, j, err)
+				}
+				if got.Domain != want.Domain || got.Arity != want.Arity || got.NumRows() != want.NumRows() {
+					t.Fatalf("re-decode changed item %d frame %d header", i, j)
+				}
+			}
+		}
+	})
+}
+
+// FuzzResultFrameRoundTrip drives the result-record codec from both ends:
+// a record constructed from the fuzzed fields must encode and decode back
+// bit-identically, and the same bytes reinterpreted as a raw decoder input
+// must never panic and only ever fail with package sentinels.
+func FuzzResultFrameRoundTrip(f *testing.F) {
+	f.Add(uint8(1), uint16(0), []byte(`{"index":0}`), true, uint8(2), []byte{0, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0xf0, 0x3f})
+	f.Add(uint8(2), uint16(3), []byte(`{"error":"x"}`), false, uint8(0), []byte{})
+	f.Add(uint8(3), uint16(9), []byte(`{"completed":9}`), false, uint8(0), []byte{})
+	f.Add(uint8(0), uint16(65535), []byte{}, true, uint8(9), []byte{1, 2, 3})
+	f.Fuzz(func(t *testing.T, kindB uint8, index uint16, header []byte, withOutput bool, domB uint8, raw []byte) {
+		rf := &ResultFrame{Kind: ResultKind(kindB), Index: int(index), Header: header}
+		if withOutput {
+			// Build a consistent arity-1 frame from the raw bytes: rows
+			// first, then one value encoding per row.
+			dom := Domain(domB%4 + 1)
+			n := len(raw) / (4 + dom.ValueSize())
+			out := &Frame{Domain: dom, Arity: 1, Rows: make([]int32, n)}
+			for i := 0; i < n; i++ {
+				out.Rows[i] = int32(binary.LittleEndian.Uint32(raw[4*i:]))
+			}
+			vals := raw[4*n:]
+			switch dom {
+			case DomainFloat, DomainTropical:
+				out.Floats = make([]float64, n)
+				for i := range out.Floats {
+					out.Floats[i] = math.Float64frombits(binary.LittleEndian.Uint64(vals[8*i:]))
+				}
+			case DomainInt:
+				out.Ints = make([]int64, n)
+				for i := range out.Ints {
+					out.Ints[i] = int64(binary.LittleEndian.Uint64(vals[8*i:]))
+				}
+			case DomainBool:
+				out.Bools = make([]bool, n)
+				for i := range out.Bools {
+					out.Bools[i] = vals[i]&1 == 1
+				}
+			}
+			rf.Output = out
+		}
+
+		var buf bytes.Buffer
+		err := NewEncoder(&buf).EncodeResult(rf)
+		if !rf.Kind.Valid() || (rf.Output != nil && rf.Kind != ResultItem) {
+			if err == nil {
+				t.Fatalf("encode accepted an invalid record: kind %v, output %v", rf.Kind, rf.Output != nil)
+			}
+		} else if err != nil {
+			t.Fatalf("encode rejected a consistent record: %v", err)
+		} else {
+			dec := NewDecoder(&buf)
+			got, err := dec.DecodeResult()
+			if err != nil {
+				t.Fatalf("decode: %v", err)
+			}
+			if _, err := dec.DecodeResult(); err != io.EOF {
+				t.Fatalf("trailing read: %v, want io.EOF", err)
+			}
+			if got.Kind != rf.Kind || got.Index != rf.Index || !bytes.Equal(got.Header, rf.Header) {
+				t.Fatalf("record changed: %+v, want %+v", got, rf)
+			}
+			if (got.Output == nil) != (rf.Output == nil) {
+				t.Fatalf("output presence changed")
+			}
+			if rf.Output != nil {
+				w, g := rf.Output, got.Output
+				if g.Domain != w.Domain || g.Arity != w.Arity || g.NumRows() != w.NumRows() {
+					t.Fatalf("output header changed")
+				}
+				for i := range w.Rows {
+					if g.Rows[i] != w.Rows[i] {
+						t.Fatalf("output row cell %d changed", i)
+					}
+				}
+				for i := range w.Floats {
+					if math.Float64bits(g.Floats[i]) != math.Float64bits(w.Floats[i]) {
+						t.Fatalf("output float %d bits changed", i)
+					}
+				}
+				for i := range w.Ints {
+					if g.Ints[i] != w.Ints[i] {
+						t.Fatalf("output int %d changed", i)
+					}
+				}
+				for i := range w.Bools {
+					if g.Bools[i] != w.Bools[i] {
+						t.Fatalf("output bool %d changed", i)
+					}
+				}
+			}
+		}
+
+		// The raw-byte leg: header bytes and the fuzz payload fed straight
+		// into the record decoder must fail only with sentinels.
+		rdec := NewDecoder(bytes.NewReader(raw))
+		rdec.SetMaxFrameBytes(1 << 20)
+		if _, err := rdec.DecodeResult(); err != nil {
+			requireSentinel(t, "raw record", err)
+		}
+		hdec := NewDecoder(bytes.NewReader(header))
+		hdec.SetMaxFrameBytes(1 << 20)
+		if _, err := hdec.ReadResultHeader(1 << 16); err != nil {
+			requireSentinel(t, "raw stream header", err)
+		}
+	})
+}

@@ -1,0 +1,217 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"testing"
+)
+
+// TestBatchEnvelopeRoundTrip drives the batch request codec end to end:
+// header, item count, per-item frame groups, clean EOF.
+func TestBatchEnvelopeRoundTrip(t *testing.T) {
+	items := [][]*Frame{
+		{
+			{Domain: DomainFloat, Arity: 2, Rows: []int32{0, 1, 2, 3}, Floats: []float64{1.5, -2}},
+			{Domain: DomainFloat, Arity: 1, Rows: []int32{7}, Floats: []float64{math.Inf(1)}},
+		},
+		{}, // an item may ship zero frames (run the spec's own data)
+		{
+			{Domain: DomainFloat, Arity: 0, Rows: nil, Floats: []float64{42}},
+		},
+	}
+	header := []byte(`{"spec":"..."}`)
+
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf)
+	if err := enc.WriteBatchHeader(header, len(items)); err != nil {
+		t.Fatal(err)
+	}
+	for _, frames := range items {
+		if err := enc.WriteBatchItemHeader(len(frames)); err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range frames {
+			if err := enc.Encode(f); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	dec := NewDecoder(&buf)
+	gotHeader, n, err := dec.ReadBatchHeader(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotHeader, header) || n != len(items) {
+		t.Fatalf("header %q / %d items, want %q / %d", gotHeader, n, header, len(items))
+	}
+	for i, frames := range items {
+		m, err := dec.ReadBatchItemHeader()
+		if err != nil {
+			t.Fatalf("item %d: %v", i, err)
+		}
+		if m != len(frames) {
+			t.Fatalf("item %d: %d frames declared, want %d", i, m, len(frames))
+		}
+		for j, want := range frames {
+			got, err := dec.Decode()
+			if err != nil {
+				t.Fatalf("item %d frame %d: %v", i, j, err)
+			}
+			if got.Domain != want.Domain || got.Arity != want.Arity || got.NumRows() != want.NumRows() {
+				t.Fatalf("item %d frame %d header changed", i, j)
+			}
+			for k := range want.Floats {
+				if math.Float64bits(got.Floats[k]) != math.Float64bits(want.Floats[k]) {
+					t.Fatalf("item %d frame %d value %d changed", i, j, k)
+				}
+			}
+		}
+	}
+	if _, err := dec.Decode(); err != io.EOF {
+		t.Fatalf("trailing read: %v, want io.EOF", err)
+	}
+}
+
+// TestBatchEnvelopeErrors pins the typed sentinels on the batch decode
+// paths: wrong magic, wrong version, oversized header, hostile counts.
+func TestBatchEnvelopeErrors(t *testing.T) {
+	read := func(b []byte) error {
+		_, _, err := NewDecoder(bytes.NewReader(b)).ReadBatchHeader(16)
+		return err
+	}
+	if err := read([]byte("FAQW\x01\x00\x00")); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("factor-stream magic on a batch: %v, want ErrBadMagic", err)
+	}
+	if err := read([]byte("FAQB\x09\x00\x00")); !errors.Is(err, ErrVersion) {
+		t.Fatalf("future version: %v, want ErrVersion", err)
+	}
+	if err := read([]byte("FAQB\x01\x7f")); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("oversized header: %v, want ErrTooLarge", err)
+	}
+	if err := read([]byte("FAQB\x01")); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("cut envelope: %v, want ErrTruncated", err)
+	}
+	// A tiny body declaring an absurd item count is rejected before any
+	// allocation keyed to the count.
+	var hostile bytes.Buffer
+	if err := NewEncoder(&hostile).WriteBatchHeader(nil, 1<<30); err != nil {
+		t.Fatal(err)
+	}
+	dec := NewDecoder(bytes.NewReader(hostile.Bytes()))
+	dec.SetMaxFrameBytes(1 << 20)
+	if _, _, err := dec.ReadBatchHeader(16); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("hostile item count: %v, want ErrTooLarge", err)
+	}
+	// Same for a hostile per-item frame count.
+	dec = NewDecoder(bytes.NewReader([]byte{0xff, 0xff, 0xff, 0xff, 0x7f}))
+	dec.SetMaxFrameBytes(1 << 20)
+	if _, err := dec.ReadBatchItemHeader(); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("hostile frame count: %v, want ErrTooLarge", err)
+	}
+}
+
+// TestResultStreamRoundTrip drives the result codec: stream header, item
+// records with and without output frames, an error record, the end
+// record, clean EOF after it.
+func TestResultStreamRoundTrip(t *testing.T) {
+	records := []*ResultFrame{
+		{Kind: ResultItem, Index: 2, Header: []byte(`{"index":2,"value":7}`)},
+		{Kind: ResultItem, Index: 0, Header: []byte(`{"index":0}`), Output: &Frame{
+			Domain: DomainTropical, Arity: 2,
+			Rows:   []int32{0, 1, 3, 2},
+			Floats: []float64{1.25, math.Inf(1)},
+		}},
+		{Kind: ResultError, Index: 1, Header: []byte(`{"index":1,"error":"boom"}`)},
+		{Kind: ResultEnd, Index: 2, Header: []byte(`{"completed":2}`)},
+	}
+	header := []byte(`{"domain":"tropical","items":3}`)
+
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf)
+	if err := enc.WriteResultHeader(header); err != nil {
+		t.Fatal(err)
+	}
+	for i, rf := range records {
+		if err := enc.EncodeResult(rf); err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+	}
+
+	dec := NewDecoder(&buf)
+	gotHeader, err := dec.ReadResultHeader(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotHeader, header) {
+		t.Fatalf("header %q, want %q", gotHeader, header)
+	}
+	for i, want := range records {
+		got, err := dec.DecodeResult()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if got.Kind != want.Kind || got.Index != want.Index || !bytes.Equal(got.Header, want.Header) {
+			t.Fatalf("record %d: %+v, want %+v", i, got, want)
+		}
+		if (got.Output == nil) != (want.Output == nil) {
+			t.Fatalf("record %d output presence changed", i)
+		}
+		if want.Output != nil {
+			if got.Output.Domain != want.Output.Domain || got.Output.Arity != want.Output.Arity {
+				t.Fatalf("record %d output header changed", i)
+			}
+			for k := range want.Output.Rows {
+				if got.Output.Rows[k] != want.Output.Rows[k] {
+					t.Fatalf("record %d output row cell %d changed", i, k)
+				}
+			}
+			for k := range want.Output.Floats {
+				if math.Float64bits(got.Output.Floats[k]) != math.Float64bits(want.Output.Floats[k]) {
+					t.Fatalf("record %d output value %d changed", i, k)
+				}
+			}
+		}
+	}
+	if _, err := dec.DecodeResult(); err != io.EOF {
+		t.Fatalf("trailing read: %v, want io.EOF", err)
+	}
+}
+
+// TestResultRecordErrors pins the result-record error contract: every
+// malformed record surfaces a package sentinel, and encode rejects
+// records that could not decode.
+func TestResultRecordErrors(t *testing.T) {
+	enc := NewEncoder(io.Discard)
+	if err := enc.EncodeResult(&ResultFrame{Kind: 9}); !errors.Is(err, ErrResultKind) {
+		t.Fatalf("bad kind: %v, want ErrResultKind", err)
+	}
+	if err := enc.EncodeResult(&ResultFrame{Kind: ResultEnd, Output: &Frame{Domain: DomainFloat}}); err == nil {
+		t.Fatal("end record with an output frame accepted")
+	}
+	if err := enc.EncodeResult(&ResultFrame{Kind: ResultItem, Index: -1}); err == nil {
+		t.Fatal("negative index accepted")
+	}
+
+	// A record whose payload length lies about the embedded frame.
+	var buf bytes.Buffer
+	if err := NewEncoder(&buf).EncodeResult(&ResultFrame{
+		Kind: ResultItem, Index: 0, Output: &Frame{Domain: DomainFloat, Arity: 1,
+			Rows: []int32{1}, Floats: []float64{2}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	whole := buf.Bytes()
+	if _, err := NewDecoder(bytes.NewReader(whole[:len(whole)-3])).DecodeResult(); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("cut record: %v, want ErrTruncated", err)
+	}
+	mangled := append([]byte(nil), whole...)
+	mangled[len(mangled)-1] ^= 0xff // corrupt the embedded value column tail
+	if rf, err := NewDecoder(bytes.NewReader(mangled)).DecodeResult(); err != nil {
+		t.Fatalf("bit-flipped value should still frame-decode: %v", err)
+	} else if math.Float64bits(rf.Output.Floats[0]) == math.Float64bits(2) {
+		t.Fatal("corruption not visible in the decoded value")
+	}
+}

@@ -320,44 +320,56 @@ func (e *Encoder) WriteStreamHeader(header []byte, frames int) error {
 	return err
 }
 
+// framePayloadSize returns the encoded payload size of a checked frame.
+func framePayloadSize(f *Frame) int {
+	var hbuf [3*binary.MaxVarintLen64 + 1]byte
+	hdr := AppendFrameHeader(hbuf[:0], FrameHeader{Domain: f.Domain, Arity: f.Arity, Rows: f.NumRows()})
+	return len(hdr) + 4*len(f.Rows) + f.Domain.ValueSize()*f.NumRows()
+}
+
+// appendFramePayload appends a checked frame's payload — the header
+// prelude and the two raw columns, without the outer length prefix — and
+// returns the extended slice.  It is the shared body of Encode and of the
+// result records that embed an output frame.
+func appendFramePayload(dst []byte, f *Frame) []byte {
+	dst = AppendFrameHeader(dst, FrameHeader{Domain: f.Domain, Arity: f.Arity, Rows: f.NumRows()})
+	for _, x := range f.Rows {
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(x))
+	}
+	switch f.Domain {
+	case DomainFloat, DomainTropical:
+		for _, v := range f.Floats {
+			dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+		}
+	case DomainInt:
+		for _, v := range f.Ints {
+			dst = binary.LittleEndian.AppendUint64(dst, uint64(v))
+		}
+	case DomainBool:
+		for _, v := range f.Bools {
+			if v {
+				dst = append(dst, 1)
+			} else {
+				dst = append(dst, 0)
+			}
+		}
+	}
+	return dst
+}
+
 // Encode writes one frame: the uvarint payload-length prefix, the header
 // and the two raw columns, in a single Write.
 func (e *Encoder) Encode(f *Frame) error {
 	if err := f.check(); err != nil {
 		return err
 	}
-	n := f.NumRows()
-	var hbuf [3*binary.MaxVarintLen64 + 1]byte
-	hdr := AppendFrameHeader(hbuf[:0], FrameHeader{Domain: f.Domain, Arity: f.Arity, Rows: n})
-	payload := len(hdr) + 4*len(f.Rows) + f.Domain.ValueSize()*n
-
+	payload := framePayloadSize(f)
 	e.buf = e.buf[:0]
 	if cap(e.buf) < payload+binary.MaxVarintLen64 {
 		e.buf = make([]byte, 0, payload+binary.MaxVarintLen64)
 	}
 	e.buf = binary.AppendUvarint(e.buf, uint64(payload))
-	e.buf = append(e.buf, hdr...)
-	for _, x := range f.Rows {
-		e.buf = binary.LittleEndian.AppendUint32(e.buf, uint32(x))
-	}
-	switch f.Domain {
-	case DomainFloat, DomainTropical:
-		for _, v := range f.Floats {
-			e.buf = binary.LittleEndian.AppendUint64(e.buf, math.Float64bits(v))
-		}
-	case DomainInt:
-		for _, v := range f.Ints {
-			e.buf = binary.LittleEndian.AppendUint64(e.buf, uint64(v))
-		}
-	case DomainBool:
-		for _, v := range f.Bools {
-			if v {
-				e.buf = append(e.buf, 1)
-			} else {
-				e.buf = append(e.buf, 0)
-			}
-		}
-	}
+	e.buf = appendFramePayload(e.buf, f)
 	_, err := e.w.Write(e.buf)
 	return err
 }
@@ -456,16 +468,20 @@ func (d *Decoder) Decode() (*Frame, error) {
 	if _, err := io.ReadFull(d.br, buf); err != nil {
 		return nil, fmt.Errorf("%w: frame declared %d bytes: %w", ErrTruncated, payload, err)
 	}
+	return parseFramePayload(buf)
+}
 
+// parseFramePayload decodes one complete frame payload (header prelude
+// plus columns, no outer length prefix) — the shared body of Decode and
+// of the result records that embed an output frame.  The payload must be
+// exactly consumed; leftover or missing column bytes are ErrFrameLength.
+func parseFramePayload(buf []byte) (*Frame, error) {
 	hdr, h, err := ParseFrameHeader(buf)
 	if err != nil {
 		return nil, err
 	}
 	dom, arity, rows := hdr.Domain, uint64(hdr.Arity), uint64(hdr.Rows)
 
-	if rows > uint64(d.max) {
-		return nil, fmt.Errorf("%w: %d rows (limit %d)", ErrTooLarge, rows, d.max)
-	}
 	need := rows * (4*arity + uint64(dom.ValueSize())) // no overflow: ParseFrameHeader bounds rows×arity
 	if need != uint64(len(buf)-h) {
 		return nil, fmt.Errorf("%w: %d rows of arity %d need %d column bytes, frame carries %d",

@@ -15,6 +15,7 @@
 #   scripts/faqd_harness.sh benchstore BENCH_PR7.json  # shipped factors vs resident datasets
 #   scripts/faqd_harness.sh benchobs BENCH_PR8.json    # tracing overhead + stage breakdowns
 #   scripts/faqd_harness.sh benchradix BENCH_PR9.json  # appends a serving probe to the radix record
+#   scripts/faqd_harness.sh benchbatch BENCH_PR10.json # /v1/batch vs single-query rps
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -116,6 +117,17 @@ case "$mode" in
       -shapes triangle-fresh,triangle-dataset -json "$probe_json"
     cat "$probe_json" >> "$json_out"
     ;;
+  benchbatch)
+    # The batch-protocol comparison on small-query bulk traffic: plain
+    # triangle and triangle-fresh at a small domain size, each driven as
+    # single queries (JSON and binary bodies) and re-driven as /v1/batch
+    # requests of 32 items ("+batch32" rows; the binary variant ships the
+    # batch envelope and streams binary result records).  Batch rows count
+    # items, so their rps compares directly against the single-query rows
+    # — the acceptance ratio is triangle+batch32 vs triangle-fresh+bin.
+    "$bin/faqload" -addr "$addr" -concurrency 8 -duration 2s -dom 16 \
+      -wire both -batch 32 -shapes triangle,triangle-fresh -json "$json_out"
+    ;;
   obssmoke)
     # Observability gate: traced triangle + triangle-dataset queries whose
     # span trees must account for wall time within 10%, a /metrics scrape
@@ -132,7 +144,7 @@ case "$mode" in
       -shapes triangle,triangle-fresh,triangle-dataset -json "$json_out"
     ;;
   *)
-    echo "usage: $0 smoke|obssmoke|bench|benchwire|benchdelta|benchstore|benchobs|benchradix [json-out]" >&2
+    echo "usage: $0 smoke|obssmoke|bench|benchwire|benchdelta|benchstore|benchobs|benchradix|benchbatch [json-out]" >&2
     exit 2
     ;;
 esac
